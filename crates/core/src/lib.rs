@@ -1,0 +1,97 @@
+//! Morpheus-Oracle: a lightweight auto-tuner for automatic sparse matrix
+//! storage format selection — the paper's primary contribution (§VI).
+//!
+//! Oracle complements the dynamic format-switching of the `morpheus` crate
+//! by automating the *choice* of format for the SpMV operation on a given
+//! target (system, backend). Following the paper's design, "containers are
+//! separated from the algorithms": tuners encapsulate selection strategy
+//! ([`RunFirstTuner`], [`DecisionTreeTuner`], [`RandomForestTuner`], §VI-A)
+//! and a single [`tune_multiply`] operation drives any of them (§VI-B).
+//!
+//! The three tuners trade prediction cost against accuracy:
+//!
+//! * **Run-first** — converts to every viable format and times the actual
+//!   operation: most accurate, most expensive;
+//! * **DecisionTreeTuner** — extracts the ten features of Table I and
+//!   traverses a single tree: cheapest, least accurate;
+//! * **RandomForestTuner** — traverses an ensemble and majority-votes:
+//!   the paper's recommended operating point.
+//!
+//! # Example: tune, switch, multiply
+//! ```
+//! use morpheus::{ConvertOptions, CooMatrix, DynamicMatrix};
+//! use morpheus_machine::{systems, Backend, VirtualEngine};
+//! use morpheus_oracle::{tune_multiply, RunFirstTuner};
+//!
+//! // A banded matrix on the A64FX Serial backend: the run-first tuner
+//! // should discover a diagonal-friendly format.
+//! let n: usize = 2000;
+//! let mut rows = Vec::new();
+//! let mut cols = Vec::new();
+//! let mut vals = Vec::new();
+//! for i in 0..n {
+//!     for d in [-1isize, 0, 1] {
+//!         let j = i as isize + d;
+//!         if j >= 0 && (j as usize) < n {
+//!             rows.push(i);
+//!             cols.push(j as usize);
+//!             vals.push(1.0f64);
+//!         }
+//!     }
+//! }
+//! let coo = CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+//! let mut matrix = DynamicMatrix::from(coo);
+//!
+//! let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
+//! let tuner = RunFirstTuner::new(10);
+//! let report = tune_multiply(&mut matrix, &tuner, &engine, &ConvertOptions::default()).unwrap();
+//! assert_eq!(matrix.format_id(), report.chosen);
+//! ```
+
+pub mod features;
+pub mod model_db;
+pub mod tune;
+pub mod tuner;
+
+pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
+pub use model_db::ModelDatabase;
+pub use tune::{tune_multiply, TuneReport};
+pub use tuner::{DecisionTreeTuner, FormatTuner, RandomForestTuner, RunFirstTuner, TuneDecision, TuningCost};
+
+/// Errors produced by the Oracle layer.
+#[derive(Debug)]
+pub enum OracleError {
+    /// Underlying matrix/format error.
+    Morpheus(morpheus::MorpheusError),
+    /// Underlying model error.
+    Ml(morpheus_ml::MlError),
+    /// A model incompatible with the tuner or feature schema was supplied.
+    ModelMismatch(String),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Morpheus(e) => write!(f, "{e}"),
+            OracleError::Ml(e) => write!(f, "{e}"),
+            OracleError::ModelMismatch(m) => write!(f, "model mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<morpheus::MorpheusError> for OracleError {
+    fn from(e: morpheus::MorpheusError) -> Self {
+        OracleError::Morpheus(e)
+    }
+}
+
+impl From<morpheus_ml::MlError> for OracleError {
+    fn from(e: morpheus_ml::MlError) -> Self {
+        OracleError::Ml(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OracleError>;

@@ -1,0 +1,191 @@
+//! The on-disk model database (Figure 1's "Model Database").
+//!
+//! One model file per (system, backend, model kind); users "use the
+//! pre-trained models from the Model Database" or drop in their own. File
+//! names follow `<system>_<backend>.<kind>.model` (lower-case), e.g.
+//! `p3_cuda.forest.model`.
+
+use crate::tuner::{DecisionTreeTuner, RandomForestTuner};
+use crate::{OracleError, Result};
+use morpheus_machine::Backend;
+use morpheus_ml::{DecisionTree, RandomForest};
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// Model kind stored in the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Single decision tree.
+    Tree,
+    /// Random forest.
+    Forest,
+}
+
+impl ModelKind {
+    fn ext(self) -> &'static str {
+        match self {
+            ModelKind::Tree => "tree",
+            ModelKind::Forest => "forest",
+        }
+    }
+}
+
+/// A directory of trained models, keyed by (system, backend, kind).
+#[derive(Debug, Clone)]
+pub struct ModelDatabase {
+    dir: PathBuf,
+}
+
+impl ModelDatabase {
+    /// Opens (or designates) a database directory; created on first save.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ModelDatabase { dir: dir.into() }
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Canonical file name for a (system, backend, kind) triple.
+    pub fn file_name(system: &str, backend: Backend, kind: ModelKind) -> String {
+        format!(
+            "{}_{}.{}.model",
+            system.to_ascii_lowercase().replace([' ', '/'], "-"),
+            backend.name().to_ascii_lowercase(),
+            kind.ext()
+        )
+    }
+
+    /// Full path for a triple.
+    pub fn path_for(&self, system: &str, backend: Backend, kind: ModelKind) -> PathBuf {
+        self.dir.join(Self::file_name(system, backend, kind))
+    }
+
+    /// Saves a forest model for the pair.
+    pub fn save_forest(&self, system: &str, backend: Backend, model: &RandomForest) -> Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir).map_err(morpheus_ml::MlError::Io)?;
+        let path = self.path_for(system, backend, ModelKind::Forest);
+        let file = std::fs::File::create(&path).map_err(morpheus_ml::MlError::Io)?;
+        morpheus_ml::serialize::save_forest(&mut BufWriter::new(file), model)?;
+        Ok(path)
+    }
+
+    /// Saves a tree model for the pair.
+    pub fn save_tree(&self, system: &str, backend: Backend, model: &DecisionTree) -> Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir).map_err(morpheus_ml::MlError::Io)?;
+        let path = self.path_for(system, backend, ModelKind::Tree);
+        let file = std::fs::File::create(&path).map_err(morpheus_ml::MlError::Io)?;
+        morpheus_ml::serialize::save_tree(&mut BufWriter::new(file), model)?;
+        Ok(path)
+    }
+
+    /// Loads the forest tuner for a pair.
+    pub fn load_forest_tuner(&self, system: &str, backend: Backend) -> Result<RandomForestTuner> {
+        let path = self.path_for(system, backend, ModelKind::Forest);
+        let file = std::fs::File::open(&path).map_err(|e| {
+            OracleError::Ml(morpheus_ml::MlError::Io(std::io::Error::new(
+                e.kind(),
+                format!("{}: {e}", path.display()),
+            )))
+        })?;
+        RandomForestTuner::from_reader(BufReader::new(file))
+    }
+
+    /// Loads the tree tuner for a pair.
+    pub fn load_tree_tuner(&self, system: &str, backend: Backend) -> Result<DecisionTreeTuner> {
+        let path = self.path_for(system, backend, ModelKind::Tree);
+        let file = std::fs::File::open(&path).map_err(|e| {
+            OracleError::Ml(morpheus_ml::MlError::Io(std::io::Error::new(
+                e.kind(),
+                format!("{}: {e}", path.display()),
+            )))
+        })?;
+        DecisionTreeTuner::from_reader(BufReader::new(file))
+    }
+
+    /// Lists the (file-name) entries present in the database.
+    pub fn list(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".model"))
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_ml::{Dataset, ForestParams, TreeParams};
+
+    fn toy_dataset() -> Dataset {
+        let mut ds = Dataset::empty(crate::NUM_FEATURES, 6, vec![]).unwrap();
+        for i in 0..60 {
+            let wide = i % 2 == 0;
+            let row =
+                [500.0, 500.0, 2000.0, 4.0, 0.008, if wide { 40.0 } else { 4.0 }, 1.0, 1.5, 20.0, 1.0];
+            ds.push(&row, if wide { 3 } else { 1 }).unwrap();
+        }
+        ds
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("morpheus-oracle-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn file_names_are_canonical() {
+        assert_eq!(
+            ModelDatabase::file_name("P3", Backend::Cuda, ModelKind::Forest),
+            "p3_cuda.forest.model"
+        );
+        assert_eq!(
+            ModelDatabase::file_name("ARCHER2", Backend::OpenMp, ModelKind::Tree),
+            "archer2_openmp.tree.model"
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let db = ModelDatabase::new(&dir);
+        let ds = toy_dataset();
+        let forest =
+            RandomForest::fit(&ds, &ForestParams { n_estimators: 4, ..Default::default() }).unwrap();
+        let tree = DecisionTree::fit(&ds, &TreeParams::default()).unwrap();
+        db.save_forest("Cirrus", Backend::Cuda, &forest).unwrap();
+        db.save_tree("Cirrus", Backend::Cuda, &tree).unwrap();
+
+        let loaded = db.load_forest_tuner("Cirrus", Backend::Cuda).unwrap();
+        let probe = ds.row(0);
+        assert_eq!(loaded.model().predict(probe), forest.predict(probe));
+        let loaded_tree = db.load_tree_tuner("Cirrus", Backend::Cuda).unwrap();
+        assert_eq!(loaded_tree.model().predict(probe), tree.predict(probe));
+
+        let listing = db.list();
+        assert_eq!(listing.len(), 2);
+        assert!(listing.contains(&"cirrus_cuda.forest.model".to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_model_reports_path() {
+        let db = ModelDatabase::new(tempdir("missing"));
+        let err = db.load_forest_tuner("XCI", Backend::Serial).unwrap_err();
+        assert!(err.to_string().contains("xci_serial.forest.model"), "{err}");
+    }
+
+    #[test]
+    fn list_on_missing_dir_is_empty() {
+        let db = ModelDatabase::new(tempdir("empty"));
+        assert!(db.list().is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! The `tune_multiply` operation (§VI-B).
+//!
+//! "The input of the tuning operation requires the DynamicMatrix and the
+//! tuner, along with the desired execution space ... Upon completion of the
+//! tuning operation, the tuner can be queried for the optimal format" — here
+//! the operation also performs the switch, returning a report with the
+//! decision and its cost.
+
+use crate::tuner::{FormatTuner, TuningCost};
+use crate::Result;
+use morpheus::format::FormatId;
+use morpheus::{ConvertOptions, DynamicMatrix};
+use morpheus_machine::{analyze, VirtualEngine};
+
+/// Outcome of one [`tune_multiply`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneReport {
+    /// Format the matrix ended up in.
+    pub chosen: FormatId,
+    /// Format the matrix was in before tuning.
+    pub previous: FormatId,
+    /// What the tuner originally predicted (differs from `chosen` only when
+    /// the conversion failed and the tuner fell back to CSR).
+    pub predicted: FormatId,
+    /// Cost of the tuning decision on the engine's virtual clock.
+    pub cost: TuningCost,
+    /// `true` if a format switch was performed.
+    pub converted: bool,
+}
+
+/// Tunes the matrix for SpMV on `engine` using `tuner` and switches it to
+/// the selected format in place.
+///
+/// If the predicted format cannot be materialised (padding beyond
+/// `opts.max_fill`, which can happen when an ML model mispredicts on an
+/// adversarial sparsity pattern), the matrix falls back to CSR — the
+/// general-purpose default — rather than failing the operation.
+pub fn tune_multiply(
+    m: &mut DynamicMatrix<f64>,
+    tuner: &dyn FormatTuner,
+    engine: &VirtualEngine,
+    opts: &ConvertOptions,
+) -> Result<TuneReport> {
+    let analysis = analyze(m);
+    let previous = m.format_id();
+    let decision = tuner.select(m, &analysis, engine);
+    let predicted = decision.format;
+
+    let chosen = if m.convert_to(predicted, opts).is_ok() {
+        predicted
+    } else {
+        // Mispredicted into a non-viable format: fall back to CSR.
+        m.convert_to(FormatId::Csr, opts)?;
+        FormatId::Csr
+    };
+    Ok(TuneReport { chosen, previous, predicted, cost: decision.cost, converted: chosen != previous })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::{RunFirstTuner, TuneDecision};
+    use morpheus::CooMatrix;
+    use morpheus_machine::{systems, Backend, MatrixAnalysis};
+
+    fn tridiag(n: usize) -> DynamicMatrix<f64> {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for i in 0..n {
+            for d in [-1isize, 0, 1] {
+                let j = i as isize + d;
+                if j >= 0 && (j as usize) < n {
+                    rows.push(i);
+                    cols.push(j as usize);
+                }
+            }
+        }
+        let vals = vec![1.0; rows.len()];
+        DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap())
+    }
+
+    #[test]
+    fn tune_multiply_switches_format() {
+        let mut m = tridiag(4000);
+        let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
+        let report =
+            tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
+        assert_eq!(report.previous, FormatId::Coo);
+        assert_eq!(m.format_id(), report.chosen);
+        assert_eq!(report.predicted, report.chosen);
+        // Entries preserved through the switch.
+        assert_eq!(m.nnz(), 3 * 4000 - 2);
+    }
+
+    #[test]
+    fn fallback_to_csr_on_nonviable_prediction() {
+        /// A tuner that always predicts ELL, even when ELL cannot hold the
+        /// matrix within the fill limit.
+        struct AlwaysEll;
+        impl FormatTuner for AlwaysEll {
+            fn name(&self) -> &'static str {
+                "always-ell"
+            }
+            fn select(&self, _: &DynamicMatrix<f64>, _: &MatrixAnalysis, _: &VirtualEngine) -> TuneDecision {
+                TuneDecision { format: FormatId::Ell, cost: TuningCost::default() }
+            }
+        }
+
+        // Hypersparse with one long row: ELL width explodes.
+        let n = 50_000usize;
+        let mut rows: Vec<usize> = (0..500).map(|k| (k * 97) % n).collect();
+        let mut cols: Vec<usize> = (0..500).map(|k| (k * 31) % n).collect();
+        for k in 0..4000 {
+            rows.push(7);
+            cols.push((k * 11) % n);
+        }
+        let vals = vec![1.0; rows.len()];
+        let mut m = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+
+        let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+        let report = tune_multiply(&mut m, &AlwaysEll, &engine, &ConvertOptions::default()).unwrap();
+        assert_eq!(report.predicted, FormatId::Ell);
+        assert_eq!(report.chosen, FormatId::Csr);
+        assert_eq!(m.format_id(), FormatId::Csr);
+    }
+
+    #[test]
+    fn no_conversion_when_already_optimal() {
+        let mut m = tridiag(3000);
+        let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
+        // First tune moves it to the optimum; second tune is a no-op switch.
+        let first = tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
+        let second =
+            tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
+        assert_eq!(second.chosen, first.chosen);
+        assert!(!second.converted);
+    }
+}

@@ -1,0 +1,341 @@
+//! The three tuners of §VI-A.
+
+use crate::features::FeatureVector;
+use crate::{OracleError, Result};
+use morpheus::format::{FormatId, ALL_FORMATS};
+use morpheus::DynamicMatrix;
+use morpheus_machine::{MatrixAnalysis, VirtualEngine};
+use morpheus_ml::serialize::LoadedModel;
+use morpheus_ml::{DecisionTree, RandomForest};
+
+/// Virtual-clock cost of one tuning decision, split the way Table IV and
+/// Equation 2 need it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TuningCost {
+    /// Feature-extraction time `T_FE`, seconds.
+    pub feature_extraction: f64,
+    /// Model-evaluation time `T_PRED`, seconds.
+    pub prediction: f64,
+    /// Run-first only: conversions plus trial runs, seconds.
+    pub profiling: f64,
+}
+
+impl TuningCost {
+    /// Total tuning-stage time.
+    pub fn total(&self) -> f64 {
+        self.feature_extraction + self.prediction + self.profiling
+    }
+}
+
+/// A tuner's verdict for one matrix on one engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneDecision {
+    /// The selected format.
+    pub format: FormatId,
+    /// What the decision cost.
+    pub cost: TuningCost,
+}
+
+/// Strategy interface: given a matrix (and its analysis) on an engine,
+/// select the format SpMV should run in.
+pub trait FormatTuner {
+    /// Tuner name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Selects a format.
+    fn select(&self, m: &DynamicMatrix<f64>, a: &MatrixAnalysis, engine: &VirtualEngine) -> TuneDecision;
+}
+
+// ---------------------------------------------------------------------------
+// Run-first
+// ---------------------------------------------------------------------------
+
+/// The run-first tuner: "records the iteration time each format takes to
+/// perform N-iterations for a given operation and applies statistics to
+/// determine which format was best" (§VI-A). Most accurate, most expensive —
+/// it pays a conversion to every viable format plus `reps` trial SpMVs each.
+#[derive(Debug, Clone)]
+pub struct RunFirstTuner {
+    reps: usize,
+}
+
+impl RunFirstTuner {
+    /// Tuner performing `reps` trial iterations per candidate format.
+    pub fn new(reps: usize) -> Self {
+        RunFirstTuner { reps: reps.max(1) }
+    }
+
+    /// Trial iterations per format.
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+}
+
+impl FormatTuner for RunFirstTuner {
+    fn name(&self) -> &'static str {
+        "run-first"
+    }
+
+    fn select(&self, m: &DynamicMatrix<f64>, a: &MatrixAnalysis, engine: &VirtualEngine) -> TuneDecision {
+        let active = m.format_id();
+        let mut best = FormatId::Csr;
+        let mut best_time = f64::INFINITY;
+        let mut profiling = 0.0;
+        for fmt in ALL_FORMATS {
+            if !engine.is_viable(fmt, a) {
+                continue;
+            }
+            let t_convert = engine.conversion_time(active, fmt, a);
+            let t_iter = engine.spmv_time(fmt, a);
+            profiling += t_convert + self.reps as f64 * t_iter;
+            if t_iter < best_time {
+                best_time = t_iter;
+                best = fmt;
+            }
+        }
+        TuneDecision { format: best, cost: TuningCost { profiling, ..Default::default() } }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ML tuners
+// ---------------------------------------------------------------------------
+
+fn check_model_shape(n_features: usize, n_classes: usize, kind: &str) -> Result<()> {
+    if n_features != crate::NUM_FEATURES {
+        return Err(OracleError::ModelMismatch(format!(
+            "{kind} expects {n_features} features, Oracle extracts {}",
+            crate::NUM_FEATURES
+        )));
+    }
+    if n_classes > morpheus::format::FORMAT_COUNT {
+        return Err(OracleError::ModelMismatch(format!(
+            "{kind} predicts over {n_classes} classes, only {} formats exist",
+            morpheus::format::FORMAT_COUNT
+        )));
+    }
+    Ok(())
+}
+
+fn ml_decision(
+    predicted: usize,
+    nodes_visited: usize,
+    m: &DynamicMatrix<f64>,
+    a: &MatrixAnalysis,
+    engine: &VirtualEngine,
+) -> TuneDecision {
+    let format = FormatId::from_index(predicted).unwrap_or(FormatId::Csr);
+    TuneDecision {
+        format,
+        cost: TuningCost {
+            feature_extraction: engine.feature_extraction_time(m.format_id(), a),
+            prediction: engine.prediction_time(nodes_visited),
+            profiling: 0.0,
+        },
+    }
+}
+
+/// Single-tree ML tuner: "offers very fast but less accurate predictions"
+/// (§VI-A).
+#[derive(Debug, Clone)]
+pub struct DecisionTreeTuner {
+    model: DecisionTree,
+}
+
+impl DecisionTreeTuner {
+    /// Wraps a fitted tree, validating its shape against the feature schema.
+    pub fn new(model: DecisionTree) -> Result<Self> {
+        check_model_shape(model.n_features(), model.n_classes(), "decision tree")?;
+        Ok(DecisionTreeTuner { model })
+    }
+
+    /// Loads the tree from a model file (§III-B: "loads an ML model from a
+    /// file specified at runtime").
+    pub fn from_reader<R: std::io::BufRead>(reader: R) -> Result<Self> {
+        match morpheus_ml::serialize::load_model(reader)? {
+            LoadedModel::Tree(t) => DecisionTreeTuner::new(t),
+            LoadedModel::Forest(_) => {
+                Err(OracleError::ModelMismatch("file contains a forest, expected a tree".into()))
+            }
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &DecisionTree {
+        &self.model
+    }
+}
+
+impl FormatTuner for DecisionTreeTuner {
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+
+    fn select(&self, m: &DynamicMatrix<f64>, a: &MatrixAnalysis, engine: &VirtualEngine) -> TuneDecision {
+        let fv = FeatureVector::from_stats(&a.stats);
+        let predicted = self.model.predict(fv.as_slice());
+        let visited = self.model.decision_path_len(fv.as_slice());
+        ml_decision(predicted, visited, m, a, engine)
+    }
+}
+
+/// Forest ML tuner: "traverses multiple trees in the ensemble and then
+/// performs a voting scheme to decide the optimal format ... the majority
+/// voting scheme" (§VI-A).
+#[derive(Debug, Clone)]
+pub struct RandomForestTuner {
+    model: RandomForest,
+}
+
+impl RandomForestTuner {
+    /// Wraps a fitted forest, validating its shape.
+    pub fn new(model: RandomForest) -> Result<Self> {
+        check_model_shape(model.n_features(), model.n_classes(), "random forest")?;
+        Ok(RandomForestTuner { model })
+    }
+
+    /// Loads the forest from a model file.
+    pub fn from_reader<R: std::io::BufRead>(reader: R) -> Result<Self> {
+        match morpheus_ml::serialize::load_model(reader)? {
+            LoadedModel::Forest(f) => RandomForestTuner::new(f),
+            LoadedModel::Tree(_) => {
+                Err(OracleError::ModelMismatch("file contains a tree, expected a forest".into()))
+            }
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &RandomForest {
+        &self.model
+    }
+}
+
+impl FormatTuner for RandomForestTuner {
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+
+    fn select(&self, m: &DynamicMatrix<f64>, a: &MatrixAnalysis, engine: &VirtualEngine) -> TuneDecision {
+        let fv = FeatureVector::from_stats(&a.stats);
+        let predicted = self.model.predict(fv.as_slice());
+        let visited = self.model.decision_path_len(fv.as_slice());
+        ml_decision(predicted, visited, m, a, engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus::CooMatrix;
+    use morpheus_machine::{analyze, systems, Backend};
+    use morpheus_ml::{Dataset, ForestParams, TreeParams};
+
+    fn tridiag(n: usize) -> DynamicMatrix<f64> {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for i in 0..n {
+            for d in [-1isize, 0, 1] {
+                let j = i as isize + d;
+                if j >= 0 && (j as usize) < n {
+                    rows.push(i);
+                    cols.push(j as usize);
+                }
+            }
+        }
+        let vals = vec![1.0; rows.len()];
+        DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap())
+    }
+
+    /// A dataset whose rule is trivially learnable: wide rows -> ELL (3),
+    /// otherwise CSR (1). Ten features, six classes.
+    fn toy_dataset() -> Dataset {
+        let mut ds = Dataset::empty(crate::NUM_FEATURES, 6, vec![]).unwrap();
+        for i in 0..120 {
+            let wide = i % 2 == 0;
+            let max_nnz = if wide { 50.0 } else { 3.0 };
+            let row = [
+                1000.0, 1000.0, 5000.0, 5.0, 0.005, max_nnz, 1.0, 2.0, 30.0, 0.0,
+            ];
+            ds.push(&row, if wide { 3 } else { 1 }).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn run_first_matches_engine_profile() {
+        let m = tridiag(3000);
+        let a = analyze(&m);
+        let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+        let tuner = RunFirstTuner::new(5);
+        let decision = tuner.select(&m, &a, &engine);
+        assert_eq!(decision.format, engine.profile(&a).optimal);
+        assert!(decision.cost.profiling > 0.0);
+        assert_eq!(decision.cost.feature_extraction, 0.0);
+    }
+
+    #[test]
+    fn run_first_cost_grows_with_reps() {
+        let m = tridiag(1000);
+        let a = analyze(&m);
+        let engine = VirtualEngine::new(systems::xci(), Backend::Serial);
+        let c1 = RunFirstTuner::new(1).select(&m, &a, &engine).cost.total();
+        let c100 = RunFirstTuner::new(100).select(&m, &a, &engine).cost.total();
+        assert!(c100 > 5.0 * c1);
+    }
+
+    #[test]
+    fn tree_tuner_applies_learned_rule() {
+        let ds = toy_dataset();
+        let tree = morpheus_ml::DecisionTree::fit(&ds, &TreeParams::default()).unwrap();
+        let tuner = DecisionTreeTuner::new(tree).unwrap();
+        let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+
+        // Tridiagonal: max nnz/row = 3 -> the "narrow" rule -> CSR.
+        let m = tridiag(1000);
+        let a = analyze(&m);
+        let d = tuner.select(&m, &a, &engine);
+        assert_eq!(d.format, FormatId::Csr);
+        assert!(d.cost.feature_extraction > 0.0);
+        assert!(d.cost.prediction > 0.0);
+        assert_eq!(d.cost.profiling, 0.0);
+    }
+
+    #[test]
+    fn forest_tuner_votes() {
+        let ds = toy_dataset();
+        let forest =
+            morpheus_ml::RandomForest::fit(&ds, &ForestParams { n_estimators: 9, ..Default::default() })
+                .unwrap();
+        let tuner = RandomForestTuner::new(forest).unwrap();
+        let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+        let m = tridiag(500);
+        let a = analyze(&m);
+        let d = tuner.select(&m, &a, &engine);
+        assert_eq!(d.format, FormatId::Csr);
+        // Forest prediction visits more nodes than a single tree would.
+        assert!(d.cost.prediction > engine.prediction_time(1));
+    }
+
+    #[test]
+    fn model_shape_validation() {
+        // Wrong feature count.
+        let mut ds = Dataset::empty(3, 6, vec![]).unwrap();
+        for i in 0..10 {
+            ds.push(&[i as f64, 0.0, 1.0], i % 2).unwrap();
+        }
+        let tree = morpheus_ml::DecisionTree::fit(&ds, &TreeParams::default()).unwrap();
+        assert!(matches!(DecisionTreeTuner::new(tree), Err(OracleError::ModelMismatch(_))));
+    }
+
+    #[test]
+    fn loader_rejects_wrong_kind() {
+        let ds = toy_dataset();
+        let forest =
+            morpheus_ml::RandomForest::fit(&ds, &ForestParams { n_estimators: 3, ..Default::default() })
+                .unwrap();
+        let mut buf = Vec::new();
+        morpheus_ml::serialize::save_forest(&mut buf, &forest).unwrap();
+        assert!(DecisionTreeTuner::from_reader(std::io::Cursor::new(&buf)).is_err());
+        assert!(RandomForestTuner::from_reader(std::io::Cursor::new(&buf)).is_ok());
+    }
+}

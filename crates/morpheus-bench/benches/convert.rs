@@ -1,0 +1,29 @@
+//! Criterion microbenches: format-conversion cost from COO, the price the
+//! run-first tuner pays per candidate format (§III, §VI-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus::format::ALL_FORMATS;
+use morpheus::{ConvertOptions, DynamicMatrix, FormatId};
+use morpheus_corpus::gen::random::near_diagonal;
+use rand::SeedableRng;
+
+fn bench_convert(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let base = DynamicMatrix::from(near_diagonal(20_000, 9, 60.0, &mut rng));
+    let opts = ConvertOptions::default();
+
+    let mut group = c.benchmark_group("convert-near-diagonal-20k");
+    group.sample_size(10);
+    for fmt in ALL_FORMATS {
+        if fmt == FormatId::Coo {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("from-coo", fmt.name()), &fmt, |b, &fmt| {
+            b.iter(|| base.to_format(fmt, &opts).expect("near-diagonal fits"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert);
+criterion_main!(benches);

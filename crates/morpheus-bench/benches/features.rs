@@ -1,0 +1,26 @@
+//! Criterion microbenches: on-line feature extraction per active format
+//! (§VI-C) — the `T_FE` component of Table IV, measured on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus::format::ALL_FORMATS;
+use morpheus::{ConvertOptions, DynamicMatrix};
+use morpheus_corpus::gen::stencil::poisson2d;
+use morpheus_oracle::FeatureVector;
+
+fn bench_features(c: &mut Criterion) {
+    let base = DynamicMatrix::from(poisson2d(160, 160));
+    let opts = ConvertOptions::default();
+
+    let mut group = c.benchmark_group("feature-extraction-poisson2d-160");
+    group.sample_size(20);
+    for fmt in ALL_FORMATS {
+        let m = base.to_format(fmt, &opts).expect("stencil fits all formats");
+        group.bench_with_input(BenchmarkId::new("active-format", fmt.name()), &m, |b, m| {
+            b.iter(|| FeatureVector::extract(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

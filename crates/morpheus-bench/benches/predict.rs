@@ -1,0 +1,44 @@
+//! Criterion microbenches: model evaluation cost (`T_PRED` of Table IV) —
+//! single tree vs forests of increasing size, on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus_ml::{Dataset, DecisionTree, ForestParams, RandomForest, TreeParams};
+use morpheus_oracle::NUM_FEATURES;
+
+fn training_set() -> Dataset {
+    let mut ds = Dataset::empty(NUM_FEATURES, 6, vec![]).unwrap();
+    let mut state = 11u64;
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    for i in 0..1200 {
+        let row: Vec<f64> = (0..NUM_FEATURES).map(|_| rnd() * 1000.0).collect();
+        ds.push(&row, i % 6).unwrap();
+    }
+    ds
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let ds = training_set();
+    let probe: Vec<f64> = (0..NUM_FEATURES).map(|i| (i * 37) as f64).collect();
+
+    let mut group = c.benchmark_group("model-prediction");
+    group.sample_size(30);
+
+    let tree = DecisionTree::fit(&ds, &TreeParams { max_depth: Some(16), ..Default::default() }).unwrap();
+    group.bench_function("decision-tree", |b| b.iter(|| tree.predict(&probe)));
+
+    for n_estimators in [10usize, 40, 100] {
+        let forest =
+            RandomForest::fit(&ds, &ForestParams { n_estimators, max_depth: Some(16), ..Default::default() })
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("random-forest", n_estimators), &forest, |b, f| {
+            b.iter(|| f.predict(&probe));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion microbenches: host wall-clock SpMV per format, serial and
+//! threaded. Complements the virtual-clock experiments with real kernel
+//! timings on the build machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morpheus::format::ALL_FORMATS;
+use morpheus::spmv::threaded::spmv_csr_balanced;
+use morpheus::spmv::{spmv_serial, spmv_threaded};
+use morpheus::{ConvertOptions, DynamicMatrix, FormatId};
+use morpheus_corpus::gen::powerlaw::zipf_rows;
+use morpheus_corpus::gen::stencil::poisson2d;
+use morpheus_parallel::{Schedule, ThreadPool};
+use rand::SeedableRng;
+
+fn bench_spmv(c: &mut Criterion) {
+    // 192x192 grid: ~37k rows, ~183k non-zeros.
+    let base = DynamicMatrix::from(poisson2d(192, 192));
+    let n = base.nrows();
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let opts = ConvertOptions::default();
+    let pool = ThreadPool::new(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2));
+
+    let mut group = c.benchmark_group("spmv-poisson2d-192");
+    group.sample_size(20);
+    for fmt in ALL_FORMATS {
+        let m = base.to_format(fmt, &opts).expect("stencil fits all formats");
+        group.bench_with_input(BenchmarkId::new("serial", fmt.name()), &m, |b, m| {
+            b.iter(|| spmv_serial(m, &x, &mut y).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", fmt.name()), &m, |b, m| {
+            b.iter(|| spmv_threaded(m, &x, &mut y, &pool, Schedule::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Static vs nnz-balanced CSR partitioning on a skewed (Zipf) matrix — the
+/// extension DESIGN.md §5 calls out: balancing tames the imbalance the
+/// machine model charges the OpenMP backend for.
+fn bench_csr_partitioning(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let m = DynamicMatrix::from(zipf_rows(30_000, 400_000, 1.3, &mut rng));
+    let m = m.to_format(FormatId::Csr, &ConvertOptions::default()).expect("csr");
+    let DynamicMatrix::Csr(csr) = &m else { unreachable!() };
+    let n = m.nrows();
+    let x = vec![1.0f64; m.ncols()];
+    let mut y = vec![0.0f64; n];
+    let pool = ThreadPool::new(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2));
+
+    let mut group = c.benchmark_group("csr-partitioning-zipf-30k");
+    group.sample_size(20);
+    group.bench_function("static-schedule", |b| {
+        b.iter(|| spmv_threaded(&m, &x, &mut y, &pool, Schedule::default()).unwrap());
+    });
+    group.bench_function("dynamic-schedule", |b| {
+        b.iter(|| spmv_threaded(&m, &x, &mut y, &pool, Schedule::dynamic()).unwrap());
+    });
+    group.bench_function("nnz-balanced", |b| {
+        b.iter(|| spmv_csr_balanced(csr, &x, &mut y, &pool));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_csr_partitioning);
+criterion_main!(benches);

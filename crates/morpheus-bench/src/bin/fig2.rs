@@ -1,0 +1,68 @@
+//! Figure 2: optimal-format distribution per system/backend.
+//!
+//! "For every matrix in the dataset, supported format and available
+//! platform the runtime of 1000 SpMV repetitions is recorded and the format
+//! with the minimum runtime is set to be the optimal format" (§VII-B).
+//! Prints the per-pair percentage of matrices won by each format.
+//!
+//! Paper's headline observations this should reproduce:
+//! * CSR is the clear majority on every pair;
+//! * the distribution shifts between Serial and OpenMP on the same system;
+//! * GPU backends are "much more diverse with optimal formats chosen from
+//!   almost every available format class".
+
+use morpheus_bench::{cache_dir_from_env, corpus_spec_from_env, pipeline, report::Table};
+
+fn main() {
+    let spec = corpus_spec_from_env();
+    eprintln!("profiling {} matrices on 11 system/backend pairs ...", spec.n_matrices);
+    let pc = pipeline::profile_corpus_cached(&spec, &cache_dir_from_env());
+
+    println!("== Figure 2: optimal format distribution (% of matrices) ==");
+    println!("corpus: {} matrices, seed {:#x}\n", pc.entries.len(), spec.seed);
+
+    let mut header = vec!["system/backend"];
+    let names = pipeline::format_names();
+    header.extend(names.iter());
+    let mut table = Table::new(&header);
+    for (pi, pair) in pc.pairs.iter().enumerate() {
+        let dist = pipeline::format_distribution(&pc, pi);
+        let mut row = vec![pair.label()];
+        row.extend(dist.iter().map(|d| format!("{d:5.1}")));
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    // The paper's qualitative claims, checked mechanically.
+    let csr = morpheus::FormatId::Csr.index();
+    let mut plurality_pairs = 0usize;
+    for pi in 0..pc.pairs.len() {
+        let d = pipeline::format_distribution(&pc, pi);
+        let csr_share = d[csr];
+        let max_other = d.iter().enumerate().filter(|&(i, _)| i != csr).map(|(_, &v)| v).fold(0.0, f64::max);
+        if csr_share >= max_other {
+            plurality_pairs += 1;
+        }
+    }
+    let gpu_diversity: Vec<String> = pc
+        .pairs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.backend.is_gpu())
+        .map(|(pi, p)| {
+            let d = pipeline::format_distribution(&pc, pi);
+            let classes = d.iter().filter(|&&v| v >= 1.0).count();
+            format!("{}: {classes}/6 formats above 1%", p.label())
+        })
+        .collect();
+
+    println!("checks:");
+    println!(
+        "  CSR is the plurality winner on {plurality_pairs}/{} pairs (paper: the clear majority \
+         overall; A64FX Serial and the AMD GPU deviate)",
+        pc.pairs.len()
+    );
+    for line in gpu_diversity {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 3: runtime speedup of the optimal format over CSR on the CPU
+//! backends (§VII-C).
+//!
+//! "Whilst a lot of the matrices result in a speedup of less than 1.5x,
+//! there is a noticeable number of matrices that exhibit speedups between
+//! 1.5x and 10.5x, with an average speedup of approximately 1.8x for
+//! Cirrus, XCI and A64FX, and of 1.3x on Archer2." Matrices whose optimal
+//! format is CSR are omitted, as in the paper.
+
+use morpheus_bench::report::{log_histogram, sample_stats, Table};
+use morpheus_bench::{cache_dir_from_env, corpus_spec_from_env, pipeline};
+use morpheus_machine::Backend;
+
+fn main() {
+    let spec = corpus_spec_from_env();
+    let pc = pipeline::profile_corpus_cached(&spec, &cache_dir_from_env());
+
+    println!("== Figure 3: SpMV speedup of optimal format vs CSR, CPU backends ==");
+    println!("(CSR-optimal matrices omitted, as in the paper)\n");
+
+    let mut table =
+        Table::new(&["system/backend", "n", "mean", "q2", "q3", "max", ">=1.5x", ">=10x"]);
+    for (pi, pair) in pc.pairs.iter().enumerate() {
+        if pair.backend.is_gpu() {
+            continue;
+        }
+        let speedups = pipeline::optimal_speedups(&pc, pi);
+        if speedups.is_empty() {
+            table.row(vec![pair.label(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        let s = sample_stats(&speedups);
+        let ge15 = speedups.iter().filter(|&&v| v >= 1.5).count();
+        let ge10 = speedups.iter().filter(|&&v| v >= 10.0).count();
+        table.row(vec![
+            pair.label(),
+            speedups.len().to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.q2),
+            format!("{:.2}", s.q3),
+            format!("{:.2}", s.max),
+            ge15.to_string(),
+            ge10.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Histograms for the OpenMP pairs (the figure's panels).
+    let bins = [1.1, 1.5, 2.5, 4.0, 6.5, 10.5];
+    for (pi, pair) in pc.pairs.iter().enumerate() {
+        if pair.backend != Backend::OpenMp {
+            continue;
+        }
+        let speedups = pipeline::optimal_speedups(&pc, pi);
+        if speedups.is_empty() {
+            continue;
+        }
+        println!("{} (n = {}):", pair.label(), speedups.len());
+        print!("{}", log_histogram(&speedups, &bins));
+        println!();
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 4: runtime speedup of the optimal format over CSR on the GPU
+//! backends (§VII-C).
+//!
+//! "The average speedup for the CUDA and HIP backends is 8x and 10x
+//! respectively ... with maximum speedups reaching up to 1000x." The paper
+//! attributes the extremes (e.g. `mawi_201512020030`) to uncoalesced CSR
+//! accesses and under-utilisation — the effects the SIMT model reproduces
+//! from the matrix structure.
+
+use morpheus_bench::report::{log_histogram, sample_stats, Table};
+use morpheus_bench::{cache_dir_from_env, corpus_spec_from_env, pipeline};
+
+fn main() {
+    let spec = corpus_spec_from_env();
+    let pc = pipeline::profile_corpus_cached(&spec, &cache_dir_from_env());
+
+    println!("== Figure 4: SpMV speedup of optimal format vs CSR, GPU backends ==");
+    println!("(CSR-optimal matrices omitted, as in the paper)\n");
+
+    let mut table =
+        Table::new(&["system/backend", "device", "n", "mean", "q2", "max", ">=10x", ">=100x"]);
+    for (pi, pair) in pc.pairs.iter().enumerate() {
+        if !pair.backend.is_gpu() {
+            continue;
+        }
+        let device = pair.system.gpu_for(pair.backend).map(|g| g.name).unwrap_or("?");
+        let speedups = pipeline::optimal_speedups(&pc, pi);
+        if speedups.is_empty() {
+            continue;
+        }
+        let s = sample_stats(&speedups);
+        let ge10 = speedups.iter().filter(|&&v| v >= 10.0).count();
+        let ge100 = speedups.iter().filter(|&&v| v >= 100.0).count();
+        table.row(vec![
+            pair.label(),
+            device.to_string(),
+            speedups.len().to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.q2),
+            format!("{:.1}", s.max),
+            ge10.to_string(),
+            ge100.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let bins = [1.5, 3.0, 10.0, 30.0, 100.0, 1000.0];
+    for (pi, pair) in pc.pairs.iter().enumerate() {
+        if !pair.backend.is_gpu() {
+            continue;
+        }
+        let speedups = pipeline::optimal_speedups(&pc, pi);
+        if speedups.is_empty() {
+            continue;
+        }
+        println!("{} (n = {}):", pair.label(), speedups.len());
+        print!("{}", log_histogram(&speedups, &bins));
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! Table IV: runtime cost of the auto-tuner, in CSR-SpMV equivalents
+//! (§VII-E).
+//!
+//! For every test-set matrix: `(T_FE + T_PRED) / T_CSR` — how many CSR SpMV
+//! iterations the tuning stage costs. The paper reports means of 2-64
+//! across pairs, Q3 below 100 everywhere, and notes that GPU backends pay
+//! only a few repetitions while OpenMP pays the most.
+
+use morpheus_bench::report::{sample_stats, Table};
+use morpheus_bench::{cache_dir_from_env, corpus_spec_from_env, pipeline};
+use morpheus_machine::VirtualEngine;
+use morpheus_oracle::FeatureVector;
+
+fn main() {
+    let spec = corpus_spec_from_env();
+    let cache = cache_dir_from_env();
+    let pc = pipeline::profile_corpus_cached(&spec, &cache);
+
+    println!("== Table IV: auto-tuner cost, in equivalent CSR SpMV operations ==");
+    println!("cost = (T_FE + T_PRED) / T_CSR, per test-set matrix\n");
+
+    let mut table = Table::new(&["system/backend", "mean", "std", "min", "q1", "q2", "q3", "max"]);
+    for pi in 0..pc.pairs.len() {
+        let tuned = pipeline::tuned_forest_cached(&pc, pi, &spec, &cache);
+        let engine = VirtualEngine::for_pair(&pc.pairs[pi]);
+        let mut costs = Vec::new();
+        for e in pc.split(true) {
+            let t_csr = e.profiles[pi].csr_time();
+            let t_fe = e.fe_times[pi];
+            let fv = FeatureVector(e.features);
+            let nodes = tuned.model.decision_path_len(fv.as_slice());
+            let t_pred = engine.prediction_time(nodes);
+            costs.push((t_fe + t_pred) / t_csr);
+        }
+        let s = sample_stats(&costs);
+        table.row(vec![
+            pc.pairs[pi].label(),
+            format!("{:.0}", s.mean),
+            format!("{:.0}", s.std),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.q1),
+            format!("{:.0}", s.q2),
+            format!("{:.0}", s.q3),
+            format!("{:.0}", s.max),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper reference: means 2-64, Q3 <= 100 for at least 75% of matrices,");
+    println!("OpenMP pairs the most expensive, GPU pairs only a few repetitions.");
+}

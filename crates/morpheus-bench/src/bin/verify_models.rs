@@ -1,0 +1,26 @@
+//! Sanity-checks the shipped model database (`models/`): every
+//! (system, backend) pair must load through the public `ModelDatabase` API
+//! with the right feature schema.
+//!
+//! ```text
+//! cargo run --release -p morpheus-bench --bin verify_models
+//! ```
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "models".to_string());
+    let db = morpheus_oracle::ModelDatabase::new(&dir);
+    for pair in morpheus_machine::systems::all_system_backends() {
+        let tuner = db
+            .load_forest_tuner(pair.system.name, pair.backend)
+            .unwrap_or_else(|e| panic!("{}: {e}", pair.label()));
+        assert_eq!(tuner.model().n_features(), morpheus_oracle::NUM_FEATURES);
+        assert_eq!(tuner.model().n_classes(), morpheus::format::FORMAT_COUNT);
+        println!(
+            "{}: {} trees, {} nodes",
+            pair.label(),
+            tuner.model().trees().len(),
+            tuner.model().n_nodes()
+        );
+    }
+    println!("ok: all {} models load and match the feature schema", 11);
+}

@@ -1,0 +1,51 @@
+//! Experiment harness regenerating the paper's evaluation (§VII).
+//!
+//! The expensive, shared step is *profiling*: running (modelled) SpMV for
+//! every matrix in the corpus, every format and every (system, backend)
+//! pair — Figure 1's "Matrix Profiling Runs". [`pipeline`] performs it once,
+//! caches the result on disk, and derives per-pair training/test datasets
+//! from it. Each experiment binary (`fig2`, `fig3`, `fig4`, `table3`,
+//! `table4`, `fig5`, `ablation`, `sparse_tree`) then reads the cache and
+//! prints its table or figure series.
+//!
+//! Environment knobs (all optional):
+//! * `MORPHEUS_CORPUS_N` — corpus size (default 2200, the paper's scale);
+//! * `MORPHEUS_BENCH_CACHE` — cache directory (default `target/bench-cache`);
+//! * `MORPHEUS_SEED` — master seed (default the corpus crate's).
+
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{
+    dataset_for_pair, profile_corpus_cached, train_tuned_forest, ProfiledCorpus, ProfiledEntry,
+};
+
+/// Corpus size from the environment (default: paper scale, 2200).
+pub fn corpus_n_from_env() -> usize {
+    std::env::var("MORPHEUS_CORPUS_N").ok().and_then(|s| s.parse().ok()).unwrap_or(2200)
+}
+
+/// Cache directory from the environment.
+pub fn cache_dir_from_env() -> std::path::PathBuf {
+    std::env::var("MORPHEUS_BENCH_CACHE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("target/bench-cache"))
+}
+
+/// The corpus spec the experiments run on: paper scale unless overridden.
+pub fn corpus_spec_from_env() -> morpheus_corpus::CorpusSpec {
+    let n = corpus_n_from_env();
+    let mut spec = if n >= 1000 {
+        morpheus_corpus::CorpusSpec::paper_scale()
+    } else {
+        // Reduced runs keep smaller matrices so they stay fast end-to-end.
+        morpheus_corpus::CorpusSpec { min_n: 200, max_n: 20_000, ..morpheus_corpus::CorpusSpec::paper_scale() }
+    };
+    spec.n_matrices = n;
+    if let Ok(seed) = std::env::var("MORPHEUS_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            spec.seed = seed;
+        }
+    }
+    spec
+}

@@ -1,0 +1,329 @@
+//! Corpus assembly: a deterministic population of ~2200 matrices with the
+//! class mix, size range and imbalance characteristics of the paper's
+//! SuiteSparse dataset.
+
+use crate::gen::{banded, blocks, powerlaw, random, stencil};
+use morpheus::CooMatrix;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Structural family of a generated matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatrixClass {
+    /// 2D/3D Poisson and 9-point stencils.
+    Stencil,
+    /// Tridiagonal and fully-populated bands.
+    BandedFull,
+    /// Partially-populated bands.
+    BandedPartial,
+    /// A few full diagonals at random offsets.
+    MultiDiagonal,
+    /// Dominant diagonal plus random scatter.
+    DiagPlusScatter,
+    /// FEM-style dense blocks with couplings.
+    FemBlocks,
+    /// Pure block-diagonal.
+    BlockDiagonal,
+    /// Constant row degree at random columns.
+    UniformDegree,
+    /// Uniformly varying row degree.
+    VariableDegree,
+    /// Clustered near the diagonal.
+    NearDiagonal,
+    /// Erdős–Rényi scatter.
+    ErdosRenyi,
+    /// Very sparse with many empty rows.
+    Hypersparse,
+    /// Zipf-distributed row degrees.
+    ZipfRows,
+    /// R-MAT recursive graphs.
+    Rmat,
+    /// A few enormous hub rows.
+    HubRows,
+}
+
+impl MatrixClass {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatrixClass::Stencil => "stencil",
+            MatrixClass::BandedFull => "banded-full",
+            MatrixClass::BandedPartial => "banded-partial",
+            MatrixClass::MultiDiagonal => "multi-diagonal",
+            MatrixClass::DiagPlusScatter => "diag+scatter",
+            MatrixClass::FemBlocks => "fem-blocks",
+            MatrixClass::BlockDiagonal => "block-diagonal",
+            MatrixClass::UniformDegree => "uniform-degree",
+            MatrixClass::VariableDegree => "variable-degree",
+            MatrixClass::NearDiagonal => "near-diagonal",
+            MatrixClass::ErdosRenyi => "erdos-renyi",
+            MatrixClass::Hypersparse => "hypersparse",
+            MatrixClass::ZipfRows => "zipf-rows",
+            MatrixClass::Rmat => "rmat",
+            MatrixClass::HubRows => "hub-rows",
+        }
+    }
+}
+
+/// `(class, weight)` mix. Weights follow the application-domain mix of the
+/// SuiteSparse population: a majority of PDE/FEM-flavoured matrices with
+/// irregular structure (where CSR tends to win, keeping the label
+/// distribution imbalanced as in §VII-B) plus minorities of regular,
+/// hypersparse and scale-free patterns.
+const CLASS_MIX: &[(MatrixClass, u32)] = &[
+    (MatrixClass::Stencil, 3),
+    (MatrixClass::BandedFull, 2),
+    (MatrixClass::BandedPartial, 6),
+    (MatrixClass::MultiDiagonal, 1),
+    (MatrixClass::DiagPlusScatter, 4),
+    (MatrixClass::FemBlocks, 18),
+    (MatrixClass::BlockDiagonal, 3),
+    (MatrixClass::UniformDegree, 6),
+    (MatrixClass::VariableDegree, 24),
+    (MatrixClass::NearDiagonal, 8),
+    (MatrixClass::ErdosRenyi, 10),
+    (MatrixClass::Hypersparse, 5),
+    (MatrixClass::ZipfRows, 5),
+    (MatrixClass::Rmat, 3),
+    (MatrixClass::HubRows, 2),
+];
+
+/// One corpus member.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Stable index within the corpus.
+    pub id: usize,
+    /// Human-readable name (`class-id`).
+    pub name: String,
+    /// Structural family.
+    pub class: MatrixClass,
+    /// The matrix itself.
+    pub matrix: CooMatrix<f64>,
+    /// `true` if the entry belongs to the held-out test set (80/20 split,
+    /// §VII-A).
+    pub is_test: bool,
+}
+
+/// Corpus parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Number of matrices.
+    pub n_matrices: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Smallest matrix dimension drawn.
+    pub min_n: usize,
+    /// Largest matrix dimension drawn (log-uniform between the two).
+    pub max_n: usize,
+    /// Fraction of entries held out for testing.
+    pub test_fraction: f64,
+}
+
+impl CorpusSpec {
+    /// The paper-scale corpus: ~2200 matrices.
+    pub fn paper_scale() -> Self {
+        CorpusSpec { n_matrices: 2200, seed: 0x5EED_CAFE, min_n: 500, max_n: 60_000, test_fraction: 0.2 }
+    }
+
+    /// A reduced corpus for tests and examples.
+    pub fn small(n_matrices: usize) -> Self {
+        CorpusSpec { n_matrices, seed: 0x5EED_CAFE, min_n: 100, max_n: 2_000, test_fraction: 0.2 }
+    }
+
+    fn hash(&self, i: usize, salt: u64) -> u64 {
+        let mut z = self.seed ^ salt ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Generates entry `i` (deterministic in `(seed, i)` alone).
+    pub fn entry(&self, i: usize) -> CorpusEntry {
+        assert!(i < self.n_matrices, "entry {i} out of range");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.hash(i, 0xA));
+
+        // Class by weighted draw.
+        let total: u32 = CLASS_MIX.iter().map(|&(_, w)| w).sum();
+        let mut pick = rng.gen_range(0..total);
+        let mut class = CLASS_MIX[0].0;
+        for &(c, w) in CLASS_MIX {
+            if pick < w {
+                class = c;
+                break;
+            }
+            pick -= w;
+        }
+
+        // Log-uniform dimension draw.
+        let ln_lo = (self.min_n as f64).ln();
+        let ln_hi = (self.max_n as f64).ln();
+        let n = (rng.gen_range(ln_lo..ln_hi)).exp() as usize;
+        let n = n.clamp(self.min_n, self.max_n).max(16);
+
+        let matrix = match class {
+            MatrixClass::Stencil => {
+                let side = (n as f64).sqrt() as usize + 2;
+                match rng.gen_range(0..3) {
+                    0 => stencil::poisson2d(side, side),
+                    1 => {
+                        let s3 = (n as f64).cbrt() as usize + 2;
+                        stencil::poisson3d(s3, s3, s3)
+                    }
+                    _ => stencil::stencil9(side, side),
+                }
+            }
+            MatrixClass::BandedFull => {
+                if rng.gen_bool(0.4) {
+                    banded::tridiagonal(n)
+                } else {
+                    let hw = rng.gen_range(1..=6);
+                    banded::banded_full(n, hw, &mut rng)
+                }
+            }
+            MatrixClass::BandedPartial => {
+                let hw = rng.gen_range(3..=24);
+                let fill = rng.gen_range(0.1..0.7);
+                banded::banded_partial(n, hw, fill, &mut rng)
+            }
+            MatrixClass::MultiDiagonal => {
+                let nd = rng.gen_range(2..=9);
+                banded::multi_diagonal(n, nd, &mut rng)
+            }
+            MatrixClass::DiagPlusScatter => {
+                let extra = (n as f64 * rng.gen_range(0.5..4.0)) as usize;
+                banded::diag_plus_scatter(n, extra, &mut rng)
+            }
+            MatrixClass::FemBlocks => {
+                let bs = rng.gen_range(2..=6);
+                let nblocks = (n / bs).max(2);
+                let couplings = rng.gen_range(1..=3);
+                blocks::fem_blocks(nblocks, bs, couplings, &mut rng)
+            }
+            MatrixClass::BlockDiagonal => {
+                let lo = rng.gen_range(2..=4);
+                let hi = lo + rng.gen_range(1..=8);
+                blocks::block_diagonal(n, lo, hi, &mut rng)
+            }
+            MatrixClass::UniformDegree => {
+                let k = rng.gen_range(2..=24);
+                random::uniform_degree(n, k, &mut rng)
+            }
+            MatrixClass::VariableDegree => {
+                let lo = rng.gen_range(1..=4);
+                let hi = lo + rng.gen_range(2..=28);
+                random::variable_degree(n, lo, hi, &mut rng)
+            }
+            MatrixClass::NearDiagonal => {
+                let k = rng.gen_range(3..=12);
+                let spread = rng.gen_range(8.0..200.0);
+                random::near_diagonal(n, k, spread, &mut rng)
+            }
+            MatrixClass::ErdosRenyi => {
+                let nnz = (n as f64 * rng.gen_range(2.0..12.0)) as usize;
+                random::erdos_renyi(n, nnz, &mut rng)
+            }
+            MatrixClass::Hypersparse => {
+                let big_n = n * rng.gen_range(8..=40);
+                let nnz = (big_n / rng.gen_range(4..=20)).max(8);
+                random::hypersparse(big_n, nnz, &mut rng)
+            }
+            MatrixClass::ZipfRows => {
+                let nnz = n * rng.gen_range(6..=24);
+                let alpha = rng.gen_range(1.1..1.8);
+                powerlaw::zipf_rows(n, nnz, alpha, &mut rng)
+            }
+            MatrixClass::Rmat => {
+                let scale = (n as f64).log2().floor().clamp(8.0, 16.0) as u32;
+                let ef = rng.gen_range(4..=12);
+                powerlaw::rmat(scale, ef, [0.57, 0.19, 0.19, 0.05], &mut rng)
+            }
+            MatrixClass::HubRows => {
+                // Hubs live in a larger-dimension matrix (traffic-matrix
+                // shape): a few rows hold a large share of all entries.
+                let big_n = n * 8;
+                let hubs = rng.gen_range(1..=4);
+                let hub_degree = (big_n / 2).max(64);
+                let background = big_n * rng.gen_range(1..=2);
+                powerlaw::hub_rows(big_n, hubs, hub_degree, background, &mut rng)
+            }
+        };
+
+        let is_test = (self.hash(i, 0xB) % 10_000) as f64 / 10_000.0 < self.test_fraction;
+        CorpusEntry { id: i, name: format!("{}-{i:04}", class.name()), class, matrix, is_test }
+    }
+
+    /// Iterator over all entries (generated lazily; entries are large).
+    pub fn iter(&self) -> impl Iterator<Item = CorpusEntry> + '_ {
+        (0..self.n_matrices).map(move |i| self.entry(i))
+    }
+}
+
+/// The paper-scale corpus specification (~2200 matrices).
+pub fn default_corpus() -> CorpusSpec {
+    CorpusSpec::paper_scale()
+}
+
+/// A small corpus specification for tests, examples and CI.
+pub fn small_corpus(n: usize) -> CorpusSpec {
+    CorpusSpec::small(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn entries_are_deterministic() {
+        let spec = small_corpus(50);
+        let a = spec.entry(17);
+        let b = spec.entry(17);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.is_test, b.is_test);
+    }
+
+    #[test]
+    fn corpus_covers_many_classes() {
+        let spec = small_corpus(120);
+        let mut by_class: HashMap<&'static str, usize> = HashMap::new();
+        for e in spec.iter() {
+            *by_class.entry(e.class.name()).or_default() += 1;
+            assert!(e.matrix.nnz() > 0, "{} empty", e.name);
+        }
+        assert!(by_class.len() >= 10, "only {} classes: {:?}", by_class.len(), by_class.keys());
+    }
+
+    #[test]
+    fn split_fraction_roughly_respected() {
+        let spec = small_corpus(300);
+        let test_count = spec.iter().filter(|e| e.is_test).count();
+        let frac = test_count as f64 / 300.0;
+        assert!((0.12..=0.28).contains(&frac), "test fraction {frac}");
+    }
+
+    #[test]
+    fn matrices_are_square_except_hypersparse_scaling() {
+        let spec = small_corpus(60);
+        for e in spec.iter() {
+            assert_eq!(e.matrix.nrows(), e.matrix.ncols(), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn sizes_within_expected_range() {
+        let spec = small_corpus(80);
+        for e in spec.iter() {
+            // Hypersparse blows the dimension up by design (x8..x40); the
+            // stencil/rmat families round to grids/powers of two.
+            assert!(e.matrix.nrows() >= 16, "{} too small", e.name);
+            assert!(e.matrix.nrows() <= spec.max_n * 80, "{} too large: {}", e.name, e.matrix.nrows());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_entry_panics() {
+        small_corpus(5).entry(5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Banded and diagonal-dominant matrices.
+
+use crate::gen::{assemble, coeff};
+use morpheus::{CooBuilder, CooMatrix};
+use rand::Rng;
+
+/// Tridiagonal matrix of order `n`.
+pub fn tridiagonal(n: usize) -> CooMatrix<f64> {
+    let mut b = CooBuilder::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        b.push(i, i, 2.0).expect("in bounds");
+        if i > 0 {
+            b.push(i, i - 1, -1.0).expect("in bounds");
+        }
+        if i + 1 < n {
+            b.push(i, i + 1, -1.0).expect("in bounds");
+        }
+    }
+    b.build()
+}
+
+/// Full band of half-width `hw` (`2*hw + 1` dense diagonals).
+pub fn banded_full<R: Rng>(n: usize, hw: usize, rng: &mut R) -> CooMatrix<f64> {
+    let mut b = CooBuilder::with_capacity(n, n, (2 * hw + 1) * n);
+    for i in 0..n {
+        let lo = i.saturating_sub(hw);
+        let hi = (i + hw).min(n - 1);
+        for j in lo..=hi {
+            let v = if i == j { 2.0 + coeff(rng).abs() } else { coeff(rng) };
+            b.push(i, j, v).expect("in bounds");
+        }
+    }
+    b.build()
+}
+
+/// Band of half-width `hw` where each off-diagonal entry survives with
+/// probability `fill` — diagonals are only partially populated, degrading
+/// DIA (padding) while HDC can still capture the dense ones.
+pub fn banded_partial<R: Rng>(n: usize, hw: usize, fill: f64, rng: &mut R) -> CooMatrix<f64> {
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        pairs.push((i, i));
+        let lo = i.saturating_sub(hw);
+        let hi = (i + hw).min(n - 1);
+        for j in lo..=hi {
+            if j != i && rng.gen_bool(fill) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+/// Dominant main diagonal plus uniform random scatter of `extra` entries —
+/// the HDC sweet spot (one true diagonal + CSR-shaped remainder).
+pub fn diag_plus_scatter<R: Rng>(n: usize, extra: usize, rng: &mut R) -> CooMatrix<f64> {
+    let mut pairs: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+    for _ in 0..extra {
+        pairs.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+/// A few full diagonals at random offsets (not a contiguous band).
+pub fn multi_diagonal<R: Rng>(n: usize, ndiags: usize, rng: &mut R) -> CooMatrix<f64> {
+    let mut offsets = vec![0isize];
+    while offsets.len() < ndiags.max(1) {
+        let span = (n as isize - 1).max(1);
+        let off = rng.gen_range(-span..=span);
+        if !offsets.contains(&off) {
+            offsets.push(off);
+        }
+    }
+    let mut b = CooBuilder::with_capacity(n, n, n * offsets.len());
+    for &off in &offsets {
+        for i in 0..n {
+            let j = i as isize + off;
+            if j >= 0 && (j as usize) < n {
+                let v = if off == 0 { 2.0 } else { coeff(rng) };
+                b.push(i, j as usize, v).expect("in bounds");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::test_util::check_valid;
+    use morpheus::stats::stats_coo;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn tridiagonal_structure() {
+        let m = tridiagonal(50);
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert_eq!(s.ndiags, 3);
+        assert_eq!(s.nnz, 3 * 50 - 2);
+    }
+
+    #[test]
+    fn banded_full_has_expected_diagonals() {
+        let m = banded_full(100, 3, &mut rng());
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert_eq!(s.ndiags, 7);
+        assert_eq!(s.ntrue_diags, 7);
+        assert_eq!(s.row_nnz_max, 7);
+    }
+
+    #[test]
+    fn banded_partial_degrades_diagonals() {
+        // Fill 0.12 keeps off-diagonals below the 20% true-diag threshold.
+        let m = banded_partial(200, 10, 0.12, &mut rng());
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        // 21 possible diagonals, most present but only the main one full.
+        assert!(s.ndiags > 10);
+        assert!(s.ntrue_diags >= 1, "main diagonal is always full");
+        assert!(s.ntrue_diags < s.ndiags, "ntrue {} ndiags {}", s.ntrue_diags, s.ndiags);
+    }
+
+    #[test]
+    fn diag_plus_scatter_has_one_true_diagonal() {
+        let m = diag_plus_scatter(500, 800, &mut rng());
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert!(s.ntrue_diags >= 1);
+        assert!(s.ndiags > 100, "scatter should populate many diagonals");
+        assert!(s.nnz >= 500);
+    }
+
+    #[test]
+    fn multi_diagonal_counts() {
+        let m = multi_diagonal(300, 5, &mut rng());
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert_eq!(s.ndiags, 5);
+        assert!(s.ntrue_diags >= 4, "long random offsets may clip a few rows");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = banded_partial(100, 4, 0.5, &mut rng());
+        let b = banded_partial(100, 4, 0.5, &mut rng());
+        assert_eq!(a, b);
+    }
+}

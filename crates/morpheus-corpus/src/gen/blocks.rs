@@ -1,0 +1,105 @@
+//! Block-structured matrices: FEM-style coupled blocks and block-diagonal
+//! systems.
+
+use crate::gen::assemble;
+use morpheus::CooMatrix;
+use rand::Rng;
+
+/// FEM-like pattern: dense `bs x bs` blocks on the diagonal plus a few
+/// random off-diagonal coupling blocks per block-row. Diagonal-ish structure
+/// with irregular breaks — neither pure DIA nor pure scatter.
+pub fn fem_blocks<R: Rng>(nblocks: usize, bs: usize, couplings: usize, rng: &mut R) -> CooMatrix<f64> {
+    let n = nblocks * bs;
+    let mut pairs = Vec::new();
+    for b in 0..nblocks {
+        let base = b * bs;
+        // Dense diagonal block.
+        for i in 0..bs {
+            for j in 0..bs {
+                pairs.push((base + i, base + j));
+            }
+        }
+        // Random coupling blocks (symmetric placement).
+        for _ in 0..couplings {
+            let other = rng.gen_range(0..nblocks);
+            if other == b {
+                continue;
+            }
+            let obase = other * bs;
+            for i in 0..bs {
+                for j in 0..bs {
+                    pairs.push((base + i, obase + j));
+                    pairs.push((obase + i, base + j));
+                }
+            }
+        }
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+/// Pure block-diagonal matrix with variable block sizes in `lo..=hi`.
+pub fn block_diagonal<R: Rng>(n_target: usize, lo: usize, hi: usize, rng: &mut R) -> CooMatrix<f64> {
+    let mut sizes = Vec::new();
+    let mut total = 0usize;
+    while total < n_target {
+        let s = rng.gen_range(lo..=hi.max(lo)).min(n_target - total).max(1);
+        sizes.push(s);
+        total += s;
+    }
+    let mut pairs = Vec::new();
+    let mut base = 0usize;
+    for &s in &sizes {
+        for i in 0..s {
+            for j in 0..s {
+                pairs.push((base + i, base + j));
+            }
+        }
+        base += s;
+    }
+    assemble(total, total, &pairs, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::test_util::check_valid;
+    use morpheus::stats::stats_coo;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn fem_blocks_structure() {
+        let m = fem_blocks(40, 4, 2, &mut rng(1));
+        check_valid(&m);
+        assert_eq!(m.nrows(), 160);
+        let s = stats_coo(&m, 0.2);
+        // Each row has at least its dense diagonal block.
+        assert!(s.row_nnz_min >= 4);
+        // Pattern is symmetric by construction.
+        let entries: std::collections::HashSet<(usize, usize)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        for &(r, c) in entries.iter().take(500) {
+            assert!(entries.contains(&(c, r)));
+        }
+    }
+
+    #[test]
+    fn block_diagonal_covers_target() {
+        let m = block_diagonal(500, 3, 9, &mut rng(2));
+        check_valid(&m);
+        assert!(m.nrows() >= 500);
+        // Entries never leave their block: row and col within hi of each other.
+        for (r, c, _) in m.iter() {
+            assert!((r as isize - c as isize).unsigned_abs() < 9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = fem_blocks(10, 3, 1, &mut rng(3));
+        let b = fem_blocks(10, 3, 1, &mut rng(3));
+        assert_eq!(a, b);
+    }
+}

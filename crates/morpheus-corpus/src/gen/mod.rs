@@ -1,0 +1,44 @@
+//! Matrix generators, one module per structural family.
+
+pub mod banded;
+pub mod blocks;
+pub mod powerlaw;
+pub mod random;
+pub mod stencil;
+
+use morpheus::{CooBuilder, CooMatrix};
+use rand::Rng;
+
+/// Draws a nonzero coefficient value in `[-1, 1] \ {0}`.
+pub(crate) fn coeff<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let v: f64 = rng.gen_range(-1.0..=1.0);
+        if v != 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Assembles a COO matrix from `(row, col)` pairs with random coefficients,
+/// merging duplicates.
+pub(crate) fn assemble<R: Rng>(nrows: usize, ncols: usize, pairs: &[(usize, usize)], rng: &mut R) -> CooMatrix<f64> {
+    let mut b = CooBuilder::with_capacity(nrows, ncols, pairs.len());
+    for &(r, c) in pairs {
+        b.push(r, c, coeff(rng)).expect("generator produced in-bounds indices");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use morpheus::CooMatrix;
+
+    /// Structural sanity checks every generator output must satisfy.
+    pub fn check_valid(m: &CooMatrix<f64>) {
+        assert!(m.nnz() > 0, "generator produced an empty matrix");
+        for (r, c, v) in m.iter() {
+            assert!(r < m.nrows() && c < m.ncols());
+            assert!(v.is_finite() && v != 0.0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Scale-free / power-law graph matrices — the skewed row distributions
+//! where HYB wins and GPU CSR collapses (§VII-C's `mawi` case).
+
+use crate::gen::assemble;
+use morpheus::CooMatrix;
+use rand::Rng;
+
+/// Zipf-distributed row degrees: row `r`'s target degree is proportional to
+/// `1 / (rank+1)^alpha`, scaled so the total is ~`nnz_target`. Row ranks are
+/// shuffled so the heavy rows land at random positions.
+pub fn zipf_rows<R: Rng>(n: usize, nnz_target: usize, alpha: f64, rng: &mut R) -> CooMatrix<f64> {
+    // Normalising constant of the truncated zeta distribution.
+    let z: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).sum();
+    let mut ranks: Vec<usize> = (0..n).collect();
+    // Fisher-Yates with the caller's rng.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        ranks.swap(i, j);
+    }
+    let mut pairs = Vec::with_capacity(nnz_target + n);
+    for (rank, &row) in ranks.iter().enumerate() {
+        let expected = nnz_target as f64 / (rank as f64 + 1.0).powf(alpha) / z;
+        let k = (expected.round() as usize).clamp(1, n);
+        for _ in 0..k {
+            pairs.push((row, rng.gen_range(0..n)));
+        }
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+/// R-MAT / Kronecker-style recursive generator (Graph500 parameters by
+/// default) — clustered scale-free structure.
+pub fn rmat<R: Rng>(scale: u32, edge_factor: usize, probs: [f64; 4], rng: &mut R) -> CooMatrix<f64> {
+    let n = 1usize << scale;
+    let edges = n * edge_factor;
+    let mut pairs = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let (mut r, mut c) = (0usize, 0usize);
+        for _level in 0..scale {
+            let p: f64 = rng.gen_range(0.0..1.0);
+            let (dr, dc) = if p < probs[0] {
+                (0, 0)
+            } else if p < probs[0] + probs[1] {
+                (0, 1)
+            } else if p < probs[0] + probs[1] + probs[2] {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r = (r << 1) | dr;
+            c = (c << 1) | dc;
+        }
+        pairs.push((r, c));
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+/// A handful of hub rows/columns holding most entries over a light random
+/// background — an extreme `mawi`-like traffic-matrix shape.
+pub fn hub_rows<R: Rng>(n: usize, hubs: usize, hub_degree: usize, background: usize, rng: &mut R) -> CooMatrix<f64> {
+    let mut pairs = Vec::with_capacity(hubs * hub_degree + background);
+    for h in 0..hubs {
+        let row = rng.gen_range(0..n);
+        let deg = hub_degree / (h + 1); // geometric-ish decay of hub sizes
+        for _ in 0..deg.max(1) {
+            pairs.push((row, rng.gen_range(0..n)));
+        }
+    }
+    for _ in 0..background {
+        pairs.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::test_util::check_valid;
+    use morpheus::stats::stats_coo;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_rows_are_skewed() {
+        let m = zipf_rows(2000, 20_000, 1.3, &mut rng(1));
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert!(
+            s.row_nnz_max as f64 > 20.0 * s.row_nnz_mean,
+            "max {} vs mean {}",
+            s.row_nnz_max,
+            s.row_nnz_mean
+        );
+        assert!(s.row_nnz_std > s.row_nnz_mean, "heavy tail expected");
+    }
+
+    #[test]
+    fn rmat_shape_and_skew() {
+        let m = rmat(10, 8, [0.57, 0.19, 0.19, 0.05], &mut rng(2));
+        check_valid(&m);
+        assert_eq!(m.nrows(), 1024);
+        let s = stats_coo(&m, 0.2);
+        assert!(s.row_nnz_max > 4 * (s.row_nnz_mean.ceil() as usize));
+    }
+
+    #[test]
+    fn hub_rows_concentrate_mass() {
+        let m = hub_rows(5000, 3, 4000, 2000, &mut rng(3));
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        // The biggest hub should hold a large share of all entries.
+        assert!(s.row_nnz_max as f64 > 0.2 * s.nnz as f64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(8, 4, [0.57, 0.19, 0.19, 0.05], &mut rng(7));
+        let b = rmat(8, 4, [0.57, 0.19, 0.19, 0.05], &mut rng(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Unstructured random matrices: uniform-degree (ELL-friendly),
+//! Erdős–Rényi scatter and hypersparse patterns (COO-friendly).
+
+use crate::gen::assemble;
+use morpheus::CooMatrix;
+use rand::Rng;
+
+/// Every row gets exactly `per_row` entries at uniform random columns —
+/// the semi-structured shape ELL is built for (§II-B).
+pub fn uniform_degree<R: Rng>(n: usize, per_row: usize, rng: &mut R) -> CooMatrix<f64> {
+    let mut pairs = Vec::with_capacity(n * per_row);
+    for r in 0..n {
+        for _ in 0..per_row {
+            pairs.push((r, rng.gen_range(0..n)));
+        }
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+/// Row degrees drawn uniformly from `lo..=hi` — mildly irregular rows.
+pub fn variable_degree<R: Rng>(n: usize, lo: usize, hi: usize, rng: &mut R) -> CooMatrix<f64> {
+    let mut pairs = Vec::new();
+    for r in 0..n {
+        let k = rng.gen_range(lo..=hi.max(lo));
+        for _ in 0..k {
+            pairs.push((r, rng.gen_range(0..n)));
+        }
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+/// Erdős–Rényi scatter with ~`nnz` entries anywhere in the matrix.
+pub fn erdos_renyi<R: Rng>(n: usize, nnz: usize, rng: &mut R) -> CooMatrix<f64> {
+    let mut pairs = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        pairs.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+/// Hypersparse: `nnz` entries scattered over a matrix with vastly more
+/// rows than entries ("very sparse matrices with many empty rows", the COO
+/// case of §IV-A).
+pub fn hypersparse<R: Rng>(n: usize, nnz: usize, rng: &mut R) -> CooMatrix<f64> {
+    assert!(nnz * 8 <= n.saturating_mul(n), "too dense for hypersparse");
+    erdos_renyi(n, nnz, rng)
+}
+
+/// Entries clustered near the diagonal with geometric column offsets —
+/// locality-rich but not strictly banded (FEM-on-good-mesh flavour).
+pub fn near_diagonal<R: Rng>(n: usize, per_row: usize, spread: f64, rng: &mut R) -> CooMatrix<f64> {
+    let mut pairs = Vec::with_capacity(n * per_row);
+    for r in 0..n {
+        pairs.push((r, r));
+        for _ in 1..per_row {
+            // Two-sided geometric-ish offset.
+            let mag = (rng.gen_range(0.0f64..1.0).powi(2) * spread) as isize + 1;
+            let off = if rng.gen_bool(0.5) { mag } else { -mag };
+            let j = (r as isize + off).clamp(0, n as isize - 1) as usize;
+            pairs.push((r, j));
+        }
+    }
+    assemble(n, n, &pairs, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::test_util::check_valid;
+    use morpheus::stats::stats_coo;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_degree_rows_regular() {
+        let m = uniform_degree(400, 6, &mut rng(1));
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        // Duplicate collisions can shave a few entries off a row.
+        assert!(s.row_nnz_max <= 6);
+        assert!(s.row_nnz_min >= 4);
+        assert!(s.row_nnz_std < 1.0, "std {}", s.row_nnz_std);
+    }
+
+    #[test]
+    fn variable_degree_bounds_respected() {
+        let m = variable_degree(300, 2, 12, &mut rng(2));
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert!(s.row_nnz_max <= 12);
+        assert!(s.row_nnz_min >= 1);
+    }
+
+    #[test]
+    fn erdos_renyi_is_unstructured() {
+        let m = erdos_renyi(500, 2500, &mut rng(3));
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert_eq!(s.ntrue_diags, 0, "scatter should have no true diagonals");
+        assert!(s.ndiags > 400);
+    }
+
+    #[test]
+    fn hypersparse_mostly_empty_rows() {
+        let m = hypersparse(10_000, 600, &mut rng(4));
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert_eq!(s.row_nnz_min, 0);
+        assert!(s.row_nnz_mean < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too dense")]
+    fn hypersparse_guards_density() {
+        hypersparse(10, 1000, &mut rng(5));
+    }
+
+    #[test]
+    fn near_diagonal_has_locality() {
+        let m = near_diagonal(1000, 8, 30.0, &mut rng(6));
+        check_valid(&m);
+        // Columns should concentrate near the diagonal.
+        let close =
+            m.iter().filter(|&(r, c, _)| (r as isize - c as isize).unsigned_abs() <= 31).count();
+        assert!(close == m.nnz(), "all entries within spread");
+    }
+}

@@ -1,0 +1,134 @@
+//! Regular stencil matrices from structured-grid PDE discretisations —
+//! full-diagonal patterns where DIA shines.
+
+use morpheus::{CooBuilder, CooMatrix};
+
+/// 5-point 2D Poisson stencil on an `nx x ny` grid (matrix is
+/// `nx*ny x nx*ny`, SPD, tridiagonal-with-fringes).
+pub fn poisson2d(nx: usize, ny: usize) -> CooMatrix<f64> {
+    let n = nx * ny;
+    let mut b = CooBuilder::with_capacity(n, n, 5 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            b.push(i, i, 4.0).expect("in bounds");
+            if x > 0 {
+                b.push(i, i - 1, -1.0).expect("in bounds");
+            }
+            if x + 1 < nx {
+                b.push(i, i + 1, -1.0).expect("in bounds");
+            }
+            if y > 0 {
+                b.push(i, i - nx, -1.0).expect("in bounds");
+            }
+            if y + 1 < ny {
+                b.push(i, i + nx, -1.0).expect("in bounds");
+            }
+        }
+    }
+    b.build()
+}
+
+/// 7-point 3D Poisson stencil on an `nx x ny x nz` grid.
+pub fn poisson3d(nx: usize, ny: usize, nz: usize) -> CooMatrix<f64> {
+    let n = nx * ny * nz;
+    let mut b = CooBuilder::with_capacity(n, n, 7 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = (z * ny + y) * nx + x;
+                b.push(i, i, 6.0).expect("in bounds");
+                if x > 0 {
+                    b.push(i, i - 1, -1.0).expect("in bounds");
+                }
+                if x + 1 < nx {
+                    b.push(i, i + 1, -1.0).expect("in bounds");
+                }
+                if y > 0 {
+                    b.push(i, i - nx, -1.0).expect("in bounds");
+                }
+                if y + 1 < ny {
+                    b.push(i, i + nx, -1.0).expect("in bounds");
+                }
+                if z > 0 {
+                    b.push(i, i - nx * ny, -1.0).expect("in bounds");
+                }
+                if z + 1 < nz {
+                    b.push(i, i + nx * ny, -1.0).expect("in bounds");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// 9-point 2D stencil (adds the diagonal neighbours).
+pub fn stencil9(nx: usize, ny: usize) -> CooMatrix<f64> {
+    let n = nx * ny;
+    let mut b = CooBuilder::with_capacity(n, n, 9 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let (xx, yy) = (x as isize + dx, y as isize + dy);
+                    if xx < 0 || yy < 0 || xx >= nx as isize || yy >= ny as isize {
+                        continue;
+                    }
+                    let j = (yy as usize) * nx + xx as usize;
+                    let v = if i == j { 8.0 } else { -1.0 };
+                    b.push(i, j, v).expect("in bounds");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::test_util::check_valid;
+    use morpheus::stats::stats_coo;
+
+    #[test]
+    fn poisson2d_structure() {
+        let m = poisson2d(10, 10);
+        check_valid(&m);
+        assert_eq!(m.nrows(), 100);
+        // Interior rows have 5 entries; 5 diagonals total.
+        let s = stats_coo(&m, 0.2);
+        assert_eq!(s.row_nnz_max, 5);
+        assert_eq!(s.ndiags, 5);
+        assert_eq!(s.ntrue_diags, 5);
+        assert_eq!(s.nnz, 5 * 100 - 4 * 10); // 4 boundary edges of 10 cells
+    }
+
+    #[test]
+    fn poisson3d_structure() {
+        let m = poisson3d(5, 5, 5);
+        check_valid(&m);
+        assert_eq!(m.nrows(), 125);
+        let s = stats_coo(&m, 0.2);
+        assert_eq!(s.ndiags, 7);
+        assert_eq!(s.row_nnz_max, 7);
+    }
+
+    #[test]
+    fn stencil9_has_nine_diagonals() {
+        let m = stencil9(8, 8);
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        assert_eq!(s.ndiags, 9);
+        assert_eq!(s.row_nnz_max, 9);
+    }
+
+    #[test]
+    fn symmetric_pattern() {
+        let m = poisson2d(6, 4);
+        let entries: std::collections::HashSet<(usize, usize)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        for &(r, c) in &entries {
+            assert!(entries.contains(&(c, r)), "asymmetric at ({r},{c})");
+        }
+    }
+}

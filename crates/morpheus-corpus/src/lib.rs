@@ -1,0 +1,27 @@
+//! Synthetic SuiteSparse stand-in (§III-A, §VII-A).
+//!
+//! The paper trains on "approximately 2200 real-valued, square matrices of
+//! varying sizes, sparsity patterns and different application domains,
+//! available from the SuiteSparse Collection". That collection cannot be
+//! bundled here, so this crate generates a deterministic corpus spanning the
+//! same structural regions:
+//!
+//! * regular stencils (2D/3D Poisson, 9-point) — the DIA-friendly region;
+//! * banded systems with full or partially filled bands;
+//! * FEM-like block matrices with irregular diagonal structure;
+//! * uniform-degree random matrices (ELL-friendly);
+//! * Erdős–Rényi random scatter;
+//! * power-law / scale-free graphs, including `mawi`-like hub rows
+//!   (the CSR-on-GPU pathology of §VII-C);
+//! * hypersparse matrices with many empty rows (COO-friendly);
+//! * dominant-diagonal + scatter mixtures (HDC-friendly);
+//! * block-diagonal matrices and a few degenerate shapes.
+//!
+//! Every matrix derives from a `(corpus seed, index)` pair; regenerating the
+//! corpus is bit-reproducible. Real SuiteSparse `.mtx` files can be mixed in
+//! via `morpheus::io` if available.
+
+pub mod corpus;
+pub mod gen;
+
+pub use corpus::{default_corpus, small_corpus, CorpusEntry, CorpusSpec, MatrixClass};

@@ -1,0 +1,343 @@
+//! Structural analysis of a matrix, computed once and shared by all format
+//! cost models.
+//!
+//! Everything the CPU and GPU models need is derived in a single pass over a
+//! COO view of the matrix: the row-length histogram, diagonal populations,
+//! the `x`-gather locality, per-format padding geometry, the HYB/HDC split
+//! parameters, and the warp-divergence statistics of the GPU CSR kernel.
+
+use morpheus::hdc::true_diag_threshold;
+use morpheus::hyb::optimal_hyb_width;
+use morpheus::stats::MatrixStats;
+use morpheus::{DynamicMatrix, Scalar};
+
+/// GPU warp width used by the SIMT model (both vendors schedule SpMV
+/// row-kernels in 32-wide groups; MI100 wavefronts are 64 but rocSPARSE maps
+/// rows in 32-groups for these kernels, and the distinction is absorbed by
+/// calibration).
+pub const WARP: usize = 32;
+
+/// Pre-computed structural facts about one matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixAnalysis {
+    /// Table-I statistics (shape, row distribution, diagonals).
+    pub stats: MatrixStats,
+    /// Non-zeros per row.
+    pub row_hist: Vec<u32>,
+    /// Fraction of entries whose column index is within one cache line
+    /// (8 doubles) of the previous entry in the same row — the probability
+    /// an `x`-gather hits an already-fetched line.
+    pub locality: f64,
+    /// ELL width (max row length).
+    pub ell_width: usize,
+    /// HYB split width `K_H` chosen by the storage-optimal rule.
+    pub hyb_width: usize,
+    /// Entries spilling to the HYB COO portion.
+    pub hyb_coo_nnz: usize,
+    /// True diagonals (HDC DIA portion).
+    pub hdc_ntrue: usize,
+    /// Entries stored in the HDC DIA portion.
+    pub hdc_dia_nnz: usize,
+    /// Entries in the HDC CSR remainder.
+    pub hdc_csr_nnz: usize,
+    /// `Σ_warp max(row nnz)`: iterations the scalar CSR GPU kernel spends,
+    /// counting divergence (idle lanes wait for the longest row in the
+    /// 32-row group).
+    pub warp_iters_csr: u64,
+    /// Same statistic for the HDC CSR remainder.
+    pub warp_iters_hdc_csr: u64,
+    /// Mean row length of the HDC CSR remainder.
+    pub hdc_csr_mean_row: f64,
+    /// Maximum row length of the HDC CSR remainder (drives its imbalance
+    /// and GPU tail-latency terms).
+    pub hdc_csr_max_row: usize,
+    /// Prefix sums of `row_hist` (`row_prefix[i]` = entries in rows `< i`),
+    /// for O(threads) static-partition imbalance queries.
+    pub row_prefix: Vec<u64>,
+}
+
+impl MatrixAnalysis {
+    /// Load imbalance of an OpenMP `schedule(static)` row partition into
+    /// `threads` contiguous chunks: slowest chunk's entries over the mean.
+    /// This is the partition Morpheus' OpenMP CSR kernel uses, and it is
+    /// what lets regular formats beat CSR on skewed matrices (§VII-C).
+    pub fn static_row_imbalance(&self, threads: usize) -> f64 {
+        let nrows = self.stats.nrows;
+        let nnz = self.stats.nnz as f64;
+        if threads <= 1 || nrows == 0 || nnz == 0.0 {
+            return 1.0;
+        }
+        let threads = threads.min(nrows);
+        let mean = nnz / threads as f64;
+        let mut worst = 0u64;
+        for t in 0..threads {
+            let lo = t * nrows / threads;
+            let hi = (t + 1) * nrows / threads;
+            let chunk = self.row_prefix[hi] - self.row_prefix[lo];
+            worst = worst.max(chunk);
+        }
+        (worst as f64 / mean).max(1.0)
+    }
+
+    /// Structural non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.stats.nnz
+    }
+
+    /// Rows.
+    pub fn nrows(&self) -> usize {
+        self.stats.nrows
+    }
+
+    /// Columns.
+    pub fn ncols(&self) -> usize {
+        self.stats.ncols
+    }
+
+    /// ELL padded slots (`width * nrows`).
+    pub fn ell_padded(&self) -> usize {
+        self.ell_width * self.stats.nrows
+    }
+
+    /// DIA padded slots (`ndiags * nrows`).
+    pub fn dia_padded(&self) -> usize {
+        self.stats.ndiags * self.stats.nrows
+    }
+
+    /// HYB ELL-portion padded slots.
+    pub fn hyb_padded(&self) -> usize {
+        self.hyb_width * self.stats.nrows
+    }
+
+    /// HDC DIA-portion padded slots.
+    pub fn hdc_padded(&self) -> usize {
+        self.hdc_ntrue * self.stats.nrows
+    }
+
+    /// Mean non-zeros per row (0 for empty).
+    pub fn mean_row(&self) -> f64 {
+        self.stats.row_nnz_mean
+    }
+}
+
+/// Warp-divergence statistic: sum over consecutive 32-row groups of the
+/// maximum row length in the group.
+fn warp_divergence_iters(row_hist: &[u32]) -> u64 {
+    row_hist.chunks(WARP).map(|w| w.iter().copied().max().unwrap_or(0) as u64).sum()
+}
+
+/// Analyses a matrix with the default true-diagonal fraction.
+pub fn analyze<V: Scalar>(m: &DynamicMatrix<V>) -> MatrixAnalysis {
+    analyze_with_alpha(m, morpheus::hdc::DEFAULT_TRUE_DIAG_ALPHA)
+}
+
+/// Analyses a matrix with an explicit true-diagonal fraction `alpha`.
+pub fn analyze_with_alpha<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> MatrixAnalysis {
+    let coo = m.to_coo();
+    let (nrows, ncols) = (coo.nrows(), coo.ncols());
+    let nnz = coo.nnz();
+
+    let mut row_hist = vec![0u32; nrows];
+    let diag_slots = if nrows == 0 || ncols == 0 { 0 } else { nrows + ncols - 1 };
+    let mut diag_pop = vec![0u32; diag_slots];
+    let mut local_hits = 0usize;
+    {
+        let rows = coo.row_indices();
+        let cols = coo.col_indices();
+        for i in 0..nnz {
+            let (r, c) = (rows[i], cols[i]);
+            row_hist[r] += 1;
+            diag_pop[c + nrows - 1 - r] += 1;
+            if i > 0 && rows[i - 1] == r && c - cols[i - 1] <= 8 {
+                local_hits += 1;
+            }
+        }
+    }
+    let locality = if nnz == 0 { 1.0 } else { local_hits as f64 / nnz as f64 };
+
+    // Row-distribution summary.
+    let row_min = row_hist.iter().copied().min().unwrap_or(0) as usize;
+    let row_max = row_hist.iter().copied().max().unwrap_or(0) as usize;
+    let mean = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+    let var = if nrows == 0 {
+        0.0
+    } else {
+        row_hist.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / nrows as f64
+    };
+
+    // Diagonal summary + HDC split.
+    let threshold = true_diag_threshold(nrows, ncols, alpha) as u32;
+    let mut ndiags = 0usize;
+    let mut ntrue = 0usize;
+    let mut dia_nnz = 0usize;
+    for &p in &diag_pop {
+        if p > 0 {
+            ndiags += 1;
+            if p >= threshold {
+                ntrue += 1;
+                dia_nnz += p as usize;
+            }
+        }
+    }
+    let hdc_csr_nnz = nnz - dia_nnz;
+
+    let stats = MatrixStats {
+        nrows,
+        ncols,
+        nnz,
+        row_nnz_min: row_min,
+        row_nnz_max: row_max,
+        row_nnz_mean: mean,
+        row_nnz_std: var.sqrt(),
+        ndiags,
+        ntrue_diags: ntrue,
+        true_diag_alpha: alpha,
+    };
+
+    // HYB split width and surplus.
+    let row_hist_usize: Vec<usize> = row_hist.iter().map(|&c| c as usize).collect();
+    let hyb_width = optimal_hyb_width(&row_hist_usize, std::mem::size_of::<V>());
+    let hyb_coo_nnz: usize = row_hist_usize.iter().map(|&l| l.saturating_sub(hyb_width)).sum();
+
+    // HDC CSR remainder's row histogram: subtract each true diagonal's
+    // contribution (one entry per in-bounds row on that diagonal).
+    let mut hdc_csr_hist = row_hist.clone();
+    if ntrue > 0 {
+        let rows = coo.row_indices();
+        let cols = coo.col_indices();
+        for i in 0..nnz {
+            let slot = cols[i] + nrows - 1 - rows[i];
+            if diag_pop[slot] >= threshold {
+                hdc_csr_hist[rows[i]] -= 1;
+            }
+        }
+    }
+    let hdc_csr_mean_row = if nrows == 0 { 0.0 } else { hdc_csr_nnz as f64 / nrows as f64 };
+    let hdc_csr_max_row = hdc_csr_hist.iter().copied().max().unwrap_or(0) as usize;
+
+    let mut row_prefix = Vec::with_capacity(nrows + 1);
+    row_prefix.push(0u64);
+    let mut acc = 0u64;
+    for &c in &row_hist {
+        acc += c as u64;
+        row_prefix.push(acc);
+    }
+
+    MatrixAnalysis {
+        warp_iters_csr: warp_divergence_iters(&row_hist),
+        warp_iters_hdc_csr: warp_divergence_iters(&hdc_csr_hist),
+        stats,
+        row_hist,
+        locality,
+        ell_width: row_max,
+        hyb_width,
+        hyb_coo_nnz,
+        hdc_ntrue: ntrue,
+        hdc_dia_nnz: dia_nnz,
+        hdc_csr_nnz,
+        hdc_csr_mean_row,
+        hdc_csr_max_row,
+        row_prefix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus::CooMatrix;
+
+    fn tridiag(n: usize) -> DynamicMatrix<f64> {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..n {
+            for d in [-1isize, 0, 1] {
+                let j = i as isize + d;
+                if j >= 0 && (j as usize) < n {
+                    rows.push(i);
+                    cols.push(j as usize);
+                    vals.push(1.0);
+                }
+            }
+        }
+        DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap())
+    }
+
+    #[test]
+    fn tridiagonal_analysis() {
+        let a = analyze(&tridiag(100));
+        assert_eq!(a.stats.ndiags, 3);
+        assert_eq!(a.stats.ntrue_diags, 3);
+        assert_eq!(a.ell_width, 3);
+        assert_eq!(a.hdc_csr_nnz, 0);
+        assert_eq!(a.hdc_dia_nnz, a.nnz());
+        // Tridiagonal columns are adjacent -> high gather locality.
+        assert!(a.locality > 0.6, "locality {}", a.locality);
+        // No divergence: warp iterations equal 3 per warp except boundaries.
+        assert_eq!(a.warp_iters_csr, (100usize.div_ceil(32) * 3) as u64);
+        assert_eq!(a.warp_iters_hdc_csr, 0);
+    }
+
+    #[test]
+    fn skewed_matrix_divergence() {
+        // 64 rows: 63 singletons + one row of 1000 entries.
+        let n = 64usize;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for r in 0..n - 1 {
+            rows.push(r);
+            cols.push((r * 7) % n);
+        }
+        // Dense-ish last row in a wider matrix space.
+        let m = 1024usize;
+        for c in 0..1000 {
+            rows.push(n - 1);
+            cols.push(c % m);
+        }
+        let vals = vec![1.0; rows.len()];
+        let coo = CooMatrix::from_triplets(n, m, &rows, &cols, &vals).unwrap();
+        let a = analyze(&DynamicMatrix::from(coo));
+        // Warp 0: max 1; warp 1: contains the dense row -> max 1000.
+        assert_eq!(a.warp_iters_csr, 1 + 1000);
+        assert_eq!(a.ell_width, 1000);
+        // HYB spills the dense row's surplus to COO.
+        assert!(a.hyb_width <= 2);
+        assert!(a.hyb_coo_nnz >= 998);
+    }
+
+    #[test]
+    fn scattered_matrix_low_locality() {
+        // Deterministic scatter with large strides between columns.
+        let n = 500usize;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for r in 0..n {
+            for k in 0..4usize {
+                rows.push(r);
+                cols.push((r * 131 + k * 97) % n);
+            }
+        }
+        let vals = vec![1.0; rows.len()];
+        let coo = CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+        let a = analyze(&DynamicMatrix::from(coo));
+        assert!(a.locality < 0.3, "locality {}", a.locality);
+        assert!(a.stats.ndiags > 100);
+        assert_eq!(a.stats.ntrue_diags, 0);
+    }
+
+    #[test]
+    fn empty_matrix_analysis() {
+        let m = DynamicMatrix::from(CooMatrix::<f64>::new(10, 10));
+        let a = analyze(&m);
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.warp_iters_csr, 0);
+        assert_eq!(a.ell_padded(), 0);
+        assert_eq!(a.locality, 1.0);
+    }
+
+    #[test]
+    fn hdc_split_partitions_nnz() {
+        let a = analyze(&tridiag(64));
+        assert_eq!(a.hdc_dia_nnz + a.hdc_csr_nnz, a.nnz());
+    }
+}

@@ -1,0 +1,358 @@
+//! The virtual execution engine: one per (system, backend) pair.
+
+use crate::analyze::MatrixAnalysis;
+use crate::calib::Calibration;
+use crate::spec::{Backend, SystemBackend, SystemProfile};
+use crate::{cpu, gpu};
+use morpheus::format::{FormatId, ALL_FORMATS, FORMAT_COUNT};
+
+/// Padding-viability rule shared with `morpheus::ConvertOptions`: DIA/ELL
+/// style storage is considered non-viable when it would need more than
+/// `max(20 * nnz, 4096)` padded slots. The profiling harness skips such
+/// formats, exactly as a conversion failure would on the real systems.
+pub fn padding_viable(padded: usize, nnz: usize) -> bool {
+    padded <= (20usize.saturating_mul(nnz)).max(4096)
+}
+
+/// Result of profiling one matrix on one engine: the per-format runtimes of
+/// a single SpMV (None = format not viable) and the winner.
+#[derive(Debug, Clone)]
+pub struct ProfileResult {
+    /// Modelled seconds per SpMV, indexed by `FormatId::index()`.
+    pub times: [Option<f64>; FORMAT_COUNT],
+    /// The optimal (minimum-time) format.
+    pub optimal: FormatId,
+}
+
+impl ProfileResult {
+    /// Runtime of the optimal format.
+    pub fn optimal_time(&self) -> f64 {
+        self.times[self.optimal.index()].expect("optimal format is viable")
+    }
+
+    /// Runtime of CSR (always viable), the paper's baseline format.
+    pub fn csr_time(&self) -> f64 {
+        self.times[FormatId::Csr.index()].expect("CSR is always viable")
+    }
+
+    /// Speedup of the optimal format over CSR (≥ 1).
+    pub fn optimal_speedup(&self) -> f64 {
+        self.csr_time() / self.optimal_time()
+    }
+}
+
+/// A simulated (system, backend) execution engine with a deterministic
+/// virtual clock.
+///
+/// All times are modelled from matrix structure (see the crate docs); a
+/// small deterministic log-normal perturbation (default σ = 3%) stands in
+/// for run-to-run machine noise so that near-ties between formats resolve
+/// differently across systems, as they do in the paper's Figure 2.
+#[derive(Debug, Clone)]
+pub struct VirtualEngine {
+    system: SystemProfile,
+    backend: Backend,
+    calib: Calibration,
+    noise_sigma: f64,
+    noise_seed: u64,
+}
+
+impl VirtualEngine {
+    /// Engine for `backend` on `system` with default calibration and noise.
+    ///
+    /// # Panics
+    /// If the system does not support the backend (e.g. CUDA on ARCHER2).
+    pub fn new(system: SystemProfile, backend: Backend) -> Self {
+        assert!(system.supports(backend), "{} does not support {backend}", system.name);
+        VirtualEngine { system, backend, calib: Calibration::default(), noise_sigma: 0.02, noise_seed: 0x5EED }
+    }
+
+    /// Engine for a [`SystemBackend`] pair.
+    pub fn for_pair(pair: &SystemBackend) -> Self {
+        VirtualEngine::new(pair.system.clone(), pair.backend)
+    }
+
+    /// Replaces the calibration constants.
+    pub fn with_calibration(mut self, calib: Calibration) -> Self {
+        self.calib = calib;
+        self
+    }
+
+    /// Sets the noise level (σ of the log-normal factor; 0 disables noise).
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
+        self.noise_sigma = sigma;
+        self.noise_seed = seed;
+        self
+    }
+
+    /// The simulated system.
+    pub fn system(&self) -> &SystemProfile {
+        &self.system
+    }
+
+    /// The simulated backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// `"System/Backend"` label.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.system.name, self.backend)
+    }
+
+    /// Deterministic log-normal noise factor for (matrix, format).
+    fn noise(&self, a: &MatrixAnalysis, fmt: FormatId) -> f64 {
+        if self.noise_sigma == 0.0 {
+            return 1.0;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.noise_seed;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        };
+        mix(a.nrows() as u64);
+        mix(a.ncols() as u64);
+        mix(a.nnz() as u64);
+        mix(a.stats.ndiags as u64);
+        mix(fmt.index() as u64);
+        mix(self.backend as u64);
+        for b in self.system.name.bytes() {
+            mix(b as u64);
+        }
+        // Two uniforms -> one standard normal (Box-Muller).
+        let u1 = ((h >> 11) as f64 + 1.0) / (u64::MAX >> 11) as f64;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+        let u2 = ((h >> 11) as f64 + 1.0) / (u64::MAX >> 11) as f64;
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.noise_sigma * z).exp()
+    }
+
+    /// Modelled seconds for one SpMV in `fmt`, including noise. Does not
+    /// check viability — see [`VirtualEngine::is_viable`].
+    pub fn spmv_time(&self, fmt: FormatId, a: &MatrixAnalysis) -> f64 {
+        let base = match self.backend {
+            Backend::Serial => cpu::spmv_time(&self.system.cpu, 1, &self.calib, fmt, a),
+            Backend::OpenMp => cpu::spmv_time(&self.system.cpu, self.system.cpu.cores, &self.calib, fmt, a),
+            b => {
+                let dev = self.system.gpu_for(b).expect("backend support checked at construction");
+                gpu::spmv_time(dev, &self.calib, fmt, a)
+            }
+        };
+        base * self.noise(a, fmt)
+    }
+
+    /// `true` when the format's padded storage passes the fill guard.
+    pub fn is_viable(&self, fmt: FormatId, a: &MatrixAnalysis) -> bool {
+        let nnz = a.nnz();
+        match fmt {
+            FormatId::Dia => padding_viable(a.dia_padded(), nnz),
+            FormatId::Ell => padding_viable(a.ell_padded(), nnz),
+            FormatId::Hyb => padding_viable(a.hyb_padded(), nnz),
+            FormatId::Hdc => padding_viable(a.hdc_padded(), nnz),
+            _ => true,
+        }
+    }
+
+    /// Profiles all formats on this engine (the paper's "profiling runs",
+    /// §III-A): per-format single-SpMV time, skipping non-viable formats,
+    /// plus the winner.
+    pub fn profile(&self, a: &MatrixAnalysis) -> ProfileResult {
+        let mut times = [None; FORMAT_COUNT];
+        let mut best = FormatId::Csr;
+        let mut best_t = f64::INFINITY;
+        for fmt in ALL_FORMATS {
+            if !self.is_viable(fmt, a) {
+                continue;
+            }
+            let t = self.spmv_time(fmt, a);
+            times[fmt.index()] = Some(t);
+            if t < best_t {
+                best_t = t;
+                best = fmt;
+            }
+        }
+        ProfileResult { times, optimal: best }
+    }
+
+    /// Modelled cost of the on-line feature-extraction pass (§VI-C) over a
+    /// matrix stored in `active` format.
+    ///
+    /// The pass streams the format's arrays once and maintains row/diagonal
+    /// histograms; the histogram updates are scalar work that does not
+    /// parallelise well, which is why the OpenMP backends pay relatively
+    /// more here than in SpMV (visible in Table IV).
+    pub fn feature_extraction_time(&self, active: FormatId, a: &MatrixAnalysis) -> f64 {
+        let nnz = a.nnz() as f64;
+        let bytes = match active {
+            FormatId::Coo => nnz * 24.0,
+            FormatId::Csr => nnz * 16.0 + (a.nrows() as f64 + 1.0) * 8.0,
+            FormatId::Dia => a.dia_padded() as f64 * 8.0,
+            FormatId::Ell => a.ell_padded() as f64 * 16.0,
+            FormatId::Hyb => a.hyb_padded() as f64 * 16.0 + a.hyb_coo_nnz as f64 * 24.0,
+            FormatId::Hdc => a.hdc_padded() as f64 * 8.0 + a.hdc_csr_nnz as f64 * 16.0,
+        };
+        match self.backend {
+            Backend::Serial => {
+                let f = self.system.cpu.freq_ghz * 1e9;
+                bytes / self.system.cpu.bandwidth(1) + nnz * self.calib.fe_cycles_per_entry / f
+            }
+            Backend::OpenMp => {
+                let cores = self.system.cpu.cores;
+                let f = self.system.cpu.freq_ghz * 1e9;
+                // Streaming parallelises; histogram merging is serialised and
+                // several stats kernels each pay a fork/barrier.
+                bytes / self.system.cpu.bandwidth(cores)
+                    + nnz * self.calib.fe_cycles_per_entry / f
+                    + 3.0 * (self.calib.omp_base_overhead + cores as f64 * self.calib.omp_per_core_overhead)
+            }
+            b => {
+                let dev = self.system.gpu_for(b).expect("checked");
+                // Streamed on-device (no transfers, §VI-C), plus a few kernel
+                // launches and a reduced result read-back.
+                bytes / dev.bandwidth() + 3.0 * self.calib.gpu_launch_overhead + 10.0e-6
+            }
+        }
+    }
+
+    /// Modelled cost of evaluating a tree-ensemble model that visits
+    /// `nodes_visited` internal nodes (runs on the host CPU).
+    pub fn prediction_time(&self, nodes_visited: usize) -> f64 {
+        self.calib.predict_base + nodes_visited as f64 * self.calib.predict_per_node
+    }
+
+    /// Modelled cost of converting a matrix from `from` to `to` (read +
+    /// permute + write of both representations' bytes). Used by the
+    /// run-first tuner's cost accounting.
+    pub fn conversion_time(&self, from: FormatId, to: FormatId, a: &MatrixAnalysis) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let footprint = |fmt: FormatId| -> f64 {
+            let nnz = a.nnz() as f64;
+            match fmt {
+                FormatId::Coo => nnz * 24.0,
+                FormatId::Csr => nnz * 16.0 + (a.nrows() as f64 + 1.0) * 8.0,
+                FormatId::Dia => a.dia_padded() as f64 * 8.0,
+                FormatId::Ell => a.ell_padded() as f64 * 16.0,
+                FormatId::Hyb => a.hyb_padded() as f64 * 16.0 + a.hyb_coo_nnz as f64 * 24.0,
+                FormatId::Hdc => a.hdc_padded() as f64 * 8.0 + a.hdc_csr_nnz as f64 * 16.0,
+            }
+        };
+        let bytes = (footprint(from) + footprint(to)) * self.calib.convert_byte_factor;
+        // Conversions run on the host CPU (device conversions would add
+        // transfers; Morpheus converts host-side).
+        let threads = match self.backend {
+            Backend::OpenMp => self.system.cpu.cores,
+            _ => 1,
+        };
+        bytes / self.system.cpu.bandwidth(threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::systems;
+    use morpheus::{CooMatrix, DynamicMatrix};
+
+    fn sample(n: usize, per_row: usize) -> MatrixAnalysis {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for r in 0..n {
+            for k in 0..per_row {
+                rows.push(r);
+                cols.push((r * 31 + k * 1009) % n);
+            }
+        }
+        let vals = vec![1.0f64; rows.len()];
+        analyze(&DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap()))
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let a = sample(5000, 7);
+        let e = VirtualEngine::new(systems::cirrus(), Backend::OpenMp);
+        let p1 = e.profile(&a);
+        let p2 = e.profile(&a);
+        assert_eq!(p1.optimal, p2.optimal);
+        assert_eq!(p1.times, p2.times);
+    }
+
+    #[test]
+    fn csr_always_viable_and_timed() {
+        let a = sample(3000, 4);
+        for pair in systems::all_system_backends() {
+            let e = VirtualEngine::for_pair(&pair);
+            let p = e.profile(&a);
+            assert!(p.times[FormatId::Csr.index()].is_some(), "{}", e.label());
+            assert!(p.optimal_speedup() >= 1.0, "{}", e.label());
+        }
+    }
+
+    #[test]
+    fn nonviable_formats_are_skipped() {
+        // Hypersparse scatter with one dense-ish row: ELL padding explodes.
+        let n = 100_000usize;
+        let mut rows: Vec<usize> = (0..2000).map(|k| (k * 47) % n).collect();
+        let mut cols: Vec<usize> = (0..2000).map(|k| (k * 89) % n).collect();
+        for k in 0..3000 {
+            rows.push(5);
+            cols.push((k * 31) % n);
+        }
+        let vals = vec![1.0f64; rows.len()];
+        let a = analyze(&DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap()));
+        assert!(!padding_viable(a.ell_padded(), a.nnz()));
+        let e = VirtualEngine::new(systems::cirrus(), Backend::Cuda);
+        let p = e.profile(&a);
+        assert!(p.times[FormatId::Ell.index()].is_none());
+        assert_ne!(p.optimal, FormatId::Ell);
+    }
+
+    #[test]
+    fn noise_is_bounded_and_deterministic() {
+        let a = sample(1000, 5);
+        let e = VirtualEngine::new(systems::xci(), Backend::Serial);
+        let t1 = e.spmv_time(FormatId::Csr, &a);
+        let t2 = e.spmv_time(FormatId::Csr, &a);
+        assert_eq!(t1, t2);
+        let quiet = VirtualEngine::new(systems::xci(), Backend::Serial).with_noise(0.0, 0);
+        let t0 = quiet.spmv_time(FormatId::Csr, &a);
+        assert!((t1 / t0 - 1.0).abs() < 0.25, "noise factor out of range: {}", t1 / t0);
+    }
+
+    #[test]
+    fn feature_extraction_cheaper_than_many_spmvs() {
+        // Table IV: at least 75% of matrices need fewer than 100 CSR-SpMV
+        // equivalents; sanity-check the same order of magnitude here.
+        let a = sample(20_000, 10);
+        for pair in systems::all_system_backends() {
+            let e = VirtualEngine::for_pair(&pair);
+            let fe = e.feature_extraction_time(FormatId::Csr, &a);
+            let spmv = e.profile(&a).csr_time();
+            let ratio = fe / spmv;
+            assert!(ratio > 0.1 && ratio < 400.0, "{}: FE/SpMV = {ratio}", e.label());
+        }
+    }
+
+    #[test]
+    fn prediction_cost_scales_with_nodes() {
+        let e = VirtualEngine::new(systems::archer2(), Backend::Serial);
+        assert!(e.prediction_time(1000) > e.prediction_time(10));
+    }
+
+    #[test]
+    fn conversion_cost_zero_for_same_format() {
+        let a = sample(1000, 5);
+        let e = VirtualEngine::new(systems::archer2(), Backend::Serial);
+        assert_eq!(e.conversion_time(FormatId::Csr, FormatId::Csr, &a), 0.0);
+        assert!(e.conversion_time(FormatId::Csr, FormatId::Coo, &a) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_backend_panics() {
+        let _ = VirtualEngine::new(systems::archer2(), Backend::Cuda);
+    }
+}

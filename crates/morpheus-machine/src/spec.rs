@@ -1,0 +1,221 @@
+//! Hardware specifications of the simulated systems.
+
+/// Execution backend, mirroring Morpheus' four backends (§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Backend {
+    /// Sequential CPU execution.
+    Serial,
+    /// Multithreaded CPU execution (the "OpenMP" backend).
+    OpenMp,
+    /// NVIDIA GPU execution (simulated).
+    Cuda,
+    /// AMD GPU execution (simulated).
+    Hip,
+}
+
+impl Backend {
+    /// Upper-case name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Serial => "Serial",
+            Backend::OpenMp => "OpenMP",
+            Backend::Cuda => "CUDA",
+            Backend::Hip => "HIP",
+        }
+    }
+
+    /// `true` for the GPU backends.
+    pub fn is_gpu(self) -> bool {
+        matches!(self, Backend::Cuda | Backend::Hip)
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// GPU vendor, which selects the simulated runtime's kernel maturity
+/// factors (the paper's HIP numbers reflect a less-tuned CSR path than
+/// CUDA's — see `GpuSpec::csr_quality`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuVendor {
+    /// NVIDIA (CUDA backend).
+    Nvidia,
+    /// AMD (HIP backend).
+    Amd,
+}
+
+/// CPU package description (per compute node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Total hardware cores across sockets.
+    pub cores: usize,
+    /// Sustained clock in GHz.
+    pub freq_ghz: f64,
+    /// SIMD register width in bytes (32 = AVX2, 64 = SVE-512, 16 = NEON).
+    pub simd_bytes: usize,
+    /// Node-level sustained memory bandwidth (STREAM-like), GB/s.
+    pub mem_bw_gbs: f64,
+    /// Single-core sustained memory bandwidth, GB/s.
+    pub core_bw_gbs: f64,
+    /// Last-level cache capacity, MiB.
+    pub cache_mib: f64,
+}
+
+impl CpuSpec {
+    /// Peak double-precision FLOP/s for `threads` cores (FMA counted as 2).
+    pub fn peak_flops(&self, threads: usize) -> f64 {
+        let lanes = (self.simd_bytes / 8).max(1) as f64;
+        threads as f64 * self.freq_ghz * 1e9 * lanes * 2.0
+    }
+
+    /// Aggregate sustainable bandwidth for `threads` cores, bytes/s.
+    pub fn bandwidth(&self, threads: usize) -> f64 {
+        (self.core_bw_gbs * threads as f64).min(self.mem_bw_gbs) * 1e9
+    }
+
+    /// Last-level cache capacity in bytes.
+    pub fn cache_bytes(&self) -> f64 {
+        self.cache_mib * 1024.0 * 1024.0
+    }
+}
+
+/// GPU device description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Vendor (selects the backend: CUDA vs HIP).
+    pub vendor: GpuVendor,
+    /// Streaming multiprocessors / compute units.
+    pub sms: usize,
+    /// Sustained clock in GHz.
+    pub clock_ghz: f64,
+    /// Device memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// L2 cache capacity, MiB.
+    pub l2_mib: f64,
+    /// Relative maturity of the vendor library's CSR SpMV kernel
+    /// (1.0 = fully tuned; > 1.0 multiplies the modelled CSR runtime). The
+    /// paper's AMD results ("average speedup of 8x" over CSR on MI100, §VII-F)
+    /// reflect a CSR path well behind the NVIDIA one.
+    pub csr_quality: f64,
+}
+
+impl GpuSpec {
+    /// Device bandwidth in bytes/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.mem_bw_gbs * 1e9
+    }
+
+    /// Warp-iteration retirement rate (warp-iterations per second across the
+    /// device) assuming enough resident warps to hide latency.
+    pub fn warp_iter_rate(&self) -> f64 {
+        // One warp-iteration (load + FMA + bookkeeping) retires roughly every
+        // 4 cycles per SM with full occupancy.
+        self.sms as f64 * self.clock_ghz * 1e9 / 4.0
+    }
+
+    /// L2 capacity in bytes.
+    pub fn l2_bytes(&self) -> f64 {
+        self.l2_mib * 1024.0 * 1024.0
+    }
+
+    /// Backend this device is driven by.
+    pub fn backend(&self) -> Backend {
+        match self.vendor {
+            GpuVendor::Nvidia => Backend::Cuda,
+            GpuVendor::Amd => Backend::Hip,
+        }
+    }
+}
+
+/// A full system profile: one CPU node plus optional attached GPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemProfile {
+    /// System name as used in the paper (ARCHER2, Cirrus, A64FX, P3, XCI).
+    pub name: &'static str,
+    /// CPU node description.
+    pub cpu: CpuSpec,
+    /// Attached accelerators (may be empty).
+    pub gpus: Vec<GpuSpec>,
+}
+
+impl SystemProfile {
+    /// The first GPU handled by `backend`, if any.
+    pub fn gpu_for(&self, backend: Backend) -> Option<&GpuSpec> {
+        self.gpus.iter().find(|g| g.backend() == backend)
+    }
+
+    /// `true` if this system supports the given backend.
+    pub fn supports(&self, backend: Backend) -> bool {
+        match backend {
+            Backend::Serial | Backend::OpenMp => true,
+            b => self.gpu_for(b).is_some(),
+        }
+    }
+}
+
+/// A (system, backend) pair — the unit the paper trains one model per
+/// (Tables III and IV have one row per pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemBackend {
+    /// The system profile.
+    pub system: SystemProfile,
+    /// The backend on that system.
+    pub backend: Backend,
+}
+
+impl SystemBackend {
+    /// `"System/Backend"` label used throughout reports and model file
+    /// names.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.system.name, self.backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems;
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(Backend::Serial.name(), "Serial");
+        assert_eq!(Backend::OpenMp.name(), "OpenMP");
+        assert!(Backend::Cuda.is_gpu());
+        assert!(Backend::Hip.is_gpu());
+        assert!(!Backend::Serial.is_gpu());
+    }
+
+    #[test]
+    fn cpu_derived_quantities() {
+        let cpu = systems::a64fx().cpu;
+        // 48 cores * 1.8 GHz * 8 lanes * 2 = 1382.4 GF.
+        assert!((cpu.peak_flops(48) - 1.3824e12).abs() < 1e9);
+        // Single core bandwidth below node bandwidth.
+        assert!(cpu.bandwidth(1) < cpu.bandwidth(48));
+        // Node bandwidth saturates.
+        assert_eq!(cpu.bandwidth(48), cpu.bandwidth(1000));
+    }
+
+    #[test]
+    fn gpu_lookup() {
+        let p3 = systems::p3();
+        assert!(p3.gpu_for(Backend::Cuda).is_some());
+        assert!(p3.gpu_for(Backend::Hip).is_some());
+        assert!(p3.supports(Backend::Serial));
+        let archer = systems::archer2();
+        assert!(!archer.supports(Backend::Cuda));
+    }
+
+    #[test]
+    fn labels() {
+        let sb = SystemBackend { system: systems::cirrus(), backend: Backend::Cuda };
+        assert_eq!(sb.label(), "Cirrus/CUDA");
+    }
+}

@@ -1,0 +1,183 @@
+//! Profiles of the five systems in Table II.
+//!
+//! Spec numbers are public figures for the node architectures the paper
+//! lists; the `csr_quality` factors encode the relative maturity of the
+//! vendor CSR kernels the paper's results imply (§VII-C, §VII-F).
+
+use crate::spec::{Backend, CpuSpec, GpuSpec, GpuVendor, SystemBackend, SystemProfile};
+
+/// ARCHER2: 2x AMD EPYC 7742 (128 cores), no GPUs.
+pub fn archer2() -> SystemProfile {
+    SystemProfile {
+        name: "ARCHER2",
+        cpu: CpuSpec {
+            name: "2x AMD EPYC 7742",
+            cores: 128,
+            freq_ghz: 2.25,
+            simd_bytes: 32,
+            mem_bw_gbs: 380.0,
+            core_bw_gbs: 22.0,
+            cache_mib: 512.0,
+        },
+        gpus: vec![],
+    }
+}
+
+/// Cirrus standard + GPU queues: 2x Intel Xeon E5-2695 (36 cores) and
+/// 4x NVIDIA V100 16GB (we model one device; the paper times one GPU).
+pub fn cirrus() -> SystemProfile {
+    SystemProfile {
+        name: "Cirrus",
+        cpu: CpuSpec {
+            name: "2x Intel Xeon E5-2695",
+            cores: 36,
+            freq_ghz: 2.1,
+            simd_bytes: 32,
+            mem_bw_gbs: 153.0,
+            core_bw_gbs: 12.0,
+            cache_mib: 90.0,
+        },
+        gpus: vec![GpuSpec {
+            name: "NVIDIA V100 16GB",
+            vendor: GpuVendor::Nvidia,
+            sms: 80,
+            clock_ghz: 1.38,
+            mem_bw_gbs: 900.0,
+            l2_mib: 6.0,
+            csr_quality: 1.0,
+        }],
+    }
+}
+
+/// Isambard A64FX queue: 1x Fujitsu A64FX (48 cores, HBM2, 512-bit SVE).
+pub fn a64fx() -> SystemProfile {
+    SystemProfile {
+        name: "A64FX",
+        cpu: CpuSpec {
+            name: "Fujitsu A64FX",
+            cores: 48,
+            freq_ghz: 1.8,
+            simd_bytes: 64,
+            mem_bw_gbs: 1000.0,
+            core_bw_gbs: 55.0,
+            cache_mib: 32.0,
+        },
+        gpus: vec![],
+    }
+}
+
+/// Isambard XCI queue: 1x Marvell ThunderX2 (32 cores, NEON).
+pub fn xci() -> SystemProfile {
+    SystemProfile {
+        name: "XCI",
+        cpu: CpuSpec {
+            name: "Marvell ThunderX2",
+            cores: 32,
+            freq_ghz: 2.2,
+            simd_bytes: 16,
+            mem_bw_gbs: 160.0,
+            core_bw_gbs: 11.0,
+            cache_mib: 32.0,
+        },
+        gpus: vec![],
+    }
+}
+
+/// Isambard P3: AMD EPYC 7543P host with NVIDIA A100 (Ampere queue) and
+/// AMD Instinct MI100 (Instinct queue) accelerators.
+pub fn p3() -> SystemProfile {
+    SystemProfile {
+        name: "P3",
+        cpu: CpuSpec {
+            name: "AMD EPYC 7543P",
+            cores: 32,
+            freq_ghz: 2.8,
+            simd_bytes: 32,
+            mem_bw_gbs: 200.0,
+            core_bw_gbs: 24.0,
+            cache_mib: 256.0,
+        },
+        gpus: vec![
+            GpuSpec {
+                name: "NVIDIA A100 40GB",
+                vendor: GpuVendor::Nvidia,
+                sms: 108,
+                clock_ghz: 1.41,
+                mem_bw_gbs: 1555.0,
+                l2_mib: 40.0,
+                csr_quality: 1.0,
+            },
+            GpuSpec {
+                name: "AMD Instinct MI100",
+                vendor: GpuVendor::Amd,
+                sms: 120,
+                clock_ghz: 1.5,
+                mem_bw_gbs: 1228.0,
+                l2_mib: 8.0,
+                // The paper's HIP numbers (avg 8-10x speedup over CSR,
+                // §VII-C/F) imply a markedly less tuned CSR path.
+                csr_quality: 3.5,
+            },
+        ],
+    }
+}
+
+/// All five systems.
+pub fn all_systems() -> Vec<SystemProfile> {
+    vec![a64fx(), archer2(), cirrus(), p3(), xci()]
+}
+
+/// The eleven (system, backend) pairs of Tables III and IV.
+pub fn all_system_backends() -> Vec<SystemBackend> {
+    let mut out = Vec::new();
+    for sys in [archer2(), cirrus(), a64fx(), p3(), xci()] {
+        let backends: &[Backend] = match sys.name {
+            "P3" => &[Backend::Cuda, Backend::Hip],
+            "Cirrus" => &[Backend::Serial, Backend::OpenMp, Backend::Cuda],
+            _ => &[Backend::Serial, Backend::OpenMp],
+        };
+        for &b in backends {
+            out.push(SystemBackend { system: sys.clone(), backend: b });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_pairs_match_table_iii() {
+        let pairs = all_system_backends();
+        assert_eq!(pairs.len(), 11);
+        let labels: Vec<String> = pairs.iter().map(|p| p.label()).collect();
+        for expect in [
+            "ARCHER2/Serial",
+            "ARCHER2/OpenMP",
+            "Cirrus/Serial",
+            "Cirrus/OpenMP",
+            "Cirrus/CUDA",
+            "A64FX/Serial",
+            "A64FX/OpenMP",
+            "P3/CUDA",
+            "P3/HIP",
+            "XCI/Serial",
+            "XCI/OpenMP",
+        ] {
+            assert!(labels.contains(&expect.to_string()), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn every_pair_is_supported() {
+        for p in all_system_backends() {
+            assert!(p.system.supports(p.backend), "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn five_systems() {
+        assert_eq!(all_systems().len(), 5);
+    }
+}

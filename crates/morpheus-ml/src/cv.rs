@@ -1,0 +1,142 @@
+//! Stratified k-fold cross-validation.
+//!
+//! "To account for overfitting and ensure the model generalizes well on
+//! unseen data we perform a 5-fold CV on the training set and iteratively
+//! fit the model 5 times each time training on 4 folds and validating on
+//! the 5th" (§VII-D). Stratification keeps the rare formats represented in
+//! every fold, which matters under the paper's class imbalance.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Deterministic stratified k-fold assignment: returns `k` pairs of
+/// `(train_indices, validation_indices)` covering the dataset.
+///
+/// Samples of each class are shuffled with `seed` and dealt round-robin
+/// into folds, so every fold's class mix approximates the global one.
+pub fn stratified_kfold(ds: &Dataset, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(ds.len() >= k, "need at least k samples");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut fold_of = vec![0usize; ds.len()];
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); ds.n_classes()];
+    for (i, &t) in ds.targets().iter().enumerate() {
+        by_class[t].push(i);
+    }
+    let mut dealer = 0usize;
+    for mut idxs in by_class {
+        idxs.shuffle(&mut rng);
+        for i in idxs {
+            fold_of[i] = dealer % k;
+            dealer += 1;
+        }
+    }
+    (0..k)
+        .map(|fold| {
+            let mut train = Vec::new();
+            let mut val = Vec::new();
+            for (i, &f) in fold_of.iter().enumerate() {
+                if f == fold {
+                    val.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, val)
+        })
+        .collect()
+}
+
+/// Mean validation score of `fit_score` across the folds. `fit_score`
+/// receives `(train, validation)` datasets and returns the fold's score.
+pub fn cross_val_score<F>(ds: &Dataset, k: usize, seed: u64, mut fit_score: F) -> f64
+where
+    F: FnMut(&Dataset, &Dataset) -> f64,
+{
+    let folds = stratified_kfold(ds, k, seed);
+    let mut total = 0.0;
+    for (train_idx, val_idx) in &folds {
+        let train = ds.subset(train_idx);
+        let val = ds.subset(val_idx);
+        total += fit_score(&train, &val);
+    }
+    total / folds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut ds = Dataset::empty(1, 3, vec![]).unwrap();
+        for i in 0..n {
+            // Class mix 60/30/10.
+            let t = match i % 10 {
+                0..=5 => 0,
+                6..=8 => 1,
+                _ => 2,
+            };
+            ds.push(&[i as f64], t).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn folds_partition_dataset() {
+        let ds = toy(100);
+        let folds = stratified_kfold(&ds, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 100];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 100);
+            for &i in val {
+                seen[i] += 1;
+            }
+            // No overlap.
+            for &i in val {
+                assert!(!train.contains(&i));
+            }
+        }
+        // Every sample validates exactly once.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let ds = toy(100);
+        for (_, val) in stratified_kfold(&ds, 5, 2) {
+            let sub = ds.subset(&val);
+            let counts = sub.class_counts();
+            assert!((10..=14).contains(&counts[0]), "class 0 count {:?}", counts);
+            assert!((4..=8).contains(&counts[1]));
+            assert!((1..=3).contains(&counts[2]));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = toy(50);
+        assert_eq!(stratified_kfold(&ds, 5, 9), stratified_kfold(&ds, 5, 9));
+        assert_ne!(stratified_kfold(&ds, 5, 9), stratified_kfold(&ds, 5, 10));
+    }
+
+    #[test]
+    fn cross_val_runs_k_times() {
+        let ds = toy(40);
+        let mut calls = 0;
+        let score = cross_val_score(&ds, 4, 3, |train, val| {
+            calls += 1;
+            assert!(train.len() > val.len());
+            1.0
+        });
+        assert_eq!(calls, 4);
+        assert_eq!(score, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_too_small_panics() {
+        stratified_kfold(&toy(10), 1, 0);
+    }
+}

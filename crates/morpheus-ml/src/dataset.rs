@@ -1,0 +1,254 @@
+//! Tabular dataset: feature matrix + class targets.
+
+use crate::{MlError, Result};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dense feature matrix with integer class targets.
+///
+/// Rows are samples (one per matrix in the corpus); columns are the Table I
+/// features; targets are format IDs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    n_features: usize,
+    n_classes: usize,
+    features: Vec<f64>, // row-major, len = n_samples * n_features
+    targets: Vec<usize>,
+    feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shapes and target range.
+    pub fn new(
+        n_features: usize,
+        n_classes: usize,
+        features: Vec<f64>,
+        targets: Vec<usize>,
+        feature_names: Vec<String>,
+    ) -> Result<Self> {
+        if n_features == 0 {
+            return Err(MlError::InvalidData("n_features must be positive".into()));
+        }
+        if features.len() != targets.len() * n_features {
+            return Err(MlError::InvalidData(format!(
+                "features length {} != {} samples * {} features",
+                features.len(),
+                targets.len(),
+                n_features
+            )));
+        }
+        if let Some(&bad) = targets.iter().find(|&&t| t >= n_classes) {
+            return Err(MlError::InvalidData(format!("target {bad} out of range for {n_classes} classes")));
+        }
+        if !feature_names.is_empty() && feature_names.len() != n_features {
+            return Err(MlError::InvalidData("feature_names length mismatch".into()));
+        }
+        if features.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::InvalidData("non-finite feature value".into()));
+        }
+        Ok(Dataset { n_features, n_classes, features, targets, feature_names })
+    }
+
+    /// Empty dataset with named features.
+    pub fn empty(n_features: usize, n_classes: usize, feature_names: Vec<String>) -> Result<Self> {
+        Dataset::new(n_features, n_classes, Vec::new(), Vec::new(), feature_names)
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, row: &[f64], target: usize) -> Result<()> {
+        if row.len() != self.n_features {
+            return Err(MlError::InvalidData(format!(
+                "row has {} features, expected {}",
+                row.len(),
+                self.n_features
+            )));
+        }
+        if target >= self.n_classes {
+            return Err(MlError::InvalidData(format!("target {target} out of range")));
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::InvalidData("non-finite feature value".into()));
+        }
+        self.features.extend_from_slice(row);
+        self.targets.push(target);
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `true` if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of target classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature row of sample `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Feature `j` of sample `i`.
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        self.features[i * self.n_features + j]
+    }
+
+    /// Target of sample `i`.
+    #[inline]
+    pub fn target(&self, i: usize) -> usize {
+        self.targets[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// Feature names (may be empty).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &t in &self.targets {
+            counts[t] += 1;
+        }
+        counts
+    }
+
+    /// New dataset containing the given sample indices (duplicates allowed —
+    /// this is also the bootstrap-sampling primitive).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut features = Vec::with_capacity(indices.len() * self.n_features);
+        let mut targets = Vec::with_capacity(indices.len());
+        for &i in indices {
+            features.extend_from_slice(self.row(i));
+            targets.push(self.targets[i]);
+        }
+        Dataset {
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+            features,
+            targets,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Deterministic stratified train/test split: within each class, a
+    /// seeded shuffle sends `test_fraction` of samples to the test set
+    /// (at least one per class when the class has ≥ 2 samples).
+    pub fn stratified_split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_fraction), "test_fraction in [0, 1)");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &t) in self.targets.iter().enumerate() {
+            by_class[t].push(i);
+        }
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for mut idxs in by_class {
+            idxs.shuffle(&mut rng);
+            let n_test = if idxs.len() >= 2 {
+                ((idxs.len() as f64 * test_fraction).round() as usize).clamp(1, idxs.len() - 1)
+            } else {
+                0
+            };
+            test_idx.extend_from_slice(&idxs[..n_test]);
+            train_idx.extend_from_slice(&idxs[n_test..]);
+        }
+        train_idx.sort_unstable();
+        test_idx.sort_unstable();
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        // 10 samples, 2 features, 2 classes (6 of class 0, 4 of class 1).
+        let mut ds = Dataset::empty(2, 2, vec!["a".into(), "b".into()]).unwrap();
+        for i in 0..10 {
+            let t = usize::from(i >= 6);
+            ds.push(&[i as f64, (i * i) as f64], t).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let ds = toy();
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.row(3), &[3.0, 9.0]);
+        assert_eq!(ds.value(3, 1), 9.0);
+        assert_eq!(ds.target(7), 1);
+        assert_eq!(ds.class_counts(), vec![6, 4]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Dataset::new(0, 2, vec![], vec![], vec![]).is_err());
+        assert!(Dataset::new(2, 2, vec![1.0], vec![0], vec![]).is_err());
+        assert!(Dataset::new(1, 2, vec![1.0], vec![5], vec![]).is_err());
+        assert!(Dataset::new(1, 2, vec![f64::NAN], vec![0], vec![]).is_err());
+        let mut ds = toy();
+        assert!(ds.push(&[1.0], 0).is_err());
+        assert!(ds.push(&[1.0, 2.0], 9).is_err());
+        assert!(ds.push(&[f64::INFINITY, 0.0], 0).is_err());
+    }
+
+    #[test]
+    fn subset_with_duplicates() {
+        let ds = toy();
+        let sub = ds.subset(&[0, 0, 9]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.row(0), sub.row(1));
+        assert_eq!(sub.target(2), 1);
+    }
+
+    #[test]
+    fn stratified_split_preserves_classes() {
+        let ds = toy();
+        let (train, test) = ds.stratified_split(0.2, 7);
+        assert_eq!(train.len() + test.len(), ds.len());
+        // Both classes present in both halves.
+        assert!(train.class_counts().iter().all(|&c| c > 0));
+        assert!(test.class_counts().iter().all(|&c| c > 0));
+        // Deterministic.
+        let (train2, test2) = ds.stratified_split(0.2, 7);
+        assert_eq!(train, train2);
+        assert_eq!(test, test2);
+        // Different seed, different split (with high probability for this size).
+        let (train3, _) = ds.stratified_split(0.2, 8);
+        assert_ne!(train, train3);
+    }
+
+    #[test]
+    fn singleton_class_stays_in_train() {
+        let mut ds = Dataset::empty(1, 3, vec![]).unwrap();
+        ds.push(&[0.0], 0).unwrap();
+        ds.push(&[1.0], 0).unwrap();
+        ds.push(&[2.0], 0).unwrap();
+        ds.push(&[3.0], 1).unwrap();
+        let (train, test) = ds.stratified_split(0.3, 1);
+        assert_eq!(train.class_counts()[1], 1);
+        assert_eq!(test.class_counts()[1], 0);
+    }
+}

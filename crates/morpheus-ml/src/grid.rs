@@ -1,0 +1,313 @@
+//! Exhaustive hyperparameter grid search with k-fold CV (§VII-D).
+//!
+//! "An exhaustive Grid search is performed to search from the optimal
+//! hyperparameter values in a defined hyperparameter space", scoring each
+//! candidate with stratified 5-fold cross-validation and refitting the best
+//! candidate on the full training set.
+
+use crate::cv::cross_val_score;
+use crate::dataset::Dataset;
+use crate::forest::{ForestParams, RandomForest};
+use crate::metrics::{accuracy, balanced_accuracy};
+use crate::tree::{Criterion, DecisionTree, TreeParams};
+use crate::Result;
+
+/// Model-selection metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scoring {
+    /// Plain accuracy.
+    Accuracy,
+    /// Balanced accuracy — the paper's preferred metric under imbalance.
+    BalancedAccuracy,
+}
+
+impl Scoring {
+    /// Evaluates predictions against the truth.
+    pub fn score(self, y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+        match self {
+            Scoring::Accuracy => accuracy(y_true, y_pred),
+            Scoring::BalancedAccuracy => balanced_accuracy(y_true, y_pred, n_classes),
+        }
+    }
+}
+
+/// Search space for [`RandomForest`] — defaults mirror the ranges Table III
+/// reports tuned values from.
+#[derive(Debug, Clone)]
+pub struct ForestGrid {
+    /// Candidate tree counts.
+    pub n_estimators: Vec<usize>,
+    /// Candidate depth limits.
+    pub max_depth: Vec<Option<usize>>,
+    /// Candidate leaf minima.
+    pub min_samples_leaf: Vec<usize>,
+    /// Candidate split minima.
+    pub min_samples_split: Vec<usize>,
+    /// Candidate per-split feature budgets.
+    pub max_features: Vec<Option<usize>>,
+    /// Candidate criteria.
+    pub criterion: Vec<Criterion>,
+    /// Candidate bootstrap settings.
+    pub bootstrap: Vec<bool>,
+}
+
+impl Default for ForestGrid {
+    fn default() -> Self {
+        ForestGrid {
+            n_estimators: vec![10, 20, 40, 60],
+            max_depth: vec![Some(10), Some(14), Some(18), Some(22)],
+            min_samples_leaf: vec![1, 2],
+            min_samples_split: vec![2, 5, 10],
+            max_features: vec![Some(4), Some(6), Some(10)],
+            criterion: vec![Criterion::Gini, Criterion::Entropy],
+            bootstrap: vec![true, false],
+        }
+    }
+}
+
+impl ForestGrid {
+    /// A reduced grid for tests and quick runs.
+    pub fn small() -> Self {
+        ForestGrid {
+            n_estimators: vec![10, 20],
+            max_depth: vec![Some(8), Some(16)],
+            min_samples_leaf: vec![1],
+            min_samples_split: vec![2],
+            max_features: vec![None],
+            criterion: vec![Criterion::Gini],
+            bootstrap: vec![true],
+        }
+    }
+
+    /// All parameter combinations, in deterministic order.
+    pub fn candidates(&self, seed: u64) -> Vec<ForestParams> {
+        let mut out = Vec::new();
+        for &n in &self.n_estimators {
+            for &d in &self.max_depth {
+                for &leaf in &self.min_samples_leaf {
+                    for &split in &self.min_samples_split {
+                        for &mf in &self.max_features {
+                            for &crit in &self.criterion {
+                                for &bs in &self.bootstrap {
+                                    out.push(ForestParams {
+                                        n_estimators: n,
+                                        bootstrap: bs,
+                                        max_depth: d,
+                                        min_samples_leaf: leaf,
+                                        min_samples_split: split,
+                                        max_features: mf,
+                                        criterion: crit,
+                                        balanced_bootstrap: false,
+                                        seed,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Search space for a single [`DecisionTree`].
+#[derive(Debug, Clone)]
+pub struct TreeGrid {
+    /// Candidate depth limits.
+    pub max_depth: Vec<Option<usize>>,
+    /// Candidate leaf minima.
+    pub min_samples_leaf: Vec<usize>,
+    /// Candidate split minima.
+    pub min_samples_split: Vec<usize>,
+    /// Candidate criteria.
+    pub criterion: Vec<Criterion>,
+}
+
+impl Default for TreeGrid {
+    fn default() -> Self {
+        TreeGrid {
+            max_depth: vec![Some(6), Some(10), Some(14), Some(18), Some(22), None],
+            min_samples_leaf: vec![1, 2, 4],
+            min_samples_split: vec![2, 5, 10],
+            criterion: vec![Criterion::Gini, Criterion::Entropy],
+        }
+    }
+}
+
+impl TreeGrid {
+    /// All parameter combinations, in deterministic order.
+    pub fn candidates(&self, seed: u64) -> Vec<TreeParams> {
+        let mut out = Vec::new();
+        for &d in &self.max_depth {
+            for &leaf in &self.min_samples_leaf {
+                for &split in &self.min_samples_split {
+                    for &crit in &self.criterion {
+                        out.push(TreeParams {
+                            criterion: crit,
+                            max_depth: d,
+                            min_samples_split: split,
+                            min_samples_leaf: leaf,
+                            max_features: None,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Result of a grid search over models of type `P`/`M`.
+#[derive(Debug, Clone)]
+pub struct GridSearchOutcome<P, M> {
+    /// Winning hyperparameters.
+    pub best_params: P,
+    /// Mean CV score of the winner.
+    pub best_cv_score: f64,
+    /// The winner refitted on the full training set.
+    pub best_model: M,
+    /// Number of candidates evaluated.
+    pub n_candidates: usize,
+}
+
+/// Exhaustive forest search: k-fold CV per candidate, winner refit on the
+/// full set. Ties resolve to the earlier candidate (stable order).
+pub fn grid_search_forest(
+    ds: &Dataset,
+    grid: &ForestGrid,
+    k: usize,
+    seed: u64,
+    scoring: Scoring,
+) -> Result<GridSearchOutcome<ForestParams, RandomForest>> {
+    let candidates = grid.candidates(seed);
+    let mut best: Option<(usize, f64)> = None;
+    for (ci, params) in candidates.iter().enumerate() {
+        let score = cross_val_score(ds, k, seed, |train, val| {
+            match RandomForest::fit(train, params) {
+                Ok(model) => {
+                    let preds = model.predict_dataset(val);
+                    scoring.score(val.targets(), &preds, ds.n_classes())
+                }
+                Err(_) => 0.0,
+            }
+        });
+        if best.is_none_or(|(_, b)| score > b) {
+            best = Some((ci, score));
+        }
+    }
+    let (ci, best_cv_score) = best.expect("grid has at least one candidate");
+    let best_params = candidates[ci].clone();
+    let best_model = RandomForest::fit(ds, &best_params)?;
+    Ok(GridSearchOutcome { best_params, best_cv_score, best_model, n_candidates: candidates.len() })
+}
+
+/// Exhaustive decision-tree search, same protocol as
+/// [`grid_search_forest`].
+pub fn grid_search_tree(
+    ds: &Dataset,
+    grid: &TreeGrid,
+    k: usize,
+    seed: u64,
+    scoring: Scoring,
+) -> Result<GridSearchOutcome<TreeParams, DecisionTree>> {
+    let candidates = grid.candidates(seed);
+    let mut best: Option<(usize, f64)> = None;
+    for (ci, params) in candidates.iter().enumerate() {
+        let score = cross_val_score(ds, k, seed, |train, val| match DecisionTree::fit(train, params) {
+            Ok(model) => {
+                let preds = model.predict_dataset(val);
+                scoring.score(val.targets(), &preds, ds.n_classes())
+            }
+            Err(_) => 0.0,
+        });
+        if best.is_none_or(|(_, b)| score > b) {
+            best = Some((ci, score));
+        }
+    }
+    let (ci, best_cv_score) = best.expect("grid has at least one candidate");
+    let best_params = candidates[ci].clone();
+    let best_model = DecisionTree::fit(ds, &best_params)?;
+    Ok(GridSearchOutcome { best_params, best_cv_score, best_model, n_candidates: candidates.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut ds = Dataset::empty(2, 2, vec![]).unwrap();
+        let mut state = 7u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for i in 0..n {
+            let t = i % 2;
+            let base = if t == 0 { 0.0 } else { 1.5 };
+            ds.push(&[base + rnd(), base - rnd()], t).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn candidate_counts_are_products() {
+        let g = ForestGrid::default();
+        let expected = g.n_estimators.len()
+            * g.max_depth.len()
+            * g.min_samples_leaf.len()
+            * g.min_samples_split.len()
+            * g.max_features.len()
+            * g.criterion.len()
+            * g.bootstrap.len();
+        assert_eq!(g.candidates(0).len(), expected);
+        let t = TreeGrid::default();
+        assert_eq!(
+            t.candidates(0).len(),
+            t.max_depth.len() * t.min_samples_leaf.len() * t.min_samples_split.len() * t.criterion.len()
+        );
+    }
+
+    #[test]
+    fn tree_grid_search_finds_good_model() {
+        let ds = toy(120);
+        let grid = TreeGrid {
+            max_depth: vec![Some(1), Some(6)],
+            min_samples_leaf: vec![1],
+            min_samples_split: vec![2],
+            criterion: vec![Criterion::Gini],
+        };
+        let out = grid_search_tree(&ds, &grid, 3, 11, Scoring::Accuracy).unwrap();
+        assert_eq!(out.n_candidates, 2);
+        assert!(out.best_cv_score > 0.8, "cv score {}", out.best_cv_score);
+    }
+
+    #[test]
+    fn forest_grid_search_runs() {
+        let ds = toy(80);
+        let grid = ForestGrid {
+            n_estimators: vec![5],
+            max_depth: vec![Some(4)],
+            min_samples_leaf: vec![1],
+            min_samples_split: vec![2],
+            max_features: vec![None],
+            criterion: vec![Criterion::Gini],
+            bootstrap: vec![true, false],
+        };
+        let out = grid_search_forest(&ds, &grid, 3, 2, Scoring::BalancedAccuracy).unwrap();
+        assert_eq!(out.n_candidates, 2);
+        assert!(out.best_cv_score > 0.7);
+        assert_eq!(out.best_model.params().n_estimators, 5);
+    }
+
+    #[test]
+    fn deterministic_outcome() {
+        let ds = toy(60);
+        let grid = ForestGrid::small();
+        let a = grid_search_forest(&ds, &grid, 3, 4, Scoring::Accuracy).unwrap();
+        let b = grid_search_forest(&ds, &grid, 3, 4, Scoring::Accuracy).unwrap();
+        assert_eq!(a.best_params, b.best_params);
+        assert_eq!(a.best_cv_score, b.best_cv_score);
+    }
+}

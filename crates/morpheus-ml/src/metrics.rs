@@ -1,0 +1,104 @@
+//! Classification metrics.
+//!
+//! The paper reports both plain accuracy and *balanced accuracy* —
+//! "calculated as the average of the proportion of correctly classified
+//! samples of each class individually" (§VII-D) — because the format
+//! distribution is heavily imbalanced toward CSR (§VII-B).
+
+/// Fraction of predictions matching the truth.
+///
+/// # Panics
+/// If the slices differ in length or are empty.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    assert!(!y_true.is_empty(), "empty evaluation set");
+    let correct = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Per-class recall, `None` for classes absent from `y_true`.
+pub fn per_class_recall(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Vec<Option<f64>> {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut support = vec![0usize; n_classes];
+    let mut hits = vec![0usize; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        support[t] += 1;
+        if t == p {
+            hits[t] += 1;
+        }
+    }
+    (0..n_classes)
+        .map(|c| if support[c] > 0 { Some(hits[c] as f64 / support[c] as f64) } else { None })
+        .collect()
+}
+
+/// Mean of the per-class recalls over classes present in `y_true`.
+pub fn balanced_accuracy(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    let recalls = per_class_recall(y_true, y_pred, n_classes);
+    let present: Vec<f64> = recalls.into_iter().flatten().collect();
+    assert!(!present.is_empty(), "no classes present");
+    present.iter().sum::<f64>() / present.len() as f64
+}
+
+/// Row-major confusion matrix: `m[t][p]` counts samples of true class `t`
+/// predicted as `p`.
+pub fn confusion_matrix(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[2, 2], &[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_penalises_majority_guessing() {
+        // 9 of class 0, 1 of class 1; always predicting 0 gives 90%
+        // accuracy but only 50% balanced accuracy.
+        let y_true = [0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let y_pred = [0; 10];
+        assert_eq!(accuracy(&y_true, &y_pred), 0.9);
+        assert_eq!(balanced_accuracy(&y_true, &y_pred, 2), 0.5);
+    }
+
+    #[test]
+    fn balanced_accuracy_ignores_absent_classes() {
+        let y_true = [0, 0, 1, 1];
+        let y_pred = [0, 0, 1, 0];
+        // Classes 0 (recall 1.0) and 1 (recall 0.5) present; class 2 absent.
+        assert!((balanced_accuracy(&y_true, &y_pred, 3) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_recall_values() {
+        let r = per_class_recall(&[0, 0, 1], &[0, 1, 1], 3);
+        assert_eq!(r[0], Some(0.5));
+        assert_eq!(r[1], Some(1.0));
+        assert_eq!(r[2], None);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0], 2);
+        assert_eq!(m, vec![vec![1, 1], vec![1, 2]]);
+        // Row sums equal class supports.
+        assert_eq!(m[0].iter().sum::<usize>(), 2);
+        assert_eq!(m[1].iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

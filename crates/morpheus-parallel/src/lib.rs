@@ -1,0 +1,187 @@
+//! OpenMP-analog parallel runtime used by the Morpheus threaded backend.
+//!
+//! The paper's "OpenMP" backend maps onto this crate: a persistent pool of
+//! worker threads executing *parallel-for* loops with OpenMP-style
+//! scheduling policies ([`Schedule::Static`], [`Schedule::Dynamic`],
+//! [`Schedule::Guided`]) plus chunk-wise reductions.
+//!
+//! The pool is deliberately small and predictable rather than work-stealing:
+//! SpMV kernels are bandwidth-bound loops whose performance depends on the
+//! partitioning policy, which the hardware model in `morpheus-machine`
+//! mirrors analytically.
+//!
+//! # Example
+//! ```
+//! use morpheus_parallel::{ThreadPool, Schedule};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let pool = ThreadPool::new(4);
+//! let sum = AtomicUsize::new(0);
+//! pool.parallel_for(0..1000, Schedule::default(), |i| {
+//!     sum.fetch_add(i, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+//! ```
+
+mod pool;
+mod schedule;
+
+pub use pool::{global_pool, ThreadPool};
+pub use schedule::Schedule;
+
+/// Splits `0..len` into at most `parts` contiguous, nearly-equal ranges.
+///
+/// The first `len % parts` ranges are one element longer, matching the
+/// partition OpenMP uses for `schedule(static)` without a chunk size. Used
+/// both by the runtime itself and by the machine model when it estimates
+/// load imbalance from the real row distribution.
+pub fn static_partition(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if parts == 0 || len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let sz = base + usize::from(p < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Splits `0..len` into contiguous ranges whose *weights* (e.g. non-zeros
+/// per row) are as balanced as possible, one range per part.
+///
+/// This is the partition used by the nnz-balanced CSR SpMV kernel. `weights`
+/// must have length `len`. Greedy prefix splitting at the ideal weight
+/// boundaries; every element lands in exactly one range.
+pub fn weighted_partition(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let len = weights.len();
+    if parts == 0 || len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let total: usize = weights.iter().sum();
+    if total == 0 {
+        return static_partition(len, parts);
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    let mut consumed = 0usize;
+    for p in 0..parts {
+        if start >= len {
+            break;
+        }
+        // Target cumulative weight at the end of this part.
+        let target = (total - consumed).div_ceil(parts - p) + consumed;
+        let mut end = start;
+        while end < len && (acc < target || end == start) {
+            // Leave at least one element per remaining part.
+            if len - end < parts - p {
+                break;
+            }
+            acc += weights[end];
+            end += 1;
+        }
+        if end == start {
+            end = start + 1;
+            acc += weights[start];
+        }
+        consumed = acc;
+        out.push(start..end);
+        start = end;
+    }
+    if start < len {
+        match out.last_mut() {
+            Some(last) => last.end = len,
+            None => out.push(0..len),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+
+    #[test]
+    fn static_partition_covers_all() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = static_partition(len, parts);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end);
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, len);
+                if len > 0 {
+                    assert_eq!(ranges.last().unwrap().end, len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_partition_balanced() {
+        let ranges = static_partition(10, 3);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn static_partition_more_parts_than_items() {
+        let ranges = static_partition(3, 10);
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn weighted_partition_covers_all() {
+        let weights = vec![1usize, 100, 1, 1, 1, 1, 100, 1];
+        for parts in 1..=8 {
+            let ranges = weighted_partition(&weights, parts);
+            let mut prev_end = 0;
+            for r in &ranges {
+                assert_eq!(r.start, prev_end);
+                prev_end = r.end;
+            }
+            assert_eq!(prev_end, weights.len());
+        }
+    }
+
+    #[test]
+    fn weighted_partition_balances_skew() {
+        // One heavy row: with 2 parts the heavy row should sit alone-ish.
+        let mut weights = vec![1usize; 100];
+        weights[0] = 1000;
+        let ranges = weighted_partition(&weights, 2);
+        assert_eq!(ranges.len(), 2);
+        let w0: usize = ranges[0].clone().map(|i| weights[i]).sum();
+        let w1: usize = ranges[1].clone().map(|i| weights[i]).sum();
+        // Heavy part should not also swallow most light rows.
+        assert!(w0 >= w1);
+        assert!(ranges[0].len() < 20, "heavy part took {} rows", ranges[0].len());
+    }
+
+    #[test]
+    fn weighted_partition_zero_weights() {
+        let weights = vec![0usize; 10];
+        let ranges = weighted_partition(&weights, 4);
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn weighted_partition_empty() {
+        assert!(weighted_partition(&[], 4).is_empty());
+        assert!(weighted_partition(&[1, 2, 3], 0).is_empty());
+    }
+}

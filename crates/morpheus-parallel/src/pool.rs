@@ -1,0 +1,482 @@
+//! Persistent worker pool executing scoped parallel loops.
+//!
+//! Workers block on a channel of jobs. A job is a lifetime-erased reference
+//! to the loop body plus a completion latch; `run_on_all` does not return
+//! until every worker finished, which is what makes the lifetime erasure
+//! sound (the borrowed closure strictly outlives all uses).
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::sync::WaitGroup;
+use parking_lot::Mutex;
+
+use crate::schedule::Schedule;
+use crate::static_partition;
+
+thread_local! {
+    /// Set while a worker runs a job; used to detect (and serialise) nested
+    /// parallel regions instead of deadlocking.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+type JobFn<'a> = &'a (dyn Fn(usize) + Sync);
+
+struct Job {
+    /// Lifetime-erased `&(dyn Fn(worker_index) + Sync)`.
+    func: JobFn<'static>,
+    wg: WaitGroup,
+    panicked: Arc<AtomicBool>,
+    worker_index: usize,
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Dropping the pool shuts the workers down. Most callers should use
+/// [`global_pool`] instead of owning a pool.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("n_threads", &self.n_threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `n_threads` workers (minimum 1).
+    pub fn new(n_threads: usize) -> Self {
+        let n_threads = n_threads.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let mut handles = Vec::with_capacity(n_threads);
+        for w in 0..n_threads {
+            let rx = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("morpheus-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        IN_WORKER.with(|f| f.set(true));
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            (job.func)(job.worker_index);
+                        }));
+                        IN_WORKER.with(|f| f.set(false));
+                        if result.is_err() {
+                            job.panicked.store(true, Ordering::SeqCst);
+                        }
+                        drop(job.wg);
+                    }
+                })
+                .expect("failed to spawn morpheus worker thread");
+            handles.push(handle);
+        }
+        ThreadPool {
+            sender: Some(sender),
+            handles,
+            n_threads,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Runs `f(worker_index)` once on every worker and waits for completion.
+    ///
+    /// If called from inside a worker (nested parallelism) the body is run
+    /// inline on the calling thread for every index, which keeps semantics
+    /// while avoiding deadlock — mirroring OpenMP's default of serialising
+    /// nested regions.
+    pub fn run_on_all(&self, f: &(dyn Fn(usize) + Sync)) {
+        if IN_WORKER.with(|g| g.get()) || self.n_threads == 1 {
+            for w in 0..self.n_threads {
+                f(w);
+            }
+            return;
+        }
+        // SAFETY: we block on the wait group before returning, so the
+        // borrowed closure outlives every use inside the workers.
+        let f_static: JobFn<'static> = unsafe { std::mem::transmute::<JobFn<'_>, JobFn<'static>>(f) };
+        let wg = WaitGroup::new();
+        let panicked = Arc::new(AtomicBool::new(false));
+        let sender = self.sender.as_ref().expect("pool already shut down");
+        for w in 0..self.n_threads {
+            sender
+                .send(Job {
+                    func: f_static,
+                    wg: wg.clone(),
+                    panicked: Arc::clone(&panicked),
+                    worker_index: w,
+                })
+                .expect("worker channel closed");
+        }
+        wg.wait();
+        if panicked.load(Ordering::SeqCst) {
+            panic!("a morpheus-parallel worker panicked");
+        }
+    }
+
+    /// OpenMP-style `parallel for` over `range`, calling `body(i)` exactly
+    /// once per index.
+    pub fn parallel_for(&self, range: Range<usize>, schedule: Schedule, body: impl Fn(usize) + Sync) {
+        self.parallel_for_ranges(range, schedule, |r| {
+            for i in r {
+                body(i);
+            }
+        });
+    }
+
+    /// Chunk-wise `parallel for`: `body` receives each scheduled sub-range
+    /// exactly once. This is the primitive SpMV kernels use so they can hoist
+    /// per-chunk work out of the inner loop.
+    pub fn parallel_for_ranges(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        body: impl Fn(Range<usize>) + Sync,
+    ) {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        let offset = range.start;
+        let nt = self.n_threads;
+        match schedule {
+            Schedule::Static { chunk: None } => {
+                let parts = static_partition(len, nt);
+                self.run_on_all(&|w| {
+                    if let Some(r) = parts.get(w) {
+                        if !r.is_empty() {
+                            body(offset + r.start..offset + r.end);
+                        }
+                    }
+                });
+            }
+            Schedule::Static { chunk: Some(c) } => {
+                let c = c.max(1);
+                self.run_on_all(&|w| {
+                    // Round-robin chunks: worker w takes chunks w, w+nt, ...
+                    let mut start = w * c;
+                    while start < len {
+                        let end = (start + c).min(len);
+                        body(offset + start..offset + end);
+                        start += nt * c;
+                    }
+                });
+            }
+            Schedule::Dynamic { chunk } => {
+                let c = chunk.max(1);
+                let next = AtomicUsize::new(0);
+                self.run_on_all(&|_w| loop {
+                    let start = next.fetch_add(c, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + c).min(len);
+                    body(offset + start..offset + end);
+                });
+            }
+            Schedule::Guided { min_chunk } => {
+                let mc = min_chunk.max(1);
+                let next = AtomicUsize::new(0);
+                self.run_on_all(&|_w| loop {
+                    let start = next.load(Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let remaining = len - start;
+                    let c = (remaining / (2 * nt)).max(mc);
+                    let claimed = next.fetch_add(c, Ordering::Relaxed);
+                    if claimed >= len {
+                        break;
+                    }
+                    let end = (claimed + c).min(len);
+                    body(offset + claimed..offset + end);
+                });
+            }
+        }
+    }
+
+    /// Runs `body` over each of the given precomputed ranges, one task per
+    /// range, distributed across workers. Used with
+    /// [`crate::weighted_partition`] for nnz-balanced kernels.
+    pub fn parallel_over_parts(&self, parts: &[Range<usize>], body: impl Fn(usize, Range<usize>) + Sync) {
+        if parts.is_empty() {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        self.run_on_all(&|_w| loop {
+            let p = next.fetch_add(1, Ordering::Relaxed);
+            if p >= parts.len() {
+                break;
+            }
+            body(p, parts[p].clone());
+        });
+    }
+
+    /// Chunk-wise map-reduce: `map` produces a partial result per scheduled
+    /// chunk; partials are folded with `reduce` starting from `identity`.
+    ///
+    /// Reduction order is deterministic given a `Static` schedule (partials
+    /// are folded in worker order), which keeps floating-point results
+    /// reproducible run-to-run.
+    pub fn parallel_reduce<T, M, R>(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Clone + Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        let slots: Vec<Mutex<Option<T>>> = (0..self.n_threads).map(|_| Mutex::new(None)).collect();
+        let map = &map;
+        let reduce = &reduce;
+        self.parallel_for_worker_ranges(range, schedule, |w, r| {
+            let value = map(r);
+            let mut guard = slots[w].lock();
+            *guard = Some(match guard.take() {
+                Some(prev) => reduce(prev, value),
+                None => value,
+            });
+        });
+        let mut acc = identity;
+        for slot in slots {
+            if let Some(v) = slot.into_inner() {
+                acc = reduce(acc, v);
+            }
+        }
+        acc
+    }
+
+    /// Like [`Self::parallel_for_ranges`] but also passes the worker index,
+    /// guaranteeing each worker processes at most one chunk per call site
+    /// under `Static { chunk: None }` scheduling.
+    pub fn parallel_for_worker_ranges(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        body: impl Fn(usize, Range<usize>) + Sync,
+    ) {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        let offset = range.start;
+        match schedule {
+            Schedule::Static { chunk: None } => {
+                let parts = static_partition(len, self.n_threads);
+                self.run_on_all(&|w| {
+                    if let Some(r) = parts.get(w) {
+                        if !r.is_empty() {
+                            body(w, offset + r.start..offset + r.end);
+                        }
+                    }
+                });
+            }
+            other => {
+                // For dynamic-style schedules a worker may receive several
+                // chunks; forward the worker index for each.
+                let nt = self.n_threads;
+                let next = AtomicUsize::new(0);
+                let chunk_of = |start: usize| -> usize {
+                    match other {
+                        Schedule::Static { chunk: Some(c) } | Schedule::Dynamic { chunk: c } => c.max(1),
+                        Schedule::Guided { min_chunk } => ((len - start) / (2 * nt)).max(min_chunk.max(1)),
+                        Schedule::Static { chunk: None } => unreachable!(),
+                    }
+                };
+                self.run_on_all(&|w| loop {
+                    let probe = next.load(Ordering::Relaxed);
+                    if probe >= len {
+                        break;
+                    }
+                    let c = chunk_of(probe);
+                    let start = next.fetch_add(c, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + c).min(len);
+                    body(w, offset + start..offset + end);
+                });
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The process-wide default pool, sized to the number of available cores.
+pub fn global_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        ThreadPool::new(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn schedules() -> Vec<Schedule> {
+        vec![
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(7) },
+            Schedule::Dynamic { chunk: 13 },
+            Schedule::Guided { min_chunk: 5 },
+        ]
+    }
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for sched in schedules() {
+            let n = 1003;
+            let visits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.parallel_for(0..n, sched, |i| {
+                visits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, v) in visits.iter().enumerate() {
+                assert_eq!(v.load(Ordering::Relaxed), 1, "index {i} under {sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_ranges_respected() {
+        let pool = ThreadPool::new(3);
+        for sched in schedules() {
+            let seen = Mutex::new(Vec::new());
+            pool.parallel_for(100..150, sched, |i| {
+                seen.lock().push(i);
+            });
+            let mut v = seen.into_inner();
+            v.sort_unstable();
+            assert_eq!(v, (100..150).collect::<Vec<_>>(), "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        pool.parallel_for(5..5, Schedule::default(), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(0..100, Schedule::dynamic(), |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn reduce_matches_serial() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.5).collect();
+        let expect: f64 = data.iter().sum();
+        let got = pool.parallel_reduce(
+            0..data.len(),
+            Schedule::default(),
+            0.0f64,
+            |r| r.map(|i| data[i]).sum::<f64>(),
+            |a, b| a + b,
+        );
+        assert!((got - expect).abs() < 1e-6 * expect.abs());
+    }
+
+    #[test]
+    fn reduce_empty_range_returns_identity() {
+        let pool = ThreadPool::new(4);
+        let got = pool.parallel_reduce(0..0, Schedule::default(), 42.0, |_| 7.0, |a, b| a + b);
+        assert_eq!(got, 42.0);
+    }
+
+    #[test]
+    fn nested_parallel_for_serialises() {
+        let pool = ThreadPool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.parallel_for(0..2, Schedule::default(), |_| {
+            // Nested call must not deadlock.
+            pool.parallel_for(0..10, Schedule::default(), |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(0..4, Schedule::default(), |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_job_panic() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(0..4, Schedule::default(), |_| panic!("x"));
+        }));
+        assert!(r.is_err());
+        // Pool still usable afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.parallel_for(0..8, Schedule::default(), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn parallel_over_parts_visits_each_part_once() {
+        let pool = ThreadPool::new(4);
+        let parts = vec![0..3, 3..10, 10..11, 11..20];
+        let counts: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_over_parts(&parts, |_p, r| {
+            for i in r {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a = global_pool() as *const _;
+        let b = global_pool() as *const _;
+        assert_eq!(a, b);
+        assert!(global_pool().num_threads() >= 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! OpenMP-style loop scheduling policies.
+
+/// Loop scheduling policy for [`crate::ThreadPool::parallel_for`].
+///
+/// Mirrors OpenMP's `schedule` clause; the hardware model in
+/// `morpheus-machine` reproduces the same partitions analytically when
+/// estimating load imbalance on the simulated systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous, nearly equal ranges, one per thread (`chunk = None`), or
+    /// round-robin chunks of the given size.
+    Static { chunk: Option<usize> },
+    /// Threads grab chunks of `chunk` iterations from a shared counter.
+    Dynamic { chunk: usize },
+    /// Like `Dynamic` but the chunk size decays with the remaining work:
+    /// `max(remaining / (2 * nthreads), min_chunk)`.
+    Guided { min_chunk: usize },
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Static { chunk: None }
+    }
+}
+
+impl Schedule {
+    /// Dynamic scheduling with a sensible default chunk.
+    pub fn dynamic() -> Self {
+        Schedule::Dynamic { chunk: 64 }
+    }
+
+    /// Guided scheduling with a sensible default minimum chunk.
+    pub fn guided() -> Self {
+        Schedule::Guided { min_chunk: 32 }
+    }
+
+    /// Human-readable name, used in benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Static { .. } => "static",
+            Schedule::Dynamic { .. } => "dynamic",
+            Schedule::Guided { .. } => "guided",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_static() {
+        assert_eq!(Schedule::default(), Schedule::Static { chunk: None });
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Schedule::default().name(), "static");
+        assert_eq!(Schedule::dynamic().name(), "dynamic");
+        assert_eq!(Schedule::guided().name(), "guided");
+    }
+}

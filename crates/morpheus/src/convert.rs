@@ -1,0 +1,487 @@
+//! Conversions between all pairs of storage formats.
+//!
+//! COO is the canonical interchange format: every format converts losslessly
+//! to COO (modulo explicit zeros in DIA padding, see below), and every format
+//! is buildable from COO. Direct fast paths exist for CSR ↔ COO.
+//!
+//! DIA and ELL "can suffer from excessive padding" (§II-B); conversions into
+//! them are guarded by [`ConvertOptions::max_fill`] and fail with
+//! [`MorpheusError::ExcessivePadding`] rather than exhausting memory — the
+//! behaviour the profiling harness relies on to mark a format non-viable for
+//! a matrix.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dia::DiaMatrix;
+use crate::ell::{EllMatrix, ELL_PAD};
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::hdc::{true_diag_threshold, HdcMatrix, DEFAULT_TRUE_DIAG_ALPHA};
+use crate::hyb::{optimal_hyb_width, HybMatrix, HybSplit};
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Options controlling format conversions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvertOptions {
+    /// Maximum padded slots per structural non-zero allowed when converting
+    /// into DIA or ELL. Conversions needing more fail with
+    /// [`MorpheusError::ExcessivePadding`].
+    pub max_fill: f64,
+    /// Padding allowance floor in slots, so small matrices may always
+    /// convert regardless of fill ratio.
+    pub min_padded_allowance: usize,
+    /// HYB split-width policy.
+    pub hyb_split: HybSplit,
+    /// True-diagonal fraction for HDC splitting and the `NTD` statistic.
+    pub true_diag_alpha: f64,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> Self {
+        ConvertOptions {
+            max_fill: 20.0,
+            min_padded_allowance: 4096,
+            hyb_split: HybSplit::Auto,
+            true_diag_alpha: DEFAULT_TRUE_DIAG_ALPHA,
+        }
+    }
+}
+
+impl ConvertOptions {
+    fn padded_allowance(&self, nnz: usize) -> usize {
+        ((self.max_fill * nnz as f64) as usize).max(self.min_padded_allowance)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// COO -> *
+// ---------------------------------------------------------------------------
+
+/// COO → CSR. O(nnz); relies on COO's sorted invariant.
+pub fn coo_to_csr<V: Scalar>(coo: &CooMatrix<V>) -> CsrMatrix<V> {
+    let nrows = coo.nrows();
+    let mut offsets = vec![0usize; nrows + 1];
+    for &r in coo.row_indices() {
+        offsets[r + 1] += 1;
+    }
+    for i in 0..nrows {
+        offsets[i + 1] += offsets[i];
+    }
+    CsrMatrix::from_parts(nrows, coo.ncols(), offsets, coo.col_indices().to_vec(), coo.values().to_vec())
+        .expect("sorted COO always yields valid CSR")
+}
+
+/// CSR → COO. O(nnz).
+pub fn csr_to_coo<V: Scalar>(csr: &CsrMatrix<V>) -> CooMatrix<V> {
+    let mut rows = Vec::with_capacity(csr.nnz());
+    for r in 0..csr.nrows() {
+        rows.extend(std::iter::repeat_n(r, csr.row_nnz(r)));
+    }
+    CooMatrix::from_sorted_parts(csr.nrows(), csr.ncols(), rows, csr.col_indices().to_vec(), csr.values().to_vec())
+        .expect("valid CSR always yields sorted COO")
+}
+
+/// COO → DIA. Fails if padding would exceed the configured fill limit.
+pub fn coo_to_dia<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<DiaMatrix<V>> {
+    let (nrows, ncols) = (coo.nrows(), coo.ncols());
+    if nrows == 0 || ncols == 0 || coo.nnz() == 0 {
+        return Ok(DiaMatrix::new(nrows, ncols));
+    }
+    // Mark which of the nrows + ncols - 1 possible diagonals are populated.
+    let ndiag_slots = nrows + ncols - 1;
+    let mut present = vec![false; ndiag_slots];
+    for (r, c, _) in coo.iter() {
+        present[c + nrows - 1 - r] = true;
+    }
+    let offsets: Vec<isize> = present
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p)
+        .map(|(slot, _)| slot as isize - (nrows as isize - 1))
+        .collect();
+    let padded = offsets.len() * nrows;
+    let allowance = opts.padded_allowance(coo.nnz());
+    if padded > allowance {
+        return Err(MorpheusError::ExcessivePadding {
+            format: FormatId::Dia,
+            padded,
+            nnz: coo.nnz(),
+            limit: allowance,
+        });
+    }
+    // Map diagonal slot -> dense diagonal index.
+    let mut slot_to_diag = vec![usize::MAX; ndiag_slots];
+    for (d, &off) in offsets.iter().enumerate() {
+        slot_to_diag[(off + nrows as isize - 1) as usize] = d;
+    }
+    let mut values = vec![V::ZERO; padded];
+    for (r, c, v) in coo.iter() {
+        let d = slot_to_diag[c + nrows - 1 - r];
+        values[d * nrows + r] = v;
+    }
+    DiaMatrix::from_parts(nrows, ncols, offsets, values, coo.nnz())
+}
+
+/// DIA → COO. Padding slots and explicit zeros are elided (they are
+/// indistinguishable in DIA storage).
+pub fn dia_to_coo<V: Scalar>(dia: &DiaMatrix<V>) -> CooMatrix<V> {
+    let nrows = dia.nrows();
+    let mut triplets: Vec<(usize, usize, V)> = Vec::with_capacity(dia.nnz());
+    for d in 0..dia.ndiags() {
+        let off = dia.offsets()[d];
+        let diag = dia.diagonal(d);
+        for i in dia.diag_row_range(d) {
+            let v = diag[i];
+            if v != V::ZERO {
+                triplets.push((i, (i as isize + off) as usize, v));
+            }
+        }
+    }
+    triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    let rows: Vec<usize> = triplets.iter().map(|t| t.0).collect();
+    let cols: Vec<usize> = triplets.iter().map(|t| t.1).collect();
+    let vals: Vec<V> = triplets.iter().map(|t| t.2).collect();
+    CooMatrix::from_sorted_parts(nrows, dia.ncols(), rows, cols, vals)
+        .expect("distinct (row, col) per DIA slot")
+}
+
+/// COO → ELL. Fails if padding would exceed the configured fill limit.
+pub fn coo_to_ell<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<EllMatrix<V>> {
+    let (nrows, ncols) = (coo.nrows(), coo.ncols());
+    if nrows == 0 || coo.nnz() == 0 {
+        return Ok(EllMatrix::new(nrows, ncols));
+    }
+    let mut row_len = vec![0usize; nrows];
+    for &r in coo.row_indices() {
+        row_len[r] += 1;
+    }
+    let width = row_len.iter().copied().max().unwrap_or(0);
+    let padded = width * nrows;
+    let allowance = opts.padded_allowance(coo.nnz());
+    if padded > allowance {
+        return Err(MorpheusError::ExcessivePadding {
+            format: FormatId::Ell,
+            padded,
+            nnz: coo.nnz(),
+            limit: allowance,
+        });
+    }
+    let mut cols = vec![ELL_PAD; padded];
+    let mut vals = vec![V::ZERO; padded];
+    let mut cursor = vec![0usize; nrows];
+    for (r, c, v) in coo.iter() {
+        let k = cursor[r];
+        cols[k * nrows + r] = c;
+        vals[k * nrows + r] = v;
+        cursor[r] += 1;
+    }
+    EllMatrix::from_parts(nrows, ncols, width, cols, vals)
+}
+
+/// ELL → COO. Padding slots are elided; explicit zeros survive (ELL tracks
+/// padding via the sentinel, not the value).
+pub fn ell_to_coo<V: Scalar>(ell: &EllMatrix<V>) -> CooMatrix<V> {
+    let nrows = ell.nrows();
+    let mut triplets: Vec<(usize, usize, V)> = Vec::with_capacity(ell.nnz());
+    for i in 0..nrows {
+        for k in 0..ell.width() {
+            if let Some((c, v)) = ell.entry(i, k) {
+                triplets.push((i, c, v));
+            }
+        }
+    }
+    // Rows ascend in the outer loop and columns ascend within a row by the
+    // ELL invariant, so triplets are already sorted.
+    let rows: Vec<usize> = triplets.iter().map(|t| t.0).collect();
+    let cols: Vec<usize> = triplets.iter().map(|t| t.1).collect();
+    let vals: Vec<V> = triplets.iter().map(|t| t.2).collect();
+    CooMatrix::from_sorted_parts(nrows, ell.ncols(), rows, cols, vals).expect("ELL rows are sorted")
+}
+
+/// COO → HYB under the given split policy. The ELL portion never exceeds the
+/// fill limit by construction when the policy is [`HybSplit::Auto`]; a fixed
+/// width is still guarded.
+pub fn coo_to_hyb<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<HybMatrix<V>> {
+    let (nrows, ncols) = (coo.nrows(), coo.ncols());
+    let mut row_len = vec![0usize; nrows];
+    for &r in coo.row_indices() {
+        row_len[r] += 1;
+    }
+    let k = match opts.hyb_split {
+        HybSplit::Auto => optimal_hyb_width(&row_len, std::mem::size_of::<V>()),
+        HybSplit::Width(w) => w,
+    };
+    if let HybSplit::Width(_) = opts.hyb_split {
+        let padded = k * nrows;
+        let allowance = opts.padded_allowance(coo.nnz());
+        if padded > allowance {
+            return Err(MorpheusError::ExcessivePadding {
+                format: FormatId::Hyb,
+                padded,
+                nnz: coo.nnz(),
+                limit: allowance,
+            });
+        }
+    }
+    let mut ell_cols = vec![ELL_PAD; k * nrows];
+    let mut ell_vals = vec![V::ZERO; k * nrows];
+    let mut coo_rows = Vec::new();
+    let mut coo_cols = Vec::new();
+    let mut coo_vals = Vec::new();
+    let mut cursor = vec![0usize; nrows];
+    for (r, c, v) in coo.iter() {
+        let pos = cursor[r];
+        cursor[r] += 1;
+        if pos < k {
+            ell_cols[pos * nrows + r] = c;
+            ell_vals[pos * nrows + r] = v;
+        } else {
+            coo_rows.push(r);
+            coo_cols.push(c);
+            coo_vals.push(v);
+        }
+    }
+    let ell = EllMatrix::from_parts(nrows, ncols, k, ell_cols, ell_vals)?;
+    let coo_part = CooMatrix::from_sorted_parts(nrows, ncols, coo_rows, coo_cols, coo_vals)?;
+    HybMatrix::from_parts(ell, coo_part)
+}
+
+/// HYB → COO, merging the two portions.
+pub fn hyb_to_coo<V: Scalar>(hyb: &HybMatrix<V>) -> CooMatrix<V> {
+    let mut triplets: Vec<(usize, usize, V)> = Vec::with_capacity(hyb.nnz());
+    let ell = hyb.ell();
+    for i in 0..ell.nrows() {
+        for k in 0..ell.width() {
+            if let Some((c, v)) = ell.entry(i, k) {
+                triplets.push((i, c, v));
+            }
+        }
+    }
+    triplets.extend(hyb.coo().iter());
+    triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    let rows: Vec<usize> = triplets.iter().map(|t| t.0).collect();
+    let cols: Vec<usize> = triplets.iter().map(|t| t.1).collect();
+    let vals: Vec<V> = triplets.iter().map(|t| t.2).collect();
+    CooMatrix::from_sorted_parts(hyb.nrows(), hyb.ncols(), rows, cols, vals)
+        .expect("HYB portions hold disjoint coordinates")
+}
+
+/// COO → HDC: true diagonals (population ≥ `alpha * min(M, N)`) go to DIA,
+/// the remainder to CSR.
+pub fn coo_to_hdc<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<HdcMatrix<V>> {
+    let (nrows, ncols) = (coo.nrows(), coo.ncols());
+    if nrows == 0 || ncols == 0 || coo.nnz() == 0 {
+        return HdcMatrix::from_parts(DiaMatrix::new(nrows, ncols), CsrMatrix::new(nrows, ncols), opts.true_diag_alpha);
+    }
+    let threshold = true_diag_threshold(nrows, ncols, opts.true_diag_alpha);
+    let ndiag_slots = nrows + ncols - 1;
+    let mut pop = vec![0u32; ndiag_slots];
+    for (r, c, _) in coo.iter() {
+        pop[c + nrows - 1 - r] += 1;
+    }
+    let mut slot_to_diag = vec![usize::MAX; ndiag_slots];
+    let mut offsets = Vec::new();
+    for (slot, &p) in pop.iter().enumerate() {
+        if p as usize >= threshold {
+            slot_to_diag[slot] = offsets.len();
+            offsets.push(slot as isize - (nrows as isize - 1));
+        }
+    }
+    let padded = offsets.len() * nrows;
+    let allowance = opts.padded_allowance(coo.nnz());
+    if padded > allowance {
+        return Err(MorpheusError::ExcessivePadding {
+            format: FormatId::Hdc,
+            padded,
+            nnz: coo.nnz(),
+            limit: allowance,
+        });
+    }
+    let mut dia_vals = vec![V::ZERO; padded];
+    let mut dia_nnz = 0usize;
+    let mut csr_rows = Vec::new();
+    let mut csr_cols = Vec::new();
+    let mut csr_vals = Vec::new();
+    for (r, c, v) in coo.iter() {
+        let d = slot_to_diag[c + nrows - 1 - r];
+        if d != usize::MAX {
+            dia_vals[d * nrows + r] = v;
+            dia_nnz += 1;
+        } else {
+            csr_rows.push(r);
+            csr_cols.push(c);
+            csr_vals.push(v);
+        }
+    }
+    let dia = DiaMatrix::from_parts(nrows, ncols, offsets, dia_vals, dia_nnz)?;
+    let csr_coo = CooMatrix::from_sorted_parts(nrows, ncols, csr_rows, csr_cols, csr_vals)?;
+    let csr = coo_to_csr(&csr_coo);
+    HdcMatrix::from_parts(dia, csr, opts.true_diag_alpha)
+}
+
+/// HDC → COO, merging the two portions. Explicit zeros stored in the DIA
+/// portion are elided (same caveat as [`dia_to_coo`]).
+pub fn hdc_to_coo<V: Scalar>(hdc: &HdcMatrix<V>) -> CooMatrix<V> {
+    let mut triplets: Vec<(usize, usize, V)> = Vec::with_capacity(hdc.nnz());
+    triplets.extend(dia_to_coo(hdc.dia()).iter());
+    triplets.extend(csr_to_coo(hdc.csr()).iter());
+    triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    let rows: Vec<usize> = triplets.iter().map(|t| t.0).collect();
+    let cols: Vec<usize> = triplets.iter().map(|t| t.1).collect();
+    let vals: Vec<V> = triplets.iter().map(|t| t.2).collect();
+    CooMatrix::from_sorted_parts(hdc.nrows(), hdc.ncols(), rows, cols, vals)
+        .expect("HDC portions hold disjoint coordinates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::random_coo;
+
+    fn sample_coo() -> CooMatrix<f64> {
+        // [1 0 2 0]
+        // [0 3 0 0]
+        // [4 0 5 6]
+        // [0 0 0 7]
+        CooMatrix::from_triplets(
+            4,
+            4,
+            &[0, 0, 1, 2, 2, 2, 3],
+            &[0, 2, 1, 0, 2, 3, 3],
+            &[1., 2., 3., 4., 5., 6., 7.],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_csr_roundtrip() {
+        let coo = sample_coo();
+        let csr = coo_to_csr(&coo);
+        assert_eq!(csr.row_offsets(), &[0, 2, 3, 6, 7]);
+        let back = csr_to_coo(&csr);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn coo_dia_roundtrip() {
+        let coo = sample_coo();
+        let dia = coo_to_dia(&coo, &ConvertOptions::default()).unwrap();
+        assert_eq!(dia.nnz(), coo.nnz());
+        // Diagonals present: offsets j - i in {0, 2, -2, 1}.
+        assert_eq!(dia.offsets(), &[-2, 0, 1, 2]);
+        let back = dia_to_coo(&dia);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn coo_ell_roundtrip() {
+        let coo = sample_coo();
+        let ell = coo_to_ell(&coo, &ConvertOptions::default()).unwrap();
+        assert_eq!(ell.width(), 3);
+        assert_eq!(ell.nnz(), coo.nnz());
+        let back = ell_to_coo(&ell);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn coo_hyb_roundtrip() {
+        let coo = sample_coo();
+        for split in [HybSplit::Auto, HybSplit::Width(1), HybSplit::Width(2)] {
+            let opts = ConvertOptions { hyb_split: split, ..Default::default() };
+            let hyb = coo_to_hyb(&coo, &opts).unwrap();
+            assert_eq!(hyb.nnz(), coo.nnz(), "{split:?}");
+            let back = hyb_to_coo(&hyb);
+            assert_eq!(back, coo, "{split:?}");
+        }
+    }
+
+    #[test]
+    fn coo_hdc_roundtrip() {
+        let coo = sample_coo();
+        let opts = ConvertOptions { true_diag_alpha: 0.5, ..Default::default() };
+        let hdc = coo_to_hdc(&coo, &opts).unwrap();
+        assert_eq!(hdc.nnz(), coo.nnz());
+        // Main diagonal has 4 entries >= ceil(0.5*4) = 2 -> true diagonal.
+        assert!(hdc.dia().ndiags() >= 1);
+        assert!(hdc.dia().offsets().contains(&0));
+        let back = hdc_to_coo(&hdc);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn hyb_auto_split_spills_long_row() {
+        // 63 rows with 1 entry, one row with 40 entries.
+        let n = 64usize;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..n - 1 {
+            rows.push(r);
+            cols.push(r % 8);
+            vals.push(1.0);
+        }
+        for c in 0..40 {
+            rows.push(n - 1);
+            cols.push(c);
+            vals.push(2.0);
+        }
+        let coo = CooMatrix::<f64>::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+        let hyb = coo_to_hyb(&coo, &ConvertOptions::default()).unwrap();
+        assert_eq!(hyb.split_width(), 1);
+        assert_eq!(hyb.coo().nnz(), 39);
+        assert_eq!(hyb.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn ell_conversion_rejects_excessive_padding() {
+        // One dense row in an otherwise hypersparse large matrix.
+        let n = 20_000usize;
+        let mut rows = vec![0usize; 1000];
+        let cols: Vec<usize> = (0..1000).collect();
+        let vals = vec![1.0f64; 1000];
+        rows.extend([n - 1]);
+        let mut cols = cols;
+        cols.push(0);
+        let mut vals = vals;
+        vals.push(1.0);
+        let coo = CooMatrix::<f64>::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+        let err = coo_to_ell(&coo, &ConvertOptions::default()).unwrap_err();
+        assert!(matches!(err, MorpheusError::ExcessivePadding { format: FormatId::Ell, .. }));
+    }
+
+    #[test]
+    fn dia_conversion_rejects_excessive_padding() {
+        // Random scatter -> many distinct diagonals.
+        let coo = random_coo::<f64>(3000, 3000, 600, 7);
+        let opts = ConvertOptions { max_fill: 2.0, min_padded_allowance: 16, ..Default::default() };
+        let err = coo_to_dia(&coo, &opts).unwrap_err();
+        assert!(matches!(err, MorpheusError::ExcessivePadding { format: FormatId::Dia, .. }));
+    }
+
+    #[test]
+    fn empty_matrix_conversions() {
+        let coo = CooMatrix::<f64>::new(5, 5);
+        let opts = ConvertOptions::default();
+        assert_eq!(coo_to_csr(&coo).nnz(), 0);
+        assert_eq!(coo_to_dia(&coo, &opts).unwrap().nnz(), 0);
+        assert_eq!(coo_to_ell(&coo, &opts).unwrap().nnz(), 0);
+        assert_eq!(coo_to_hyb(&coo, &opts).unwrap().nnz(), 0);
+        assert_eq!(coo_to_hdc(&coo, &opts).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn random_roundtrips_preserve_entries() {
+        for seed in 0..5u64 {
+            let coo = random_coo::<f64>(60, 45, 300, seed);
+            // Random scatter populates most diagonals; raise the padding
+            // allowance so the DIA leg of the roundtrip is exercised too.
+            let opts = ConvertOptions { min_padded_allowance: 1 << 20, ..Default::default() };
+            assert_eq!(csr_to_coo(&coo_to_csr(&coo)), coo, "csr seed {seed}");
+            assert_eq!(dia_to_coo(&coo_to_dia(&coo, &opts).unwrap()), coo, "dia seed {seed}");
+            assert_eq!(ell_to_coo(&coo_to_ell(&coo, &opts).unwrap()), coo, "ell seed {seed}");
+            assert_eq!(hyb_to_coo(&coo_to_hyb(&coo, &opts).unwrap()), coo, "hyb seed {seed}");
+            assert_eq!(hdc_to_coo(&coo_to_hdc(&coo, &opts).unwrap()), coo, "hdc seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Coordinate (COO) format.
+
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Coordinate-format sparse matrix (§II-B).
+///
+/// Each non-zero is stored as an explicit `(row, col, value)` triplet across
+/// three parallel arrays. The paper notes COO gives "no guarantees in the
+/// ordering of the elements"; this implementation *does* maintain the
+/// invariant that entries are sorted by `(row, col)` with no duplicates,
+/// which every constructor establishes. Sortedness is what lets the threaded
+/// SpMV kernel partition entries at row boundaries without atomics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<V> {
+    nrows: usize,
+    ncols: usize,
+    row_indices: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<V>,
+}
+
+impl<V: Scalar> CooMatrix<V> {
+    /// An empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, row_indices: Vec::new(), col_indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds from triplet arrays. Entries are sorted by `(row, col)`;
+    /// duplicate coordinates are summed (the SuiteSparse convention for
+    /// assembled matrices).
+    pub fn from_triplets(nrows: usize, ncols: usize, rows: &[usize], cols: &[usize], vals: &[V]) -> Result<Self> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(MorpheusError::InvalidStructure(format!(
+                "triplet arrays disagree in length: rows={}, cols={}, vals={}",
+                rows.len(),
+                cols.len(),
+                vals.len()
+            )));
+        }
+        for (&r, &c) in rows.iter().zip(cols) {
+            if r >= nrows || c >= ncols {
+                return Err(MorpheusError::IndexOutOfBounds { index: (r, c), shape: (nrows, ncols) });
+            }
+        }
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_unstable_by_key(|&i| (rows[i], cols[i]));
+
+        let mut row_indices = Vec::with_capacity(rows.len());
+        let mut col_indices = Vec::with_capacity(rows.len());
+        let mut values: Vec<V> = Vec::with_capacity(rows.len());
+        for i in order {
+            let (r, c, v) = (rows[i], cols[i], vals[i]);
+            if let (Some(&lr), Some(&lc)) = (row_indices.last(), col_indices.last()) {
+                if lr == r && lc == c {
+                    let last = values.last_mut().expect("values tracks indices");
+                    *last += v;
+                    continue;
+                }
+            }
+            row_indices.push(r);
+            col_indices.push(c);
+            values.push(v);
+        }
+        Ok(CooMatrix { nrows, ncols, row_indices, col_indices, values })
+    }
+
+    /// Builds from already-sorted, duplicate-free parts without re-sorting.
+    /// Validates the invariants and rejects violations.
+    pub fn from_sorted_parts(
+        nrows: usize,
+        ncols: usize,
+        row_indices: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<V>,
+    ) -> Result<Self> {
+        if row_indices.len() != col_indices.len() || row_indices.len() != values.len() {
+            return Err(MorpheusError::InvalidStructure("COO arrays disagree in length".into()));
+        }
+        for i in 0..row_indices.len() {
+            let (r, c) = (row_indices[i], col_indices[i]);
+            if r >= nrows || c >= ncols {
+                return Err(MorpheusError::IndexOutOfBounds { index: (r, c), shape: (nrows, ncols) });
+            }
+            if i > 0 {
+                let prev = (row_indices[i - 1], col_indices[i - 1]);
+                if prev >= (r, c) {
+                    return Err(MorpheusError::InvalidStructure(format!(
+                        "COO entries not strictly sorted at position {i}: {prev:?} >= {:?}",
+                        (r, c)
+                    )));
+                }
+            }
+        }
+        Ok(CooMatrix { nrows, ncols, row_indices, col_indices, values })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Format identifier ([`FormatId::Coo`]).
+    #[inline]
+    pub fn format_id(&self) -> FormatId {
+        FormatId::Coo
+    }
+
+    /// Row index array.
+    #[inline]
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_indices
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_indices
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Iterator over `(row, col, value)` triplets in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, V)> + '_ {
+        (0..self.nnz()).map(move |i| (self.row_indices[i], self.col_indices[i], self.values[i]))
+    }
+
+    /// Bytes of heap storage the format occupies (used by the cost models).
+    pub fn storage_bytes(&self) -> usize {
+        self.nnz() * (2 * std::mem::size_of::<usize>() + std::mem::size_of::<V>())
+    }
+
+    /// Consumes the matrix, returning `(nrows, ncols, rows, cols, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<V>) {
+        (self.nrows, self.ncols, self.row_indices, self.col_indices, self.values)
+    }
+
+    /// The transpose `Aᵀ` (entries re-sorted into the COO invariant).
+    pub fn transpose(&self) -> CooMatrix<V> {
+        CooMatrix::from_triplets(self.ncols, self.nrows, &self.col_indices, &self.row_indices, &self.values)
+            .expect("transposing in-bounds entries stays in bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_sorts_and_sums_duplicates() {
+        let m = CooMatrix::<f64>::from_triplets(3, 3, &[2, 0, 0, 2], &[1, 2, 2, 1], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(0, 2, 5.0), (2, 1, 5.0)]);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let err = CooMatrix::<f64>::from_triplets(2, 2, &[2], &[0], &[1.0]).unwrap_err();
+        assert!(matches!(err, MorpheusError::IndexOutOfBounds { .. }));
+        let err = CooMatrix::<f64>::from_triplets(2, 2, &[0], &[5], &[1.0]).unwrap_err();
+        assert!(matches!(err, MorpheusError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let err = CooMatrix::<f64>::from_triplets(2, 2, &[0, 1], &[0], &[1.0]).unwrap_err();
+        assert!(matches!(err, MorpheusError::InvalidStructure(_)));
+    }
+
+    #[test]
+    fn from_sorted_parts_validates_order() {
+        let err =
+            CooMatrix::<f64>::from_sorted_parts(2, 2, vec![1, 0], vec![0, 0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, MorpheusError::InvalidStructure(_)));
+        // Duplicates also rejected.
+        let err =
+            CooMatrix::<f64>::from_sorted_parts(2, 2, vec![0, 0], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, MorpheusError::InvalidStructure(_)));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CooMatrix::<f64>::new(5, 7);
+        assert_eq!(m.nrows(), 5);
+        assert_eq!(m.ncols(), 7);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn storage_bytes_counts_triplets() {
+        let m = CooMatrix::<f64>::from_triplets(2, 2, &[0, 1], &[0, 1], &[1.0, 2.0]).unwrap();
+        assert_eq!(m.storage_bytes(), 2 * (8 + 8 + 8));
+    }
+}

@@ -1,0 +1,224 @@
+//! Compressed Sparse Row (CSR) format.
+
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Compressed Sparse Row matrix (§II-B) — the general-purpose default format
+/// the paper benchmarks every other format against.
+///
+/// Row indices are compressed into an offsets array of length `nrows + 1`
+/// marking the boundary of each row in the column/value arrays. Invariants
+/// (validated by all constructors):
+///
+/// * `row_offsets[0] == 0`, `row_offsets` monotone non-decreasing,
+///   `row_offsets[nrows] == nnz`;
+/// * column indices strictly increasing within each row (no duplicates);
+/// * all column indices `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<V> {
+    nrows: usize,
+    ncols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<V>,
+}
+
+impl<V: Scalar> CsrMatrix<V> {
+    /// An empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix { nrows, ncols, row_offsets: vec![0; nrows + 1], col_indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds from raw CSR arrays, validating every invariant.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_offsets: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<V>,
+    ) -> Result<Self> {
+        if row_offsets.len() != nrows + 1 {
+            return Err(MorpheusError::InvalidStructure(format!(
+                "row_offsets has length {}, expected nrows + 1 = {}",
+                row_offsets.len(),
+                nrows + 1
+            )));
+        }
+        if row_offsets[0] != 0 {
+            return Err(MorpheusError::InvalidStructure("row_offsets[0] must be 0".into()));
+        }
+        if col_indices.len() != values.len() {
+            return Err(MorpheusError::InvalidStructure("col_indices and values disagree in length".into()));
+        }
+        if *row_offsets.last().expect("len >= 1") != col_indices.len() {
+            return Err(MorpheusError::InvalidStructure(format!(
+                "row_offsets[last] = {} but nnz = {}",
+                row_offsets.last().unwrap(),
+                col_indices.len()
+            )));
+        }
+        for r in 0..nrows {
+            let (lo, hi) = (row_offsets[r], row_offsets[r + 1]);
+            if lo > hi {
+                return Err(MorpheusError::InvalidStructure(format!("row_offsets not monotone at row {r}")));
+            }
+            for i in lo..hi {
+                let c = col_indices[i];
+                if c >= ncols {
+                    return Err(MorpheusError::IndexOutOfBounds { index: (r, c), shape: (nrows, ncols) });
+                }
+                if i > lo && col_indices[i - 1] >= c {
+                    return Err(MorpheusError::InvalidStructure(format!(
+                        "columns not strictly increasing in row {r}"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix { nrows, ncols, row_offsets, col_indices, values })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Format identifier ([`FormatId::Csr`]).
+    #[inline]
+    pub fn format_id(&self) -> FormatId {
+        FormatId::Csr
+    }
+
+    /// Row offsets array (length `nrows + 1`).
+    #[inline]
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_offsets
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_indices
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Half-open range of entry positions belonging to `row`.
+    #[inline]
+    pub fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        self.row_offsets[row]..self.row_offsets[row + 1]
+    }
+
+    /// Number of stored entries in `row`.
+    #[inline]
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_offsets[row + 1] - self.row_offsets[row]
+    }
+
+    /// Column indices of `row`.
+    #[inline]
+    pub fn row_cols(&self, row: usize) -> &[usize] {
+        &self.col_indices[self.row_range(row)]
+    }
+
+    /// Values of `row`.
+    #[inline]
+    pub fn row_vals(&self, row: usize) -> &[V] {
+        &self.values[self.row_range(row)]
+    }
+
+    /// Per-row non-zero counts (the weights the nnz-balanced threaded kernel
+    /// partitions on).
+    pub fn row_nnz_counts(&self) -> Vec<usize> {
+        (0..self.nrows).map(|r| self.row_nnz(r)).collect()
+    }
+
+    /// Bytes of heap storage the format occupies.
+    pub fn storage_bytes(&self) -> usize {
+        self.row_offsets.len() * std::mem::size_of::<usize>()
+            + self.col_indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<V>()
+    }
+
+    /// Consumes the matrix, returning `(nrows, ncols, offsets, cols, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<V>) {
+        (self.nrows, self.ncols, self.row_offsets, self.col_indices, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_cols(2), &[0, 1]);
+        assert_eq!(m.row_vals(0), &[1.0, 2.0]);
+        assert_eq!(m.row_nnz_counts(), vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        assert!(CsrMatrix::<f64>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::<f64>::from_parts(2, 2, vec![1, 1, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::<f64>::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(CsrMatrix::<f64>::from_parts(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_or_duplicate_columns() {
+        assert!(CsrMatrix::<f64>::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err());
+        assert!(CsrMatrix::<f64>::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_column_out_of_range() {
+        let err = CsrMatrix::<f64>::from_parts(1, 2, vec![0, 1], vec![2], vec![1.0]).unwrap_err();
+        assert!(matches!(err, MorpheusError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::<f64>::new(4, 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row_nnz(3), 0);
+    }
+
+    #[test]
+    fn zero_row_matrix() {
+        let m = CsrMatrix::<f64>::from_parts(0, 5, vec![0], vec![], vec![]).unwrap();
+        assert_eq!(m.nrows(), 0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

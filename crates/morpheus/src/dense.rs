@@ -1,0 +1,87 @@
+//! Minimal dense matrix, used as the reference implementation in tests,
+//! examples and the documentation.
+
+use crate::coo::CooMatrix;
+use crate::scalar::Scalar;
+
+/// Row-major dense matrix. Not intended for large problems — it exists so
+/// sparse kernels have an oracle to be verified against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<V> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<V>,
+}
+
+impl<V: Scalar> DenseMatrix<V> {
+    /// A zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix { nrows, ncols, data: vec![V::ZERO; nrows * ncols] }
+    }
+
+    /// Materialises a COO matrix densely.
+    pub fn from_coo(coo: &CooMatrix<V>) -> Self {
+        let mut m = DenseMatrix::zeros(coo.nrows(), coo.ncols());
+        for (r, c, v) in coo.iter() {
+            m.data[r * coo.ncols() + c] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> V {
+        self.data[r * self.ncols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut V {
+        &mut self.data[r * self.ncols + c]
+    }
+
+    /// Reference dense `y = A x`.
+    pub fn spmv(&self, x: &[V], y: &mut [V]) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.ncols..(r + 1) * self.ncols];
+            let mut acc = V::ZERO;
+            for (&a, &b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *out = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coo_and_spmv() {
+        let coo = CooMatrix::<f64>::from_triplets(2, 3, &[0, 0, 1], &[0, 2, 1], &[1.0, 2.0, 3.0]).unwrap();
+        let d = DenseMatrix::from_coo(&coo);
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(1, 0), 0.0);
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 2];
+        d.spmv(&x, &mut y);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+}

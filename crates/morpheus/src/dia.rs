@@ -1,0 +1,218 @@
+//! Diagonal (DIA) format.
+
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Diagonal-format sparse matrix (§II-B).
+///
+/// Non-zeros are stored in a dense two-dimensional array where each column
+/// holds one diagonal of the matrix, plus an integer `offsets` array
+/// recording which diagonal each column represents (`offset = col - row`).
+/// Designed for "regular sparsity patterns ... a good fit for vector-like
+/// processors".
+///
+/// Layout: diagonal-major, `values[d * nrows + i] == A[i, i + offsets[d]]`,
+/// padded with zeros where `i + offsets[d]` falls outside `0..ncols`.
+/// Offsets are strictly increasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiaMatrix<V> {
+    nrows: usize,
+    ncols: usize,
+    offsets: Vec<isize>,
+    values: Vec<V>,
+    /// Structural non-zeros (entries that came from the source matrix, as
+    /// opposed to padding).
+    nnz: usize,
+}
+
+impl<V: Scalar> DiaMatrix<V> {
+    /// An empty matrix of the given shape (zero diagonals).
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        DiaMatrix { nrows, ncols, offsets: Vec::new(), values: Vec::new(), nnz: 0 }
+    }
+
+    /// Builds from raw parts, validating the layout.
+    ///
+    /// `values.len()` must equal `offsets.len() * nrows`, offsets must be
+    /// strictly increasing and inside `-(nrows-1)..=(ncols-1)`, and `nnz`
+    /// must not exceed the number of in-bounds slots.
+    pub fn from_parts(nrows: usize, ncols: usize, offsets: Vec<isize>, values: Vec<V>, nnz: usize) -> Result<Self> {
+        if values.len() != offsets.len() * nrows {
+            return Err(MorpheusError::InvalidStructure(format!(
+                "DIA values length {} != ndiags {} * nrows {}",
+                values.len(),
+                offsets.len(),
+                nrows
+            )));
+        }
+        for (i, &off) in offsets.iter().enumerate() {
+            if nrows > 0 && ncols > 0 {
+                let lo = -(nrows as isize - 1);
+                let hi = ncols as isize - 1;
+                if off < lo || off > hi {
+                    return Err(MorpheusError::InvalidStructure(format!(
+                        "DIA offset {off} outside valid range {lo}..={hi}"
+                    )));
+                }
+            }
+            if i > 0 && offsets[i - 1] >= off {
+                return Err(MorpheusError::InvalidStructure("DIA offsets must be strictly increasing".into()));
+            }
+        }
+        if nnz > values.len() {
+            return Err(MorpheusError::InvalidStructure(format!(
+                "DIA nnz {} exceeds total slots {}",
+                nnz,
+                values.len()
+            )));
+        }
+        Ok(DiaMatrix { nrows, ncols, offsets, values, nnz })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Structural non-zeros (excludes padding).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Format identifier ([`FormatId::Dia`]).
+    #[inline]
+    pub fn format_id(&self) -> FormatId {
+        FormatId::Dia
+    }
+
+    /// Number of stored diagonals.
+    #[inline]
+    pub fn ndiags(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Diagonal offsets (`col - row`), strictly increasing.
+    #[inline]
+    pub fn offsets(&self) -> &[isize] {
+        &self.offsets
+    }
+
+    /// Dense diagonal storage, `ndiags * nrows`, diagonal-major.
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// The slice of storage holding diagonal `d`.
+    #[inline]
+    pub fn diagonal(&self, d: usize) -> &[V] {
+        &self.values[d * self.nrows..(d + 1) * self.nrows]
+    }
+
+    /// Total allocated slots including padding (`ndiags * nrows`).
+    #[inline]
+    pub fn padded_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The rows for which diagonal `d` has an in-bounds column, i.e. the
+    /// iteration range of the SpMV inner loop for that diagonal.
+    #[inline]
+    pub fn diag_row_range(&self, d: usize) -> std::ops::Range<usize> {
+        let off = self.offsets[d];
+        let start = if off < 0 { (-off) as usize } else { 0 };
+        let end = if off >= 0 {
+            self.nrows.min(self.ncols.saturating_sub(off as usize))
+        } else {
+            self.nrows.min((-off) as usize + self.ncols)
+        };
+        start..end.max(start)
+    }
+
+    /// Bytes of heap storage the format occupies.
+    pub fn storage_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<isize>() + self.values.len() * std::mem::size_of::<V>()
+    }
+
+    /// Consumes the matrix, returning `(nrows, ncols, offsets, values, nnz)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<isize>, Vec<V>, usize) {
+        (self.nrows, self.ncols, self.offsets, self.values, self.nnz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tridiag3() -> DiaMatrix<f64> {
+        // [2 -1  0]
+        // [-1 2 -1]
+        // [0 -1  2]
+        let offsets = vec![-1isize, 0, 1];
+        #[rustfmt::skip]
+        let values = vec![
+            0.0, -1.0, -1.0, // off -1: rows 1..3
+            2.0, 2.0, 2.0,   // off 0
+            -1.0, -1.0, 0.0, // off +1: rows 0..2
+        ];
+        DiaMatrix::from_parts(3, 3, offsets, values, 7).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = tridiag3();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ndiags(), 3);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.padded_len(), 9);
+        assert_eq!(m.diagonal(1), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn diag_row_ranges() {
+        let m = tridiag3();
+        assert_eq!(m.diag_row_range(0), 1..3); // off -1
+        assert_eq!(m.diag_row_range(1), 0..3); // off 0
+        assert_eq!(m.diag_row_range(2), 0..2); // off +1
+    }
+
+    #[test]
+    fn diag_row_range_rectangular() {
+        // 4x2 matrix, offset 1: A[i, i+1] valid for i = 0 only.
+        let m = DiaMatrix::<f64>::from_parts(4, 2, vec![1], vec![5.0, 0.0, 0.0, 0.0], 1).unwrap();
+        assert_eq!(m.diag_row_range(0), 0..1);
+        // 2x4, offset -1: A[i, i-1] valid for i = 1 only (i in 1..2).
+        let m = DiaMatrix::<f64>::from_parts(2, 4, vec![-1], vec![0.0, 5.0], 1).unwrap();
+        assert_eq!(m.diag_row_range(0), 1..2);
+    }
+
+    #[test]
+    fn rejects_bad_parts() {
+        // Wrong values length.
+        assert!(DiaMatrix::<f64>::from_parts(3, 3, vec![0], vec![1.0], 1).is_err());
+        // Offsets not increasing.
+        assert!(DiaMatrix::<f64>::from_parts(2, 2, vec![0, 0], vec![1.0; 4], 2).is_err());
+        // Offset out of range.
+        assert!(DiaMatrix::<f64>::from_parts(2, 2, vec![5], vec![1.0; 2], 1).is_err());
+        // nnz too large.
+        assert!(DiaMatrix::<f64>::from_parts(2, 2, vec![0], vec![1.0; 2], 3).is_err());
+    }
+
+    #[test]
+    fn empty() {
+        let m = DiaMatrix::<f64>::new(3, 3);
+        assert_eq!(m.ndiags(), 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.padded_len(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The runtime-switchable `DynamicMatrix` (§II-C).
+
+use crate::convert::{
+    coo_to_csr, coo_to_dia, coo_to_ell, coo_to_hdc, coo_to_hyb, csr_to_coo, dia_to_coo, ell_to_coo, hdc_to_coo,
+    hyb_to_coo, ConvertOptions,
+};
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::dia::DiaMatrix;
+use crate::ell::EllMatrix;
+use crate::format::FormatId;
+use crate::hdc::HdcMatrix;
+use crate::hyb::HybMatrix;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// A sparse matrix whose storage format is chosen — and changed — at
+/// runtime.
+///
+/// This is the Rust analogue of Morpheus' `DynamicMatrix`: "a single dynamic
+/// 'abstract' format" providing "a transparent mechanism that can
+/// efficiently switch to the different formats" (§II-C). The Oracle tuners
+/// return a [`FormatId`]; [`DynamicMatrix::convert_to`] performs the switch
+/// in place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicMatrix<V> {
+    /// Coordinate storage.
+    Coo(CooMatrix<V>),
+    /// Compressed sparse row storage.
+    Csr(CsrMatrix<V>),
+    /// Diagonal storage.
+    Dia(DiaMatrix<V>),
+    /// ELLPACK storage.
+    Ell(EllMatrix<V>),
+    /// Hybrid ELL/COO storage.
+    Hyb(HybMatrix<V>),
+    /// Hybrid DIA/CSR storage.
+    Hdc(HdcMatrix<V>),
+}
+
+impl<V: Scalar> DynamicMatrix<V> {
+    /// The active format.
+    pub fn format_id(&self) -> FormatId {
+        match self {
+            DynamicMatrix::Coo(_) => FormatId::Coo,
+            DynamicMatrix::Csr(_) => FormatId::Csr,
+            DynamicMatrix::Dia(_) => FormatId::Dia,
+            DynamicMatrix::Ell(_) => FormatId::Ell,
+            DynamicMatrix::Hyb(_) => FormatId::Hyb,
+            DynamicMatrix::Hdc(_) => FormatId::Hdc,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        match self {
+            DynamicMatrix::Coo(m) => m.nrows(),
+            DynamicMatrix::Csr(m) => m.nrows(),
+            DynamicMatrix::Dia(m) => m.nrows(),
+            DynamicMatrix::Ell(m) => m.nrows(),
+            DynamicMatrix::Hyb(m) => m.nrows(),
+            DynamicMatrix::Hdc(m) => m.nrows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        match self {
+            DynamicMatrix::Coo(m) => m.ncols(),
+            DynamicMatrix::Csr(m) => m.ncols(),
+            DynamicMatrix::Dia(m) => m.ncols(),
+            DynamicMatrix::Ell(m) => m.ncols(),
+            DynamicMatrix::Hyb(m) => m.ncols(),
+            DynamicMatrix::Hdc(m) => m.ncols(),
+        }
+    }
+
+    /// Structural non-zeros (excludes padding in DIA/ELL-like formats).
+    pub fn nnz(&self) -> usize {
+        match self {
+            DynamicMatrix::Coo(m) => m.nnz(),
+            DynamicMatrix::Csr(m) => m.nnz(),
+            DynamicMatrix::Dia(m) => m.nnz(),
+            DynamicMatrix::Ell(m) => m.nnz(),
+            DynamicMatrix::Hyb(m) => m.nnz(),
+            DynamicMatrix::Hdc(m) => m.nnz(),
+        }
+    }
+
+    /// Bytes of heap storage the active representation occupies.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            DynamicMatrix::Coo(m) => m.storage_bytes(),
+            DynamicMatrix::Csr(m) => m.storage_bytes(),
+            DynamicMatrix::Dia(m) => m.storage_bytes(),
+            DynamicMatrix::Ell(m) => m.storage_bytes(),
+            DynamicMatrix::Hyb(m) => m.storage_bytes(),
+            DynamicMatrix::Hdc(m) => m.storage_bytes(),
+        }
+    }
+
+    /// Extracts a COO copy of the matrix regardless of the active format.
+    pub fn to_coo(&self) -> CooMatrix<V> {
+        match self {
+            DynamicMatrix::Coo(m) => m.clone(),
+            DynamicMatrix::Csr(m) => csr_to_coo(m),
+            DynamicMatrix::Dia(m) => dia_to_coo(m),
+            DynamicMatrix::Ell(m) => ell_to_coo(m),
+            DynamicMatrix::Hyb(m) => hyb_to_coo(m),
+            DynamicMatrix::Hdc(m) => hdc_to_coo(m),
+        }
+    }
+
+    /// Returns a copy of this matrix converted to `target`.
+    ///
+    /// Fails with [`crate::MorpheusError::ExcessivePadding`] when the target
+    /// format would pad beyond `opts.max_fill` — the caller (e.g. the
+    /// run-first tuner) should treat that format as non-viable.
+    pub fn to_format(&self, target: FormatId, opts: &ConvertOptions) -> Result<DynamicMatrix<V>> {
+        if target == self.format_id() {
+            return Ok(self.clone());
+        }
+        let coo = self.to_coo();
+        Ok(match target {
+            FormatId::Coo => DynamicMatrix::Coo(coo),
+            FormatId::Csr => DynamicMatrix::Csr(coo_to_csr(&coo)),
+            FormatId::Dia => DynamicMatrix::Dia(coo_to_dia(&coo, opts)?),
+            FormatId::Ell => DynamicMatrix::Ell(coo_to_ell(&coo, opts)?),
+            FormatId::Hyb => DynamicMatrix::Hyb(coo_to_hyb(&coo, opts)?),
+            FormatId::Hdc => DynamicMatrix::Hdc(coo_to_hdc(&coo, opts)?),
+        })
+    }
+
+    /// Switches the active format in place. On failure the matrix is left
+    /// unchanged.
+    pub fn convert_to(&mut self, target: FormatId, opts: &ConvertOptions) -> Result<()> {
+        if target == self.format_id() {
+            return Ok(());
+        }
+        *self = self.to_format(target, opts)?;
+        Ok(())
+    }
+
+    /// Materialises the matrix densely (small matrices / tests only).
+    pub fn to_dense(&self) -> DenseMatrix<V> {
+        DenseMatrix::from_coo(&self.to_coo())
+    }
+
+    /// The transpose `Aᵀ`, re-materialised in the same storage format.
+    ///
+    /// Fails with [`crate::MorpheusError::ExcessivePadding`] when the
+    /// transposed pattern no longer fits the active padded format (e.g. an
+    /// ELL matrix whose transpose has one dense row).
+    pub fn transpose(&self, opts: &ConvertOptions) -> Result<DynamicMatrix<V>> {
+        let t = DynamicMatrix::Coo(self.to_coo().transpose());
+        t.to_format(self.format_id(), opts)
+    }
+}
+
+impl<V: Scalar> From<CooMatrix<V>> for DynamicMatrix<V> {
+    fn from(m: CooMatrix<V>) -> Self {
+        DynamicMatrix::Coo(m)
+    }
+}
+
+impl<V: Scalar> From<CsrMatrix<V>> for DynamicMatrix<V> {
+    fn from(m: CsrMatrix<V>) -> Self {
+        DynamicMatrix::Csr(m)
+    }
+}
+
+impl<V: Scalar> From<DiaMatrix<V>> for DynamicMatrix<V> {
+    fn from(m: DiaMatrix<V>) -> Self {
+        DynamicMatrix::Dia(m)
+    }
+}
+
+impl<V: Scalar> From<EllMatrix<V>> for DynamicMatrix<V> {
+    fn from(m: EllMatrix<V>) -> Self {
+        DynamicMatrix::Ell(m)
+    }
+}
+
+impl<V: Scalar> From<HybMatrix<V>> for DynamicMatrix<V> {
+    fn from(m: HybMatrix<V>) -> Self {
+        DynamicMatrix::Hyb(m)
+    }
+}
+
+impl<V: Scalar> From<HdcMatrix<V>> for DynamicMatrix<V> {
+    fn from(m: HdcMatrix<V>) -> Self {
+        DynamicMatrix::Hdc(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ALL_FORMATS;
+    use crate::test_util::random_coo;
+
+    #[test]
+    fn switch_through_every_format_preserves_entries() {
+        let coo = random_coo::<f64>(40, 40, 200, 3);
+        let reference = coo.clone();
+        let mut m = DynamicMatrix::from(coo);
+        let opts = ConvertOptions::default();
+        for &f in &ALL_FORMATS {
+            m.convert_to(f, &opts).unwrap();
+            assert_eq!(m.format_id(), f);
+            assert_eq!(m.nnz(), reference.nnz(), "nnz after switch to {f}");
+            assert_eq!(m.to_coo(), reference, "entries after switch to {f}");
+        }
+        // And back to COO.
+        m.convert_to(FormatId::Coo, &opts).unwrap();
+        assert_eq!(m.to_coo(), reference);
+    }
+
+    #[test]
+    fn convert_to_same_format_is_noop() {
+        let coo = random_coo::<f64>(10, 10, 30, 1);
+        let mut m = DynamicMatrix::from(coo.clone());
+        m.convert_to(FormatId::Coo, &ConvertOptions::default()).unwrap();
+        assert_eq!(m, DynamicMatrix::Coo(coo));
+    }
+
+    #[test]
+    fn failed_conversion_leaves_matrix_unchanged() {
+        // Scatter matrix that cannot fit DIA under a tight fill limit.
+        let coo = random_coo::<f64>(2000, 2000, 400, 9);
+        let mut m = DynamicMatrix::from(coo.clone());
+        let opts = ConvertOptions { max_fill: 1.5, min_padded_allowance: 8, ..Default::default() };
+        assert!(m.convert_to(FormatId::Dia, &opts).is_err());
+        assert_eq!(m.format_id(), FormatId::Coo);
+        assert_eq!(m.to_coo(), coo);
+    }
+
+    #[test]
+    fn dims_consistent_across_formats() {
+        let coo = random_coo::<f64>(31, 17, 120, 5);
+        let m = DynamicMatrix::from(coo);
+        let opts = ConvertOptions::default();
+        for &f in &ALL_FORMATS {
+            let converted = m.to_format(f, &opts).unwrap();
+            assert_eq!(converted.nrows(), 31);
+            assert_eq!(converted.ncols(), 17);
+            assert!(converted.storage_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let coo = random_coo::<f64>(23, 31, 140, 4);
+        let m = DynamicMatrix::from(coo.clone());
+        let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+        for &f in &ALL_FORMATS {
+            let converted = m.to_format(f, &opts).unwrap();
+            let t = converted.transpose(&opts).unwrap();
+            assert_eq!(t.format_id(), f, "transpose keeps the format");
+            assert_eq!(t.nrows(), 31);
+            assert_eq!(t.ncols(), 23);
+            let tt = t.transpose(&opts).unwrap();
+            assert_eq!(tt.to_coo(), coo, "double transpose is identity ({f})");
+        }
+    }
+
+    #[test]
+    fn transpose_entries_swap() {
+        let coo = CooMatrix::<f64>::from_triplets(2, 3, &[0, 1], &[2, 0], &[5.0, 7.0]).unwrap();
+        let t = coo.transpose();
+        let entries: Vec<_> = t.iter().collect();
+        assert_eq!(entries, vec![(0, 1, 7.0), (2, 0, 5.0)]);
+    }
+
+    #[test]
+    fn to_dense_matches_entries() {
+        let coo = random_coo::<f64>(12, 9, 40, 2);
+        let m = DynamicMatrix::from(coo.clone());
+        let d = m.to_dense();
+        for (r, c, v) in coo.iter() {
+            assert_eq!(d.get(r, c), v);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! ELLPACK (ELL) format.
+
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Sentinel column index marking a padding slot in [`EllMatrix`].
+pub const ELL_PAD: usize = usize::MAX;
+
+/// ELLPACK-format sparse matrix (§II-B).
+///
+/// Assumes at most `width` (the paper's *K*) non-zeros per row and stores a
+/// dense `nrows x width` array of values plus one of column indices. Rows
+/// shorter than `width` are padded with [`ELL_PAD`] / zero.
+///
+/// Layout: **column-major** (`values[k * nrows + i]` is the `k`-th entry of
+/// row `i`), matching GPU implementations where consecutive threads reading
+/// consecutive rows produce coalesced accesses — the property the machine
+/// model's SIMT simulator measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix<V> {
+    nrows: usize,
+    ncols: usize,
+    width: usize,
+    col_indices: Vec<usize>,
+    values: Vec<V>,
+    nnz: usize,
+}
+
+impl<V: Scalar> EllMatrix<V> {
+    /// An empty matrix of the given shape (width 0).
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        EllMatrix { nrows, ncols, width: 0, col_indices: Vec::new(), values: Vec::new(), nnz: 0 }
+    }
+
+    /// Builds from raw parts, validating the layout.
+    ///
+    /// In every row, real entries must carry strictly increasing in-range
+    /// column indices and padding slots ([`ELL_PAD`]) must only appear after
+    /// all real entries of the row.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        width: usize,
+        col_indices: Vec<usize>,
+        values: Vec<V>,
+    ) -> Result<Self> {
+        if col_indices.len() != nrows * width || values.len() != nrows * width {
+            return Err(MorpheusError::InvalidStructure(format!(
+                "ELL arrays must have length nrows * width = {}, got cols={} vals={}",
+                nrows * width,
+                col_indices.len(),
+                values.len()
+            )));
+        }
+        let mut nnz = 0usize;
+        for i in 0..nrows {
+            let mut prev: Option<usize> = None;
+            let mut padded = false;
+            for k in 0..width {
+                let c = col_indices[k * nrows + i];
+                if c == ELL_PAD {
+                    padded = true;
+                    continue;
+                }
+                if padded {
+                    return Err(MorpheusError::InvalidStructure(format!(
+                        "row {i}: real entry after padding slot"
+                    )));
+                }
+                if c >= ncols {
+                    return Err(MorpheusError::IndexOutOfBounds { index: (i, c), shape: (nrows, ncols) });
+                }
+                if let Some(p) = prev {
+                    if p >= c {
+                        return Err(MorpheusError::InvalidStructure(format!(
+                            "row {i}: columns not strictly increasing"
+                        )));
+                    }
+                }
+                prev = Some(c);
+                nnz += 1;
+            }
+        }
+        Ok(EllMatrix { nrows, ncols, width, col_indices, values, nnz })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Structural non-zeros (excludes padding).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Format identifier ([`FormatId::Ell`]).
+    #[inline]
+    pub fn format_id(&self) -> FormatId {
+        FormatId::Ell
+    }
+
+    /// The fixed per-row entry budget (the paper's *K*).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Column-major column index array (`width * nrows`), [`ELL_PAD`] marks padding.
+    #[inline]
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_indices
+    }
+
+    /// Column-major value array (`width * nrows`).
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Entry `(row, k)` as `(col, value)`, or `None` if it is padding.
+    #[inline]
+    pub fn entry(&self, row: usize, k: usize) -> Option<(usize, V)> {
+        let idx = k * self.nrows + row;
+        let c = self.col_indices[idx];
+        (c != ELL_PAD).then(|| (c, self.values[idx]))
+    }
+
+    /// Total allocated slots including padding (`width * nrows`).
+    #[inline]
+    pub fn padded_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Bytes of heap storage the format occupies.
+    pub fn storage_bytes(&self) -> usize {
+        self.col_indices.len() * std::mem::size_of::<usize>() + self.values.len() * std::mem::size_of::<V>()
+    }
+
+    /// Consumes the matrix, returning `(nrows, ncols, width, cols, values)`.
+    pub fn into_parts(self) -> (usize, usize, usize, Vec<usize>, Vec<V>) {
+        (self.nrows, self.ncols, self.width, self.col_indices, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EllMatrix<f64> {
+        // [1 2 0]
+        // [0 3 0]
+        // [4 0 5]
+        // width = 2, column-major slots: k=0 -> [0,1,0], k=1 -> [1,PAD,2]
+        let cols = vec![0, 1, 0, 1, ELL_PAD, 2];
+        let vals = vec![1.0, 3.0, 4.0, 2.0, 0.0, 5.0];
+        EllMatrix::from_parts(3, 3, 2, cols, vals).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.padded_len(), 6);
+        assert_eq!(m.entry(0, 0), Some((0, 1.0)));
+        assert_eq!(m.entry(0, 1), Some((1, 2.0)));
+        assert_eq!(m.entry(1, 1), None);
+        assert_eq!(m.entry(2, 1), Some((2, 5.0)));
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        assert!(EllMatrix::<f64>::from_parts(2, 2, 2, vec![0; 3], vec![0.0; 4]).is_err());
+        assert!(EllMatrix::<f64>::from_parts(2, 2, 2, vec![0; 4], vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_entry_after_padding() {
+        // Row 0: k=0 is PAD, k=1 is a real entry -> invalid.
+        let cols = vec![ELL_PAD, 0, 1, 1];
+        let vals = vec![0.0, 1.0, 2.0, 3.0];
+        assert!(EllMatrix::<f64>::from_parts(2, 2, 2, cols, vals).is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_row() {
+        let cols = vec![1, 0, 0, 1];
+        let vals = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(EllMatrix::<f64>::from_parts(2, 2, 2, cols, vals).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_column() {
+        let cols = vec![0, 5];
+        let vals = vec![1.0, 2.0];
+        assert!(EllMatrix::<f64>::from_parts(2, 2, 1, cols, vals).is_err());
+    }
+
+    #[test]
+    fn zero_width() {
+        let m = EllMatrix::<f64>::new(3, 3);
+        assert_eq!(m.width(), 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.padded_len(), 0);
+    }
+}

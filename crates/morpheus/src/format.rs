@@ -1,0 +1,118 @@
+//! Storage format identifiers.
+
+/// Identifier of a sparse matrix storage format.
+///
+/// The numeric discriminants are the *format IDs* the ML models are trained
+/// to predict (Equation 1 of the paper maps feature vectors to
+/// `{COO, CSR, ..., HDC}`); they are stable and part of the model-file
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum FormatId {
+    /// Coordinate format.
+    Coo = 0,
+    /// Compressed Sparse Row — the general-purpose default (§II-B).
+    Csr = 1,
+    /// Diagonal format.
+    Dia = 2,
+    /// ELLPACK format.
+    Ell = 3,
+    /// Hybrid ELL + COO.
+    Hyb = 4,
+    /// Hybrid DIA + CSR.
+    Hdc = 5,
+}
+
+/// Number of formats in the pool the tuners select from.
+pub const FORMAT_COUNT: usize = 6;
+
+/// All formats, in format-ID order.
+pub const ALL_FORMATS: [FormatId; FORMAT_COUNT] = [
+    FormatId::Coo,
+    FormatId::Csr,
+    FormatId::Dia,
+    FormatId::Ell,
+    FormatId::Hyb,
+    FormatId::Hdc,
+];
+
+impl FormatId {
+    /// Stable numeric ID (the classifier's target value).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`FormatId::index`].
+    pub fn from_index(i: usize) -> Option<FormatId> {
+        ALL_FORMATS.get(i).copied()
+    }
+
+    /// Upper-case short name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FormatId::Coo => "COO",
+            FormatId::Csr => "CSR",
+            FormatId::Dia => "DIA",
+            FormatId::Ell => "ELL",
+            FormatId::Hyb => "HYB",
+            FormatId::Hdc => "HDC",
+        }
+    }
+
+    /// Parse from the short name (case-insensitive).
+    pub fn from_name(s: &str) -> Option<FormatId> {
+        match s.to_ascii_uppercase().as_str() {
+            "COO" => Some(FormatId::Coo),
+            "CSR" => Some(FormatId::Csr),
+            "DIA" => Some(FormatId::Dia),
+            "ELL" => Some(FormatId::Ell),
+            "HYB" => Some(FormatId::Hyb),
+            "HDC" => Some(FormatId::Hdc),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FormatId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable() {
+        assert_eq!(FormatId::Coo.index(), 0);
+        assert_eq!(FormatId::Csr.index(), 1);
+        assert_eq!(FormatId::Dia.index(), 2);
+        assert_eq!(FormatId::Ell.index(), 3);
+        assert_eq!(FormatId::Hyb.index(), 4);
+        assert_eq!(FormatId::Hdc.index(), 5);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for f in ALL_FORMATS {
+            assert_eq!(FormatId::from_index(f.index()), Some(f));
+            assert_eq!(FormatId::from_name(f.name()), Some(f));
+        }
+        assert_eq!(FormatId::from_index(6), None);
+        assert_eq!(FormatId::from_name("XYZ"), None);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = ALL_FORMATS.iter().map(|f| f.name()).collect();
+        assert_eq!(names, ["COO", "CSR", "DIA", "ELL", "HYB", "HDC"]);
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(FormatId::from_name("csr"), Some(FormatId::Csr));
+        assert_eq!(FormatId::from_name("Hyb"), Some(FormatId::Hyb));
+    }
+}

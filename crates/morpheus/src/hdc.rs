@@ -1,0 +1,143 @@
+//! Hybrid DIA + CSR (HDC) format.
+
+use crate::csr::CsrMatrix;
+use crate::dia::DiaMatrix;
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Hybrid DIA/CSR matrix (§II-B).
+///
+/// Diagonals whose population meets the *true diagonal* threshold are stored
+/// in the DIA portion; every remaining entry is stored in CSR. The paper's
+/// parameter `N_D` ("the number of non-zeros in a diagonal above which the
+/// diagonal is considered to be a 'true' diagonal") is expressed here as a
+/// fraction `alpha` of `min(nrows, ncols)` — see
+/// [`true_diag_threshold`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcMatrix<V> {
+    dia: DiaMatrix<V>,
+    csr: CsrMatrix<V>,
+    alpha: f64,
+}
+
+/// Default fraction of `min(nrows, ncols)` a diagonal's population must
+/// reach to count as a *true diagonal* (used by HDC splitting and by the
+/// `NTD` feature of Table I).
+pub const DEFAULT_TRUE_DIAG_ALPHA: f64 = 0.2;
+
+/// Population threshold for a diagonal to be "true" in a matrix of the given
+/// shape: `max(1, ceil(alpha * min(nrows, ncols)))`.
+pub fn true_diag_threshold(nrows: usize, ncols: usize, alpha: f64) -> usize {
+    let min_dim = nrows.min(ncols);
+    ((alpha * min_dim as f64).ceil() as usize).max(1)
+}
+
+impl<V: Scalar> HdcMatrix<V> {
+    /// Builds from a DIA and a CSR part with identical shapes.
+    ///
+    /// `alpha` records the split threshold used (informational; it feeds the
+    /// `NTD` feature of Table I).
+    pub fn from_parts(dia: DiaMatrix<V>, csr: CsrMatrix<V>, alpha: f64) -> Result<Self> {
+        if dia.nrows() != csr.nrows() || dia.ncols() != csr.ncols() {
+            return Err(MorpheusError::ShapeMismatch {
+                expected: format!("{}x{}", dia.nrows(), dia.ncols()),
+                got: format!("{}x{}", csr.nrows(), csr.ncols()),
+            });
+        }
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(MorpheusError::InvalidStructure(format!("HDC alpha {alpha} outside [0, 1]")));
+        }
+        Ok(HdcMatrix { dia, csr, alpha })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.dia.nrows()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.dia.ncols()
+    }
+
+    /// Structural non-zeros across both portions.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.dia.nnz() + self.csr.nnz()
+    }
+
+    /// Format identifier ([`FormatId::Hdc`]).
+    #[inline]
+    pub fn format_id(&self) -> FormatId {
+        FormatId::Hdc
+    }
+
+    /// The DIA portion (true diagonals).
+    #[inline]
+    pub fn dia(&self) -> &DiaMatrix<V> {
+        &self.dia
+    }
+
+    /// The CSR portion (everything else).
+    #[inline]
+    pub fn csr(&self) -> &CsrMatrix<V> {
+        &self.csr
+    }
+
+    /// The true-diagonal fraction used when this matrix was split.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Bytes of heap storage across both portions.
+    pub fn storage_bytes(&self) -> usize {
+        self.dia.storage_bytes() + self.csr.storage_bytes()
+    }
+
+    /// Consumes the matrix, returning the two portions.
+    pub fn into_parts(self) -> (DiaMatrix<V>, CsrMatrix<V>) {
+        (self.dia, self.csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_formula() {
+        assert_eq!(true_diag_threshold(100, 100, 0.2), 20);
+        assert_eq!(true_diag_threshold(10, 100, 0.2), 2);
+        assert_eq!(true_diag_threshold(3, 3, 0.2), 1);
+        assert_eq!(true_diag_threshold(0, 0, 0.2), 1);
+        assert_eq!(true_diag_threshold(7, 7, 0.5), 4); // ceil(3.5)
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let dia = DiaMatrix::<f64>::new(3, 3);
+        let csr = CsrMatrix::<f64>::new(4, 3);
+        assert!(HdcMatrix::from_parts(dia, csr, 0.2).is_err());
+    }
+
+    #[test]
+    fn alpha_out_of_range_rejected() {
+        let dia = DiaMatrix::<f64>::new(3, 3);
+        let csr = CsrMatrix::<f64>::new(3, 3);
+        assert!(HdcMatrix::from_parts(dia, csr, 1.5).is_err());
+    }
+
+    #[test]
+    fn nnz_sums_portions() {
+        let dia = DiaMatrix::<f64>::from_parts(2, 2, vec![0], vec![1.0, 2.0], 2).unwrap();
+        let csr = CsrMatrix::<f64>::from_parts(2, 2, vec![0, 1, 1], vec![1], vec![3.0]).unwrap();
+        let hdc = HdcMatrix::from_parts(dia, csr, 0.2).unwrap();
+        assert_eq!(hdc.nnz(), 3);
+        assert_eq!(hdc.alpha(), 0.2);
+    }
+}

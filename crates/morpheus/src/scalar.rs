@@ -1,0 +1,113 @@
+//! Numeric value types storable in sparse matrices.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Floating-point element type of a sparse matrix.
+///
+/// Implemented for `f32` and `f64`. The paper evaluates on real-valued
+/// (double precision) matrices; `f32` is provided because mixed-precision
+/// SpMV is a common downstream need.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (used by generators and I/O).
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64` (used by norms and reports).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root (for vector norms in the examples).
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add: `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+        assert_eq!(f32::ZERO + f32::ONE, 1.0f32);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v = 3.25f64;
+        assert_eq!(f64::from_f64(v).to_f64(), v);
+        assert_eq!(f32::from_f64(v).to_f64(), 3.25);
+    }
+
+    #[test]
+    fn mul_add_matches() {
+        assert_eq!(2.0f64.mul_add(3.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(1.0f64.is_finite());
+        assert!(!f64::NAN.is_finite());
+        assert!(!f32::INFINITY.is_finite());
+    }
+}

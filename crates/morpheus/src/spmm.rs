@@ -1,0 +1,212 @@
+//! Sparse matrix × dense matrix multiplication (SpMM): `Y = A · X` for a
+//! block of right-hand sides.
+//!
+//! The paper notes its "techniques and algorithms ... are transferable to
+//! other sparse operations" (§V); SpMM is the first such operation block
+//! solvers and eigensolvers need. `X` and `Y` are dense row-major
+//! (`ncols x k` and `nrows x k`): every kernel reuses each loaded matrix
+//! entry across the `k` right-hand sides, which is exactly why SpMM beats
+//! `k` separate SpMVs.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dia::DiaMatrix;
+use crate::dynamic::DynamicMatrix;
+use crate::ell::{EllMatrix, ELL_PAD};
+use crate::error::MorpheusError;
+use crate::hdc::HdcMatrix;
+use crate::hyb::HybMatrix;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// `Y = A X` with `X` row-major `ncols x k`, `Y` row-major `nrows x k`.
+pub fn spmm_serial<V: Scalar>(m: &DynamicMatrix<V>, x: &[V], y: &mut [V], k: usize) -> Result<()> {
+    if k == 0 {
+        return Err(MorpheusError::ShapeMismatch {
+            expected: "k >= 1 right-hand sides".into(),
+            got: "k = 0".into(),
+        });
+    }
+    if x.len() != m.ncols() * k || y.len() != m.nrows() * k {
+        return Err(MorpheusError::ShapeMismatch {
+            expected: format!("x: {}x{k}, y: {}x{k}", m.ncols(), m.nrows()),
+            got: format!("x len {}, y len {}", x.len(), y.len()),
+        });
+    }
+    match m {
+        DynamicMatrix::Coo(a) => spmm_coo(a, x, y, k),
+        DynamicMatrix::Csr(a) => spmm_csr(a, x, y, k),
+        DynamicMatrix::Dia(a) => spmm_dia(a, x, y, k),
+        DynamicMatrix::Ell(a) => spmm_ell(a, x, y, k),
+        DynamicMatrix::Hyb(a) => spmm_hyb(a, x, y, k),
+        DynamicMatrix::Hdc(a) => spmm_hdc(a, x, y, k),
+    }
+    Ok(())
+}
+
+fn spmm_coo<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    y.fill(V::ZERO);
+    spmm_coo_acc(a, x, y, k);
+}
+
+fn spmm_coo_acc<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    for (r, c, v) in a.iter() {
+        let xr = &x[c * k..(c + 1) * k];
+        let yr = &mut y[r * k..(r + 1) * k];
+        for (yo, &xo) in yr.iter_mut().zip(xr) {
+            *yo += v * xo;
+        }
+    }
+}
+
+fn spmm_csr<V: Scalar>(a: &CsrMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    for r in 0..a.nrows() {
+        let yr = &mut y[r * k..(r + 1) * k];
+        yr.fill(V::ZERO);
+        for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            let xr = &x[c * k..(c + 1) * k];
+            for (yo, &xo) in yr.iter_mut().zip(xr) {
+                *yo += v * xo;
+            }
+        }
+    }
+}
+
+fn spmm_csr_acc<V: Scalar>(a: &CsrMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    for r in 0..a.nrows() {
+        let yr = &mut y[r * k..(r + 1) * k];
+        for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            let xr = &x[c * k..(c + 1) * k];
+            for (yo, &xo) in yr.iter_mut().zip(xr) {
+                *yo += v * xo;
+            }
+        }
+    }
+}
+
+fn spmm_dia<V: Scalar>(a: &DiaMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    y.fill(V::ZERO);
+    spmm_dia_acc(a, x, y, k);
+}
+
+fn spmm_dia_acc<V: Scalar>(a: &DiaMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    for d in 0..a.ndiags() {
+        let off = a.offsets()[d];
+        let diag = a.diagonal(d);
+        for i in a.diag_row_range(d) {
+            let v = diag[i];
+            if v == V::ZERO {
+                continue;
+            }
+            let j = (i as isize + off) as usize;
+            let xr = &x[j * k..(j + 1) * k];
+            let yr = &mut y[i * k..(i + 1) * k];
+            for (yo, &xo) in yr.iter_mut().zip(xr) {
+                *yo += v * xo;
+            }
+        }
+    }
+}
+
+fn spmm_ell<V: Scalar>(a: &EllMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    y.fill(V::ZERO);
+    let nrows = a.nrows();
+    for kk in 0..a.width() {
+        let base = kk * nrows;
+        for i in 0..nrows {
+            let c = a.col_indices()[base + i];
+            if c == ELL_PAD {
+                continue;
+            }
+            let v = a.values()[base + i];
+            let xr = &x[c * k..(c + 1) * k];
+            let yr = &mut y[i * k..(i + 1) * k];
+            for (yo, &xo) in yr.iter_mut().zip(xr) {
+                *yo += v * xo;
+            }
+        }
+    }
+}
+
+fn spmm_hyb<V: Scalar>(a: &HybMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    spmm_ell(a.ell(), x, y, k);
+    spmm_coo_acc(a.coo(), x, y, k);
+}
+
+fn spmm_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    spmm_dia(a.dia(), x, y, k);
+    spmm_csr_acc(a.csr(), x, y, k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConvertOptions;
+    use crate::format::ALL_FORMATS;
+    use crate::spmv::spmv_serial;
+    use crate::test_util::random_coo;
+
+    /// SpMM must equal k column-by-column SpMVs, in every format.
+    #[test]
+    fn spmm_matches_repeated_spmv() {
+        let k = 3usize;
+        for seed in 0..3u64 {
+            let coo = random_coo::<f64>(35, 28, 250, seed);
+            let base = DynamicMatrix::from(coo);
+            let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+
+            // Row-major X: ncols x k.
+            let x_block: Vec<f64> =
+                (0..base.ncols() * k).map(|i| ((i * 29 + 3) % 17) as f64 - 8.0).collect();
+
+            // Reference via SpMV on each extracted column.
+            let mut expect = vec![0.0f64; base.nrows() * k];
+            for col in 0..k {
+                let x_col: Vec<f64> = (0..base.ncols()).map(|i| x_block[i * k + col]).collect();
+                let mut y_col = vec![0.0f64; base.nrows()];
+                spmv_serial(&base, &x_col, &mut y_col).unwrap();
+                for i in 0..base.nrows() {
+                    expect[i * k + col] = y_col[i];
+                }
+            }
+
+            for &fmt in &ALL_FORMATS {
+                let m = base.to_format(fmt, &opts).unwrap();
+                let mut y = vec![f64::NAN; base.nrows() * k];
+                spmm_serial(&m, &x_block, &mut y, k).unwrap();
+                for i in 0..y.len() {
+                    let scale = 1.0 + expect[i].abs();
+                    assert!(
+                        (y[i] - expect[i]).abs() < 1e-10 * scale,
+                        "{fmt} seed {seed} slot {i}: {} vs {}",
+                        y[i],
+                        expect[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_k1_matches_spmv() {
+        let coo = random_coo::<f64>(20, 20, 80, 9);
+        let m = DynamicMatrix::from(coo);
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut y_mv = vec![0.0; 20];
+        spmv_serial(&m, &x, &mut y_mv).unwrap();
+        let mut y_mm = vec![0.0; 20];
+        spmm_serial(&m, &x, &mut y_mm, 1).unwrap();
+        assert_eq!(y_mv, y_mm);
+    }
+
+    #[test]
+    fn spmm_rejects_bad_shapes() {
+        let m = DynamicMatrix::from(random_coo::<f64>(10, 10, 20, 1));
+        let x = vec![0.0; 10 * 2];
+        let mut y = vec![0.0; 10 * 2];
+        assert!(spmm_serial(&m, &x, &mut y, 0).is_err());
+        assert!(spmm_serial(&m, &x, &mut y, 3).is_err());
+        let mut y_short = vec![0.0; 5];
+        assert!(spmm_serial(&m, &x, &mut y_short, 2).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Serial SpMV kernels, one per format.
+//!
+//! All kernels compute `y = A x`, overwriting `y` entirely. Shapes are
+//! checked by the dispatching functions in [`crate::spmv`]; the kernels
+//! assume `x.len() == ncols` and `y.len() == nrows`.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dia::DiaMatrix;
+use crate::ell::{EllMatrix, ELL_PAD};
+use crate::hdc::HdcMatrix;
+use crate::hyb::HybMatrix;
+use crate::scalar::Scalar;
+
+/// COO kernel: zero `y`, then scatter-accumulate each triplet.
+pub fn spmv_coo<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V]) {
+    y.fill(V::ZERO);
+    spmv_coo_acc(a, x, y);
+}
+
+/// COO accumulate kernel: `y += A x` (used by the HYB composite).
+pub fn spmv_coo_acc<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V]) {
+    let rows = a.row_indices();
+    let cols = a.col_indices();
+    let vals = a.values();
+    for i in 0..vals.len() {
+        y[rows[i]] += vals[i] * x[cols[i]];
+    }
+}
+
+/// CSR kernel: per-row gather and reduce. Every row is written, no
+/// pre-zeroing needed.
+pub fn spmv_csr<V: Scalar>(a: &CsrMatrix<V>, x: &[V], y: &mut [V]) {
+    let cols = a.col_indices();
+    let vals = a.values();
+    let offs = a.row_offsets();
+    for r in 0..a.nrows() {
+        let mut acc = V::ZERO;
+        for i in offs[r]..offs[r + 1] {
+            acc += vals[i] * x[cols[i]];
+        }
+        y[r] = acc;
+    }
+}
+
+/// CSR accumulate kernel: `y += A x` (used by the HDC composite).
+pub fn spmv_csr_acc<V: Scalar>(a: &CsrMatrix<V>, x: &[V], y: &mut [V]) {
+    let cols = a.col_indices();
+    let vals = a.values();
+    let offs = a.row_offsets();
+    for r in 0..a.nrows() {
+        let mut acc = V::ZERO;
+        for i in offs[r]..offs[r + 1] {
+            acc += vals[i] * x[cols[i]];
+        }
+        y[r] += acc;
+    }
+}
+
+/// DIA kernel: zero `y`, then stream each diagonal with contiguous,
+/// vectorisable inner loops — the access pattern that makes DIA "a good fit
+/// for vector-like processors" (§II-B).
+pub fn spmv_dia<V: Scalar>(a: &DiaMatrix<V>, x: &[V], y: &mut [V]) {
+    y.fill(V::ZERO);
+    spmv_dia_acc(a, x, y);
+}
+
+/// DIA accumulate kernel: `y += A x` (used by the HDC composite).
+pub fn spmv_dia_acc<V: Scalar>(a: &DiaMatrix<V>, x: &[V], y: &mut [V]) {
+    for d in 0..a.ndiags() {
+        let off = a.offsets()[d];
+        let diag = a.diagonal(d);
+        let range = a.diag_row_range(d);
+        // Both y[i] and x[i + off] advance contiguously with i.
+        for i in range {
+            let j = (i as isize + off) as usize;
+            y[i] += diag[i] * x[j];
+        }
+    }
+}
+
+/// ELL kernel: zero `y`, then stream the column-major slabs entry-column by
+/// entry-column; padding slots are skipped via the sentinel.
+pub fn spmv_ell<V: Scalar>(a: &EllMatrix<V>, x: &[V], y: &mut [V]) {
+    y.fill(V::ZERO);
+    spmv_ell_acc(a, x, y);
+}
+
+/// ELL accumulate kernel: `y += A x` (used by the HYB composite).
+pub fn spmv_ell_acc<V: Scalar>(a: &EllMatrix<V>, x: &[V], y: &mut [V]) {
+    let nrows = a.nrows();
+    let cols = a.col_indices();
+    let vals = a.values();
+    for k in 0..a.width() {
+        let base = k * nrows;
+        for i in 0..nrows {
+            let c = cols[base + i];
+            if c != ELL_PAD {
+                y[i] += vals[base + i] * x[c];
+            }
+        }
+    }
+}
+
+/// HYB kernel: ELL portion first (defines `y`), COO surplus accumulates.
+pub fn spmv_hyb<V: Scalar>(a: &HybMatrix<V>, x: &[V], y: &mut [V]) {
+    spmv_ell(a.ell(), x, y);
+    spmv_coo_acc(a.coo(), x, y);
+}
+
+/// HDC kernel: DIA portion first (defines `y`), CSR remainder accumulates.
+pub fn spmv_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V]) {
+    spmv_dia(a.dia(), x, y);
+    spmv_csr_acc(a.csr(), x, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{coo_to_dia, coo_to_ell, coo_to_hdc, coo_to_hyb, ConvertOptions};
+    use crate::test_util::random_coo;
+
+    #[test]
+    fn csr_kernel_simple() {
+        // [1 2]   [1]   [5]
+        // [0 3] x [2] = [6]
+        let a = CsrMatrix::from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let mut y = vec![0.0; 2];
+        spmv_csr(&a, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn acc_kernels_add_to_existing() {
+        let coo = random_coo::<f64>(15, 15, 60, 4);
+        let x = vec![1.0; 15];
+        let mut base = vec![0.0; 15];
+        spmv_coo(&coo, &x, &mut base);
+
+        let mut y = vec![10.0; 15];
+        spmv_coo_acc(&coo, &x, &mut y);
+        for i in 0..15 {
+            assert!((y[i] - base[i] - 10.0).abs() < 1e-12);
+        }
+
+        let opts = ConvertOptions::default();
+        let dia = coo_to_dia(&coo, &opts).unwrap();
+        let mut y = vec![10.0; 15];
+        spmv_dia_acc(&dia, &x, &mut y);
+        for i in 0..15 {
+            assert!((y[i] - base[i] - 10.0).abs() < 1e-12);
+        }
+
+        let ell = coo_to_ell(&coo, &opts).unwrap();
+        let mut y = vec![10.0; 15];
+        spmv_ell_acc(&ell, &x, &mut y);
+        for i in 0..15 {
+            assert!((y[i] - base[i] - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hybrid_composites_match_coo() {
+        let coo = random_coo::<f64>(30, 30, 180, 6);
+        let x: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let mut expect = vec![0.0; 30];
+        spmv_coo(&coo, &x, &mut expect);
+
+        let opts = ConvertOptions::default();
+        let hyb = coo_to_hyb(&coo, &opts).unwrap();
+        let mut y = vec![f64::NAN; 30];
+        spmv_hyb(&hyb, &x, &mut y);
+        for i in 0..30 {
+            assert!((y[i] - expect[i]).abs() < 1e-12, "hyb row {i}");
+        }
+
+        let hdc = coo_to_hdc(&coo, &opts).unwrap();
+        let mut y = vec![f64::NAN; 30];
+        spmv_hdc(&hdc, &x, &mut y);
+        for i in 0..30 {
+            assert!((y[i] - expect[i]).abs() < 1e-12, "hdc row {i}");
+        }
+    }
+
+    #[test]
+    fn kernels_overwrite_stale_y() {
+        let coo = random_coo::<f64>(10, 10, 30, 8);
+        let x = vec![2.0; 10];
+        let mut clean = vec![0.0; 10];
+        spmv_coo(&coo, &x, &mut clean);
+        let mut dirty = vec![999.0; 10];
+        spmv_coo(&coo, &x, &mut dirty);
+        assert_eq!(clean, dirty);
+    }
+}

@@ -1,0 +1,355 @@
+//! Multithreaded SpMV kernels (the "OpenMP" backend).
+//!
+//! Every kernel partitions the *rows* of the matrix across workers so each
+//! element of `y` has exactly one writer — no atomics are needed, and
+//! results are bitwise identical to the serial kernels (same per-row
+//! accumulation order).
+//!
+//! * CSR/DIA/ELL partition rows with the caller's schedule (the analogue of
+//!   Morpheus' `#pragma omp parallel for` loops), keeping the per-diagonal /
+//!   per-slab contiguous inner loops of the serial kernels;
+//! * COO partitions the entry array at row boundaries (COO's sorted
+//!   invariant makes the boundaries cheap to find);
+//! * [`spmv_csr_balanced`] additionally offers an nnz-balanced CSR partition
+//!   ([`morpheus_parallel::weighted_partition`]) as an extension, compared
+//!   against the static kernel in the ablation suite.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dia::DiaMatrix;
+use crate::ell::{EllMatrix, ELL_PAD};
+use crate::hdc::HdcMatrix;
+use crate::hyb::HybMatrix;
+use crate::scalar::Scalar;
+use morpheus_parallel::{weighted_partition, Schedule, ThreadPool};
+
+/// Shared mutable output vector. Soundness contract: concurrent callers must
+/// write disjoint index sets, which the row partitioning guarantees.
+struct SharedOut<V> {
+    ptr: *mut V,
+    len: usize,
+}
+
+unsafe impl<V: Send> Send for SharedOut<V> {}
+unsafe impl<V: Send> Sync for SharedOut<V> {}
+
+impl<V: Scalar> SharedOut<V> {
+    fn new(y: &mut [V]) -> Self {
+        SharedOut { ptr: y.as_mut_ptr(), len: y.len() }
+    }
+
+    /// # Safety
+    /// `i < len` and no concurrent access to index `i`.
+    #[inline(always)]
+    unsafe fn add(&self, i: usize, v: V) {
+        debug_assert!(i < self.len);
+        let slot = self.ptr.add(i);
+        *slot += v;
+    }
+
+    /// # Safety
+    /// `i < len` and no concurrent access to index `i`.
+    #[inline(always)]
+    unsafe fn set(&self, i: usize, v: V) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = v;
+    }
+}
+
+/// CSR kernel with the caller's schedule over rows — the direct analogue of
+/// Morpheus' `#pragma omp parallel for` CSR loop. Skewed row distributions
+/// therefore suffer real load imbalance (which the auto-tuner exploits by
+/// switching formats); see [`spmv_csr_balanced`] for the mitigated variant.
+pub fn spmv_csr<V: Scalar>(a: &CsrMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
+    csr_scheduled_impl::<V, false>(a, x, y, pool, schedule);
+}
+
+/// CSR accumulate kernel (`y += A x`), used by the HDC composite.
+pub fn spmv_csr_acc<V: Scalar>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: &ThreadPool,
+    schedule: Schedule,
+) {
+    csr_scheduled_impl::<V, true>(a, x, y, pool, schedule);
+}
+
+fn csr_scheduled_impl<V: Scalar, const ACC: bool>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: &ThreadPool,
+    schedule: Schedule,
+) {
+    let out = SharedOut::new(y);
+    let offs = a.row_offsets();
+    let cols = a.col_indices();
+    let vals = a.values();
+    pool.parallel_for_ranges(0..a.nrows(), schedule, |rows| {
+        for r in rows {
+            let mut acc = V::ZERO;
+            for i in offs[r]..offs[r + 1] {
+                acc += vals[i] * x[cols[i]];
+            }
+            // SAFETY: scheduled row ranges are disjoint.
+            unsafe {
+                if ACC {
+                    out.add(r, acc);
+                } else {
+                    out.set(r, acc);
+                }
+            }
+        }
+    });
+}
+
+/// CSR kernel with nnz-balanced row partitioning — an extension over the
+/// paper's OpenMP kernel that splits rows so every thread receives a near
+/// equal number of non-zeros, taming skewed matrices without a format
+/// switch. Benchmarked against the static kernel in the ablation suite.
+pub fn spmv_csr_balanced<V: Scalar>(a: &CsrMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) {
+    let weights = a.row_nnz_counts();
+    let parts = weighted_partition(&weights, pool.num_threads());
+    let out = SharedOut::new(y);
+    let offs = a.row_offsets();
+    let cols = a.col_indices();
+    let vals = a.values();
+    pool.parallel_over_parts(&parts, |_p, rows| {
+        for r in rows {
+            let mut acc = V::ZERO;
+            for i in offs[r]..offs[r + 1] {
+                acc += vals[i] * x[cols[i]];
+            }
+            // SAFETY: weighted row partitions are disjoint.
+            unsafe { out.set(r, acc) };
+        }
+    });
+}
+
+/// COO kernel: zero `y` in parallel, then accumulate row-aligned entry
+/// chunks.
+pub fn spmv_coo<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) {
+    parallel_fill_zero(y, pool);
+    spmv_coo_acc(a, x, y, pool);
+}
+
+/// COO accumulate kernel (`y += A x`), used by the HYB composite.
+pub fn spmv_coo_acc<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) {
+    let nnz = a.nnz();
+    if nnz == 0 {
+        return;
+    }
+    let rows = a.row_indices();
+    let cols = a.col_indices();
+    let vals = a.values();
+    let chunks = row_aligned_chunks(rows, pool.num_threads());
+    let out = SharedOut::new(y);
+    pool.parallel_over_parts(&chunks, |_p, entries| {
+        for i in entries {
+            // SAFETY: chunks are aligned to row boundaries, so each row —
+            // hence each y element — is touched by exactly one chunk.
+            unsafe { out.add(rows[i], vals[i] * x[cols[i]]) };
+        }
+    });
+}
+
+/// Splits the sorted COO entry index space into up to `parts` chunks whose
+/// boundaries never split a row.
+fn row_aligned_chunks(rows: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let nnz = rows.len();
+    let raw = morpheus_parallel::static_partition(nnz, parts);
+    let mut chunks: Vec<std::ops::Range<usize>> = Vec::with_capacity(raw.len());
+    let mut start = 0usize;
+    for r in &raw {
+        let mut end = r.end;
+        // Push the boundary forward until the row changes.
+        while end < nnz && end > 0 && rows[end] == rows[end - 1] {
+            end += 1;
+        }
+        if end > start {
+            chunks.push(start..end);
+        }
+        start = end;
+        if start >= nnz {
+            break;
+        }
+    }
+    if let Some(last) = chunks.last_mut() {
+        if last.end < nnz {
+            // Only possible if trailing raw ranges were consumed; extend.
+            last.end = nnz;
+        }
+    }
+    chunks
+}
+
+/// DIA kernel: rows are partitioned with the caller's schedule; within a
+/// chunk each diagonal is streamed contiguously, as in the serial kernel.
+pub fn spmv_dia<V: Scalar>(a: &DiaMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
+    let nrows = a.nrows();
+    let out = SharedOut::new(y);
+    let offsets = a.offsets();
+    let values = a.values();
+    pool.parallel_for_ranges(0..nrows, schedule, |rows| {
+        // SAFETY: row ranges scheduled by parallel_for_ranges are disjoint.
+        unsafe {
+            for i in rows.clone() {
+                out.set(i, V::ZERO);
+            }
+            for (d, &off) in offsets.iter().enumerate() {
+                let dr = a.diag_row_range(d);
+                let lo = rows.start.max(dr.start);
+                let hi = rows.end.min(dr.end);
+                let base = d * nrows;
+                for i in lo..hi {
+                    let j = (i as isize + off) as usize;
+                    out.add(i, values[base + i] * x[j]);
+                }
+            }
+        }
+    });
+}
+
+/// ELL kernel: rows partitioned with the caller's schedule; the inner loop
+/// walks the column-major slabs contiguously within the chunk.
+pub fn spmv_ell<V: Scalar>(a: &EllMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
+    let nrows = a.nrows();
+    let out = SharedOut::new(y);
+    let cols = a.col_indices();
+    let vals = a.values();
+    pool.parallel_for_ranges(0..nrows, schedule, |rows| {
+        // SAFETY: row ranges scheduled by parallel_for_ranges are disjoint.
+        unsafe {
+            for i in rows.clone() {
+                out.set(i, V::ZERO);
+            }
+            for k in 0..a.width() {
+                let base = k * nrows;
+                for i in rows.clone() {
+                    let c = cols[base + i];
+                    if c != ELL_PAD {
+                        out.add(i, vals[base + i] * x[c]);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// HYB kernel: threaded ELL pass defines `y`, threaded COO pass accumulates.
+pub fn spmv_hyb<V: Scalar>(a: &HybMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
+    spmv_ell(a.ell(), x, y, pool, schedule);
+    spmv_coo_acc(a.coo(), x, y, pool);
+}
+
+/// HDC kernel: threaded DIA pass defines `y`, threaded CSR pass accumulates.
+pub fn spmv_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
+    spmv_dia(a.dia(), x, y, pool, schedule);
+    spmv_csr_acc(a.csr(), x, y, pool, schedule);
+}
+
+fn parallel_fill_zero<V: Scalar>(y: &mut [V], pool: &ThreadPool) {
+    let out = SharedOut::new(y);
+    pool.parallel_for_ranges(0..out.len, Schedule::default(), |r| {
+        // SAFETY: static ranges are disjoint.
+        unsafe {
+            for i in r {
+                out.set(i, V::ZERO);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{coo_to_csr, ConvertOptions};
+    use crate::spmv::serial;
+    use crate::test_util::random_coo;
+
+    #[test]
+    fn row_aligned_chunks_never_split_rows() {
+        // Rows with a big run in the middle.
+        let rows = vec![0, 0, 1, 1, 1, 1, 1, 1, 1, 2, 3, 3];
+        for parts in 1..=6 {
+            let chunks = row_aligned_chunks(&rows, parts);
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for c in &chunks {
+                assert_eq!(c.start, prev_end);
+                if c.start > 0 {
+                    assert_ne!(rows[c.start], rows[c.start - 1], "chunk splits a row at {}", c.start);
+                }
+                covered += c.len();
+                prev_end = c.end;
+            }
+            assert_eq!(covered, rows.len(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn row_aligned_chunks_single_giant_row() {
+        let rows = vec![5usize; 100];
+        let chunks = row_aligned_chunks(&rows, 8);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], 0..100);
+    }
+
+    #[test]
+    fn threaded_matches_serial_exactly() {
+        // Same accumulation order per row => bitwise equality.
+        let pool = ThreadPool::new(4);
+        let coo = random_coo::<f64>(200, 150, 3000, 42);
+        let csr = coo_to_csr(&coo);
+        let x: Vec<f64> = (0..150).map(|i| (i as f64).sin()).collect();
+        let mut ys = vec![0.0; 200];
+        serial::spmv_csr(&csr, &x, &mut ys);
+        for sched in [Schedule::default(), Schedule::dynamic(), Schedule::guided()] {
+            let mut yt = vec![0.0; 200];
+            spmv_csr(&csr, &x, &mut yt, &pool, sched);
+            assert_eq!(ys, yt, "CSR threaded ({}) must be bitwise equal to serial", sched.name());
+        }
+        let mut yb = vec![0.0; 200];
+        spmv_csr_balanced(&csr, &x, &mut yb, &pool);
+        assert_eq!(ys, yb, "balanced CSR must be bitwise equal to serial");
+
+        let mut ys = vec![0.0; 200];
+        serial::spmv_coo(&coo, &x, &mut ys);
+        let mut yt = vec![0.0; 200];
+        spmv_coo(&coo, &x, &mut yt, &pool);
+        assert_eq!(ys, yt, "COO threaded must be bitwise equal to serial");
+    }
+
+    #[test]
+    fn threaded_hybrids_match_serial() {
+        let pool = ThreadPool::new(3);
+        let opts = ConvertOptions::default();
+        let coo = random_coo::<f64>(120, 120, 1400, 7);
+        let x: Vec<f64> = (0..120).map(|i| 1.0 + (i % 5) as f64).collect();
+
+        let hyb = crate::convert::coo_to_hyb(&coo, &opts).unwrap();
+        let mut ys = vec![0.0; 120];
+        serial::spmv_hyb(&hyb, &x, &mut ys);
+        let mut yt = vec![0.0; 120];
+        spmv_hyb(&hyb, &x, &mut yt, &pool, Schedule::default());
+        assert_eq!(ys, yt);
+
+        let hdc = crate::convert::coo_to_hdc(&coo, &opts).unwrap();
+        let mut ys = vec![0.0; 120];
+        serial::spmv_hdc(&hdc, &x, &mut ys);
+        let mut yt = vec![0.0; 120];
+        spmv_hdc(&hdc, &x, &mut yt, &pool, Schedule::dynamic());
+        assert_eq!(ys, yt);
+    }
+
+    #[test]
+    fn empty_coo_acc_is_noop() {
+        let pool = ThreadPool::new(2);
+        let coo = CooMatrix::<f64>::new(4, 4);
+        let x = vec![1.0; 4];
+        let mut y = vec![3.0; 4];
+        spmv_coo_acc(&coo, &x, &mut y, &pool);
+        assert_eq!(y, vec![3.0; 4]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-format matrix statistics (§VI-C).
+//!
+//! The Oracle's ML tuners need the ten features of Table I *without*
+//! converting the matrix out of its active format — "Morpheus has been
+//! extended to provide matrix statistics on a per-format basis ...
+//! eliminating the need for any data transfers". Each format here computes
+//! the row-occupancy histogram and the diagonal populations directly from
+//! its own arrays, fusing passes where possible.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dia::DiaMatrix;
+use crate::dynamic::DynamicMatrix;
+use crate::ell::{EllMatrix, ELL_PAD};
+use crate::hdc::{true_diag_threshold, HdcMatrix};
+use crate::hyb::HybMatrix;
+use crate::scalar::Scalar;
+
+/// Summary statistics of a sparsity pattern: everything Table I's features
+/// derive from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows (`M`).
+    pub nrows: usize,
+    /// Number of columns (`N`).
+    pub ncols: usize,
+    /// Structural non-zeros (`NNZ`).
+    pub nnz: usize,
+    /// Minimum non-zeros in any row (`min(NNZ)` of Table I).
+    pub row_nnz_min: usize,
+    /// Maximum non-zeros in any row (`max(NNZ)` of Table I).
+    pub row_nnz_max: usize,
+    /// Mean non-zeros per row (`NNZ̄`).
+    pub row_nnz_mean: f64,
+    /// Population standard deviation of non-zeros per row (`σ_NNZ`).
+    pub row_nnz_std: f64,
+    /// Number of non-empty diagonals (`ND`).
+    pub ndiags: usize,
+    /// Number of *true* diagonals (`NTD`): population ≥
+    /// `true_diag_alpha * min(nrows, ncols)`.
+    pub ntrue_diags: usize,
+    /// The threshold fraction used for `ntrue_diags`.
+    pub true_diag_alpha: f64,
+}
+
+impl MatrixStats {
+    /// Density `ρ = NNZ / (M * N)`; zero for degenerate shapes.
+    pub fn density(&self) -> f64 {
+        let cells = self.nrows as f64 * self.ncols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz as f64 / cells
+        }
+    }
+}
+
+/// Accumulates row and diagonal histograms, then reduces them to
+/// [`MatrixStats`]. The `diag_pop` array indexes diagonals by
+/// `col - row + (nrows - 1)`, covering all `nrows + ncols - 1` diagonals.
+struct StatsAccum {
+    nrows: usize,
+    ncols: usize,
+    row_counts: Vec<u32>,
+    diag_pop: Vec<u32>,
+}
+
+impl StatsAccum {
+    fn new(nrows: usize, ncols: usize) -> Self {
+        let slots = if nrows == 0 || ncols == 0 { 0 } else { nrows + ncols - 1 };
+        StatsAccum { nrows, ncols, row_counts: vec![0; nrows], diag_pop: vec![0; slots] }
+    }
+
+    #[inline(always)]
+    fn record(&mut self, r: usize, c: usize) {
+        self.row_counts[r] += 1;
+        self.diag_pop[c + self.nrows - 1 - r] += 1;
+    }
+
+    fn finish(self, alpha: f64) -> MatrixStats {
+        let nnz: usize = self.row_counts.iter().map(|&c| c as usize).sum();
+        let nrows = self.nrows;
+        let (mut min, mut max) = if nrows == 0 { (0, 0) } else { (u32::MAX, 0u32) };
+        for &c in &self.row_counts {
+            min = min.min(c);
+            max = max.max(c);
+        }
+        if nrows == 0 {
+            min = 0;
+        }
+        let mean = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+        let var = if nrows == 0 {
+            0.0
+        } else {
+            self.row_counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / nrows as f64
+        };
+        let threshold = true_diag_threshold(self.nrows, self.ncols, alpha) as u32;
+        let mut ndiags = 0usize;
+        let mut ntrue = 0usize;
+        for &p in &self.diag_pop {
+            if p > 0 {
+                ndiags += 1;
+                if p >= threshold {
+                    ntrue += 1;
+                }
+            }
+        }
+        MatrixStats {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            nnz,
+            row_nnz_min: min as usize,
+            row_nnz_max: max as usize,
+            row_nnz_mean: mean,
+            row_nnz_std: var.sqrt(),
+            ndiags,
+            ntrue_diags: ntrue,
+            true_diag_alpha: alpha,
+        }
+    }
+}
+
+/// Statistics from COO storage: single fused pass over the triplets.
+pub fn stats_coo<V: Scalar>(a: &CooMatrix<V>, alpha: f64) -> MatrixStats {
+    let mut acc = StatsAccum::new(a.nrows(), a.ncols());
+    for i in 0..a.nnz() {
+        acc.record(a.row_indices()[i], a.col_indices()[i]);
+    }
+    acc.finish(alpha)
+}
+
+/// Statistics from CSR storage: row lengths come from the offsets array,
+/// diagonal populations from one pass over the column indices.
+pub fn stats_csr<V: Scalar>(a: &CsrMatrix<V>, alpha: f64) -> MatrixStats {
+    let mut acc = StatsAccum::new(a.nrows(), a.ncols());
+    for r in 0..a.nrows() {
+        for &c in a.row_cols(r) {
+            acc.record(r, c);
+        }
+    }
+    acc.finish(alpha)
+}
+
+/// Statistics from DIA storage: walks only the in-bounds slots of each
+/// stored diagonal; padding (zero) slots are not structural entries.
+pub fn stats_dia<V: Scalar>(a: &DiaMatrix<V>, alpha: f64) -> MatrixStats {
+    let mut acc = StatsAccum::new(a.nrows(), a.ncols());
+    for d in 0..a.ndiags() {
+        let off = a.offsets()[d];
+        let diag = a.diagonal(d);
+        for i in a.diag_row_range(d) {
+            if diag[i] != V::ZERO {
+                acc.record(i, (i as isize + off) as usize);
+            }
+        }
+    }
+    acc.finish(alpha)
+}
+
+/// Statistics from ELL storage: walks the slabs, skipping padding slots via
+/// the sentinel.
+pub fn stats_ell<V: Scalar>(a: &EllMatrix<V>, alpha: f64) -> MatrixStats {
+    let mut acc = StatsAccum::new(a.nrows(), a.ncols());
+    let nrows = a.nrows();
+    for k in 0..a.width() {
+        let base = k * nrows;
+        for i in 0..nrows {
+            let c = a.col_indices()[base + i];
+            if c != ELL_PAD {
+                acc.record(i, c);
+            }
+        }
+    }
+    acc.finish(alpha)
+}
+
+/// Statistics from HYB storage: both portions stream into one accumulator,
+/// so hybrid storage needs no merge step.
+pub fn stats_hyb<V: Scalar>(a: &HybMatrix<V>, alpha: f64) -> MatrixStats {
+    let mut acc = StatsAccum::new(a.nrows(), a.ncols());
+    let ell = a.ell();
+    let nrows = ell.nrows();
+    for k in 0..ell.width() {
+        let base = k * nrows;
+        for i in 0..nrows {
+            let c = ell.col_indices()[base + i];
+            if c != ELL_PAD {
+                acc.record(i, c);
+            }
+        }
+    }
+    for i in 0..a.coo().nnz() {
+        acc.record(a.coo().row_indices()[i], a.coo().col_indices()[i]);
+    }
+    acc.finish(alpha)
+}
+
+/// Statistics from HDC storage: both portions stream into one accumulator.
+pub fn stats_hdc<V: Scalar>(a: &HdcMatrix<V>, alpha: f64) -> MatrixStats {
+    let mut acc = StatsAccum::new(a.nrows(), a.ncols());
+    let dia = a.dia();
+    for d in 0..dia.ndiags() {
+        let off = dia.offsets()[d];
+        let diag = dia.diagonal(d);
+        for i in dia.diag_row_range(d) {
+            if diag[i] != V::ZERO {
+                acc.record(i, (i as isize + off) as usize);
+            }
+        }
+    }
+    let csr = a.csr();
+    for r in 0..csr.nrows() {
+        for &c in csr.row_cols(r) {
+            acc.record(r, c);
+        }
+    }
+    acc.finish(alpha)
+}
+
+/// Statistics of a [`DynamicMatrix`], computed from whichever format is
+/// active — the "online feature extraction by inspecting the active format"
+/// of §VI-C.
+pub fn stats_of<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> MatrixStats {
+    match m {
+        DynamicMatrix::Coo(a) => stats_coo(a, alpha),
+        DynamicMatrix::Csr(a) => stats_csr(a, alpha),
+        DynamicMatrix::Dia(a) => stats_dia(a, alpha),
+        DynamicMatrix::Ell(a) => stats_ell(a, alpha),
+        DynamicMatrix::Hyb(a) => stats_hyb(a, alpha),
+        DynamicMatrix::Hdc(a) => stats_hdc(a, alpha),
+    }
+}
+
+/// Per-row non-zero counts of a [`DynamicMatrix`] (used by the machine
+/// model's load-imbalance and warp-divergence estimators).
+pub fn row_nnz_histogram<V: Scalar>(m: &DynamicMatrix<V>) -> Vec<u32> {
+    let mut counts = vec![0u32; m.nrows()];
+    match m {
+        DynamicMatrix::Coo(a) => {
+            for &r in a.row_indices() {
+                counts[r] += 1;
+            }
+        }
+        DynamicMatrix::Csr(a) => {
+            for (r, slot) in counts.iter_mut().enumerate() {
+                *slot = a.row_nnz(r) as u32;
+            }
+        }
+        _ => {
+            // Remaining formats: derive from a COO view. Only used on the
+            // cold path (profiling), never by the online tuners.
+            for &r in m.to_coo().row_indices() {
+                counts[r] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConvertOptions;
+    use crate::format::ALL_FORMATS;
+    use crate::test_util::random_coo;
+
+    #[test]
+    fn known_matrix_stats() {
+        // [1 0 2 0]
+        // [0 3 0 0]
+        // [4 0 5 6]
+        // [0 0 0 0]
+        let coo = CooMatrix::<f64>::from_triplets(
+            4,
+            4,
+            &[0, 0, 1, 2, 2, 2],
+            &[0, 2, 1, 0, 2, 3],
+            &[1., 2., 3., 4., 5., 6.],
+        )
+        .unwrap();
+        let s = stats_coo(&coo, 0.2);
+        assert_eq!(s.nrows, 4);
+        assert_eq!(s.ncols, 4);
+        assert_eq!(s.nnz, 6);
+        assert_eq!(s.row_nnz_min, 0);
+        assert_eq!(s.row_nnz_max, 3);
+        assert!((s.row_nnz_mean - 1.5).abs() < 1e-12);
+        // Row counts [2, 1, 3, 0]; population variance = 1.25.
+        assert!((s.row_nnz_std - 1.25f64.sqrt()).abs() < 1e-12);
+        // Diagonals with entries: offsets {0 (x3), 2, -2, 1} -> 4 distinct.
+        assert_eq!(s.ndiags, 4);
+        // Threshold = ceil(0.2 * 4) = 1 -> every non-empty diagonal is true.
+        assert_eq!(s.ntrue_diags, 4);
+        assert!((s.density() - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_diag_threshold_filters() {
+        // 10x10, main diagonal full (10 entries), one stray entry.
+        let mut rows: Vec<usize> = (0..10).collect();
+        let mut cols: Vec<usize> = (0..10).collect();
+        rows.push(0);
+        cols.push(5);
+        let vals = vec![1.0; 11];
+        let coo = CooMatrix::<f64>::from_triplets(10, 10, &rows, &cols, &vals).unwrap();
+        let s = stats_coo(&coo, 0.5); // threshold = 5
+        assert_eq!(s.ndiags, 2);
+        assert_eq!(s.ntrue_diags, 1);
+    }
+
+    #[test]
+    fn stats_invariant_across_formats() {
+        for seed in 0..4u64 {
+            let coo = random_coo::<f64>(50, 40, 350, seed);
+            let base = DynamicMatrix::from(coo);
+            let reference = stats_of(&base, 0.2);
+            let opts = ConvertOptions::default();
+            for &f in &ALL_FORMATS {
+                let m = base.to_format(f, &opts).unwrap();
+                let s = stats_of(&m, 0.2);
+                assert_eq!(s, reference, "stats differ for {f} (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let m = DynamicMatrix::from(CooMatrix::<f64>::new(3, 3));
+        let s = stats_of(&m, 0.2);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.row_nnz_min, 0);
+        assert_eq!(s.row_nnz_max, 0);
+        assert_eq!(s.ndiags, 0);
+        assert_eq!(s.ntrue_diags, 0);
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn zero_sized_matrix_stats() {
+        let m = DynamicMatrix::from(CooMatrix::<f64>::new(0, 0));
+        let s = stats_of(&m, 0.2);
+        assert_eq!(s.nrows, 0);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn row_histogram_matches_formats() {
+        let coo = random_coo::<f64>(30, 30, 150, 11);
+        let base = DynamicMatrix::from(coo);
+        let expect = row_nnz_histogram(&base);
+        let opts = ConvertOptions::default();
+        for &f in &ALL_FORMATS {
+            let m = base.to_format(f, &opts).unwrap();
+            assert_eq!(row_nnz_histogram(&m), expect, "{f}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a sparse matrix, let the Oracle pick its format, run
+//! SpMV.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use morpheus_repro::machine::{systems, Backend, VirtualEngine};
+use morpheus_repro::morpheus::spmv::spmv_serial;
+use morpheus_repro::morpheus::{ConvertOptions, CooMatrix, DynamicMatrix};
+use morpheus_repro::oracle::{tune_multiply, FeatureVector, RunFirstTuner};
+
+fn main() {
+    // 1. Assemble a 2D Poisson system (the classic iterative-solver matrix).
+    let nx = 64usize;
+    let n = nx * nx;
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for y in 0..nx {
+        for x in 0..nx {
+            let i = y * nx + x;
+            rows.push(i);
+            cols.push(i);
+            vals.push(4.0);
+            for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                let (xx, yy) = (x as i64 + dx, y as i64 + dy);
+                if xx >= 0 && yy >= 0 && xx < nx as i64 && yy < nx as i64 {
+                    rows.push(i);
+                    cols.push((yy as usize) * nx + xx as usize);
+                    vals.push(-1.0);
+                }
+            }
+        }
+    }
+    let mut matrix = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+    println!("matrix: {}x{} with {} non-zeros, starting in {}", n, n, matrix.nnz(), matrix.format_id());
+
+    // 2. Inspect the Table-I features the ML tuners would see.
+    let features = FeatureVector::extract(&matrix);
+    println!("features: {features}");
+
+    // 3. Tune for the A64FX Serial backend (simulated) with the run-first
+    //    tuner and switch the matrix to the winner.
+    let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
+    let report = tune_multiply(&mut matrix, &RunFirstTuner::new(10), &engine, &ConvertOptions::default())
+        .expect("tuning succeeds");
+    println!(
+        "tuned for {}: {} -> {} (decision cost {:.2} us on the virtual clock)",
+        engine.label(),
+        report.previous,
+        report.chosen,
+        report.cost.total() * 1e6
+    );
+
+    // 4. SpMV in the selected format — same numbers, faster layout.
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    spmv_serial(&matrix, &x, &mut y).expect("shapes agree");
+    let checksum: f64 = y.iter().sum();
+    println!("y = A*1 checksum: {checksum:.1} (boundary rows keep a positive residue)");
+}

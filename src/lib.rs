@@ -1,0 +1,12 @@
+//! Umbrella crate for the Morpheus-Oracle reproduction.
+//!
+//! Re-exports the workspace crates so the examples and integration tests can
+//! use a single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the full system inventory.
+
+pub use morpheus;
+pub use morpheus_corpus as corpus;
+pub use morpheus_machine as machine;
+pub use morpheus_ml as ml;
+pub use morpheus_oracle as oracle;
+pub use morpheus_parallel as parallel;

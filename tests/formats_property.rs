@@ -1,0 +1,120 @@
+//! Property-based integration tests: format invariants under random
+//! matrices, spanning the corpus generators and the format library.
+
+use morpheus_repro::morpheus::format::{FormatId, ALL_FORMATS};
+use morpheus_repro::morpheus::spmv::{spmv_serial, spmv_threaded};
+use morpheus_repro::morpheus::stats::stats_of;
+use morpheus_repro::morpheus::{ConvertOptions, CooMatrix, DynamicMatrix};
+use morpheus_repro::oracle::FeatureVector;
+use morpheus_repro::parallel::{Schedule, ThreadPool};
+use proptest::prelude::*;
+
+/// Strategy: a small random sparse matrix as (nrows, ncols, entries).
+fn arb_matrix() -> impl Strategy<Value = DynamicMatrix<f64>> {
+    (2usize..40, 2usize..40).prop_flat_map(|(nrows, ncols)| {
+        let entry = (0..nrows, 0..ncols, -100i32..100).prop_map(|(r, c, v)| (r, c, v));
+        proptest::collection::vec(entry, 0..120).prop_map(move |entries| {
+            let rows: Vec<usize> = entries.iter().map(|e| e.0).collect();
+            let cols: Vec<usize> = entries.iter().map(|e| e.1).collect();
+            // Avoid explicit zeros (DIA storage cannot distinguish them
+            // from padding) and duplicate-sum cancellations.
+            let vals: Vec<f64> = entries.iter().map(|e| f64::from(e.2) + 1000.5).collect();
+            DynamicMatrix::from(CooMatrix::from_triplets(nrows, ncols, &rows, &cols, &vals).unwrap())
+        })
+    })
+}
+
+fn tolerant_opts() -> ConvertOptions {
+    // Small matrices: allow any amount of padding so every format converts.
+    ConvertOptions { min_padded_allowance: 1 << 24, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any format -> any format -> COO preserves the entry set exactly.
+    #[test]
+    fn conversion_chain_is_lossless(m in arb_matrix(), path in proptest::collection::vec(0usize..6, 1..5)) {
+        let reference = m.to_coo();
+        let opts = tolerant_opts();
+        let mut current = m;
+        for step in path {
+            let target = FormatId::from_index(step).unwrap();
+            current = current.to_format(target, &opts).unwrap();
+            prop_assert_eq!(current.format_id(), target);
+        }
+        prop_assert_eq!(current.to_coo(), reference);
+    }
+
+    /// SpMV agrees with the dense reference in every format.
+    #[test]
+    fn spmv_matches_dense_in_every_format(m in arb_matrix()) {
+        let opts = tolerant_opts();
+        let dense = m.to_dense();
+        let x: Vec<f64> = (0..m.ncols()).map(|i| ((i * 31 + 7) % 13) as f64 - 6.0).collect();
+        let mut expect = vec![0.0; m.nrows()];
+        dense.spmv(&x, &mut expect);
+        for &fmt in &ALL_FORMATS {
+            let converted = m.to_format(fmt, &opts).unwrap();
+            let mut y = vec![f64::NAN; m.nrows()];
+            spmv_serial(&converted, &x, &mut y).unwrap();
+            for i in 0..y.len() {
+                let scale = 1.0 + expect[i].abs();
+                prop_assert!((y[i] - expect[i]).abs() < 1e-9 * scale,
+                    "{} row {}: {} vs {}", fmt, i, y[i], expect[i]);
+            }
+        }
+    }
+
+    /// The threaded backend equals the serial backend bit-for-bit.
+    #[test]
+    fn threaded_equals_serial(m in arb_matrix(), threads in 1usize..5) {
+        let opts = tolerant_opts();
+        let pool = ThreadPool::new(threads);
+        let x: Vec<f64> = (0..m.ncols()).map(|i| (i % 7) as f64 * 0.5 - 1.0).collect();
+        for &fmt in &ALL_FORMATS {
+            let converted = m.to_format(fmt, &opts).unwrap();
+            let mut ys = vec![0.0; m.nrows()];
+            spmv_serial(&converted, &x, &mut ys).unwrap();
+            let mut yt = vec![0.0; m.nrows()];
+            spmv_threaded(&converted, &x, &mut yt, &pool, Schedule::default()).unwrap();
+            prop_assert_eq!(&ys, &yt, "{} with {} threads", fmt, threads);
+        }
+    }
+
+    /// Feature extraction sees through the active format (§VI-C): the same
+    /// ten numbers regardless of representation.
+    #[test]
+    fn features_invariant_under_format(m in arb_matrix()) {
+        let opts = tolerant_opts();
+        let reference = FeatureVector::extract(&m);
+        for &fmt in &ALL_FORMATS {
+            let converted = m.to_format(fmt, &opts).unwrap();
+            prop_assert_eq!(FeatureVector::extract(&converted), reference, "{}", fmt);
+        }
+    }
+
+    /// Statistics invariants: totals and bounds are internally consistent.
+    #[test]
+    fn stats_are_internally_consistent(m in arb_matrix()) {
+        let s = stats_of(&m, 0.2);
+        prop_assert_eq!(s.nnz, m.nnz());
+        prop_assert!(s.row_nnz_min <= s.row_nnz_max);
+        prop_assert!(s.row_nnz_mean <= s.row_nnz_max as f64 + 1e-12);
+        prop_assert!(s.row_nnz_mean >= s.row_nnz_min as f64 - 1e-12);
+        prop_assert!(s.ntrue_diags <= s.ndiags);
+        prop_assert!(s.ndiags <= s.nnz);
+        prop_assert!(s.density() <= 1.0 + 1e-12);
+    }
+
+    /// Storage accounting: padded formats never report fewer bytes than the
+    /// values they actually hold.
+    #[test]
+    fn storage_bytes_lower_bound(m in arb_matrix()) {
+        let opts = tolerant_opts();
+        for &fmt in &ALL_FORMATS {
+            let converted = m.to_format(fmt, &opts).unwrap();
+            prop_assert!(converted.storage_bytes() >= converted.nnz() * 8, "{}", fmt);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration test: the complete Figure-1 pipeline on a reduced
+//! corpus — generate → profile → extract features → train → export → load →
+//! tune → execute.
+
+use morpheus_repro::corpus::CorpusSpec;
+use morpheus_repro::machine::{analyze, systems, Backend, VirtualEngine};
+use morpheus_repro::ml::metrics::accuracy;
+use morpheus_repro::ml::{Dataset, ForestParams, RandomForest};
+use morpheus_repro::morpheus::format::{FormatId, FORMAT_COUNT};
+use morpheus_repro::morpheus::spmv::spmv_serial;
+use morpheus_repro::morpheus::{ConvertOptions, DynamicMatrix};
+use morpheus_repro::oracle::model_db::ModelDatabase;
+use morpheus_repro::oracle::{tune_multiply, FeatureVector, RunFirstTuner, NUM_FEATURES};
+
+#[test]
+fn offline_stage_trains_useful_model_and_online_stage_uses_it() {
+    let spec = CorpusSpec::small(150);
+    let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+
+    // --- offline: profile + assemble dataset ---
+    let mut train = Dataset::empty(NUM_FEATURES, FORMAT_COUNT, vec![]).unwrap();
+    let mut test_entries = Vec::new();
+    for entry in spec.iter() {
+        let m = DynamicMatrix::from(entry.matrix);
+        let analysis = analyze(&m);
+        let fv = FeatureVector::from_stats(&analysis.stats);
+        let optimal = engine.profile(&analysis).optimal;
+        if entry.is_test {
+            test_entries.push((m, fv, optimal));
+        } else {
+            train.push(fv.as_slice(), optimal.index()).unwrap();
+        }
+    }
+    assert!(train.len() >= 100, "training split too small: {}", train.len());
+    assert!(test_entries.len() >= 15, "test split too small: {}", test_entries.len());
+
+    // --- train + export + load ---
+    let forest =
+        RandomForest::fit(&train, &ForestParams { n_estimators: 25, seed: 7, ..Default::default() }).unwrap();
+    let dir = std::env::temp_dir().join(format!("morpheus-pipeline-test-{}", std::process::id()));
+    let db = ModelDatabase::new(&dir);
+    db.save_forest("Cirrus", Backend::Serial, &forest).unwrap();
+    let tuner = db.load_forest_tuner("Cirrus", Backend::Serial).unwrap();
+
+    // The exported/reloaded model must agree with the in-memory one.
+    for (_, fv, _) in &test_entries {
+        assert_eq!(tuner.model().predict(fv.as_slice()), forest.predict(fv.as_slice()));
+    }
+
+    // --- evaluate: must beat always-predict-the-majority-class ---
+    let majority = {
+        let counts = train.class_counts();
+        (0..FORMAT_COUNT).max_by_key(|&c| counts[c]).unwrap()
+    };
+    let y_true: Vec<usize> = test_entries.iter().map(|(_, _, o)| o.index()).collect();
+    let y_model: Vec<usize> =
+        test_entries.iter().map(|(_, fv, _)| tuner.model().predict(fv.as_slice())).collect();
+    let y_major: Vec<usize> = vec![majority; y_true.len()];
+    let acc_model = accuracy(&y_true, &y_model);
+    let acc_major = accuracy(&y_true, &y_major);
+    assert!(
+        acc_model > acc_major,
+        "model accuracy {acc_model:.3} should beat majority baseline {acc_major:.3}"
+    );
+    assert!(acc_model > 0.5, "model accuracy {acc_model:.3} too low");
+
+    // --- online: tune + switch + execute, numerics preserved ---
+    let mut tuned_matches_optimal = 0usize;
+    for (m, _, optimal) in test_entries.iter().take(10) {
+        let mut matrix = m.clone();
+        let x = vec![1.0f64; matrix.ncols()];
+        let mut y_before = vec![0.0f64; matrix.nrows()];
+        spmv_serial(&matrix, &x, &mut y_before).unwrap();
+
+        let report = tune_multiply(&mut matrix, &tuner, &engine, &ConvertOptions::default()).unwrap();
+        assert_eq!(matrix.format_id(), report.chosen);
+        if report.chosen == *optimal {
+            tuned_matches_optimal += 1;
+        }
+
+        let mut y_after = vec![0.0f64; matrix.nrows()];
+        spmv_serial(&matrix, &x, &mut y_after).unwrap();
+        for i in 0..y_before.len() {
+            let scale = 1.0 + y_before[i].abs();
+            assert!((y_before[i] - y_after[i]).abs() < 1e-10 * scale, "row {i} changed");
+        }
+    }
+    assert!(tuned_matches_optimal >= 5, "only {tuned_matches_optimal}/10 tuned to the optimum");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_first_tuner_always_lands_on_profiled_optimum() {
+    let spec = CorpusSpec::small(30);
+    let engine = VirtualEngine::new(systems::p3(), Backend::Cuda);
+    let tuner = RunFirstTuner::new(3);
+    for entry in spec.iter() {
+        let mut m = DynamicMatrix::from(entry.matrix);
+        let analysis = analyze(&m);
+        let optimal = engine.profile(&analysis).optimal;
+        let report = tune_multiply(&mut m, &tuner, &engine, &ConvertOptions::default()).unwrap();
+        assert_eq!(report.predicted, optimal, "{}", entry.name);
+    }
+}
+
+#[test]
+fn profiled_optimum_is_never_worse_than_csr() {
+    let spec = CorpusSpec::small(40);
+    for pair in morpheus_repro::machine::systems::all_system_backends() {
+        let engine = VirtualEngine::for_pair(&pair);
+        for entry in spec.iter().take(20) {
+            let m = DynamicMatrix::from(entry.matrix);
+            let analysis = analyze(&m);
+            let profile = engine.profile(&analysis);
+            assert!(profile.optimal_speedup() >= 1.0, "{} on {}", entry.name, engine.label());
+            assert!(profile.times[FormatId::Csr.index()].is_some());
+        }
+    }
+}
