@@ -1,0 +1,198 @@
+//! The Oracle's LRU decision cache.
+//!
+//! The value of a *lightweight* auto-tuner comes from amortisation: a
+//! service that tunes a stream of matrices pays feature extraction and
+//! model evaluation per request unless repeated structures are recognised.
+//! The cache maps a fingerprint of (matrix structure, scalar width, engine,
+//! operation) to the decision made the first time, so structurally
+//! identical requests skip the whole tuning stage.
+
+use crate::tuner::TuneDecision;
+use morpheus_machine::Op;
+use std::collections::HashMap;
+
+/// Key identifying one tuning question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// [`morpheus::DynamicMatrix::structure_hash`] of the matrix in its
+    /// active format.
+    pub structure: u64,
+    /// `size_of::<V>()` — the scalar width changes HYB splits and traffic.
+    pub scalar_bytes: usize,
+    /// Fingerprint of the engine the decision was made for.
+    pub engine: u64,
+    /// The operation tuned for.
+    pub op: Op,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    decision: TuneDecision,
+    last_used: u64,
+}
+
+/// Hit/miss counters and occupancy of an [`crate::Oracle`]'s cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that fell through to the tuner.
+    pub misses: u64,
+    /// Decisions currently held.
+    pub len: usize,
+    /// Maximum decisions held (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded least-recently-used map from [`CacheKey`] to [`TuneDecision`].
+///
+/// Eviction scans for the oldest slot — O(len), which is irrelevant next to
+/// the feature-extraction pass a hit saves, and keeps the structure a plain
+/// `HashMap` with no unsafe list splicing.
+#[derive(Debug)]
+pub(crate) struct DecisionCache {
+    capacity: usize,
+    slots: HashMap<CacheKey, CacheSlot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecisionCache {
+    /// Cache holding up to `capacity` decisions (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        DecisionCache { capacity, slots: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Looks up a decision, refreshing its recency and counting the
+    /// hit/miss. Always misses (and counts nothing) when disabled.
+    pub fn get(&mut self, key: &CacheKey) -> Option<TuneDecision> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        match self.slots.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick;
+                self.hits += 1;
+                Some(slot.decision)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a decision, evicting the least-recently-used entry at
+    /// capacity. No-op when disabled.
+    pub fn insert(&mut self, key: CacheKey, decision: TuneDecision) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.slots.len() >= self.capacity && !self.slots.contains_key(&key) {
+            if let Some(oldest) = self.slots.iter().min_by_key(|(_, s)| s.last_used).map(|(k, _)| *k) {
+                self.slots.remove(&oldest);
+            }
+        }
+        self.slots.insert(key, CacheSlot { decision, last_used: self.tick });
+    }
+
+    /// Drops every entry, keeping the counters.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, len: self.slots.len(), capacity: self.capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::TuningCost;
+    use morpheus::format::FormatId;
+
+    fn key(structure: u64) -> CacheKey {
+        CacheKey { structure, scalar_bytes: 8, engine: 1, op: Op::Spmv }
+    }
+
+    fn decision(fmt: FormatId) -> TuneDecision {
+        TuneDecision { format: fmt, op: Op::Spmv, cost: TuningCost::default() }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = DecisionCache::new(4);
+        assert_eq!(c.get(&key(1)), None);
+        c.insert(key(1), decision(FormatId::Dia));
+        assert_eq!(c.get(&key(1)).map(|d| d.format), Some(FormatId::Dia));
+        assert_eq!(c.get(&key(2)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len, s.capacity), (1, 2, 1, 4));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = DecisionCache::new(2);
+        c.insert(key(1), decision(FormatId::Csr));
+        c.insert(key(2), decision(FormatId::Dia));
+        let _ = c.get(&key(1)); // refresh 1; 2 becomes oldest
+        c.insert(key(3), decision(FormatId::Ell));
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().len, 2);
+    }
+
+    #[test]
+    fn distinct_ops_and_scalars_do_not_collide() {
+        let mut c = DecisionCache::new(8);
+        let spmv = CacheKey { structure: 9, scalar_bytes: 8, engine: 1, op: Op::Spmv };
+        let spmm = CacheKey { structure: 9, scalar_bytes: 8, engine: 1, op: Op::Spmm { k: 8 } };
+        let f32key = CacheKey { structure: 9, scalar_bytes: 4, engine: 1, op: Op::Spmv };
+        c.insert(spmv, decision(FormatId::Dia));
+        c.insert(spmm, decision(FormatId::Csr));
+        c.insert(f32key, decision(FormatId::Ell));
+        assert_eq!(c.get(&spmv).map(|d| d.format), Some(FormatId::Dia));
+        assert_eq!(c.get(&spmm).map(|d| d.format), Some(FormatId::Csr));
+        assert_eq!(c.get(&f32key).map(|d| d.format), Some(FormatId::Ell));
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let mut c = DecisionCache::new(0);
+        c.insert(key(1), decision(FormatId::Csr));
+        assert_eq!(c.get(&key(1)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len, s.capacity), (0, 0, 0, 0));
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut c = DecisionCache::new(4);
+        c.insert(key(1), decision(FormatId::Csr));
+        let _ = c.get(&key(1));
+        c.clear();
+        let s = c.stats();
+        assert_eq!(s.len, 0);
+        assert_eq!(s.hits, 1);
+    }
+}

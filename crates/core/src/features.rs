@@ -17,16 +17,16 @@ pub const NUM_FEATURES: usize = 10;
 
 /// Feature names, in vector order (matches Table I).
 pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
-    "M",          // number of rows
-    "N",          // number of columns
-    "NNZ",        // number of non-zeros
-    "avg_nnz",    // mean non-zeros per row
-    "density",    // NNZ / (M * N)
-    "max_nnz",    // max non-zeros per row
-    "min_nnz",    // min non-zeros per row
-    "std_nnz",    // std of non-zeros per row
-    "ndiags",     // non-empty diagonals
-    "ntrue_diags" // true diagonals
+    "M",           // number of rows
+    "N",           // number of columns
+    "NNZ",         // number of non-zeros
+    "avg_nnz",     // mean non-zeros per row
+    "density",     // NNZ / (M * N)
+    "max_nnz",     // max non-zeros per row
+    "min_nnz",     // min non-zeros per row
+    "std_nnz",     // std of non-zeros per row
+    "ndiags",      // non-empty diagonals
+    "ntrue_diags", // true diagonals
 ];
 
 /// A Table-I feature vector for one matrix.

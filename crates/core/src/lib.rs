@@ -2,26 +2,39 @@
 //! storage format selection — the paper's primary contribution (§VI).
 //!
 //! Oracle complements the dynamic format-switching of the `morpheus` crate
-//! by automating the *choice* of format for the SpMV operation on a given
-//! target (system, backend). Following the paper's design, "containers are
-//! separated from the algorithms": tuners encapsulate selection strategy
-//! ([`RunFirstTuner`], [`DecisionTreeTuner`], [`RandomForestTuner`], §VI-A)
-//! and a single [`tune_multiply`] operation drives any of them (§VI-B).
+//! by automating the *choice* of format for a sparse operation on a given
+//! target (system, backend). The public API is the [`Oracle`] **session
+//! facade**: one session owns the execution engine, a tuning strategy, the
+//! conversion policy and an LRU decision cache, and serves a stream of
+//! tuning requests — the shape of a production workload, where the cost of
+//! a prediction must amortise across many repeated executions (§VII-E).
 //!
-//! The three tuners trade prediction cost against accuracy:
+//! Following the paper's design, "containers are separated from the
+//! algorithms": tuners encapsulate selection strategy and implement
+//! [`FormatTuner`] for every matrix scalar (`f32` and `f64`), since format
+//! selection depends only on sparsity structure:
 //!
-//! * **Run-first** — converts to every viable format and times the actual
-//!   operation: most accurate, most expensive;
-//! * **DecisionTreeTuner** — extracts the ten features of Table I and
+//! * [`RunFirstTuner`] — converts to every viable format and times the
+//!   actual operation: most accurate, most expensive;
+//! * [`DecisionTreeTuner`] — extracts the ten features of Table I and
 //!   traverses a single tree: cheapest, least accurate;
-//! * **RandomForestTuner** — traverses an ensemble and majority-votes:
+//! * [`RandomForestTuner`] — traverses an ensemble and majority-votes:
 //!   the paper's recommended operating point.
 //!
-//! # Example: tune, switch, multiply
+//! Sessions are *operation-aware*: [`Oracle::tune`] targets SpMV,
+//! [`Oracle::tune_and_spmm`] targets the blocked product, and
+//! [`Oracle::tune_for`] takes any [`Op`] — the engine's cost model ranks
+//! formats differently per operation, and cached decisions are keyed by it.
+//!
+//! The pre-facade free function [`tune_multiply`] still works but is
+//! deprecated: it is `f64`-only, SpMV-only, and re-extracts features on
+//! every call.
+//!
+//! # Example: a tuning session
 //! ```
-//! use morpheus::{ConvertOptions, CooMatrix, DynamicMatrix};
+//! use morpheus::{CooMatrix, DynamicMatrix};
 //! use morpheus_machine::{systems, Backend, VirtualEngine};
-//! use morpheus_oracle::{tune_multiply, RunFirstTuner};
+//! use morpheus_oracle::{Oracle, RunFirstTuner};
 //!
 //! // A banded matrix on the A64FX Serial backend: the run-first tuner
 //! // should discover a diagonal-friendly format.
@@ -42,21 +55,48 @@
 //! let coo = CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap();
 //! let mut matrix = DynamicMatrix::from(coo);
 //!
-//! let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
-//! let tuner = RunFirstTuner::new(10);
-//! let report = tune_multiply(&mut matrix, &tuner, &engine, &ConvertOptions::default()).unwrap();
+//! let mut oracle = Oracle::builder()
+//!     .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+//!     .tuner(RunFirstTuner::new(10))
+//!     .cache_capacity(128)
+//!     .build()
+//!     .unwrap();
+//!
+//! let report = oracle.tune(&mut matrix).unwrap();
 //! assert_eq!(matrix.format_id(), report.chosen);
+//! assert!(!report.cache_hit);
+//!
+//! // Tuning a structurally identical matrix again is (virtually) free.
+//! let mut again = DynamicMatrix::from(
+//!     CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap(),
+//! );
+//! let cached = oracle.tune(&mut again).unwrap();
+//! assert!(cached.cache_hit);
+//! assert_eq!(cached.cost.total(), 0.0);
+//! assert_eq!(cached.chosen, report.chosen);
 //! ```
+
+mod cache;
 
 pub mod features;
 pub mod model_db;
+pub mod oracle;
 pub mod tune;
 pub mod tuner;
 
+pub use cache::CacheStats;
 pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
 pub use model_db::ModelDatabase;
-pub use tune::{tune_multiply, TuneReport};
+pub use oracle::{Oracle, OracleBuilder, DEFAULT_CACHE_CAPACITY};
+pub use tune::TuneReport;
 pub use tuner::{DecisionTreeTuner, FormatTuner, RandomForestTuner, RunFirstTuner, TuneDecision, TuningCost};
+
+#[allow(deprecated)]
+pub use tune::tune_multiply;
+
+/// Re-exported so downstream code can name operations without depending on
+/// `morpheus-machine` directly.
+pub use morpheus_machine::Op;
 
 /// Errors produced by the Oracle layer.
 #[derive(Debug)]
@@ -67,6 +107,8 @@ pub enum OracleError {
     Ml(morpheus_ml::MlError),
     /// A model incompatible with the tuner or feature schema was supplied.
     ModelMismatch(String),
+    /// An [`Oracle`] was misconfigured (e.g. built without an engine).
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for OracleError {
@@ -75,6 +117,7 @@ impl std::fmt::Display for OracleError {
             OracleError::Morpheus(e) => write!(f, "{e}"),
             OracleError::Ml(e) => write!(f, "{e}"),
             OracleError::ModelMismatch(m) => write!(f, "model mismatch: {m}"),
+            OracleError::InvalidConfig(m) => write!(f, "invalid Oracle configuration: {m}"),
         }
     }
 }

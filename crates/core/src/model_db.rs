@@ -128,8 +128,7 @@ mod tests {
         let mut ds = Dataset::empty(crate::NUM_FEATURES, 6, vec![]).unwrap();
         for i in 0..60 {
             let wide = i % 2 == 0;
-            let row =
-                [500.0, 500.0, 2000.0, 4.0, 0.008, if wide { 40.0 } else { 4.0 }, 1.0, 1.5, 20.0, 1.0];
+            let row = [500.0, 500.0, 2000.0, 4.0, 0.008, if wide { 40.0 } else { 4.0 }, 1.0, 1.5, 20.0, 1.0];
             ds.push(&row, if wide { 3 } else { 1 }).unwrap();
         }
         ds
@@ -143,10 +142,7 @@ mod tests {
 
     #[test]
     fn file_names_are_canonical() {
-        assert_eq!(
-            ModelDatabase::file_name("P3", Backend::Cuda, ModelKind::Forest),
-            "p3_cuda.forest.model"
-        );
+        assert_eq!(ModelDatabase::file_name("P3", Backend::Cuda, ModelKind::Forest), "p3_cuda.forest.model");
         assert_eq!(
             ModelDatabase::file_name("ARCHER2", Backend::OpenMp, ModelKind::Tree),
             "archer2_openmp.tree.model"
@@ -158,8 +154,7 @@ mod tests {
         let dir = tempdir("roundtrip");
         let db = ModelDatabase::new(&dir);
         let ds = toy_dataset();
-        let forest =
-            RandomForest::fit(&ds, &ForestParams { n_estimators: 4, ..Default::default() }).unwrap();
+        let forest = RandomForest::fit(&ds, &ForestParams { n_estimators: 4, ..Default::default() }).unwrap();
         let tree = DecisionTree::fit(&ds, &TreeParams::default()).unwrap();
         db.save_forest("Cirrus", Backend::Cuda, &forest).unwrap();
         db.save_tree("Cirrus", Backend::Cuda, &tree).unwrap();

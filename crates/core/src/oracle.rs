@@ -1,0 +1,467 @@
+//! The `Oracle` session facade: the crate's public tuning API.
+//!
+//! The paper's tuner pays for itself by amortising a cheap prediction over
+//! many repeated executions (§VI, §VII-E). A session object makes that
+//! amortisation real at the API level: one `Oracle` holds the engine, the
+//! tuner, the conversion policy and an LRU decision cache, so a stream of
+//! tuning requests — the production shape of the workload — re-extracts
+//! features only for structures it has not seen before.
+//!
+//! ```
+//! use morpheus::{CooMatrix, DynamicMatrix};
+//! use morpheus_machine::{systems, Backend, VirtualEngine};
+//! use morpheus_oracle::{Oracle, RunFirstTuner};
+//!
+//! let mut m = DynamicMatrix::from(
+//!     CooMatrix::<f32>::from_triplets(3, 3, &[0, 1, 2], &[0, 1, 2], &[1.0, 1.0, 1.0]).unwrap(),
+//! );
+//! let mut oracle = Oracle::builder()
+//!     .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+//!     .tuner(RunFirstTuner::new(3))
+//!     .build()
+//!     .unwrap();
+//! let report = oracle.tune(&mut m).unwrap();
+//! assert_eq!(m.format_id(), report.chosen);
+//! ```
+
+use crate::cache::{CacheKey, CacheStats, DecisionCache};
+use crate::tune::TuneReport;
+use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
+use crate::{OracleError, Result};
+use morpheus::format::FormatId;
+use morpheus::{ConvertOptions, DynamicMatrix, Scalar};
+use morpheus_machine::{analyze, Op, VirtualEngine};
+
+/// Decisions a fresh [`Oracle`] keeps unless
+/// [`OracleBuilder::cache_capacity`] overrides it.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// A tuning session: engine + tuner + conversion policy + decision cache.
+///
+/// Built via [`Oracle::builder`]. The tuner type `T` is generic so the
+/// session is zero-cost over concrete tuners and still accepts trait
+/// objects (`Box<dyn FormatTuner<f64>>`) when the strategy is chosen at
+/// runtime. Methods are generic over the matrix scalar: any `T`
+/// implementing [`FormatTuner`] for both `f32` and `f64` (all bundled
+/// tuners do) serves both precisions from one session, sharing one cache.
+#[derive(Debug)]
+pub struct Oracle<T> {
+    engine: VirtualEngine,
+    tuner: T,
+    opts: ConvertOptions,
+    cache: DecisionCache,
+    engine_fingerprint: u64,
+}
+
+impl Oracle<()> {
+    /// Starts building a session. [`OracleBuilder::engine`] and
+    /// [`OracleBuilder::tuner`] are mandatory.
+    pub fn builder() -> OracleBuilder<()> {
+        OracleBuilder {
+            engine: None,
+            tuner: None,
+            opts: ConvertOptions::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl<T> Oracle<T> {
+    /// Tunes `m` for SpMV: selects a format (from cache when the structure
+    /// was seen before) and switches `m` to it in place.
+    ///
+    /// If the predicted format cannot be materialised (padding beyond
+    /// `ConvertOptions::max_fill`, which can happen when an ML model
+    /// mispredicts on an adversarial sparsity pattern), the matrix falls
+    /// back to CSR — the general-purpose default — rather than failing.
+    pub fn tune<V>(&mut self, m: &mut DynamicMatrix<V>) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        self.tune_for(m, Op::Spmv)
+    }
+
+    /// [`Oracle::tune`] for an arbitrary operation.
+    pub fn tune_for<V>(&mut self, m: &mut DynamicMatrix<V>, op: Op) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let previous = m.format_id();
+        let key = CacheKey {
+            structure: m.structure_hash(),
+            scalar_bytes: std::mem::size_of::<V>(),
+            engine: self.engine_fingerprint,
+            op,
+        };
+
+        let (decision, cache_hit) = match self.cache.get(&key) {
+            Some(mut cached) => {
+                // Same structure, scalar, engine and op: the tuner would
+                // reproduce this decision, so charge nothing for it.
+                cached.cost = TuningCost::cached();
+                (cached, true)
+            }
+            None => {
+                let analysis = analyze(m);
+                let decision = self.tuner.select(m, &analysis, &self.engine, op);
+                self.cache.insert(key, decision);
+                (decision, false)
+            }
+        };
+
+        let predicted = decision.format;
+        let chosen = if m.convert_to(predicted, &self.opts).is_ok() {
+            predicted
+        } else {
+            // Mispredicted into a non-viable format: fall back to CSR.
+            m.convert_to(FormatId::Csr, &self.opts)?;
+            FormatId::Csr
+        };
+        if !cache_hit {
+            // Cache the *realized* format: if the prediction proved
+            // non-viable, later hits must not re-pay the failing
+            // conversion attempt before falling back.
+            let realized = TuneDecision { format: chosen, ..decision };
+            if chosen != predicted {
+                self.cache.insert(key, realized);
+            }
+            if chosen != previous {
+                // Alias the decision under the matrix's *post-conversion*
+                // structure too, so re-tuning the same (already switched)
+                // matrix — the repeated-execution loop of §VII-E — is a
+                // hit.
+                self.cache.insert(CacheKey { structure: m.structure_hash(), ..key }, realized);
+            }
+        }
+        Ok(TuneReport {
+            chosen,
+            previous,
+            predicted,
+            cost: decision.cost,
+            converted: chosen != previous,
+            op,
+            cache_hit,
+        })
+    }
+
+    /// Host execution policy matching the session's target backend: serial
+    /// for the Serial engine, the process-wide thread pool otherwise
+    /// (OpenMP targets run threaded; simulated GPU targets have no host
+    /// device, so the threaded backend is the closest host execution).
+    fn exec_policy(&self) -> morpheus::spmv::ExecPolicy<'static> {
+        match self.engine.backend() {
+            morpheus_machine::Backend::Serial => morpheus::spmv::ExecPolicy::Serial,
+            _ => morpheus::spmv::ExecPolicy::Threaded {
+                pool: morpheus_parallel::global_pool(),
+                schedule: morpheus_parallel::Schedule::default(),
+            },
+        }
+    }
+
+    /// Tunes `m` for SpMV, then executes `y = A x` in the selected format,
+    /// on the execution backend matching the session's engine (serial for
+    /// a Serial engine, the host thread pool otherwise).
+    pub fn tune_and_spmv<V>(&mut self, m: &mut DynamicMatrix<V>, x: &[V], y: &mut [V]) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let report = self.tune_for(m, Op::Spmv)?;
+        morpheus::spmv::spmv(m, x, y, self.exec_policy())?;
+        Ok(report)
+    }
+
+    /// Tunes `m` for SpMM with `k` right-hand sides, then executes
+    /// `Y = A X` (`x` row-major `ncols x k`, `y` row-major `nrows x k`) in
+    /// the selected format. SpMM has only a serial host kernel, so the
+    /// execution is serial regardless of the engine's backend.
+    pub fn tune_and_spmm<V>(
+        &mut self,
+        m: &mut DynamicMatrix<V>,
+        x: &[V],
+        y: &mut [V],
+        k: usize,
+    ) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let report = self.tune_for(m, Op::Spmm { k })?;
+        morpheus::spmm::spmm_serial(m, x, y, k)?;
+        Ok(report)
+    }
+
+    /// The engine decisions are made for.
+    pub fn engine(&self) -> &VirtualEngine {
+        &self.engine
+    }
+
+    /// The tuning strategy.
+    pub fn tuner(&self) -> &T {
+        &self.tuner
+    }
+
+    /// The conversion policy applied when switching formats.
+    pub fn convert_options(&self) -> &ConvertOptions {
+        &self.opts
+    }
+
+    /// Hit/miss counters and occupancy of the decision cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Forgets every cached decision (counters are kept). Call after
+    /// swapping model files on disk or recalibrating the engine.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// Builder for [`Oracle`] sessions (see [`Oracle::builder`]).
+#[derive(Debug)]
+pub struct OracleBuilder<T> {
+    engine: Option<VirtualEngine>,
+    tuner: Option<T>,
+    opts: ConvertOptions,
+    cache_capacity: usize,
+}
+
+impl<T> OracleBuilder<T> {
+    /// Sets the target engine (mandatory).
+    pub fn engine(mut self, engine: VirtualEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Sets the tuning strategy (mandatory). May be a concrete tuner or a
+    /// boxed trait object.
+    pub fn tuner<U>(self, tuner: U) -> OracleBuilder<U> {
+        OracleBuilder {
+            engine: self.engine,
+            tuner: Some(tuner),
+            opts: self.opts,
+            cache_capacity: self.cache_capacity,
+        }
+    }
+
+    /// Overrides the conversion policy (default:
+    /// `ConvertOptions::default()`).
+    pub fn convert_options(mut self, opts: ConvertOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Overrides the decision-cache capacity
+    /// ([`DEFAULT_CACHE_CAPACITY`] entries by default; 0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Finishes the session.
+    ///
+    /// # Errors
+    /// [`OracleError::InvalidConfig`] when the engine or tuner was never
+    /// set.
+    pub fn build(self) -> Result<Oracle<T>> {
+        let engine = self
+            .engine
+            .ok_or_else(|| OracleError::InvalidConfig("Oracle::builder(): no engine set".into()))?;
+        let tuner =
+            self.tuner.ok_or_else(|| OracleError::InvalidConfig("Oracle::builder(): no tuner set".into()))?;
+        let engine_fingerprint = fingerprint_engine(&engine);
+        Ok(Oracle {
+            engine,
+            tuner,
+            opts: self.opts,
+            cache: DecisionCache::new(self.cache_capacity),
+            engine_fingerprint,
+        })
+    }
+}
+
+/// Hash of the engine's (system, backend) identity. Within one session the
+/// engine never changes, so this component never distinguishes entries
+/// today — it is part of the key so cached decisions stay self-describing.
+/// Note it covers the label only: engines differing merely in calibration
+/// or noise parameters collide, so it is NOT sufficient on its own to
+/// merge caches across sessions.
+fn fingerprint_engine(engine: &VirtualEngine) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    engine.label().hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::RunFirstTuner;
+    use morpheus::CooMatrix;
+    use morpheus_machine::{systems, Backend};
+
+    fn tridiag(n: usize) -> DynamicMatrix<f64> {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for i in 0..n {
+            for d in [-1isize, 0, 1] {
+                let j = i as isize + d;
+                if j >= 0 && (j as usize) < n {
+                    rows.push(i);
+                    cols.push(j as usize);
+                }
+            }
+        }
+        let vals = vec![1.0; rows.len()];
+        DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap())
+    }
+
+    fn session() -> Oracle<RunFirstTuner> {
+        Oracle::builder()
+            .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+            .tuner(RunFirstTuner::new(3))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_engine_and_tuner() {
+        assert!(matches!(
+            Oracle::builder().tuner(RunFirstTuner::new(1)).build(),
+            Err(OracleError::InvalidConfig(_))
+        ));
+        let no_tuner = Oracle::builder().engine(VirtualEngine::new(systems::a64fx(), Backend::Serial));
+        assert!(matches!(no_tuner.build(), Err(OracleError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn second_tune_of_identical_structure_hits_the_cache() {
+        let mut oracle = session();
+        let mut first = tridiag(2000);
+        let r1 = oracle.tune(&mut first).unwrap();
+        assert!(!r1.cache_hit);
+        assert!(r1.cost.total() > 0.0);
+
+        // A *distinct* matrix with the same structure.
+        let mut second = tridiag(2000);
+        let r2 = oracle.tune(&mut second).unwrap();
+        assert!(r2.cache_hit);
+        assert!(r2.cost.cache_hit);
+        assert_eq!(r2.cost.feature_extraction, 0.0);
+        assert_eq!(r2.cost.prediction, 0.0);
+        assert_eq!(r2.cost.profiling, 0.0);
+        assert_eq!(r2.chosen, r1.chosen);
+        assert_eq!(second.format_id(), r1.chosen);
+
+        let stats = oracle.cache_stats();
+        // Two entries per tuned structure: the original form plus the
+        // post-conversion alias.
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 2));
+    }
+
+    #[test]
+    fn different_ops_tune_independently() {
+        let mut oracle = session();
+        let mut m = tridiag(1500);
+        let spmv = oracle.tune_for(&mut m, Op::Spmv).unwrap();
+        assert_eq!(spmv.op, Op::Spmv);
+        // The same structure under another op is a different question — no
+        // false hit. (The matrix is now in the tuned format, so re-tune a
+        // fresh COO copy.)
+        let mut m2 = tridiag(1500);
+        let spmm = oracle.tune_for(&mut m2, Op::Spmm { k: 8 }).unwrap();
+        assert_eq!(spmm.op, Op::Spmm { k: 8 });
+        assert!(!spmm.cache_hit);
+    }
+
+    #[test]
+    fn tune_and_execute_preserves_numerics() {
+        let mut oracle = session();
+        let base = tridiag(600);
+        let n = base.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+
+        let mut y_ref = vec![0.0; n];
+        morpheus::spmv::spmv_serial(&base, &x, &mut y_ref).unwrap();
+
+        let mut tuned = base.clone();
+        let mut y = vec![f64::NAN; n];
+        let report = oracle.tune_and_spmv(&mut tuned, &x, &mut y).unwrap();
+        assert_eq!(tuned.format_id(), report.chosen);
+        assert_eq!(y, y_ref);
+
+        // SpMM with k = 1 equals SpMV.
+        let mut tuned2 = base.clone();
+        let mut y2 = vec![f64::NAN; n];
+        let r2 = oracle.tune_and_spmm(&mut tuned2, &x, &mut y2, 1).unwrap();
+        assert_eq!(r2.op, Op::Spmm { k: 1 });
+        assert_eq!(y2, y_ref);
+    }
+
+    #[test]
+    fn openmp_session_executes_threaded_with_identical_numerics() {
+        let mut oracle = Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(3))
+            .build()
+            .unwrap();
+        let mut m = tridiag(800);
+        let x: Vec<f64> = (0..800).map(|i| (i % 11) as f64 - 5.0).collect();
+        let mut y = vec![f64::NAN; 800];
+        let report = oracle.tune_and_spmv(&mut m, &x, &mut y).unwrap();
+        assert_eq!(m.format_id(), report.chosen);
+        // The threaded backend is bit-identical to serial on the same
+        // tuned matrix.
+        let mut y_serial = vec![0.0f64; 800];
+        morpheus::spmv::spmv_serial(&m, &x, &mut y_serial).unwrap();
+        assert_eq!(y, y_serial);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut oracle = Oracle::builder()
+            .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+            .tuner(RunFirstTuner::new(2))
+            .cache_capacity(0)
+            .build()
+            .unwrap();
+        for _ in 0..3 {
+            let mut m = tridiag(900);
+            let r = oracle.tune(&mut m).unwrap();
+            assert!(!r.cache_hit);
+            assert!(r.cost.total() > 0.0);
+        }
+        assert_eq!(oracle.cache_stats(), CacheStats { capacity: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn clear_cache_forces_fresh_decision() {
+        let mut oracle = session();
+        let mut a = tridiag(1200);
+        let mut b = tridiag(1200);
+        oracle.tune(&mut a).unwrap();
+        oracle.clear_cache();
+        let r = oracle.tune(&mut b).unwrap();
+        assert!(!r.cache_hit);
+        assert_eq!(oracle.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let opts = ConvertOptions { max_fill: 3.5, ..Default::default() };
+        let oracle = Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(7))
+            .convert_options(opts)
+            .cache_capacity(16)
+            .build()
+            .unwrap();
+        assert_eq!(oracle.engine().label(), "Cirrus/OpenMP");
+        assert_eq!(oracle.tuner().reps(), 7);
+        assert_eq!(oracle.convert_options().max_fill, 3.5);
+        assert_eq!(oracle.cache_stats().capacity, 16);
+    }
+}

@@ -1,62 +1,76 @@
-//! The `tune_multiply` operation (§VI-B).
+//! The tuning report and the legacy one-shot entry point (§VI-B).
 //!
 //! "The input of the tuning operation requires the DynamicMatrix and the
 //! tuner, along with the desired execution space ... Upon completion of the
-//! tuning operation, the tuner can be queried for the optimal format" — here
-//! the operation also performs the switch, returning a report with the
-//! decision and its cost.
+//! tuning operation, the tuner can be queried for the optimal format" —
+//! here the operation also performs the switch, returning a report with the
+//! decision and its cost. The session-based API lives in
+//! [`crate::Oracle`]; [`tune_multiply`] remains as a thin deprecated
+//! wrapper for one-shot `f64` SpMV tuning.
 
 use crate::tuner::{FormatTuner, TuningCost};
-use crate::Result;
+use crate::{Oracle, Result};
 use morpheus::format::FormatId;
 use morpheus::{ConvertOptions, DynamicMatrix};
-use morpheus_machine::{analyze, VirtualEngine};
+use morpheus_machine::{Op, VirtualEngine};
 
-/// Outcome of one [`tune_multiply`] call.
+/// Outcome of one tuning call ([`Oracle::tune`] and friends).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuneReport {
     /// Format the matrix ended up in.
     pub chosen: FormatId,
     /// Format the matrix was in before tuning.
     pub previous: FormatId,
-    /// What the tuner originally predicted (differs from `chosen` only when
-    /// the conversion failed and the tuner fell back to CSR).
+    /// The format the tuning decision named before conversion. On a fresh
+    /// decision it differs from `chosen` only when the conversion failed
+    /// and the matrix fell back to CSR; on a cache hit the *realized*
+    /// decision is served, so `predicted == chosen` even if the original
+    /// prediction had been non-viable.
     pub predicted: FormatId,
-    /// Cost of the tuning decision on the engine's virtual clock.
+    /// Cost of the tuning decision on the engine's virtual clock (all
+    /// components zero on a cache hit).
     pub cost: TuningCost,
     /// `true` if a format switch was performed.
     pub converted: bool,
+    /// The operation the matrix was tuned for.
+    pub op: Op,
+    /// `true` when the decision came from the session's cache.
+    pub cache_hit: bool,
 }
 
 /// Tunes the matrix for SpMV on `engine` using `tuner` and switches it to
 /// the selected format in place.
 ///
-/// If the predicted format cannot be materialised (padding beyond
-/// `opts.max_fill`, which can happen when an ML model mispredicts on an
-/// adversarial sparsity pattern), the matrix falls back to CSR — the
-/// general-purpose default — rather than failing the operation.
+/// Legacy one-shot entry point: builds a throw-away cache-less
+/// [`Oracle`] session per call, so repeated use re-extracts features every
+/// time and only supports `f64`. Prefer a long-lived session:
+///
+/// ```text
+/// let mut oracle = Oracle::builder().engine(engine).tuner(tuner).build()?;
+/// oracle.tune(&mut m)?;
+/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use Oracle::builder() — the session facade is generic over scalars, \
+            operation-aware, and amortises tuning cost through its decision cache"
+)]
 pub fn tune_multiply(
     m: &mut DynamicMatrix<f64>,
-    tuner: &dyn FormatTuner,
+    tuner: &dyn FormatTuner<f64>,
     engine: &VirtualEngine,
     opts: &ConvertOptions,
 ) -> Result<TuneReport> {
-    let analysis = analyze(m);
-    let previous = m.format_id();
-    let decision = tuner.select(m, &analysis, engine);
-    let predicted = decision.format;
-
-    let chosen = if m.convert_to(predicted, opts).is_ok() {
-        predicted
-    } else {
-        // Mispredicted into a non-viable format: fall back to CSR.
-        m.convert_to(FormatId::Csr, opts)?;
-        FormatId::Csr
-    };
-    Ok(TuneReport { chosen, previous, predicted, cost: decision.cost, converted: chosen != previous })
+    let mut oracle = Oracle::builder()
+        .engine(engine.clone())
+        .tuner(tuner)
+        .convert_options(*opts)
+        .cache_capacity(0)
+        .build()?;
+    oracle.tune(m)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::tuner::{RunFirstTuner, TuneDecision};
@@ -88,6 +102,8 @@ mod tests {
         assert_eq!(report.previous, FormatId::Coo);
         assert_eq!(m.format_id(), report.chosen);
         assert_eq!(report.predicted, report.chosen);
+        assert_eq!(report.op, Op::Spmv);
+        assert!(!report.cache_hit, "one-shot wrapper runs cache-less");
         // Entries preserved through the switch.
         assert_eq!(m.nnz(), 3 * 4000 - 2);
     }
@@ -97,12 +113,18 @@ mod tests {
         /// A tuner that always predicts ELL, even when ELL cannot hold the
         /// matrix within the fill limit.
         struct AlwaysEll;
-        impl FormatTuner for AlwaysEll {
+        impl FormatTuner<f64> for AlwaysEll {
             fn name(&self) -> &'static str {
                 "always-ell"
             }
-            fn select(&self, _: &DynamicMatrix<f64>, _: &MatrixAnalysis, _: &VirtualEngine) -> TuneDecision {
-                TuneDecision { format: FormatId::Ell, cost: TuningCost::default() }
+            fn select(
+                &self,
+                _: &DynamicMatrix<f64>,
+                _: &MatrixAnalysis,
+                _: &VirtualEngine,
+                op: Op,
+            ) -> TuneDecision {
+                TuneDecision { format: FormatId::Ell, op, cost: TuningCost::default() }
             }
         }
 
@@ -129,7 +151,8 @@ mod tests {
         let mut m = tridiag(3000);
         let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
         // First tune moves it to the optimum; second tune is a no-op switch.
-        let first = tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
+        let first =
+            tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
         let second =
             tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
         assert_eq!(second.chosen, first.chosen);

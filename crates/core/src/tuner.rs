@@ -1,10 +1,11 @@
-//! The three tuners of §VI-A.
+//! The three tuners of §VI-A, generic over the matrix scalar and aware of
+//! the operation being tuned for.
 
 use crate::features::FeatureVector;
 use crate::{OracleError, Result};
 use morpheus::format::{FormatId, ALL_FORMATS};
-use morpheus::DynamicMatrix;
-use morpheus_machine::{MatrixAnalysis, VirtualEngine};
+use morpheus::{DynamicMatrix, Scalar};
+use morpheus_machine::{MatrixAnalysis, Op, VirtualEngine};
 use morpheus_ml::serialize::LoadedModel;
 use morpheus_ml::{DecisionTree, RandomForest};
 
@@ -18,6 +19,12 @@ pub struct TuningCost {
     pub prediction: f64,
     /// Run-first only: conversions plus trial runs, seconds.
     pub profiling: f64,
+    /// `true` when the decision was served from the Oracle's cache — all
+    /// cost components are then zero (nothing was re-extracted or
+    /// re-evaluated). Set by the session on hits; tuners constructing
+    /// fresh decisions must leave it `false` ([`crate::TuneReport`]'s
+    /// `cache_hit` is the authoritative flag).
+    pub cache_hit: bool,
 }
 
 impl TuningCost {
@@ -25,25 +32,75 @@ impl TuningCost {
     pub fn total(&self) -> f64 {
         self.feature_extraction + self.prediction + self.profiling
     }
+
+    /// A zero-cost record flagged as served from cache.
+    pub fn cached() -> Self {
+        TuningCost { cache_hit: true, ..Default::default() }
+    }
 }
 
-/// A tuner's verdict for one matrix on one engine.
+/// A tuner's verdict for one matrix on one engine, for one operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuneDecision {
     /// The selected format.
     pub format: FormatId,
+    /// The operation the selection targets.
+    pub op: Op,
     /// What the decision cost.
     pub cost: TuningCost,
 }
 
 /// Strategy interface: given a matrix (and its analysis) on an engine,
-/// select the format SpMV should run in.
-pub trait FormatTuner {
+/// select the format the given operation should run in.
+///
+/// The trait is generic over the matrix scalar `V` so one tuner value
+/// serves `f32` and `f64` sessions alike; the bundled tuners implement it
+/// for every [`Scalar`] because format selection depends only on sparsity
+/// structure, never on the stored values.
+pub trait FormatTuner<V: Scalar> {
     /// Tuner name for reports.
     fn name(&self) -> &'static str;
 
-    /// Selects a format.
-    fn select(&self, m: &DynamicMatrix<f64>, a: &MatrixAnalysis, engine: &VirtualEngine) -> TuneDecision;
+    /// Selects a format for `op`.
+    fn select(
+        &self,
+        m: &DynamicMatrix<V>,
+        a: &MatrixAnalysis,
+        engine: &VirtualEngine,
+        op: Op,
+    ) -> TuneDecision;
+}
+
+impl<V: Scalar, T: FormatTuner<V> + ?Sized> FormatTuner<V> for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn select(
+        &self,
+        m: &DynamicMatrix<V>,
+        a: &MatrixAnalysis,
+        engine: &VirtualEngine,
+        op: Op,
+    ) -> TuneDecision {
+        (**self).select(m, a, engine, op)
+    }
+}
+
+impl<V: Scalar, T: FormatTuner<V> + ?Sized> FormatTuner<V> for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn select(
+        &self,
+        m: &DynamicMatrix<V>,
+        a: &MatrixAnalysis,
+        engine: &VirtualEngine,
+        op: Op,
+    ) -> TuneDecision {
+        (**self).select(m, a, engine, op)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -53,7 +110,8 @@ pub trait FormatTuner {
 /// The run-first tuner: "records the iteration time each format takes to
 /// perform N-iterations for a given operation and applies statistics to
 /// determine which format was best" (§VI-A). Most accurate, most expensive —
-/// it pays a conversion to every viable format plus `reps` trial SpMVs each.
+/// it pays a conversion to every viable format plus `reps` trial executions
+/// of the tuned operation each.
 #[derive(Debug, Clone)]
 pub struct RunFirstTuner {
     reps: usize,
@@ -71,12 +129,18 @@ impl RunFirstTuner {
     }
 }
 
-impl FormatTuner for RunFirstTuner {
+impl<V: Scalar> FormatTuner<V> for RunFirstTuner {
     fn name(&self) -> &'static str {
         "run-first"
     }
 
-    fn select(&self, m: &DynamicMatrix<f64>, a: &MatrixAnalysis, engine: &VirtualEngine) -> TuneDecision {
+    fn select(
+        &self,
+        m: &DynamicMatrix<V>,
+        a: &MatrixAnalysis,
+        engine: &VirtualEngine,
+        op: Op,
+    ) -> TuneDecision {
         let active = m.format_id();
         let mut best = FormatId::Csr;
         let mut best_time = f64::INFINITY;
@@ -86,14 +150,14 @@ impl FormatTuner for RunFirstTuner {
                 continue;
             }
             let t_convert = engine.conversion_time(active, fmt, a);
-            let t_iter = engine.spmv_time(fmt, a);
+            let t_iter = engine.op_time(op, fmt, a);
             profiling += t_convert + self.reps as f64 * t_iter;
             if t_iter < best_time {
                 best_time = t_iter;
                 best = fmt;
             }
         }
-        TuneDecision { format: best, cost: TuningCost { profiling, ..Default::default() } }
+        TuneDecision { format: best, op, cost: TuningCost { profiling, ..Default::default() } }
     }
 }
 
@@ -117,20 +181,23 @@ fn check_model_shape(n_features: usize, n_classes: usize, kind: &str) -> Result<
     Ok(())
 }
 
-fn ml_decision(
+fn ml_decision<V: Scalar>(
     predicted: usize,
     nodes_visited: usize,
-    m: &DynamicMatrix<f64>,
+    m: &DynamicMatrix<V>,
     a: &MatrixAnalysis,
     engine: &VirtualEngine,
+    op: Op,
 ) -> TuneDecision {
     let format = FormatId::from_index(predicted).unwrap_or(FormatId::Csr);
     TuneDecision {
         format,
+        op,
         cost: TuningCost {
             feature_extraction: engine.feature_extraction_time(m.format_id(), a),
             prediction: engine.prediction_time(nodes_visited),
             profiling: 0.0,
+            cache_hit: false,
         },
     }
 }
@@ -166,16 +233,22 @@ impl DecisionTreeTuner {
     }
 }
 
-impl FormatTuner for DecisionTreeTuner {
+impl<V: Scalar> FormatTuner<V> for DecisionTreeTuner {
     fn name(&self) -> &'static str {
         "decision-tree"
     }
 
-    fn select(&self, m: &DynamicMatrix<f64>, a: &MatrixAnalysis, engine: &VirtualEngine) -> TuneDecision {
+    fn select(
+        &self,
+        m: &DynamicMatrix<V>,
+        a: &MatrixAnalysis,
+        engine: &VirtualEngine,
+        op: Op,
+    ) -> TuneDecision {
         let fv = FeatureVector::from_stats(&a.stats);
         let predicted = self.model.predict(fv.as_slice());
         let visited = self.model.decision_path_len(fv.as_slice());
-        ml_decision(predicted, visited, m, a, engine)
+        ml_decision(predicted, visited, m, a, engine, op)
     }
 }
 
@@ -210,16 +283,22 @@ impl RandomForestTuner {
     }
 }
 
-impl FormatTuner for RandomForestTuner {
+impl<V: Scalar> FormatTuner<V> for RandomForestTuner {
     fn name(&self) -> &'static str {
         "random-forest"
     }
 
-    fn select(&self, m: &DynamicMatrix<f64>, a: &MatrixAnalysis, engine: &VirtualEngine) -> TuneDecision {
+    fn select(
+        &self,
+        m: &DynamicMatrix<V>,
+        a: &MatrixAnalysis,
+        engine: &VirtualEngine,
+        op: Op,
+    ) -> TuneDecision {
         let fv = FeatureVector::from_stats(&a.stats);
         let predicted = self.model.predict(fv.as_slice());
         let visited = self.model.decision_path_len(fv.as_slice());
-        ml_decision(predicted, visited, m, a, engine)
+        ml_decision(predicted, visited, m, a, engine, op)
     }
 }
 
@@ -253,9 +332,7 @@ mod tests {
         for i in 0..120 {
             let wide = i % 2 == 0;
             let max_nnz = if wide { 50.0 } else { 3.0 };
-            let row = [
-                1000.0, 1000.0, 5000.0, 5.0, 0.005, max_nnz, 1.0, 2.0, 30.0, 0.0,
-            ];
+            let row = [1000.0, 1000.0, 5000.0, 5.0, 0.005, max_nnz, 1.0, 2.0, 30.0, 0.0];
             ds.push(&row, if wide { 3 } else { 1 }).unwrap();
         }
         ds
@@ -267,10 +344,12 @@ mod tests {
         let a = analyze(&m);
         let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
         let tuner = RunFirstTuner::new(5);
-        let decision = tuner.select(&m, &a, &engine);
+        let decision = tuner.select(&m, &a, &engine, Op::Spmv);
         assert_eq!(decision.format, engine.profile(&a).optimal);
+        assert_eq!(decision.op, Op::Spmv);
         assert!(decision.cost.profiling > 0.0);
         assert_eq!(decision.cost.feature_extraction, 0.0);
+        assert!(!decision.cost.cache_hit);
     }
 
     #[test]
@@ -278,9 +357,40 @@ mod tests {
         let m = tridiag(1000);
         let a = analyze(&m);
         let engine = VirtualEngine::new(systems::xci(), Backend::Serial);
-        let c1 = RunFirstTuner::new(1).select(&m, &a, &engine).cost.total();
-        let c100 = RunFirstTuner::new(100).select(&m, &a, &engine).cost.total();
+        let c1 = RunFirstTuner::new(1).select(&m, &a, &engine, Op::Spmv).cost.total();
+        let c100 = RunFirstTuner::new(100).select(&m, &a, &engine, Op::Spmv).cost.total();
         assert!(c100 > 5.0 * c1);
+    }
+
+    #[test]
+    fn run_first_is_operation_aware() {
+        let m = tridiag(2000);
+        let a = analyze(&m);
+        let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
+        let tuner = RunFirstTuner::new(3);
+        let spmm = tuner.select(&m, &a, &engine, Op::Spmm { k: 32 });
+        assert_eq!(spmm.op, Op::Spmm { k: 32 });
+        assert_eq!(spmm.format, engine.profile_op(&a, Op::Spmm { k: 32 }).optimal);
+        // Trial executions of the heavier operation cost more.
+        let spmv = tuner.select(&m, &a, &engine, Op::Spmv);
+        assert!(spmm.cost.profiling > spmv.cost.profiling);
+    }
+
+    #[test]
+    fn run_first_selects_for_f32_matrices_too() {
+        let m64 = tridiag(1500);
+        let coo = m64.to_coo();
+        let vals32: Vec<f32> = coo.values().iter().map(|&v| v as f32).collect();
+        let m32: DynamicMatrix<f32> = DynamicMatrix::from(
+            CooMatrix::from_triplets(coo.nrows(), coo.ncols(), coo.row_indices(), coo.col_indices(), &vals32)
+                .unwrap(),
+        );
+        let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+        let tuner = RunFirstTuner::new(2);
+        let d64 = tuner.select(&m64, &analyze(&m64), &engine, Op::Spmv);
+        let d32 = tuner.select(&m32, &analyze(&m32), &engine, Op::Spmv);
+        // Identical structure: identical selection, whatever the scalar.
+        assert_eq!(d64.format, d32.format);
     }
 
     #[test]
@@ -293,7 +403,7 @@ mod tests {
         // Tridiagonal: max nnz/row = 3 -> the "narrow" rule -> CSR.
         let m = tridiag(1000);
         let a = analyze(&m);
-        let d = tuner.select(&m, &a, &engine);
+        let d = tuner.select(&m, &a, &engine, Op::Spmv);
         assert_eq!(d.format, FormatId::Csr);
         assert!(d.cost.feature_extraction > 0.0);
         assert!(d.cost.prediction > 0.0);
@@ -310,7 +420,7 @@ mod tests {
         let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
         let m = tridiag(500);
         let a = analyze(&m);
-        let d = tuner.select(&m, &a, &engine);
+        let d = tuner.select(&m, &a, &engine, Op::Spmv);
         assert_eq!(d.format, FormatId::Csr);
         // Forest prediction visits more nodes than a single tree would.
         assert!(d.cost.prediction > engine.prediction_time(1));
@@ -337,5 +447,21 @@ mod tests {
         morpheus_ml::serialize::save_forest(&mut buf, &forest).unwrap();
         assert!(DecisionTreeTuner::from_reader(std::io::Cursor::new(&buf)).is_err());
         assert!(RandomForestTuner::from_reader(std::io::Cursor::new(&buf)).is_ok());
+    }
+
+    #[test]
+    fn trait_objects_and_boxes_delegate() {
+        let m = tridiag(800);
+        let a = analyze(&m);
+        let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+        let concrete = RunFirstTuner::new(2);
+        let direct = concrete.select(&m, &a, &engine, Op::Spmv);
+
+        let by_ref: &dyn FormatTuner<f64> = &concrete;
+        assert_eq!(by_ref.select(&m, &a, &engine, Op::Spmv), direct);
+        assert_eq!(FormatTuner::<f64>::name(&by_ref), "run-first");
+
+        let boxed: Box<dyn FormatTuner<f64>> = Box::new(RunFirstTuner::new(2));
+        assert_eq!(boxed.select(&m, &a, &engine, Op::Spmv), direct);
     }
 }

@@ -9,15 +9,12 @@
 //! 4. **Tuner trade-off** (§VI-A): decision cost vs achieved speedup for
 //!    run-first / tree / forest on one pair.
 
-use morpheus::format::FormatId;
 use morpheus_bench::report::Table;
 use morpheus_bench::{cache_dir_from_env, corpus_spec_from_env, pipeline};
 use morpheus_machine::VirtualEngine;
 use morpheus_ml::metrics::{accuracy, balanced_accuracy};
-use morpheus_ml::{
-    DecisionTree, GbtParams, GradientBoostedTrees, RandomForest, TreeParams,
-};
-use morpheus_oracle::{FeatureVector, FEATURE_NAMES};
+use morpheus_ml::{DecisionTree, GbtParams, GradientBoostedTrees, RandomForest, TreeParams};
+use morpheus_oracle::{DecisionTreeTuner, Oracle, RunFirstTuner, FEATURE_NAMES};
 
 const REPS: f64 = 1000.0;
 
@@ -107,68 +104,65 @@ fn main() {
     println!("== Ablation 4: tuner trade-off on Cirrus/CUDA (§VI-A) ==\n");
     let pi = pc.pair_index("Cirrus/CUDA").expect("pair exists");
     let engine = VirtualEngine::for_pair(&pc.pairs[pi]);
-    let tuned = pipeline::tuned_forest_cached(&pc, pi, &spec, &cache);
     let train = pipeline::dataset_for_pair(&pc, pi, false);
-    let tree = DecisionTree::fit(
-        &train,
-        &TreeParams { max_depth: Some(16), seed: spec.seed, ..Default::default() },
-    )
-    .expect("tree fit");
+    let tree =
+        DecisionTree::fit(&train, &TreeParams { max_depth: Some(16), seed: spec.seed, ..Default::default() })
+            .expect("tree fit");
 
-    let mut t = Table::new(&["tuner", "mean decision cost (CSR SpMVs)", "mean tuned speedup", "selection accuracy %"]);
-    let evaluate = |name: &str,
-                    decide: &dyn Fn(&pipeline::ProfiledEntry) -> (FormatId, f64)|
-     -> Vec<String> {
-        let mut costs = Vec::new();
-        let mut speedups = Vec::new();
-        let mut hits = 0usize;
-        let mut n = 0usize;
-        for e in pc.split(true) {
-            let profile = &e.profiles[pi];
-            let t_csr = profile.csr_time();
-            let (fmt, cost) = decide(e);
-            let t_run = profile.times[fmt.index()].unwrap_or(t_csr);
-            costs.push(cost / t_csr);
-            speedups.push(REPS * t_csr / (cost + REPS * t_run));
-            hits += usize::from(fmt == profile.optimal);
-            n += 1;
-        }
-        vec![
-            name.to_string(),
-            format!("{:.0}", costs.iter().sum::<f64>() / costs.len() as f64),
-            format!("{:.2}", speedups.iter().sum::<f64>() / speedups.len() as f64),
-            format!("{:.1}", 100.0 * hits as f64 / n as f64),
-        ]
-    };
+    // Every strategy runs through the same session facade, so decision
+    // costs (conversions + trials for run-first, T_FE + T_PRED for the ML
+    // tuners) come from the Oracle's own accounting.
+    let mut t = Table::new(&[
+        "tuner",
+        "mean decision cost (CSR SpMVs)",
+        "mean tuned speedup",
+        "selection accuracy %",
+    ]);
+    let evaluate =
+        |name: &str, decide: &mut dyn FnMut(usize) -> morpheus_oracle::TuneReport| -> Vec<String> {
+            let mut costs = Vec::new();
+            let mut speedups = Vec::new();
+            let mut hits = 0usize;
+            let mut n = 0usize;
+            for e in pc.split(true) {
+                let profile = &e.profiles[pi];
+                let t_csr = profile.csr_time();
+                let report = decide(e.id);
+                let t_run = profile.times[report.chosen.index()].unwrap_or(t_csr);
+                let cost = report.cost.total();
+                costs.push(cost / t_csr);
+                speedups.push(REPS * t_csr / (cost + REPS * t_run));
+                hits += usize::from(report.chosen == profile.optimal);
+                n += 1;
+            }
+            vec![
+                name.to_string(),
+                format!("{:.0}", costs.iter().sum::<f64>() / costs.len() as f64),
+                format!("{:.2}", speedups.iter().sum::<f64>() / speedups.len() as f64),
+                format!("{:.1}", 100.0 * hits as f64 / n as f64),
+            ]
+        };
 
     // Run-first: pays conversions + 10 trial iterations per viable format,
     // always lands on the optimum.
-    t.row(evaluate("run-first(10)", &|e| {
-        let profile = &e.profiles[pi];
-        let mut cost = 0.0;
-        for (fi, time) in profile.times.iter().enumerate() {
-            if let Some(iter) = time {
-                // Conversion cost approximated from the profile itself via
-                // the engine's conversion model inputs is unavailable here;
-                // use 10 iterations + one CSR-equivalent per format as the
-                // conversion stand-in.
-                let _ = fi;
-                cost += 10.0 * iter + profile.csr_time();
-            }
-        }
-        (profile.optimal, cost)
+    let mut run_first =
+        Oracle::builder().engine(engine.clone()).tuner(RunFirstTuner::new(10)).build().expect("configured");
+    t.row(evaluate("run-first(10)", &mut |id| {
+        run_first.tune(&mut pipeline::matrix_in_csr(&spec, id)).expect("tune")
     }));
-    t.row(evaluate("decision-tree", &|e| {
-        let fv = FeatureVector(e.features);
-        let fmt = FormatId::from_index(tree.predict(fv.as_slice())).unwrap_or(FormatId::Csr);
-        let cost = e.fe_times[pi] + engine.prediction_time(tree.decision_path_len(fv.as_slice()));
-        (fmt, cost)
+
+    let mut tree_session = Oracle::builder()
+        .engine(engine.clone())
+        .tuner(DecisionTreeTuner::new(tree).expect("schema"))
+        .build()
+        .expect("configured");
+    t.row(evaluate("decision-tree", &mut |id| {
+        tree_session.tune(&mut pipeline::matrix_in_csr(&spec, id)).expect("tune")
     }));
-    t.row(evaluate("random-forest", &|e| {
-        let fv = FeatureVector(e.features);
-        let fmt = FormatId::from_index(tuned.model.predict(fv.as_slice())).unwrap_or(FormatId::Csr);
-        let cost = e.fe_times[pi] + engine.prediction_time(tuned.model.decision_path_len(fv.as_slice()));
-        (fmt, cost)
+
+    let mut forest_session = pipeline::oracle_for_pair(&pc, pi, &spec, &cache);
+    t.row(evaluate("random-forest", &mut |id| {
+        forest_session.tune(&mut pipeline::matrix_in_csr(&spec, id)).expect("tune")
     }));
     println!("{}", t.render());
     println!("run-first is exact but pays conversions; the tree is cheapest; the forest");

@@ -18,15 +18,23 @@ fn main() {
     println!("== Figure 3: SpMV speedup of optimal format vs CSR, CPU backends ==");
     println!("(CSR-optimal matrices omitted, as in the paper)\n");
 
-    let mut table =
-        Table::new(&["system/backend", "n", "mean", "q2", "q3", "max", ">=1.5x", ">=10x"]);
+    let mut table = Table::new(&["system/backend", "n", "mean", "q2", "q3", "max", ">=1.5x", ">=10x"]);
     for (pi, pair) in pc.pairs.iter().enumerate() {
         if pair.backend.is_gpu() {
             continue;
         }
         let speedups = pipeline::optimal_speedups(&pc, pi);
         if speedups.is_empty() {
-            table.row(vec![pair.label(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(vec![
+                pair.label(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let s = sample_stats(&speedups);

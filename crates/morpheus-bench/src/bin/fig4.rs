@@ -17,8 +17,7 @@ fn main() {
     println!("== Figure 4: SpMV speedup of optimal format vs CSR, GPU backends ==");
     println!("(CSR-optimal matrices omitted, as in the paper)\n");
 
-    let mut table =
-        Table::new(&["system/backend", "device", "n", "mean", "q2", "max", ">=10x", ">=100x"]);
+    let mut table = Table::new(&["system/backend", "device", "n", "mean", "q2", "max", ">=10x", ">=100x"]);
     for (pi, pair) in pc.pairs.iter().enumerate() {
         if !pair.backend.is_gpu() {
             continue;

@@ -6,12 +6,14 @@
 //! A100, 3x on the V100 and 8x on the MI100, with the tuned average
 //! matching the oracle-optimal average — i.e. tuning overheads amortise
 //! within the 1000 iterations.
+//!
+//! The online stage runs through the public [`morpheus_oracle::Oracle`]
+//! session: every test matrix is regenerated in CSR and tuned by the
+//! facade, whose report supplies both the selected format (CSR fallback
+//! included) and the `T_FE + T_PRED` decision cost.
 
-use morpheus::format::FormatId;
 use morpheus_bench::report::{sample_stats, Table};
 use morpheus_bench::{cache_dir_from_env, corpus_spec_from_env, pipeline};
-use morpheus_machine::VirtualEngine;
-use morpheus_oracle::FeatureVector;
 
 const REPS: f64 = 1000.0;
 
@@ -33,27 +35,23 @@ fn main() {
     ]);
 
     for pi in 0..pc.pairs.len() {
-        let tuned = pipeline::tuned_forest_cached(&pc, pi, &spec, &cache);
-        let engine = VirtualEngine::for_pair(&pc.pairs[pi]);
+        let mut oracle = pipeline::oracle_for_pair(&pc, pi, &spec, &cache);
         let mut speedups = Vec::new();
         let mut optimal_speedups = Vec::new();
         let mut mispredicted = 0usize;
         for e in pc.split(true) {
             let profile = &e.profiles[pi];
             let t_csr = profile.csr_time();
-            let fv = FeatureVector(e.features);
-            let predicted = FormatId::from_index(tuned.model.predict(fv.as_slice()))
-                .unwrap_or(FormatId::Csr);
-            // A prediction for a non-viable format falls back to CSR, as in
-            // `tune_multiply`.
-            let t_pred_format = profile.times[predicted.index()].unwrap_or(t_csr);
-            if predicted != profile.optimal {
+            let mut m = pipeline::matrix_in_csr(&spec, e.id);
+            let report = oracle.tune(&mut m).expect("tuning never fails on corpus matrices");
+            // A prediction for a non-viable format has already fallen back
+            // to CSR inside the facade.
+            let t_run_format = profile.times[report.chosen.index()].unwrap_or(t_csr);
+            if report.chosen != profile.optimal {
                 mispredicted += 1;
             }
-            let t_fe = e.fe_times[pi];
-            let nodes = tuned.model.decision_path_len(fv.as_slice());
-            let t_prediction = engine.prediction_time(nodes);
-            let speedup = (REPS * t_csr) / (t_fe + t_prediction + REPS * t_pred_format);
+            let t_decide = report.cost.feature_extraction + report.cost.prediction;
+            let speedup = (REPS * t_csr) / (t_decide + REPS * t_run_format);
             speedups.push(speedup);
             optimal_speedups.push(t_csr / profile.optimal_time());
         }

@@ -80,9 +80,8 @@ fn main() {
         let out = morpheus_ml::grid::grid_search_forest(&train, &grid, 5, seed, Scoring::BalancedAccuracy)
             .expect("grid search");
         let preds = out.best_model.predict_dataset(&test);
-        let path = db
-            .save_forest(pair.system.name, pair.backend, &out.best_model)
-            .expect("save forest model");
+        let path =
+            db.save_forest(pair.system.name, pair.backend, &out.best_model).expect("save forest model");
         table.row(vec![
             pair.label(),
             "forest".into(),
@@ -94,9 +93,14 @@ fn main() {
 
         if also_trees {
             eprintln!("[sparse.tree] tuning decision tree for {} ...", pair.label());
-            let out =
-                morpheus_ml::grid::grid_search_tree(&train, &TreeGrid::default(), 5, seed, Scoring::BalancedAccuracy)
-                    .expect("tree grid search");
+            let out = morpheus_ml::grid::grid_search_tree(
+                &train,
+                &TreeGrid::default(),
+                5,
+                seed,
+                Scoring::BalancedAccuracy,
+            )
+            .expect("tree grid search");
             let preds = out.best_model.predict_dataset(&test);
             let path =
                 db.save_tree(pair.system.name, pair.backend, &out.best_model).expect("save tree model");

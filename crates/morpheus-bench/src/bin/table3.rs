@@ -75,7 +75,11 @@ fn main() {
         table.row(vec![
             pc.pairs[pi].label(),
             format!("{}/{}", base_params.n_estimators, tp.n_estimators),
-            format!("{}/{}", if base_params.bootstrap { "T" } else { "F" }, if tp.bootstrap { "T" } else { "F" }),
+            format!(
+                "{}/{}",
+                if base_params.bootstrap { "T" } else { "F" },
+                if tp.bootstrap { "T" } else { "F" }
+            ),
             format!("{}/{}", depth(base_params.max_depth), depth(tp.max_depth)),
             format!("{}/{}", base_params.min_samples_leaf, tp.min_samples_leaf),
             format!("{}/{}", base_params.min_samples_split, tp.min_samples_split),

@@ -39,7 +39,11 @@ pub fn corpus_spec_from_env() -> morpheus_corpus::CorpusSpec {
         morpheus_corpus::CorpusSpec::paper_scale()
     } else {
         // Reduced runs keep smaller matrices so they stay fast end-to-end.
-        morpheus_corpus::CorpusSpec { min_n: 200, max_n: 20_000, ..morpheus_corpus::CorpusSpec::paper_scale() }
+        morpheus_corpus::CorpusSpec {
+            min_n: 200,
+            max_n: 20_000,
+            ..morpheus_corpus::CorpusSpec::paper_scale()
+        }
     };
     spec.n_matrices = n;
     if let Ok(seed) = std::env::var("MORPHEUS_SEED") {

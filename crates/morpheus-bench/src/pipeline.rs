@@ -3,11 +3,11 @@
 //! experiment binary shares one profiling pass.
 
 use morpheus::format::{FormatId, ALL_FORMATS, FORMAT_COUNT};
-use morpheus::DynamicMatrix;
+use morpheus::{ConvertOptions, DynamicMatrix};
 use morpheus_corpus::CorpusSpec;
 use morpheus_machine::{analyze, systems, ProfileResult, SystemBackend, VirtualEngine};
 use morpheus_ml::{Criterion, Dataset, ForestGrid, ForestParams, RandomForest, Scoring};
-use morpheus_oracle::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
+use morpheus_oracle::{FeatureVector, Oracle, RandomForestTuner, FEATURE_NAMES, NUM_FEATURES};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -122,16 +122,7 @@ fn save_cache(path: &Path, pc: &ProfiledCorpus) -> std::io::Result<()> {
     writeln!(w, "# morpheus profile cache v1")?;
     writeln!(w, "pairs\t{}", pc.pairs.iter().map(|p| p.label()).collect::<Vec<_>>().join("\t"))?;
     for e in &pc.entries {
-        write!(
-            w,
-            "{}\t{}\t{}\t{}\t{}\t{}",
-            e.id,
-            e.name,
-            e.class_name,
-            u8::from(e.is_test),
-            e.nrows,
-            e.nnz
-        )?;
+        write!(w, "{}\t{}\t{}\t{}\t{}\t{}", e.id, e.name, e.class_name, u8::from(e.is_test), e.nrows, e.nnz)?;
         for f in &e.features {
             write!(w, "\t{f:e}")?;
         }
@@ -217,12 +208,9 @@ fn load_cache(path: &Path) -> std::io::Result<ProfiledCorpus> {
 /// Builds the classification dataset for one pair from the profiled corpus
 /// (features → optimal format ID), restricted to the train or test split.
 pub fn dataset_for_pair(pc: &ProfiledCorpus, pair_idx: usize, test: bool) -> Dataset {
-    let mut ds = Dataset::empty(
-        NUM_FEATURES,
-        FORMAT_COUNT,
-        FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
-    )
-    .expect("static shape");
+    let mut ds =
+        Dataset::empty(NUM_FEATURES, FORMAT_COUNT, FEATURE_NAMES.iter().map(|s| s.to_string()).collect())
+            .expect("static shape");
     for e in pc.split(test) {
         ds.push(&e.features, e.profiles[pair_idx].optimal.index()).expect("valid row");
     }
@@ -331,6 +319,36 @@ fn parse_meta(meta: &str, model: RandomForest) -> Option<TunedModel> {
     Some(TunedModel { params, model, cv_score })
 }
 
+/// Opens an [`Oracle`] tuning session for one pair, driven by that pair's
+/// tuned (cached) random forest. This is what the experiment binaries use
+/// for every "online stage" measurement, so they exercise the exact API a
+/// production caller would.
+pub fn oracle_for_pair(
+    pc: &ProfiledCorpus,
+    pair_idx: usize,
+    spec: &CorpusSpec,
+    cache_dir: &Path,
+) -> Oracle<RandomForestTuner> {
+    let tuned = tuned_forest_cached(pc, pair_idx, spec, cache_dir);
+    let tuner = RandomForestTuner::new(tuned.model).expect("tuned model matches the feature schema");
+    Oracle::builder()
+        .engine(VirtualEngine::for_pair(&pc.pairs[pair_idx]))
+        .tuner(tuner)
+        // Size the cache for the corpus stream so repeated sweeps (fig5,
+        // table4's cached pass) hit instead of thrashing the LRU.
+        .cache_capacity(pc.entries.len().max(morpheus_oracle::DEFAULT_CACHE_CAPACITY))
+        .build()
+        .expect("engine and tuner are set")
+}
+
+/// Regenerates one profiled entry's matrix, held in CSR — the common
+/// starting format of the paper's online-stage measurements (Table IV).
+pub fn matrix_in_csr(spec: &CorpusSpec, entry_id: usize) -> DynamicMatrix<f64> {
+    let mut m = DynamicMatrix::from(spec.entry(entry_id).matrix);
+    m.convert_to(FormatId::Csr, &ConvertOptions::default()).expect("CSR always materialises");
+    m
+}
+
 /// The baseline (untuned) forest of Table III's left sub-columns:
 /// scikit-learn-style defaults.
 pub fn baseline_params(seed: u64) -> ForestParams {
@@ -421,6 +439,23 @@ mod tests {
                 }
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oracle_session_serves_the_profiled_corpus() {
+        let spec = tiny();
+        let dir = std::env::temp_dir().join(format!("morpheus-bench-oracle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pc = profile_corpus_cached(&spec, &dir);
+        let mut oracle = oracle_for_pair(&pc, 0, &spec, &dir);
+        for e in pc.split(true) {
+            let mut m = matrix_in_csr(&spec, e.id);
+            let report = oracle.tune(&mut m).expect("tune");
+            assert_eq!(m.format_id(), report.chosen);
+            assert!(!report.cache_hit, "distinct corpus matrices must not collide");
+        }
+        assert!(oracle.cache_stats().misses > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -194,14 +194,14 @@ impl CorpusSpec {
                 banded::diag_plus_scatter(n, extra, &mut rng)
             }
             MatrixClass::FemBlocks => {
-                let bs = rng.gen_range(2..=6);
+                let bs: usize = rng.gen_range(2..=6);
                 let nblocks = (n / bs).max(2);
                 let couplings = rng.gen_range(1..=3);
                 blocks::fem_blocks(nblocks, bs, couplings, &mut rng)
             }
             MatrixClass::BlockDiagonal => {
                 let lo = rng.gen_range(2..=4);
-                let hi = lo + rng.gen_range(1..=8);
+                let hi = lo + rng.gen_range(1usize..=8);
                 blocks::block_diagonal(n, lo, hi, &mut rng)
             }
             MatrixClass::UniformDegree => {
@@ -210,7 +210,7 @@ impl CorpusSpec {
             }
             MatrixClass::VariableDegree => {
                 let lo = rng.gen_range(1..=4);
-                let hi = lo + rng.gen_range(2..=28);
+                let hi = lo + rng.gen_range(2usize..=28);
                 random::variable_degree(n, lo, hi, &mut rng)
             }
             MatrixClass::NearDiagonal => {
@@ -223,12 +223,12 @@ impl CorpusSpec {
                 random::erdos_renyi(n, nnz, &mut rng)
             }
             MatrixClass::Hypersparse => {
-                let big_n = n * rng.gen_range(8..=40);
-                let nnz = (big_n / rng.gen_range(4..=20)).max(8);
+                let big_n = n * rng.gen_range(8usize..=40);
+                let nnz = (big_n / rng.gen_range(4usize..=20)).max(8);
                 random::hypersparse(big_n, nnz, &mut rng)
             }
             MatrixClass::ZipfRows => {
-                let nnz = n * rng.gen_range(6..=24);
+                let nnz = n * rng.gen_range(6usize..=24);
                 let alpha = rng.gen_range(1.1..1.8);
                 powerlaw::zipf_rows(n, nnz, alpha, &mut rng)
             }
@@ -243,7 +243,7 @@ impl CorpusSpec {
                 let big_n = n * 8;
                 let hubs = rng.gen_range(1..=4);
                 let hub_degree = (big_n / 2).max(64);
-                let background = big_n * rng.gen_range(1..=2);
+                let background = big_n * rng.gen_range(1usize..=2);
                 powerlaw::hub_rows(big_n, hubs, hub_degree, background, &mut rng)
             }
         };

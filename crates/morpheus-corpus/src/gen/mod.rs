@@ -21,7 +21,12 @@ pub(crate) fn coeff<R: Rng>(rng: &mut R) -> f64 {
 
 /// Assembles a COO matrix from `(row, col)` pairs with random coefficients,
 /// merging duplicates.
-pub(crate) fn assemble<R: Rng>(nrows: usize, ncols: usize, pairs: &[(usize, usize)], rng: &mut R) -> CooMatrix<f64> {
+pub(crate) fn assemble<R: Rng>(
+    nrows: usize,
+    ncols: usize,
+    pairs: &[(usize, usize)],
+    rng: &mut R,
+) -> CooMatrix<f64> {
     let mut b = CooBuilder::with_capacity(nrows, ncols, pairs.len());
     for &(r, c) in pairs {
         b.push(r, c, coeff(rng)).expect("generator produced in-bounds indices");

@@ -57,7 +57,13 @@ pub fn rmat<R: Rng>(scale: u32, edge_factor: usize, probs: [f64; 4], rng: &mut R
 
 /// A handful of hub rows/columns holding most entries over a light random
 /// background — an extreme `mawi`-like traffic-matrix shape.
-pub fn hub_rows<R: Rng>(n: usize, hubs: usize, hub_degree: usize, background: usize, rng: &mut R) -> CooMatrix<f64> {
+pub fn hub_rows<R: Rng>(
+    n: usize,
+    hubs: usize,
+    hub_degree: usize,
+    background: usize,
+    rng: &mut R,
+) -> CooMatrix<f64> {
     let mut pairs = Vec::with_capacity(hubs * hub_degree + background);
     for h in 0..hubs {
         let row = rng.gen_range(0..n);

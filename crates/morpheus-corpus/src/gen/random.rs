@@ -123,8 +123,7 @@ mod tests {
         let m = near_diagonal(1000, 8, 30.0, &mut rng(6));
         check_valid(&m);
         // Columns should concentrate near the diagonal.
-        let close =
-            m.iter().filter(|&(r, c, _)| (r as isize - c as isize).unsigned_abs() <= 31).count();
+        let close = m.iter().filter(|&(r, c, _)| (r as isize - c as isize).unsigned_abs() <= 31).count();
         assert!(close == m.nnz(), "all entries within spread");
     }
 }

@@ -192,15 +192,8 @@ pub fn spmv_time(
         }
         FormatId::Hdc => {
             let dia = dia_part(a.hdc_padded() as f64, a.hdc_ntrue as f64, a, spec, calib);
-            let csr = csr_part(
-                a.hdc_csr_nnz as f64,
-                nrows,
-                a.hdc_csr_max_row as f64,
-                a,
-                spec,
-                threads,
-                calib,
-            );
+            let csr =
+                csr_part(a.hdc_csr_nnz as f64, nrows, a.hdc_csr_max_row as f64, a, spec, threads, calib);
             part_time(&dia, calib.simd_eff_dia(), spec, threads, calib)
                 + part_time(&csr, calib.simd_eff_csr(), spec, threads, calib)
         }
@@ -247,9 +240,7 @@ mod tests {
             }
         }
         let vals = vec![1.0f64; rows.len()];
-        analyze(&DynamicMatrix::from(
-            CooMatrix::from_triplets(nrows, nrows, &rows, &cols, &vals).unwrap(),
-        ))
+        analyze(&DynamicMatrix::from(CooMatrix::from_triplets(nrows, nrows, &rows, &cols, &vals).unwrap()))
     }
 
     #[test]

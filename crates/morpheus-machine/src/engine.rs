@@ -2,6 +2,7 @@
 
 use crate::analyze::MatrixAnalysis;
 use crate::calib::Calibration;
+use crate::op::Op;
 use crate::spec::{Backend, SystemBackend, SystemProfile};
 use crate::{cpu, gpu};
 use morpheus::format::{FormatId, ALL_FORMATS, FORMAT_COUNT};
@@ -64,7 +65,13 @@ impl VirtualEngine {
     /// If the system does not support the backend (e.g. CUDA on ARCHER2).
     pub fn new(system: SystemProfile, backend: Backend) -> Self {
         assert!(system.supports(backend), "{} does not support {backend}", system.name);
-        VirtualEngine { system, backend, calib: Calibration::default(), noise_sigma: 0.02, noise_seed: 0x5EED }
+        VirtualEngine {
+            system,
+            backend,
+            calib: Calibration::default(),
+            noise_sigma: 0.02,
+            noise_seed: 0x5EED,
+        }
     }
 
     /// Engine for a [`SystemBackend`] pair.
@@ -142,6 +149,58 @@ impl VirtualEngine {
         base * self.noise(a, fmt)
     }
 
+    /// Modelled seconds for one execution of `op` in `fmt`, including
+    /// noise. This is the query operation-aware tuners rank formats by.
+    pub fn op_time(&self, op: Op, fmt: FormatId, a: &MatrixAnalysis) -> f64 {
+        match op {
+            Op::Spmv => self.spmv_time(fmt, a),
+            Op::Spmm { k } => self.spmm_time(fmt, a, k),
+        }
+    }
+
+    /// Computational slots one pass over the matrix touches in `fmt`
+    /// (padded formats do padded work on every right-hand side).
+    fn op_work_slots(fmt: FormatId, a: &MatrixAnalysis) -> f64 {
+        let nnz = a.nnz() as f64;
+        match fmt {
+            FormatId::Coo | FormatId::Csr => nnz,
+            FormatId::Dia => a.dia_padded() as f64,
+            FormatId::Ell => a.ell_padded() as f64,
+            FormatId::Hyb => (a.hyb_padded() + a.hyb_coo_nnz) as f64,
+            FormatId::Hdc => (a.hdc_padded() + a.hdc_csr_nnz) as f64,
+        }
+    }
+
+    /// Modelled seconds for one SpMM (`Y = A X`) with `k` right-hand sides
+    /// in `fmt`.
+    ///
+    /// Modelled as one SpMV plus `k - 1` incremental right-hand sides. The
+    /// matrix arrays stream once regardless of `k` and, with row-major `X`,
+    /// the `k` gathered `x` values per non-zero are contiguous — so each
+    /// additional right-hand side pays only streaming traffic over the
+    /// format's *work slots* plus the `y` update, with none of the gather
+    /// penalty of the first pass. Padded formats therefore scale worse in
+    /// `k` than CSR/COO, which is exactly why tuners must be
+    /// operation-aware.
+    pub fn spmm_time(&self, fmt: FormatId, a: &MatrixAnalysis, k: usize) -> f64 {
+        let base = self.spmv_time(fmt, a);
+        let k = k.max(1) as f64;
+        if k == 1.0 {
+            return base;
+        }
+        let work = Self::op_work_slots(fmt, a);
+        let bytes = (work + 2.0 * a.nrows() as f64) * 8.0;
+        let per_rhs = match self.backend {
+            Backend::Serial => bytes / self.system.cpu.bandwidth(1),
+            Backend::OpenMp => bytes / self.system.cpu.bandwidth(self.system.cpu.cores),
+            b => {
+                let dev = self.system.gpu_for(b).expect("backend support checked at construction");
+                bytes / dev.bandwidth()
+            }
+        };
+        base + (k - 1.0) * per_rhs * self.noise(a, fmt)
+    }
+
     /// `true` when the format's padded storage passes the fill guard.
     pub fn is_viable(&self, fmt: FormatId, a: &MatrixAnalysis) -> bool {
         let nnz = a.nnz();
@@ -158,6 +217,11 @@ impl VirtualEngine {
     /// §III-A): per-format single-SpMV time, skipping non-viable formats,
     /// plus the winner.
     pub fn profile(&self, a: &MatrixAnalysis) -> ProfileResult {
+        self.profile_op(a, Op::Spmv)
+    }
+
+    /// [`VirtualEngine::profile`] for an arbitrary operation.
+    pub fn profile_op(&self, a: &MatrixAnalysis, op: Op) -> ProfileResult {
         let mut times = [None; FORMAT_COUNT];
         let mut best = FormatId::Csr;
         let mut best_t = f64::INFINITY;
@@ -165,7 +229,7 @@ impl VirtualEngine {
             if !self.is_viable(fmt, a) {
                 continue;
             }
-            let t = self.spmv_time(fmt, a);
+            let t = self.op_time(op, fmt, a);
             times[fmt.index()] = Some(t);
             if t < best_t {
                 best_t = t;
@@ -354,5 +418,55 @@ mod tests {
     #[should_panic(expected = "does not support")]
     fn unsupported_backend_panics() {
         let _ = VirtualEngine::new(systems::archer2(), Backend::Cuda);
+    }
+
+    #[test]
+    fn spmm_with_one_rhs_is_spmv() {
+        let a = sample(3000, 5);
+        for pair in systems::all_system_backends() {
+            let e = VirtualEngine::for_pair(&pair);
+            for fmt in ALL_FORMATS {
+                assert_eq!(e.spmm_time(fmt, &a, 1), e.spmv_time(fmt, &a), "{} {fmt}", e.label());
+                assert_eq!(e.op_time(Op::Spmv, fmt, &a), e.spmv_time(fmt, &a));
+                assert_eq!(e.op_time(Op::Spmm { k: 4 }, fmt, &a), e.spmm_time(fmt, &a, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_amortises_matrix_traffic() {
+        let a = sample(20_000, 8);
+        let e = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+        let k = 16usize;
+        let spmm = e.spmm_time(FormatId::Csr, &a, k);
+        let repeated = k as f64 * e.spmv_time(FormatId::Csr, &a);
+        // Growing in k, but cheaper than k separate SpMVs (the entire point
+        // of the blocked kernel).
+        assert!(spmm > e.spmv_time(FormatId::Csr, &a));
+        assert!(spmm < repeated, "spmm {spmm} vs {k} spmvs {repeated}");
+    }
+
+    #[test]
+    fn spmm_profile_can_rank_formats_differently() {
+        // A banded matrix with partially-filled bands: DIA pads, CSR does
+        // not. Padding is re-streamed per right-hand side, so CSR's
+        // relative standing must improve (strictly) as k grows.
+        let n = 30_000usize;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for i in 0..n {
+            for d in [-6isize, -3, 0, 2, 5] {
+                let j = i as isize + d;
+                if j >= 0 && (j as usize) < n && (i + d.unsigned_abs()) % 3 != 0 {
+                    rows.push(i);
+                    cols.push(j as usize);
+                }
+            }
+        }
+        let vals = vec![1.0f64; rows.len()];
+        let a = analyze(&DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap()));
+        let e = VirtualEngine::new(systems::a64fx(), Backend::Serial);
+        let rel = |k: usize| e.spmm_time(FormatId::Csr, &a, k) / e.spmm_time(FormatId::Dia, &a, k);
+        assert!(rel(64) < rel(1), "CSR must gain on DIA as k grows: {} vs {}", rel(64), rel(1));
     }
 }

@@ -71,17 +71,23 @@ fn csr_scalar_part(
     let bytes = nnz * (VAL + IDX) * waste
         + gather_x_bytes(spec, calib, nnz, a.ncols() as f64, a.locality)
         + nrows * (VAL + 2.0 * IDX); // y write + row offsets
-    // A row much longer than its warp peers serialises on one lane; rows
-    // within ~a warp-quantum of the mean are hidden by scheduling.
+                                     // A row much longer than its warp peers serialises on one lane; rows
+                                     // within ~a warp-quantum of the mean are hidden by scheduling.
     let tail_iters = (max_row - 32.0 * mean_row).max(0.0);
     GpuPart { bytes, warp_iters, threads: nrows, tail_iters }
 }
 
-fn ell_part(spec: &GpuSpec, calib: &Calibration, a: &MatrixAnalysis, padded: f64, width: f64, nnz: f64) -> GpuPart {
+fn ell_part(
+    spec: &GpuSpec,
+    calib: &Calibration,
+    a: &MatrixAnalysis,
+    padded: f64,
+    width: f64,
+    nnz: f64,
+) -> GpuPart {
     let nrows = a.nrows() as f64;
-    let bytes = padded * (VAL + IDX)
-        + gather_x_bytes(spec, calib, nnz, a.ncols() as f64, a.locality)
-        + nrows * VAL;
+    let bytes =
+        padded * (VAL + IDX) + gather_x_bytes(spec, calib, nnz, a.ncols() as f64, a.locality) + nrows * VAL;
     GpuPart {
         bytes,
         warp_iters: (nrows / WARP as f64).ceil() * width,
@@ -211,9 +217,7 @@ mod tests {
             }
         }
         let vals = vec![1.0f64; rows.len()];
-        analyze(&DynamicMatrix::from(
-            CooMatrix::from_triplets(nrows, nrows, &rows, &cols, &vals).unwrap(),
-        ))
+        analyze(&DynamicMatrix::from(CooMatrix::from_triplets(nrows, nrows, &rows, &cols, &vals).unwrap()))
     }
 
     /// Scale-free-like pattern: most rows tiny, one enormous row (the mawi
@@ -230,9 +234,7 @@ mod tests {
             cols.push((k * 7) % nrows);
         }
         let vals = vec![1.0f64; rows.len()];
-        analyze(&DynamicMatrix::from(
-            CooMatrix::from_triplets(nrows, nrows, &rows, &cols, &vals).unwrap(),
-        ))
+        analyze(&DynamicMatrix::from(CooMatrix::from_triplets(nrows, nrows, &rows, &cols, &vals).unwrap()))
     }
 
     #[test]

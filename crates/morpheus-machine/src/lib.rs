@@ -55,10 +55,12 @@ pub mod calib;
 pub mod cpu;
 pub mod engine;
 pub mod gpu;
+pub mod op;
 pub mod spec;
 pub mod systems;
 
 pub use analyze::{analyze, analyze_with_alpha, MatrixAnalysis};
 pub use calib::Calibration;
 pub use engine::{ProfileResult, VirtualEngine};
+pub use op::Op;
 pub use spec::{Backend, CpuSpec, GpuSpec, GpuVendor, SystemBackend, SystemProfile};

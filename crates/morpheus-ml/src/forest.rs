@@ -99,7 +99,8 @@ impl RandomForest {
         let max_features = params.max_features.unwrap_or(default_mf.max(1));
 
         let n_trees = params.n_estimators;
-        let slots: Vec<Mutex<Option<Result<DecisionTree>>>> = (0..n_trees).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<DecisionTree>>>> =
+            (0..n_trees).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(n_trees);
         std::thread::scope(|scope| {
@@ -137,7 +138,12 @@ impl RandomForest {
         for slot in slots {
             trees.push(slot.into_inner().expect("slot lock").expect("worker filled slot")?);
         }
-        Ok(RandomForest { trees, n_features: ds.n_features(), n_classes: ds.n_classes(), params: params.clone() })
+        Ok(RandomForest {
+            trees,
+            n_features: ds.n_features(),
+            n_classes: ds.n_classes(),
+            params: params.clone(),
+        })
     }
 
     /// Majority-vote prediction (§VI-A): each tree casts one vote; ties go
@@ -252,7 +258,8 @@ mod tests {
     #[test]
     fn forest_fits_and_predicts() {
         let ds = noisy(300);
-        let forest = RandomForest::fit(&ds, &ForestParams { n_estimators: 20, ..Default::default() }).unwrap();
+        let forest =
+            RandomForest::fit(&ds, &ForestParams { n_estimators: 20, ..Default::default() }).unwrap();
         assert_eq!(forest.trees().len(), 20);
         let preds = forest.predict_dataset(&ds);
         let acc = preds.iter().zip(ds.targets()).filter(|(p, t)| p == t).count() as f64 / 300.0;
@@ -271,15 +278,23 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let ds = noisy(150);
-        let f1 = RandomForest::fit(&ds, &ForestParams { n_estimators: 8, seed: 1, ..Default::default() }).unwrap();
-        let f2 = RandomForest::fit(&ds, &ForestParams { n_estimators: 8, seed: 2, ..Default::default() }).unwrap();
+        let f1 =
+            RandomForest::fit(&ds, &ForestParams { n_estimators: 8, seed: 1, ..Default::default() }).unwrap();
+        let f2 =
+            RandomForest::fit(&ds, &ForestParams { n_estimators: 8, seed: 2, ..Default::default() }).unwrap();
         assert_ne!(f1, f2);
     }
 
     #[test]
     fn no_bootstrap_uses_full_data() {
         let ds = noisy(100);
-        let p = ForestParams { n_estimators: 5, bootstrap: false, max_features: Some(3), seed: 3, ..Default::default() };
+        let p = ForestParams {
+            n_estimators: 5,
+            bootstrap: false,
+            max_features: Some(3),
+            seed: 3,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&ds, &p).unwrap();
         // With identical data and all features, trees may still differ via
         // feature-shuffle order on ties, but predictions should be strong.
@@ -291,7 +306,8 @@ mod tests {
     #[test]
     fn proba_sums_to_one() {
         let ds = noisy(100);
-        let forest = RandomForest::fit(&ds, &ForestParams { n_estimators: 10, ..Default::default() }).unwrap();
+        let forest =
+            RandomForest::fit(&ds, &ForestParams { n_estimators: 10, ..Default::default() }).unwrap();
         let p = forest.predict_proba(ds.row(0));
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
@@ -299,8 +315,10 @@ mod tests {
     #[test]
     fn path_len_scales_with_estimators() {
         let ds = noisy(200);
-        let small = RandomForest::fit(&ds, &ForestParams { n_estimators: 5, seed: 1, ..Default::default() }).unwrap();
-        let large = RandomForest::fit(&ds, &ForestParams { n_estimators: 50, seed: 1, ..Default::default() }).unwrap();
+        let small =
+            RandomForest::fit(&ds, &ForestParams { n_estimators: 5, seed: 1, ..Default::default() }).unwrap();
+        let large = RandomForest::fit(&ds, &ForestParams { n_estimators: 50, seed: 1, ..Default::default() })
+            .unwrap();
         let x = ds.row(0);
         assert!(large.decision_path_len(x) > small.decision_path_len(x));
     }
@@ -316,7 +334,8 @@ mod tests {
     #[test]
     fn importances_normalised() {
         let ds = noisy(200);
-        let forest = RandomForest::fit(&ds, &ForestParams { n_estimators: 10, ..Default::default() }).unwrap();
+        let forest =
+            RandomForest::fit(&ds, &ForestParams { n_estimators: 10, ..Default::default() }).unwrap();
         let imp = forest.feature_importances();
         assert_eq!(imp.len(), 3);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -367,11 +386,8 @@ mod balanced_tests {
         let (train, test) = imbalanced(2000).stratified_split(0.3, 3);
         let shallow = ForestParams { n_estimators: 40, max_depth: Some(2), seed: 2, ..Default::default() };
         let plain = RandomForest::fit(&train, &shallow).unwrap();
-        let balanced = RandomForest::fit(
-            &train,
-            &ForestParams { balanced_bootstrap: true, ..shallow.clone() },
-        )
-        .unwrap();
+        let balanced =
+            RandomForest::fit(&train, &ForestParams { balanced_bootstrap: true, ..shallow.clone() }).unwrap();
         let y_true: Vec<usize> = test.targets().to_vec();
         let recall_plain = per_class_recall(&y_true, &plain.predict_dataset(&test), 2)[1].unwrap();
         let recall_bal = per_class_recall(&y_true, &balanced.predict_dataset(&test), 2)[1].unwrap();

@@ -165,8 +165,7 @@ impl GradientBoostedTrees {
         let n = ds.len();
         let k = ds.n_classes();
         let counts = ds.class_counts();
-        let priors: Vec<f64> =
-            counts.iter().map(|&c| (((c as f64) + 1.0) / ((n + k) as f64)).ln()).collect();
+        let priors: Vec<f64> = counts.iter().map(|&c| (((c as f64) + 1.0) / ((n + k) as f64)).ln()).collect();
 
         // Raw scores F[i][c], initialised to the priors.
         let mut scores = vec![0.0f64; n * k];
@@ -293,7 +292,8 @@ mod tests {
     #[test]
     fn learns_three_clusters() {
         let ds = three_class(150);
-        let model = GradientBoostedTrees::fit(&ds, &GbtParams { n_rounds: 20, ..Default::default() }).unwrap();
+        let model =
+            GradientBoostedTrees::fit(&ds, &GbtParams { n_rounds: 20, ..Default::default() }).unwrap();
         let preds = model.predict_dataset(&ds);
         let acc = preds.iter().zip(ds.targets()).filter(|(p, t)| p == t).count() as f64 / 150.0;
         assert!(acc > 0.95, "train accuracy {acc}");

@@ -184,14 +184,12 @@ pub fn grid_search_forest(
     let candidates = grid.candidates(seed);
     let mut best: Option<(usize, f64)> = None;
     for (ci, params) in candidates.iter().enumerate() {
-        let score = cross_val_score(ds, k, seed, |train, val| {
-            match RandomForest::fit(train, params) {
-                Ok(model) => {
-                    let preds = model.predict_dataset(val);
-                    scoring.score(val.targets(), &preds, ds.n_classes())
-                }
-                Err(_) => 0.0,
+        let score = cross_val_score(ds, k, seed, |train, val| match RandomForest::fit(train, params) {
+            Ok(model) => {
+                let preds = model.predict_dataset(val);
+                scoring.score(val.targets(), &preds, ds.n_classes())
             }
+            Err(_) => 0.0,
         });
         if best.is_none_or(|(_, b)| score > b) {
             best = Some((ci, score));

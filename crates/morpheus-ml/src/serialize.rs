@@ -259,8 +259,9 @@ pub fn load_model<R: BufRead>(reader: R) -> Result<LoadedModel> {
                     let mut counts = vec![0u32; n_classes];
                     if toks.len() == 4 + n_classes {
                         for c in 0..n_classes {
-                            counts[c] =
-                                toks[4 + c].parse().map_err(|_| p.err(format!("bad count '{}'", toks[4 + c])))?;
+                            counts[c] = toks[4 + c]
+                                .parse()
+                                .map_err(|_| p.err(format!("bad count '{}'", toks[4 + c])))?;
                         }
                     } else {
                         counts[class] = 1;
@@ -280,10 +281,12 @@ pub fn load_model<R: BufRead>(reader: R) -> Result<LoadedModel> {
     if kind == "tree" {
         Ok(LoadedModel::Tree(trees.into_iter().next().expect("one tree")))
     } else {
-        Ok(LoadedModel::Forest(RandomForest::from_parts(trees, n_features, n_classes, ForestParams {
-            criterion: Criterion::Gini,
-            ..ForestParams::default()
-        })))
+        Ok(LoadedModel::Forest(RandomForest::from_parts(
+            trees,
+            n_features,
+            n_classes,
+            ForestParams { criterion: Criterion::Gini, ..ForestParams::default() },
+        )))
     }
 }
 

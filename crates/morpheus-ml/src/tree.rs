@@ -366,7 +366,12 @@ impl DecisionTree {
         &self.params
     }
 
-    pub(crate) fn from_parts(nodes: Vec<Node>, n_features: usize, n_classes: usize, params: TreeParams) -> Self {
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        n_features: usize,
+        n_classes: usize,
+        params: TreeParams,
+    ) -> Self {
         DecisionTree { nodes, n_features, n_classes, params }
     }
 }
@@ -408,7 +413,8 @@ mod tests {
             ds.push(&[a as f64, b as f64], t).unwrap();
         }
         let deep = DecisionTree::fit(&ds, &TreeParams { max_depth: Some(4), ..Default::default() }).unwrap();
-        let shallow = DecisionTree::fit(&ds, &TreeParams { max_depth: Some(1), ..Default::default() }).unwrap();
+        let shallow =
+            DecisionTree::fit(&ds, &TreeParams { max_depth: Some(1), ..Default::default() }).unwrap();
         assert!(shallow.depth() <= 1);
         let acc = |t: &DecisionTree| {
             t.predict_dataset(&ds).iter().zip(ds.targets()).filter(|(p, q)| p == q).count() as f64 / 200.0

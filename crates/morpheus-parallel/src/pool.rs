@@ -46,9 +46,7 @@ pub struct ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool")
-            .field("n_threads", &self.n_threads)
-            .finish()
+        f.debug_struct("ThreadPool").field("n_threads", &self.n_threads).finish()
     }
 }
 
@@ -78,11 +76,7 @@ impl ThreadPool {
                 .expect("failed to spawn morpheus worker thread");
             handles.push(handle);
         }
-        ThreadPool {
-            sender: Some(sender),
-            handles,
-            n_threads,
-        }
+        ThreadPool { sender: Some(sender), handles, n_threads }
     }
 
     /// Number of worker threads in the pool.

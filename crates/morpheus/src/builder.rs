@@ -39,7 +39,10 @@ impl<V: Scalar> CooBuilder<V> {
     /// Queues an entry. Bounds are checked immediately.
     pub fn push(&mut self, row: usize, col: usize, value: V) -> Result<()> {
         if row >= self.nrows || col >= self.ncols {
-            return Err(MorpheusError::IndexOutOfBounds { index: (row, col), shape: (self.nrows, self.ncols) });
+            return Err(MorpheusError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.nrows, self.ncols),
+            });
         }
         self.rows.push(row);
         self.cols.push(col);

@@ -78,8 +78,14 @@ pub fn csr_to_coo<V: Scalar>(csr: &CsrMatrix<V>) -> CooMatrix<V> {
     for r in 0..csr.nrows() {
         rows.extend(std::iter::repeat_n(r, csr.row_nnz(r)));
     }
-    CooMatrix::from_sorted_parts(csr.nrows(), csr.ncols(), rows, csr.col_indices().to_vec(), csr.values().to_vec())
-        .expect("valid CSR always yields sorted COO")
+    CooMatrix::from_sorted_parts(
+        csr.nrows(),
+        csr.ncols(),
+        rows,
+        csr.col_indices().to_vec(),
+        csr.values().to_vec(),
+    )
+    .expect("valid CSR always yields sorted COO")
 }
 
 /// COO → DIA. Fails if padding would exceed the configured fill limit.
@@ -272,7 +278,11 @@ pub fn hyb_to_coo<V: Scalar>(hyb: &HybMatrix<V>) -> CooMatrix<V> {
 pub fn coo_to_hdc<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<HdcMatrix<V>> {
     let (nrows, ncols) = (coo.nrows(), coo.ncols());
     if nrows == 0 || ncols == 0 || coo.nnz() == 0 {
-        return HdcMatrix::from_parts(DiaMatrix::new(nrows, ncols), CsrMatrix::new(nrows, ncols), opts.true_diag_alpha);
+        return HdcMatrix::from_parts(
+            DiaMatrix::new(nrows, ncols),
+            CsrMatrix::new(nrows, ncols),
+            opts.true_diag_alpha,
+        );
     }
     let threshold = true_diag_threshold(nrows, ncols, opts.true_diag_alpha);
     let ndiag_slots = nrows + ncols - 1;

@@ -31,7 +31,13 @@ impl<V: Scalar> CooMatrix<V> {
     /// Builds from triplet arrays. Entries are sorted by `(row, col)`;
     /// duplicate coordinates are summed (the SuiteSparse convention for
     /// assembled matrices).
-    pub fn from_triplets(nrows: usize, ncols: usize, rows: &[usize], cols: &[usize], vals: &[V]) -> Result<Self> {
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[V],
+    ) -> Result<Self> {
         if rows.len() != cols.len() || rows.len() != vals.len() {
             return Err(MorpheusError::InvalidStructure(format!(
                 "triplet arrays disagree in length: rows={}, cols={}, vals={}",
@@ -167,7 +173,8 @@ mod tests {
 
     #[test]
     fn from_triplets_sorts_and_sums_duplicates() {
-        let m = CooMatrix::<f64>::from_triplets(3, 3, &[2, 0, 0, 2], &[1, 2, 2, 1], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let m = CooMatrix::<f64>::from_triplets(3, 3, &[2, 0, 0, 2], &[1, 2, 2, 1], &[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
         assert_eq!(m.nnz(), 2);
         let entries: Vec<_> = m.iter().collect();
         assert_eq!(entries, vec![(0, 2, 5.0), (2, 1, 5.0)]);

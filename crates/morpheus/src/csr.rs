@@ -28,7 +28,13 @@ pub struct CsrMatrix<V> {
 impl<V: Scalar> CsrMatrix<V> {
     /// An empty matrix of the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CsrMatrix { nrows, ncols, row_offsets: vec![0; nrows + 1], col_indices: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_offsets: vec![0; nrows + 1],
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Builds from raw CSR arrays, validating every invariant.

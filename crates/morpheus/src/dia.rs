@@ -38,7 +38,13 @@ impl<V: Scalar> DiaMatrix<V> {
     /// `values.len()` must equal `offsets.len() * nrows`, offsets must be
     /// strictly increasing and inside `-(nrows-1)..=(ncols-1)`, and `nnz`
     /// must not exceed the number of in-bounds slots.
-    pub fn from_parts(nrows: usize, ncols: usize, offsets: Vec<isize>, values: Vec<V>, nnz: usize) -> Result<Self> {
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        offsets: Vec<isize>,
+        values: Vec<V>,
+        nnz: usize,
+    ) -> Result<Self> {
         if values.len() != offsets.len() * nrows {
             return Err(MorpheusError::InvalidStructure(format!(
                 "DIA values length {} != ndiags {} * nrows {}",
@@ -58,7 +64,9 @@ impl<V: Scalar> DiaMatrix<V> {
                 }
             }
             if i > 0 && offsets[i - 1] >= off {
-                return Err(MorpheusError::InvalidStructure("DIA offsets must be strictly increasing".into()));
+                return Err(MorpheusError::InvalidStructure(
+                    "DIA offsets must be strictly increasing".into(),
+                ));
             }
         }
         if nnz > values.len() {

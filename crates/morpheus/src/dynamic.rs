@@ -1,8 +1,8 @@
 //! The runtime-switchable `DynamicMatrix` (§II-C).
 
 use crate::convert::{
-    coo_to_csr, coo_to_dia, coo_to_ell, coo_to_hdc, coo_to_hyb, csr_to_coo, dia_to_coo, ell_to_coo, hdc_to_coo,
-    hyb_to_coo, ConvertOptions,
+    coo_to_csr, coo_to_dia, coo_to_ell, coo_to_hdc, coo_to_hyb, csr_to_coo, dia_to_coo, ell_to_coo,
+    hdc_to_coo, hyb_to_coo, ConvertOptions,
 };
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
@@ -147,6 +147,52 @@ impl<V: Scalar> DynamicMatrix<V> {
         DenseMatrix::from_coo(&self.to_coo())
     }
 
+    /// A 64-bit fingerprint of the matrix's *sparsity structure* in its
+    /// active format: dimensions, format, and the index arrays — values are
+    /// not hashed (format selection never depends on them).
+    ///
+    /// Two matrices with equal fingerprints share their row/column pattern
+    /// and active format, hence their [`crate::stats::MatrixStats`] and
+    /// feature vector — which is what lets the Oracle's decision cache skip
+    /// re-analysis. One cheap streaming pass over the index data; no
+    /// conversion, no allocation.
+    pub fn structure_hash(&self) -> u64 {
+        let mut h = StructureHasher::new();
+        h.word(self.format_id().index() as u64);
+        h.word(self.nrows() as u64);
+        h.word(self.ncols() as u64);
+        h.word(self.nnz() as u64);
+        match self {
+            DynamicMatrix::Coo(m) => {
+                h.words(m.row_indices());
+                h.words(m.col_indices());
+            }
+            DynamicMatrix::Csr(m) => {
+                h.words(m.row_offsets());
+                h.words(m.col_indices());
+            }
+            DynamicMatrix::Dia(m) => h.dia(m),
+            DynamicMatrix::Ell(m) => {
+                // ELL_PAD sentinels appear in `col_indices`, so the padding
+                // pattern is covered too.
+                h.word(m.width() as u64);
+                h.words(m.col_indices());
+            }
+            DynamicMatrix::Hyb(m) => {
+                h.word(m.split_width() as u64);
+                h.words(m.ell().col_indices());
+                h.words(m.coo().row_indices());
+                h.words(m.coo().col_indices());
+            }
+            DynamicMatrix::Hdc(m) => {
+                h.dia(m.dia());
+                h.words(m.csr().row_offsets());
+                h.words(m.csr().col_indices());
+            }
+        }
+        h.finish()
+    }
+
     /// The transpose `Aᵀ`, re-materialised in the same storage format.
     ///
     /// Fails with [`crate::MorpheusError::ExcessivePadding`] when the
@@ -155,6 +201,55 @@ impl<V: Scalar> DynamicMatrix<V> {
     pub fn transpose(&self, opts: &ConvertOptions) -> Result<DynamicMatrix<V>> {
         let t = DynamicMatrix::Coo(self.to_coo().transpose());
         t.to_format(self.format_id(), opts)
+    }
+}
+
+/// FNV-1a-style streaming hasher used by [`DynamicMatrix::structure_hash`].
+struct StructureHasher {
+    state: u64,
+}
+
+impl StructureHasher {
+    fn new() -> Self {
+        StructureHasher { state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.state ^= w;
+        self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn words(&mut self, ws: &[usize]) {
+        for &w in ws {
+            self.word(w as u64);
+        }
+    }
+
+    /// DIA structure: offsets plus the zero/non-zero pattern of the padded
+    /// value array (DIA encodes padding as stored zeros, so the indices
+    /// alone do not determine the pattern). Flags are packed 64 per word.
+    fn dia<V: Scalar>(&mut self, m: &crate::dia::DiaMatrix<V>) {
+        for &off in m.offsets() {
+            self.word(off as u64);
+        }
+        let mut packed = 0u64;
+        for (i, &v) in m.values().iter().enumerate() {
+            packed = (packed << 1) | u64::from(v != V::ZERO);
+            if i % 64 == 63 {
+                self.word(packed);
+                packed = 0;
+            }
+        }
+        self.word(packed);
+    }
+
+    fn finish(&self) -> u64 {
+        // One avalanche round so low-entropy inputs spread over all bits.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 }
 
@@ -271,6 +366,40 @@ mod tests {
         let t = coo.transpose();
         let entries: Vec<_> = t.iter().collect();
         assert_eq!(entries, vec![(0, 1, 7.0), (2, 0, 5.0)]);
+    }
+
+    #[test]
+    fn structure_hash_ignores_values_but_sees_structure() {
+        let coo = random_coo::<f64>(50, 50, 300, 11);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+        let m = DynamicMatrix::from(coo.clone());
+
+        // Same structure, different values: same hash.
+        let scaled_vals: Vec<f64> = coo.values().iter().map(|v| v * 3.5).collect();
+        let scaled = DynamicMatrix::from(
+            CooMatrix::from_triplets(50, 50, coo.row_indices(), coo.col_indices(), &scaled_vals).unwrap(),
+        );
+        assert_eq!(m.structure_hash(), scaled.structure_hash());
+
+        // f32 copy: structure hash is scalar-independent.
+        let vals32: Vec<f32> = coo.values().iter().map(|&v| v as f32).collect();
+        let m32 = DynamicMatrix::from(
+            CooMatrix::from_triplets(50, 50, coo.row_indices(), coo.col_indices(), &vals32).unwrap(),
+        );
+        assert_eq!(m.structure_hash(), m32.structure_hash());
+
+        // A different pattern: different hash.
+        let other = DynamicMatrix::from(random_coo::<f64>(50, 50, 300, 12));
+        assert_ne!(m.structure_hash(), other.structure_hash());
+
+        // Each active format hashes differently (the hash covers the
+        // representation the cache key describes), deterministically.
+        let mut seen = std::collections::HashSet::new();
+        for &f in &ALL_FORMATS {
+            let converted = m.to_format(f, &opts).unwrap();
+            assert_eq!(converted.structure_hash(), converted.structure_hash());
+            assert!(seen.insert(converted.structure_hash()), "hash collision for {f}");
+        }
     }
 
     #[test]

@@ -27,14 +27,8 @@ pub enum FormatId {
 pub const FORMAT_COUNT: usize = 6;
 
 /// All formats, in format-ID order.
-pub const ALL_FORMATS: [FormatId; FORMAT_COUNT] = [
-    FormatId::Coo,
-    FormatId::Csr,
-    FormatId::Dia,
-    FormatId::Ell,
-    FormatId::Hyb,
-    FormatId::Hdc,
-];
+pub const ALL_FORMATS: [FormatId; FORMAT_COUNT] =
+    [FormatId::Coo, FormatId::Csr, FormatId::Dia, FormatId::Ell, FormatId::Hyb, FormatId::Hdc];
 
 impl FormatId {
     /// Stable numeric ID (the classifier's target value).

@@ -9,8 +9,7 @@ use crate::Result;
 
 /// Policy for choosing the HYB split width `K_H` (§II-B: "the number of
 /// non-zeros per row to be stored in the ELL portion").
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum HybSplit {
     /// Pick the `K_H` minimising total storage bytes: each ELL slot costs a
     /// value plus an index, each COO surplus entry costs a value plus two
@@ -20,7 +19,6 @@ pub enum HybSplit {
     /// Fixed `K_H`.
     Width(usize),
 }
-
 
 /// Hybrid ELL/COO matrix (§II-B).
 ///

@@ -54,7 +54,10 @@ pub fn read_matrix_market<V: Scalar, R: BufRead>(reader: R) -> Result<CooMatrix<
     };
     let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
-        return Err(MorpheusError::Parse { line: lineno, msg: format!("not a MatrixMarket header: {header}") });
+        return Err(MorpheusError::Parse {
+            line: lineno,
+            msg: format!("not a MatrixMarket header: {header}"),
+        });
     }
     if tokens[2] != "coordinate" {
         return Err(MorpheusError::Parse {
@@ -81,9 +84,8 @@ pub fn read_matrix_market<V: Scalar, R: BufRead>(reader: R) -> Result<CooMatrix<
 
     // Size line (skipping comments).
     let (nrows, ncols, declared_nnz) = loop {
-        let (n, line) = lines
-            .next()
-            .ok_or(MorpheusError::Parse { line: lineno, msg: "missing size line".into() })?;
+        let (n, line) =
+            lines.next().ok_or(MorpheusError::Parse { line: lineno, msg: "missing size line".into() })?;
         lineno = n + 1;
         let line = line?;
         let t = line.trim();
@@ -117,20 +119,26 @@ pub fn read_matrix_market<V: Scalar, R: BufRead>(reader: R) -> Result<CooMatrix<
         if parts.len() < expected_fields {
             return Err(MorpheusError::Parse { line: lineno, msg: format!("bad entry line: {t}") });
         }
-        let r: usize = parts[0]
-            .parse()
-            .map_err(|_| MorpheusError::Parse { line: lineno, msg: format!("bad row index '{}'", parts[0]) })?;
-        let c: usize = parts[1]
-            .parse()
-            .map_err(|_| MorpheusError::Parse { line: lineno, msg: format!("bad col index '{}'", parts[1]) })?;
+        let r: usize = parts[0].parse().map_err(|_| MorpheusError::Parse {
+            line: lineno,
+            msg: format!("bad row index '{}'", parts[0]),
+        })?;
+        let c: usize = parts[1].parse().map_err(|_| MorpheusError::Parse {
+            line: lineno,
+            msg: format!("bad col index '{}'", parts[1]),
+        })?;
         if r == 0 || c == 0 {
-            return Err(MorpheusError::Parse { line: lineno, msg: "MatrixMarket indices are 1-based".into() });
+            return Err(MorpheusError::Parse {
+                line: lineno,
+                msg: "MatrixMarket indices are 1-based".into(),
+            });
         }
         let v = match field {
             Field::Pattern => 1.0,
-            _ => parts[2]
-                .parse::<f64>()
-                .map_err(|_| MorpheusError::Parse { line: lineno, msg: format!("bad value '{}'", parts[2]) })?,
+            _ => parts[2].parse::<f64>().map_err(|_| MorpheusError::Parse {
+                line: lineno,
+                msg: format!("bad value '{}'", parts[2]),
+            })?,
         };
         let (r0, c0) = (r - 1, c - 1);
         builder.push(r0, c0, V::from_f64(v)).map_err(|_| MorpheusError::Parse {

@@ -156,8 +156,7 @@ mod tests {
             let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
 
             // Row-major X: ncols x k.
-            let x_block: Vec<f64> =
-                (0..base.ncols() * k).map(|i| ((i * 29 + 3) % 17) as f64 - 8.0).collect();
+            let x_block: Vec<f64> = (0..base.ncols() * k).map(|i| ((i * 29 + 3) % 17) as f64 - 8.0).collect();
 
             // Reference via SpMV on each extracted column.
             let mut expect = vec![0.0f64; base.nrows() * k];

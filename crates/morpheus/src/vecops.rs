@@ -107,6 +107,7 @@ unsafe impl<V: Send> Sync for SharedVec<V> {}
 impl<V> SharedVec<V> {
     /// # Safety
     /// Ranges passed by concurrent callers must be disjoint and in-bounds.
+    #[allow(clippy::mut_from_ref)] // aliasing is excluded by the disjoint-ranges contract above
     unsafe fn slice(&self, r: std::ops::Range<usize>) -> &mut [V] {
         debug_assert!(r.end <= self.len);
         std::slice::from_raw_parts_mut(self.ptr.add(r.start), r.len())

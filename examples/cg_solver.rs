@@ -16,7 +16,7 @@ use morpheus_repro::machine::{systems, Backend, VirtualEngine};
 use morpheus_repro::morpheus::spmv::spmv_threaded;
 use morpheus_repro::morpheus::vecops::{axpy_threaded, dot_threaded, norm2_threaded, xpby_threaded};
 use morpheus_repro::morpheus::{ConvertOptions, DynamicMatrix, FormatId};
-use morpheus_repro::oracle::{tune_multiply, RunFirstTuner};
+use morpheus_repro::oracle::{Oracle, RunFirstTuner};
 use morpheus_repro::parallel::{global_pool, Schedule};
 
 /// Unpreconditioned CG on `A x = b`; returns (iterations, final residual).
@@ -63,11 +63,17 @@ fn main() {
     let (it_csr, res_csr, t_csr) = solve_and_time(&csr, &b);
     println!("CSR     : {it_csr} iterations, residual {res_csr:.2e}, wall {t_csr:.2?}");
 
-    // Auto-tuned: the Oracle picks the format for the A64FX-like target.
+    // Auto-tuned: an Oracle session picks the format for the A64FX-like
+    // target (the session would also serve every further system matrix of a
+    // time-dependent PDE, cache-amortised).
     let mut tuned = matrix.clone();
-    let engine = VirtualEngine::new(systems::a64fx(), Backend::OpenMp);
-    let report =
-        tune_multiply(&mut tuned, &RunFirstTuner::new(5), &engine, &ConvertOptions::default()).unwrap();
+    let mut oracle = Oracle::builder()
+        .engine(VirtualEngine::new(systems::a64fx(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(5))
+        .build()
+        .unwrap();
+    let engine = oracle.engine().clone();
+    let report = oracle.tune(&mut tuned).unwrap();
     let (it_tuned, res_tuned, t_tuned) = solve_and_time(&tuned, &b);
     println!(
         "{:<8}: {it_tuned} iterations, residual {res_tuned:.2e}, wall {t_tuned:.2?}  (selected for {})",

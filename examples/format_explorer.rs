@@ -54,7 +54,10 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 
     // A banded PDE matrix: DIA territory.
-    explore("poisson2d (128x128 grid)", DynamicMatrix::from(morpheus_corpus::gen::stencil::poisson2d(128, 128)));
+    explore(
+        "poisson2d (128x128 grid)",
+        DynamicMatrix::from(morpheus_corpus::gen::stencil::poisson2d(128, 128)),
+    );
 
     // A regular-degree random matrix: ELL territory on GPUs.
     explore(

@@ -6,9 +6,8 @@
 //! ```
 
 use morpheus_repro::machine::{systems, Backend, VirtualEngine};
-use morpheus_repro::morpheus::spmv::spmv_serial;
-use morpheus_repro::morpheus::{ConvertOptions, CooMatrix, DynamicMatrix};
-use morpheus_repro::oracle::{tune_multiply, FeatureVector, RunFirstTuner};
+use morpheus_repro::morpheus::{CooMatrix, DynamicMatrix};
+use morpheus_repro::oracle::{FeatureVector, Oracle, RunFirstTuner};
 
 fn main() {
     // 1. Assemble a 2D Poisson system (the classic iterative-solver matrix).
@@ -40,23 +39,37 @@ fn main() {
     let features = FeatureVector::extract(&matrix);
     println!("features: {features}");
 
-    // 3. Tune for the A64FX Serial backend (simulated) with the run-first
-    //    tuner and switch the matrix to the winner.
-    let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
-    let report = tune_multiply(&mut matrix, &RunFirstTuner::new(10), &engine, &ConvertOptions::default())
-        .expect("tuning succeeds");
+    // 3. Open a tuning session for the A64FX Serial backend (simulated)
+    //    with the run-first tuner: the Oracle picks the format, switches
+    //    the matrix in place, and runs the SpMV in one call.
+    let mut oracle = Oracle::builder()
+        .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+        .tuner(RunFirstTuner::new(10))
+        .build()
+        .expect("engine and tuner are set");
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let report = oracle.tune_and_spmv(&mut matrix, &x, &mut y).expect("tuning succeeds");
     println!(
         "tuned for {}: {} -> {} (decision cost {:.2} us on the virtual clock)",
-        engine.label(),
+        oracle.engine().label(),
         report.previous,
         report.chosen,
         report.cost.total() * 1e6
     );
-
-    // 4. SpMV in the selected format — same numbers, faster layout.
-    let x = vec![1.0f64; n];
-    let mut y = vec![0.0f64; n];
-    spmv_serial(&matrix, &x, &mut y).expect("shapes agree");
     let checksum: f64 = y.iter().sum();
     println!("y = A*1 checksum: {checksum:.1} (boundary rows keep a positive residue)");
+
+    // 4. The session caches its decisions: tuning a structurally identical
+    //    matrix again costs nothing.
+    let mut twin = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+    let cached = oracle.tune(&mut twin).expect("tuning succeeds");
+    let stats = oracle.cache_stats();
+    println!(
+        "second tune of the same structure: cache hit = {}, cost {:.2} us ({} hit / {} miss)",
+        cached.cache_hit,
+        cached.cost.total() * 1e6,
+        stats.hits,
+        stats.misses
+    );
 }

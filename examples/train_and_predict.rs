@@ -13,9 +13,9 @@ use morpheus_repro::corpus::CorpusSpec;
 use morpheus_repro::machine::{analyze, systems, Backend, VirtualEngine};
 use morpheus_repro::ml::{Dataset, ForestParams, RandomForest};
 use morpheus_repro::morpheus::format::FORMAT_COUNT;
-use morpheus_repro::morpheus::{ConvertOptions, DynamicMatrix};
+use morpheus_repro::morpheus::DynamicMatrix;
 use morpheus_repro::oracle::model_db::ModelDatabase;
-use morpheus_repro::oracle::{tune_multiply, FeatureVector, NUM_FEATURES};
+use morpheus_repro::oracle::{FeatureVector, Oracle, NUM_FEATURES};
 
 fn main() {
     // ---------------- offline stage ----------------
@@ -47,19 +47,28 @@ fn main() {
     println!("model written to {}", path.display());
 
     // ---------------- online stage ----------------
+    // One session serves the whole held-out stream: load the model once,
+    // let the decision cache absorb repeated structures.
     let tuner = db.load_forest_tuner("Cirrus", Backend::Cuda).expect("load model");
+    let mut oracle = Oracle::builder().engine(engine).tuner(tuner).build().expect("configured");
     let mut hits = 0usize;
     let mut total = 0usize;
     println!("\ntuning {} held-out matrices:", held_out.len());
     for (name, mut m, _features, optimal) in held_out {
-        let report = tune_multiply(&mut m, &tuner, &engine, &ConvertOptions::default()).expect("tune");
+        let report = oracle.tune(&mut m).expect("tune");
         total += 1;
         if report.chosen == optimal {
             hits += 1;
         } else {
-            println!("  {name:<24} predicted {:<4} optimal {:<4} (miss)", report.chosen.name(), optimal.name());
+            println!(
+                "  {name:<24} predicted {:<4} optimal {:<4} (miss)",
+                report.chosen.name(),
+                optimal.name()
+            );
         }
     }
     println!("selection accuracy on held-out matrices: {hits}/{total}");
+    let stats = oracle.cache_stats();
+    println!("decision cache: {} hits / {} misses over the stream", stats.hits, stats.misses);
     let _ = std::fs::remove_dir_all(&db_dir);
 }

@@ -4,7 +4,9 @@
 use morpheus_repro::ml::serialize::load_model;
 use morpheus_repro::morpheus::io::read_matrix_market;
 use morpheus_repro::morpheus::spmv::spmv_serial;
-use morpheus_repro::morpheus::{ConvertOptions, CooMatrix, CsrMatrix, DynamicMatrix, FormatId, MorpheusError};
+use morpheus_repro::morpheus::{
+    ConvertOptions, CooMatrix, CsrMatrix, DynamicMatrix, FormatId, MorpheusError,
+};
 use morpheus_repro::oracle::{DecisionTreeTuner, RandomForestTuner};
 use std::io::Cursor;
 

@@ -8,9 +8,9 @@ use morpheus_repro::ml::metrics::accuracy;
 use morpheus_repro::ml::{Dataset, ForestParams, RandomForest};
 use morpheus_repro::morpheus::format::{FormatId, FORMAT_COUNT};
 use morpheus_repro::morpheus::spmv::spmv_serial;
-use morpheus_repro::morpheus::{ConvertOptions, DynamicMatrix};
+use morpheus_repro::morpheus::DynamicMatrix;
 use morpheus_repro::oracle::model_db::ModelDatabase;
-use morpheus_repro::oracle::{tune_multiply, FeatureVector, RunFirstTuner, NUM_FEATURES};
+use morpheus_repro::oracle::{FeatureVector, Oracle, RunFirstTuner, NUM_FEATURES};
 
 #[test]
 fn offline_stage_trains_useful_model_and_online_stage_uses_it() {
@@ -64,7 +64,9 @@ fn offline_stage_trains_useful_model_and_online_stage_uses_it() {
     );
     assert!(acc_model > 0.5, "model accuracy {acc_model:.3} too low");
 
-    // --- online: tune + switch + execute, numerics preserved ---
+    // --- online: one session tunes + switches + executes, numerics
+    //     preserved ---
+    let mut oracle = Oracle::builder().engine(engine).tuner(tuner).build().unwrap();
     let mut tuned_matches_optimal = 0usize;
     for (m, _, optimal) in test_entries.iter().take(10) {
         let mut matrix = m.clone();
@@ -72,20 +74,21 @@ fn offline_stage_trains_useful_model_and_online_stage_uses_it() {
         let mut y_before = vec![0.0f64; matrix.nrows()];
         spmv_serial(&matrix, &x, &mut y_before).unwrap();
 
-        let report = tune_multiply(&mut matrix, &tuner, &engine, &ConvertOptions::default()).unwrap();
+        let mut y_after = vec![0.0f64; matrix.nrows()];
+        let report = oracle.tune_and_spmv(&mut matrix, &x, &mut y_after).unwrap();
         assert_eq!(matrix.format_id(), report.chosen);
         if report.chosen == *optimal {
             tuned_matches_optimal += 1;
         }
 
-        let mut y_after = vec![0.0f64; matrix.nrows()];
-        spmv_serial(&matrix, &x, &mut y_after).unwrap();
         for i in 0..y_before.len() {
             let scale = 1.0 + y_before[i].abs();
             assert!((y_before[i] - y_after[i]).abs() < 1e-10 * scale, "row {i} changed");
         }
     }
     assert!(tuned_matches_optimal >= 5, "only {tuned_matches_optimal}/10 tuned to the optimum");
+    // Ten distinct test matrices: the tuning stage ran for each of them.
+    assert_eq!(oracle.cache_stats().misses, 10);
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -94,12 +97,12 @@ fn offline_stage_trains_useful_model_and_online_stage_uses_it() {
 fn run_first_tuner_always_lands_on_profiled_optimum() {
     let spec = CorpusSpec::small(30);
     let engine = VirtualEngine::new(systems::p3(), Backend::Cuda);
-    let tuner = RunFirstTuner::new(3);
+    let mut oracle = Oracle::builder().engine(engine.clone()).tuner(RunFirstTuner::new(3)).build().unwrap();
     for entry in spec.iter() {
         let mut m = DynamicMatrix::from(entry.matrix);
         let analysis = analyze(&m);
         let optimal = engine.profile(&analysis).optimal;
-        let report = tune_multiply(&mut m, &tuner, &engine, &ConvertOptions::default()).unwrap();
+        let report = oracle.tune(&mut m).unwrap();
         assert_eq!(report.predicted, optimal, "{}", entry.name);
     }
 }

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks written against the criterion API (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`) run unmodified: each benchmark is
+//! warmed up once, timed over an adaptive number of iterations targeting
+//! ~60 ms of wall clock, and reported as `group/name: median  (min … max)`
+//! per-iteration times on stdout. There is no statistical analysis, HTML
+//! report or baseline comparison — this is a smoke-level harness for an
+//! offline build environment.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (one per `criterion_group!` run).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+}
+
+/// Identifier composed of a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up, also touches the caches
+
+        // Calibrate: how many iterations fit the per-sample budget?
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(20));
+        let budget = Duration::from_millis(60) / self.sample_size as u32;
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters);
+        }
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        self.report(&id.into(), &mut b.samples);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b, input);
+        self.report(&id.label, &mut b.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("  {}/{label}: no samples (Bencher::iter never called)", self.name);
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let (min, max) = (samples[0], samples[samples.len() - 1]);
+        println!("  {}/{label}: {median:?}  ({min:?} … {max:?})", self.name);
+    }
+}
+
+/// Re-exported for API compatibility with criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..100u64 * k).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+}

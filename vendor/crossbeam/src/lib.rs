@@ -1,0 +1,232 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two primitives `morpheus-parallel` uses — an unbounded MPMC
+//! [`channel`] and a [`sync::WaitGroup`] — implemented on `std::sync`
+//! mutexes and condvars. Semantics match crossbeam for the supported
+//! surface: cloned receivers compete for messages, `recv` returns `Err`
+//! once all senders are gone and the queue is drained, and a `WaitGroup`
+//! unblocks `wait` when every clone has been dropped.
+
+pub mod channel {
+    //! Unbounded multi-producer multi-consumer FIFO channel.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Sending half; cloning adds a producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloning adds a competing consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Like crossbeam: no `T: Debug` bound, payload elided.
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed and
+    /// drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders += 1;
+            drop(state);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            let closed = state.senders == 0;
+            drop(state);
+            if closed {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or the channel closes empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+}
+
+pub mod sync {
+    //! Synchronisation helpers.
+
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct WgInner {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    /// Blocks until every clone has been dropped (mirrors
+    /// `crossbeam::sync::WaitGroup`).
+    pub struct WaitGroup {
+        inner: Arc<WgInner>,
+    }
+
+    impl WaitGroup {
+        /// A group with one member (the returned handle).
+        pub fn new() -> Self {
+            WaitGroup { inner: Arc::new(WgInner { count: Mutex::new(1), zero: Condvar::new() }) }
+        }
+
+        /// Drops this handle and blocks until the member count reaches zero.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self); // decrements our own membership
+            let mut count = inner.count.lock().unwrap_or_else(|e| e.into_inner());
+            while *count > 0 {
+                count = inner.zero.wait(count).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            let mut count = self.inner.count.lock().unwrap_or_else(|e| e.into_inner());
+            *count += 1;
+            drop(count);
+            WaitGroup { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self.inner.count.lock().unwrap_or_else(|e| e.into_inner());
+            *count -= 1;
+            let hit_zero = *count == 0;
+            drop(count);
+            if hit_zero {
+                self.inner.zero.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+    use super::sync::WaitGroup;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mpmc_delivers_every_message_once() {
+        let (tx, rx) = unbounded::<usize>();
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            let consumed = Arc::clone(&consumed);
+            handles.push(std::thread::spawn(move || {
+                while rx.recv().is_ok() {
+                    consumed.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn recv_errors_after_close() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn waitgroup_blocks_for_all_members() {
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let wg = wg.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(wg);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+}

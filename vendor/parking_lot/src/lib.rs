@@ -1,0 +1,54 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Only [`Mutex`] is provided (the single type this workspace uses). It
+//! wraps `std::sync::Mutex` and mirrors parking_lot's API shape: `lock()`
+//! returns the guard directly and poisoning is ignored — a panic while the
+//! lock is held does not poison it for later users.
+
+use std::sync::MutexGuard;
+
+/// Poison-free mutex with parking_lot's `lock() -> guard` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn not_poisoned_by_panics() {
+        let m = Mutex::new(0);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock();
+            panic!("poison attempt");
+        }));
+        assert_eq!(*m.lock(), 0);
+    }
+}
