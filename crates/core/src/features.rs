@@ -50,6 +50,13 @@ impl FeatureVector {
         ])
     }
 
+    /// Builds the vector from a shared [`morpheus::Analysis`] — zero
+    /// additional matrix traversals (the statistics were reduced when the
+    /// analysis was computed).
+    pub fn from_analysis(a: &morpheus::Analysis) -> Self {
+        Self::from_stats(&a.stats)
+    }
+
     /// Extracts features directly from a matrix in its *active* format
     /// (§VI-C: no conversion, no data transfer).
     pub fn extract<V: Scalar>(m: &DynamicMatrix<V>) -> Self {

@@ -29,8 +29,8 @@ use crate::tune::TuneReport;
 use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
 use crate::{OracleError, Result};
 use morpheus::format::FormatId;
-use morpheus::{ConvertOptions, DynamicMatrix, Scalar};
-use morpheus_machine::{analyze, Op, VirtualEngine};
+use morpheus::{Analysis, ConvertOptions, DynamicMatrix, Scalar};
+use morpheus_machine::{analyze_from, Op, VirtualEngine};
 
 /// Decisions a fresh [`Oracle`] keeps unless
 /// [`OracleBuilder::cache_capacity`] overrides it.
@@ -83,41 +83,50 @@ impl<T> Oracle<T> {
     }
 
     /// [`Oracle::tune`] for an arbitrary operation.
+    ///
+    /// On a cache miss the session builds one shared [`Analysis`] of the
+    /// matrix (reusing the hash it just computed for the cache key) and
+    /// threads it through feature extraction *and* the eventual format
+    /// conversion, so planning the target layout never re-traverses the
+    /// matrix. On a hit, only the hash and the conversion are paid for.
     pub fn tune_for<V>(&mut self, m: &mut DynamicMatrix<V>, op: Op) -> Result<TuneReport>
     where
         V: Scalar,
         T: FormatTuner<V>,
     {
         let previous = m.format_id();
+        let hash = m.structure_hash();
         let key = CacheKey {
-            structure: m.structure_hash(),
+            structure: hash,
             scalar_bytes: std::mem::size_of::<V>(),
             engine: self.engine_fingerprint,
             op,
         };
 
-        let (decision, cache_hit) = match self.cache.get(&key) {
+        let (decision, cache_hit, analysis) = match self.cache.get(&key) {
             Some(mut cached) => {
                 // Same structure, scalar, engine and op: the tuner would
                 // reproduce this decision, so charge nothing for it.
                 cached.cost = TuningCost::cached();
-                (cached, true)
+                (cached, true, None)
             }
             None => {
-                let analysis = analyze(m);
-                let decision = self.tuner.select(m, &analysis, &self.engine, op);
+                let analysis = Analysis::of_auto_with_hash(m, self.opts.true_diag_alpha, hash);
+                let machine_view = analyze_from(m, &analysis);
+                let decision = self.tuner.select(m, &machine_view, &self.engine, op);
                 self.cache.insert(key, decision);
-                (decision, false)
+                (decision, false, Some(analysis))
             }
         };
 
         let predicted = decision.format;
-        let chosen = if m.convert_to(predicted, &self.opts).is_ok() {
-            predicted
-        } else {
-            // Mispredicted into a non-viable format: fall back to CSR.
-            m.convert_to(FormatId::Csr, &self.opts)?;
-            FormatId::Csr
+        let (chosen, convert) = match m.convert_to_with(predicted, &self.opts, analysis.as_ref()) {
+            Ok(outcome) => (predicted, outcome),
+            Err(_) => {
+                // Mispredicted into a non-viable format: fall back to CSR.
+                let outcome = m.convert_to_with(FormatId::Csr, &self.opts, analysis.as_ref())?;
+                (FormatId::Csr, outcome)
+            }
         };
         if !cache_hit {
             // Cache the *realized* format: if the prediction proved
@@ -143,6 +152,7 @@ impl<T> Oracle<T> {
             converted: chosen != previous,
             op,
             cache_hit,
+            convert,
         })
     }
 

@@ -36,6 +36,11 @@ pub struct TuneReport {
     pub op: Op,
     /// `true` when the decision came from the session's cache.
     pub cache_hit: bool,
+    /// Which conversion path realised the switch (direct kernel, COO hub,
+    /// or identity) and its measured wall-clock cost. Unlike
+    /// [`TuneReport::cost`], this is host time, not the engine's virtual
+    /// clock — it is the real price §VII's amortisation argument is about.
+    pub convert: morpheus::ConvertOutcome,
 }
 
 /// Tunes the matrix for SpMV on `engine` using `tuner` and switches it to

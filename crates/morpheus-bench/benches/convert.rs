@@ -1,26 +1,54 @@
-//! Criterion microbenches: format-conversion cost from COO, the price the
-//! run-first tuner pays per candidate format (§III, §VI-A).
+//! Criterion microbenches: format-conversion cost — the price the run-first
+//! tuner pays per candidate format (§III, §VI-A) — comparing the legacy
+//! COO-hub route against the direct kernels and the `Analysis`-planned
+//! direct path the Oracle uses. See `src/bin/bench_convert.rs` for the
+//! snapshot-producing harness (`BENCH_convert.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use morpheus::format::ALL_FORMATS;
-use morpheus::{ConvertOptions, DynamicMatrix, FormatId};
+use morpheus::{convert_via_hub, Analysis, ConvertOptions, DynamicMatrix, FormatId};
 use morpheus_corpus::gen::random::near_diagonal;
 use rand::SeedableRng;
 
 fn bench_convert(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let base = DynamicMatrix::from(near_diagonal(20_000, 9, 60.0, &mut rng));
+    let coo = DynamicMatrix::from(near_diagonal(20_000, 9, 60.0, &mut rng));
     let opts = ConvertOptions::default();
+    let csr = coo.to_format(FormatId::Csr, &opts).expect("CSR always converts");
 
     let mut group = c.benchmark_group("convert-near-diagonal-20k");
     group.sample_size(10);
-    for fmt in ALL_FORMATS {
-        if fmt == FormatId::Coo {
-            continue;
+    for source in [&coo, &csr] {
+        let src_name = source.format_id().name();
+        let analysis = Analysis::of_auto(source, opts.true_diag_alpha);
+        for fmt in ALL_FORMATS {
+            if fmt == source.format_id() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("hub/{src_name}"), fmt.name()),
+                &fmt,
+                |b, &fmt| {
+                    b.iter(|| convert_via_hub(source, fmt, &opts).expect("near-diagonal fits"));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("direct/{src_name}"), fmt.name()),
+                &fmt,
+                |b, &fmt| {
+                    b.iter(|| source.to_format(fmt, &opts).expect("near-diagonal fits"));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("planned/{src_name}"), fmt.name()),
+                &fmt,
+                |b, &fmt| {
+                    b.iter(|| {
+                        source.to_format_with(fmt, &opts, Some(&analysis)).expect("near-diagonal fits")
+                    });
+                },
+            );
         }
-        group.bench_with_input(BenchmarkId::new("from-coo", fmt.name()), &fmt, |b, &fmt| {
-            b.iter(|| base.to_format(fmt, &opts).expect("near-diagonal fits"));
-        });
     }
     group.finish();
 }

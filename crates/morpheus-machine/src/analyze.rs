@@ -1,15 +1,19 @@
 //! Structural analysis of a matrix, computed once and shared by all format
 //! cost models.
 //!
-//! Everything the CPU and GPU models need is derived in a single pass over a
-//! COO view of the matrix: the row-length histogram, diagonal populations,
-//! the `x`-gather locality, per-format padding geometry, the HYB/HDC split
-//! parameters, and the warp-divergence statistics of the GPU CSR kernel.
+//! Everything the CPU and GPU models need derives from the shared
+//! [`Analysis`] artifact (row-length histogram, diagonal populations,
+//! Table-I statistics) plus one row-major walk of the *active* format for
+//! the entry-order quantities (`x`-gather locality and the HDC remainder's
+//! row histogram). No COO view is materialised — [`analyze_from`] reuses a
+//! caller-supplied `Analysis` so the whole tuning pipeline performs exactly
+//! one histogram pass and one entry walk per matrix.
 
+use morpheus::analysis::passes;
 use morpheus::hdc::true_diag_threshold;
-use morpheus::hyb::optimal_hyb_width;
+use morpheus::hyb::optimal_hyb_width_u32;
 use morpheus::stats::MatrixStats;
-use morpheus::{DynamicMatrix, Scalar};
+use morpheus::{for_each_entry_row_major, Analysis, DynamicMatrix, Scalar};
 
 /// GPU warp width used by the SIMT model (both vendors schedule SpMV
 /// row-kernels in 32-wide groups; MI100 wavefronts are 64 but rocSPARSE maps
@@ -132,86 +136,57 @@ pub fn analyze<V: Scalar>(m: &DynamicMatrix<V>) -> MatrixAnalysis {
 }
 
 /// Analyses a matrix with an explicit true-diagonal fraction `alpha`.
+///
+/// Convenience wrapper that builds the shared [`Analysis`] first; callers
+/// that already hold one (the Oracle does) should use [`analyze_from`] to
+/// avoid repeating the histogram pass.
 pub fn analyze_with_alpha<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> MatrixAnalysis {
-    let coo = m.to_coo();
-    let (nrows, ncols) = (coo.nrows(), coo.ncols());
-    let nnz = coo.nnz();
+    analyze_from(m, &Analysis::of_auto(m, alpha))
+}
 
-    let mut row_hist = vec![0u32; nrows];
-    let diag_slots = if nrows == 0 || ncols == 0 { 0 } else { nrows + ncols - 1 };
-    let mut diag_pop = vec![0u32; diag_slots];
+/// Derives the machine model's [`MatrixAnalysis`] from a shared
+/// [`Analysis`], adding the two entry-order quantities the histograms
+/// cannot express (gather locality and the HDC remainder's row histogram)
+/// in a single row-major walk of the active format — no COO view, no
+/// additional histogram passes.
+pub fn analyze_from<V: Scalar>(m: &DynamicMatrix<V>, shared: &Analysis) -> MatrixAnalysis {
+    debug_assert!(shared.matches(m), "analysis artifact does not describe this matrix");
+    let (nrows, ncols) = (shared.nrows, shared.ncols);
+    let nnz = shared.nnz();
+    let alpha = shared.stats.true_diag_alpha;
+    let row_hist = shared.row_hist.clone();
+
+    // Diagonal summary + HDC split, straight from the population histogram.
+    let threshold = true_diag_threshold(nrows, ncols, alpha) as u32;
+    let ntrue = shared.stats.ntrue_diags;
+    let dia_nnz: usize = shared.diag_pop.iter().filter(|&&p| p >= threshold).map(|&p| p as usize).sum();
+    let hdc_csr_nnz = nnz - dia_nnz;
+
+    // HYB split width and surplus.
+    let hyb_width = optimal_hyb_width_u32(&row_hist, std::mem::size_of::<V>());
+    let hyb_coo_nnz: usize = row_hist.iter().map(|&l| (l as usize).saturating_sub(hyb_width)).sum();
+
+    // One row-major walk for the entry-order quantities: the probability an
+    // x-gather hits an already-fetched cache line (consecutive entries of a
+    // row within 8 doubles) and the per-row occupancy of the HDC CSR
+    // remainder (entries off every true diagonal).
+    passes::record_traversal();
     let mut local_hits = 0usize;
-    {
-        let rows = coo.row_indices();
-        let cols = coo.col_indices();
-        for i in 0..nnz {
-            let (r, c) = (rows[i], cols[i]);
-            row_hist[r] += 1;
-            diag_pop[c + nrows - 1 - r] += 1;
-            if i > 0 && rows[i - 1] == r && c - cols[i - 1] <= 8 {
+    let mut hdc_csr_hist = row_hist.clone();
+    let mut prev: Option<(usize, usize)> = None;
+    for_each_entry_row_major(m, |r, c, _| {
+        if let Some((pr, pc)) = prev {
+            if pr == r && c - pc <= 8 {
                 local_hits += 1;
             }
         }
-    }
+        prev = Some((r, c));
+        if ntrue > 0 && shared.diag_pop[c + nrows - 1 - r] >= threshold {
+            hdc_csr_hist[r] -= 1;
+        }
+    });
     let locality = if nnz == 0 { 1.0 } else { local_hits as f64 / nnz as f64 };
 
-    // Row-distribution summary.
-    let row_min = row_hist.iter().copied().min().unwrap_or(0) as usize;
-    let row_max = row_hist.iter().copied().max().unwrap_or(0) as usize;
-    let mean = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
-    let var = if nrows == 0 {
-        0.0
-    } else {
-        row_hist.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / nrows as f64
-    };
-
-    // Diagonal summary + HDC split.
-    let threshold = true_diag_threshold(nrows, ncols, alpha) as u32;
-    let mut ndiags = 0usize;
-    let mut ntrue = 0usize;
-    let mut dia_nnz = 0usize;
-    for &p in &diag_pop {
-        if p > 0 {
-            ndiags += 1;
-            if p >= threshold {
-                ntrue += 1;
-                dia_nnz += p as usize;
-            }
-        }
-    }
-    let hdc_csr_nnz = nnz - dia_nnz;
-
-    let stats = MatrixStats {
-        nrows,
-        ncols,
-        nnz,
-        row_nnz_min: row_min,
-        row_nnz_max: row_max,
-        row_nnz_mean: mean,
-        row_nnz_std: var.sqrt(),
-        ndiags,
-        ntrue_diags: ntrue,
-        true_diag_alpha: alpha,
-    };
-
-    // HYB split width and surplus.
-    let row_hist_usize: Vec<usize> = row_hist.iter().map(|&c| c as usize).collect();
-    let hyb_width = optimal_hyb_width(&row_hist_usize, std::mem::size_of::<V>());
-    let hyb_coo_nnz: usize = row_hist_usize.iter().map(|&l| l.saturating_sub(hyb_width)).sum();
-
-    // HDC CSR remainder's row histogram: subtract each true diagonal's
-    // contribution (one entry per in-bounds row on that diagonal).
-    let mut hdc_csr_hist = row_hist.clone();
-    if ntrue > 0 {
-        let rows = coo.row_indices();
-        let cols = coo.col_indices();
-        for i in 0..nnz {
-            let slot = cols[i] + nrows - 1 - rows[i];
-            if diag_pop[slot] >= threshold {
-                hdc_csr_hist[rows[i]] -= 1;
-            }
-        }
-    }
     let hdc_csr_mean_row = if nrows == 0 { 0.0 } else { hdc_csr_nnz as f64 / nrows as f64 };
     let hdc_csr_max_row = hdc_csr_hist.iter().copied().max().unwrap_or(0) as usize;
 
@@ -226,10 +201,10 @@ pub fn analyze_with_alpha<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> Matrix
     MatrixAnalysis {
         warp_iters_csr: warp_divergence_iters(&row_hist),
         warp_iters_hdc_csr: warp_divergence_iters(&hdc_csr_hist),
-        stats,
+        stats: shared.stats.clone(),
         row_hist,
         locality,
-        ell_width: row_max,
+        ell_width: shared.stats.row_nnz_max,
         hyb_width,
         hyb_coo_nnz,
         hdc_ntrue: ntrue,
@@ -339,5 +314,31 @@ mod tests {
     fn hdc_split_partitions_nnz() {
         let a = analyze(&tridiag(64));
         assert_eq!(a.hdc_dia_nnz + a.hdc_csr_nnz, a.nnz());
+    }
+
+    #[test]
+    fn analyze_from_is_format_invariant() {
+        let base = tridiag(200);
+        let reference = analyze(&base);
+        let opts = morpheus::ConvertOptions::default();
+        for fmt in morpheus::format::ALL_FORMATS {
+            let m = base.to_format(fmt, &opts).unwrap();
+            let shared = Analysis::of(&m, morpheus::hdc::DEFAULT_TRUE_DIAG_ALPHA);
+            let a = analyze_from(&m, &shared);
+            assert_eq!(a.stats, reference.stats, "{fmt}");
+            assert_eq!(a.row_hist, reference.row_hist, "{fmt}");
+            assert_eq!(a.locality, reference.locality, "{fmt}");
+            assert_eq!(a.warp_iters_hdc_csr, reference.warp_iters_hdc_csr, "{fmt}");
+            assert_eq!(a.hyb_width, reference.hyb_width, "{fmt}");
+        }
+    }
+
+    #[test]
+    fn analyze_from_adds_exactly_one_traversal() {
+        let m = tridiag(300);
+        let shared = Analysis::of(&m, morpheus::hdc::DEFAULT_TRUE_DIAG_ALPHA);
+        passes::reset();
+        let _ = analyze_from(&m, &shared);
+        assert_eq!(passes::count(), 1, "only the locality/HDC walk may touch the matrix");
     }
 }

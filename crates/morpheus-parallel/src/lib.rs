@@ -25,9 +25,11 @@
 
 mod pool;
 mod schedule;
+mod shared;
 
 pub use pool::{global_pool, ThreadPool};
 pub use schedule::Schedule;
+pub use shared::SharedSlice;
 
 /// Splits `0..len` into at most `parts` contiguous, nearly-equal ranges.
 ///
@@ -105,9 +107,47 @@ pub fn weighted_partition(weights: &[usize], parts: usize) -> Vec<std::ops::Rang
     out
 }
 
+/// Splits the index space of a *sorted* row array (e.g. COO row indices)
+/// into at most `parts` contiguous chunks whose boundaries never split a
+/// row: every index `i` with `rows[i] == rows[i - 1]` stays in the same
+/// chunk as `i - 1`.
+///
+/// This is the partition the threaded COO SpMV kernel and the parallel
+/// analysis pass use so that per-row outputs have exactly one writer.
+/// Starting from [`static_partition`], each boundary is pushed forward to
+/// the next row change; because the static partition tiles `0..rows.len()`
+/// exactly and boundaries only ever move forward, the aligned chunks tile
+/// it too.
+pub fn row_aligned_partition(rows: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let nnz = rows.len();
+    let mut chunks: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    for r in &static_partition(nnz, parts) {
+        // `r.end >= 1` (static partitions are never empty), so `end - 1` is
+        // safe. Push the boundary forward until the row changes.
+        let mut end = r.end;
+        while end < nnz && rows[end] == rows[end - 1] {
+            end += 1;
+        }
+        if end > start {
+            chunks.push(start..end);
+        }
+        start = end;
+        if start >= nnz {
+            break;
+        }
+    }
+    debug_assert!(
+        nnz == 0 || chunks.last().is_some_and(|c| c.end == nnz),
+        "static_partition tiles 0..nnz, so the aligned chunks must end at nnz"
+    );
+    chunks
+}
+
 #[cfg(test)]
 mod partition_tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn static_partition_covers_all() {
@@ -183,5 +223,51 @@ mod partition_tests {
     fn weighted_partition_empty() {
         assert!(weighted_partition(&[], 4).is_empty());
         assert!(weighted_partition(&[1, 2, 3], 0).is_empty());
+    }
+
+    #[test]
+    fn row_aligned_partition_single_giant_row() {
+        let rows = vec![5usize; 100];
+        let chunks = row_aligned_partition(&rows, 8);
+        assert_eq!(chunks, vec![0..100]);
+    }
+
+    #[test]
+    fn row_aligned_partition_empty() {
+        assert!(row_aligned_partition(&[], 4).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Aligned chunks always tile `0..nnz` exactly, never split a row,
+        /// and never exceed the requested part count.
+        #[test]
+        fn row_aligned_partition_tiles_without_splitting_rows(
+            run_lengths in proptest::collection::vec(1usize..9, 0..40),
+            parts in 1usize..12,
+        ) {
+            // Build a sorted row array from per-row run lengths (some rows
+            // empty is fine: absent rows simply do not appear).
+            let mut rows = Vec::new();
+            for (row, len) in run_lengths.iter().enumerate() {
+                rows.extend(std::iter::repeat_n(row, *len));
+            }
+            let chunks = row_aligned_partition(&rows, parts);
+            prop_assert!(chunks.len() <= parts);
+            let mut prev_end = 0usize;
+            for c in &chunks {
+                prop_assert_eq!(c.start, prev_end);
+                prop_assert!(c.end > c.start);
+                if c.start > 0 {
+                    prop_assert!(
+                        rows[c.start] != rows[c.start - 1],
+                        "chunk boundary at {} splits row {}", c.start, rows[c.start]
+                    );
+                }
+                prev_end = c.end;
+            }
+            prop_assert_eq!(prev_end, rows.len());
+        }
     }
 }

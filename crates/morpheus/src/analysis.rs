@@ -1,0 +1,447 @@
+//! The shared one-pass [`Analysis`] artifact.
+//!
+//! Before this module existed, the tuning pipeline traversed a matrix once
+//! per question it asked: `stats_of` for the feature vector,
+//! `structure_hash` for the decision-cache key, and each converter's
+//! planning step (ELL width, DIA offset discovery, HYB split, HDC diagonal
+//! selection) rescanned the matrix again. [`Analysis`] computes the two
+//! histograms everything derives from — the row-nnz histogram and the
+//! diagonal-population array — plus the structure hash and the reduced
+//! [`MatrixStats`] in **one fused pass** over the active format, and every
+//! downstream consumer reads the artifact instead of the matrix:
+//!
+//! * feature extraction: `FeatureVector::from_stats(&analysis.stats)`,
+//! * the Oracle's cache key: [`Analysis::structure_hash`],
+//! * conversion planning: [`Analysis::ell_width`], [`Analysis::dia_offsets`],
+//!   [`Analysis::hyb_width`], [`Analysis::true_diag_slots`].
+//!
+//! On multi-core hosts the pass is parallelised over the process pool
+//! ([`Analysis::of_auto`]): entry ranges are partitioned at row boundaries
+//! (so the row histogram needs no atomics) while one worker computes the
+//! structure hash concurrently.
+//!
+//! # Instrumentation: the traversal counter
+//!
+//! [`passes`] maintains a thread-local count of *analysis-class full
+//! traversals* — walks of the whole matrix performed to answer an analysis
+//! or planning question (constructing an `Analysis`, `stats_of`,
+//! `structure_hash`, `row_nnz_histogram`, converter planning scans, the
+//! machine model's locality walk). Conversion *fill* passes are not counted:
+//! they are inherent to producing the target arrays. Tests use the counter
+//! to assert the reuse contract: once an `Analysis` exists, feature
+//! extraction, cache keying and conversion planning add **zero** further
+//! traversals.
+
+use crate::dynamic::DynamicMatrix;
+use crate::scalar::Scalar;
+use crate::stats::{accumulate_hists, reduce_stats, MatrixStats};
+use morpheus_parallel::{
+    global_pool, row_aligned_partition, static_partition, weighted_partition, SharedSlice, ThreadPool,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Matrices with at least this many structural non-zeros analyse on the
+/// process pool under [`Analysis::of_auto`]; smaller ones run serially
+/// (fork/join overhead would dominate).
+pub const PARALLEL_ANALYSIS_THRESHOLD: usize = 1 << 14;
+
+/// Thread-local counter of analysis-class full matrix traversals.
+///
+/// See the [module docs](self) for what counts as a traversal. The counter
+/// is thread-local so concurrently running tests do not observe each
+/// other's work; parallel passes record **once** on the calling thread.
+pub mod passes {
+    use std::cell::Cell;
+
+    thread_local! {
+        static TRAVERSALS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Traversals recorded on this thread since the last [`reset`].
+    pub fn count() -> u64 {
+        TRAVERSALS.with(|c| c.get())
+    }
+
+    /// Zeroes this thread's counter.
+    pub fn reset() {
+        TRAVERSALS.with(|c| c.set(0));
+    }
+
+    /// Records one full traversal. Instrumentation hook for this workspace's
+    /// analysis producers; not intended for end users.
+    #[doc(hidden)]
+    pub fn record_traversal() {
+        TRAVERSALS.with(|c| c.set(c.get() + 1));
+    }
+}
+
+/// One-pass structural analysis of a matrix, shared by feature extraction,
+/// cache keying and conversion planning. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Rows of the analysed matrix.
+    pub nrows: usize,
+    /// Columns of the analysed matrix.
+    pub ncols: usize,
+    /// What the source matrix *reported* as its nnz. For DIA/HDC storage
+    /// this can exceed [`MatrixStats::nnz`]: explicit stored zeros count
+    /// toward the format's nnz but are elided from the structural
+    /// histograms (they are indistinguishable from padding). Used by
+    /// [`Analysis::matches`] so an artifact still recognises the matrix it
+    /// was computed from.
+    pub source_nnz: usize,
+    /// Structural non-zeros per row.
+    pub row_hist: Vec<u32>,
+    /// Structural non-zeros per diagonal, indexed `col + nrows - 1 - row`
+    /// (all `nrows + ncols - 1` diagonals; empty for degenerate shapes).
+    pub diag_pop: Vec<u32>,
+    /// Table-I statistics reduced from the histograms — bitwise equal to
+    /// [`crate::stats::stats_of`] on the same matrix.
+    pub stats: MatrixStats,
+    /// The matrix's [`DynamicMatrix::structure_hash`].
+    pub structure_hash: u64,
+}
+
+impl Analysis {
+    /// Analyses `m` serially in one fused pass.
+    pub fn of<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> Analysis {
+        Self::build(m, alpha, None, None)
+    }
+
+    /// Analyses `m` on `pool`, partitioning the histogram accumulation at
+    /// row boundaries and computing the structure hash on a dedicated
+    /// worker. Identical output to [`Analysis::of`].
+    pub fn of_parallel<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64, pool: &ThreadPool) -> Analysis {
+        Self::build(m, alpha, None, Some(pool))
+    }
+
+    /// Analyses `m`, choosing the process pool when the matrix is large
+    /// enough to amortise fork/join overhead.
+    pub fn of_auto<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> Analysis {
+        if m.nnz() >= PARALLEL_ANALYSIS_THRESHOLD {
+            Self::of_parallel(m, alpha, global_pool())
+        } else {
+            Self::of(m, alpha)
+        }
+    }
+
+    /// [`Analysis::of_auto`] reusing an already-computed
+    /// [`DynamicMatrix::structure_hash`] instead of re-hashing.
+    ///
+    /// The caller must pass the hash of **this** matrix in its **current**
+    /// format (debug builds verify it) — the Oracle uses this after keying
+    /// its decision cache, so a cache miss pays for the hash exactly once.
+    pub fn of_auto_with_hash<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64, hash: u64) -> Analysis {
+        debug_assert_eq!(hash, m.structure_hash_raw(), "precomputed hash disagrees with the matrix");
+        if m.nnz() >= PARALLEL_ANALYSIS_THRESHOLD {
+            Self::build(m, alpha, Some(hash), Some(global_pool()))
+        } else {
+            Self::build(m, alpha, Some(hash), None)
+        }
+    }
+
+    fn build<V: Scalar>(
+        m: &DynamicMatrix<V>,
+        alpha: f64,
+        hash: Option<u64>,
+        pool: Option<&ThreadPool>,
+    ) -> Analysis {
+        passes::record_traversal();
+        let (nrows, ncols) = (m.nrows(), m.ncols());
+        let slots = if nrows == 0 || ncols == 0 { 0 } else { nrows + ncols - 1 };
+        let mut row_hist = vec![0u32; nrows];
+        let mut diag_pop = vec![0u32; slots];
+
+        let hash = match pool {
+            Some(pool) if pool.num_threads() > 1 && m.nnz() > 0 => {
+                accumulate_parallel(m, &mut row_hist, &mut diag_pop, hash, pool)
+            }
+            _ => {
+                accumulate_hists(m, &mut row_hist, &mut diag_pop);
+                hash.unwrap_or_else(|| m.structure_hash_raw())
+            }
+        };
+
+        let stats = reduce_stats(nrows, ncols, &row_hist, &diag_pop, alpha);
+        Analysis { nrows, ncols, source_nnz: m.nnz(), row_hist, diag_pop, stats, structure_hash: hash }
+    }
+
+    /// `true` when the artifact plausibly describes `m` (shape and the
+    /// source-reported nnz match). A cheap guard for planning code handed a
+    /// caller-supplied analysis — it cannot prove the sparsity *pattern*
+    /// matches, which is why the conversion kernels additionally validate
+    /// plan-derived indices during their fill passes.
+    pub fn matches<V: Scalar>(&self, m: &DynamicMatrix<V>) -> bool {
+        self.nrows == m.nrows() && self.ncols == m.ncols() && self.source_nnz == m.nnz()
+    }
+
+    /// Structural non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.stats.nnz
+    }
+
+    /// ELL slab width the matrix needs (its maximum row occupancy).
+    pub fn ell_width(&self) -> usize {
+        self.stats.row_nnz_max
+    }
+
+    /// Offsets of every populated diagonal, ascending — the DIA planning
+    /// answer, read straight from the histogram.
+    pub fn dia_offsets(&self) -> Vec<isize> {
+        dia_offsets_from_pop(&self.diag_pop, self.nrows)
+    }
+
+    /// Storage-optimal HYB split width for entries of `value_bytes` each.
+    pub fn hyb_width(&self, value_bytes: usize) -> usize {
+        crate::hyb::optimal_hyb_width_u32(&self.row_hist, value_bytes)
+    }
+
+    /// Diagonal slots meeting `threshold` (the HDC "true diagonal" set),
+    /// ascending, plus the number of entries they hold.
+    pub fn true_diag_slots(&self, threshold: usize) -> (Vec<usize>, usize) {
+        true_diag_slots_from_pop(&self.diag_pop, threshold)
+    }
+}
+
+/// Populated-diagonal offsets (ascending) from a diagonal-population
+/// histogram. The single reduction both [`Analysis::dia_offsets`] and the
+/// converters' unplanned rescans go through, so the planned and unplanned
+/// DIA layouts cannot diverge.
+pub(crate) fn dia_offsets_from_pop(diag_pop: &[u32], nrows: usize) -> Vec<isize> {
+    let base = nrows as isize - 1;
+    diag_pop.iter().enumerate().filter(|(_, &p)| p > 0).map(|(slot, _)| slot as isize - base).collect()
+}
+
+/// True-diagonal slots (ascending) and the entries they hold, from a
+/// diagonal-population histogram — shared by [`Analysis::true_diag_slots`]
+/// and the converters' unplanned rescans.
+pub(crate) fn true_diag_slots_from_pop(diag_pop: &[u32], threshold: usize) -> (Vec<usize>, usize) {
+    let mut slots = Vec::new();
+    let mut entries = 0usize;
+    for (slot, &p) in diag_pop.iter().enumerate() {
+        if p as usize >= threshold {
+            slots.push(slot);
+            entries += p as usize;
+        }
+    }
+    (slots, entries)
+}
+
+/// Cap on per-worker partial diagonal histograms: total scratch stays under
+/// `PARTIAL_CAP_U32 * 4` bytes (64 MiB) regardless of matrix shape.
+const PARTIAL_CAP_U32: usize = 16 << 20;
+
+/// Parallel histogram accumulation for row-partitionable formats. Returns
+/// the structure hash (computed on worker 0 while the rest accumulate, or
+/// passed through). Falls back to the serial walk for formats whose layouts
+/// do not partition cheaply at row boundaries.
+fn accumulate_parallel<V: Scalar>(
+    m: &DynamicMatrix<V>,
+    row_hist: &mut [u32],
+    diag_pop: &mut [u32],
+    hash: Option<u64>,
+    pool: &ThreadPool,
+) -> u64 {
+    // Row-disjoint work chunks per format; `None` = no cheap partition.
+    let chunks: Option<Vec<std::ops::Range<usize>>> = match m {
+        DynamicMatrix::Coo(a) => Some(row_aligned_partition(a.row_indices(), pool.num_threads())),
+        DynamicMatrix::Csr(a) => Some(weighted_partition(&a.row_nnz_counts(), pool.num_threads())),
+        DynamicMatrix::Ell(a) => Some(static_partition(a.nrows(), pool.num_threads())),
+        _ => None,
+    };
+    let Some(chunks) = chunks else {
+        accumulate_hists(m, row_hist, diag_pop);
+        return hash.unwrap_or_else(|| m.structure_hash_raw());
+    };
+
+    let slots = diag_pop.len();
+    let n_partials = chunks.len().min((PARTIAL_CAP_U32 / slots.max(1)).max(1));
+    let partials: Vec<Mutex<Vec<u32>>> = (0..n_partials).map(|_| Mutex::new(vec![0u32; slots])).collect();
+    let shared_rows = SharedSlice::new(row_hist);
+    let hash_cell = AtomicU64::new(0);
+    let need_hash = hash.is_none();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    pool.run_on_all(&|w| {
+        if w == 0 && need_hash {
+            hash_cell.store(m.structure_hash_raw(), Ordering::SeqCst);
+        }
+        loop {
+            let p = next.fetch_add(1, Ordering::Relaxed);
+            if p >= chunks.len() {
+                break;
+            }
+            let chunk = chunks[p].clone();
+            // Workers may outnumber partials; lock striping keeps the
+            // scratch memory bounded while staying effectively uncontended.
+            let mut partial = partials[p % n_partials].lock().expect("partial lock");
+            // SAFETY: chunks are row-disjoint, so each row-histogram slot
+            // has exactly one writer.
+            unsafe {
+                match m {
+                    DynamicMatrix::Coo(a) => {
+                        let nrows = a.nrows();
+                        let (rows, cols) = (a.row_indices(), a.col_indices());
+                        for i in chunk {
+                            shared_rows.add(rows[i], 1);
+                            partial[cols[i] + nrows - 1 - rows[i]] += 1;
+                        }
+                    }
+                    DynamicMatrix::Csr(a) => {
+                        let nrows = a.nrows();
+                        for r in chunk {
+                            shared_rows.set(r, a.row_nnz(r) as u32);
+                            for &c in a.row_cols(r) {
+                                partial[c + nrows - 1 - r] += 1;
+                            }
+                        }
+                    }
+                    DynamicMatrix::Ell(a) => {
+                        let nrows = a.nrows();
+                        let cols = a.col_indices();
+                        for r in chunk {
+                            let mut n = 0u32;
+                            for k in 0..a.width() {
+                                let c = cols[k * nrows + r];
+                                if c == crate::ell::ELL_PAD {
+                                    break;
+                                }
+                                n += 1;
+                                partial[c + nrows - 1 - r] += 1;
+                            }
+                            shared_rows.set(r, n);
+                        }
+                    }
+                    _ => unreachable!("non-partitionable formats take the serial path"),
+                }
+            }
+        }
+    });
+
+    for partial in &partials {
+        let partial = partial.lock().expect("partial lock");
+        for (acc, &p) in diag_pop.iter_mut().zip(partial.iter()) {
+            *acc += p;
+        }
+    }
+    hash.unwrap_or_else(|| hash_cell.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConvertOptions;
+    use crate::format::ALL_FORMATS;
+    use crate::stats::stats_of;
+    use crate::test_util::random_coo;
+
+    #[test]
+    fn analysis_matches_stats_and_hash_for_every_format() {
+        let coo = random_coo::<f64>(60, 45, 700, 5);
+        let base = DynamicMatrix::from(coo);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+        for &fmt in &ALL_FORMATS {
+            let m = base.to_format(fmt, &opts).unwrap();
+            let a = Analysis::of(&m, 0.2);
+            assert_eq!(a.stats, stats_of(&m, 0.2), "stats for {fmt}");
+            assert_eq!(a.structure_hash, m.structure_hash(), "hash for {fmt}");
+            assert!(a.matches(&m));
+        }
+    }
+
+    #[test]
+    fn parallel_analysis_equals_serial() {
+        let pool = ThreadPool::new(4);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+        for seed in 0..3u64 {
+            let base = DynamicMatrix::from(random_coo::<f64>(300, 280, 5000, seed));
+            for &fmt in &ALL_FORMATS {
+                let m = base.to_format(fmt, &opts).unwrap();
+                let serial = Analysis::of(&m, 0.2);
+                let parallel = Analysis::of_parallel(&m, 0.2, &pool);
+                assert_eq!(serial, parallel, "{fmt} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn planning_helpers_read_the_histograms() {
+        // Tridiagonal 50x50.
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for i in 0..50usize {
+            for d in [-1isize, 0, 1] {
+                let j = i as isize + d;
+                if (0..50).contains(&j) {
+                    rows.push(i);
+                    cols.push(j as usize);
+                }
+            }
+        }
+        let vals = vec![1.0f64; rows.len()];
+        let m = DynamicMatrix::from(crate::CooMatrix::from_triplets(50, 50, &rows, &cols, &vals).unwrap());
+        let a = Analysis::of(&m, 0.2);
+        assert_eq!(a.ell_width(), 3);
+        assert_eq!(a.dia_offsets(), vec![-1, 0, 1]);
+        let (slots, entries) = a.true_diag_slots(10);
+        assert_eq!(slots.len(), 3);
+        assert_eq!(entries, m.nnz());
+        assert_eq!(a.hyb_width(8), 3);
+    }
+
+    #[test]
+    fn of_with_hash_skips_rehash_but_agrees() {
+        let m = DynamicMatrix::from(random_coo::<f64>(80, 80, 900, 2));
+        let hash = m.structure_hash();
+        let a = Analysis::of_auto_with_hash(&m, 0.2, hash);
+        assert_eq!(a, Analysis::of(&m, 0.2));
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        for (nr, nc) in [(0, 0), (5, 5), (0, 4), (4, 0)] {
+            let m = DynamicMatrix::from(crate::CooMatrix::<f64>::new(nr, nc));
+            let a = Analysis::of(&m, 0.2);
+            assert_eq!(a.nnz(), 0);
+            assert_eq!(a.stats, stats_of(&m, 0.2));
+            assert!(a.dia_offsets().is_empty());
+            assert_eq!(a.ell_width(), 0);
+        }
+    }
+
+    #[test]
+    fn matches_tolerates_dia_explicit_zero_elision() {
+        // (0,0) holds an explicit stored zero after duplicate summing; DIA
+        // keeps it in its nnz but the structural histograms elide it. The
+        // artifact must still recognise the matrix it was computed from.
+        let coo =
+            crate::CooMatrix::from_triplets(4, 4, &[0, 0, 1, 2], &[0, 0, 1, 2], &[2.0f64, -2.0, 3.0, 4.0])
+                .unwrap();
+        let m = DynamicMatrix::from(coo);
+        let opts = ConvertOptions::default();
+        for fmt in [crate::FormatId::Dia, crate::FormatId::Hdc] {
+            let conv = m.to_format(fmt, &opts).unwrap();
+            let a = Analysis::of(&conv, 0.2);
+            assert!(a.matches(&conv), "{fmt}: analysis must match its own matrix");
+            assert!(a.stats.nnz <= conv.nnz(), "{fmt}");
+            // And the tuning-path derivation must not panic on it.
+            let _ = conv.to_format_with(crate::FormatId::Csr, &opts, Some(&a)).unwrap();
+        }
+    }
+
+    #[test]
+    fn pass_counter_counts_analysis_construction_only_once() {
+        let m = DynamicMatrix::from(random_coo::<f64>(30, 30, 200, 7));
+        passes::reset();
+        let a = Analysis::of(&m, 0.2);
+        assert_eq!(passes::count(), 1);
+        // Reading the artifact is free.
+        let _ = (a.ell_width(), a.dia_offsets(), a.hyb_width(8), a.structure_hash);
+        assert_eq!(passes::count(), 1);
+        // Asking the matrix directly is not.
+        let _ = stats_of(&m, 0.2);
+        let _ = m.structure_hash();
+        assert_eq!(passes::count(), 3);
+    }
+}

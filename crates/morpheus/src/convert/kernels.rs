@@ -1,0 +1,860 @@
+//! Conversion kernels: direct, parallel, zero-intermediate.
+//!
+//! Every kernel here writes the target format's arrays straight from the
+//! source format's arrays — no intermediate COO triplet buffers, no sorting.
+//! Row-partitionable passes (row histograms, slab fills, diagonal scatter,
+//! row-major export) run on the process [`ThreadPool`] with nnz-weighted,
+//! row-disjoint partitions once a matrix is large enough to amortise
+//! fork/join overhead; below [`PARALLEL_CONVERT_THRESHOLD`] they run
+//! serially on the calling thread with identical results.
+//!
+//! Planning steps (ELL width, DIA offset discovery, HYB split width, HDC
+//! diagonal selection) read a caller-supplied [`Analysis`] when available
+//! and only rescan the source when none is supplied; the rescans are
+//! recorded on the [`crate::analysis::passes`] traversal counter.
+
+use crate::analysis::{passes, Analysis, PARALLEL_ANALYSIS_THRESHOLD};
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dia::DiaMatrix;
+use crate::ell::{EllMatrix, ELL_PAD};
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::hdc::{true_diag_threshold, HdcMatrix};
+use crate::hyb::{optimal_hyb_width_u32, HybMatrix, HybSplit};
+use crate::rowmajor::RowMajor;
+use crate::scalar::Scalar;
+use crate::Result;
+use std::borrow::Cow;
+
+use super::ConvertOptions;
+use morpheus_parallel::{global_pool, row_aligned_partition, weighted_partition, SharedSlice, ThreadPool};
+
+/// Conversions touching at least this many structural non-zeros run their
+/// row-partitionable passes on the process pool.
+pub const PARALLEL_CONVERT_THRESHOLD: usize = PARALLEL_ANALYSIS_THRESHOLD;
+
+/// The pool to run a conversion of `nnz` entries on, if any.
+fn pool_for(nnz: usize) -> Option<&'static ThreadPool> {
+    if nnz >= PARALLEL_CONVERT_THRESHOLD {
+        let pool = global_pool();
+        (pool.num_threads() > 1).then_some(pool)
+    } else {
+        None
+    }
+}
+
+/// Runs `body` once per part of `parts`, on the pool when given, serially
+/// otherwise. Parts must describe row-disjoint work.
+fn run_parts(
+    pool: Option<&ThreadPool>,
+    parts: &[std::ops::Range<usize>],
+    body: impl Fn(std::ops::Range<usize>) + Sync,
+) {
+    match pool {
+        Some(pool) => pool.parallel_over_parts(parts, |_p, r| body(r)),
+        None => {
+            for r in parts {
+                body(r.clone());
+            }
+        }
+    }
+}
+
+fn guard_padding(format: FormatId, padded: usize, nnz: usize, opts: &ConvertOptions) -> Result<()> {
+    let limit = opts.padded_allowance(nnz);
+    if padded > limit {
+        Err(MorpheusError::ExcessivePadding { format, padded, nnz, limit })
+    } else {
+        Ok(())
+    }
+}
+
+/// Exclusive prefix sum: returns a vector one longer than `counts` whose
+/// last element is the total.
+fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for &c in counts {
+        acc += c;
+        out.push(acc);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Planning scans (used only when no `Analysis` is supplied)
+// ---------------------------------------------------------------------------
+
+/// Row-occupancy histogram of a sorted COO matrix. Full index traversal.
+fn coo_row_lengths<V: Scalar>(coo: &CooMatrix<V>) -> Vec<u32> {
+    passes::record_traversal();
+    let mut lens = vec![0u32; coo.nrows()];
+    for &r in coo.row_indices() {
+        lens[r] += 1;
+    }
+    lens
+}
+
+/// Row-occupancy histogram of a CSR matrix — O(nrows) metadata read, not a
+/// traversal.
+fn csr_row_lengths<V: Scalar>(csr: &CsrMatrix<V>) -> Vec<u32> {
+    (0..csr.nrows()).map(|r| csr.row_nnz(r) as u32).collect()
+}
+
+/// Diagonal populations (`diag[col + nrows - 1 - row]`) from an entry walk.
+fn diag_population(nrows: usize, ncols: usize, entries: impl Iterator<Item = (usize, usize)>) -> Vec<u32> {
+    passes::record_traversal();
+    let mut pop = vec![0u32; nrows + ncols - 1];
+    for (r, c) in entries {
+        pop[c + nrows - 1 - r] += 1;
+    }
+    pop
+}
+
+fn coo_entry_indices<V: Scalar>(coo: &CooMatrix<V>) -> impl Iterator<Item = (usize, usize)> + '_ {
+    coo.row_indices().iter().copied().zip(coo.col_indices().iter().copied())
+}
+
+fn csr_entry_indices<V: Scalar>(csr: &CsrMatrix<V>) -> impl Iterator<Item = (usize, usize)> + '_ {
+    (0..csr.nrows()).flat_map(move |r| csr.row_cols(r).iter().map(move |&c| (r, c)))
+}
+
+/// Populated-diagonal offsets, ascending: from the plan when available,
+/// otherwise from an entry scan. Both branches reduce through
+/// [`crate::analysis::dia_offsets_from_pop`], so planned and unplanned
+/// layouts are identical by construction.
+fn plan_dia_offsets(
+    plan: Option<&Analysis>,
+    nrows: usize,
+    ncols: usize,
+    entries: impl Iterator<Item = (usize, usize)>,
+) -> Vec<isize> {
+    if let Some(a) = plan {
+        return a.dia_offsets();
+    }
+    crate::analysis::dia_offsets_from_pop(&diag_population(nrows, ncols, entries), nrows)
+}
+
+/// True-diagonal slots (ascending) and the number of entries they hold;
+/// same shared-reduction contract as [`plan_dia_offsets`].
+fn plan_true_diag_slots(
+    plan: Option<&Analysis>,
+    nrows: usize,
+    ncols: usize,
+    threshold: usize,
+    entries: impl Iterator<Item = (usize, usize)>,
+) -> (Vec<usize>, usize) {
+    if let Some(a) = plan {
+        return a.true_diag_slots(threshold);
+    }
+    crate::analysis::true_diag_slots_from_pop(&diag_population(nrows, ncols, entries), threshold)
+}
+
+/// Maps diagonal slot -> dense diagonal index (`usize::MAX` = not stored).
+fn slot_to_diag_map(slots_len: usize, stored: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut map = vec![usize::MAX; slots_len];
+    for (d, slot) in stored.enumerate() {
+        map[slot] = d;
+    }
+    map
+}
+
+// ---------------------------------------------------------------------------
+// COO <-> CSR (direct both ways; by-value variants reuse allocations)
+// ---------------------------------------------------------------------------
+
+/// COO → CSR. O(nnz); relies on COO's sorted invariant.
+pub fn coo_to_csr<V: Scalar>(coo: &CooMatrix<V>) -> CsrMatrix<V> {
+    let nrows = coo.nrows();
+    let mut offsets = vec![0usize; nrows + 1];
+    for &r in coo.row_indices() {
+        offsets[r + 1] += 1;
+    }
+    for i in 0..nrows {
+        offsets[i + 1] += offsets[i];
+    }
+    CsrMatrix::from_parts_unchecked(
+        nrows,
+        coo.ncols(),
+        offsets,
+        coo.col_indices().to_vec(),
+        coo.values().to_vec(),
+    )
+}
+
+/// CSR → COO. O(nnz).
+pub fn csr_to_coo<V: Scalar>(csr: &CsrMatrix<V>) -> CooMatrix<V> {
+    let mut rows = Vec::with_capacity(csr.nnz());
+    for r in 0..csr.nrows() {
+        rows.extend(std::iter::repeat_n(r, csr.row_nnz(r)));
+    }
+    CooMatrix::from_sorted_parts_unchecked(
+        csr.nrows(),
+        csr.ncols(),
+        rows,
+        csr.col_indices().to_vec(),
+        csr.values().to_vec(),
+    )
+}
+
+/// COO → CSR consuming the source: the column-index and value allocations
+/// move into the result untouched (both formats store them in the same
+/// order); only the row representation is rebuilt.
+pub fn coo_into_csr<V: Scalar>(coo: CooMatrix<V>) -> CsrMatrix<V> {
+    let (nrows, ncols, rows, cols, vals) = coo.into_parts();
+    let mut offsets = vec![0usize; nrows + 1];
+    for &r in &rows {
+        offsets[r + 1] += 1;
+    }
+    for i in 0..nrows {
+        offsets[i + 1] += offsets[i];
+    }
+    drop(rows);
+    CsrMatrix::from_parts_unchecked(nrows, ncols, offsets, cols, vals)
+}
+
+/// CSR → COO consuming the source: column indices and values are moved, the
+/// offsets array is expanded into explicit row indices.
+pub fn csr_into_coo<V: Scalar>(csr: CsrMatrix<V>) -> CooMatrix<V> {
+    let (nrows, ncols, offsets, cols, vals) = csr.into_parts();
+    let mut rows = Vec::with_capacity(cols.len());
+    for r in 0..nrows {
+        rows.extend(std::iter::repeat_n(r, offsets[r + 1] - offsets[r]));
+    }
+    CooMatrix::from_sorted_parts_unchecked(nrows, ncols, rows, cols, vals)
+}
+
+// ---------------------------------------------------------------------------
+// {COO, CSR} -> ELL
+// ---------------------------------------------------------------------------
+
+/// COO → ELL. Fails if padding would exceed the configured fill limit.
+pub fn coo_to_ell<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<EllMatrix<V>> {
+    coo_to_ell_planned(coo, opts, None)
+}
+
+pub(crate) fn coo_to_ell_planned<V: Scalar>(
+    coo: &CooMatrix<V>,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<EllMatrix<V>> {
+    let (nrows, ncols, nnz) = (coo.nrows(), coo.ncols(), coo.nnz());
+    if nrows == 0 || nnz == 0 {
+        return Ok(EllMatrix::new(nrows, ncols));
+    }
+    let width = match plan {
+        Some(a) => a.ell_width(),
+        None => {
+            // Longest run in the sorted row array is the widest row.
+            passes::record_traversal();
+            let rows = coo.row_indices();
+            let mut max = 0usize;
+            let mut run = 0usize;
+            for i in 0..nnz {
+                run = if i > 0 && rows[i] == rows[i - 1] { run + 1 } else { 1 };
+                max = max.max(run);
+            }
+            max
+        }
+    };
+    guard_padding(FormatId::Ell, width * nrows, nnz, opts)?;
+    let mut cols = vec![ELL_PAD; width * nrows];
+    let mut vals = vec![V::ZERO; width * nrows];
+    {
+        let (src_rows, src_cols, src_vals) = (coo.row_indices(), coo.col_indices(), coo.values());
+        let pool = pool_for(nnz);
+        let parts = row_aligned_partition(src_rows, pool.map_or(1, ThreadPool::num_threads));
+        let (out_cols, out_vals) = (SharedSlice::new(&mut cols), SharedSlice::new(&mut vals));
+        run_parts(pool, &parts, |entries| {
+            let mut prev = usize::MAX;
+            let mut k = 0usize;
+            for i in entries {
+                let r = src_rows[i];
+                k = if r == prev { k + 1 } else { 0 };
+                prev = r;
+                // SAFETY: parts are row-disjoint; slot (k, r) is written once.
+                unsafe {
+                    out_cols.set(k * nrows + r, src_cols[i]);
+                    out_vals.set(k * nrows + r, src_vals[i]);
+                }
+            }
+        });
+    }
+    Ok(EllMatrix::from_parts_unchecked(nrows, ncols, width, cols, vals, nnz))
+}
+
+/// CSR → ELL, writing the slabs straight from the CSR rows.
+pub fn csr_to_ell<V: Scalar>(csr: &CsrMatrix<V>, opts: &ConvertOptions) -> Result<EllMatrix<V>> {
+    csr_to_ell_planned(csr, opts, None)
+}
+
+pub(crate) fn csr_to_ell_planned<V: Scalar>(
+    csr: &CsrMatrix<V>,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<EllMatrix<V>> {
+    let (nrows, ncols, nnz) = (csr.nrows(), csr.ncols(), csr.nnz());
+    if nrows == 0 || nnz == 0 {
+        return Ok(EllMatrix::new(nrows, ncols));
+    }
+    let width = match plan {
+        Some(a) => a.ell_width(),
+        // Offsets are metadata: O(nrows), no entry traversal.
+        None => (0..nrows).map(|r| csr.row_nnz(r)).max().unwrap_or(0),
+    };
+    guard_padding(FormatId::Ell, width * nrows, nnz, opts)?;
+    let mut cols = vec![ELL_PAD; width * nrows];
+    let mut vals = vec![V::ZERO; width * nrows];
+    {
+        let pool = pool_for(nnz);
+        let parts = csr_row_parts(csr, pool);
+        let (out_cols, out_vals) = (SharedSlice::new(&mut cols), SharedSlice::new(&mut vals));
+        run_parts(pool, &parts, |rows| {
+            for r in rows {
+                for (k, (&c, &v)) in csr.row_cols(r).iter().zip(csr.row_vals(r)).enumerate() {
+                    // SAFETY: row-disjoint parts; slot (k, r) written once.
+                    unsafe {
+                        out_cols.set(k * nrows + r, c);
+                        out_vals.set(k * nrows + r, v);
+                    }
+                }
+            }
+        });
+    }
+    Ok(EllMatrix::from_parts_unchecked(nrows, ncols, width, cols, vals, nnz))
+}
+
+/// nnz-weighted row partition of a CSR matrix for the available pool.
+fn csr_row_parts<V: Scalar>(csr: &CsrMatrix<V>, pool: Option<&ThreadPool>) -> Vec<std::ops::Range<usize>> {
+    match pool {
+        Some(pool) => weighted_partition(&csr.row_nnz_counts(), pool.num_threads()),
+        None => std::iter::once(0..csr.nrows()).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// {COO, CSR} -> DIA
+// ---------------------------------------------------------------------------
+
+/// COO → DIA. Fails if padding would exceed the configured fill limit.
+pub fn coo_to_dia<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<DiaMatrix<V>> {
+    coo_to_dia_planned(coo, opts, None)
+}
+
+pub(crate) fn coo_to_dia_planned<V: Scalar>(
+    coo: &CooMatrix<V>,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<DiaMatrix<V>> {
+    let (nrows, ncols, nnz) = (coo.nrows(), coo.ncols(), coo.nnz());
+    if nrows == 0 || ncols == 0 || nnz == 0 {
+        return Ok(DiaMatrix::new(nrows, ncols));
+    }
+    let offsets = plan_dia_offsets(plan, nrows, ncols, coo_entry_indices(coo));
+    guard_padding(FormatId::Dia, offsets.len() * nrows, nnz, opts)?;
+    let base = nrows as isize - 1;
+    let slot_to_diag = slot_to_diag_map(nrows + ncols - 1, offsets.iter().map(|&off| (off + base) as usize));
+    let mut values = vec![V::ZERO; offsets.len() * nrows];
+    {
+        let (src_rows, src_cols, src_vals) = (coo.row_indices(), coo.col_indices(), coo.values());
+        let pool = pool_for(nnz);
+        let parts = row_aligned_partition(src_rows, pool.map_or(1, ThreadPool::num_threads));
+        let out = SharedSlice::new(&mut values);
+        run_parts(pool, &parts, |entries| {
+            for i in entries {
+                let (r, c) = (src_rows[i], src_cols[i]);
+                let d = slot_to_diag[c + nrows - 1 - r];
+                assert_ne!(d, usize::MAX, "DIA plan omits a populated diagonal: stale analysis?");
+                // SAFETY: rows are disjoint across parts and each (r, c) is
+                // unique, so each diagonal slot has one writer.
+                unsafe { out.set(d * nrows + r, src_vals[i]) };
+            }
+        });
+    }
+    Ok(DiaMatrix::from_parts_unchecked(nrows, ncols, offsets, values, nnz))
+}
+
+/// CSR → DIA, scattering rows straight into the diagonal slabs.
+pub fn csr_to_dia<V: Scalar>(csr: &CsrMatrix<V>, opts: &ConvertOptions) -> Result<DiaMatrix<V>> {
+    csr_to_dia_planned(csr, opts, None)
+}
+
+pub(crate) fn csr_to_dia_planned<V: Scalar>(
+    csr: &CsrMatrix<V>,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<DiaMatrix<V>> {
+    let (nrows, ncols, nnz) = (csr.nrows(), csr.ncols(), csr.nnz());
+    if nrows == 0 || ncols == 0 || nnz == 0 {
+        return Ok(DiaMatrix::new(nrows, ncols));
+    }
+    let offsets = plan_dia_offsets(plan, nrows, ncols, csr_entry_indices(csr));
+    guard_padding(FormatId::Dia, offsets.len() * nrows, nnz, opts)?;
+    let base = nrows as isize - 1;
+    let slot_to_diag = slot_to_diag_map(nrows + ncols - 1, offsets.iter().map(|&off| (off + base) as usize));
+    let mut values = vec![V::ZERO; offsets.len() * nrows];
+    {
+        let pool = pool_for(nnz);
+        let parts = csr_row_parts(csr, pool);
+        let out = SharedSlice::new(&mut values);
+        run_parts(pool, &parts, |rows| {
+            for r in rows {
+                for (&c, &v) in csr.row_cols(r).iter().zip(csr.row_vals(r)) {
+                    let d = slot_to_diag[c + nrows - 1 - r];
+                    assert_ne!(d, usize::MAX, "DIA plan omits a populated diagonal: stale analysis?");
+                    // SAFETY: row-disjoint parts, unique coordinates.
+                    unsafe { out.set(d * nrows + r, v) };
+                }
+            }
+        });
+    }
+    Ok(DiaMatrix::from_parts_unchecked(nrows, ncols, offsets, values, nnz))
+}
+
+// ---------------------------------------------------------------------------
+// {COO, CSR} -> HYB
+// ---------------------------------------------------------------------------
+
+fn plan_hyb_width<V: Scalar>(
+    opts: &ConvertOptions,
+    row_lens: &[u32],
+    nrows: usize,
+    nnz: usize,
+) -> Result<usize> {
+    match opts.hyb_split {
+        HybSplit::Auto => Ok(optimal_hyb_width_u32(row_lens, std::mem::size_of::<V>())),
+        HybSplit::Width(w) => {
+            guard_padding(FormatId::Hyb, w * nrows, nnz, opts)?;
+            Ok(w)
+        }
+    }
+}
+
+/// COO → HYB under the given split policy. The ELL portion never exceeds the
+/// fill limit by construction when the policy is [`HybSplit::Auto`]; a fixed
+/// width is still guarded.
+pub fn coo_to_hyb<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<HybMatrix<V>> {
+    coo_to_hyb_planned(coo, opts, None)
+}
+
+pub(crate) fn coo_to_hyb_planned<V: Scalar>(
+    coo: &CooMatrix<V>,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<HybMatrix<V>> {
+    let (nrows, ncols, nnz) = (coo.nrows(), coo.ncols(), coo.nnz());
+    let row_lens: Cow<'_, [u32]> = match plan {
+        Some(a) => Cow::Borrowed(&a.row_hist),
+        None => Cow::Owned(coo_row_lengths(coo)),
+    };
+    let k = plan_hyb_width::<V>(opts, &row_lens, nrows, nnz)?;
+    let spill_counts: Vec<usize> = row_lens.iter().map(|&l| (l as usize).saturating_sub(k)).collect();
+    let spill_starts = prefix_sum(&spill_counts);
+    let spill_total = *spill_starts.last().unwrap_or(&0);
+
+    let mut ell_cols = vec![ELL_PAD; k * nrows];
+    let mut ell_vals = vec![V::ZERO; k * nrows];
+    let mut sp_rows = vec![0usize; spill_total];
+    let mut sp_cols = vec![0usize; spill_total];
+    let mut sp_vals = vec![V::ZERO; spill_total];
+    {
+        let (src_rows, src_cols, src_vals) = (coo.row_indices(), coo.col_indices(), coo.values());
+        let pool = pool_for(nnz);
+        let parts = row_aligned_partition(src_rows, pool.map_or(1, ThreadPool::num_threads));
+        let oc = SharedSlice::new(&mut ell_cols);
+        let ov = SharedSlice::new(&mut ell_vals);
+        let (or2, oc2, ov2) =
+            (SharedSlice::new(&mut sp_rows), SharedSlice::new(&mut sp_cols), SharedSlice::new(&mut sp_vals));
+        run_parts(pool, &parts, |entries| {
+            let mut prev = usize::MAX;
+            let mut pos = 0usize;
+            for i in entries {
+                let r = src_rows[i];
+                pos = if r == prev { pos + 1 } else { 0 };
+                prev = r;
+                // SAFETY: row-disjoint parts; every target slot is derived
+                // from (row, position-in-row), hence written exactly once —
+                // the spill-segment assert keeps a stale plan's row
+                // histogram from pushing writes into a neighbouring row's
+                // (and thus possibly another worker's) segment.
+                unsafe {
+                    if pos < k {
+                        oc.set(pos * nrows + r, src_cols[i]);
+                        ov.set(pos * nrows + r, src_vals[i]);
+                    } else {
+                        let s = spill_starts[r] + (pos - k);
+                        assert!(s < spill_starts[r + 1], "HYB plan understates row {r}: stale analysis?");
+                        or2.set(s, r);
+                        oc2.set(s, src_cols[i]);
+                        ov2.set(s, src_vals[i]);
+                    }
+                }
+            }
+        });
+    }
+    let ell_nnz = nnz - spill_total;
+    let ell = EllMatrix::from_parts_unchecked(nrows, ncols, k, ell_cols, ell_vals, ell_nnz);
+    let spill = CooMatrix::from_sorted_parts_unchecked(nrows, ncols, sp_rows, sp_cols, sp_vals);
+    HybMatrix::from_parts(ell, spill)
+}
+
+/// CSR → HYB, splitting each row straight into the ELL slab and the COO
+/// spill arrays.
+pub fn csr_to_hyb<V: Scalar>(csr: &CsrMatrix<V>, opts: &ConvertOptions) -> Result<HybMatrix<V>> {
+    csr_to_hyb_planned(csr, opts, None)
+}
+
+pub(crate) fn csr_to_hyb_planned<V: Scalar>(
+    csr: &CsrMatrix<V>,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<HybMatrix<V>> {
+    let (nrows, ncols, nnz) = (csr.nrows(), csr.ncols(), csr.nnz());
+    let row_lens: Cow<'_, [u32]> = match plan {
+        Some(a) => Cow::Borrowed(&a.row_hist),
+        None => Cow::Owned(csr_row_lengths(csr)),
+    };
+    let k = plan_hyb_width::<V>(opts, &row_lens, nrows, nnz)?;
+    let spill_counts: Vec<usize> = row_lens.iter().map(|&l| (l as usize).saturating_sub(k)).collect();
+    let spill_starts = prefix_sum(&spill_counts);
+    let spill_total = *spill_starts.last().unwrap_or(&0);
+
+    let mut ell_cols = vec![ELL_PAD; k * nrows];
+    let mut ell_vals = vec![V::ZERO; k * nrows];
+    let mut sp_rows = vec![0usize; spill_total];
+    let mut sp_cols = vec![0usize; spill_total];
+    let mut sp_vals = vec![V::ZERO; spill_total];
+    {
+        let pool = pool_for(nnz);
+        let parts = csr_row_parts(csr, pool);
+        let oc = SharedSlice::new(&mut ell_cols);
+        let ov = SharedSlice::new(&mut ell_vals);
+        let (or2, oc2, ov2) =
+            (SharedSlice::new(&mut sp_rows), SharedSlice::new(&mut sp_cols), SharedSlice::new(&mut sp_vals));
+        run_parts(pool, &parts, |rows| {
+            for r in rows {
+                for (pos, (&c, &v)) in csr.row_cols(r).iter().zip(csr.row_vals(r)).enumerate() {
+                    // SAFETY: row-disjoint parts; slots keyed by (row, pos);
+                    // the spill-segment assert rejects a stale plan before
+                    // it can push writes into another row's segment.
+                    unsafe {
+                        if pos < k {
+                            oc.set(pos * nrows + r, c);
+                            ov.set(pos * nrows + r, v);
+                        } else {
+                            let s = spill_starts[r] + (pos - k);
+                            assert!(s < spill_starts[r + 1], "HYB plan understates row {r}: stale analysis?");
+                            or2.set(s, r);
+                            oc2.set(s, c);
+                            ov2.set(s, v);
+                        }
+                    }
+                }
+            }
+        });
+    }
+    let ell_nnz = nnz - spill_total;
+    let ell = EllMatrix::from_parts_unchecked(nrows, ncols, k, ell_cols, ell_vals, ell_nnz);
+    let spill = CooMatrix::from_sorted_parts_unchecked(nrows, ncols, sp_rows, sp_cols, sp_vals);
+    HybMatrix::from_parts(ell, spill)
+}
+
+// ---------------------------------------------------------------------------
+// {COO, CSR} -> HDC
+// ---------------------------------------------------------------------------
+
+/// COO → HDC: true diagonals (population ≥ `alpha * min(M, N)`) go to DIA,
+/// the remainder to CSR.
+pub fn coo_to_hdc<V: Scalar>(coo: &CooMatrix<V>, opts: &ConvertOptions) -> Result<HdcMatrix<V>> {
+    coo_to_hdc_planned(coo, opts, None)
+}
+
+pub(crate) fn coo_to_hdc_planned<V: Scalar>(
+    coo: &CooMatrix<V>,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<HdcMatrix<V>> {
+    let (nrows, ncols, nnz) = (coo.nrows(), coo.ncols(), coo.nnz());
+    if nrows == 0 || ncols == 0 || nnz == 0 {
+        return HdcMatrix::from_parts(
+            DiaMatrix::new(nrows, ncols),
+            CsrMatrix::new(nrows, ncols),
+            opts.true_diag_alpha,
+        );
+    }
+    let threshold = true_diag_threshold(nrows, ncols, opts.true_diag_alpha);
+    let (true_slots, dia_nnz) = plan_true_diag_slots(plan, nrows, ncols, threshold, coo_entry_indices(coo));
+    guard_padding(FormatId::Hdc, true_slots.len() * nrows, nnz, opts)?;
+    let base = nrows as isize - 1;
+    let slot_to_diag = slot_to_diag_map(nrows + ncols - 1, true_slots.iter().copied());
+    let offsets: Vec<isize> = true_slots.iter().map(|&s| s as isize - base).collect();
+
+    let (src_rows, src_cols, src_vals) = (coo.row_indices(), coo.col_indices(), coo.values());
+    let pool = pool_for(nnz);
+    let parts = row_aligned_partition(src_rows, pool.map_or(1, ThreadPool::num_threads));
+
+    // Pass 1: per-row CSR-remainder counts (index-only).
+    let mut rem_counts = vec![0usize; nrows];
+    {
+        let counts = SharedSlice::new(&mut rem_counts);
+        run_parts(pool, &parts, |entries| {
+            for i in entries {
+                let (r, c) = (src_rows[i], src_cols[i]);
+                if slot_to_diag[c + nrows - 1 - r] == usize::MAX {
+                    // SAFETY: row-disjoint parts.
+                    unsafe { counts.add(r, 1) };
+                }
+            }
+        });
+    }
+    let csr_offsets = prefix_sum(&rem_counts);
+    let csr_nnz = *csr_offsets.last().expect("prefix sum is non-empty");
+    debug_assert_eq!(csr_nnz, nnz - dia_nnz);
+
+    // Pass 2: scatter diagonals, pack the remainder.
+    let mut dia_vals = vec![V::ZERO; offsets.len() * nrows];
+    let mut csr_cols = vec![0usize; csr_nnz];
+    let mut csr_vals = vec![V::ZERO; csr_nnz];
+    {
+        let od = SharedSlice::new(&mut dia_vals);
+        let (oc, ov) = (SharedSlice::new(&mut csr_cols), SharedSlice::new(&mut csr_vals));
+        run_parts(pool, &parts, |entries| {
+            let mut prev = usize::MAX;
+            let mut cursor = 0usize;
+            for i in entries {
+                let (r, c) = (src_rows[i], src_cols[i]);
+                if r != prev {
+                    cursor = csr_offsets[r];
+                    prev = r;
+                }
+                let d = slot_to_diag[c + nrows - 1 - r];
+                // SAFETY: row-disjoint parts; unique coordinates.
+                unsafe {
+                    if d != usize::MAX {
+                        od.set(d * nrows + r, src_vals[i]);
+                    } else {
+                        oc.set(cursor, c);
+                        ov.set(cursor, src_vals[i]);
+                        cursor += 1;
+                    }
+                }
+            }
+        });
+    }
+    let dia = DiaMatrix::from_parts_unchecked(nrows, ncols, offsets, dia_vals, dia_nnz);
+    let csr = CsrMatrix::from_parts_unchecked(nrows, ncols, csr_offsets, csr_cols, csr_vals);
+    HdcMatrix::from_parts(dia, csr, opts.true_diag_alpha)
+}
+
+/// CSR → HDC, splitting rows straight into the DIA slab and the CSR
+/// remainder.
+pub fn csr_to_hdc<V: Scalar>(csr: &CsrMatrix<V>, opts: &ConvertOptions) -> Result<HdcMatrix<V>> {
+    csr_to_hdc_planned(csr, opts, None)
+}
+
+pub(crate) fn csr_to_hdc_planned<V: Scalar>(
+    csr: &CsrMatrix<V>,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<HdcMatrix<V>> {
+    let (nrows, ncols, nnz) = (csr.nrows(), csr.ncols(), csr.nnz());
+    if nrows == 0 || ncols == 0 || nnz == 0 {
+        return HdcMatrix::from_parts(
+            DiaMatrix::new(nrows, ncols),
+            CsrMatrix::new(nrows, ncols),
+            opts.true_diag_alpha,
+        );
+    }
+    let threshold = true_diag_threshold(nrows, ncols, opts.true_diag_alpha);
+    let (true_slots, dia_nnz) = plan_true_diag_slots(plan, nrows, ncols, threshold, csr_entry_indices(csr));
+    guard_padding(FormatId::Hdc, true_slots.len() * nrows, nnz, opts)?;
+    let base = nrows as isize - 1;
+    let slot_to_diag = slot_to_diag_map(nrows + ncols - 1, true_slots.iter().copied());
+    let offsets: Vec<isize> = true_slots.iter().map(|&s| s as isize - base).collect();
+
+    let pool = pool_for(nnz);
+    let parts = csr_row_parts(csr, pool);
+
+    let mut rem_counts = vec![0usize; nrows];
+    {
+        let counts = SharedSlice::new(&mut rem_counts);
+        run_parts(pool, &parts, |rows| {
+            for r in rows {
+                let n = csr
+                    .row_cols(r)
+                    .iter()
+                    .filter(|&&c| slot_to_diag[c + nrows - 1 - r] == usize::MAX)
+                    .count();
+                // SAFETY: row-disjoint parts.
+                unsafe { counts.set(r, n) };
+            }
+        });
+    }
+    let csr_offsets = prefix_sum(&rem_counts);
+    let csr_nnz = *csr_offsets.last().expect("prefix sum is non-empty");
+    debug_assert_eq!(csr_nnz, nnz - dia_nnz);
+
+    let mut dia_vals = vec![V::ZERO; offsets.len() * nrows];
+    let mut csr_cols = vec![0usize; csr_nnz];
+    let mut csr_vals = vec![V::ZERO; csr_nnz];
+    {
+        let od = SharedSlice::new(&mut dia_vals);
+        let (oc, ov) = (SharedSlice::new(&mut csr_cols), SharedSlice::new(&mut csr_vals));
+        run_parts(pool, &parts, |rows| {
+            for r in rows {
+                let mut cursor = csr_offsets[r];
+                for (&c, &v) in csr.row_cols(r).iter().zip(csr.row_vals(r)) {
+                    let d = slot_to_diag[c + nrows - 1 - r];
+                    // SAFETY: row-disjoint parts; unique coordinates.
+                    unsafe {
+                        if d != usize::MAX {
+                            od.set(d * nrows + r, v);
+                        } else {
+                            oc.set(cursor, c);
+                            ov.set(cursor, v);
+                            cursor += 1;
+                        }
+                    }
+                }
+            }
+        });
+    }
+    let dia = DiaMatrix::from_parts_unchecked(nrows, ncols, offsets, dia_vals, dia_nnz);
+    let rem = CsrMatrix::from_parts_unchecked(nrows, ncols, csr_offsets, csr_cols, csr_vals);
+    HdcMatrix::from_parts(dia, rem, opts.true_diag_alpha)
+}
+
+// ---------------------------------------------------------------------------
+// {ELL, DIA, HYB, HDC} -> {CSR, COO}: row-major export
+// ---------------------------------------------------------------------------
+
+/// Exports any [`RowMajor`] source straight into CSR arrays: one parallel
+/// per-row count pass, a prefix sum, one parallel fill pass. No triplet
+/// buffers, no sort (sources emit rows in ascending column order).
+pub(crate) fn export_to_csr<V: Scalar, S: RowMajor<V>>(
+    src: &S,
+    ncols: usize,
+    nnz_hint: usize,
+) -> CsrMatrix<V> {
+    let (offsets, cols, vals, _rows) = export_row_major(src, nnz_hint, false);
+    CsrMatrix::from_parts_unchecked(src.nrows(), ncols, offsets, cols, vals)
+}
+
+/// Exports any [`RowMajor`] source straight into sorted COO arrays.
+pub(crate) fn export_to_coo<V: Scalar, S: RowMajor<V>>(
+    src: &S,
+    ncols: usize,
+    nnz_hint: usize,
+) -> CooMatrix<V> {
+    let (_offsets, cols, vals, rows) = export_row_major(src, nnz_hint, true);
+    CooMatrix::from_sorted_parts_unchecked(src.nrows(), ncols, rows, cols, vals)
+}
+
+fn export_row_major<V: Scalar, S: RowMajor<V>>(
+    src: &S,
+    nnz_hint: usize,
+    want_rows: bool,
+) -> (Vec<usize>, Vec<usize>, Vec<V>, Vec<usize>) {
+    let nrows = src.nrows();
+    let pool = pool_for(nnz_hint);
+    let count_parts = match pool {
+        Some(pool) => morpheus_parallel::static_partition(nrows, pool.num_threads()),
+        None => {
+            if nrows == 0 {
+                Vec::new()
+            } else {
+                std::iter::once(0..nrows).collect()
+            }
+        }
+    };
+    let mut counts = vec![0usize; nrows];
+    {
+        let out = SharedSlice::new(&mut counts);
+        run_parts(pool, &count_parts, |rows| {
+            for r in rows {
+                // SAFETY: row ranges are disjoint.
+                unsafe { out.set(r, src.row_count(r)) };
+            }
+        });
+    }
+    let offsets = prefix_sum(&counts);
+    let nnz = *offsets.last().unwrap_or(&0);
+
+    let mut cols = vec![0usize; nnz];
+    let mut vals = vec![V::ZERO; nnz];
+    let mut rows_out = vec![0usize; if want_rows { nnz } else { 0 }];
+    {
+        let fill_parts = match pool {
+            Some(pool) => weighted_partition(&counts, pool.num_threads()),
+            None => count_parts,
+        };
+        let oc = SharedSlice::new(&mut cols);
+        let ov = SharedSlice::new(&mut vals);
+        let orr = SharedSlice::new(&mut rows_out);
+        run_parts(pool, &fill_parts, |rows| {
+            for r in rows {
+                let mut cursor = offsets[r];
+                src.emit_row(r, &mut |c, v| {
+                    // SAFETY: row-disjoint parts; `cursor` walks this row's
+                    // private output segment.
+                    unsafe {
+                        oc.set(cursor, c);
+                        ov.set(cursor, v);
+                        if want_rows {
+                            orr.set(cursor, r);
+                        }
+                    }
+                    cursor += 1;
+                });
+                debug_assert_eq!(cursor, offsets[r + 1], "row_count / emit_row disagreement in row {r}");
+            }
+        });
+    }
+    (offsets, cols, vals, rows_out)
+}
+
+/// ELL → CSR, reading the slabs row-major.
+pub fn ell_to_csr<V: Scalar>(ell: &EllMatrix<V>) -> CsrMatrix<V> {
+    export_to_csr(ell, ell.ncols(), ell.nnz())
+}
+
+/// DIA → CSR. Padding slots and explicit zeros are elided (they are
+/// indistinguishable in DIA storage).
+pub fn dia_to_csr<V: Scalar>(dia: &DiaMatrix<V>) -> CsrMatrix<V> {
+    export_to_csr(dia, dia.ncols(), dia.nnz())
+}
+
+/// HYB → CSR, merging the two portions row by row.
+pub fn hyb_to_csr<V: Scalar>(hyb: &HybMatrix<V>) -> CsrMatrix<V> {
+    export_to_csr(hyb, hyb.ncols(), hyb.nnz())
+}
+
+/// HDC → CSR, merging the two portions row by row.
+pub fn hdc_to_csr<V: Scalar>(hdc: &HdcMatrix<V>) -> CsrMatrix<V> {
+    export_to_csr(hdc, hdc.ncols(), hdc.nnz())
+}
+
+/// ELL → COO. Padding slots are elided; explicit zeros survive (ELL tracks
+/// padding via the sentinel, not the value).
+pub fn ell_to_coo<V: Scalar>(ell: &EllMatrix<V>) -> CooMatrix<V> {
+    export_to_coo(ell, ell.ncols(), ell.nnz())
+}
+
+/// DIA → COO. Padding slots and explicit zeros are elided (they are
+/// indistinguishable in DIA storage).
+pub fn dia_to_coo<V: Scalar>(dia: &DiaMatrix<V>) -> CooMatrix<V> {
+    export_to_coo(dia, dia.ncols(), dia.nnz())
+}
+
+/// HYB → COO, merging the two portions.
+pub fn hyb_to_coo<V: Scalar>(hyb: &HybMatrix<V>) -> CooMatrix<V> {
+    export_to_coo(hyb, hyb.ncols(), hyb.nnz())
+}
+
+/// HDC → COO, merging the two portions. Explicit zeros stored in the DIA
+/// portion are elided (same caveat as [`dia_to_coo`]).
+pub fn hdc_to_coo<V: Scalar>(hdc: &HdcMatrix<V>) -> CooMatrix<V> {
+    export_to_coo(hdc, hdc.ncols(), hdc.nnz())
+}

@@ -1,0 +1,517 @@
+//! Conversions between all pairs of storage formats: direct-vs-hub
+//! dispatch, parallel kernels, and the shared-analysis planning contract.
+//!
+//! # Direct vs hub
+//!
+//! Historically every pair converted through a materialised COO
+//! intermediate. That round-trip sits on the tuning hot path — the paper's
+//! Oracle only pays off once "the cost of conversion is amortized after a
+//! number of SpMV iterations" (§VII) — so it is now the *fallback*, not the
+//! rule. The dispatcher ([`crate::DynamicMatrix::to_format_with`]) picks:
+//!
+//! * **Identity** — source and target formats coincide: a clone (or a move,
+//!   for [`crate::DynamicMatrix::into_format`]).
+//! * **Direct** — whenever the source or the target is COO or CSR, a
+//!   dedicated kernel in [`kernels`] writes the target arrays straight from
+//!   the source arrays: CSR↔{COO, ELL, DIA, HYB, HDC} and
+//!   COO↔{CSR, ELL, DIA, HYB, HDC}. No intermediate triplet buffers are
+//!   allocated and nothing is sorted (sources are exported row-major in
+//!   ascending column order). Row-partitionable passes — row histograms,
+//!   slab fills, diagonal scatter, row-major export — run in parallel on
+//!   the process pool with nnz-weighted, row-disjoint partitions once the
+//!   matrix exceeds [`kernels::PARALLEL_CONVERT_THRESHOLD`] entries.
+//! * **Hub** — conversions between two padded formats
+//!   ({ELL, DIA, HYB, HDC} × {ELL, DIA, HYB, HDC}) export to COO first and
+//!   rebuild from there. Both legs are themselves direct kernels, but the
+//!   intermediate is materialised; these pairs are rare on the tuning path
+//!   (the Oracle almost always switches from an ingestion format).
+//!
+//! Which path ran, and how long it took on the wall clock, is reported in
+//! [`ConvertOutcome`] and surfaced by the Oracle in its `TuneReport`.
+//!
+//! # The `Analysis` reuse contract
+//!
+//! Every conversion *into* a padded format starts with a planning question:
+//! the ELL slab width, DIA's populated-diagonal set, HYB's split width,
+//! HDC's true-diagonal selection. All four answers derive from the two
+//! histograms a [`crate::analysis::Analysis`] already holds, so planning
+//! accepts an optional `&Analysis` (threaded through
+//! [`crate::DynamicMatrix::to_format_with`]):
+//!
+//! * with a supplied analysis, planning reads the histograms and performs
+//!   **zero** additional full traversals of the matrix (asserted by the
+//!   [`crate::analysis::passes`] counter in the test suite);
+//! * without one, the kernel rescans the source (recording the traversal on
+//!   the counter).
+//!
+//! The caller must pass an analysis *of the matrix being converted* (any
+//! active format with the same sparsity pattern is fine — the histograms
+//! are format-independent). A mismatched artifact (wrong shape or nnz) is
+//! ignored rather than trusted.
+//!
+//! # Padding guards
+//!
+//! DIA and ELL "can suffer from excessive padding" (§II-B); conversions
+//! into them are guarded by [`ConvertOptions::max_fill`] and fail with
+//! [`MorpheusError::ExcessivePadding`] *before* allocating the padded
+//! arrays — the behaviour the profiling harness relies on to mark a format
+//! non-viable for a matrix. Guards are applied identically on direct and
+//! hub paths.
+
+pub mod kernels;
+
+pub use kernels::{
+    coo_to_csr, coo_to_dia, coo_to_ell, coo_to_hdc, coo_to_hyb, csr_to_coo, csr_to_dia, csr_to_ell,
+    csr_to_hdc, csr_to_hyb, dia_to_coo, dia_to_csr, ell_to_coo, ell_to_csr, hdc_to_coo, hdc_to_csr,
+    hyb_to_coo, hyb_to_csr,
+};
+
+use crate::analysis::Analysis;
+use crate::dynamic::DynamicMatrix;
+#[cfg(test)]
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::hdc::DEFAULT_TRUE_DIAG_ALPHA;
+use crate::hyb::HybSplit;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Options controlling format conversions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvertOptions {
+    /// Maximum padded slots per structural non-zero allowed when converting
+    /// into DIA or ELL. Conversions needing more fail with
+    /// [`MorpheusError::ExcessivePadding`].
+    pub max_fill: f64,
+    /// Padding allowance floor in slots, so small matrices may always
+    /// convert regardless of fill ratio.
+    pub min_padded_allowance: usize,
+    /// HYB split-width policy.
+    pub hyb_split: HybSplit,
+    /// True-diagonal fraction for HDC splitting and the `NTD` statistic.
+    pub true_diag_alpha: f64,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> Self {
+        ConvertOptions {
+            max_fill: 20.0,
+            min_padded_allowance: 4096,
+            hyb_split: HybSplit::Auto,
+            true_diag_alpha: DEFAULT_TRUE_DIAG_ALPHA,
+        }
+    }
+}
+
+impl ConvertOptions {
+    pub(crate) fn padded_allowance(&self, nnz: usize) -> usize {
+        ((self.max_fill * nnz as f64) as usize).max(self.min_padded_allowance)
+    }
+}
+
+/// Which route a conversion took through the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvertPath {
+    /// Source already was the target format; no kernel ran.
+    Identity,
+    /// A direct kernel wrote the target arrays straight from the source.
+    Direct,
+    /// The conversion went through a materialised COO intermediate.
+    Hub,
+}
+
+impl std::fmt::Display for ConvertPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConvertPath::Identity => "identity",
+            ConvertPath::Direct => "direct",
+            ConvertPath::Hub => "hub",
+        })
+    }
+}
+
+/// What a conversion did and what it cost on the host wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvertOutcome {
+    /// The route taken.
+    pub path: ConvertPath,
+    /// Wall-clock seconds the conversion took (planning + fills; measured,
+    /// not modelled).
+    pub seconds: f64,
+}
+
+impl ConvertOutcome {
+    /// An outcome for "nothing happened" (already in the target format).
+    pub fn identity() -> Self {
+        ConvertOutcome { path: ConvertPath::Identity, seconds: 0.0 }
+    }
+}
+
+/// Converts `m` to `target`, timing the kernel and reporting the path
+/// taken. `analysis`, when supplied and matching, answers all planning
+/// questions without re-traversing the matrix.
+pub(crate) fn convert_timed<V: Scalar>(
+    m: &DynamicMatrix<V>,
+    target: FormatId,
+    opts: &ConvertOptions,
+    analysis: Option<&Analysis>,
+) -> Result<(DynamicMatrix<V>, ConvertOutcome)> {
+    let start = std::time::Instant::now();
+    if target == m.format_id() {
+        return Ok((m.clone(), ConvertOutcome::identity()));
+    }
+    // Trust the plan only if it plausibly describes this matrix.
+    let plan = analysis.filter(|a| a.matches(m));
+    let (converted, path) = dispatch(m, target, opts, plan)?;
+    Ok((converted, ConvertOutcome { path, seconds: start.elapsed().as_secs_f64() }))
+}
+
+fn dispatch<V: Scalar>(
+    m: &DynamicMatrix<V>,
+    target: FormatId,
+    opts: &ConvertOptions,
+    plan: Option<&Analysis>,
+) -> Result<(DynamicMatrix<V>, ConvertPath)> {
+    use DynamicMatrix as D;
+    let direct = |m: DynamicMatrix<V>| (m, ConvertPath::Direct);
+    Ok(match (m, target) {
+        // Everything exports to COO and CSR directly (row-major export for
+        // the padded formats, array moves/expansions for COO<->CSR).
+        (_, FormatId::Coo) => direct(D::Coo(m.to_coo())),
+        (D::Coo(a), FormatId::Csr) => direct(D::Csr(coo_to_csr(a))),
+        (D::Dia(a), FormatId::Csr) => direct(D::Csr(dia_to_csr(a))),
+        (D::Ell(a), FormatId::Csr) => direct(D::Csr(ell_to_csr(a))),
+        (D::Hyb(a), FormatId::Csr) => direct(D::Csr(hyb_to_csr(a))),
+        (D::Hdc(a), FormatId::Csr) => direct(D::Csr(hdc_to_csr(a))),
+        // COO and CSR sources convert into the padded formats directly.
+        (D::Coo(a), FormatId::Dia) => direct(D::Dia(kernels::coo_to_dia_planned(a, opts, plan)?)),
+        (D::Coo(a), FormatId::Ell) => direct(D::Ell(kernels::coo_to_ell_planned(a, opts, plan)?)),
+        (D::Coo(a), FormatId::Hyb) => direct(D::Hyb(kernels::coo_to_hyb_planned(a, opts, plan)?)),
+        (D::Coo(a), FormatId::Hdc) => direct(D::Hdc(kernels::coo_to_hdc_planned(a, opts, plan)?)),
+        (D::Csr(a), FormatId::Dia) => direct(D::Dia(kernels::csr_to_dia_planned(a, opts, plan)?)),
+        (D::Csr(a), FormatId::Ell) => direct(D::Ell(kernels::csr_to_ell_planned(a, opts, plan)?)),
+        (D::Csr(a), FormatId::Hyb) => direct(D::Hyb(kernels::csr_to_hyb_planned(a, opts, plan)?)),
+        (D::Csr(a), FormatId::Hdc) => direct(D::Hdc(kernels::csr_to_hdc_planned(a, opts, plan)?)),
+        // Padded -> padded: through the COO hub (both legs are direct
+        // kernels, but the intermediate is materialised).
+        (_, _) => {
+            let coo = m.to_coo();
+            let rebuilt = match target {
+                FormatId::Dia => D::Dia(kernels::coo_to_dia_planned(&coo, opts, plan)?),
+                FormatId::Ell => D::Ell(kernels::coo_to_ell_planned(&coo, opts, plan)?),
+                FormatId::Hyb => D::Hyb(kernels::coo_to_hyb_planned(&coo, opts, plan)?),
+                FormatId::Hdc => D::Hdc(kernels::coo_to_hdc_planned(&coo, opts, plan)?),
+                FormatId::Coo | FormatId::Csr => unreachable!("handled by the direct arms"),
+            };
+            (rebuilt, ConvertPath::Hub)
+        }
+    })
+}
+
+/// Converts `m` to `target` strictly through a materialised COO
+/// intermediate, regardless of whether a direct kernel exists.
+///
+/// This is the reference path the property tests and the conversion
+/// benchmarks compare the direct kernels against; production code should go
+/// through [`crate::DynamicMatrix::to_format`], which dispatches to the
+/// fastest route.
+pub fn convert_via_hub<V: Scalar>(
+    m: &DynamicMatrix<V>,
+    target: FormatId,
+    opts: &ConvertOptions,
+) -> Result<DynamicMatrix<V>> {
+    let coo = m.to_coo();
+    Ok(match target {
+        FormatId::Coo => DynamicMatrix::Coo(coo),
+        FormatId::Csr => DynamicMatrix::Csr(coo_to_csr(&coo)),
+        FormatId::Dia => DynamicMatrix::Dia(coo_to_dia(&coo, opts)?),
+        FormatId::Ell => DynamicMatrix::Ell(coo_to_ell(&coo, opts)?),
+        FormatId::Hyb => DynamicMatrix::Hyb(coo_to_hyb(&coo, opts)?),
+        FormatId::Hdc => DynamicMatrix::Hdc(coo_to_hdc(&coo, opts)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::test_util::random_coo;
+
+    fn sample_coo() -> CooMatrix<f64> {
+        // [1 0 2 0]
+        // [0 3 0 0]
+        // [4 0 5 6]
+        // [0 0 0 7]
+        CooMatrix::from_triplets(
+            4,
+            4,
+            &[0, 0, 1, 2, 2, 2, 3],
+            &[0, 2, 1, 0, 2, 3, 3],
+            &[1., 2., 3., 4., 5., 6., 7.],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_csr_roundtrip() {
+        let coo = sample_coo();
+        let csr = coo_to_csr(&coo);
+        assert_eq!(csr.row_offsets(), &[0, 2, 3, 6, 7]);
+        let back = csr_to_coo(&csr);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn coo_dia_roundtrip() {
+        let coo = sample_coo();
+        let dia = coo_to_dia(&coo, &ConvertOptions::default()).unwrap();
+        assert_eq!(dia.nnz(), coo.nnz());
+        // Diagonals present: offsets j - i in {0, 2, -2, 1}.
+        assert_eq!(dia.offsets(), &[-2, 0, 1, 2]);
+        let back = dia_to_coo(&dia);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn coo_ell_roundtrip() {
+        let coo = sample_coo();
+        let ell = coo_to_ell(&coo, &ConvertOptions::default()).unwrap();
+        assert_eq!(ell.width(), 3);
+        assert_eq!(ell.nnz(), coo.nnz());
+        let back = ell_to_coo(&ell);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn coo_hyb_roundtrip() {
+        let coo = sample_coo();
+        for split in [HybSplit::Auto, HybSplit::Width(1), HybSplit::Width(2)] {
+            let opts = ConvertOptions { hyb_split: split, ..Default::default() };
+            let hyb = coo_to_hyb(&coo, &opts).unwrap();
+            assert_eq!(hyb.nnz(), coo.nnz(), "{split:?}");
+            let back = hyb_to_coo(&hyb);
+            assert_eq!(back, coo, "{split:?}");
+        }
+    }
+
+    #[test]
+    fn coo_hdc_roundtrip() {
+        let coo = sample_coo();
+        let opts = ConvertOptions { true_diag_alpha: 0.5, ..Default::default() };
+        let hdc = coo_to_hdc(&coo, &opts).unwrap();
+        assert_eq!(hdc.nnz(), coo.nnz());
+        // Main diagonal has 4 entries >= ceil(0.5*4) = 2 -> true diagonal.
+        assert!(hdc.dia().ndiags() >= 1);
+        assert!(hdc.dia().offsets().contains(&0));
+        let back = hdc_to_coo(&hdc);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn hyb_auto_split_spills_long_row() {
+        // 63 rows with 1 entry, one row with 40 entries.
+        let n = 64usize;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..n - 1 {
+            rows.push(r);
+            cols.push(r % 8);
+            vals.push(1.0);
+        }
+        for c in 0..40 {
+            rows.push(n - 1);
+            cols.push(c);
+            vals.push(2.0);
+        }
+        let coo = CooMatrix::<f64>::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+        let hyb = coo_to_hyb(&coo, &ConvertOptions::default()).unwrap();
+        assert_eq!(hyb.split_width(), 1);
+        assert_eq!(hyb.coo().nnz(), 39);
+        assert_eq!(hyb.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn ell_conversion_rejects_excessive_padding() {
+        // One dense row in an otherwise hypersparse large matrix.
+        let n = 20_000usize;
+        let mut rows = vec![0usize; 1000];
+        let cols: Vec<usize> = (0..1000).collect();
+        let vals = vec![1.0f64; 1000];
+        rows.extend([n - 1]);
+        let mut cols = cols;
+        cols.push(0);
+        let mut vals = vals;
+        vals.push(1.0);
+        let coo = CooMatrix::<f64>::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+        let err = coo_to_ell(&coo, &ConvertOptions::default()).unwrap_err();
+        assert!(matches!(err, MorpheusError::ExcessivePadding { format: FormatId::Ell, .. }));
+        // The direct CSR kernel applies the identical guard.
+        let err = csr_to_ell(&coo_to_csr(&coo), &ConvertOptions::default()).unwrap_err();
+        assert!(matches!(err, MorpheusError::ExcessivePadding { format: FormatId::Ell, .. }));
+    }
+
+    #[test]
+    fn dia_conversion_rejects_excessive_padding() {
+        // Random scatter -> many distinct diagonals.
+        let coo = random_coo::<f64>(3000, 3000, 600, 7);
+        let opts = ConvertOptions { max_fill: 2.0, min_padded_allowance: 16, ..Default::default() };
+        let err = coo_to_dia(&coo, &opts).unwrap_err();
+        assert!(matches!(err, MorpheusError::ExcessivePadding { format: FormatId::Dia, .. }));
+        let err = csr_to_dia(&coo_to_csr(&coo), &opts).unwrap_err();
+        assert!(matches!(err, MorpheusError::ExcessivePadding { format: FormatId::Dia, .. }));
+    }
+
+    #[test]
+    fn empty_matrix_conversions() {
+        let coo = CooMatrix::<f64>::new(5, 5);
+        let opts = ConvertOptions::default();
+        assert_eq!(coo_to_csr(&coo).nnz(), 0);
+        assert_eq!(coo_to_dia(&coo, &opts).unwrap().nnz(), 0);
+        assert_eq!(coo_to_ell(&coo, &opts).unwrap().nnz(), 0);
+        assert_eq!(coo_to_hyb(&coo, &opts).unwrap().nnz(), 0);
+        assert_eq!(coo_to_hdc(&coo, &opts).unwrap().nnz(), 0);
+        let csr = coo_to_csr(&coo);
+        assert_eq!(csr_to_dia(&csr, &opts).unwrap().nnz(), 0);
+        assert_eq!(csr_to_ell(&csr, &opts).unwrap().nnz(), 0);
+        assert_eq!(csr_to_hyb(&csr, &opts).unwrap().nnz(), 0);
+        assert_eq!(csr_to_hdc(&csr, &opts).unwrap().nnz(), 0);
+    }
+
+    #[test]
+    fn random_roundtrips_preserve_entries() {
+        for seed in 0..5u64 {
+            let coo = random_coo::<f64>(60, 45, 300, seed);
+            // Random scatter populates most diagonals; raise the padding
+            // allowance so the DIA leg of the roundtrip is exercised too.
+            let opts = ConvertOptions { min_padded_allowance: 1 << 20, ..Default::default() };
+            assert_eq!(csr_to_coo(&coo_to_csr(&coo)), coo, "csr seed {seed}");
+            assert_eq!(dia_to_coo(&coo_to_dia(&coo, &opts).unwrap()), coo, "dia seed {seed}");
+            assert_eq!(ell_to_coo(&coo_to_ell(&coo, &opts).unwrap()), coo, "ell seed {seed}");
+            assert_eq!(hyb_to_coo(&coo_to_hyb(&coo, &opts).unwrap()), coo, "hyb seed {seed}");
+            assert_eq!(hdc_to_coo(&coo_to_hdc(&coo, &opts).unwrap()), coo, "hdc seed {seed}");
+        }
+    }
+
+    #[test]
+    fn direct_csr_kernels_match_hub_path() {
+        for seed in 0..4u64 {
+            let coo = random_coo::<f64>(70, 55, 500, seed);
+            let opts = ConvertOptions { min_padded_allowance: 1 << 20, ..Default::default() };
+            let csr = coo_to_csr(&coo);
+            assert_eq!(csr_to_ell(&csr, &opts).unwrap(), coo_to_ell(&coo, &opts).unwrap(), "{seed}");
+            assert_eq!(csr_to_dia(&csr, &opts).unwrap(), coo_to_dia(&coo, &opts).unwrap(), "{seed}");
+            assert_eq!(csr_to_hyb(&csr, &opts).unwrap(), coo_to_hyb(&coo, &opts).unwrap(), "{seed}");
+            assert_eq!(csr_to_hdc(&csr, &opts).unwrap(), coo_to_hdc(&coo, &opts).unwrap(), "{seed}");
+        }
+    }
+
+    #[test]
+    fn export_to_csr_matches_coo_route() {
+        let coo = random_coo::<f64>(50, 50, 400, 13);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 20, ..Default::default() };
+        let expect = coo_to_csr(&coo);
+        assert_eq!(ell_to_csr(&coo_to_ell(&coo, &opts).unwrap()), expect);
+        assert_eq!(dia_to_csr(&coo_to_dia(&coo, &opts).unwrap()), expect);
+        assert_eq!(hyb_to_csr(&coo_to_hyb(&coo, &opts).unwrap()), expect);
+        assert_eq!(hdc_to_csr(&coo_to_hdc(&coo, &opts).unwrap()), expect);
+    }
+
+    #[test]
+    fn planned_conversions_match_unplanned() {
+        use crate::analysis::Analysis;
+        let coo = random_coo::<f64>(80, 64, 600, 3);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 20, ..Default::default() };
+        let m = DynamicMatrix::from(coo.clone());
+        let a = Analysis::of(&m, opts.true_diag_alpha);
+        let csr = coo_to_csr(&coo);
+        assert_eq!(
+            kernels::coo_to_ell_planned(&coo, &opts, Some(&a)).unwrap(),
+            coo_to_ell(&coo, &opts).unwrap()
+        );
+        assert_eq!(
+            kernels::coo_to_dia_planned(&coo, &opts, Some(&a)).unwrap(),
+            coo_to_dia(&coo, &opts).unwrap()
+        );
+        assert_eq!(
+            kernels::coo_to_hyb_planned(&coo, &opts, Some(&a)).unwrap(),
+            coo_to_hyb(&coo, &opts).unwrap()
+        );
+        assert_eq!(
+            kernels::coo_to_hdc_planned(&coo, &opts, Some(&a)).unwrap(),
+            coo_to_hdc(&coo, &opts).unwrap()
+        );
+        assert_eq!(
+            kernels::csr_to_ell_planned(&csr, &opts, Some(&a)).unwrap(),
+            csr_to_ell(&csr, &opts).unwrap()
+        );
+        assert_eq!(
+            kernels::csr_to_hdc_planned(&csr, &opts, Some(&a)).unwrap(),
+            csr_to_hdc(&csr, &opts).unwrap()
+        );
+    }
+
+    #[test]
+    fn dispatcher_reports_paths() {
+        let coo = random_coo::<f64>(40, 40, 250, 1);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 20, ..Default::default() };
+        let m = DynamicMatrix::from(coo);
+
+        let (_, same) = convert_timed(&m, FormatId::Coo, &opts, None).unwrap();
+        assert_eq!(same.path, ConvertPath::Identity);
+
+        let (ell, out) = convert_timed(&m, FormatId::Ell, &opts, None).unwrap();
+        assert_eq!(out.path, ConvertPath::Direct);
+        assert!(out.seconds >= 0.0);
+
+        // Padded -> padded goes through the hub.
+        let (_, out) = convert_timed(&ell, FormatId::Dia, &opts, None).unwrap();
+        assert_eq!(out.path, ConvertPath::Hub);
+
+        // Padded -> CSR is a direct export.
+        let (_, out) = convert_timed(&ell, FormatId::Csr, &opts, None).unwrap();
+        assert_eq!(out.path, ConvertPath::Direct);
+    }
+
+    #[test]
+    fn hub_reference_path_equals_dispatcher() {
+        let coo = random_coo::<f64>(64, 48, 420, 11);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 20, ..Default::default() };
+        let m = DynamicMatrix::from(coo);
+        for target in crate::format::ALL_FORMATS {
+            let via_hub = convert_via_hub(&m, target, &opts).unwrap();
+            let (dispatched, _) = convert_timed(&m, target, &opts, None).unwrap();
+            assert_eq!(via_hub, dispatched, "{target}");
+        }
+    }
+
+    #[test]
+    fn large_parallel_conversion_matches_serial_plan() {
+        // Cross the parallel threshold so the pool kernels actually run.
+        let n = 400usize;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for i in 0..n {
+            for d in -24isize..=24 {
+                let j = i as isize + d;
+                if j >= 0 && (j as usize) < n {
+                    rows.push(i);
+                    cols.push(j as usize);
+                }
+            }
+        }
+        // Strictly non-zero values: DIA storage elides explicit zeros, which
+        // would legitimately break the roundtrip comparison below.
+        let vals: Vec<f64> = (0..rows.len()).map(|i| (i % 16) as f64 - 7.5).collect();
+        let coo = CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+        assert!(coo.nnz() >= kernels::PARALLEL_CONVERT_THRESHOLD);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 24, ..Default::default() };
+        let m = DynamicMatrix::from(coo);
+        for target in crate::format::ALL_FORMATS {
+            let direct = m.to_format(target, &opts).unwrap();
+            let hub = convert_via_hub(&m, target, &opts).unwrap();
+            assert_eq!(direct, hub, "{target}");
+            assert_eq!(direct.to_coo(), m.to_coo(), "{target}");
+        }
+    }
+}

@@ -103,6 +103,28 @@ impl<V: Scalar> CooMatrix<V> {
         Ok(CooMatrix { nrows, ncols, row_indices, col_indices, values })
     }
 
+    /// Builds from sorted, duplicate-free parts the caller guarantees are
+    /// valid (conversion kernels produce them correct by construction).
+    /// Debug builds run the full [`CooMatrix::from_sorted_parts`]
+    /// validation; release builds skip the O(nnz) re-validation pass.
+    pub(crate) fn from_sorted_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_indices: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<V>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Self::from_sorted_parts(nrows, ncols, row_indices, col_indices, values)
+                .expect("conversion kernel produced invalid COO")
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            CooMatrix { nrows, ncols, row_indices, col_indices, values }
+        }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {

@@ -85,6 +85,29 @@ impl<V: Scalar> CsrMatrix<V> {
         Ok(CsrMatrix { nrows, ncols, row_offsets, col_indices, values })
     }
 
+    /// Builds from raw CSR arrays the caller guarantees are valid (the
+    /// conversion kernels produce them correct by construction). Debug
+    /// builds run the full [`CsrMatrix::from_parts`] validation; release
+    /// builds skip it — that skipped O(nnz) re-validation pass is part of
+    /// what makes the direct conversion paths fast.
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_offsets: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<V>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Self::from_parts(nrows, ncols, row_offsets, col_indices, values)
+                .expect("conversion kernel produced invalid CSR")
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            CsrMatrix { nrows, ncols, row_offsets, col_indices, values }
+        }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {

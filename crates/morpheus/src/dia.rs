@@ -79,6 +79,27 @@ impl<V: Scalar> DiaMatrix<V> {
         Ok(DiaMatrix { nrows, ncols, offsets, values, nnz })
     }
 
+    /// Builds from raw parts the caller guarantees are valid (conversion
+    /// kernels produce them correct by construction). Debug builds run the
+    /// full [`DiaMatrix::from_parts`] validation; release builds skip it.
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        offsets: Vec<isize>,
+        values: Vec<V>,
+        nnz: usize,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Self::from_parts(nrows, ncols, offsets, values, nnz)
+                .expect("conversion kernel produced invalid DIA")
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            DiaMatrix { nrows, ncols, offsets, values, nnz }
+        }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {

@@ -1,8 +1,8 @@
 //! The runtime-switchable `DynamicMatrix` (§II-C).
 
+use crate::analysis::Analysis;
 use crate::convert::{
-    coo_to_csr, coo_to_dia, coo_to_ell, coo_to_hdc, coo_to_hyb, csr_to_coo, dia_to_coo, ell_to_coo,
-    hdc_to_coo, hyb_to_coo, ConvertOptions,
+    self, csr_to_coo, dia_to_coo, ell_to_coo, hdc_to_coo, hyb_to_coo, ConvertOptions, ConvertOutcome,
 };
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
@@ -100,7 +100,8 @@ impl<V: Scalar> DynamicMatrix<V> {
         }
     }
 
-    /// Extracts a COO copy of the matrix regardless of the active format.
+    /// Extracts a COO copy of the matrix regardless of the active format
+    /// (direct row-major export; no triplet buffers, no sort).
     pub fn to_coo(&self) -> CooMatrix<V> {
         match self {
             DynamicMatrix::Coo(m) => m.clone(),
@@ -117,29 +118,76 @@ impl<V: Scalar> DynamicMatrix<V> {
     /// Fails with [`crate::MorpheusError::ExcessivePadding`] when the target
     /// format would pad beyond `opts.max_fill` — the caller (e.g. the
     /// run-first tuner) should treat that format as non-viable.
+    ///
+    /// Dispatches to a direct conversion kernel when one exists (source or
+    /// target is COO/CSR) and through the COO hub otherwise; see the
+    /// [`crate::convert`] module docs. Use
+    /// [`DynamicMatrix::to_format_with`] to learn which path ran or to
+    /// supply a precomputed [`Analysis`] for planning.
     pub fn to_format(&self, target: FormatId, opts: &ConvertOptions) -> Result<DynamicMatrix<V>> {
-        if target == self.format_id() {
-            return Ok(self.clone());
-        }
-        let coo = self.to_coo();
-        Ok(match target {
-            FormatId::Coo => DynamicMatrix::Coo(coo),
-            FormatId::Csr => DynamicMatrix::Csr(coo_to_csr(&coo)),
-            FormatId::Dia => DynamicMatrix::Dia(coo_to_dia(&coo, opts)?),
-            FormatId::Ell => DynamicMatrix::Ell(coo_to_ell(&coo, opts)?),
-            FormatId::Hyb => DynamicMatrix::Hyb(coo_to_hyb(&coo, opts)?),
-            FormatId::Hdc => DynamicMatrix::Hdc(coo_to_hdc(&coo, opts)?),
-        })
+        Ok(self.to_format_with(target, opts, None)?.0)
+    }
+
+    /// [`DynamicMatrix::to_format`], additionally accepting a shared
+    /// [`Analysis`] (so planning performs no extra traversals) and
+    /// reporting which conversion path ran and its wall time.
+    pub fn to_format_with(
+        &self,
+        target: FormatId,
+        opts: &ConvertOptions,
+        analysis: Option<&Analysis>,
+    ) -> Result<(DynamicMatrix<V>, ConvertOutcome)> {
+        convert::convert_timed(self, target, opts, analysis)
     }
 
     /// Switches the active format in place. On failure the matrix is left
     /// unchanged.
     pub fn convert_to(&mut self, target: FormatId, opts: &ConvertOptions) -> Result<()> {
+        self.convert_to_with(target, opts, None).map(|_| ())
+    }
+
+    /// [`DynamicMatrix::convert_to`] with an optional shared [`Analysis`],
+    /// reporting the conversion path and wall time. On failure the matrix
+    /// is left unchanged.
+    pub fn convert_to_with(
+        &mut self,
+        target: FormatId,
+        opts: &ConvertOptions,
+        analysis: Option<&Analysis>,
+    ) -> Result<ConvertOutcome> {
         if target == self.format_id() {
-            return Ok(());
+            return Ok(ConvertOutcome::identity());
         }
-        *self = self.to_format(target, opts)?;
-        Ok(())
+        let (converted, outcome) = self.to_format_with(target, opts, analysis)?;
+        *self = converted;
+        Ok(outcome)
+    }
+
+    /// Converts by value, reusing the source's allocations where the
+    /// layouts permit instead of cloning.
+    ///
+    /// COO↔CSR share their column-index and value ordering, so those
+    /// conversions move both arrays and only rebuild the row
+    /// representation; converting to the current format is a no-op move.
+    /// Every other pair falls back to the by-reference path and drops the
+    /// source afterwards.
+    ///
+    /// # Errors
+    /// Same conditions as [`DynamicMatrix::to_format`]; the consumed matrix
+    /// is dropped on failure.
+    pub fn into_format(self, target: FormatId, opts: &ConvertOptions) -> Result<DynamicMatrix<V>> {
+        if target == self.format_id() {
+            return Ok(self);
+        }
+        match (self, target) {
+            (DynamicMatrix::Coo(a), FormatId::Csr) => {
+                Ok(DynamicMatrix::Csr(convert::kernels::coo_into_csr(a)))
+            }
+            (DynamicMatrix::Csr(a), FormatId::Coo) => {
+                Ok(DynamicMatrix::Coo(convert::kernels::csr_into_coo(a)))
+            }
+            (other, target) => other.to_format(target, opts),
+        }
     }
 
     /// Materialises the matrix densely (small matrices / tests only).
@@ -156,7 +204,19 @@ impl<V: Scalar> DynamicMatrix<V> {
     /// feature vector — which is what lets the Oracle's decision cache skip
     /// re-analysis. One cheap streaming pass over the index data; no
     /// conversion, no allocation.
+    ///
+    /// Prefer reading [`Analysis::structure_hash`] when an analysis of the
+    /// matrix already exists — this method re-walks the index arrays (and
+    /// records an analysis-class traversal on
+    /// [`crate::analysis::passes`]).
     pub fn structure_hash(&self) -> u64 {
+        crate::analysis::passes::record_traversal();
+        self.structure_hash_raw()
+    }
+
+    /// [`DynamicMatrix::structure_hash`] without traversal accounting, for
+    /// internal passes that fold the hash into a larger fused walk.
+    pub(crate) fn structure_hash_raw(&self) -> u64 {
         let mut h = StructureHasher::new();
         h.word(self.format_id().index() as u64);
         h.word(self.nrows() as u64);
@@ -399,6 +459,45 @@ mod tests {
             let converted = m.to_format(f, &opts).unwrap();
             assert_eq!(converted.structure_hash(), converted.structure_hash());
             assert!(seen.insert(converted.structure_hash()), "hash collision for {f}");
+        }
+    }
+
+    #[test]
+    fn into_format_reuses_allocations_for_coo_csr() {
+        let coo = random_coo::<f64>(30, 30, 150, 8);
+        let vals_ptr = coo.values().as_ptr();
+        let cols_ptr = coo.col_indices().as_ptr();
+        let opts = ConvertOptions::default();
+
+        let csr = DynamicMatrix::from(coo).into_format(FormatId::Csr, &opts).unwrap();
+        let DynamicMatrix::Csr(ref c) = csr else { panic!("expected CSR") };
+        assert_eq!(c.values().as_ptr(), vals_ptr, "values buffer must move, not copy");
+        assert_eq!(c.col_indices().as_ptr(), cols_ptr, "column buffer must move, not copy");
+
+        let back = csr.into_format(FormatId::Coo, &opts).unwrap();
+        let DynamicMatrix::Coo(ref b) = back else { panic!("expected COO") };
+        assert_eq!(b.values().as_ptr(), vals_ptr);
+        assert_eq!(b.col_indices().as_ptr(), cols_ptr);
+    }
+
+    #[test]
+    fn into_format_same_format_is_a_move() {
+        let coo = random_coo::<f64>(10, 10, 40, 2);
+        let ptr = coo.values().as_ptr();
+        let m = DynamicMatrix::from(coo).into_format(FormatId::Coo, &ConvertOptions::default()).unwrap();
+        let DynamicMatrix::Coo(ref c) = m else { panic!("expected COO") };
+        assert_eq!(c.values().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn into_format_matches_to_format_everywhere() {
+        let coo = random_coo::<f64>(40, 35, 260, 4);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 20, ..Default::default() };
+        let m = DynamicMatrix::from(coo);
+        for &f in &ALL_FORMATS {
+            let by_ref = m.to_format(f, &opts).unwrap();
+            let by_val = m.clone().into_format(f, &opts).unwrap();
+            assert_eq!(by_ref, by_val, "{f}");
         }
     }
 

@@ -86,6 +86,32 @@ impl<V: Scalar> EllMatrix<V> {
         Ok(EllMatrix { nrows, ncols, width, col_indices, values, nnz })
     }
 
+    /// Builds from raw slabs the caller guarantees are valid, with a known
+    /// structural-entry count (conversion kernels produce both correct by
+    /// construction). Debug builds run the full [`EllMatrix::from_parts`]
+    /// validation and verify `nnz`; release builds skip the O(nrows×width)
+    /// re-validation pass.
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        width: usize,
+        col_indices: Vec<usize>,
+        values: Vec<V>,
+        nnz: usize,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let m = Self::from_parts(nrows, ncols, width, col_indices, values)
+                .expect("conversion kernel produced invalid ELL");
+            assert_eq!(m.nnz, nnz, "conversion kernel miscounted ELL entries");
+            m
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            EllMatrix { nrows, ncols, width, col_indices, values, nnz }
+        }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {

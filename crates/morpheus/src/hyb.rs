@@ -102,11 +102,25 @@ impl<V: Scalar> HybMatrix<V> {
 /// where `surplus(K) = Σ_i max(0, len_i - K)`. Scans all candidate `K` in
 /// `0..=max_len` using suffix sums, O(nrows + max_len).
 pub fn optimal_hyb_width(row_lengths: &[usize], value_bytes: usize) -> usize {
-    let nrows = row_lengths.len();
+    optimal_hyb_width_iter(row_lengths.len(), row_lengths.iter().copied(), value_bytes)
+}
+
+/// [`optimal_hyb_width`] reading a `u32` row-nnz histogram, the shape the
+/// shared [`crate::analysis::Analysis`] artifact stores — so HYB planning
+/// can reuse the one-pass analysis instead of rescanning the matrix.
+pub fn optimal_hyb_width_u32(row_lengths: &[u32], value_bytes: usize) -> usize {
+    optimal_hyb_width_iter(row_lengths.len(), row_lengths.iter().map(|&l| l as usize), value_bytes)
+}
+
+fn optimal_hyb_width_iter(
+    nrows: usize,
+    row_lengths: impl Iterator<Item = usize> + Clone,
+    value_bytes: usize,
+) -> usize {
     if nrows == 0 {
         return 0;
     }
-    let max_len = row_lengths.iter().copied().max().unwrap_or(0);
+    let max_len = row_lengths.clone().max().unwrap_or(0);
     if max_len == 0 {
         return 0;
     }
@@ -116,7 +130,7 @@ pub fn optimal_hyb_width(row_lengths: &[usize], value_bytes: usize) -> usize {
 
     // rows_with_len[l] = number of rows of length exactly l.
     let mut rows_with_len = vec![0u64; max_len + 1];
-    for &l in row_lengths {
+    for l in row_lengths {
         rows_with_len[l] += 1;
     }
     // For K from max_len down to 0 maintain:

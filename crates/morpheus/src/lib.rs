@@ -39,6 +39,7 @@
 //! assert_eq!(y, vec![1.0, 0.0, 0.0, 1.0]);
 //! ```
 
+pub mod analysis;
 pub mod builder;
 pub mod convert;
 pub mod coo;
@@ -52,14 +53,16 @@ pub mod format;
 pub mod hdc;
 pub mod hyb;
 pub mod io;
+pub mod rowmajor;
 pub mod scalar;
 pub mod spmm;
 pub mod spmv;
 pub mod stats;
 pub mod vecops;
 
+pub use analysis::Analysis;
 pub use builder::CooBuilder;
-pub use convert::ConvertOptions;
+pub use convert::{convert_via_hub, ConvertOptions, ConvertOutcome, ConvertPath};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
@@ -70,6 +73,7 @@ pub use error::MorpheusError;
 pub use format::FormatId;
 pub use hdc::HdcMatrix;
 pub use hyb::{HybMatrix, HybSplit};
+pub use rowmajor::for_each_entry_row_major;
 pub use scalar::Scalar;
 pub use stats::MatrixStats;
 

@@ -1,0 +1,305 @@
+//! Row-major traversal of every storage format, without conversion.
+//!
+//! The shared analysis pass, the machine-model's locality walk and the
+//! direct conversion kernels all need to visit a matrix's structural
+//! entries row by row, in ascending column order, *in whatever format is
+//! currently active*. [`RowMajor`] provides exactly that: a per-row count
+//! (for prefix-sum output planning) and a per-row sorted emission (for
+//! filling target arrays or streaming statistics) — no COO materialisation,
+//! no triplet buffers.
+//!
+//! Semantics match the historical `*_to_coo` converters: DIA-backed storage
+//! elides explicit zeros (padding and stored zeros are indistinguishable
+//! there), ELL-backed storage keeps them (padding is tracked by the
+//! [`ELL_PAD`] sentinel, not the value).
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dia::DiaMatrix;
+use crate::dynamic::DynamicMatrix;
+use crate::ell::{EllMatrix, ELL_PAD};
+use crate::hdc::HdcMatrix;
+use crate::hyb::HybMatrix;
+use crate::scalar::Scalar;
+
+/// Row-major, column-sorted access to a sparse matrix's structural entries.
+pub(crate) trait RowMajor<V: Scalar>: Sync {
+    /// Number of rows.
+    fn nrows(&self) -> usize;
+
+    /// Structural entries in row `r` (cost: O(row) or better, never O(nnz)).
+    fn row_count(&self, r: usize) -> usize;
+
+    /// Calls `f(col, value)` for every structural entry of row `r`, columns
+    /// strictly ascending.
+    fn emit_row(&self, r: usize, f: &mut dyn FnMut(usize, V));
+}
+
+impl<V: Scalar> RowMajor<V> for CsrMatrix<V> {
+    fn nrows(&self) -> usize {
+        self.nrows()
+    }
+
+    fn row_count(&self, r: usize) -> usize {
+        self.row_nnz(r)
+    }
+
+    fn emit_row(&self, r: usize, f: &mut dyn FnMut(usize, V)) {
+        for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+            f(c, v);
+        }
+    }
+}
+
+impl<V: Scalar> RowMajor<V> for CooMatrix<V> {
+    fn nrows(&self) -> usize {
+        self.nrows()
+    }
+
+    fn row_count(&self, r: usize) -> usize {
+        let (lo, hi) = coo_row_segment(self, r);
+        hi - lo
+    }
+
+    fn emit_row(&self, r: usize, f: &mut dyn FnMut(usize, V)) {
+        let (lo, hi) = coo_row_segment(self, r);
+        for i in lo..hi {
+            f(self.col_indices()[i], self.values()[i]);
+        }
+    }
+}
+
+/// Entry range of row `r` in a sorted COO matrix (binary search).
+fn coo_row_segment<V: Scalar>(coo: &CooMatrix<V>, r: usize) -> (usize, usize) {
+    let rows = coo.row_indices();
+    let lo = rows.partition_point(|&x| x < r);
+    let hi = lo + rows[lo..].partition_point(|&x| x == r);
+    (lo, hi)
+}
+
+impl<V: Scalar> RowMajor<V> for EllMatrix<V> {
+    fn nrows(&self) -> usize {
+        self.nrows()
+    }
+
+    fn row_count(&self, r: usize) -> usize {
+        let nrows = self.nrows();
+        let cols = self.col_indices();
+        (0..self.width()).take_while(|&k| cols[k * nrows + r] != ELL_PAD).count()
+    }
+
+    fn emit_row(&self, r: usize, f: &mut dyn FnMut(usize, V)) {
+        let nrows = self.nrows();
+        let cols = self.col_indices();
+        let vals = self.values();
+        for k in 0..self.width() {
+            let c = cols[k * nrows + r];
+            if c == ELL_PAD {
+                break;
+            }
+            f(c, vals[k * nrows + r]);
+        }
+    }
+}
+
+impl<V: Scalar> RowMajor<V> for DiaMatrix<V> {
+    fn nrows(&self) -> usize {
+        self.nrows()
+    }
+
+    fn row_count(&self, r: usize) -> usize {
+        let mut n = 0;
+        self.emit_row(r, &mut |_, _| n += 1);
+        n
+    }
+
+    fn emit_row(&self, r: usize, f: &mut dyn FnMut(usize, V)) {
+        let nrows = self.nrows();
+        let values = self.values();
+        // Offsets ascend, so columns `r + off` ascend too.
+        for (d, &off) in self.offsets().iter().enumerate() {
+            if self.diag_row_range(d).contains(&r) {
+                let v = values[d * nrows + r];
+                if v != V::ZERO {
+                    f((r as isize + off) as usize, v);
+                }
+            }
+        }
+    }
+}
+
+impl<V: Scalar> RowMajor<V> for HybMatrix<V> {
+    fn nrows(&self) -> usize {
+        self.nrows()
+    }
+
+    fn row_count(&self, r: usize) -> usize {
+        let (lo, hi) = coo_row_segment(self.coo(), r);
+        RowMajor::row_count(self.ell(), r) + (hi - lo)
+    }
+
+    fn emit_row(&self, r: usize, f: &mut dyn FnMut(usize, V)) {
+        // Merge the two sorted per-row streams; coordinates are disjoint by
+        // the HYB invariant, so a plain `<` comparison suffices.
+        let ell = self.ell();
+        let nrows = ell.nrows();
+        let (ecols, evals) = (ell.col_indices(), ell.values());
+        let peek_ell = |k: usize| -> Option<usize> {
+            if k < ell.width() {
+                let c = ecols[k * nrows + r];
+                (c != ELL_PAD).then_some(c)
+            } else {
+                None
+            }
+        };
+        let coo = self.coo();
+        let (mut si, hi) = coo_row_segment(coo, r);
+        let mut k = 0;
+        loop {
+            match (peek_ell(k), (si < hi).then(|| coo.col_indices()[si])) {
+                (Some(ce), Some(cs)) if ce < cs => {
+                    f(ce, evals[k * nrows + r]);
+                    k += 1;
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    f(coo.col_indices()[si], coo.values()[si]);
+                    si += 1;
+                }
+                (Some(ce), None) => {
+                    f(ce, evals[k * nrows + r]);
+                    k += 1;
+                }
+                (None, None) => break,
+            }
+        }
+    }
+}
+
+impl<V: Scalar> RowMajor<V> for HdcMatrix<V> {
+    fn nrows(&self) -> usize {
+        self.nrows()
+    }
+
+    fn row_count(&self, r: usize) -> usize {
+        RowMajor::row_count(self.dia(), r) + self.csr().row_nnz(r)
+    }
+
+    fn emit_row(&self, r: usize, f: &mut dyn FnMut(usize, V)) {
+        let dia = self.dia();
+        let nrows = dia.nrows();
+        let dvals = dia.values();
+        let offsets = dia.offsets();
+        // Next structural DIA entry of this row at or after diagonal `d`.
+        let peek_dia = |d: &mut usize| -> Option<usize> {
+            while *d < dia.ndiags() {
+                if dia.diag_row_range(*d).contains(&r) && dvals[*d * nrows + r] != V::ZERO {
+                    return Some((r as isize + offsets[*d]) as usize);
+                }
+                *d += 1;
+            }
+            None
+        };
+        let csr = self.csr();
+        let (ccols, cvals) = (csr.row_cols(r), csr.row_vals(r));
+        let mut d = 0usize;
+        let mut i = 0usize;
+        loop {
+            match (peek_dia(&mut d), ccols.get(i).copied()) {
+                (Some(cd), Some(cc)) if cd < cc => {
+                    f(cd, dvals[d * nrows + r]);
+                    d += 1;
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    f(ccols[i], cvals[i]);
+                    i += 1;
+                }
+                (Some(cd), None) => {
+                    f(cd, dvals[d * nrows + r]);
+                    d += 1;
+                }
+                (None, None) => break,
+            }
+        }
+    }
+}
+
+/// Visits every structural entry of `m` as `f(row, col, value)` in sorted
+/// `(row, col)` order — the same order a COO copy would iterate in — without
+/// materialising any intermediate representation.
+///
+/// This is the walk the machine model's gather-locality estimator uses; it
+/// yields results identical to converting to COO first, at zero allocation.
+pub fn for_each_entry_row_major<V: Scalar>(m: &DynamicMatrix<V>, mut f: impl FnMut(usize, usize, V)) {
+    match m {
+        // COO and CSR store entries row-major already: stream the arrays.
+        DynamicMatrix::Coo(a) => {
+            for i in 0..a.nnz() {
+                f(a.row_indices()[i], a.col_indices()[i], a.values()[i]);
+            }
+        }
+        DynamicMatrix::Csr(a) => {
+            for r in 0..a.nrows() {
+                a.emit_row(r, &mut |c, v| f(r, c, v));
+            }
+        }
+        DynamicMatrix::Dia(a) => visit_rows(a, &mut f),
+        DynamicMatrix::Ell(a) => visit_rows(a, &mut f),
+        DynamicMatrix::Hyb(a) => visit_rows(a, &mut f),
+        DynamicMatrix::Hdc(a) => visit_rows(a, &mut f),
+    }
+}
+
+fn visit_rows<V: Scalar>(a: &impl RowMajor<V>, f: &mut impl FnMut(usize, usize, V)) {
+    for r in 0..a.nrows() {
+        a.emit_row(r, &mut |c, v| f(r, c, v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConvertOptions;
+    use crate::format::ALL_FORMATS;
+    use crate::test_util::random_coo;
+
+    #[test]
+    fn walk_matches_coo_iteration_for_every_format() {
+        for seed in 0..3u64 {
+            let coo = random_coo::<f64>(40, 33, 220, seed);
+            let expect: Vec<(usize, usize, f64)> = coo.iter().collect();
+            let base = DynamicMatrix::from(coo);
+            let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+            for &fmt in &ALL_FORMATS {
+                let m = base.to_format(fmt, &opts).unwrap();
+                let mut got = Vec::new();
+                for_each_entry_row_major(&m, |r, c, v| got.push((r, c, v)));
+                assert_eq!(got, expect, "row-major walk for {fmt} (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn row_counts_agree_with_emission() {
+        let coo = random_coo::<f64>(25, 25, 120, 9);
+        let base = DynamicMatrix::from(coo);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+        for &fmt in &ALL_FORMATS {
+            let m = base.to_format(fmt, &opts).unwrap();
+            let check = |a: &dyn RowMajor<f64>| {
+                for r in 0..a.nrows() {
+                    let mut n = 0;
+                    a.emit_row(r, &mut |_, _| n += 1);
+                    assert_eq!(a.row_count(r), n, "{fmt} row {r}");
+                }
+            };
+            match &m {
+                DynamicMatrix::Coo(a) => check(a),
+                DynamicMatrix::Csr(a) => check(a),
+                DynamicMatrix::Dia(a) => check(a),
+                DynamicMatrix::Ell(a) => check(a),
+                DynamicMatrix::Hyb(a) => check(a),
+                DynamicMatrix::Hdc(a) => check(a),
+            }
+        }
+    }
+}

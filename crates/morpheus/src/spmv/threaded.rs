@@ -21,40 +21,11 @@ use crate::ell::{EllMatrix, ELL_PAD};
 use crate::hdc::HdcMatrix;
 use crate::hyb::HybMatrix;
 use crate::scalar::Scalar;
-use morpheus_parallel::{weighted_partition, Schedule, ThreadPool};
+use morpheus_parallel::{row_aligned_partition, weighted_partition, Schedule, SharedSlice, ThreadPool};
 
 /// Shared mutable output vector. Soundness contract: concurrent callers must
 /// write disjoint index sets, which the row partitioning guarantees.
-struct SharedOut<V> {
-    ptr: *mut V,
-    len: usize,
-}
-
-unsafe impl<V: Send> Send for SharedOut<V> {}
-unsafe impl<V: Send> Sync for SharedOut<V> {}
-
-impl<V: Scalar> SharedOut<V> {
-    fn new(y: &mut [V]) -> Self {
-        SharedOut { ptr: y.as_mut_ptr(), len: y.len() }
-    }
-
-    /// # Safety
-    /// `i < len` and no concurrent access to index `i`.
-    #[inline(always)]
-    unsafe fn add(&self, i: usize, v: V) {
-        debug_assert!(i < self.len);
-        let slot = self.ptr.add(i);
-        *slot += v;
-    }
-
-    /// # Safety
-    /// `i < len` and no concurrent access to index `i`.
-    #[inline(always)]
-    unsafe fn set(&self, i: usize, v: V) {
-        debug_assert!(i < self.len);
-        *self.ptr.add(i) = v;
-    }
-}
+type SharedOut<V> = SharedSlice<V>;
 
 /// CSR kernel with the caller's schedule over rows — the direct analogue of
 /// Morpheus' `#pragma omp parallel for` CSR loop. Skewed row distributions
@@ -143,7 +114,7 @@ pub fn spmv_coo_acc<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], pool: &Th
     let rows = a.row_indices();
     let cols = a.col_indices();
     let vals = a.values();
-    let chunks = row_aligned_chunks(rows, pool.num_threads());
+    let chunks = row_aligned_partition(rows, pool.num_threads());
     let out = SharedOut::new(y);
     pool.parallel_over_parts(&chunks, |_p, entries| {
         for i in entries {
@@ -152,36 +123,6 @@ pub fn spmv_coo_acc<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], pool: &Th
             unsafe { out.add(rows[i], vals[i] * x[cols[i]]) };
         }
     });
-}
-
-/// Splits the sorted COO entry index space into up to `parts` chunks whose
-/// boundaries never split a row.
-fn row_aligned_chunks(rows: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
-    let nnz = rows.len();
-    let raw = morpheus_parallel::static_partition(nnz, parts);
-    let mut chunks: Vec<std::ops::Range<usize>> = Vec::with_capacity(raw.len());
-    let mut start = 0usize;
-    for r in &raw {
-        let mut end = r.end;
-        // Push the boundary forward until the row changes.
-        while end < nnz && end > 0 && rows[end] == rows[end - 1] {
-            end += 1;
-        }
-        if end > start {
-            chunks.push(start..end);
-        }
-        start = end;
-        if start >= nnz {
-            break;
-        }
-    }
-    if let Some(last) = chunks.last_mut() {
-        if last.end < nnz {
-            // Only possible if trailing raw ranges were consumed; extend.
-            last.end = nnz;
-        }
-    }
-    chunks
 }
 
 /// DIA kernel: rows are partitioned with the caller's schedule; within a
@@ -251,7 +192,7 @@ pub fn spmv_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V], pool: &Thread
 
 fn parallel_fill_zero<V: Scalar>(y: &mut [V], pool: &ThreadPool) {
     let out = SharedOut::new(y);
-    pool.parallel_for_ranges(0..out.len, Schedule::default(), |r| {
+    pool.parallel_for_ranges(0..out.len(), Schedule::default(), |r| {
         // SAFETY: static ranges are disjoint.
         unsafe {
             for i in r {
@@ -269,11 +210,12 @@ mod tests {
     use crate::test_util::random_coo;
 
     #[test]
-    fn row_aligned_chunks_never_split_rows() {
-        // Rows with a big run in the middle.
+    fn row_aligned_partition_never_splits_rows() {
+        // Rows with a big run in the middle (the property-based coverage
+        // lives next to the function in `morpheus-parallel`).
         let rows = vec![0, 0, 1, 1, 1, 1, 1, 1, 1, 2, 3, 3];
         for parts in 1..=6 {
-            let chunks = row_aligned_chunks(&rows, parts);
+            let chunks = row_aligned_partition(&rows, parts);
             let mut covered = 0;
             let mut prev_end = 0;
             for c in &chunks {
@@ -286,14 +228,6 @@ mod tests {
             }
             assert_eq!(covered, rows.len(), "parts={parts}");
         }
-    }
-
-    #[test]
-    fn row_aligned_chunks_single_giant_row() {
-        let rows = vec![5usize; 100];
-        let chunks = row_aligned_chunks(&rows, 8);
-        assert_eq!(chunks.len(), 1);
-        assert_eq!(chunks[0], 0..100);
     }
 
     #[test]

@@ -78,44 +78,129 @@ impl StatsAccum {
     }
 
     fn finish(self, alpha: f64) -> MatrixStats {
-        let nnz: usize = self.row_counts.iter().map(|&c| c as usize).sum();
-        let nrows = self.nrows;
-        let (mut min, mut max) = if nrows == 0 { (0, 0) } else { (u32::MAX, 0u32) };
-        for &c in &self.row_counts {
-            min = min.min(c);
-            max = max.max(c);
+        reduce_stats(self.nrows, self.ncols, &self.row_counts, &self.diag_pop, alpha)
+    }
+}
+
+/// Reduces a row-nnz histogram and diagonal-population array to
+/// [`MatrixStats`].
+///
+/// This is the single reduction every stats producer goes through — the
+/// per-format [`stats_of`] accumulators and the shared
+/// [`crate::analysis::Analysis`] artifact — so their results are **bitwise**
+/// identical (summation order over the histograms is fixed).
+pub(crate) fn reduce_stats(
+    nrows: usize,
+    ncols: usize,
+    row_counts: &[u32],
+    diag_pop: &[u32],
+    alpha: f64,
+) -> MatrixStats {
+    let nnz: usize = row_counts.iter().map(|&c| c as usize).sum();
+    let (mut min, mut max) = if nrows == 0 { (0, 0) } else { (u32::MAX, 0u32) };
+    for &c in row_counts {
+        min = min.min(c);
+        max = max.max(c);
+    }
+    if nrows == 0 {
+        min = 0;
+    }
+    let mean = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
+    let var = if nrows == 0 {
+        0.0
+    } else {
+        row_counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / nrows as f64
+    };
+    let threshold = true_diag_threshold(nrows, ncols, alpha) as u32;
+    let mut ndiags = 0usize;
+    let mut ntrue = 0usize;
+    for &p in diag_pop {
+        if p > 0 {
+            ndiags += 1;
+            if p >= threshold {
+                ntrue += 1;
+            }
         }
-        if nrows == 0 {
-            min = 0;
+    }
+    MatrixStats {
+        nrows,
+        ncols,
+        nnz,
+        row_nnz_min: min as usize,
+        row_nnz_max: max as usize,
+        row_nnz_mean: mean,
+        row_nnz_std: var.sqrt(),
+        ndiags,
+        ntrue_diags: ntrue,
+        true_diag_alpha: alpha,
+    }
+}
+
+/// Streams every structural entry of `m` (in its active format) into a
+/// row-nnz histogram and a diagonal-population array
+/// (`diag[col + nrows - 1 - row]`), using the cache-friendliest walk each
+/// format affords. `row` must have length `nrows`, `diag` length
+/// `nrows + ncols - 1` (0 for degenerate shapes). Shared by [`stats_of`] and
+/// the fused analysis pass.
+pub(crate) fn accumulate_hists<V: Scalar>(m: &DynamicMatrix<V>, row: &mut [u32], diag: &mut [u32]) {
+    let nrows = m.nrows();
+    let mut record = |r: usize, c: usize| {
+        row[r] += 1;
+        diag[c + nrows - 1 - r] += 1;
+    };
+    match m {
+        DynamicMatrix::Coo(a) => {
+            for i in 0..a.nnz() {
+                record(a.row_indices()[i], a.col_indices()[i]);
+            }
         }
-        let mean = if nrows == 0 { 0.0 } else { nnz as f64 / nrows as f64 };
-        let var = if nrows == 0 {
-            0.0
-        } else {
-            self.row_counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / nrows as f64
-        };
-        let threshold = true_diag_threshold(self.nrows, self.ncols, alpha) as u32;
-        let mut ndiags = 0usize;
-        let mut ntrue = 0usize;
-        for &p in &self.diag_pop {
-            if p > 0 {
-                ndiags += 1;
-                if p >= threshold {
-                    ntrue += 1;
+        DynamicMatrix::Csr(a) => {
+            for r in 0..a.nrows() {
+                for &c in a.row_cols(r) {
+                    record(r, c);
                 }
             }
         }
-        MatrixStats {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            nnz,
-            row_nnz_min: min as usize,
-            row_nnz_max: max as usize,
-            row_nnz_mean: mean,
-            row_nnz_std: var.sqrt(),
-            ndiags,
-            ntrue_diags: ntrue,
-            true_diag_alpha: alpha,
+        DynamicMatrix::Dia(a) => accumulate_dia(a, &mut record),
+        DynamicMatrix::Ell(a) => accumulate_ell(a, &mut record),
+        DynamicMatrix::Hyb(a) => {
+            accumulate_ell(a.ell(), &mut record);
+            for i in 0..a.coo().nnz() {
+                record(a.coo().row_indices()[i], a.coo().col_indices()[i]);
+            }
+        }
+        DynamicMatrix::Hdc(a) => {
+            accumulate_dia(a.dia(), &mut record);
+            for r in 0..a.csr().nrows() {
+                for &c in a.csr().row_cols(r) {
+                    record(r, c);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate_dia<V: Scalar>(a: &DiaMatrix<V>, record: &mut impl FnMut(usize, usize)) {
+    for d in 0..a.ndiags() {
+        let off = a.offsets()[d];
+        let diag = a.diagonal(d);
+        for i in a.diag_row_range(d) {
+            if diag[i] != V::ZERO {
+                record(i, (i as isize + off) as usize);
+            }
+        }
+    }
+}
+
+fn accumulate_ell<V: Scalar>(a: &EllMatrix<V>, record: &mut impl FnMut(usize, usize)) {
+    let nrows = a.nrows();
+    for k in 0..a.width() {
+        let base = k * nrows;
+        for i in 0..nrows {
+            let c = a.col_indices()[base + i];
+            if c != ELL_PAD {
+                record(i, c);
+            }
         }
     }
 }
@@ -221,6 +306,7 @@ pub fn stats_hdc<V: Scalar>(a: &HdcMatrix<V>, alpha: f64) -> MatrixStats {
 /// active — the "online feature extraction by inspecting the active format"
 /// of §VI-C.
 pub fn stats_of<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> MatrixStats {
+    crate::analysis::passes::record_traversal();
     match m {
         DynamicMatrix::Coo(a) => stats_coo(a, alpha),
         DynamicMatrix::Csr(a) => stats_csr(a, alpha),
@@ -234,6 +320,7 @@ pub fn stats_of<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> MatrixStats {
 /// Per-row non-zero counts of a [`DynamicMatrix`] (used by the machine
 /// model's load-imbalance and warp-divergence estimators).
 pub fn row_nnz_histogram<V: Scalar>(m: &DynamicMatrix<V>) -> Vec<u32> {
+    crate::analysis::passes::record_traversal();
     let mut counts = vec![0u32; m.nrows()];
     match m {
         DynamicMatrix::Coo(a) => {

@@ -1,0 +1,32 @@
+//! The conversion kernels' fill passes write through raw pointers
+//! (`SharedSlice`) at indices derived from a caller-supplied `Analysis`
+//! plan. `Analysis::matches` can only check shape and nnz cheaply, so a
+//! *wrong-pattern* plan with matching shape must be rejected by the fill
+//! passes themselves — with a safe panic, never an out-of-bounds write.
+//! The bounds checks involved are unconditional (not `debug_assert`s), so
+//! this holds in release builds too.
+
+use morpheus::{Analysis, ConvertOptions, CooMatrix, DynamicMatrix, FormatId};
+
+#[test]
+fn wrong_pattern_plan_is_rejected_by_a_safe_panic() {
+    // A: both entries in row 0; B: one entry per row. Same dims and nnz, so
+    // B's analysis passes the cheap `matches()` guard against A — but its
+    // histograms understate A's row 0 and miss A's superdiagonal.
+    let a = DynamicMatrix::from(CooMatrix::from_triplets(2, 2, &[0, 0], &[0, 1], &[1.0f64, 2.0]).unwrap());
+    let b = DynamicMatrix::from(CooMatrix::from_triplets(2, 2, &[0, 1], &[0, 1], &[1.0f64, 2.0]).unwrap());
+    let plan = Analysis::of(&b, 0.2);
+    assert!(plan.matches(&a), "precondition: the cheap guard cannot tell A from B");
+
+    let opts = ConvertOptions::default();
+    for target in [FormatId::Ell, FormatId::Dia, FormatId::Hyb] {
+        let r = std::panic::catch_unwind(|| a.to_format_with(target, &opts, Some(&plan)));
+        assert!(r.is_err(), "{target}: stale plan must be rejected by a safe panic");
+    }
+
+    // A *correct* plan for A sails through.
+    let good = Analysis::of(&a, 0.2);
+    for target in [FormatId::Ell, FormatId::Dia, FormatId::Hyb, FormatId::Hdc] {
+        a.to_format_with(target, &opts, Some(&good)).unwrap();
+    }
+}

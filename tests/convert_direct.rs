@@ -1,0 +1,224 @@
+//! Property-based equivalence of the direct conversion engine with the COO
+//! hub, and the shared-analysis reuse contract.
+//!
+//! Three guarantees are pinned here:
+//! 1. For **every** source/target format pair, the dispatched conversion
+//!    (direct kernel where one exists) is pattern- *and* value-equivalent to
+//!    the reference COO-hub path, including edge shapes.
+//! 2. An [`Analysis`]-derived `MatrixStats` is bitwise-equal to `stats_of`
+//!    on every active format, and supplying the analysis to feature
+//!    extraction, cache keying and conversion planning performs **zero**
+//!    additional full matrix traversals (the `passes` counter).
+//! 3. A full Oracle tuning call performs a bounded number of traversals:
+//!    hash + fused analysis + machine walk on a miss, hash only on a hit.
+
+use morpheus_repro::machine::{systems, Backend, VirtualEngine};
+use morpheus_repro::morpheus::analysis::{passes, Analysis};
+use morpheus_repro::morpheus::format::{FormatId, ALL_FORMATS};
+use morpheus_repro::morpheus::stats::stats_of;
+use morpheus_repro::morpheus::{convert_via_hub, ConvertOptions, ConvertPath, CooMatrix, DynamicMatrix};
+use morpheus_repro::oracle::{FeatureVector, Oracle, RunFirstTuner};
+use proptest::prelude::*;
+
+/// Strategy: a small random sparse matrix with strictly non-zero values
+/// (DIA storage elides explicit zeros, which would be a legitimate — but
+/// noisy — difference).
+fn arb_matrix() -> impl Strategy<Value = DynamicMatrix<f64>> {
+    (1usize..36, 1usize..36).prop_flat_map(|(nrows, ncols)| {
+        let entry = (0..nrows, 0..ncols, -100i32..100).prop_map(|(r, c, v)| (r, c, v));
+        proptest::collection::vec(entry, 0..140).prop_map(move |entries| {
+            let rows: Vec<usize> = entries.iter().map(|e| e.0).collect();
+            let cols: Vec<usize> = entries.iter().map(|e| e.1).collect();
+            let vals: Vec<f64> = entries.iter().map(|e| f64::from(e.2) + 1000.5).collect();
+            DynamicMatrix::from(CooMatrix::from_triplets(nrows, ncols, &rows, &cols, &vals).unwrap())
+        })
+    })
+}
+
+fn tolerant_opts() -> ConvertOptions {
+    ConvertOptions { min_padded_allowance: 1 << 24, ..Default::default() }
+}
+
+/// Every (source, target) pair: the dispatcher's result equals the
+/// reference COO-hub result exactly (same representation, not just the same
+/// entries).
+fn assert_all_pairs_match_hub(base: &DynamicMatrix<f64>, opts: &ConvertOptions) {
+    for &src in &ALL_FORMATS {
+        let m = convert_via_hub(base, src, opts).unwrap();
+        for &target in &ALL_FORMATS {
+            let expect = convert_via_hub(&m, target, opts).unwrap();
+            let (got, outcome) = m.to_format_with(target, opts, None).unwrap();
+            assert_eq!(got, expect, "{src} -> {target}");
+            // The dispatcher must use a direct kernel whenever one side of
+            // the pair is an interchange format.
+            let direct_exists = src == target
+                || matches!(src, FormatId::Coo | FormatId::Csr)
+                || matches!(target, FormatId::Coo | FormatId::Csr);
+            let expected_path = if src == target {
+                ConvertPath::Identity
+            } else if direct_exists {
+                ConvertPath::Direct
+            } else {
+                ConvertPath::Hub
+            };
+            assert_eq!(outcome.path, expected_path, "{src} -> {target}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn direct_equals_hub_for_all_pairs(base in arb_matrix()) {
+        assert_all_pairs_match_hub(&base, &tolerant_opts());
+    }
+
+    #[test]
+    fn analysis_stats_bitwise_equal_on_every_format(base in arb_matrix()) {
+        let opts = tolerant_opts();
+        for &fmt in &ALL_FORMATS {
+            let m = base.to_format(fmt, &opts).unwrap();
+            for alpha in [0.1, 0.2, 0.9] {
+                let a = Analysis::of(&m, alpha);
+                let s = stats_of(&m, alpha);
+                // Bitwise: both reduce through the same accumulation order.
+                prop_assert_eq!(&a.stats, &s, "{} alpha {}", fmt, alpha);
+                prop_assert_eq!(
+                    FeatureVector::from_analysis(&a).as_slice(),
+                    FeatureVector::from_stats(&s).as_slice()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_conversion_adds_zero_traversals(base in arb_matrix()) {
+        let opts = tolerant_opts();
+        let a = Analysis::of(&base, opts.true_diag_alpha);
+        passes::reset();
+        // Feature extraction, cache keying and conversion planning off the
+        // shared artifact: no traversal may be recorded.
+        let _ = FeatureVector::from_analysis(&a);
+        let _ = a.structure_hash;
+        for &target in &ALL_FORMATS {
+            let _ = base.to_format_with(target, &opts, Some(&a)).unwrap();
+        }
+        prop_assert_eq!(passes::count(), 0, "analysis reuse must not re-traverse the matrix");
+    }
+}
+
+#[test]
+fn edge_shapes_convert_identically() {
+    let opts = tolerant_opts();
+
+    // Empty matrix.
+    let empty = DynamicMatrix::from(CooMatrix::<f64>::new(6, 4));
+
+    // Single dense row.
+    let n = 12usize;
+    let dense_row = DynamicMatrix::from(
+        CooMatrix::from_triplets(n, n, &vec![3usize; n], &(0..n).collect::<Vec<_>>(), &vec![2.5f64; n])
+            .unwrap(),
+    );
+
+    // All-diagonal (pure DIA pattern, every diagonal true).
+    let diag = DynamicMatrix::from(
+        CooMatrix::from_triplets(
+            n,
+            n,
+            &(0..n).collect::<Vec<_>>(),
+            &(0..n).collect::<Vec<_>>(),
+            &(0..n).map(|i| i as f64 + 1.0).collect::<Vec<_>>(),
+        )
+        .unwrap(),
+    );
+
+    // Single column (transpose of the dense-row shape).
+    let col = DynamicMatrix::from(
+        CooMatrix::from_triplets(n, n, &(0..n).collect::<Vec<_>>(), &vec![0usize; n], &vec![1.5f64; n])
+            .unwrap(),
+    );
+
+    for m in [&empty, &dense_row, &diag, &col] {
+        assert_all_pairs_match_hub(m, &opts);
+        for &fmt in &ALL_FORMATS {
+            let conv = m.to_format(fmt, &opts).unwrap();
+            assert_eq!(Analysis::of(&conv, 0.2).stats, stats_of(&conv, 0.2), "{fmt}");
+        }
+    }
+}
+
+#[test]
+fn oracle_tune_traversal_budget() {
+    // Tridiagonal matrix, tuned twice: the miss pays hash + fused analysis
+    // + the machine model's entry walk (3 traversals), the hit only the
+    // hash (plus the one-off post-conversion alias hash on the miss).
+    let n = 3000usize;
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    for i in 0..n {
+        for d in [-1isize, 0, 1] {
+            let j = i as isize + d;
+            if j >= 0 && (j as usize) < n {
+                rows.push(i);
+                cols.push(j as usize);
+            }
+        }
+    }
+    let vals = vec![1.0f64; rows.len()];
+    let base = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+
+    let mut oracle = Oracle::builder()
+        .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+        .tuner(RunFirstTuner::new(3))
+        .build()
+        .unwrap();
+
+    let mut first = base.clone();
+    passes::reset();
+    let r1 = oracle.tune(&mut first).unwrap();
+    assert!(!r1.cache_hit);
+    let miss_traversals = passes::count();
+    // hash + Analysis::of + analyze_from walk (+1 alias hash if converted).
+    let budget = 3 + u64::from(r1.converted);
+    assert!(miss_traversals <= budget, "cache miss performed {miss_traversals} traversals, budget {budget}");
+
+    let mut second = base.clone();
+    passes::reset();
+    let r2 = oracle.tune(&mut second).unwrap();
+    assert!(r2.cache_hit);
+    // A hit skips analysis entirely: the key hash, plus at most one
+    // planning scan inside the conversion (no Analysis is built on hits).
+    let hit_traversals = passes::count();
+    assert!(hit_traversals <= 2, "cache hit performed {hit_traversals} traversals, budget 2");
+}
+
+#[test]
+fn tune_report_carries_conversion_outcome() {
+    let n = 800usize;
+    let rows: Vec<usize> = (0..n).collect();
+    let cols: Vec<usize> = (0..n).collect();
+    let vals = vec![1.0f64; n];
+    let mut m = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+
+    let mut oracle = Oracle::builder()
+        .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+        .tuner(RunFirstTuner::new(2))
+        .build()
+        .unwrap();
+    let report = oracle.tune(&mut m).unwrap();
+    if report.converted {
+        // COO source: every conversion target has a direct kernel.
+        assert_eq!(report.convert.path, ConvertPath::Direct);
+    } else {
+        assert_eq!(report.convert.path, ConvertPath::Identity);
+    }
+    assert!(report.convert.seconds >= 0.0);
+
+    // Re-tuning the already-switched matrix is an identity conversion.
+    let again = oracle.tune(&mut m).unwrap();
+    assert!(!again.converted);
+    assert_eq!(again.convert.path, ConvertPath::Identity);
+    assert_eq!(again.convert.seconds, 0.0);
+}
