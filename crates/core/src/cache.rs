@@ -25,10 +25,93 @@ pub(crate) struct CacheKey {
     pub op: Op,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct CacheSlot {
-    decision: TuneDecision,
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
     last_used: u64,
+}
+
+/// Bounded least-recently-used map: the one mechanism under both the
+/// decision cache and the Oracle's execution-plan cache.
+///
+/// Eviction scans for the oldest slot — O(len), which is irrelevant next
+/// to the work a hit saves, and keeps the structure a plain `HashMap` with
+/// no unsafe list splicing. Capacity 0 disables the map entirely (no
+/// storage, no counting).
+pub(crate) struct LruMap<K, V> {
+    capacity: usize,
+    slots: HashMap<K, Slot<V>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: std::fmt::Debug, V> std::fmt::Debug for LruMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruMap").field("capacity", &self.capacity).field("len", &self.slots.len()).finish()
+    }
+}
+
+impl<K: Copy + Eq + std::hash::Hash, V> LruMap<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        LruMap { capacity, slots: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, treating the slot as present only when `valid`
+    /// accepts it; counts the hit/miss and refreshes recency on a hit.
+    /// Always misses (and counts nothing) when disabled.
+    pub fn get_if(&mut self, key: &K, valid: impl FnOnce(&V) -> bool) -> Option<&mut V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        match self.slots.get_mut(key) {
+            Some(slot) if valid(&slot.value) => {
+                slot.last_used = self.tick;
+                self.hits += 1;
+                Some(&mut slot.value)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-counting accessor for a slot that was just looked up or
+    /// inserted (recency is not refreshed).
+    pub fn peek_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.slots.get_mut(key).map(|slot| &mut slot.value)
+    }
+
+    /// Stores a value, evicting the least-recently-used slot at capacity.
+    /// No-op when disabled.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.slots.len() >= self.capacity && !self.slots.contains_key(&key) {
+            if let Some(oldest) = self.slots.iter().min_by_key(|(_, s)| s.last_used).map(|(k, _)| *k) {
+                self.slots.remove(&oldest);
+            }
+        }
+        self.slots.insert(key, Slot { value, last_used: self.tick });
+    }
+
+    /// Drops every slot, keeping the counters.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, len: self.slots.len(), capacity: self.capacity }
+    }
 }
 
 /// Hit/miss counters and occupancy of an [`crate::Oracle`]'s cache.
@@ -56,69 +139,39 @@ impl CacheStats {
     }
 }
 
-/// Bounded least-recently-used map from [`CacheKey`] to [`TuneDecision`].
-///
-/// Eviction scans for the oldest slot — O(len), which is irrelevant next to
-/// the feature-extraction pass a hit saves, and keeps the structure a plain
-/// `HashMap` with no unsafe list splicing.
+/// Bounded LRU map from [`CacheKey`] to [`TuneDecision`]: a thin shell
+/// over [`LruMap`] (shared with the Oracle's execution-plan cache).
 #[derive(Debug)]
 pub(crate) struct DecisionCache {
-    capacity: usize,
-    slots: HashMap<CacheKey, CacheSlot>,
-    tick: u64,
-    hits: u64,
-    misses: u64,
+    map: LruMap<CacheKey, TuneDecision>,
 }
 
 impl DecisionCache {
     /// Cache holding up to `capacity` decisions (0 disables caching).
     pub fn new(capacity: usize) -> Self {
-        DecisionCache { capacity, slots: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+        DecisionCache { map: LruMap::new(capacity) }
     }
 
     /// Looks up a decision, refreshing its recency and counting the
     /// hit/miss. Always misses (and counts nothing) when disabled.
     pub fn get(&mut self, key: &CacheKey) -> Option<TuneDecision> {
-        if self.capacity == 0 {
-            return None;
-        }
-        self.tick += 1;
-        match self.slots.get_mut(key) {
-            Some(slot) => {
-                slot.last_used = self.tick;
-                self.hits += 1;
-                Some(slot.decision)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        self.map.get_if(key, |_| true).map(|d| *d)
     }
 
     /// Stores a decision, evicting the least-recently-used entry at
     /// capacity. No-op when disabled.
     pub fn insert(&mut self, key: CacheKey, decision: TuneDecision) {
-        if self.capacity == 0 {
-            return;
-        }
-        self.tick += 1;
-        if self.slots.len() >= self.capacity && !self.slots.contains_key(&key) {
-            if let Some(oldest) = self.slots.iter().min_by_key(|(_, s)| s.last_used).map(|(k, _)| *k) {
-                self.slots.remove(&oldest);
-            }
-        }
-        self.slots.insert(key, CacheSlot { decision, last_used: self.tick });
+        self.map.insert(key, decision);
     }
 
     /// Drops every entry, keeping the counters.
     pub fn clear(&mut self) {
-        self.slots.clear();
+        self.map.clear();
     }
 
     /// Current counters and occupancy.
     pub fn stats(&self) -> CacheStats {
-        CacheStats { hits: self.hits, misses: self.misses, len: self.slots.len(), capacity: self.capacity }
+        self.map.stats()
     }
 }
 

@@ -26,9 +26,11 @@
 //! [`Oracle::tune_for`] takes any [`Op`] — the engine's cost model ranks
 //! formats differently per operation, and cached decisions are keyed by it.
 //!
-//! The pre-facade free function [`tune_multiply`] still works but is
-//! deprecated: it is `f64`-only, SpMV-only, and re-extracts features on
-//! every call.
+//! Sessions are also *executors*: `tune_and_spmv` / `tune_and_spmm` run the
+//! operation on the backend matching the engine, and threaded execution
+//! goes through a cached per-structure [`morpheus::ExecPlan`] — thread
+//! schedules are computed once per matrix structure and replayed on every
+//! later call ([`TuneReport::plan`] reports `Built` vs `Reused`).
 //!
 //! # Example: a tuning session
 //! ```
@@ -88,11 +90,8 @@ pub use cache::CacheStats;
 pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
 pub use model_db::ModelDatabase;
 pub use oracle::{Oracle, OracleBuilder, DEFAULT_CACHE_CAPACITY};
-pub use tune::TuneReport;
+pub use tune::{PlanStatus, TuneReport};
 pub use tuner::{DecisionTreeTuner, FormatTuner, RandomForestTuner, RunFirstTuner, TuneDecision, TuningCost};
-
-#[allow(deprecated)]
-pub use tune::tune_multiply;
 
 /// Re-exported so downstream code can name operations without depending on
 /// `morpheus-machine` directly.

@@ -3,9 +3,11 @@
 //! The paper's tuner pays for itself by amortising a cheap prediction over
 //! many repeated executions (§VI, §VII-E). A session object makes that
 //! amortisation real at the API level: one `Oracle` holds the engine, the
-//! tuner, the conversion policy and an LRU decision cache, so a stream of
-//! tuning requests — the production shape of the workload — re-extracts
-//! features only for structures it has not seen before.
+//! tuner, the conversion policy, an LRU decision cache **and an execution
+//! plan cache**, so a stream of tuning requests — the production shape of
+//! the workload — re-extracts features only for structures it has not seen
+//! before, and re-derives thread schedules only for structures it has never
+//! executed.
 //!
 //! ```
 //! use morpheus::{CooMatrix, DynamicMatrix};
@@ -24,19 +26,82 @@
 //! assert_eq!(m.format_id(), report.chosen);
 //! ```
 
-use crate::cache::{CacheKey, CacheStats, DecisionCache};
-use crate::tune::TuneReport;
+use crate::cache::{CacheKey, CacheStats, DecisionCache, LruMap};
+use crate::tune::{PlanStatus, TuneReport};
 use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
 use crate::{OracleError, Result};
 use morpheus::format::FormatId;
-use morpheus::{Analysis, ConvertOptions, DynamicMatrix, Scalar};
+use morpheus::{Analysis, ConvertOptions, DynamicMatrix, ExecPlan, Scalar};
 use morpheus_machine::{analyze_from, Op, VirtualEngine};
+use morpheus_parallel::ThreadPool;
+use std::any::Any;
 
 /// Decisions a fresh [`Oracle`] keeps unless
 /// [`OracleBuilder::cache_capacity`] overrides it.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
-/// A tuning session: engine + tuner + conversion policy + decision cache.
+/// Key identifying one cached execution plan. Plans depend on the matrix
+/// structure *in its realized format*, the scalar width and the worker
+/// count — but not on the operation: SpMV and SpMM replay the same row
+/// partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    structure: u64,
+    scalar_bytes: usize,
+    threads: usize,
+}
+
+/// Bounded LRU map from [`PlanKey`] to a type-erased [`ExecPlan`]: the
+/// shared [`LruMap`] mechanism plus the downcast/validity wrapper. The
+/// scalar width in the key keeps `f32` and `f64` plans apart, and lookups
+/// re-check the downcast anyway.
+#[derive(Debug)]
+struct PlanCache {
+    map: LruMap<PlanKey, Box<dyn Any + Send>>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache { map: LruMap::new(capacity) }
+    }
+
+    fn capacity(&self) -> usize {
+        self.map.capacity()
+    }
+
+    /// Returns the cached plan for `key` if it exists, downcasts to
+    /// `ExecPlan<V>` and still describes `m`; otherwise builds one with
+    /// `build`, stores it and returns it. The `bool` is `true` on a hit.
+    /// Must not be called with caching disabled (capacity 0).
+    fn get_or_build<V: Scalar>(
+        &mut self,
+        key: PlanKey,
+        m: &DynamicMatrix<V>,
+        build: impl FnOnce() -> ExecPlan<V>,
+    ) -> (&mut ExecPlan<V>, bool) {
+        let hit = self
+            .map
+            .get_if(&key, |boxed| boxed.downcast_ref::<ExecPlan<V>>().is_some_and(|plan| plan.matches(m)))
+            .is_some();
+        if !hit {
+            self.map.insert(key, Box::new(build()));
+        }
+        let boxed = self.map.peek_mut(&key).expect("caller checked capacity > 0");
+        let plan = boxed.downcast_mut::<ExecPlan<V>>().expect("inserted with this scalar");
+        (plan, hit)
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.map.stats()
+    }
+}
+
+/// A tuning session: engine + tuner + conversion policy + decision cache +
+/// execution plan cache.
 ///
 /// Built via [`Oracle::builder`]. The tuner type `T` is generic so the
 /// session is zero-cost over concrete tuners and still accepts trait
@@ -50,6 +115,7 @@ pub struct Oracle<T> {
     tuner: T,
     opts: ConvertOptions,
     cache: DecisionCache,
+    plans: PlanCache,
     engine_fingerprint: u64,
 }
 
@@ -64,6 +130,15 @@ impl Oracle<()> {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
+}
+
+/// What one tuning call learned beyond the report: the structure hash of
+/// the matrix in its realized (post-conversion) format when it is known
+/// without re-hashing, plus the shared analysis built on a decision-cache
+/// miss (reused for plan construction).
+struct TuneArtifacts {
+    realized_hash: Option<u64>,
+    analysis: Option<Analysis>,
 }
 
 impl<T> Oracle<T> {
@@ -90,6 +165,18 @@ impl<T> Oracle<T> {
     /// conversion, so planning the target layout never re-traverses the
     /// matrix. On a hit, only the hash and the conversion are paid for.
     pub fn tune_for<V>(&mut self, m: &mut DynamicMatrix<V>, op: Op) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        self.tune_with_artifacts(m, op).map(|(report, _)| report)
+    }
+
+    fn tune_with_artifacts<V>(
+        &mut self,
+        m: &mut DynamicMatrix<V>,
+        op: Op,
+    ) -> Result<(TuneReport, TuneArtifacts)>
     where
         V: Scalar,
         T: FormatTuner<V>,
@@ -128,6 +215,7 @@ impl<T> Oracle<T> {
                 (FormatId::Csr, outcome)
             }
         };
+        let mut realized_hash = (chosen == previous).then_some(hash);
         if !cache_hit {
             // Cache the *realized* format: if the prediction proved
             // non-viable, later hits must not re-pay the failing
@@ -141,10 +229,12 @@ impl<T> Oracle<T> {
                 // structure too, so re-tuning the same (already switched)
                 // matrix — the repeated-execution loop of §VII-E — is a
                 // hit.
-                self.cache.insert(CacheKey { structure: m.structure_hash(), ..key }, realized);
+                let post_hash = m.structure_hash();
+                realized_hash = Some(post_hash);
+                self.cache.insert(CacheKey { structure: post_hash, ..key }, realized);
             }
         }
-        Ok(TuneReport {
+        let report = TuneReport {
             chosen,
             previous,
             predicted,
@@ -152,41 +242,78 @@ impl<T> Oracle<T> {
             converted: chosen != previous,
             op,
             cache_hit,
+            plan: PlanStatus::Unplanned,
             convert,
-        })
+        };
+        Ok((report, TuneArtifacts { realized_hash, analysis }))
     }
 
-    /// Host execution policy matching the session's target backend: serial
-    /// for the Serial engine, the process-wide thread pool otherwise
-    /// (OpenMP targets run threaded; simulated GPU targets have no host
-    /// device, so the threaded backend is the closest host execution).
-    fn exec_policy(&self) -> morpheus::spmv::ExecPolicy<'static> {
+    /// Host execution pool matching the session's target backend: `None`
+    /// (serial) for the Serial engine, the process-wide thread pool
+    /// otherwise (OpenMP targets run threaded; simulated GPU targets have
+    /// no host device, so the threaded backend is the closest host
+    /// execution).
+    fn exec_pool(&self) -> Option<&'static ThreadPool> {
         match self.engine.backend() {
-            morpheus_machine::Backend::Serial => morpheus::spmv::ExecPolicy::Serial,
-            _ => morpheus::spmv::ExecPolicy::Threaded {
-                pool: morpheus_parallel::global_pool(),
-                schedule: morpheus_parallel::Schedule::default(),
-            },
+            morpheus_machine::Backend::Serial => None,
+            _ => Some(morpheus_parallel::global_pool()),
         }
+    }
+
+    /// Executes `run` against the session's cached execution plan for `m`
+    /// in its realized format, building (and caching) the plan on first
+    /// sight of the structure. With caching disabled (capacity 0) a
+    /// one-shot plan is built per call — still the planned kernels, but
+    /// construction is re-paid every time.
+    fn with_plan<V: Scalar>(
+        &mut self,
+        m: &DynamicMatrix<V>,
+        artifacts: &TuneArtifacts,
+        pool: &ThreadPool,
+        run: impl FnOnce(&mut ExecPlan<V>) -> morpheus::Result<()>,
+    ) -> Result<PlanStatus> {
+        let threads = pool.num_threads();
+        let analysis = artifacts.analysis.as_ref();
+        if self.plans.capacity() == 0 {
+            run(&mut ExecPlan::build(m, threads, analysis))?;
+            return Ok(PlanStatus::Built);
+        }
+        let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
+        let key = PlanKey { structure, scalar_bytes: std::mem::size_of::<V>(), threads };
+        let (plan, hit) = self.plans.get_or_build(key, m, || ExecPlan::build(m, threads, analysis));
+        run(plan)?;
+        Ok(if hit { PlanStatus::Reused } else { PlanStatus::Built })
     }
 
     /// Tunes `m` for SpMV, then executes `y = A x` in the selected format,
     /// on the execution backend matching the session's engine (serial for
     /// a Serial engine, the host thread pool otherwise).
+    ///
+    /// Threaded execution runs through the session's cached
+    /// [`ExecPlan`] for the matrix structure: the first call builds the
+    /// plan (`report.plan == PlanStatus::Built`), subsequent calls in an
+    /// iterative loop replay it with zero scheduling work
+    /// (`PlanStatus::Reused`).
     pub fn tune_and_spmv<V>(&mut self, m: &mut DynamicMatrix<V>, x: &[V], y: &mut [V]) -> Result<TuneReport>
     where
         V: Scalar,
         T: FormatTuner<V>,
     {
-        let report = self.tune_for(m, Op::Spmv)?;
-        morpheus::spmv::spmv(m, x, y, self.exec_policy())?;
+        let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmv)?;
+        match self.exec_pool() {
+            None => morpheus::spmv::spmv_serial(m, x, y)?,
+            Some(pool) => {
+                report.plan = self.with_plan(m, &artifacts, pool, |plan| plan.spmv(m, x, y, pool))?;
+            }
+        }
         Ok(report)
     }
 
     /// Tunes `m` for SpMM with `k` right-hand sides, then executes
     /// `Y = A X` (`x` row-major `ncols x k`, `y` row-major `nrows x k`) in
-    /// the selected format. SpMM has only a serial host kernel, so the
-    /// execution is serial regardless of the engine's backend.
+    /// the selected format, serial or threaded-planned per the engine's
+    /// backend. SpMV and SpMM replay the *same* cached plan — the row
+    /// partition depends only on the structure.
     pub fn tune_and_spmm<V>(
         &mut self,
         m: &mut DynamicMatrix<V>,
@@ -198,8 +325,13 @@ impl<T> Oracle<T> {
         V: Scalar,
         T: FormatTuner<V>,
     {
-        let report = self.tune_for(m, Op::Spmm { k })?;
-        morpheus::spmm::spmm_serial(m, x, y, k)?;
+        let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmm { k })?;
+        match self.exec_pool() {
+            None => morpheus::spmm::spmm_serial(m, x, y, k)?,
+            Some(pool) => {
+                report.plan = self.with_plan(m, &artifacts, pool, |plan| plan.spmm(m, x, y, k, pool))?;
+            }
+        }
         Ok(report)
     }
 
@@ -223,10 +355,17 @@ impl<T> Oracle<T> {
         self.cache.stats()
     }
 
-    /// Forgets every cached decision (counters are kept). Call after
-    /// swapping model files on disk or recalibrating the engine.
+    /// Hit/miss counters and occupancy of the execution plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plans.stats()
+    }
+
+    /// Forgets every cached decision and execution plan (counters are
+    /// kept). Call after swapping model files on disk or recalibrating the
+    /// engine.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+        self.plans.clear();
     }
 }
 
@@ -264,8 +403,10 @@ impl<T> OracleBuilder<T> {
         self
     }
 
-    /// Overrides the decision-cache capacity
-    /// ([`DEFAULT_CACHE_CAPACITY`] entries by default; 0 disables caching).
+    /// Overrides the capacity shared by the decision cache and the
+    /// execution plan cache ([`DEFAULT_CACHE_CAPACITY`] entries by
+    /// default; 0 disables caching — executions then rebuild their plan
+    /// per call).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
         self
@@ -288,6 +429,7 @@ impl<T> OracleBuilder<T> {
             tuner,
             opts: self.opts,
             cache: DecisionCache::new(self.cache_capacity),
+            plans: PlanCache::new(self.cache_capacity),
             engine_fingerprint,
         })
     }
@@ -311,7 +453,7 @@ mod tests {
     use super::*;
     use crate::tuner::RunFirstTuner;
     use morpheus::CooMatrix;
-    use morpheus_machine::{systems, Backend};
+    use morpheus_machine::{systems, Backend, MatrixAnalysis};
 
     fn tridiag(n: usize) -> DynamicMatrix<f64> {
         let mut rows = Vec::new();
@@ -354,6 +496,7 @@ mod tests {
         let r1 = oracle.tune(&mut first).unwrap();
         assert!(!r1.cache_hit);
         assert!(r1.cost.total() > 0.0);
+        assert_eq!(r1.plan, PlanStatus::Unplanned, "tune-only calls never plan");
 
         // A *distinct* matrix with the same structure.
         let mut second = tridiag(2000);
@@ -373,18 +516,57 @@ mod tests {
     }
 
     #[test]
-    fn different_ops_tune_independently() {
+    fn tune_switches_format_and_preserves_entries() {
+        let mut m = tridiag(4000);
         let mut oracle = session();
-        let mut m = tridiag(1500);
-        let spmv = oracle.tune_for(&mut m, Op::Spmv).unwrap();
-        assert_eq!(spmv.op, Op::Spmv);
-        // The same structure under another op is a different question — no
-        // false hit. (The matrix is now in the tuned format, so re-tune a
-        // fresh COO copy.)
-        let mut m2 = tridiag(1500);
-        let spmm = oracle.tune_for(&mut m2, Op::Spmm { k: 8 }).unwrap();
-        assert_eq!(spmm.op, Op::Spmm { k: 8 });
-        assert!(!spmm.cache_hit);
+        let report = oracle.tune(&mut m).unwrap();
+        assert_eq!(report.previous, FormatId::Coo);
+        assert_eq!(m.format_id(), report.chosen);
+        assert_eq!(report.predicted, report.chosen);
+        assert_eq!(report.op, Op::Spmv);
+        assert_eq!(m.nnz(), 3 * 4000 - 2);
+    }
+
+    #[test]
+    fn fallback_to_csr_on_nonviable_prediction() {
+        /// A tuner that always predicts ELL, even when ELL cannot hold the
+        /// matrix within the fill limit.
+        struct AlwaysEll;
+        impl FormatTuner<f64> for AlwaysEll {
+            fn name(&self) -> &'static str {
+                "always-ell"
+            }
+            fn select(
+                &self,
+                _: &DynamicMatrix<f64>,
+                _: &MatrixAnalysis,
+                _: &VirtualEngine,
+                op: Op,
+            ) -> TuneDecision {
+                TuneDecision { format: FormatId::Ell, op, cost: TuningCost::default() }
+            }
+        }
+
+        // Hypersparse with one long row: ELL width explodes.
+        let n = 50_000usize;
+        let mut rows: Vec<usize> = (0..500).map(|k| (k * 97) % n).collect();
+        let mut cols: Vec<usize> = (0..500).map(|k| (k * 31) % n).collect();
+        for k in 0..4000 {
+            rows.push(7);
+            cols.push((k * 11) % n);
+        }
+        let vals = vec![1.0; rows.len()];
+        let mut m = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+
+        let mut oracle = Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::Serial))
+            .tuner(AlwaysEll)
+            .build()
+            .unwrap();
+        let report = oracle.tune(&mut m).unwrap();
+        assert_eq!(report.predicted, FormatId::Ell);
+        assert_eq!(report.chosen, FormatId::Csr);
+        assert_eq!(m.format_id(), FormatId::Csr);
     }
 
     #[test]
@@ -401,6 +583,7 @@ mod tests {
         let mut y = vec![f64::NAN; n];
         let report = oracle.tune_and_spmv(&mut tuned, &x, &mut y).unwrap();
         assert_eq!(tuned.format_id(), report.chosen);
+        assert_eq!(report.plan, PlanStatus::Unplanned, "serial sessions execute unplanned");
         assert_eq!(y, y_ref);
 
         // SpMM with k = 1 equals SpMV.
@@ -423,11 +606,46 @@ mod tests {
         let mut y = vec![f64::NAN; 800];
         let report = oracle.tune_and_spmv(&mut m, &x, &mut y).unwrap();
         assert_eq!(m.format_id(), report.chosen);
-        // The threaded backend is bit-identical to serial on the same
-        // tuned matrix.
+        // The threaded planned backend is bit-identical to serial on the
+        // same tuned matrix.
         let mut y_serial = vec![0.0f64; 800];
         morpheus::spmv::spmv_serial(&m, &x, &mut y_serial).unwrap();
         assert_eq!(y, y_serial);
+    }
+
+    #[test]
+    fn iterative_loop_builds_the_plan_once_and_replays_it() {
+        let mut oracle = Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(3))
+            .build()
+            .unwrap();
+        let mut m = tridiag(1500);
+        let x = vec![1.0f64; 1500];
+        let mut y = vec![0.0f64; 1500];
+
+        let first = oracle.tune_and_spmv(&mut m, &x, &mut y).unwrap();
+        assert_eq!(first.plan, PlanStatus::Built, "first execution plans the structure");
+        for _ in 0..3 {
+            let next = oracle.tune_and_spmv(&mut m, &x, &mut y).unwrap();
+            assert!(next.cache_hit);
+            assert_eq!(next.plan, PlanStatus::Reused, "steady state must replay the plan");
+            assert!(next.plan.is_hit());
+        }
+        // SpMM on the same structure replays the same plan (partitioning
+        // is operation-agnostic) even though the SpMM *decision* is new...
+        let k = 4usize;
+        let xk = vec![1.0f64; 1500 * k];
+        let mut yk = vec![0.0f64; 1500 * k];
+        let mm = oracle.tune_and_spmm(&mut m, &xk, &mut yk, k).unwrap();
+        // ...unless the SpMM tuner picked a different format, in which case
+        // a fresh plan is built for that format.
+        if !mm.converted {
+            assert_eq!(mm.plan, PlanStatus::Reused);
+        }
+        let stats = oracle.plan_cache_stats();
+        assert!(stats.hits >= 3, "plan hits: {stats:?}");
+        assert!(stats.len >= 1);
     }
 
     #[test]
@@ -448,14 +666,40 @@ mod tests {
     }
 
     #[test]
-    fn clear_cache_forces_fresh_decision() {
-        let mut oracle = session();
+    fn disabled_cache_still_executes_threaded_with_fresh_plans() {
+        let mut oracle = Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(2))
+            .cache_capacity(0)
+            .build()
+            .unwrap();
+        let mut m = tridiag(700);
+        let x = vec![2.0f64; 700];
+        let mut y = vec![0.0f64; 700];
+        for _ in 0..2 {
+            let r = oracle.tune_and_spmv(&mut m, &x, &mut y).unwrap();
+            assert_eq!(r.plan, PlanStatus::Built, "no cache: every call rebuilds its plan");
+        }
+        let mut y_ref = vec![0.0f64; 700];
+        morpheus::spmv::spmv_serial(&m, &x, &mut y_ref).unwrap();
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn clear_cache_forces_fresh_decision_and_plan() {
+        let mut oracle = Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(3))
+            .build()
+            .unwrap();
         let mut a = tridiag(1200);
-        let mut b = tridiag(1200);
-        oracle.tune(&mut a).unwrap();
+        let x = vec![1.0f64; 1200];
+        let mut y = vec![0.0f64; 1200];
+        oracle.tune_and_spmv(&mut a, &x, &mut y).unwrap();
         oracle.clear_cache();
-        let r = oracle.tune(&mut b).unwrap();
+        let r = oracle.tune_and_spmv(&mut a, &x, &mut y).unwrap();
         assert!(!r.cache_hit);
+        assert_eq!(r.plan, PlanStatus::Built, "cleared plan cache must rebuild");
         assert_eq!(oracle.cache_stats().misses, 2);
     }
 
@@ -473,5 +717,6 @@ mod tests {
         assert_eq!(oracle.tuner().reps(), 7);
         assert_eq!(oracle.convert_options().max_fill, 3.5);
         assert_eq!(oracle.cache_stats().capacity, 16);
+        assert_eq!(oracle.plan_cache_stats().capacity, 16);
     }
 }

@@ -1,20 +1,39 @@
-//! The tuning report and the legacy one-shot entry point (§VI-B).
+//! The tuning report (§VI-B).
 //!
 //! "The input of the tuning operation requires the DynamicMatrix and the
 //! tuner, along with the desired execution space ... Upon completion of the
 //! tuning operation, the tuner can be queried for the optimal format" —
 //! here the operation also performs the switch, returning a report with the
-//! decision and its cost. The session-based API lives in
-//! [`crate::Oracle`]; [`tune_multiply`] remains as a thin deprecated
-//! wrapper for one-shot `f64` SpMV tuning.
+//! decision and its cost. Tuning runs through [`crate::Oracle`] sessions;
+//! the pre-facade `tune_multiply` free function has been removed (build a
+//! session with `cache_capacity(0)` for one-shot behaviour).
 
-use crate::tuner::{FormatTuner, TuningCost};
-use crate::{Oracle, Result};
+use crate::tuner::TuningCost;
 use morpheus::format::FormatId;
-use morpheus::{ConvertOptions, DynamicMatrix};
-use morpheus_machine::{Op, VirtualEngine};
+use morpheus_machine::Op;
 
-/// Outcome of one tuning call ([`Oracle::tune`] and friends).
+/// How the execution stage following a tune was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStatus {
+    /// No execution plan was involved: a pure [`crate::Oracle::tune`] (no
+    /// execution), or serial execution (nothing to schedule).
+    Unplanned,
+    /// An [`morpheus::ExecPlan`] was built for this call and cached for
+    /// the structure.
+    Built,
+    /// A cached plan was replayed with zero scheduling work — the
+    /// amortised steady state of an iterative loop.
+    Reused,
+}
+
+impl PlanStatus {
+    /// `true` when a cached plan was replayed.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, PlanStatus::Reused)
+    }
+}
+
+/// Outcome of one tuning call ([`crate::Oracle::tune`] and friends).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TuneReport {
     /// Format the matrix ended up in.
@@ -36,131 +55,13 @@ pub struct TuneReport {
     pub op: Op,
     /// `true` when the decision came from the session's cache.
     pub cache_hit: bool,
+    /// Whether the execution stage built a fresh [`morpheus::ExecPlan`],
+    /// replayed a cached one, or ran unplanned. Always
+    /// [`PlanStatus::Unplanned`] for tune-only calls.
+    pub plan: PlanStatus,
     /// Which conversion path realised the switch (direct kernel, COO hub,
     /// or identity) and its measured wall-clock cost. Unlike
     /// [`TuneReport::cost`], this is host time, not the engine's virtual
     /// clock — it is the real price §VII's amortisation argument is about.
     pub convert: morpheus::ConvertOutcome,
-}
-
-/// Tunes the matrix for SpMV on `engine` using `tuner` and switches it to
-/// the selected format in place.
-///
-/// Legacy one-shot entry point: builds a throw-away cache-less
-/// [`Oracle`] session per call, so repeated use re-extracts features every
-/// time and only supports `f64`. Prefer a long-lived session:
-///
-/// ```text
-/// let mut oracle = Oracle::builder().engine(engine).tuner(tuner).build()?;
-/// oracle.tune(&mut m)?;
-/// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "use Oracle::builder() — the session facade is generic over scalars, \
-            operation-aware, and amortises tuning cost through its decision cache"
-)]
-pub fn tune_multiply(
-    m: &mut DynamicMatrix<f64>,
-    tuner: &dyn FormatTuner<f64>,
-    engine: &VirtualEngine,
-    opts: &ConvertOptions,
-) -> Result<TuneReport> {
-    let mut oracle = Oracle::builder()
-        .engine(engine.clone())
-        .tuner(tuner)
-        .convert_options(*opts)
-        .cache_capacity(0)
-        .build()?;
-    oracle.tune(m)
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-    use crate::tuner::{RunFirstTuner, TuneDecision};
-    use morpheus::CooMatrix;
-    use morpheus_machine::{systems, Backend, MatrixAnalysis};
-
-    fn tridiag(n: usize) -> DynamicMatrix<f64> {
-        let mut rows = Vec::new();
-        let mut cols = Vec::new();
-        for i in 0..n {
-            for d in [-1isize, 0, 1] {
-                let j = i as isize + d;
-                if j >= 0 && (j as usize) < n {
-                    rows.push(i);
-                    cols.push(j as usize);
-                }
-            }
-        }
-        let vals = vec![1.0; rows.len()];
-        DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap())
-    }
-
-    #[test]
-    fn tune_multiply_switches_format() {
-        let mut m = tridiag(4000);
-        let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
-        let report =
-            tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
-        assert_eq!(report.previous, FormatId::Coo);
-        assert_eq!(m.format_id(), report.chosen);
-        assert_eq!(report.predicted, report.chosen);
-        assert_eq!(report.op, Op::Spmv);
-        assert!(!report.cache_hit, "one-shot wrapper runs cache-less");
-        // Entries preserved through the switch.
-        assert_eq!(m.nnz(), 3 * 4000 - 2);
-    }
-
-    #[test]
-    fn fallback_to_csr_on_nonviable_prediction() {
-        /// A tuner that always predicts ELL, even when ELL cannot hold the
-        /// matrix within the fill limit.
-        struct AlwaysEll;
-        impl FormatTuner<f64> for AlwaysEll {
-            fn name(&self) -> &'static str {
-                "always-ell"
-            }
-            fn select(
-                &self,
-                _: &DynamicMatrix<f64>,
-                _: &MatrixAnalysis,
-                _: &VirtualEngine,
-                op: Op,
-            ) -> TuneDecision {
-                TuneDecision { format: FormatId::Ell, op, cost: TuningCost::default() }
-            }
-        }
-
-        // Hypersparse with one long row: ELL width explodes.
-        let n = 50_000usize;
-        let mut rows: Vec<usize> = (0..500).map(|k| (k * 97) % n).collect();
-        let mut cols: Vec<usize> = (0..500).map(|k| (k * 31) % n).collect();
-        for k in 0..4000 {
-            rows.push(7);
-            cols.push((k * 11) % n);
-        }
-        let vals = vec![1.0; rows.len()];
-        let mut m = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
-
-        let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
-        let report = tune_multiply(&mut m, &AlwaysEll, &engine, &ConvertOptions::default()).unwrap();
-        assert_eq!(report.predicted, FormatId::Ell);
-        assert_eq!(report.chosen, FormatId::Csr);
-        assert_eq!(m.format_id(), FormatId::Csr);
-    }
-
-    #[test]
-    fn no_conversion_when_already_optimal() {
-        let mut m = tridiag(3000);
-        let engine = VirtualEngine::new(systems::a64fx(), Backend::Serial);
-        // First tune moves it to the optimum; second tune is a no-op switch.
-        let first =
-            tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
-        let second =
-            tune_multiply(&mut m, &RunFirstTuner::new(3), &engine, &ConvertOptions::default()).unwrap();
-        assert_eq!(second.chosen, first.chosen);
-        assert!(!second.converted);
-    }
 }

@@ -17,6 +17,7 @@
 
 use morpheus::format::FormatId;
 use morpheus::{convert_via_hub, Analysis, ConvertOptions, CooMatrix, DynamicMatrix};
+use morpheus_bench::report::json_escape;
 use morpheus_corpus::gen::banded::tridiagonal;
 use morpheus_corpus::gen::powerlaw::zipf_rows;
 use morpheus_corpus::gen::random::near_diagonal;
@@ -69,10 +70,6 @@ struct Row {
     direct_s: f64,
     planned_s: f64,
     path: String,
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {

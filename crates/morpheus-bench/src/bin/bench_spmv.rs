@@ -1,0 +1,353 @@
+//! Planned-vs-unplanned execution benchmark with a machine-readable
+//! snapshot.
+//!
+//! Measures the two claims the planned execution layer makes:
+//!
+//! * **SpMV**: an iterative loop over a cached [`morpheus::ExecPlan`]
+//!   (partition computed once, replayed every call) against the per-call
+//!   scheduled threaded kernels that re-derive the *same* partition on
+//!   every invocation (`weighted_partition` over CSR row lengths,
+//!   `row_aligned_partition` over sorted COO entries). Plan construction is
+//!   charged to the planned total, so the ratio is the honest amortised
+//!   gain at the given iteration count.
+//! * **SpMM**: the threaded planned kernel against the serial kernel, for
+//!   several right-hand-side counts.
+//!
+//! Results go to stdout as a table and to `BENCH_spmv.json` (override with
+//! `--out PATH`). `--smoke` shrinks sizes and iteration counts for CI.
+//! Worker count defaults to the host parallelism; override with
+//! `MORPHEUS_BENCH_THREADS` (the snapshot records it — single-core hosts
+//! still show the scheduling-amortisation win, but cannot show parallel
+//! SpMM speedups).
+
+use morpheus::format::FormatId;
+use morpheus::spmv::threaded;
+use morpheus::{spmm, Analysis, ConvertOptions, CooMatrix, DynamicMatrix, ExecPlan};
+use morpheus_bench::report::json_escape;
+use morpheus_corpus::gen::banded::tridiagonal;
+use morpheus_corpus::gen::powerlaw::{hub_rows, zipf_rows};
+use morpheus_corpus::gen::stencil::poisson2d;
+use morpheus_machine::{systems, Backend, VirtualEngine};
+use morpheus_oracle::{Oracle, RunFirstTuner};
+use morpheus_parallel::ThreadPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    /// `"powerlaw"` rows enter the headline geomean; `"regular"` rows are
+    /// the contrast set.
+    family: &'static str,
+    matrix: CooMatrix<f64>,
+}
+
+fn corpus(smoke: bool) -> Vec<Case> {
+    let mut rng = StdRng::seed_from_u64(17);
+    let scale = |full: usize, small: usize| if smoke { small } else { full };
+    vec![
+        Case {
+            name: "zipf-mid",
+            family: "powerlaw",
+            matrix: zipf_rows(scale(30_000, 2_000), scale(150_000, 10_000), 1.0, &mut rng),
+        },
+        Case {
+            name: "zipf-steep",
+            family: "powerlaw",
+            matrix: zipf_rows(scale(12_000, 1_200), scale(60_000, 6_000), 1.3, &mut rng),
+        },
+        Case {
+            name: "hub",
+            family: "powerlaw",
+            matrix: hub_rows(scale(24_000, 1_600), 2, scale(8_000, 600), scale(120_000, 8_000), &mut rng),
+        },
+        Case {
+            name: "zipf-wide",
+            family: "powerlaw",
+            matrix: zipf_rows(scale(60_000, 3_000), scale(240_000, 12_000), 0.9, &mut rng),
+        },
+        Case { name: "poisson2d", family: "regular", matrix: poisson2d(scale(180, 40), scale(180, 40)) },
+        Case { name: "tridiagonal", family: "regular", matrix: tridiagonal(scale(120_000, 4_000)) },
+    ]
+}
+
+/// Total wall time of `iters` runs of `f`: best of three measured loops
+/// (after one warm-up run), which filters scheduler noise on shared hosts.
+fn time_loop<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The pre-plan steady state: the threaded kernel that recomputes its
+/// schedule on every call, matching the partition the plan precomputes.
+fn spmv_percall(m: &DynamicMatrix<f64>, x: &[f64], y: &mut [f64], pool: &ThreadPool) {
+    match m {
+        DynamicMatrix::Csr(a) => threaded::spmv_csr_balanced(a, x, y, pool),
+        DynamicMatrix::Coo(a) => threaded::spmv_coo(a, x, y, pool),
+        _ => {
+            morpheus::spmv::spmv_threaded(m, x, y, pool, morpheus_parallel::Schedule::default())
+                .expect("shapes agree");
+        }
+    }
+}
+
+struct SpmvRow {
+    matrix: String,
+    family: &'static str,
+    format: FormatId,
+    /// `true` when this is the format the Oracle selects for the matrix —
+    /// the steady-state execution of an iterative loop, and the rows the
+    /// headline geomean is computed over.
+    tuned: bool,
+    nrows: usize,
+    nnz: usize,
+    unplanned_s: f64,
+    planned_s: f64,
+    plan_build_s: f64,
+    speedup: f64,
+}
+
+struct SpmmRow {
+    matrix: String,
+    family: &'static str,
+    format: FormatId,
+    k: usize,
+    nnz: usize,
+    serial_s: f64,
+    threaded_s: f64,
+    speedup: f64,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0usize);
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_spmv.json".to_string());
+    let iters_override = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let spmv_iters = iters_override.unwrap_or(if smoke { 30 } else { 200 });
+    let spmm_iters = iters_override.map(|n| n.div_ceil(8)).unwrap_or(if smoke { 5 } else { 25 });
+    let threads = std::env::var("MORPHEUS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let pool = ThreadPool::new(threads);
+    let opts = ConvertOptions::default();
+    let formats = [FormatId::Csr, FormatId::Hyb, FormatId::Coo];
+    let ks = [4usize, 8];
+
+    let mut spmv_rows: Vec<SpmvRow> = Vec::new();
+    let mut spmm_rows: Vec<SpmmRow> = Vec::new();
+
+    // Session used only to name the steady-state format per matrix (the
+    // one the headline geomean reads).
+    let mut selector = Oracle::builder()
+        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(1))
+        .build()
+        .expect("engine and tuner set");
+
+    for case in corpus(smoke) {
+        let base = DynamicMatrix::from(case.matrix);
+        let x: Vec<f64> = (0..base.ncols()).map(|i| 1.0 + (i % 13) as f64 * 0.25).collect();
+        let tuned_fmt = {
+            let mut probe = base.clone();
+            selector.tune(&mut probe).map(|r| r.chosen).unwrap_or(FormatId::Csr)
+        };
+        for target in formats {
+            let Ok(m) = base.to_format(target, &opts) else { continue };
+            let analysis = Analysis::of_auto(&m, opts.true_diag_alpha);
+
+            // --- SpMV: per-call scheduling vs plan-once/run-many ---
+            let mut y_unplanned = vec![0.0f64; m.nrows()];
+            let unplanned_s = time_loop(spmv_iters, || spmv_percall(&m, &x, &mut y_unplanned, &pool));
+
+            let t0 = Instant::now();
+            let plan = ExecPlan::build(&m, pool.num_threads(), Some(&analysis));
+            let plan_build_s = t0.elapsed().as_secs_f64();
+            let mut y_planned = vec![0.0f64; m.nrows()];
+            let planned_loop_s =
+                time_loop(spmv_iters, || plan.spmv(&m, &x, &mut y_planned, &pool).expect("plan matches"));
+            let planned_s = planned_loop_s + plan_build_s;
+
+            assert!(
+                y_unplanned.iter().zip(&y_planned).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{}/{}: planned result diverged",
+                case.name,
+                target
+            );
+
+            spmv_rows.push(SpmvRow {
+                matrix: case.name.to_string(),
+                family: case.family,
+                format: target,
+                tuned: target == tuned_fmt,
+                nrows: m.nrows(),
+                nnz: m.nnz(),
+                unplanned_s,
+                planned_s,
+                plan_build_s,
+                speedup: unplanned_s / planned_s,
+            });
+
+            // --- SpMM: serial vs threaded-planned (CSR representative +
+            //     whatever format the case is benched in) ---
+            if m.nnz() > 16_000 || smoke {
+                for &k in &ks {
+                    let xk: Vec<f64> = (0..base.ncols() * k).map(|i| 0.5 + (i % 7) as f64 * 0.5).collect();
+                    let mut y_serial = vec![0.0f64; m.nrows() * k];
+                    let serial_s =
+                        time_loop(spmm_iters, || spmm::spmm_serial(&m, &xk, &mut y_serial, k).unwrap());
+                    let mut y_threaded = vec![0.0f64; m.nrows() * k];
+                    let threaded_s = time_loop(spmm_iters, || {
+                        plan.spmm(&m, &xk, &mut y_threaded, k, &pool).expect("plan matches")
+                    });
+                    assert!(
+                        y_serial.iter().zip(&y_threaded).all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "{}/{} k={k}: threaded SpMM diverged",
+                        case.name,
+                        target
+                    );
+                    spmm_rows.push(SpmmRow {
+                        matrix: case.name.to_string(),
+                        family: case.family,
+                        format: target,
+                        k,
+                        nnz: m.nnz(),
+                        serial_s,
+                        threaded_s,
+                        speedup: serial_s / threaded_s,
+                    });
+                }
+            }
+        }
+    }
+
+    // --- report ---
+    println!(
+        "{:<12} {:<9} {:>5} {:>9} {:>9} | {:>11} {:>11} {:>9} {:>8}",
+        "matrix", "family", "fmt", "nrows", "nnz", "unplanned_s", "planned_s", "build_s", "speedup"
+    );
+    for r in &spmv_rows {
+        println!(
+            "{:<12} {:<9} {:>5}{} {:>8} {:>9} | {:>11.6} {:>11.6} {:>9.6} {:>7.2}x",
+            r.matrix,
+            r.family,
+            r.format.to_string(),
+            if r.tuned { "*" } else { " " },
+            r.nrows,
+            r.nnz,
+            r.unplanned_s,
+            r.planned_s,
+            r.plan_build_s,
+            r.speedup
+        );
+    }
+    println!("(* = the format the Oracle selects for this matrix)");
+    println!();
+    println!(
+        "{:<12} {:<9} {:>5} {:>3} {:>9} | {:>10} {:>11} {:>8}",
+        "matrix", "family", "fmt", "k", "nnz", "serial_s", "threaded_s", "speedup"
+    );
+    for r in &spmm_rows {
+        println!(
+            "{:<12} {:<9} {:>5} {:>3} {:>9} | {:>10.6} {:>11.6} {:>7.2}x",
+            r.matrix,
+            r.family,
+            r.format.to_string(),
+            r.k,
+            r.nnz,
+            r.serial_s,
+            r.threaded_s,
+            r.speedup
+        );
+    }
+
+    let spmv_powerlaw =
+        geomean(spmv_rows.iter().filter(|r| r.family == "powerlaw" && r.tuned).map(|r| r.speedup));
+    let spmv_all_formats_powerlaw =
+        geomean(spmv_rows.iter().filter(|r| r.family == "powerlaw").map(|r| r.speedup));
+    let spmv_all = geomean(spmv_rows.iter().map(|r| r.speedup));
+    let spmm_all = geomean(spmm_rows.iter().map(|r| r.speedup));
+    println!();
+    println!("planned SpMV geomean speedup, powerlaw corpus (tuned formats): {spmv_powerlaw:.3}x");
+    println!(
+        "planned SpMV geomean speedup, powerlaw corpus (all formats):   {spmv_all_formats_powerlaw:.3}x"
+    );
+    println!("planned SpMV geomean speedup (every row):                      {spmv_all:.3}x");
+    println!("threaded SpMM geomean speedup over serial:                     {spmm_all:.3}x  ({threads} worker(s))");
+
+    // --- snapshot ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench_spmv/v1\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"spmv_iters\": {spmv_iters},\n"));
+    json.push_str(&format!("  \"spmm_iters\": {spmm_iters},\n"));
+    json.push_str(&format!("  \"spmv_powerlaw_geomean_speedup\": {spmv_powerlaw:.4},\n"));
+    json.push_str(&format!(
+        "  \"spmv_powerlaw_all_formats_geomean_speedup\": {spmv_all_formats_powerlaw:.4},\n"
+    ));
+    json.push_str(&format!("  \"spmv_geomean_speedup\": {spmv_all:.4},\n"));
+    json.push_str(&format!("  \"spmm_geomean_speedup\": {spmm_all:.4},\n"));
+    json.push_str("  \"spmv\": [\n");
+    for (i, r) in spmv_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"matrix\": \"{}\", \"family\": \"{}\", \"format\": \"{}\", \"tuned\": {}, \"nrows\": {}, \
+             \"nnz\": {}, \"unplanned_s\": {:.6e}, \"planned_s\": {:.6e}, \"plan_build_s\": {:.6e}, \
+             \"speedup\": {:.4}}}{}\n",
+            json_escape(&r.matrix), r.family, r.format, r.tuned, r.nrows, r.nnz,
+            r.unplanned_s, r.planned_s, r.plan_build_s, r.speedup,
+            if i + 1 < spmv_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"spmm\": [\n");
+    for (i, r) in spmm_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"matrix\": \"{}\", \"family\": \"{}\", \"format\": \"{}\", \"k\": {}, \"nnz\": {}, \
+             \"serial_s\": {:.6e}, \"threaded_s\": {:.6e}, \"speedup\": {:.4}}}{}\n",
+            json_escape(&r.matrix),
+            r.family,
+            r.format,
+            r.k,
+            r.nnz,
+            r.serial_s,
+            r.threaded_s,
+            r.speedup,
+            if i + 1 < spmm_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write snapshot");
+    println!("snapshot written to {out_path}");
+}

@@ -1,5 +1,11 @@
 //! Plain-text table and histogram rendering for the experiment binaries.
 
+/// Escapes a string for embedding in a JSON string literal (the snapshot
+/// writers keep their JSON hand-rolled to stay dependency-free).
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Summary statistics of a sample (the row shape of Table IV).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleStats {

@@ -52,9 +52,14 @@ pub struct MatrixAnalysis {
     pub warp_iters_hdc_csr: u64,
     /// Mean row length of the HDC CSR remainder.
     pub hdc_csr_mean_row: f64,
-    /// Maximum row length of the HDC CSR remainder (drives its imbalance
-    /// and GPU tail-latency terms).
+    /// Maximum row length of the HDC CSR remainder (drives its GPU
+    /// tail-latency terms).
     pub hdc_csr_max_row: usize,
+    /// Per-row occupancy of the HDC CSR remainder (entries off every true
+    /// diagonal) — the weights the planned executor partitions the
+    /// remainder by, so its imbalance can be modelled with the same greedy
+    /// as standalone CSR.
+    pub hdc_csr_hist: Vec<u32>,
     /// Prefix sums of `row_hist` (`row_prefix[i]` = entries in rows `< i`),
     /// for O(threads) static-partition imbalance queries.
     pub row_prefix: Vec<u64>,
@@ -81,6 +86,33 @@ impl MatrixAnalysis {
             worst = worst.max(chunk);
         }
         (worst as f64 / mean).max(1.0)
+    }
+
+    /// Load imbalance of the **nnz-weighted** row partition the planned
+    /// executor (`morpheus::ExecPlan`) builds: the *same*
+    /// `weighted_partition_with` greedy is replayed over the row histogram
+    /// and the slowest chunk compared against the ideal `nnz / threads`,
+    /// so the prediction matches the schedule that actually runs — chunks
+    /// can never split a row (the largest row lower-bounds the slowest
+    /// chunk) and the greedy may overshoot its target by up to one row.
+    /// O(rows) per query; compare
+    /// [`MatrixAnalysis::static_row_imbalance`] for the OpenMP
+    /// `schedule(static)` partition the paper's kernels use.
+    pub fn balanced_row_imbalance(&self, threads: usize) -> f64 {
+        greedy_balanced_imbalance(&self.row_hist, self.stats.nnz, threads)
+    }
+
+    /// [`MatrixAnalysis::balanced_row_imbalance`] for the HDC CSR
+    /// remainder: the executor partitions the remainder by its *own* row
+    /// weights (`ExecPlan` reads the remainder's `row_offsets`), so the
+    /// model replays the greedy over the remainder histogram. Using the
+    /// whole-matrix histogram here would mis-predict whenever the DIA
+    /// portion absorbs the skew — and using anything *other* than the same
+    /// greedy would rank HDC inconsistently against standalone CSR in the
+    /// degenerate no-true-diagonals case, where the remainder is the whole
+    /// matrix.
+    pub fn hdc_csr_balanced_imbalance(&self, threads: usize) -> f64 {
+        greedy_balanced_imbalance(&self.hdc_csr_hist, self.hdc_csr_nnz, threads)
     }
 
     /// Structural non-zeros.
@@ -122,6 +154,21 @@ impl MatrixAnalysis {
     pub fn mean_row(&self) -> f64 {
         self.stats.row_nnz_mean
     }
+}
+
+/// Load imbalance of the nnz-weighted greedy row partition
+/// (`weighted_partition_with`, the one `morpheus::ExecPlan` builds) over
+/// the given per-row weights: slowest chunk over the ideal
+/// `total / threads`. O(rows) per query.
+fn greedy_balanced_imbalance(hist: &[u32], total: usize, threads: usize) -> f64 {
+    let total = total as f64;
+    if threads <= 1 || hist.is_empty() || total == 0.0 {
+        return 1.0;
+    }
+    let threads = threads.min(hist.len());
+    let parts = morpheus_parallel::weighted_partition_with(hist.len(), threads, |r| hist[r] as usize);
+    let worst = parts.iter().map(|p| p.clone().map(|r| u64::from(hist[r])).sum::<u64>()).max().unwrap_or(0);
+    (worst as f64 / (total / threads as f64)).max(1.0)
 }
 
 /// Warp-divergence statistic: sum over consecutive 32-row groups of the
@@ -212,6 +259,7 @@ pub fn analyze_from<V: Scalar>(m: &DynamicMatrix<V>, shared: &Analysis) -> Matri
         hdc_csr_nnz,
         hdc_csr_mean_row,
         hdc_csr_max_row,
+        hdc_csr_hist,
         row_prefix,
     }
 }
@@ -308,6 +356,90 @@ mod tests {
         assert_eq!(a.warp_iters_csr, 0);
         assert_eq!(a.ell_padded(), 0);
         assert_eq!(a.locality, 1.0);
+    }
+
+    #[test]
+    fn balanced_imbalance_bounded_by_largest_row_and_below_static() {
+        // 63 singleton rows + one 1000-entry hub: schedule(static) hands
+        // one contiguous chunk the hub *plus* its neighbours, the balanced
+        // partition isolates the hub.
+        let n = 64usize;
+        let mut rows: Vec<usize> = (0..n - 1).collect();
+        let mut cols: Vec<usize> = (0..n - 1).map(|r| (r * 7) % n).collect();
+        let m = 1024usize;
+        for c in 0..1000 {
+            rows.push(n - 1);
+            cols.push(c % m);
+        }
+        let vals = vec![1.0; rows.len()];
+        let a = analyze(&DynamicMatrix::from(CooMatrix::from_triplets(n, m, &rows, &cols, &vals).unwrap()));
+        let threads = 8;
+        let balanced = a.balanced_row_imbalance(threads);
+        let ideal = a.nnz() as f64 / threads as f64;
+        assert!((balanced - 1000.0 / ideal).abs() < 1e-9, "hub bounds the slowest chunk: {balanced}");
+        assert!(balanced <= a.static_row_imbalance(threads) + 1e-9, "balanced can only help");
+        // Uniform matrices are near-perfectly balanced (the greedy may
+        // overshoot its per-chunk target by at most one row).
+        let u = tridiag(1000);
+        let ua = analyze(&u);
+        assert!((ua.balanced_row_imbalance(16) - 1.0).abs() < 0.05);
+        assert_eq!(ua.balanced_row_imbalance(1), 1.0);
+    }
+
+    #[test]
+    fn balanced_imbalance_replays_the_real_greedy_not_a_closed_form() {
+        // Two heavy rows plus a singleton, two threads: the greedy crosses
+        // its target mid-row and packs both heavy rows into one chunk, so
+        // the true imbalance is ~2x — a closed-form max(ideal, max_row) /
+        // ideal would report ~1x and make CSR look twice as fast as the
+        // planned execution actually runs.
+        let w = 100usize;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for r in 0..2 {
+            for c in 0..w {
+                rows.push(r);
+                cols.push(c);
+            }
+        }
+        rows.push(2);
+        cols.push(0);
+        let vals = vec![1.0f64; rows.len()];
+        let a = analyze(&DynamicMatrix::from(CooMatrix::from_triplets(3, w, &rows, &cols, &vals).unwrap()));
+        let balanced = a.balanced_row_imbalance(2);
+        assert!(balanced > 1.9, "both heavy rows land in one chunk: {balanced}");
+    }
+
+    #[test]
+    fn remainder_imbalance_consistent_with_whole_matrix_when_no_true_diags() {
+        // Scattered matrix: no true diagonals, so the HDC CSR remainder is
+        // the entire matrix and its modelled imbalance must equal the
+        // standalone-CSR one — otherwise the tuner would rank HDC and CSR
+        // differently for identical execution.
+        let n = 500usize;
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for r in 0..n {
+            for j in 0..3usize {
+                rows.push(r);
+                cols.push((r * 131 + j * 97) % n);
+            }
+        }
+        for c in 0..300 {
+            rows.push(7);
+            cols.push((c * 3 + 1) % n);
+        }
+        let vals = vec![1.0; rows.len()];
+        let a = analyze(&DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap()));
+        assert_eq!(a.stats.ntrue_diags, 0);
+        assert_eq!(a.hdc_csr_nnz, a.nnz());
+        for threads in [2, 8, 32] {
+            assert_eq!(
+                a.hdc_csr_balanced_imbalance(threads),
+                a.balanced_row_imbalance(threads),
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -78,10 +78,9 @@ fn coo_part(
 fn csr_part(
     nnz: f64,
     nrows: f64,
-    _max_row: f64,
+    imbalance: f64,
     a: &MatrixAnalysis,
     spec: &CpuSpec,
-    threads: usize,
     calib: &Calibration,
 ) -> PartCost {
     let bytes = nnz * (VAL + IDX)
@@ -92,10 +91,13 @@ fn csr_part(
         bytes,
         flops: 2.0 * nnz,
         overhead_cycles: nrows * calib.cpu_row_cycles,
-        // OpenMP CSR uses schedule(static) over rows, so the slowest chunk
-        // is set by the actual row distribution — the effect that lets
-        // regular formats overtake CSR on skewed matrices.
-        imbalance: a.static_row_imbalance(threads),
+        // Threaded CSR executes over an ExecPlan's nnz-weighted row
+        // partition; the caller supplies the imbalance of the partition
+        // that actually runs (whole-matrix plan for standalone CSR, the
+        // remainder's own distribution for the HDC composite). Hub rows
+        // still cannot be split, which is the residual effect that lets
+        // regular formats overtake CSR on extreme skew.
+        imbalance,
         parallel_items: nrows,
     }
 }
@@ -167,7 +169,7 @@ pub fn spmv_time(
             part_time(&p, calib.simd_eff_coo(), spec, threads, calib)
         }
         FormatId::Csr => {
-            let p = csr_part(nnz, nrows, max_row, a, spec, threads, calib);
+            let p = csr_part(nnz, nrows, a.balanced_row_imbalance(threads), a, spec, calib);
             part_time(&p, calib.simd_eff_csr(), spec, threads, calib)
         }
         FormatId::Dia => {
@@ -192,8 +194,15 @@ pub fn spmv_time(
         }
         FormatId::Hdc => {
             let dia = dia_part(a.hdc_padded() as f64, a.hdc_ntrue as f64, a, spec, calib);
+            // The ExecPlan partitions the CSR remainder by the remainder's
+            // *own* row weights, so its imbalance comes from the same
+            // greedy replayed over the remainder histogram — not the
+            // whole-matrix one (mis-predicts when DIA absorbs the skew),
+            // and not a closed-form bound (would rank HDC inconsistently
+            // against standalone CSR when the remainder is the whole
+            // matrix).
             let csr =
-                csr_part(a.hdc_csr_nnz as f64, nrows, a.hdc_csr_max_row as f64, a, spec, threads, calib);
+                csr_part(a.hdc_csr_nnz as f64, nrows, a.hdc_csr_balanced_imbalance(threads), a, spec, calib);
             part_time(&dia, calib.simd_eff_dia(), spec, threads, calib)
                 + part_time(&csr, calib.simd_eff_csr(), spec, threads, calib)
         }

@@ -62,12 +62,28 @@ pub fn static_partition(len: usize, parts: usize) -> Vec<std::ops::Range<usize>>
 /// must have length `len`. Greedy prefix splitting at the ideal weight
 /// boundaries; every element lands in exactly one range.
 pub fn weighted_partition(weights: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
-    let len = weights.len();
+    weighted_partition_with(weights.len(), parts, |i| weights[i])
+}
+
+/// [`weighted_partition`] reading weights through a function instead of a
+/// materialised slice.
+///
+/// Callers that can answer "weight of element `i`" in O(1) — a CSR matrix
+/// differencing its `row_offsets`, an `Analysis` reading its row histogram —
+/// avoid allocating and filling a `len`-sized weights vector just to
+/// partition. The weight function is called twice per element (once for the
+/// total, once while splitting); results are identical to
+/// [`weighted_partition`] on the materialised weights.
+pub fn weighted_partition_with(
+    len: usize,
+    parts: usize,
+    weight: impl Fn(usize) -> usize,
+) -> Vec<std::ops::Range<usize>> {
     if parts == 0 || len == 0 {
         return Vec::new();
     }
     let parts = parts.min(len);
-    let total: usize = weights.iter().sum();
+    let total: usize = (0..len).map(&weight).sum();
     if total == 0 {
         return static_partition(len, parts);
     }
@@ -87,12 +103,12 @@ pub fn weighted_partition(weights: &[usize], parts: usize) -> Vec<std::ops::Rang
             if len - end < parts - p {
                 break;
             }
-            acc += weights[end];
+            acc += weight(end);
             end += 1;
         }
         if end == start {
             end = start + 1;
-            acc += weights[start];
+            acc += weight(start);
         }
         consumed = acc;
         out.push(start..end);
@@ -217,6 +233,18 @@ mod partition_tests {
         let ranges = weighted_partition(&weights, 4);
         let covered: usize = ranges.iter().map(|r| r.len()).sum();
         assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn weighted_partition_with_matches_slice_variant() {
+        let weights = vec![3usize, 0, 0, 17, 1, 1, 1, 9, 2, 0, 4];
+        for parts in 1..=12 {
+            assert_eq!(
+                weighted_partition_with(weights.len(), parts, |i| weights[i]),
+                weighted_partition(&weights, parts),
+                "parts={parts}"
+            );
+        }
     }
 
     #[test]

@@ -217,6 +217,31 @@ impl ThreadPool {
         });
     }
 
+    /// Executes precomputed, disjoint ranges with **no scheduling state at
+    /// all**: range `p` runs on worker `p % num_threads`, so there is no
+    /// shared chunk counter and no atomics beyond the pool's own
+    /// wake-up/latch pair. This is the executor for `ExecPlan` schedules —
+    /// plans carry at most one range per worker, making a call one wake-up
+    /// per worker with every partitioning decision already paid for at plan
+    /// construction time.
+    ///
+    /// `body` receives `(part_index, range)`; part indices are stable
+    /// across calls, so per-part state (e.g. a workspace slot) can be
+    /// reused between iterations of a solver loop.
+    pub fn parallel_for_plan(&self, parts: &[Range<usize>], body: impl Fn(usize, Range<usize>) + Sync) {
+        if parts.is_empty() {
+            return;
+        }
+        let nt = self.n_threads;
+        self.run_on_all(&|w| {
+            let mut p = w;
+            while p < parts.len() {
+                body(p, parts[p].clone());
+                p += nt;
+            }
+        });
+    }
+
     /// Chunk-wise map-reduce: `map` produces a partial result per scheduled
     /// chunk; partials are folded with `reduce` starting from `identity`.
     ///
@@ -464,6 +489,37 @@ mod tests {
             }
         });
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_plan_visits_each_part_once_with_stable_indices() {
+        let pool = ThreadPool::new(3);
+        let parts = vec![0..4, 4..4, 4..9, 9..10, 10..17];
+        let counts: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
+        let part_seen: Vec<AtomicUsize> = (0..parts.len()).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_plan(&parts, |p, r| {
+            part_seen[p].fetch_add(1, Ordering::Relaxed);
+            assert_eq!(r, parts[p], "part index must identify its range");
+            for i in r {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(part_seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_plan_handles_more_parts_than_workers_and_empty_plans() {
+        let pool = ThreadPool::new(2);
+        let parts: Vec<Range<usize>> = (0..11).map(|i| i * 3..(i + 1) * 3).collect();
+        let sum = AtomicU64::new(0);
+        pool.parallel_for_plan(&parts, |_p, r| {
+            for i in r {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..33).sum::<usize>() as u64);
+        pool.parallel_for_plan(&[], |_, _| panic!("empty plan must not run"));
     }
 
     #[test]

@@ -66,6 +66,27 @@ impl<T: Copy> SharedSlice<T> {
         *self.ptr.add(i)
     }
 
+    /// Mutable view of `start..start + len` (bounds-checked).
+    ///
+    /// Lets row-blocked kernels (SpMM writes `k` contiguous outputs per
+    /// row) use ordinary slice iteration — which the compiler vectorises —
+    /// instead of `k` indexed [`SharedSlice::add`] calls.
+    ///
+    /// # Safety
+    /// No other thread accesses any index in `start..start + len` for the
+    /// duration of the parallel region, and the caller must not obtain
+    /// overlapping views from the same thread.
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)] // the whole point of the disjoint-write view
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "SharedSlice view {start}..{start}+{len} out of bounds (len {})",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+
     /// Adds `value` to the element at `i` (bounds-checked read-modify-write).
     ///
     /// # Safety

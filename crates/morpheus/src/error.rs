@@ -35,6 +35,14 @@ pub enum MorpheusError {
         /// The configured limit, in slots.
         limit: usize,
     },
+    /// An execution plan was applied to a matrix it was not built for
+    /// (different format, shape or non-zero count).
+    PlanMismatch {
+        /// The matrix the plan was built for.
+        expected: String,
+        /// The matrix it was applied to.
+        got: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// MatrixMarket (or model file) parse failure.
@@ -60,6 +68,9 @@ impl std::fmt::Display for MorpheusError {
                 f,
                 "conversion to {format} needs {padded} padded slots for {nnz} non-zeros (limit {limit})"
             ),
+            MorpheusError::PlanMismatch { expected, got } => {
+                write!(f, "execution plan mismatch: plan built for {expected}, applied to {got}")
+            }
             MorpheusError::Io(e) => write!(f, "i/o error: {e}"),
             MorpheusError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
         }

@@ -53,6 +53,7 @@ pub mod format;
 pub mod hdc;
 pub mod hyb;
 pub mod io;
+pub mod plan;
 pub mod rowmajor;
 pub mod scalar;
 pub mod spmm;
@@ -73,6 +74,7 @@ pub use error::MorpheusError;
 pub use format::FormatId;
 pub use hdc::HdcMatrix;
 pub use hyb::{HybMatrix, HybSplit};
+pub use plan::ExecPlan;
 pub use rowmajor::for_each_entry_row_major;
 pub use scalar::Scalar;
 pub use stats::MatrixStats;

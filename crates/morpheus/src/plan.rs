@@ -1,0 +1,574 @@
+//! Cached per-matrix execution plans: the planned execution layer.
+//!
+//! The paper's amortisation argument (§IV) is that format selection pays
+//! off over thousands of repeated SpMV iterations. The same holds for the
+//! *schedule*: how rows are split across threads is a per-matrix artifact —
+//! it depends only on the sparsity structure — yet per-call kernels
+//! re-derive it on every invocation (`weighted_partition` over the row
+//! lengths, `row_aligned_partition` re-searching the sorted COO entries).
+//! An [`ExecPlan`] computes that schedule **once** and replays it on every
+//! execution:
+//!
+//! * **CSR** — nnz-weighted row ranges (each worker gets a near equal
+//!   number of non-zeros, taming skewed matrices);
+//! * **COO** — row-aligned entry ranges, balanced by entry count;
+//! * **DIA / ELL** — static row ranges (padded work is uniform per row);
+//! * **HYB** — static row ranges for the ELL portion plus row-aligned
+//!   entry ranges for the COO surplus;
+//! * **HDC** — static row ranges for the DIA portion plus nnz-weighted row
+//!   ranges for the CSR remainder.
+//!
+//! Construction reads the PR-2 [`Analysis`] artifact when one is supplied
+//! (row-nnz histogram → weighted ranges and COO entry boundaries via prefix
+//! sums) and otherwise only O(rows) metadata (`row_offsets` differences),
+//! never a full matrix traversal — property-tested via
+//! [`crate::analysis::passes`]. Executions run through
+//! [`ThreadPool::parallel_for_plan`], which replays the precomputed ranges
+//! with no scheduling state at all, and are **bitwise identical** to the
+//! serial kernels (same per-row accumulation order).
+//!
+//! The plan also owns a reusable scratch buffer so iterative loops can run
+//! `y = A x` without allocating an output per iteration
+//! ([`ExecPlan::spmv_workspace`] / [`ExecPlan::spmm_workspace`]).
+//!
+//! `core::Oracle` caches an `ExecPlan` alongside each `TuneDecision` under
+//! the same structure-hash key, so `tune_and_spmv` / `tune_and_spmm` in an
+//! iterative loop pay planning exactly once.
+
+use crate::analysis::Analysis;
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::dynamic::DynamicMatrix;
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::hyb::HybMatrix;
+use crate::scalar::Scalar;
+use crate::spmv::threaded;
+use crate::{spmm, Result};
+use morpheus_parallel::{row_aligned_partition, static_partition, weighted_partition_with, ThreadPool};
+use std::ops::Range;
+
+/// Precomputed thread schedule + reusable workspace for one matrix
+/// structure, built once per (matrix structure, format, thread count).
+///
+/// See the [module docs](self) for what each format's plan holds. A plan is
+/// tied to the matrix it was built from (format, shape, nnz — checked on
+/// every execution) but not to a particular [`ThreadPool`]: executing on a
+/// pool with fewer workers than the plan has parts just round-robins the
+/// parts, still writing disjoint rows.
+#[derive(Debug, Clone)]
+pub struct ExecPlan<V: Scalar> {
+    format: FormatId,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    threads: usize,
+    parts: Parts,
+    workspace: Vec<V>,
+}
+
+/// Per-format precomputed ranges.
+#[derive(Debug, Clone)]
+enum Parts {
+    /// nnz-weighted row ranges.
+    Csr { rows: Vec<Range<usize>> },
+    /// Row-aligned entry ranges.
+    Coo { entries: Vec<Range<usize>> },
+    /// Static row ranges (shared by DIA and ELL: padded work is uniform).
+    Rows { rows: Vec<Range<usize>> },
+    /// ELL-portion row ranges + COO-surplus entry ranges.
+    Hyb { rows: Vec<Range<usize>>, coo_entries: Vec<Range<usize>> },
+    /// DIA-portion row ranges + CSR-remainder weighted row ranges.
+    Hdc { rows: Vec<Range<usize>>, csr_rows: Vec<Range<usize>> },
+}
+
+impl<V: Scalar> ExecPlan<V> {
+    /// Builds the plan for `m` as it is currently stored, for a pool of
+    /// `threads` workers.
+    ///
+    /// When `analysis` describes `m` (see [`Analysis::matches`]), weighted
+    /// ranges and COO entry boundaries are derived from its row histogram —
+    /// zero additional matrix traversals. Without one, construction still
+    /// touches only O(rows) metadata except for COO-style entry splits,
+    /// which scan the sorted row index array once.
+    pub fn build(m: &DynamicMatrix<V>, threads: usize, analysis: Option<&Analysis>) -> ExecPlan<V> {
+        let threads = threads.max(1);
+        let analysis = analysis.filter(|a| a.matches(m));
+        let parts = match m {
+            DynamicMatrix::Csr(a) => Parts::Csr { rows: csr_row_ranges(a, threads) },
+            DynamicMatrix::Coo(a) => Parts::Coo { entries: coo_entry_ranges(a, threads, analysis) },
+            DynamicMatrix::Dia(a) => Parts::Rows { rows: static_partition(a.nrows(), threads) },
+            DynamicMatrix::Ell(a) => Parts::Rows { rows: static_partition(a.nrows(), threads) },
+            DynamicMatrix::Hyb(a) => Parts::Hyb {
+                rows: static_partition(a.nrows(), threads),
+                coo_entries: hyb_coo_entry_ranges(a, threads, analysis),
+            },
+            DynamicMatrix::Hdc(a) => Parts::Hdc {
+                rows: static_partition(a.nrows(), threads),
+                csr_rows: csr_row_ranges(a.csr(), threads),
+            },
+        };
+        ExecPlan {
+            format: m.format_id(),
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+            threads,
+            parts,
+            workspace: Vec::new(),
+        }
+    }
+
+    /// Format the plan was built for.
+    pub fn format(&self) -> FormatId {
+        self.format
+    }
+
+    /// Worker count the ranges were balanced for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of precomputed ranges in the primary partition.
+    pub fn num_parts(&self) -> usize {
+        match &self.parts {
+            Parts::Csr { rows } | Parts::Rows { rows } => rows.len(),
+            Parts::Coo { entries } => entries.len(),
+            Parts::Hyb { rows, .. } | Parts::Hdc { rows, .. } => rows.len(),
+        }
+    }
+
+    /// `true` when the plan was built for a matrix indistinguishable from
+    /// `m` (same format, shape and non-zero count). Cheap guard; executions
+    /// check it and fail with [`MorpheusError::PlanMismatch`] otherwise.
+    pub fn matches(&self, m: &DynamicMatrix<V>) -> bool {
+        self.format == m.format_id()
+            && self.nrows == m.nrows()
+            && self.ncols == m.ncols()
+            && self.nnz == m.nnz()
+    }
+
+    fn check(&self, m: &DynamicMatrix<V>) -> Result<()> {
+        if !self.matches(m) {
+            return Err(MorpheusError::PlanMismatch {
+                expected: format!("{} {}x{} ({} nnz)", self.format, self.nrows, self.ncols, self.nnz),
+                got: format!("{} {}x{} ({} nnz)", m.format_id(), m.nrows(), m.ncols(), m.nnz()),
+            });
+        }
+        // Row-range partitions (CSR/DIA/ELL/HDC and the HYB ELL pass) tile
+        // `0..nrows` disjointly by construction, so they are safe for *any*
+        // matrix of this shape. Entry ranges (COO, HYB surplus) own rows
+        // only via the sorted row array they were derived from — a
+        // different same-shape/same-nnz matrix could have a range boundary
+        // inside one of its rows, giving a `y` element two concurrent
+        // writers. Re-validate the boundaries against the matrix actually
+        // being executed (O(parts)), since this is a safe public API.
+        let aligned = match (m, &self.parts) {
+            (DynamicMatrix::Coo(a), Parts::Coo { entries }) => {
+                entries.last().is_none_or(|r| r.end == a.nnz())
+                    && boundaries_are_row_aligned(entries, a.row_indices())
+            }
+            (DynamicMatrix::Hyb(a), Parts::Hyb { coo_entries, .. }) => {
+                // The surplus size is not covered by `matches` (it splits
+                // the same total nnz differently per HYB), so check
+                // coverage too.
+                coo_entries.last().map_or(0, |r| r.end) == a.coo().nnz()
+                    && boundaries_are_row_aligned(coo_entries, a.coo().row_indices())
+            }
+            _ => true,
+        };
+        if aligned {
+            Ok(())
+        } else {
+            Err(MorpheusError::PlanMismatch {
+                expected: "entry ranges aligned to this matrix's row boundaries".into(),
+                got: "a same-shape matrix whose rows the plan's entry ranges would split".into(),
+            })
+        }
+    }
+
+    /// `y = A x` over the plan's precomputed ranges — the steady-state SpMV
+    /// of an iterative loop. Bitwise identical to
+    /// [`crate::spmv::spmv_serial`].
+    pub fn spmv(&self, m: &DynamicMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) -> Result<()> {
+        self.check(m)?;
+        crate::spmv::check_shapes(m, x, y)?;
+        if pool.num_threads() == 1 {
+            // A one-worker pool would run every range inline anyway; the
+            // serial kernels are the same math (bitwise identical) without
+            // the shared-view indirection, so execute those directly.
+            return crate::spmv::spmv_serial(m, x, y);
+        }
+        match (m, &self.parts) {
+            (DynamicMatrix::Csr(a), Parts::Csr { rows }) => threaded::spmv_csr_ranges(a, x, y, pool, rows),
+            (DynamicMatrix::Coo(a), Parts::Coo { entries }) => {
+                threaded::spmv_coo_ranges(a, x, y, pool, entries)
+            }
+            (DynamicMatrix::Dia(a), Parts::Rows { rows }) => threaded::spmv_dia_ranges(a, x, y, pool, rows),
+            (DynamicMatrix::Ell(a), Parts::Rows { rows }) => threaded::spmv_ell_ranges(a, x, y, pool, rows),
+            (DynamicMatrix::Hyb(a), Parts::Hyb { rows, coo_entries }) => {
+                threaded::spmv_ell_ranges(a.ell(), x, y, pool, rows);
+                threaded::spmv_coo_acc_ranges(a.coo(), x, y, pool, coo_entries);
+            }
+            (DynamicMatrix::Hdc(a), Parts::Hdc { rows, csr_rows }) => {
+                threaded::spmv_dia_ranges(a.dia(), x, y, pool, rows);
+                threaded::spmv_csr_acc_ranges(a.csr(), x, y, pool, csr_rows);
+            }
+            _ => unreachable!("plan/matrix format agreement checked above"),
+        }
+        Ok(())
+    }
+
+    /// `Y = A X` (`k` right-hand sides, row-major blocks) over the plan's
+    /// ranges. Bitwise identical to [`crate::spmm::spmm_serial`].
+    pub fn spmm(
+        &self,
+        m: &DynamicMatrix<V>,
+        x: &[V],
+        y: &mut [V],
+        k: usize,
+        pool: &ThreadPool,
+    ) -> Result<()> {
+        self.check(m)?;
+        spmm::check_spmm_shapes(m, x, y, k)?;
+        if pool.num_threads() == 1 {
+            // See `spmv`: one worker ⇒ serial kernels, bitwise identical.
+            return spmm::spmm_serial(m, x, y, k);
+        }
+        match (m, &self.parts) {
+            (DynamicMatrix::Csr(a), Parts::Csr { rows }) => {
+                spmm::spmm_csr_ranges::<V, false>(a, x, y, k, pool, rows)
+            }
+            (DynamicMatrix::Coo(a), Parts::Coo { entries }) => {
+                spmm::spmm_coo_ranges(a, x, y, k, pool, entries)
+            }
+            (DynamicMatrix::Dia(a), Parts::Rows { rows }) => spmm::spmm_dia_ranges(a, x, y, k, pool, rows),
+            (DynamicMatrix::Ell(a), Parts::Rows { rows }) => spmm::spmm_ell_ranges(a, x, y, k, pool, rows),
+            (DynamicMatrix::Hyb(a), Parts::Hyb { rows, coo_entries }) => {
+                spmm::spmm_ell_ranges(a.ell(), x, y, k, pool, rows);
+                spmm::spmm_coo_acc_ranges(a.coo(), x, y, k, pool, coo_entries);
+            }
+            (DynamicMatrix::Hdc(a), Parts::Hdc { rows, csr_rows }) => {
+                spmm::spmm_dia_ranges(a.dia(), x, y, k, pool, rows);
+                spmm::spmm_csr_ranges::<V, true>(a.csr(), x, y, k, pool, csr_rows);
+            }
+            _ => unreachable!("plan/matrix format agreement checked above"),
+        }
+        Ok(())
+    }
+
+    /// [`ExecPlan::spmv`] into the plan's reusable workspace: no output
+    /// allocation per iteration. The returned slice stays valid until the
+    /// next workspace execution.
+    pub fn spmv_workspace(&mut self, m: &DynamicMatrix<V>, x: &[V], pool: &ThreadPool) -> Result<&[V]> {
+        self.run_in_workspace(self.nrows, |plan, y| plan.spmv(m, x, y, pool))
+    }
+
+    /// [`ExecPlan::spmm`] into the plan's reusable workspace.
+    pub fn spmm_workspace(
+        &mut self,
+        m: &DynamicMatrix<V>,
+        x: &[V],
+        k: usize,
+        pool: &ThreadPool,
+    ) -> Result<&[V]> {
+        self.run_in_workspace(self.nrows * k, |plan, y| plan.spmm(m, x, y, k, pool))
+    }
+
+    fn run_in_workspace(
+        &mut self,
+        len: usize,
+        run: impl FnOnce(&ExecPlan<V>, &mut [V]) -> Result<()>,
+    ) -> Result<&[V]> {
+        let mut ws = std::mem::take(&mut self.workspace);
+        ws.resize(len, V::ZERO);
+        let result = run(self, &mut ws);
+        self.workspace = ws;
+        result.map(|()| self.workspace.as_slice())
+    }
+}
+
+/// nnz-weighted row ranges straight from the CSR offsets — O(rows), no
+/// weights vector materialised, no matrix traversal.
+fn csr_row_ranges<V: Scalar>(a: &CsrMatrix<V>, threads: usize) -> Vec<Range<usize>> {
+    let offs = a.row_offsets();
+    weighted_partition_with(a.nrows(), threads, |r| offs[r + 1] - offs[r])
+}
+
+/// Entry ranges for sorted row-major entry storage, balanced by entry count
+/// with boundaries at row ends: weighted row ranges from the per-row counts,
+/// mapped to entry offsets by prefix summation. Empty ranges are dropped
+/// (mirroring [`row_aligned_partition`]'s no-empty-chunk contract).
+fn entry_ranges_from_counts(
+    n_rows: usize,
+    threads: usize,
+    count_of: impl Fn(usize) -> usize,
+) -> Vec<Range<usize>> {
+    let row_ranges = weighted_partition_with(n_rows, threads, &count_of);
+    let mut out = Vec::with_capacity(row_ranges.len());
+    let mut offset = 0usize;
+    for rr in row_ranges {
+        let len: usize = rr.map(&count_of).sum();
+        if len > 0 {
+            out.push(offset..offset + len);
+        }
+        offset += len;
+    }
+    out
+}
+
+/// `true` when every interior range boundary falls on a row change of the
+/// sorted row array — the invariant that gives each output row exactly one
+/// writer. O(parts): the soundness of the histogram-derived fast path must
+/// not rest on a caller-supplied `Analysis` being honest, since its
+/// `row_hist` is a public field and the planned kernels race (UB) if a
+/// range splits a row.
+fn boundaries_are_row_aligned(ranges: &[Range<usize>], rows: &[usize]) -> bool {
+    ranges.iter().all(|r| r.start == 0 || r.start >= rows.len() || rows[r.start] != rows[r.start - 1])
+}
+
+/// Row-aligned COO entry ranges. With a matching [`Analysis`] whose
+/// histogram counts every stored entry (no explicit-zero elision), the
+/// boundaries come from histogram prefix sums — zero matrix traversals —
+/// and are then validated against the actual row array in O(parts);
+/// otherwise (or if a doctored histogram misplaces a boundary) the sorted
+/// row array is scanned once.
+fn coo_entry_ranges<V: Scalar>(
+    a: &CooMatrix<V>,
+    threads: usize,
+    analysis: Option<&Analysis>,
+) -> Vec<Range<usize>> {
+    if let Some(an) = analysis {
+        // Trust the histogram only if it covers exactly the stored entries
+        // (right row count, entries summing to nnz — a sum short of nnz
+        // would silently drop entries, one beyond it would index past the
+        // arrays) *and* its prefix boundaries land on real row changes.
+        let sum: usize = an.row_hist.iter().map(|&c| c as usize).sum();
+        if an.row_hist.len() == a.nrows() && sum == a.nnz() {
+            let ranges = entry_ranges_from_counts(an.row_hist.len(), threads, |r| an.row_hist[r] as usize);
+            if boundaries_are_row_aligned(&ranges, a.row_indices()) {
+                return ranges;
+            }
+        }
+    }
+    row_aligned_partition(a.row_indices(), threads)
+}
+
+/// Row-aligned entry ranges for a HYB's COO surplus. The surplus of row `r`
+/// is everything beyond the ELL width, so with a matching whole-matrix
+/// [`Analysis`] the per-row surplus is `row_hist[r] - width` — again no
+/// traversal. The derivation is verified against the actual surplus size
+/// and falls back to scanning the surplus row array if it disagrees (e.g.
+/// a hand-built HYB that does not fill ELL first).
+fn hyb_coo_entry_ranges<V: Scalar>(
+    a: &HybMatrix<V>,
+    threads: usize,
+    analysis: Option<&Analysis>,
+) -> Vec<Range<usize>> {
+    let surplus = a.coo();
+    if let Some(an) = analysis {
+        if an.row_hist.len() == a.nrows() && an.stats.nnz == a.nnz() {
+            let width = a.ell().width();
+            let spill = |r: usize| (an.row_hist[r] as usize).saturating_sub(width);
+            let total: usize = (0..an.row_hist.len()).map(spill).sum();
+            if total == surplus.nnz() {
+                let ranges = entry_ranges_from_counts(an.row_hist.len(), threads, spill);
+                if boundaries_are_row_aligned(&ranges, surplus.row_indices()) {
+                    return ranges;
+                }
+            }
+        }
+    }
+    row_aligned_partition(surplus.row_indices(), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConvertOptions;
+    use crate::format::ALL_FORMATS;
+    use crate::spmv::spmv_serial;
+    use crate::test_util::random_coo;
+
+    fn bitwise_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn planned_spmv_bitwise_matches_serial_for_every_format() {
+        let pool = ThreadPool::new(4);
+        let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+        for seed in 0..3u64 {
+            let base = DynamicMatrix::from(random_coo::<f64>(130, 110, 1600, seed));
+            let x: Vec<f64> = (0..110).map(|i| (i as f64 * 0.73).sin()).collect();
+            for &fmt in &ALL_FORMATS {
+                let m = base.to_format(fmt, &opts).unwrap();
+                let analysis = Analysis::of(&m, opts.true_diag_alpha);
+                let mut y_ref = vec![0.0; 130];
+                spmv_serial(&m, &x, &mut y_ref).unwrap();
+                for plan in [
+                    ExecPlan::build(&m, pool.num_threads(), None),
+                    ExecPlan::build(&m, pool.num_threads(), Some(&analysis)),
+                ] {
+                    let mut y = vec![f64::NAN; 130];
+                    plan.spmv(&m, &x, &mut y, &pool).unwrap();
+                    assert!(bitwise_eq(&y, &y_ref), "{fmt} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_and_scan_built_plans_agree_on_entry_boundaries() {
+        // COO + HYB are where the Analysis-derived prefix sums replace a
+        // scan of the entries; both derivations must produce row-aligned
+        // chunks covering everything (they need not be identical chunks,
+        // but here both balance by entry count so they are).
+        let opts = ConvertOptions::default();
+        let base = DynamicMatrix::from(random_coo::<f64>(300, 300, 4000, 11));
+        for fmt in [FormatId::Coo, FormatId::Hyb] {
+            let m = base.to_format(fmt, &opts).unwrap();
+            let analysis = Analysis::of(&m, opts.true_diag_alpha);
+            let with = ExecPlan::<f64>::build(&m, 4, Some(&analysis));
+            let without = ExecPlan::<f64>::build(&m, 4, None);
+            let ranges = |p: &ExecPlan<f64>| match &p.parts {
+                Parts::Coo { entries } => entries.clone(),
+                Parts::Hyb { coo_entries, .. } => coo_entries.clone(),
+                _ => unreachable!(),
+            };
+            let (rw, ro) = (ranges(&with), ranges(&without));
+            let covered: usize = rw.iter().map(|r| r.len()).sum();
+            let covered_scan: usize = ro.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, covered_scan, "{fmt}: both derivations must cover every entry");
+        }
+    }
+
+    #[test]
+    fn plan_rejects_foreign_matrices() {
+        let opts = ConvertOptions::default();
+        let m = DynamicMatrix::from(random_coo::<f64>(40, 40, 200, 1));
+        let plan = ExecPlan::build(&m, 2, None);
+        let other_fmt = m.to_format(FormatId::Csr, &opts).unwrap();
+        let other_shape = DynamicMatrix::from(random_coo::<f64>(41, 40, 200, 1));
+        let pool = ThreadPool::new(2);
+        let x = vec![1.0; 40];
+        let mut y = vec![0.0; 40];
+        assert!(matches!(plan.spmv(&other_fmt, &x, &mut y, &pool), Err(MorpheusError::PlanMismatch { .. })));
+        let mut y41 = vec![0.0; 41];
+        assert!(plan.spmv(&other_shape, &x, &mut y41, &pool).is_err());
+        assert!(plan.spmv(&m, &x, &mut y, &pool).is_ok());
+    }
+
+    #[test]
+    fn same_shape_matrix_with_different_row_layout_is_rejected() {
+        // A and B agree on format, shape and nnz — `matches` cannot tell
+        // them apart — but B's rows are distributed so that A's entry
+        // ranges would split B's row 1, handing y[1] two concurrent
+        // writers. Execution must refuse instead of racing.
+        let a = DynamicMatrix::from(
+            crate::CooMatrix::from_triplets(2, 4, &[0, 0, 1, 1], &[0, 1, 0, 1], &[1.0f64; 4]).unwrap(),
+        );
+        let b = DynamicMatrix::from(
+            crate::CooMatrix::from_triplets(2, 4, &[0, 1, 1, 1], &[0, 0, 1, 2], &[1.0f64; 4]).unwrap(),
+        );
+        let plan = ExecPlan::build(&a, 2, None);
+        assert!(plan.matches(&b), "the cheap guard cannot distinguish A from B");
+        let pool = ThreadPool::new(2);
+        let x = vec![1.0f64; 4];
+        let mut y = vec![0.0f64; 2];
+        assert!(matches!(plan.spmv(&b, &x, &mut y, &pool), Err(MorpheusError::PlanMismatch { .. })));
+        let xk = vec![1.0f64; 8];
+        let mut yk = vec![0.0f64; 4];
+        assert!(matches!(plan.spmm(&b, &xk, &mut yk, 2, &pool), Err(MorpheusError::PlanMismatch { .. })));
+        // A itself still executes.
+        assert!(plan.spmv(&a, &x, &mut y, &pool).is_ok());
+    }
+
+    #[test]
+    fn workspace_execution_matches_and_reuses_allocation() {
+        let pool = ThreadPool::new(3);
+        let m = DynamicMatrix::from(random_coo::<f64>(60, 50, 500, 5));
+        let x: Vec<f64> = (0..50).map(|i| 0.5 + i as f64).collect();
+        let mut y_ref = vec![0.0; 60];
+        spmv_serial(&m, &x, &mut y_ref).unwrap();
+        let mut plan = ExecPlan::build(&m, pool.num_threads(), None);
+        let first_ptr = {
+            let y = plan.spmv_workspace(&m, &x, &pool).unwrap();
+            assert!(bitwise_eq(y, &y_ref));
+            y.as_ptr()
+        };
+        // Second run reuses the same buffer.
+        let second_ptr = plan.spmv_workspace(&m, &x, &pool).unwrap().as_ptr();
+        assert_eq!(first_ptr, second_ptr, "workspace must be reused, not reallocated");
+
+        // SpMM workspace resizes and still matches serial.
+        let k = 3usize;
+        let xk: Vec<f64> = (0..50 * k).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut ymm_ref = vec![0.0; 60 * k];
+        spmm::spmm_serial(&m, &xk, &mut ymm_ref, k).unwrap();
+        let ymm = plan.spmm_workspace(&m, &xk, k, &pool).unwrap();
+        assert!(bitwise_eq(ymm, &ymm_ref));
+    }
+
+    #[test]
+    fn plan_construction_adds_zero_matrix_traversals() {
+        let opts = ConvertOptions::default();
+        let base = DynamicMatrix::from(random_coo::<f64>(200, 200, 3000, 9));
+        for &fmt in &ALL_FORMATS {
+            let Ok(m) = base.to_format(fmt, &opts) else { continue };
+            let analysis = Analysis::of(&m, opts.true_diag_alpha);
+            crate::analysis::passes::reset();
+            let plan = ExecPlan::build(&m, 8, Some(&analysis));
+            assert_eq!(
+                crate::analysis::passes::count(),
+                0,
+                "{fmt}: plan construction must not traverse the matrix"
+            );
+            assert_eq!(plan.format(), fmt);
+            assert!(plan.num_parts() >= 1);
+        }
+    }
+
+    #[test]
+    fn doctored_histogram_cannot_split_a_row() {
+        // rows [0,0,0,1]: an adversarial histogram [2,2] sums to the right
+        // nnz but would place an entry boundary inside row 0 — which would
+        // give y[0] two concurrent writers. Construction must detect the
+        // misalignment and fall back to scanning the real row array.
+        let m = DynamicMatrix::from(
+            crate::CooMatrix::from_triplets(2, 4, &[0, 0, 0, 1], &[0, 1, 2, 3], &[1.0f64; 4]).unwrap(),
+        );
+        // Misaligned split, under-counting, over-counting and wrong-length
+        // histograms must all be rejected in favour of the real boundaries.
+        for hist in [vec![2, 2], vec![3, 0], vec![3, 2], vec![4]] {
+            let mut an = Analysis::of(&m, 0.2);
+            an.row_hist = hist.clone();
+            assert!(an.matches(&m), "the doctored artifact still passes the cheap guard");
+            let plan = ExecPlan::build(&m, 2, Some(&an));
+            let Parts::Coo { entries } = &plan.parts else { panic!("COO plan expected") };
+            assert_eq!(
+                entries.as_slice(),
+                &[0..3, 3..4],
+                "hist {hist:?}: must fall back to the true row boundaries"
+            );
+            let pool = ThreadPool::new(2);
+            let x = vec![1.0f64; 4];
+            let mut y = vec![f64::NAN; 2];
+            plan.spmv(&m, &x, &mut y, &pool).unwrap();
+            assert_eq!(y, vec![3.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_plan_and_execute() {
+        let pool = ThreadPool::new(4);
+        for (nr, nc) in [(0usize, 0usize), (5, 5), (0, 4), (4, 0), (1, 6)] {
+            let m = DynamicMatrix::from(CooMatrix::<f64>::new(nr, nc));
+            let plan = ExecPlan::build(&m, pool.num_threads(), None);
+            let x = vec![1.0; nc];
+            let mut y = vec![f64::NAN; nr];
+            plan.spmv(&m, &x, &mut y, &pool).unwrap();
+            assert!(y.iter().all(|&v| v == 0.0), "{nr}x{nc}");
+        }
+    }
+}

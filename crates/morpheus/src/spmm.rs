@@ -1,5 +1,6 @@
 //! Sparse matrix × dense matrix multiplication (SpMM): `Y = A · X` for a
-//! block of right-hand sides.
+//! block of right-hand sides, on the Serial and the threaded ("OpenMP")
+//! backend.
 //!
 //! The paper notes its "techniques and algorithms ... are transferable to
 //! other sparse operations" (§V); SpMM is the first such operation block
@@ -7,6 +8,15 @@
 //! (`ncols x k` and `nrows x k`): every kernel reuses each loaded matrix
 //! entry across the `k` right-hand sides, which is exactly why SpMM beats
 //! `k` separate SpMVs.
+//!
+//! The threaded kernels partition output **rows** across workers — each
+//! `k`-wide row block of `Y` has exactly one writer, and the per-row
+//! accumulation order matches the serial kernels, so threaded results are
+//! bitwise identical to serial. Partitions come from a
+//! [`crate::plan::ExecPlan`]: [`spmm_threaded`] builds a throwaway plan per
+//! call; iterative callers should build the plan once and call
+//! [`crate::plan::ExecPlan::spmm`] directly (or go through the Oracle,
+//! which caches plans per matrix structure).
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
@@ -16,11 +26,14 @@ use crate::ell::{EllMatrix, ELL_PAD};
 use crate::error::MorpheusError;
 use crate::hdc::HdcMatrix;
 use crate::hyb::HybMatrix;
+use crate::plan::ExecPlan;
 use crate::scalar::Scalar;
+use crate::spmv::ExecPolicy;
 use crate::Result;
+use morpheus_parallel::{SharedSlice, ThreadPool};
+use std::ops::Range;
 
-/// `Y = A X` with `X` row-major `ncols x k`, `Y` row-major `nrows x k`.
-pub fn spmm_serial<V: Scalar>(m: &DynamicMatrix<V>, x: &[V], y: &mut [V], k: usize) -> Result<()> {
+pub(crate) fn check_spmm_shapes<V: Scalar>(m: &DynamicMatrix<V>, x: &[V], y: &[V], k: usize) -> Result<()> {
     if k == 0 {
         return Err(MorpheusError::ShapeMismatch {
             expected: "k >= 1 right-hand sides".into(),
@@ -33,6 +46,31 @@ pub fn spmm_serial<V: Scalar>(m: &DynamicMatrix<V>, x: &[V], y: &mut [V], k: usi
             got: format!("x len {}, y len {}", x.len(), y.len()),
         });
     }
+    Ok(())
+}
+
+/// `Y = A X` under the given execution policy (`x` row-major `ncols x k`,
+/// `y` row-major `nrows x k`).
+///
+/// The threaded policy's [`Schedule`](morpheus_parallel::Schedule) is not
+/// consulted: SpMM always runs over plan-style row partitions (static rows,
+/// nnz-weighted for CSR, row-aligned entry chunks for COO).
+pub fn spmm<V: Scalar>(
+    m: &DynamicMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    policy: ExecPolicy<'_>,
+) -> Result<()> {
+    match policy {
+        ExecPolicy::Serial => spmm_serial(m, x, y, k),
+        ExecPolicy::Threaded { pool, .. } => spmm_threaded(m, x, y, k, pool),
+    }
+}
+
+/// `Y = A X` on the serial backend.
+pub fn spmm_serial<V: Scalar>(m: &DynamicMatrix<V>, x: &[V], y: &mut [V], k: usize) -> Result<()> {
+    check_spmm_shapes(m, x, y, k)?;
     match m {
         DynamicMatrix::Coo(a) => spmm_coo(a, x, y, k),
         DynamicMatrix::Csr(a) => spmm_csr(a, x, y, k),
@@ -43,6 +81,25 @@ pub fn spmm_serial<V: Scalar>(m: &DynamicMatrix<V>, x: &[V], y: &mut [V], k: usi
     }
     Ok(())
 }
+
+/// `Y = A X` on the threaded backend, bitwise identical to
+/// [`spmm_serial`].
+///
+/// Builds a one-shot [`ExecPlan`] for the partitioning; amortise that cost
+/// in iterative loops by holding the plan (or an Oracle session) instead.
+pub fn spmm_threaded<V: Scalar>(
+    m: &DynamicMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    pool: &ThreadPool,
+) -> Result<()> {
+    ExecPlan::build(m, pool.num_threads(), None).spmm(m, x, y, k, pool)
+}
+
+// ---------------------------------------------------------------------------
+// Serial kernels
+// ---------------------------------------------------------------------------
 
 fn spmm_coo<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], k: usize) {
     y.fill(V::ZERO);
@@ -138,6 +195,216 @@ fn spmm_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V], k: usize) {
     spmm_csr_acc(a.csr(), x, y, k);
 }
 
+// ---------------------------------------------------------------------------
+// Threaded per-range bodies + planned kernels
+// ---------------------------------------------------------------------------
+
+/// CSR rows: per-row `k`-block define-or-accumulate, serial accumulation
+/// order per row.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn csr_rows_mm<V: Scalar, const ACC: bool>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    out: &SharedSlice<V>,
+    k: usize,
+    rows: Range<usize>,
+) {
+    // One bounds-checked view for the whole range; per-row slicing below is
+    // ordinary (vectorisable) slice arithmetic, like the serial kernel.
+    let ys = out.slice_mut(rows.start * k, rows.len() * k);
+    for r in rows.clone() {
+        let yr = &mut ys[(r - rows.start) * k..(r - rows.start + 1) * k];
+        if !ACC {
+            yr.fill(V::ZERO);
+        }
+        for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+            let xr = &x[c * k..(c + 1) * k];
+            for (yo, &xo) in yr.iter_mut().zip(xr) {
+                *yo += v * xo;
+            }
+        }
+    }
+}
+
+/// COO entries (row-aligned): accumulate each triplet's `k`-block.
+///
+/// # Safety
+/// Concurrent callers' entry ranges must be row-aligned and disjoint.
+#[inline]
+unsafe fn coo_entries_mm<V: Scalar>(
+    a: &CooMatrix<V>,
+    x: &[V],
+    out: &SharedSlice<V>,
+    k: usize,
+    entries: Range<usize>,
+) {
+    let rows = a.row_indices();
+    let cols = a.col_indices();
+    let vals = a.values();
+    if entries.is_empty() {
+        return;
+    }
+    // Entry ranges are row-aligned, so the rows they span are disjoint
+    // across ranges: take one view over the spanned rows.
+    let row_lo = rows[entries.start];
+    let row_hi = rows[entries.end - 1];
+    let ys = out.slice_mut(row_lo * k, (row_hi - row_lo + 1) * k);
+    let iter = rows[entries.clone()].iter().zip(&cols[entries.clone()]).zip(&vals[entries]);
+    for ((&r, &c), &v) in iter {
+        let base = (r - row_lo) * k;
+        let yr = &mut ys[base..base + k];
+        let xr = &x[c * k..(c + 1) * k];
+        for (yo, &xo) in yr.iter_mut().zip(xr) {
+            *yo += v * xo;
+        }
+    }
+}
+
+/// DIA rows: zero the rows' `k`-blocks, then stream each diagonal's
+/// intersection — including the serial kernel's explicit-zero skip, so
+/// results stay bitwise identical.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn dia_rows_mm<V: Scalar>(
+    a: &DiaMatrix<V>,
+    x: &[V],
+    out: &SharedSlice<V>,
+    k: usize,
+    rows: Range<usize>,
+) {
+    let ys = out.slice_mut(rows.start * k, rows.len() * k);
+    ys.fill(V::ZERO);
+    for d in 0..a.ndiags() {
+        let off = a.offsets()[d];
+        let diag = a.diagonal(d);
+        let dr = a.diag_row_range(d);
+        let lo = rows.start.max(dr.start);
+        let hi = rows.end.min(dr.end);
+        for (i, &v) in diag.iter().enumerate().take(hi).skip(lo) {
+            if v == V::ZERO {
+                continue;
+            }
+            let j = (i as isize + off) as usize;
+            let xr = &x[j * k..(j + 1) * k];
+            let base = (i - rows.start) * k;
+            let yr = &mut ys[base..base + k];
+            for (yo, &xo) in yr.iter_mut().zip(xr) {
+                *yo += v * xo;
+            }
+        }
+    }
+}
+
+/// ELL rows: zero the rows' `k`-blocks, then walk the slabs.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn ell_rows_mm<V: Scalar>(
+    a: &EllMatrix<V>,
+    x: &[V],
+    out: &SharedSlice<V>,
+    k: usize,
+    rows: Range<usize>,
+) {
+    let nrows = a.nrows();
+    let ys = out.slice_mut(rows.start * k, rows.len() * k);
+    ys.fill(V::ZERO);
+    for kk in 0..a.width() {
+        let base = kk * nrows;
+        for i in rows.clone() {
+            let c = a.col_indices()[base + i];
+            if c == ELL_PAD {
+                continue;
+            }
+            let v = a.values()[base + i];
+            let xr = &x[c * k..(c + 1) * k];
+            let ybase = (i - rows.start) * k;
+            let yr = &mut ys[ybase..ybase + k];
+            for (yo, &xo) in yr.iter_mut().zip(xr) {
+                *yo += v * xo;
+            }
+        }
+    }
+}
+
+pub(crate) fn spmm_csr_ranges<V: Scalar, const ACC: bool>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    pool: &ThreadPool,
+    rows: &[Range<usize>],
+) {
+    let out = SharedSlice::new(y);
+    pool.parallel_for_plan(rows, |_p, r| {
+        // SAFETY: plan row ranges tile the rows disjointly.
+        unsafe { csr_rows_mm::<V, ACC>(a, x, &out, k, r) };
+    });
+}
+
+pub(crate) fn spmm_coo_ranges<V: Scalar>(
+    a: &CooMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    pool: &ThreadPool,
+    entries: &[Range<usize>],
+) {
+    crate::spmv::threaded::parallel_fill_zero(y, pool);
+    spmm_coo_acc_ranges(a, x, y, k, pool, entries);
+}
+
+pub(crate) fn spmm_coo_acc_ranges<V: Scalar>(
+    a: &CooMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    pool: &ThreadPool,
+    entries: &[Range<usize>],
+) {
+    let out = SharedSlice::new(y);
+    pool.parallel_for_plan(entries, |_p, r| {
+        // SAFETY: plan entry ranges are row-aligned and disjoint.
+        unsafe { coo_entries_mm(a, x, &out, k, r) };
+    });
+}
+
+pub(crate) fn spmm_dia_ranges<V: Scalar>(
+    a: &DiaMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    pool: &ThreadPool,
+    rows: &[Range<usize>],
+) {
+    let out = SharedSlice::new(y);
+    pool.parallel_for_plan(rows, |_p, r| {
+        // SAFETY: plan row ranges tile the rows disjointly.
+        unsafe { dia_rows_mm(a, x, &out, k, r) };
+    });
+}
+
+pub(crate) fn spmm_ell_ranges<V: Scalar>(
+    a: &EllMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    pool: &ThreadPool,
+    rows: &[Range<usize>],
+) {
+    let out = SharedSlice::new(y);
+    pool.parallel_for_plan(rows, |_p, r| {
+        // SAFETY: plan row ranges tile the rows disjointly.
+        unsafe { ell_rows_mm(a, x, &out, k, r) };
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +474,49 @@ mod tests {
         assert!(spmm_serial(&m, &x, &mut y, 3).is_err());
         let mut y_short = vec![0.0; 5];
         assert!(spmm_serial(&m, &x, &mut y_short, 2).is_err());
+    }
+
+    /// Threaded SpMM must be *bitwise* identical to serial in every format
+    /// (same per-row accumulation order).
+    #[test]
+    fn threaded_spmm_is_bitwise_identical_to_serial() {
+        let pool = ThreadPool::new(4);
+        let k = 5usize;
+        for seed in 0..3u64 {
+            let coo = random_coo::<f64>(90, 70, 900, seed + 20);
+            let base = DynamicMatrix::from(coo);
+            let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+            let x: Vec<f64> =
+                (0..base.ncols() * k).map(|i| ((i * 13 + 1) % 23) as f64 * 0.25 - 2.0).collect();
+            for &fmt in &ALL_FORMATS {
+                let m = base.to_format(fmt, &opts).unwrap();
+                let mut ys = vec![0.0; base.nrows() * k];
+                spmm_serial(&m, &x, &mut ys, k).unwrap();
+                let mut yt = vec![f64::NAN; base.nrows() * k];
+                spmm_threaded(&m, &x, &mut yt, k, &pool).unwrap();
+                let same = ys.iter().zip(&yt).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "{fmt} seed {seed}: threaded SpMM diverged from serial");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_policy_dispatch() {
+        let pool = ThreadPool::new(2);
+        let m = DynamicMatrix::from(random_coo::<f64>(25, 25, 120, 2));
+        let k = 4usize;
+        let x = vec![1.5; 25 * k];
+        let mut y1 = vec![0.0; 25 * k];
+        let mut y2 = vec![0.0; 25 * k];
+        spmm(&m, &x, &mut y1, k, ExecPolicy::Serial).unwrap();
+        spmm(
+            &m,
+            &x,
+            &mut y2,
+            k,
+            ExecPolicy::Threaded { pool: &pool, schedule: morpheus_parallel::Schedule::default() },
+        )
+        .unwrap();
+        assert_eq!(y1, y2);
     }
 }

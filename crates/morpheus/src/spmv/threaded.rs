@@ -5,14 +5,17 @@
 //! results are bitwise identical to the serial kernels (same per-row
 //! accumulation order).
 //!
-//! * CSR/DIA/ELL partition rows with the caller's schedule (the analogue of
-//!   Morpheus' `#pragma omp parallel for` loops), keeping the per-diagonal /
-//!   per-slab contiguous inner loops of the serial kernels;
-//! * COO partitions the entry array at row boundaries (COO's sorted
-//!   invariant makes the boundaries cheap to find);
-//! * [`spmv_csr_balanced`] additionally offers an nnz-balanced CSR partition
-//!   ([`morpheus_parallel::weighted_partition`]) as an extension, compared
-//!   against the static kernel in the ablation suite.
+//! The per-range loop bodies are shared by three entry styles:
+//!
+//! * **schedule-driven** ([`spmv_csr`], [`spmv_dia`], [`spmv_ell`], ...):
+//!   rows are partitioned with the caller's [`Schedule`] on every call, the
+//!   analogue of Morpheus' `#pragma omp parallel for` loops;
+//! * **per-call balanced** ([`spmv_csr_balanced`], [`spmv_coo`]): an
+//!   nnz-weighted or row-aligned partition is recomputed on every call;
+//! * **planned** (the `*_ranges` kernels behind [`crate::plan::ExecPlan`]):
+//!   precomputed ranges are executed via
+//!   [`ThreadPool::parallel_for_plan`] with no per-call scheduling work at
+//!   all — the steady-state path for iterative solvers.
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
@@ -22,17 +25,123 @@ use crate::hdc::HdcMatrix;
 use crate::hyb::HybMatrix;
 use crate::scalar::Scalar;
 use morpheus_parallel::{row_aligned_partition, weighted_partition, Schedule, SharedSlice, ThreadPool};
+use std::ops::Range;
 
 /// Shared mutable output vector. Soundness contract: concurrent callers must
 /// write disjoint index sets, which the row partitioning guarantees.
 type SharedOut<V> = SharedSlice<V>;
+
+// ---------------------------------------------------------------------------
+// Per-range loop bodies (shared by every entry style)
+// ---------------------------------------------------------------------------
+
+/// CSR rows `rows`: per-row gather/reduce, written (or accumulated) into
+/// `out`. Same accumulation order as the serial kernel, so results are
+/// bitwise identical.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn csr_rows<V: Scalar, const ACC: bool>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    rows: Range<usize>,
+) {
+    let offs = a.row_offsets();
+    let cols = a.col_indices();
+    let vals = a.values();
+    for r in rows {
+        let mut acc = V::ZERO;
+        for i in offs[r]..offs[r + 1] {
+            acc += vals[i] * x[cols[i]];
+        }
+        if ACC {
+            out.add(r, acc);
+        } else {
+            out.set(r, acc);
+        }
+    }
+}
+
+/// COO entries `entries` (row-aligned): scatter-accumulate into `out`.
+///
+/// # Safety
+/// Concurrent callers' entry ranges must be aligned to row boundaries and
+/// disjoint, so each `y` element has exactly one writer.
+#[inline]
+unsafe fn coo_entries<V: Scalar>(a: &CooMatrix<V>, x: &[V], out: &SharedOut<V>, entries: Range<usize>) {
+    let rows = a.row_indices();
+    let cols = a.col_indices();
+    let vals = a.values();
+    for i in entries {
+        out.add(rows[i], vals[i] * x[cols[i]]);
+    }
+}
+
+/// DIA rows `rows`: zero the rows, then stream every diagonal's
+/// intersection with the range — the serial kernel's per-row accumulation
+/// order (diagonals ascending).
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn dia_rows<V: Scalar>(a: &DiaMatrix<V>, x: &[V], out: &SharedOut<V>, rows: Range<usize>) {
+    let nrows = a.nrows();
+    let offsets = a.offsets();
+    let values = a.values();
+    for i in rows.clone() {
+        out.set(i, V::ZERO);
+    }
+    for (d, &off) in offsets.iter().enumerate() {
+        let dr = a.diag_row_range(d);
+        let lo = rows.start.max(dr.start);
+        let hi = rows.end.min(dr.end);
+        let base = d * nrows;
+        for i in lo..hi {
+            let j = (i as isize + off) as usize;
+            out.add(i, values[base + i] * x[j]);
+        }
+    }
+}
+
+/// ELL rows `rows`: zero the rows, then walk the column-major slabs.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn ell_rows<V: Scalar>(a: &EllMatrix<V>, x: &[V], out: &SharedOut<V>, rows: Range<usize>) {
+    let nrows = a.nrows();
+    let cols = a.col_indices();
+    let vals = a.values();
+    for i in rows.clone() {
+        out.set(i, V::ZERO);
+    }
+    for k in 0..a.width() {
+        let base = k * nrows;
+        for i in rows.clone() {
+            let c = cols[base + i];
+            if c != ELL_PAD {
+                out.add(i, vals[base + i] * x[c]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule-driven kernels (per-call OpenMP-style partitioning)
+// ---------------------------------------------------------------------------
 
 /// CSR kernel with the caller's schedule over rows — the direct analogue of
 /// Morpheus' `#pragma omp parallel for` CSR loop. Skewed row distributions
 /// therefore suffer real load imbalance (which the auto-tuner exploits by
 /// switching formats); see [`spmv_csr_balanced`] for the mitigated variant.
 pub fn spmv_csr<V: Scalar>(a: &CsrMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
-    csr_scheduled_impl::<V, false>(a, x, y, pool, schedule);
+    let out = SharedOut::new(y);
+    pool.parallel_for_ranges(0..a.nrows(), schedule, |rows| {
+        // SAFETY: scheduled row ranges are disjoint.
+        unsafe { csr_rows::<V, false>(a, x, &out, rows) };
+    });
 }
 
 /// CSR accumulate kernel (`y += A x`), used by the HDC composite.
@@ -43,63 +152,31 @@ pub fn spmv_csr_acc<V: Scalar>(
     pool: &ThreadPool,
     schedule: Schedule,
 ) {
-    csr_scheduled_impl::<V, true>(a, x, y, pool, schedule);
-}
-
-fn csr_scheduled_impl<V: Scalar, const ACC: bool>(
-    a: &CsrMatrix<V>,
-    x: &[V],
-    y: &mut [V],
-    pool: &ThreadPool,
-    schedule: Schedule,
-) {
     let out = SharedOut::new(y);
-    let offs = a.row_offsets();
-    let cols = a.col_indices();
-    let vals = a.values();
     pool.parallel_for_ranges(0..a.nrows(), schedule, |rows| {
-        for r in rows {
-            let mut acc = V::ZERO;
-            for i in offs[r]..offs[r + 1] {
-                acc += vals[i] * x[cols[i]];
-            }
-            // SAFETY: scheduled row ranges are disjoint.
-            unsafe {
-                if ACC {
-                    out.add(r, acc);
-                } else {
-                    out.set(r, acc);
-                }
-            }
-        }
+        // SAFETY: scheduled row ranges are disjoint.
+        unsafe { csr_rows::<V, true>(a, x, &out, rows) };
     });
 }
 
 /// CSR kernel with nnz-balanced row partitioning — an extension over the
 /// paper's OpenMP kernel that splits rows so every thread receives a near
 /// equal number of non-zeros, taming skewed matrices without a format
-/// switch. Benchmarked against the static kernel in the ablation suite.
+/// switch. Recomputes the partition on every call; an
+/// [`crate::plan::ExecPlan`] holds the identical partition precomputed.
 pub fn spmv_csr_balanced<V: Scalar>(a: &CsrMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) {
     let weights = a.row_nnz_counts();
     let parts = weighted_partition(&weights, pool.num_threads());
     let out = SharedOut::new(y);
-    let offs = a.row_offsets();
-    let cols = a.col_indices();
-    let vals = a.values();
     pool.parallel_over_parts(&parts, |_p, rows| {
-        for r in rows {
-            let mut acc = V::ZERO;
-            for i in offs[r]..offs[r + 1] {
-                acc += vals[i] * x[cols[i]];
-            }
-            // SAFETY: weighted row partitions are disjoint.
-            unsafe { out.set(r, acc) };
-        }
+        // SAFETY: weighted row partitions are disjoint.
+        unsafe { csr_rows::<V, false>(a, x, &out, rows) };
     });
 }
 
 /// COO kernel: zero `y` in parallel, then accumulate row-aligned entry
-/// chunks.
+/// chunks. The chunks are recomputed from the sorted row array on every
+/// call; the planned variant reuses the splits held by an `ExecPlan`.
 pub fn spmv_coo<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) {
     parallel_fill_zero(y, pool);
     spmv_coo_acc(a, x, y, pool);
@@ -107,74 +184,35 @@ pub fn spmv_coo<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], pool: &Thread
 
 /// COO accumulate kernel (`y += A x`), used by the HYB composite.
 pub fn spmv_coo_acc<V: Scalar>(a: &CooMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) {
-    let nnz = a.nnz();
-    if nnz == 0 {
+    if a.nnz() == 0 {
         return;
     }
-    let rows = a.row_indices();
-    let cols = a.col_indices();
-    let vals = a.values();
-    let chunks = row_aligned_partition(rows, pool.num_threads());
+    let chunks = row_aligned_partition(a.row_indices(), pool.num_threads());
     let out = SharedOut::new(y);
     pool.parallel_over_parts(&chunks, |_p, entries| {
-        for i in entries {
-            // SAFETY: chunks are aligned to row boundaries, so each row —
-            // hence each y element — is touched by exactly one chunk.
-            unsafe { out.add(rows[i], vals[i] * x[cols[i]]) };
-        }
+        // SAFETY: chunks are aligned to row boundaries, so each row —
+        // hence each y element — is touched by exactly one chunk.
+        unsafe { coo_entries(a, x, &out, entries) };
     });
 }
 
 /// DIA kernel: rows are partitioned with the caller's schedule; within a
 /// chunk each diagonal is streamed contiguously, as in the serial kernel.
 pub fn spmv_dia<V: Scalar>(a: &DiaMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
-    let nrows = a.nrows();
     let out = SharedOut::new(y);
-    let offsets = a.offsets();
-    let values = a.values();
-    pool.parallel_for_ranges(0..nrows, schedule, |rows| {
+    pool.parallel_for_ranges(0..a.nrows(), schedule, |rows| {
         // SAFETY: row ranges scheduled by parallel_for_ranges are disjoint.
-        unsafe {
-            for i in rows.clone() {
-                out.set(i, V::ZERO);
-            }
-            for (d, &off) in offsets.iter().enumerate() {
-                let dr = a.diag_row_range(d);
-                let lo = rows.start.max(dr.start);
-                let hi = rows.end.min(dr.end);
-                let base = d * nrows;
-                for i in lo..hi {
-                    let j = (i as isize + off) as usize;
-                    out.add(i, values[base + i] * x[j]);
-                }
-            }
-        }
+        unsafe { dia_rows(a, x, &out, rows) };
     });
 }
 
 /// ELL kernel: rows partitioned with the caller's schedule; the inner loop
 /// walks the column-major slabs contiguously within the chunk.
 pub fn spmv_ell<V: Scalar>(a: &EllMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
-    let nrows = a.nrows();
     let out = SharedOut::new(y);
-    let cols = a.col_indices();
-    let vals = a.values();
-    pool.parallel_for_ranges(0..nrows, schedule, |rows| {
+    pool.parallel_for_ranges(0..a.nrows(), schedule, |rows| {
         // SAFETY: row ranges scheduled by parallel_for_ranges are disjoint.
-        unsafe {
-            for i in rows.clone() {
-                out.set(i, V::ZERO);
-            }
-            for k in 0..a.width() {
-                let base = k * nrows;
-                for i in rows.clone() {
-                    let c = cols[base + i];
-                    if c != ELL_PAD {
-                        out.add(i, vals[base + i] * x[c]);
-                    }
-                }
-            }
-        }
+        unsafe { ell_rows(a, x, &out, rows) };
     });
 }
 
@@ -190,15 +228,103 @@ pub fn spmv_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V], pool: &Thread
     spmv_csr_acc(a.csr(), x, y, pool, schedule);
 }
 
-fn parallel_fill_zero<V: Scalar>(y: &mut [V], pool: &ThreadPool) {
+// ---------------------------------------------------------------------------
+// Planned kernels: thin loops over precomputed `ExecPlan` ranges
+// ---------------------------------------------------------------------------
+
+/// CSR over precomputed row ranges (write).
+pub(crate) fn spmv_csr_ranges<V: Scalar>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: &ThreadPool,
+    rows: &[Range<usize>],
+) {
+    let out = SharedOut::new(y);
+    pool.parallel_for_plan(rows, |_p, r| {
+        // SAFETY: plan row ranges tile the rows disjointly.
+        unsafe { csr_rows::<V, false>(a, x, &out, r) };
+    });
+}
+
+/// CSR over precomputed row ranges (accumulate), for the HDC composite.
+pub(crate) fn spmv_csr_acc_ranges<V: Scalar>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: &ThreadPool,
+    rows: &[Range<usize>],
+) {
+    let out = SharedOut::new(y);
+    pool.parallel_for_plan(rows, |_p, r| {
+        // SAFETY: plan row ranges tile the rows disjointly.
+        unsafe { csr_rows::<V, true>(a, x, &out, r) };
+    });
+}
+
+/// COO over precomputed row-aligned entry ranges: zero `y`, accumulate.
+pub(crate) fn spmv_coo_ranges<V: Scalar>(
+    a: &CooMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: &ThreadPool,
+    entries: &[Range<usize>],
+) {
+    parallel_fill_zero(y, pool);
+    spmv_coo_acc_ranges(a, x, y, pool, entries);
+}
+
+/// COO accumulate over precomputed row-aligned entry ranges, for the HYB
+/// composite.
+pub(crate) fn spmv_coo_acc_ranges<V: Scalar>(
+    a: &CooMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: &ThreadPool,
+    entries: &[Range<usize>],
+) {
+    let out = SharedOut::new(y);
+    pool.parallel_for_plan(entries, |_p, r| {
+        // SAFETY: plan entry ranges are row-aligned and disjoint.
+        unsafe { coo_entries(a, x, &out, r) };
+    });
+}
+
+/// DIA over precomputed row ranges.
+pub(crate) fn spmv_dia_ranges<V: Scalar>(
+    a: &DiaMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: &ThreadPool,
+    rows: &[Range<usize>],
+) {
+    let out = SharedOut::new(y);
+    pool.parallel_for_plan(rows, |_p, r| {
+        // SAFETY: plan row ranges tile the rows disjointly.
+        unsafe { dia_rows(a, x, &out, r) };
+    });
+}
+
+/// ELL over precomputed row ranges.
+pub(crate) fn spmv_ell_ranges<V: Scalar>(
+    a: &EllMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: &ThreadPool,
+    rows: &[Range<usize>],
+) {
+    let out = SharedOut::new(y);
+    pool.parallel_for_plan(rows, |_p, r| {
+        // SAFETY: plan row ranges tile the rows disjointly.
+        unsafe { ell_rows(a, x, &out, r) };
+    });
+}
+
+pub(crate) fn parallel_fill_zero<V: Scalar>(y: &mut [V], pool: &ThreadPool) {
     let out = SharedOut::new(y);
     pool.parallel_for_ranges(0..out.len(), Schedule::default(), |r| {
         // SAFETY: static ranges are disjoint.
-        unsafe {
-            for i in r {
-                out.set(i, V::ZERO);
-            }
-        }
+        unsafe { out.slice_mut(r.start, r.len()).fill(V::ZERO) };
     });
 }
 
@@ -285,5 +411,29 @@ mod tests {
         let mut y = vec![3.0; 4];
         spmv_coo_acc(&coo, &x, &mut y, &pool);
         assert_eq!(y, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn ranged_kernels_match_scheduled_kernels_bitwise() {
+        let pool = ThreadPool::new(4);
+        let coo = random_coo::<f64>(150, 150, 2000, 3);
+        let csr = coo_to_csr(&coo);
+        let x: Vec<f64> = (0..150).map(|i| (i as f64 * 0.21).cos()).collect();
+
+        let mut y_ref = vec![0.0; 150];
+        serial::spmv_csr(&csr, &x, &mut y_ref);
+
+        let weights = csr.row_nnz_counts();
+        let rows = weighted_partition(&weights, pool.num_threads());
+        let mut y = vec![f64::NAN; 150];
+        spmv_csr_ranges(&csr, &x, &mut y, &pool, &rows);
+        assert_eq!(y, y_ref);
+
+        let mut y_ref = vec![0.0; 150];
+        serial::spmv_coo(&coo, &x, &mut y_ref);
+        let entries = row_aligned_partition(coo.row_indices(), pool.num_threads());
+        let mut y = vec![f64::NAN; 150];
+        spmv_coo_ranges(&coo, &x, &mut y, &pool, &entries);
+        assert_eq!(y, y_ref);
     }
 }

@@ -13,23 +13,26 @@
 //! ```
 
 use morpheus_repro::machine::{systems, Backend, VirtualEngine};
-use morpheus_repro::morpheus::spmv::spmv_threaded;
 use morpheus_repro::morpheus::vecops::{axpy_threaded, dot_threaded, norm2_threaded, xpby_threaded};
-use morpheus_repro::morpheus::{ConvertOptions, DynamicMatrix, FormatId};
+use morpheus_repro::morpheus::{ConvertOptions, DynamicMatrix, ExecPlan, FormatId};
 use morpheus_repro::oracle::{Oracle, RunFirstTuner};
-use morpheus_repro::parallel::{global_pool, Schedule};
+use morpheus_repro::parallel::global_pool;
 
 /// Unpreconditioned CG on `A x = b`; returns (iterations, final residual).
 fn cg(a: &DynamicMatrix<f64>, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize) -> (usize, f64) {
     let n = b.len();
     let pool = global_pool();
+    // Plan once, replay every iteration — the planned execution layer's
+    // intended shape for solver loops: the thread schedule is a per-matrix
+    // artifact, so it is not re-derived inside the hot loop.
+    let plan = ExecPlan::build(a, pool.num_threads(), None);
     let mut r = b.to_vec();
     let mut p = r.clone();
     let mut ap = vec![0.0f64; n];
     let mut rsold = dot_threaded(&r, &r, pool);
     let rs0 = rsold.sqrt().max(1e-300);
     for it in 0..max_iters {
-        spmv_threaded(a, &p, &mut ap, pool, Schedule::default()).expect("shapes agree");
+        plan.spmv(a, &p, &mut ap, pool).expect("plan was built for this matrix");
         let pap = dot_threaded(&p, &ap, pool);
         let alpha = rsold / pap;
         axpy_threaded(alpha, &p, x, pool);

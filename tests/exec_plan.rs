@@ -1,0 +1,231 @@
+//! Property-based integration tests for the planned execution layer:
+//! planned threaded SpMV and threaded SpMM must be **bitwise** identical to
+//! the serial kernels in every format (including edge shapes), plan
+//! construction must add zero matrix traversals on top of an `Analysis`,
+//! and the Oracle must amortise plans across an iterative loop.
+
+use morpheus_repro::machine::{systems, Backend, VirtualEngine};
+use morpheus_repro::morpheus::analysis::passes;
+use morpheus_repro::morpheus::format::{FormatId, ALL_FORMATS};
+use morpheus_repro::morpheus::spmm::{spmm_serial, spmm_threaded};
+use morpheus_repro::morpheus::spmv::spmv_serial;
+use morpheus_repro::morpheus::{Analysis, ConvertOptions, CooMatrix, DynamicMatrix, ExecPlan};
+use morpheus_repro::oracle::{Oracle, PlanStatus, RunFirstTuner};
+use morpheus_repro::parallel::ThreadPool;
+use proptest::prelude::*;
+
+/// Strategy: a small random sparse matrix as (nrows, ncols, entries).
+fn arb_matrix() -> impl Strategy<Value = DynamicMatrix<f64>> {
+    (2usize..40, 2usize..40).prop_flat_map(|(nrows, ncols)| {
+        let entry = (0..nrows, 0..ncols, -100i32..100).prop_map(|(r, c, v)| (r, c, v));
+        proptest::collection::vec(entry, 0..120).prop_map(move |entries| {
+            let rows: Vec<usize> = entries.iter().map(|e| e.0).collect();
+            let cols: Vec<usize> = entries.iter().map(|e| e.1).collect();
+            // Avoid explicit zeros (DIA storage cannot distinguish them
+            // from padding) and duplicate-sum cancellations.
+            let vals: Vec<f64> = entries.iter().map(|e| f64::from(e.2) + 1000.5).collect();
+            DynamicMatrix::from(CooMatrix::from_triplets(nrows, ncols, &rows, &cols, &vals).unwrap())
+        })
+    })
+}
+
+fn tolerant_opts() -> ConvertOptions {
+    // Small matrices: allow any amount of padding so every format converts.
+    ConvertOptions { min_padded_allowance: 1 << 24, ..Default::default() }
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Hand-picked edge shapes the fuzzer rarely lands on exactly: empty
+/// matrices, a single row, leading/trailing all-zero rows, one giant row.
+fn edge_matrices() -> Vec<DynamicMatrix<f64>> {
+    let t = |nr: usize, nc: usize, rows: &[usize], cols: &[usize]| {
+        let vals = vec![1.5f64; rows.len()];
+        DynamicMatrix::from(CooMatrix::from_triplets(nr, nc, rows, cols, &vals).unwrap())
+    };
+    vec![
+        DynamicMatrix::from(CooMatrix::<f64>::new(0, 0)),
+        DynamicMatrix::from(CooMatrix::<f64>::new(7, 7)),
+        DynamicMatrix::from(CooMatrix::<f64>::new(0, 5)),
+        DynamicMatrix::from(CooMatrix::<f64>::new(5, 0)),
+        // Single row.
+        t(1, 9, &[0, 0, 0], &[1, 4, 8]),
+        // First and last rows empty.
+        t(6, 6, &[2, 3, 3], &[0, 2, 5]),
+        // One giant row among singletons (cannot be split by any
+        // row-aligned partition).
+        t(
+            10,
+            40,
+            &{
+                let mut r = vec![4usize; 35];
+                r.extend([0, 9]);
+                r
+            },
+            &{
+                let mut c: Vec<usize> = (0..35).collect();
+                c.extend([3, 7]);
+                c
+            },
+        ),
+        // All-zero-row heavy: only the middle row is populated.
+        t(30, 4, &[15, 15, 15, 15], &[0, 1, 2, 3]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planned threaded SpMV is bitwise identical to serial in every
+    /// format, whether the plan was derived from an `Analysis` or from the
+    /// matrix alone, and whether executed on 1, 3 or 5 workers.
+    #[test]
+    fn planned_spmv_bitwise_identical_to_serial(m in arb_matrix(), threads in 1usize..6) {
+        let pool = ThreadPool::new(threads);
+        let opts = tolerant_opts();
+        let x: Vec<f64> = (0..m.ncols()).map(|i| ((i * 31 + 7) % 13) as f64 - 6.0).collect();
+        for &fmt in &ALL_FORMATS {
+            let converted = m.to_format(fmt, &opts).unwrap();
+            let mut y_ref = vec![0.0; m.nrows()];
+            spmv_serial(&converted, &x, &mut y_ref).unwrap();
+            let analysis = Analysis::of(&converted, opts.true_diag_alpha);
+            for plan in [
+                ExecPlan::build(&converted, pool.num_threads(), None),
+                ExecPlan::build(&converted, pool.num_threads(), Some(&analysis)),
+            ] {
+                let mut y = vec![f64::NAN; m.nrows()];
+                plan.spmv(&converted, &x, &mut y, &pool).unwrap();
+                prop_assert!(bits_eq(&y, &y_ref), "{fmt} x{threads}: planned SpMV diverged");
+            }
+        }
+    }
+
+    /// Threaded SpMM is bitwise identical to serial in every format.
+    #[test]
+    fn threaded_spmm_bitwise_identical_to_serial(m in arb_matrix(), threads in 1usize..6, k in 1usize..5) {
+        let pool = ThreadPool::new(threads);
+        let opts = tolerant_opts();
+        let x: Vec<f64> = (0..m.ncols() * k).map(|i| ((i * 17 + 3) % 11) as f64 - 5.0).collect();
+        for &fmt in &ALL_FORMATS {
+            let converted = m.to_format(fmt, &opts).unwrap();
+            let mut y_ref = vec![0.0; m.nrows() * k];
+            spmm_serial(&converted, &x, &mut y_ref, k).unwrap();
+            let mut y = vec![f64::NAN; m.nrows() * k];
+            spmm_threaded(&converted, &x, &mut y, k, &pool).unwrap();
+            prop_assert!(bits_eq(&y, &y_ref), "{fmt} x{threads} k={k}: threaded SpMM diverged");
+        }
+    }
+
+    /// The plan's reusable workspace produces the same bits as
+    /// caller-provided outputs, across alternating SpMV/SpMM calls.
+    #[test]
+    fn workspace_execution_bitwise_identical(m in arb_matrix(), k in 1usize..4) {
+        let pool = ThreadPool::new(3);
+        let opts = tolerant_opts();
+        let converted = m.to_format(FormatId::Csr, &opts).unwrap();
+        let x: Vec<f64> = (0..m.ncols()).map(|i| (i % 9) as f64 + 0.25).collect();
+        let xk: Vec<f64> = (0..m.ncols() * k).map(|i| (i % 9) as f64 - 4.0).collect();
+        let mut plan = ExecPlan::build(&converted, pool.num_threads(), None);
+
+        let mut y_ref = vec![0.0; m.nrows()];
+        spmv_serial(&converted, &x, &mut y_ref).unwrap();
+        let mut ymm_ref = vec![0.0; m.nrows() * k];
+        spmm_serial(&converted, &xk, &mut ymm_ref, k).unwrap();
+
+        let y = plan.spmv_workspace(&converted, &x, &pool).unwrap().to_vec();
+        prop_assert!(bits_eq(&y, &y_ref));
+        let ymm = plan.spmm_workspace(&converted, &xk, k, &pool).unwrap().to_vec();
+        prop_assert!(bits_eq(&ymm, &ymm_ref));
+        // And back again: the workspace shrinks correctly.
+        let y2 = plan.spmv_workspace(&converted, &x, &pool).unwrap();
+        prop_assert!(bits_eq(y2, &y_ref));
+    }
+
+    /// Traversal budget: given an `Analysis`, building a plan for every
+    /// format performs **zero** additional matrix traversals, and planned
+    /// executions add none either.
+    #[test]
+    fn plan_construction_and_execution_add_zero_traversals(m in arb_matrix(), threads in 1usize..5) {
+        let opts = tolerant_opts();
+        let pool = ThreadPool::new(threads);
+        let x: Vec<f64> = (0..m.ncols()).map(|_| 1.0).collect();
+        for &fmt in &ALL_FORMATS {
+            let converted = m.to_format(fmt, &opts).unwrap();
+            let analysis = Analysis::of(&converted, opts.true_diag_alpha);
+            passes::reset();
+            let plan = ExecPlan::build(&converted, pool.num_threads(), Some(&analysis));
+            prop_assert_eq!(passes::count(), 0, "{} plan construction traversed the matrix", fmt);
+            let mut y = vec![0.0; m.nrows()];
+            plan.spmv(&converted, &x, &mut y, &pool).unwrap();
+            prop_assert_eq!(passes::count(), 0, "{} planned execution traversed the matrix", fmt);
+        }
+    }
+}
+
+#[test]
+fn edge_shapes_planned_spmv_and_spmm_match_serial_bitwise() {
+    let pool = ThreadPool::new(4);
+    let opts = tolerant_opts();
+    let k = 3usize;
+    for (i, m) in edge_matrices().into_iter().enumerate() {
+        let x: Vec<f64> = (0..m.ncols()).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let xk: Vec<f64> = (0..m.ncols() * k).map(|i| (i % 5) as f64 - 2.0).collect();
+        for &fmt in &ALL_FORMATS {
+            let Ok(converted) = m.to_format(fmt, &opts) else { continue };
+            let analysis = Analysis::of(&converted, opts.true_diag_alpha);
+            let plan = ExecPlan::build(&converted, pool.num_threads(), Some(&analysis));
+
+            let mut y_ref = vec![0.0; m.nrows()];
+            spmv_serial(&converted, &x, &mut y_ref).unwrap();
+            let mut y = vec![f64::NAN; m.nrows()];
+            plan.spmv(&converted, &x, &mut y, &pool).unwrap();
+            assert!(bits_eq(&y, &y_ref), "edge {i} {fmt}: planned SpMV diverged");
+
+            let mut ymm_ref = vec![0.0; m.nrows() * k];
+            spmm_serial(&converted, &xk, &mut ymm_ref, k).unwrap();
+            let mut ymm = vec![f64::NAN; m.nrows() * k];
+            plan.spmm(&converted, &xk, &mut ymm, k, &pool).unwrap();
+            assert!(bits_eq(&ymm, &ymm_ref), "edge {i} {fmt}: planned SpMM diverged");
+        }
+    }
+}
+
+/// The end-to-end amortisation story: an OpenMP session in an iterative
+/// loop pays planning once; SpMV and SpMM share the structure's plan.
+#[test]
+fn oracle_session_amortises_plans_across_iterations() {
+    let mut oracle = Oracle::builder()
+        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(2))
+        .build()
+        .unwrap();
+    let n = 900usize;
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    for i in 0..n {
+        rows.push(i);
+        cols.push((i * 7) % n);
+        rows.push(i);
+        cols.push((i * 13 + 1) % n);
+    }
+    let vals = vec![1.0f64; rows.len()];
+    let mut m = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+
+    let first = oracle.tune_and_spmv(&mut m, &x, &mut y).unwrap();
+    assert_eq!(first.plan, PlanStatus::Built);
+    let mut y_ref = vec![0.0f64; n];
+    spmv_serial(&m, &x, &mut y_ref).unwrap();
+    assert_eq!(y, y_ref);
+
+    for _ in 0..4 {
+        let next = oracle.tune_and_spmv(&mut m, &x, &mut y).unwrap();
+        assert!(next.cache_hit, "steady-state tuning must hit the decision cache");
+        assert_eq!(next.plan, PlanStatus::Reused, "steady-state execution must replay the plan");
+    }
+    assert!(oracle.plan_cache_stats().hits >= 4);
+    assert_eq!(oracle.plan_cache_stats().len, 1, "one structure, one plan");
+}

@@ -273,6 +273,53 @@ fn spmm_tuning_is_a_distinct_cached_question() {
 }
 
 #[test]
+fn plan_cache_is_shared_by_spmv_and_spmm_but_split_by_scalar() {
+    use morpheus_repro::oracle::PlanStatus;
+
+    let mut oracle = Oracle::builder()
+        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(2))
+        .build()
+        .unwrap();
+
+    // A scatter matrix that tunes to the same format for SpMV and SpMM.
+    let n = 1200usize;
+    let rows: Vec<usize> = (0..n).flat_map(|i| [i, i]).collect();
+    let cols: Vec<usize> = (0..n).flat_map(|i| [(i * 5) % n, (i * 11 + 3) % n]).collect();
+    let vals = vec![1.0f64; rows.len()];
+    let mut m64 = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+
+    let first = oracle.tune_and_spmv(&mut m64, &x, &mut y).unwrap();
+    assert_eq!(first.plan, PlanStatus::Built);
+    let second = oracle.tune_and_spmv(&mut m64, &x, &mut y).unwrap();
+    assert_eq!(second.plan, PlanStatus::Reused);
+
+    // SpMM replays the same per-structure plan when the realized format is
+    // unchanged (partitioning is operation-agnostic).
+    let k = 2usize;
+    let xk = vec![1.0f64; n * k];
+    let mut yk = vec![0.0f64; n * k];
+    let mm = oracle.tune_and_spmm(&mut m64, &xk, &mut yk, k).unwrap();
+    if !mm.converted {
+        assert_eq!(mm.plan, PlanStatus::Reused);
+    }
+
+    // An f32 matrix of the same structure needs its own plan: the scalar
+    // width is part of the plan key.
+    let mut m32 = to_f32(&m64);
+    let x32 = vec![1.0f32; n];
+    let mut y32 = vec![0.0f32; n];
+    let r32 = oracle.tune_and_spmv(&mut m32, &x32, &mut y32).unwrap();
+    assert_eq!(r32.plan, PlanStatus::Built, "f32 must not replay the f64 plan");
+
+    let stats = oracle.plan_cache_stats();
+    assert!(stats.hits >= 1, "{stats:?}");
+    assert!(stats.len >= 2, "{stats:?}");
+}
+
+#[test]
 fn boxed_trait_object_tuner_drives_a_session() {
     // Strategy chosen at runtime: the session accepts a boxed tuner
     // without a type parameter leaking to the caller.
