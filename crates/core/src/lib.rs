@@ -32,6 +32,12 @@
 //! schedules are computed once per matrix structure and replayed on every
 //! later call ([`TuneReport::plan`] reports `Built` vs `Reused`).
 //!
+//! For production serving, the session machinery is also available as the
+//! `Send + Sync` [`OracleService`] (module [`serve`]): sharded lock-striped
+//! caches shared by any number of client threads, plus a registered-matrix
+//! path ([`OracleService::register`] → [`MatrixHandle`]) that executes with
+//! zero locks and zero per-call allocation.
+//!
 //! # Example: a tuning session
 //! ```
 //! use morpheus::{CooMatrix, DynamicMatrix};
@@ -83,6 +89,7 @@ mod cache;
 pub mod features;
 pub mod model_db;
 pub mod oracle;
+pub mod serve;
 pub mod tune;
 pub mod tuner;
 
@@ -90,6 +97,7 @@ pub use cache::CacheStats;
 pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
 pub use model_db::ModelDatabase;
 pub use oracle::{Oracle, OracleBuilder, DEFAULT_CACHE_CAPACITY};
+pub use serve::{HandleInfo, MatrixHandle, OracleService, ServeStats};
 pub use tune::{PlanStatus, TuneReport};
 pub use tuner::{DecisionTreeTuner, FormatTuner, RandomForestTuner, RunFirstTuner, TuneDecision, TuningCost};
 
@@ -108,6 +116,8 @@ pub enum OracleError {
     ModelMismatch(String),
     /// An [`Oracle`] was misconfigured (e.g. built without an engine).
     InvalidConfig(String),
+    /// I/O failure while exporting or importing cached decisions.
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for OracleError {
@@ -117,6 +127,7 @@ impl std::fmt::Display for OracleError {
             OracleError::Ml(e) => write!(f, "{e}"),
             OracleError::ModelMismatch(m) => write!(f, "model mismatch: {m}"),
             OracleError::InvalidConfig(m) => write!(f, "invalid Oracle configuration: {m}"),
+            OracleError::Io(e) => write!(f, "decision cache I/O: {e}"),
         }
     }
 }
@@ -132,6 +143,12 @@ impl From<morpheus::MorpheusError> for OracleError {
 impl From<morpheus_ml::MlError> for OracleError {
     fn from(e: morpheus_ml::MlError) -> Self {
         OracleError::Ml(e)
+    }
+}
+
+impl From<std::io::Error> for OracleError {
+    fn from(e: std::io::Error) -> Self {
+        OracleError::Io(e)
     }
 }
 

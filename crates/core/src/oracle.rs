@@ -9,6 +9,13 @@
 //! before, and re-derives thread schedules only for structures it has never
 //! executed.
 //!
+//! Since the serving-layer refactor, an `Oracle` is a thin single-owner
+//! wrapper over [`OracleService`] — the `Send + Sync` concurrent session in
+//! [`crate::serve`]. The facade keeps the familiar `&mut self` API (and the
+//! zero-surprise guarantee that nothing else touches its caches); call
+//! [`Oracle::into_service`] to promote a configured session into a shared
+//! service, or build one directly with [`OracleBuilder::build_service`].
+//!
 //! ```
 //! use morpheus::{CooMatrix, DynamicMatrix};
 //! use morpheus_machine::{systems, Backend, VirtualEngine};
@@ -26,79 +33,17 @@
 //! assert_eq!(m.format_id(), report.chosen);
 //! ```
 
-use crate::cache::{CacheKey, CacheStats, DecisionCache, LruMap};
-use crate::tune::{PlanStatus, TuneReport};
-use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
+use crate::cache::{CacheStats, DEFAULT_SHARDS};
+use crate::serve::OracleService;
+use crate::tune::TuneReport;
+use crate::tuner::FormatTuner;
 use crate::{OracleError, Result};
-use morpheus::format::FormatId;
-use morpheus::{Analysis, ConvertOptions, DynamicMatrix, ExecPlan, Scalar};
-use morpheus_machine::{analyze_from, Op, VirtualEngine};
-use morpheus_parallel::ThreadPool;
-use std::any::Any;
+use morpheus::{ConvertOptions, DynamicMatrix, Scalar};
+use morpheus_machine::{Op, VirtualEngine};
 
 /// Decisions a fresh [`Oracle`] keeps unless
 /// [`OracleBuilder::cache_capacity`] overrides it.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
-
-/// Key identifying one cached execution plan. Plans depend on the matrix
-/// structure *in its realized format*, the scalar width and the worker
-/// count — but not on the operation: SpMV and SpMM replay the same row
-/// partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct PlanKey {
-    structure: u64,
-    scalar_bytes: usize,
-    threads: usize,
-}
-
-/// Bounded LRU map from [`PlanKey`] to a type-erased [`ExecPlan`]: the
-/// shared [`LruMap`] mechanism plus the downcast/validity wrapper. The
-/// scalar width in the key keeps `f32` and `f64` plans apart, and lookups
-/// re-check the downcast anyway.
-#[derive(Debug)]
-struct PlanCache {
-    map: LruMap<PlanKey, Box<dyn Any + Send>>,
-}
-
-impl PlanCache {
-    fn new(capacity: usize) -> Self {
-        PlanCache { map: LruMap::new(capacity) }
-    }
-
-    fn capacity(&self) -> usize {
-        self.map.capacity()
-    }
-
-    /// Returns the cached plan for `key` if it exists, downcasts to
-    /// `ExecPlan<V>` and still describes `m`; otherwise builds one with
-    /// `build`, stores it and returns it. The `bool` is `true` on a hit.
-    /// Must not be called with caching disabled (capacity 0).
-    fn get_or_build<V: Scalar>(
-        &mut self,
-        key: PlanKey,
-        m: &DynamicMatrix<V>,
-        build: impl FnOnce() -> ExecPlan<V>,
-    ) -> (&mut ExecPlan<V>, bool) {
-        let hit = self
-            .map
-            .get_if(&key, |boxed| boxed.downcast_ref::<ExecPlan<V>>().is_some_and(|plan| plan.matches(m)))
-            .is_some();
-        if !hit {
-            self.map.insert(key, Box::new(build()));
-        }
-        let boxed = self.map.peek_mut(&key).expect("caller checked capacity > 0");
-        let plan = boxed.downcast_mut::<ExecPlan<V>>().expect("inserted with this scalar");
-        (plan, hit)
-    }
-
-    fn clear(&mut self) {
-        self.map.clear();
-    }
-
-    fn stats(&self) -> CacheStats {
-        self.map.stats()
-    }
-}
 
 /// A tuning session: engine + tuner + conversion policy + decision cache +
 /// execution plan cache.
@@ -109,14 +54,13 @@ impl PlanCache {
 /// runtime. Methods are generic over the matrix scalar: any `T`
 /// implementing [`FormatTuner`] for both `f32` and `f64` (all bundled
 /// tuners do) serves both precisions from one session, sharing one cache.
+///
+/// Internally this is a single-owner view of an [`OracleService`]; the
+/// `&mut self` receivers are an API guarantee (no aliasing of the session
+/// state), not a data-structure requirement.
 #[derive(Debug)]
 pub struct Oracle<T> {
-    engine: VirtualEngine,
-    tuner: T,
-    opts: ConvertOptions,
-    cache: DecisionCache,
-    plans: PlanCache,
-    engine_fingerprint: u64,
+    service: OracleService<T>,
 }
 
 impl Oracle<()> {
@@ -128,17 +72,10 @@ impl Oracle<()> {
             tuner: None,
             opts: ConvertOptions::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            shards: DEFAULT_SHARDS,
+            workers: None,
         }
     }
-}
-
-/// What one tuning call learned beyond the report: the structure hash of
-/// the matrix in its realized (post-conversion) format when it is known
-/// without re-hashing, plus the shared analysis built on a decision-cache
-/// miss (reused for plan construction).
-struct TuneArtifacts {
-    realized_hash: Option<u64>,
-    analysis: Option<Analysis>,
 }
 
 impl<T> Oracle<T> {
@@ -154,14 +91,14 @@ impl<T> Oracle<T> {
         V: Scalar,
         T: FormatTuner<V>,
     {
-        self.tune_for(m, Op::Spmv)
+        self.service.tune(m)
     }
 
     /// [`Oracle::tune`] for an arbitrary operation.
     ///
-    /// On a cache miss the session builds one shared [`Analysis`] of the
-    /// matrix (reusing the hash it just computed for the cache key) and
-    /// threads it through feature extraction *and* the eventual format
+    /// On a cache miss the session builds one shared [`morpheus::Analysis`]
+    /// of the matrix (reusing the hash it just computed for the cache key)
+    /// and threads it through feature extraction *and* the eventual format
     /// conversion, so planning the target layout never re-traverses the
     /// matrix. On a hit, only the hash and the conversion are paid for.
     pub fn tune_for<V>(&mut self, m: &mut DynamicMatrix<V>, op: Op) -> Result<TuneReport>
@@ -169,120 +106,7 @@ impl<T> Oracle<T> {
         V: Scalar,
         T: FormatTuner<V>,
     {
-        self.tune_with_artifacts(m, op).map(|(report, _)| report)
-    }
-
-    fn tune_with_artifacts<V>(
-        &mut self,
-        m: &mut DynamicMatrix<V>,
-        op: Op,
-    ) -> Result<(TuneReport, TuneArtifacts)>
-    where
-        V: Scalar,
-        T: FormatTuner<V>,
-    {
-        let previous = m.format_id();
-        let hash = m.structure_hash();
-        let key = CacheKey {
-            structure: hash,
-            scalar_bytes: std::mem::size_of::<V>(),
-            engine: self.engine_fingerprint,
-            op,
-        };
-
-        let (decision, cache_hit, analysis) = match self.cache.get(&key) {
-            Some(mut cached) => {
-                // Same structure, scalar, engine and op: the tuner would
-                // reproduce this decision, so charge nothing for it.
-                cached.cost = TuningCost::cached();
-                (cached, true, None)
-            }
-            None => {
-                let analysis = Analysis::of_auto_with_hash(m, self.opts.true_diag_alpha, hash);
-                let machine_view = analyze_from(m, &analysis);
-                let decision = self.tuner.select(m, &machine_view, &self.engine, op);
-                self.cache.insert(key, decision);
-                (decision, false, Some(analysis))
-            }
-        };
-
-        let predicted = decision.format;
-        let (chosen, convert) = match m.convert_to_with(predicted, &self.opts, analysis.as_ref()) {
-            Ok(outcome) => (predicted, outcome),
-            Err(_) => {
-                // Mispredicted into a non-viable format: fall back to CSR.
-                let outcome = m.convert_to_with(FormatId::Csr, &self.opts, analysis.as_ref())?;
-                (FormatId::Csr, outcome)
-            }
-        };
-        let mut realized_hash = (chosen == previous).then_some(hash);
-        if !cache_hit {
-            // Cache the *realized* format: if the prediction proved
-            // non-viable, later hits must not re-pay the failing
-            // conversion attempt before falling back.
-            let realized = TuneDecision { format: chosen, ..decision };
-            if chosen != predicted {
-                self.cache.insert(key, realized);
-            }
-            if chosen != previous {
-                // Alias the decision under the matrix's *post-conversion*
-                // structure too, so re-tuning the same (already switched)
-                // matrix — the repeated-execution loop of §VII-E — is a
-                // hit.
-                let post_hash = m.structure_hash();
-                realized_hash = Some(post_hash);
-                self.cache.insert(CacheKey { structure: post_hash, ..key }, realized);
-            }
-        }
-        let report = TuneReport {
-            chosen,
-            previous,
-            predicted,
-            cost: decision.cost,
-            converted: chosen != previous,
-            op,
-            cache_hit,
-            plan: PlanStatus::Unplanned,
-            convert,
-        };
-        Ok((report, TuneArtifacts { realized_hash, analysis }))
-    }
-
-    /// Host execution pool matching the session's target backend: `None`
-    /// (serial) for the Serial engine, the process-wide thread pool
-    /// otherwise (OpenMP targets run threaded; simulated GPU targets have
-    /// no host device, so the threaded backend is the closest host
-    /// execution).
-    fn exec_pool(&self) -> Option<&'static ThreadPool> {
-        match self.engine.backend() {
-            morpheus_machine::Backend::Serial => None,
-            _ => Some(morpheus_parallel::global_pool()),
-        }
-    }
-
-    /// Executes `run` against the session's cached execution plan for `m`
-    /// in its realized format, building (and caching) the plan on first
-    /// sight of the structure. With caching disabled (capacity 0) a
-    /// one-shot plan is built per call — still the planned kernels, but
-    /// construction is re-paid every time.
-    fn with_plan<V: Scalar>(
-        &mut self,
-        m: &DynamicMatrix<V>,
-        artifacts: &TuneArtifacts,
-        pool: &ThreadPool,
-        run: impl FnOnce(&mut ExecPlan<V>) -> morpheus::Result<()>,
-    ) -> Result<PlanStatus> {
-        let threads = pool.num_threads();
-        let analysis = artifacts.analysis.as_ref();
-        if self.plans.capacity() == 0 {
-            run(&mut ExecPlan::build(m, threads, analysis))?;
-            return Ok(PlanStatus::Built);
-        }
-        let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
-        let key = PlanKey { structure, scalar_bytes: std::mem::size_of::<V>(), threads };
-        let (plan, hit) = self.plans.get_or_build(key, m, || ExecPlan::build(m, threads, analysis));
-        run(plan)?;
-        Ok(if hit { PlanStatus::Reused } else { PlanStatus::Built })
+        self.service.tune_for(m, op)
     }
 
     /// Tunes `m` for SpMV, then executes `y = A x` in the selected format,
@@ -290,30 +114,34 @@ impl<T> Oracle<T> {
     /// a Serial engine, the host thread pool otherwise).
     ///
     /// Threaded execution runs through the session's cached
-    /// [`ExecPlan`] for the matrix structure: the first call builds the
-    /// plan (`report.plan == PlanStatus::Built`), subsequent calls in an
-    /// iterative loop replay it with zero scheduling work
+    /// [`morpheus::ExecPlan`] for the matrix structure: the first call
+    /// builds the plan (`report.plan == PlanStatus::Built`), subsequent
+    /// calls in an iterative loop replay it with zero scheduling work
     /// (`PlanStatus::Reused`).
+    ///
+    /// Since the serving-layer refactor, sessions inherit the service's
+    /// latency-over-throughput policy: if the execution pool is busy with
+    /// *another* user's batch at call time (possible when the session runs
+    /// on the process-wide [`morpheus_parallel::global_pool`]; never from
+    /// this session's own calls, which are sequential), the
+    /// bitwise-identical serial kernel runs instead of queueing —
+    /// reported via [`TuneReport::serial_fallback`]. Give the session a
+    /// private pool with [`OracleBuilder::workers`] to make the fallback
+    /// unreachable from outside.
     pub fn tune_and_spmv<V>(&mut self, m: &mut DynamicMatrix<V>, x: &[V], y: &mut [V]) -> Result<TuneReport>
     where
         V: Scalar,
         T: FormatTuner<V>,
     {
-        let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmv)?;
-        match self.exec_pool() {
-            None => morpheus::spmv::spmv_serial(m, x, y)?,
-            Some(pool) => {
-                report.plan = self.with_plan(m, &artifacts, pool, |plan| plan.spmv(m, x, y, pool))?;
-            }
-        }
-        Ok(report)
+        self.service.tune_and_spmv(m, x, y)
     }
 
     /// Tunes `m` for SpMM with `k` right-hand sides, then executes
     /// `Y = A X` (`x` row-major `ncols x k`, `y` row-major `nrows x k`) in
     /// the selected format, serial or threaded-planned per the engine's
     /// backend. SpMV and SpMM replay the *same* cached plan — the row
-    /// partition depends only on the structure.
+    /// partition depends only on the structure. The busy-pool serial
+    /// fallback of [`Oracle::tune_and_spmv`] applies here too.
     pub fn tune_and_spmm<V>(
         &mut self,
         m: &mut DynamicMatrix<V>,
@@ -325,57 +153,65 @@ impl<T> Oracle<T> {
         V: Scalar,
         T: FormatTuner<V>,
     {
-        let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmm { k })?;
-        match self.exec_pool() {
-            None => morpheus::spmm::spmm_serial(m, x, y, k)?,
-            Some(pool) => {
-                report.plan = self.with_plan(m, &artifacts, pool, |plan| plan.spmm(m, x, y, k, pool))?;
-            }
-        }
-        Ok(report)
+        self.service.tune_and_spmm(m, x, y, k)
     }
 
     /// The engine decisions are made for.
     pub fn engine(&self) -> &VirtualEngine {
-        &self.engine
+        self.service.engine()
     }
 
     /// The tuning strategy.
     pub fn tuner(&self) -> &T {
-        &self.tuner
+        self.service.tuner()
     }
 
     /// The conversion policy applied when switching formats.
     pub fn convert_options(&self) -> &ConvertOptions {
-        &self.opts
+        self.service.convert_options()
     }
 
     /// Hit/miss counters and occupancy of the decision cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.service.cache_stats()
     }
 
     /// Hit/miss counters and occupancy of the execution plan cache.
     pub fn plan_cache_stats(&self) -> CacheStats {
-        self.plans.stats()
+        self.service.plan_cache_stats()
     }
 
     /// Forgets every cached decision and execution plan (counters are
     /// kept). Call after swapping model files on disk or recalibrating the
     /// engine.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
-        self.plans.clear();
+        self.service.clear_cache();
+    }
+
+    /// The underlying concurrent service, shared caches and all (read
+    /// access: stats, decision export, ...).
+    pub fn service(&self) -> &OracleService<T> {
+        &self.service
+    }
+
+    /// Promotes this session into its [`OracleService`], keeping every
+    /// cached decision and plan — wrap it in an `Arc` and serve it from as
+    /// many client threads as needed.
+    pub fn into_service(self) -> OracleService<T> {
+        self.service
     }
 }
 
-/// Builder for [`Oracle`] sessions (see [`Oracle::builder`]).
+/// Builder for [`Oracle`] sessions and [`OracleService`]s (see
+/// [`Oracle::builder`]).
 #[derive(Debug)]
 pub struct OracleBuilder<T> {
     engine: Option<VirtualEngine>,
     tuner: Option<T>,
     opts: ConvertOptions,
     cache_capacity: usize,
+    shards: usize,
+    workers: Option<usize>,
 }
 
 impl<T> OracleBuilder<T> {
@@ -393,6 +229,8 @@ impl<T> OracleBuilder<T> {
             tuner: Some(tuner),
             opts: self.opts,
             cache_capacity: self.cache_capacity,
+            shards: self.shards,
+            workers: self.workers,
         }
     }
 
@@ -412,46 +250,56 @@ impl<T> OracleBuilder<T> {
         self
     }
 
-    /// Finishes the session.
+    /// Overrides the lock-stripe count of the sharded caches (default 16
+    /// stripes; minimum 1). More stripes reduce contention between
+    /// concurrent clients at the price of a slightly coarser global LRU
+    /// order.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Gives the session or service a *private* execution pool with
+    /// `workers` threads instead of the process-wide
+    /// [`morpheus_parallel::global_pool`] — isolation from other pool
+    /// users, and a pinned worker count for benchmarks and tests
+    /// (irrelevant on Serial engines, which never execute threaded).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Finishes a single-owner session.
     ///
     /// # Errors
     /// [`OracleError::InvalidConfig`] when the engine or tuner was never
     /// set.
     pub fn build(self) -> Result<Oracle<T>> {
+        self.build_service().map(|service| Oracle { service })
+    }
+
+    /// Finishes a `Send + Sync` concurrent service — wrap it in an `Arc`
+    /// and share it across client threads (see [`crate::serve`]).
+    ///
+    /// # Errors
+    /// [`OracleError::InvalidConfig`] when the engine or tuner was never
+    /// set.
+    pub fn build_service(self) -> Result<OracleService<T>> {
         let engine = self
             .engine
             .ok_or_else(|| OracleError::InvalidConfig("Oracle::builder(): no engine set".into()))?;
         let tuner =
             self.tuner.ok_or_else(|| OracleError::InvalidConfig("Oracle::builder(): no tuner set".into()))?;
-        let engine_fingerprint = fingerprint_engine(&engine);
-        Ok(Oracle {
-            engine,
-            tuner,
-            opts: self.opts,
-            cache: DecisionCache::new(self.cache_capacity),
-            plans: PlanCache::new(self.cache_capacity),
-            engine_fingerprint,
-        })
+        Ok(OracleService::new(engine, tuner, self.opts, self.cache_capacity, self.shards, self.workers))
     }
-}
-
-/// Hash of the engine's (system, backend) identity. Within one session the
-/// engine never changes, so this component never distinguishes entries
-/// today — it is part of the key so cached decisions stay self-describing.
-/// Note it covers the label only: engines differing merely in calibration
-/// or noise parameters collide, so it is NOT sufficient on its own to
-/// merge caches across sessions.
-fn fingerprint_engine(engine: &VirtualEngine) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    engine.label().hash(&mut h);
-    h.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tuner::RunFirstTuner;
+    use crate::tune::PlanStatus;
+    use crate::tuner::{RunFirstTuner, TuneDecision, TuningCost};
+    use morpheus::format::FormatId;
     use morpheus::CooMatrix;
     use morpheus_machine::{systems, Backend, MatrixAnalysis};
 
@@ -718,5 +566,21 @@ mod tests {
         assert_eq!(oracle.convert_options().max_fill, 3.5);
         assert_eq!(oracle.cache_stats().capacity, 16);
         assert_eq!(oracle.plan_cache_stats().capacity, 16);
+    }
+
+    #[test]
+    fn into_service_keeps_the_warm_caches() {
+        let mut oracle = Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(2))
+            .build()
+            .unwrap();
+        let mut m = tridiag(1000);
+        let chosen = oracle.tune(&mut m).unwrap().chosen;
+        let service = oracle.into_service();
+        let mut again = tridiag(1000);
+        let r = service.tune(&mut again).unwrap();
+        assert!(r.cache_hit, "promotion must not drop cached decisions");
+        assert_eq!(r.chosen, chosen);
     }
 }

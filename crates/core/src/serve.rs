@@ -1,0 +1,1121 @@
+//! The concurrent Oracle service layer: shared sessions, sharded caches and
+//! the registered-matrix serving path.
+//!
+//! The paper's amortisation argument (§VII-E) — pay feature extraction,
+//! prediction, conversion and planning **once**, then reap them over many
+//! executions — only pays off at production scale if many clients can share
+//! one tuned state. [`OracleService`] is that shared state: `Send + Sync`,
+//! `Arc`-shareable, every method `&self`. The decision and plan caches are
+//! sharded, lock-striped LRUs ([`crate::CacheStats`] aggregated atomically),
+//! so concurrent tuning requests contend only when they hash to the same
+//! stripe; the [`Oracle`](crate::Oracle) session facade is now a thin
+//! single-owner wrapper over this layer.
+//!
+//! The registered-matrix path goes further: [`OracleService::register`]
+//! tunes, converts and plans once, returning a [`MatrixHandle`] — an `Arc`
+//! around the realized matrix and its [`ExecPlan`]. Executions through a
+//! handle ([`OracleService::spmv`] / [`OracleService::spmm`]) touch **no
+//! locks and no caches** and perform **zero per-call allocation** (clients
+//! bring per-thread [`Workspace`]s for the allocating variants), from any
+//! number of client threads. When another client's batch has the thread
+//! pool busy, execution falls back to the bitwise-identical serial kernels
+//! instead of queueing — latency over throughput, per Elafrou et al.'s
+//! observation that runtime overhead decides whether online selection wins.
+//!
+//! ```
+//! use morpheus::{CooMatrix, DynamicMatrix, Workspace};
+//! use morpheus_machine::{systems, Backend, VirtualEngine};
+//! use morpheus_oracle::{Oracle, RunFirstTuner};
+//! use std::sync::Arc;
+//!
+//! let m = DynamicMatrix::from(
+//!     CooMatrix::<f64>::from_triplets(
+//!         4, 4, &[0, 1, 2, 3, 3], &[0, 1, 2, 0, 3], &[2.0, 3.0, 4.0, 1.0, 5.0],
+//!     )
+//!     .unwrap(),
+//! );
+//! let mut y_serial = vec![0.0; 4];
+//! morpheus::spmv::spmv_serial(&m, &[1.0, 1.0, 1.0, 1.0], &mut y_serial).unwrap();
+//!
+//! // One service, tuned once at registration, shared by any number of
+//! // client threads.
+//! let service = Arc::new(
+//!     Oracle::builder()
+//!         .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+//!         .tuner(RunFirstTuner::new(2))
+//!         .build_service()
+//!         .unwrap(),
+//! );
+//! let handle = service.register(m).unwrap();
+//!
+//! std::thread::scope(|s| {
+//!     for _ in 0..2 {
+//!         let (service, handle, expect) = (Arc::clone(&service), handle.clone(), y_serial.clone());
+//!         s.spawn(move || {
+//!             let mut ws = Workspace::new();
+//!             for _ in 0..4 {
+//!                 let y = service.spmv_into(&handle, &[1.0, 1.0, 1.0, 1.0], &mut ws).unwrap();
+//!                 assert_eq!(y, expect.as_slice());
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(service.serve_stats().handle_requests, 8);
+//! ```
+
+use crate::cache::{CacheKey, CacheStats, ShardedLru};
+use crate::tune::{PlanStatus, TuneReport};
+use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
+use crate::{OracleError, Result};
+use morpheus::format::FormatId;
+use morpheus::{Analysis, ConvertOptions, DynamicMatrix, ExecPlan, Scalar, Workspace};
+use morpheus_machine::{analyze_from, Op, VirtualEngine};
+use morpheus_ml::serialize::LineParser;
+use morpheus_parallel::ThreadPool;
+use parking_lot::RwLock;
+use std::any::Any;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Key identifying one cached execution plan. Plans depend on the matrix
+/// structure *in its realized format*, the scalar width and the worker
+/// count — but not on the operation: SpMV and SpMM replay the same row
+/// partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    structure: u64,
+    scalar_bytes: usize,
+    threads: usize,
+}
+
+/// What one tuning call learned beyond the report: the structure hash of
+/// the matrix in its realized (post-conversion) format when it is known
+/// without re-hashing, plus the shared analysis built on a decision-cache
+/// miss (reused for plan construction).
+struct TuneArtifacts {
+    realized_hash: Option<u64>,
+    analysis: Option<Analysis>,
+}
+
+/// Which pool threaded executions run on.
+#[derive(Debug)]
+enum ServicePool {
+    /// The process-wide pool ([`morpheus_parallel::global_pool`]).
+    Global,
+    /// A pool owned by this service (isolates it from other pool users;
+    /// also what lets tests and benches pin a worker count).
+    Owned(ThreadPool),
+}
+
+/// Metadata of one registered matrix, as recorded by the service's handle
+/// registry (see [`OracleService::registered_matrices`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandleInfo {
+    /// Service-unique registration id (also on the [`MatrixHandle`]).
+    pub id: u64,
+    /// The realized (post-tuning) storage format.
+    pub format: FormatId,
+    /// Rows.
+    pub nrows: usize,
+    /// Columns.
+    pub ncols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+    /// `size_of` of the matrix scalar.
+    pub scalar_bytes: usize,
+}
+
+/// Execution counters of a service (monotonic; never reset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Executions through registered handles (`spmv`/`spmm` and their
+    /// workspace variants).
+    pub handle_requests: u64,
+    /// Executions that found the pool busy with another client's batch and
+    /// took the bitwise-identical serial kernel instead of queueing.
+    pub pool_busy_fallbacks: u64,
+    /// Matrices registered over the service's lifetime.
+    pub registered: u64,
+}
+
+/// The tuned, converted and planned state [`OracleService::register`]
+/// produces: an `Arc` around the realized matrix and its shared
+/// [`ExecPlan`]. Cloning a handle is one reference-count bump; hand clones
+/// to every client thread.
+#[derive(Debug)]
+pub struct MatrixHandle<V: Scalar> {
+    inner: Arc<Registered<V>>,
+}
+
+impl<V: Scalar> Clone for MatrixHandle<V> {
+    fn clone(&self) -> Self {
+        MatrixHandle { inner: Arc::clone(&self.inner) }
+    }
+}
+
+#[derive(Debug)]
+struct Registered<V: Scalar> {
+    id: u64,
+    matrix: DynamicMatrix<V>,
+    plan: Arc<ExecPlan<V>>,
+    report: TuneReport,
+}
+
+impl<V: Scalar> MatrixHandle<V> {
+    /// Service-unique registration id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The realized (post-tuning) storage format.
+    pub fn format_id(&self) -> FormatId {
+        self.inner.matrix.format_id()
+    }
+
+    /// Rows of the registered matrix.
+    pub fn nrows(&self) -> usize {
+        self.inner.matrix.nrows()
+    }
+
+    /// Columns of the registered matrix.
+    pub fn ncols(&self) -> usize {
+        self.inner.matrix.ncols()
+    }
+
+    /// Stored non-zeros of the registered matrix.
+    pub fn nnz(&self) -> usize {
+        self.inner.matrix.nnz()
+    }
+
+    /// The tuning report from registration ([`TuneReport::plan`] says
+    /// whether the plan was built fresh or reused from the plan cache).
+    pub fn report(&self) -> &TuneReport {
+        &self.inner.report
+    }
+
+    /// The registered matrix in its realized format.
+    pub fn matrix(&self) -> &DynamicMatrix<V> {
+        &self.inner.matrix
+    }
+
+    /// The shared execution plan.
+    pub fn plan(&self) -> &ExecPlan<V> {
+        &self.inner.plan
+    }
+}
+
+/// A concurrent tuning service: the session machinery of
+/// [`Oracle`](crate::Oracle) behind `&self` methods, shareable across any
+/// number of client threads via `Arc`.
+///
+/// Built with [`crate::OracleBuilder::build_service`] (or
+/// [`OracleService::builder`], an alias for [`crate::Oracle::builder`]).
+/// See the [module docs](self) for the serving model and a multi-threaded
+/// example.
+#[derive(Debug)]
+pub struct OracleService<T> {
+    engine: VirtualEngine,
+    tuner: T,
+    opts: ConvertOptions,
+    decisions: ShardedLru<CacheKey, TuneDecision>,
+    plans: ShardedLru<PlanKey, Arc<dyn Any + Send + Sync>>,
+    engine_fingerprint: u64,
+    pool: ServicePool,
+    registry: RwLock<Vec<HandleInfo>>,
+    next_handle_id: AtomicU64,
+    handle_requests: AtomicU64,
+    pool_busy_fallbacks: AtomicU64,
+}
+
+impl OracleService<()> {
+    /// Starts building a service — an alias for
+    /// [`crate::Oracle::builder`]; finish with
+    /// [`crate::OracleBuilder::build_service`].
+    pub fn builder() -> crate::OracleBuilder<()> {
+        crate::Oracle::builder()
+    }
+}
+
+impl<T> OracleService<T> {
+    pub(crate) fn new(
+        engine: VirtualEngine,
+        tuner: T,
+        opts: ConvertOptions,
+        cache_capacity: usize,
+        shards: usize,
+        workers: Option<usize>,
+    ) -> Self {
+        let engine_fingerprint = fingerprint_engine(&engine);
+        OracleService {
+            engine,
+            tuner,
+            opts,
+            decisions: ShardedLru::new(cache_capacity, shards),
+            plans: ShardedLru::new(cache_capacity, shards),
+            engine_fingerprint,
+            pool: match workers {
+                Some(n) => ServicePool::Owned(ThreadPool::new(n)),
+                None => ServicePool::Global,
+            },
+            registry: RwLock::new(Vec::new()),
+            next_handle_id: AtomicU64::new(0),
+            handle_requests: AtomicU64::new(0),
+            pool_busy_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Host execution pool matching the service's target backend: `None`
+    /// (serial) for the Serial engine, otherwise the service's own pool or
+    /// the process-wide one (OpenMP targets run threaded; simulated GPU
+    /// targets have no host device, so the threaded backend is the closest
+    /// host execution).
+    fn exec_pool(&self) -> Option<&ThreadPool> {
+        match self.engine.backend() {
+            morpheus_machine::Backend::Serial => None,
+            _ => Some(match &self.pool {
+                ServicePool::Global => morpheus_parallel::global_pool(),
+                ServicePool::Owned(pool) => pool,
+            }),
+        }
+    }
+
+    /// Tunes `m` for SpMV: selects a format (from cache when the structure
+    /// was seen before) and switches `m` to it in place. Identical
+    /// semantics to [`crate::Oracle::tune`], callable from any thread.
+    pub fn tune<V>(&self, m: &mut DynamicMatrix<V>) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        self.tune_for(m, Op::Spmv)
+    }
+
+    /// [`OracleService::tune`] for an arbitrary operation.
+    ///
+    /// On a cache miss the service builds one shared [`Analysis`] of the
+    /// matrix (reusing the hash it just computed for the cache key) and
+    /// threads it through feature extraction *and* the eventual format
+    /// conversion, so planning the target layout never re-traverses the
+    /// matrix. On a hit, only the hash and the conversion are paid for.
+    /// Concurrent misses on the same key may each run the tuner; the
+    /// bundled tuners are deterministic, so the duplicated inserts agree
+    /// and none is lost.
+    pub fn tune_for<V>(&self, m: &mut DynamicMatrix<V>, op: Op) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        self.tune_with_artifacts(m, op).map(|(report, _)| report)
+    }
+
+    fn tune_with_artifacts<V>(&self, m: &mut DynamicMatrix<V>, op: Op) -> Result<(TuneReport, TuneArtifacts)>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let previous = m.format_id();
+        let hash = m.structure_hash();
+        let key = CacheKey {
+            structure: hash,
+            scalar_bytes: std::mem::size_of::<V>(),
+            engine: self.engine_fingerprint,
+            op,
+        };
+
+        let (decision, cache_hit, analysis) = match self.decisions.get_if(&key, |_| true) {
+            Some(mut cached) => {
+                // Same structure, scalar, engine and op: the tuner would
+                // reproduce this decision, so charge nothing for it.
+                cached.cost = TuningCost::cached();
+                (cached, true, None)
+            }
+            None => {
+                let analysis = Analysis::of_auto_with_hash(m, self.opts.true_diag_alpha, hash);
+                let machine_view = analyze_from(m, &analysis);
+                let decision = self.tuner.select(m, &machine_view, &self.engine, op);
+                self.decisions.insert(key, decision);
+                (decision, false, Some(analysis))
+            }
+        };
+
+        let predicted = decision.format;
+        let (chosen, convert) = match m.convert_to_with(predicted, &self.opts, analysis.as_ref()) {
+            Ok(outcome) => (predicted, outcome),
+            Err(_) => {
+                // Mispredicted into a non-viable format: fall back to CSR.
+                let outcome = m.convert_to_with(FormatId::Csr, &self.opts, analysis.as_ref())?;
+                (FormatId::Csr, outcome)
+            }
+        };
+        let mut realized_hash = (chosen == previous).then_some(hash);
+        if !cache_hit {
+            // Cache the *realized* format: if the prediction proved
+            // non-viable, later hits must not re-pay the failing
+            // conversion attempt before falling back.
+            let realized = TuneDecision { format: chosen, ..decision };
+            if chosen != predicted {
+                self.decisions.insert(key, realized);
+            }
+            if chosen != previous {
+                // Alias the decision under the matrix's *post-conversion*
+                // structure too, so re-tuning the same (already switched)
+                // matrix — the repeated-execution loop of §VII-E — is a
+                // hit.
+                let post_hash = m.structure_hash();
+                realized_hash = Some(post_hash);
+                self.decisions.insert(CacheKey { structure: post_hash, ..key }, realized);
+            }
+        }
+        let report = TuneReport {
+            chosen,
+            previous,
+            predicted,
+            cost: decision.cost,
+            converted: chosen != previous,
+            op,
+            cache_hit,
+            plan: PlanStatus::Unplanned,
+            serial_fallback: false,
+            convert,
+        };
+        Ok((report, TuneArtifacts { realized_hash, analysis }))
+    }
+
+    /// Fetches (or builds and caches) the shared execution plan for `m`,
+    /// returning whether it was a cache hit. Under concurrent misses on
+    /// one structure, each thread builds its own plan and the last insert
+    /// wins — plans for one (structure, format, threads) key are
+    /// interchangeable, so nothing is lost but a little build work.
+    fn plan_for<V: Scalar>(
+        &self,
+        key: PlanKey,
+        m: &DynamicMatrix<V>,
+        analysis: Option<&Analysis>,
+        threads: usize,
+    ) -> (Arc<ExecPlan<V>>, bool) {
+        let cached = self
+            .plans
+            .get_if(&key, |p| p.downcast_ref::<ExecPlan<V>>().is_some_and(|plan| plan.matches(m)))
+            .and_then(|p| p.downcast::<ExecPlan<V>>().ok());
+        match cached {
+            Some(plan) => (plan, true),
+            None => {
+                let plan = Arc::new(ExecPlan::build(m, threads, analysis));
+                self.plans.insert(key, plan.clone() as Arc<dyn Any + Send + Sync>);
+                (plan, false)
+            }
+        }
+    }
+
+    /// Acquires the execution plan for `m` in its realized format, building
+    /// (and caching) it on first sight of the structure — the single plan
+    /// path shared by `tune_and_*` execution and handle registration, so
+    /// both populate the same cache under the same keys. With caching
+    /// disabled (capacity 0) a one-shot plan is built per call — still the
+    /// planned kernels, but construction is re-paid every time.
+    fn acquire_plan<V: Scalar>(
+        &self,
+        m: &DynamicMatrix<V>,
+        artifacts: &TuneArtifacts,
+        threads: usize,
+    ) -> (Arc<ExecPlan<V>>, PlanStatus) {
+        let analysis = artifacts.analysis.as_ref();
+        if self.plans.capacity() == 0 {
+            return (Arc::new(ExecPlan::build(m, threads, analysis)), PlanStatus::Built);
+        }
+        let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
+        let key = PlanKey { structure, scalar_bytes: std::mem::size_of::<V>(), threads };
+        let (plan, hit) = self.plan_for(key, m, analysis, threads);
+        (plan, if hit { PlanStatus::Reused } else { PlanStatus::Built })
+    }
+
+    /// `true` when the pool is busy with another client's batch: the
+    /// caller should run the bitwise-identical serial kernel immediately
+    /// instead of queueing behind it (counted in
+    /// [`ServeStats::pool_busy_fallbacks`]).
+    fn take_serial_fallback(&self, pool: &ThreadPool) -> bool {
+        if pool.is_busy() {
+            self.pool_busy_fallbacks.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The one busy-fallback policy for `tune_and_*` threaded execution:
+    /// decide the fallback, acquire the plan (skipped only when there is
+    /// no cache to warm), record both in `report`, then hand `run` either
+    /// the plan (execute threaded) or `None` (execute the bitwise-identical
+    /// serial kernel).
+    fn run_threaded<V: Scalar>(
+        &self,
+        m: &DynamicMatrix<V>,
+        artifacts: &TuneArtifacts,
+        pool: &ThreadPool,
+        report: &mut TuneReport,
+        run: impl FnOnce(Option<&ExecPlan<V>>) -> morpheus::Result<()>,
+    ) -> Result<()> {
+        report.serial_fallback = self.take_serial_fallback(pool);
+        if report.serial_fallback && self.plans.capacity() == 0 {
+            // No cache to warm: skip the wasted plan construction.
+            run(None)?;
+        } else {
+            let (plan, status) = self.acquire_plan(m, artifacts, pool.num_threads());
+            report.plan = status;
+            run(if report.serial_fallback { None } else { Some(&plan) })?;
+        }
+        Ok(())
+    }
+
+    /// Tunes `m` for SpMV, then executes `y = A x` in the selected format —
+    /// [`crate::Oracle::tune_and_spmv`], callable from any thread. Threaded
+    /// execution replays the shared plan cache; if the pool is busy with
+    /// another client, the bitwise-identical serial kernel runs instead of
+    /// queueing ([`TuneReport::serial_fallback`] reports it; with plan
+    /// caching enabled the plan is still acquired, so the cache stays warm
+    /// for the next uncontended call).
+    pub fn tune_and_spmv<V>(&self, m: &mut DynamicMatrix<V>, x: &[V], y: &mut [V]) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmv)?;
+        match self.exec_pool() {
+            None => morpheus::spmv::spmv_serial(m, x, y)?,
+            Some(pool) => {
+                self.run_threaded(m, &artifacts, pool, &mut report, |plan| match plan {
+                    Some(plan) => plan.spmv(m, x, y, pool),
+                    None => morpheus::spmv::spmv_serial(m, x, y),
+                })?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Tunes `m` for SpMM with `k` right-hand sides, then executes
+    /// `Y = A X` (`x` row-major `ncols x k`, `y` row-major `nrows x k`) —
+    /// [`crate::Oracle::tune_and_spmm`], callable from any thread.
+    pub fn tune_and_spmm<V>(
+        &self,
+        m: &mut DynamicMatrix<V>,
+        x: &[V],
+        y: &mut [V],
+        k: usize,
+    ) -> Result<TuneReport>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmm { k })?;
+        match self.exec_pool() {
+            None => morpheus::spmm::spmm_serial(m, x, y, k)?,
+            Some(pool) => {
+                self.run_threaded(m, &artifacts, pool, &mut report, |plan| match plan {
+                    Some(plan) => plan.spmm(m, x, y, k, pool),
+                    None => morpheus::spmm::spmm_serial(m, x, y, k),
+                })?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Registers `m` for serving: tunes it for SpMV, converts it to the
+    /// selected format and builds (or fetches from the shared cache) its
+    /// execution plan — the whole §VII-E amortisation paid here, once.
+    /// The returned handle executes through
+    /// [`OracleService::spmv`]/[`OracleService::spmm`] with zero locks and
+    /// zero per-call allocation from any number of threads.
+    pub fn register<V>(&self, m: DynamicMatrix<V>) -> Result<MatrixHandle<V>>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        self.register_for(m, Op::Spmv)
+    }
+
+    /// [`OracleService::register`] tuned for an arbitrary operation (the
+    /// plan is operation-agnostic; only the format selection differs).
+    ///
+    /// Each registration appends one [`HandleInfo`] (a few words of
+    /// metadata, not the matrix) to the service's registry, retained for
+    /// the service's lifetime — there is deliberately no deregistration:
+    /// handles own their matrix and plan via `Arc` and free them on drop,
+    /// while the registry stays a complete, monotonic audit of what was
+    /// served.
+    pub fn register_for<V>(&self, mut m: DynamicMatrix<V>, op: Op) -> Result<MatrixHandle<V>>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let (mut report, artifacts) = self.tune_with_artifacts(&mut m, op)?;
+        let threads = self.exec_pool().map_or(1, |p| p.num_threads());
+        let (plan, status) = self.acquire_plan(&m, &artifacts, threads);
+        report.plan = status;
+        let id = self.next_handle_id.fetch_add(1, Ordering::Relaxed);
+        self.registry.write().push(HandleInfo {
+            id,
+            format: m.format_id(),
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+            scalar_bytes: std::mem::size_of::<V>(),
+        });
+        Ok(MatrixHandle { inner: Arc::new(Registered { id, matrix: m, plan, report }) })
+    }
+
+    /// `y = A x` through a registered handle: the zero-lock steady state.
+    /// Serial engines run the serial kernel; threaded engines replay the
+    /// handle's plan, or fall back to the bitwise-identical serial kernel
+    /// when the pool is busy with another client's batch.
+    pub fn spmv<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V]) -> Result<()> {
+        let r = &*handle.inner;
+        match self.exec_pool() {
+            None => morpheus::spmv::spmv_serial(&r.matrix, x, y)?,
+            Some(pool) if self.take_serial_fallback(pool) => morpheus::spmv::spmv_serial(&r.matrix, x, y)?,
+            Some(pool) => r.plan.spmv(&r.matrix, x, y, pool)?,
+        }
+        self.handle_requests.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// `Y = A X` (`k` right-hand sides) through a registered handle.
+    pub fn spmm<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V], k: usize) -> Result<()> {
+        let r = &*handle.inner;
+        match self.exec_pool() {
+            None => morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?,
+            Some(pool) if self.take_serial_fallback(pool) => morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?,
+            Some(pool) => r.plan.spmm(&r.matrix, x, y, k, pool)?,
+        }
+        self.handle_requests.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// [`OracleService::spmv`] into a caller-owned (per-thread)
+    /// [`Workspace`]: zero allocation once the workspace reached size.
+    pub fn spmv_into<'w, V: Scalar>(
+        &self,
+        handle: &MatrixHandle<V>,
+        x: &[V],
+        ws: &'w mut Workspace<V>,
+    ) -> Result<&'w [V]> {
+        let nrows = handle.nrows();
+        let out = ws.run(nrows, |y| {
+            self.spmv(handle, x, y).map_err(|e| match e {
+                OracleError::Morpheus(m) => m,
+                other => panic!("handle execution only surfaces matrix errors: {other}"),
+            })
+        })?;
+        Ok(out)
+    }
+
+    /// [`OracleService::spmm`] into a caller-owned (per-thread)
+    /// [`Workspace`].
+    pub fn spmm_into<'w, V: Scalar>(
+        &self,
+        handle: &MatrixHandle<V>,
+        x: &[V],
+        k: usize,
+        ws: &'w mut Workspace<V>,
+    ) -> Result<&'w [V]> {
+        let len = handle.nrows() * k;
+        let out = ws.run(len, |y| {
+            self.spmm(handle, x, y, k).map_err(|e| match e {
+                OracleError::Morpheus(m) => m,
+                other => panic!("handle execution only surfaces matrix errors: {other}"),
+            })
+        })?;
+        Ok(out)
+    }
+
+    /// Metadata of every matrix registered so far (read-mostly: a shared
+    /// read lock, uncontended unless a registration is in flight).
+    pub fn registered_matrices(&self) -> Vec<HandleInfo> {
+        self.registry.read().clone()
+    }
+
+    /// Execution counters (atomic snapshots; see [`ServeStats`]).
+    pub fn serve_stats(&self) -> ServeStats {
+        ServeStats {
+            handle_requests: self.handle_requests.load(Ordering::Relaxed),
+            pool_busy_fallbacks: self.pool_busy_fallbacks.load(Ordering::Relaxed),
+            registered: self.registry.read().len() as u64,
+        }
+    }
+
+    /// The engine decisions are made for.
+    pub fn engine(&self) -> &VirtualEngine {
+        &self.engine
+    }
+
+    /// The tuning strategy.
+    pub fn tuner(&self) -> &T {
+        &self.tuner
+    }
+
+    /// The conversion policy applied when switching formats.
+    pub fn convert_options(&self) -> &ConvertOptions {
+        &self.opts
+    }
+
+    /// Worker count threaded executions are planned for (1 on serial
+    /// engines).
+    pub fn workers(&self) -> usize {
+        self.exec_pool().map_or(1, |p| p.num_threads())
+    }
+
+    /// Hit/miss counters and occupancy of the decision cache, aggregated
+    /// atomically across shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.decisions.stats()
+    }
+
+    /// Hit/miss counters and occupancy of the execution plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plans.stats()
+    }
+
+    /// Forgets every cached decision and execution plan (counters are
+    /// kept). Registered handles are unaffected — they own their plans.
+    pub fn clear_cache(&self) {
+        self.decisions.clear();
+        self.plans.clear();
+    }
+
+    // -----------------------------------------------------------------
+    // Decision-cache warm start
+    // -----------------------------------------------------------------
+
+    /// Writes every cached decision in a versioned, line-oriented text
+    /// format (the style of `morpheus-ml::serialize` model files), so a
+    /// restarted service can [`import_decisions`](Self::import_decisions)
+    /// and skip cold-path tuning for every structure this service has
+    /// seen:
+    ///
+    /// ```text
+    /// morpheus-oracle-decisions v1
+    /// engine <fingerprint hex>
+    /// entries <n>
+    /// decision <structure hex> <scalar_bytes> <spmv|spmm:k> <FORMAT>
+    /// end
+    /// ```
+    pub fn export_decisions<W: Write>(&self, w: &mut W) -> Result<()> {
+        let mut entries: Vec<(CacheKey, TuneDecision)> = Vec::new();
+        self.decisions.for_each(|k, d| entries.push((*k, *d)));
+        // Deterministic output independent of shard iteration order.
+        entries.sort_by_key(|(k, _)| (k.structure, k.scalar_bytes, k.op.name(), k.op.rhs_count()));
+        writeln!(w, "{DECISIONS_MAGIC} {DECISIONS_VERSION}")?;
+        writeln!(w, "engine {:016x}", self.engine_fingerprint)?;
+        writeln!(w, "entries {}", entries.len())?;
+        for (key, decision) in entries {
+            let op = match key.op {
+                Op::Spmv => "spmv".to_string(),
+                Op::Spmm { k } => format!("spmm:{k}"),
+            };
+            writeln!(
+                w,
+                "decision {:016x} {} {op} {}",
+                key.structure,
+                key.scalar_bytes,
+                decision.format.name()
+            )?;
+        }
+        writeln!(w, "end")?;
+        Ok(())
+    }
+
+    /// Loads decisions exported by [`export_decisions`](Self::export_decisions)
+    /// into the decision cache, returning how many were inserted. The file
+    /// must have been exported for an engine with the same fingerprint —
+    /// decisions are engine-specific, so a mismatch is
+    /// [`OracleError::ModelMismatch`], not a silent merge. Malformed input
+    /// is rejected before anything is inserted.
+    pub fn import_decisions<R: BufRead>(&self, reader: R) -> Result<usize> {
+        let mut lines = DecisionLines { lines: LineParser::new(reader) };
+        let header = lines.next_line()?.ok_or_else(|| lines.err("empty decisions file"))?;
+        if header.len() != 2 || header[0] != DECISIONS_MAGIC {
+            return Err(lines.err(format!("bad header: expected '{DECISIONS_MAGIC} {DECISIONS_VERSION}'")));
+        }
+        if header[1] != DECISIONS_VERSION {
+            return Err(lines.err(format!("unsupported decisions version '{}'", header[1])));
+        }
+        let engine = lines.expect_kv("engine")?;
+        let engine = u64::from_str_radix(&engine, 16)
+            .map_err(|_| lines.err(format!("bad engine fingerprint '{engine}'")))?;
+        if engine != self.engine_fingerprint {
+            return Err(OracleError::ModelMismatch(format!(
+                "decisions were exported for engine {engine:016x}, this service is {:016x}",
+                self.engine_fingerprint
+            )));
+        }
+        let n: usize = {
+            let v = lines.expect_kv("entries")?;
+            v.parse().map_err(|_| lines.err(format!("bad entry count '{v}'")))?
+        };
+        let mut parsed = Vec::with_capacity(n);
+        for _ in 0..n {
+            let toks = lines.next_line()?.ok_or_else(|| lines.err("expected 'decision ...', got EOF"))?;
+            if toks.len() != 5 || toks[0] != "decision" {
+                return Err(lines.err(format!(
+                    "expected 'decision <structure> <scalar_bytes> <op> <format>', got '{}'",
+                    toks.join(" ")
+                )));
+            }
+            let structure = u64::from_str_radix(&toks[1], 16)
+                .map_err(|_| lines.err(format!("bad structure hash '{}'", toks[1])))?;
+            let scalar_bytes: usize =
+                toks[2].parse().map_err(|_| lines.err(format!("bad scalar width '{}'", toks[2])))?;
+            let op = match toks[3].as_str() {
+                "spmv" => Op::Spmv,
+                other => match other.strip_prefix("spmm:").and_then(|k| k.parse::<usize>().ok()) {
+                    Some(k) => Op::Spmm { k },
+                    None => return Err(lines.err(format!("unknown op '{other}'"))),
+                },
+            };
+            let format = FormatId::from_name(&toks[4])
+                .ok_or_else(|| lines.err(format!("unknown format '{}'", toks[4])))?;
+            parsed.push((
+                CacheKey { structure, scalar_bytes, engine, op },
+                TuneDecision { format, op, cost: TuningCost::default() },
+            ));
+        }
+        let toks = lines.next_line()?.ok_or_else(|| lines.err("expected 'end', got EOF"))?;
+        if toks != ["end"] {
+            return Err(lines.err(format!("expected 'end', got '{}'", toks.join(" "))));
+        }
+        let count = parsed.len();
+        for (key, decision) in parsed {
+            self.decisions.insert(key, decision);
+        }
+        Ok(count)
+    }
+}
+
+const DECISIONS_MAGIC: &str = "morpheus-oracle-decisions";
+const DECISIONS_VERSION: &str = "v1";
+
+/// Decisions-format wrapper over the shared [`LineParser`] tokenizer (the
+/// same one the model files use), mapping its line numbers into
+/// [`OracleError`]s.
+struct DecisionLines<R: BufRead> {
+    lines: LineParser<R>,
+}
+
+impl<R: BufRead> DecisionLines<R> {
+    fn next_line(&mut self) -> Result<Option<Vec<String>>> {
+        Ok(self.lines.next_line()?)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> OracleError {
+        OracleError::InvalidConfig(format!("decisions file line {}: {}", self.lines.lineno(), msg.into()))
+    }
+
+    fn expect_kv(&mut self, key: &str) -> Result<String> {
+        let toks = self.next_line()?.ok_or_else(|| self.err(format!("expected '{key} ...', got EOF")))?;
+        if toks.len() != 2 || toks[0] != key {
+            return Err(self.err(format!("expected '{key} <value>', got '{}'", toks.join(" "))));
+        }
+        Ok(toks[1].clone())
+    }
+}
+
+/// Hash of the engine's (system, backend) identity. Within one service the
+/// engine never changes, so this component never distinguishes entries
+/// today — it is part of the key so cached decisions stay self-describing,
+/// and it gates decision imports. Note it covers the label only: engines
+/// differing merely in calibration or noise parameters collide, so it is
+/// NOT sufficient on its own to merge caches across arbitrary services.
+///
+/// FNV-1a rather than `DefaultHasher`: the fingerprint is written into
+/// exported decision files, and std's hasher algorithm is explicitly
+/// unspecified across Rust releases — a toolchain upgrade must not
+/// invalidate every previously exported warm-start file.
+pub(crate) fn fingerprint_engine(engine: &VirtualEngine) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in engine.label().as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::RunFirstTuner;
+    use crate::Oracle;
+    use morpheus::CooMatrix;
+    use morpheus_machine::{systems, Backend};
+
+    fn tridiag(n: usize) -> DynamicMatrix<f64> {
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for i in 0..n {
+            for d in [-1isize, 0, 1] {
+                let j = i as isize + d;
+                if j >= 0 && (j as usize) < n {
+                    rows.push(i);
+                    cols.push(j as usize);
+                }
+            }
+        }
+        let vals = vec![1.0; rows.len()];
+        DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap())
+    }
+
+    fn make_service(workers: usize) -> OracleService<RunFirstTuner> {
+        Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(2))
+            .workers(workers)
+            .build_service()
+            .unwrap()
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<S: Send + Sync>() {}
+        assert_send_sync::<OracleService<RunFirstTuner>>();
+        assert_send_sync::<MatrixHandle<f64>>();
+    }
+
+    #[test]
+    fn register_then_execute_matches_serial() {
+        let service = make_service(2);
+        let m = tridiag(600);
+        let x: Vec<f64> = (0..600).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut y_ref = vec![0.0; 600];
+        morpheus::spmv::spmv_serial(&m, &x, &mut y_ref).unwrap();
+
+        let handle = service.register(m).unwrap();
+        assert_eq!(handle.format_id(), handle.report().chosen);
+        assert_eq!(handle.report().plan, PlanStatus::Built);
+        let mut y = vec![f64::NAN; 600];
+        service.spmv(&handle, &x, &mut y).unwrap();
+        // The tuned format differs from COO, but the result is the serial
+        // result of the *converted* matrix — still the same linear map.
+        let mut y_conv = vec![0.0; 600];
+        morpheus::spmv::spmv_serial(handle.matrix(), &x, &mut y_conv).unwrap();
+        assert_eq!(y, y_conv);
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(service.serve_stats().handle_requests, 1);
+        assert_eq!(service.serve_stats().registered, 1);
+    }
+
+    #[test]
+    fn second_registration_of_same_structure_reuses_decision_and_plan() {
+        let service = make_service(2);
+        let h1 = service.register(tridiag(900)).unwrap();
+        assert!(!h1.report().cache_hit);
+        assert_eq!(h1.report().plan, PlanStatus::Built);
+        let h2 = service.register(tridiag(900)).unwrap();
+        assert!(h2.report().cache_hit, "identical structure must hit the decision cache");
+        assert_eq!(h2.report().plan, PlanStatus::Reused, "and reuse the shared plan");
+        assert_ne!(h1.id(), h2.id());
+        assert_eq!(service.registered_matrices().len(), 2);
+    }
+
+    #[test]
+    fn handles_share_one_plan_allocation() {
+        let service = make_service(2);
+        let h1 = service.register(tridiag(700)).unwrap();
+        let h2 = service.register(tridiag(700)).unwrap();
+        assert!(
+            std::ptr::eq(h1.plan(), h2.plan()) || h1.plan().num_parts() == h2.plan().num_parts(),
+            "same structure must reuse the cached plan"
+        );
+        // The Arc behind both handles is literally the same plan object.
+        assert!(std::ptr::eq(h1.inner.plan.as_ref(), h2.inner.plan.as_ref()));
+    }
+
+    #[test]
+    fn workspace_variants_match_and_do_not_reallocate() {
+        let service = make_service(2);
+        let m = tridiag(500);
+        let x = vec![1.25f64; 500];
+        let handle = service.register(m).unwrap();
+        let mut y = vec![0.0; 500];
+        service.spmv(&handle, &x, &mut y).unwrap();
+
+        let mut ws = Workspace::new();
+        let first = service.spmv_into(&handle, &x, &mut ws).unwrap().to_vec();
+        assert_eq!(first, y);
+        let cap = ws.capacity();
+        let _ = service.spmv_into(&handle, &x, &mut ws).unwrap();
+        assert_eq!(ws.capacity(), cap, "steady-state requests must not reallocate");
+
+        let k = 3;
+        let xk = vec![0.5f64; 500 * k];
+        let mut yk = vec![0.0; 500 * k];
+        service.spmm(&handle, &xk, &mut yk, k).unwrap();
+        let mut wsk = Workspace::new();
+        assert_eq!(service.spmm_into(&handle, &xk, k, &mut wsk).unwrap(), yk.as_slice());
+    }
+
+    #[test]
+    fn serial_engine_service_runs_serial() {
+        let service = Oracle::builder()
+            .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+            .tuner(RunFirstTuner::new(2))
+            .build_service()
+            .unwrap();
+        assert_eq!(service.workers(), 1);
+        let m = tridiag(300);
+        let x = vec![1.0f64; 300];
+        let mut y_ref = vec![0.0; 300];
+        morpheus::spmv::spmv_serial(&m, &x, &mut y_ref).unwrap();
+        let handle = service.register(m).unwrap();
+        let mut y = vec![f64::NAN; 300];
+        service.spmv(&handle, &x, &mut y).unwrap();
+        let mut y_conv = vec![0.0; 300];
+        morpheus::spmv::spmv_serial(handle.matrix(), &x, &mut y_conv).unwrap();
+        assert_eq!(y, y_conv);
+    }
+
+    #[test]
+    fn busy_pool_takes_the_serial_fallback() {
+        let service = make_service(2);
+        let handle = service.register(tridiag(400)).unwrap();
+        let x = vec![1.0f64; 400];
+        let mut y_free = vec![0.0f64; 400];
+        service.spmv(&handle, &x, &mut y_free).unwrap();
+
+        // Occupy the service's own pool from a "client" thread, then
+        // execute: the request must complete (serial fallback), be counted,
+        // and agree bitwise with the planned result.
+        let pool = service.exec_pool().expect("OpenMP service has a pool");
+        let gate = std::sync::Barrier::new(2);
+        let mut y_busy = vec![0.0f64; 400];
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                pool.run_on_all(&|w| {
+                    if w == 0 {
+                        gate.wait();
+                    }
+                });
+            });
+            while !pool.is_busy() {
+                std::thread::yield_now();
+            }
+            service.spmv(&handle, &x, &mut y_busy).unwrap();
+            // Per-call tuning under a busy pool also falls back — and says
+            // so in the report, while still warming the plan cache.
+            let mut m = tridiag(400);
+            let mut y_tuned = vec![0.0f64; 400];
+            let r = service.tune_and_spmv(&mut m, &x, &mut y_tuned).unwrap();
+            assert!(r.serial_fallback, "busy pool must be reported on the tune path");
+            assert_ne!(r.plan, PlanStatus::Unplanned, "fallback still acquires the plan");
+            assert_eq!(y_tuned, y_free);
+            gate.wait();
+        });
+        assert_eq!(y_busy, y_free, "fallback must be bitwise identical");
+        assert!(service.serve_stats().pool_busy_fallbacks >= 2);
+    }
+
+    #[test]
+    fn decisions_round_trip_through_export_import() {
+        let service = make_service(2);
+        // Tune a few structures, one of which converts (aliased entry).
+        let mut a = tridiag(800);
+        let mut b = tridiag(1300);
+        service.tune(&mut a).unwrap();
+        service.tune(&mut b).unwrap();
+        let mut c = tridiag(800);
+        service.tune_for(&mut c, Op::Spmm { k: 4 }).unwrap();
+
+        let mut buf = Vec::new();
+        service.export_decisions(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("morpheus-oracle-decisions v1\n"), "{text}");
+        assert!(text.trim_end().ends_with("end"));
+
+        // A restarted service imports and then serves the same structures
+        // from cache — no cold-path tuning.
+        let restarted = make_service(2);
+        let imported = restarted.import_decisions(std::io::Cursor::new(&buf)).unwrap();
+        assert!(imported >= 3, "at least one entry per tuned question, got {imported}");
+        let mut a2 = tridiag(800);
+        let r = restarted.tune(&mut a2).unwrap();
+        assert!(r.cache_hit, "warm-started service must skip tuning");
+        assert_eq!(r.chosen, a.format_id());
+        // Exporting the restarted cache reproduces the same set.
+        let mut buf2 = Vec::new();
+        restarted.export_decisions(&mut buf2).unwrap();
+        assert_eq!(buf, buf2, "round trip must be lossless");
+    }
+
+    #[test]
+    fn import_rejects_wrong_engine_and_malformed_files() {
+        let service = make_service(2);
+        let mut m = tridiag(500);
+        service.tune(&mut m).unwrap();
+        let mut buf = Vec::new();
+        service.export_decisions(&mut buf).unwrap();
+
+        let other_engine = Oracle::builder()
+            .engine(VirtualEngine::new(systems::a64fx(), Backend::Serial))
+            .tuner(RunFirstTuner::new(2))
+            .build_service()
+            .unwrap();
+        assert!(matches!(
+            other_engine.import_decisions(std::io::Cursor::new(&buf)),
+            Err(OracleError::ModelMismatch(_))
+        ));
+
+        for bad in [
+            "",
+            "wrong-magic v1\n",
+            "morpheus-oracle-decisions v9\n",
+            "morpheus-oracle-decisions v1\nengine zz\n",
+            "morpheus-oracle-decisions v1\nengine 0\nentries 1\nend\n",
+            "morpheus-oracle-decisions v1\nengine 0\nentries 1\ndecision 1 8 spmv XYZ\nend\n",
+            "morpheus-oracle-decisions v1\nengine 0\nentries 1\ndecision 1 8 spmq CSR\nend\n",
+            "morpheus-oracle-decisions v1\nengine 0\nentries 1\ndecision 1 8 spmv CSR\n",
+        ] {
+            assert!(service.import_decisions(std::io::Cursor::new(bad)).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated_in_decisions_files() {
+        let service = make_service(2);
+        let mut m = tridiag(420);
+        service.tune(&mut m).unwrap();
+        let mut buf = Vec::new();
+        service.export_decisions(&mut buf).unwrap();
+        let commented = format!("# warm start\n\n{}", String::from_utf8(buf).unwrap());
+        let restarted = make_service(2);
+        assert!(restarted.import_decisions(std::io::Cursor::new(commented.as_bytes())).unwrap() >= 1);
+    }
+
+    #[test]
+    fn shared_service_tunes_concurrently() {
+        let service = std::sync::Arc::new(make_service(2));
+        let reference = {
+            let mut m = tridiag(1000);
+            let mut oracle = Oracle::builder()
+                .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+                .tuner(RunFirstTuner::new(2))
+                .build()
+                .unwrap();
+            oracle.tune(&mut m).unwrap().chosen
+        };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let service = std::sync::Arc::clone(&service);
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        let mut m = tridiag(1000);
+                        let r = service.tune(&mut m).unwrap();
+                        assert_eq!(r.chosen, reference, "every client must see the same decision");
+                    }
+                });
+            }
+        });
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 12, "every tune does exactly one counted lookup");
+        assert!(stats.hits >= 8, "after the first misses the rest must hit: {stats:?}");
+    }
+}

@@ -57,8 +57,16 @@ pub struct TuneReport {
     pub cache_hit: bool,
     /// Whether the execution stage built a fresh [`morpheus::ExecPlan`],
     /// replayed a cached one, or ran unplanned. Always
-    /// [`PlanStatus::Unplanned`] for tune-only calls.
+    /// [`PlanStatus::Unplanned`] for tune-only calls. Describes the plan
+    /// *cache* interaction — when `serial_fallback` is set, the acquired
+    /// plan warmed the cache but the execution itself ran serial.
     pub plan: PlanStatus,
+    /// `true` when a threaded execution found the pool busy with another
+    /// client's batch and ran the bitwise-identical serial kernel instead
+    /// of queueing behind it (see
+    /// [`crate::ServeStats::pool_busy_fallbacks`]). Always `false` for
+    /// tune-only calls and serial engines.
+    pub serial_fallback: bool,
     /// Which conversion path realised the switch (direct kernel, COO hub,
     /// or identity) and its measured wall-clock cost. Unlike
     /// [`TuneReport::cost`], this is host time, not the engine's virtual

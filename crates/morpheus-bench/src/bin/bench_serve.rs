@@ -1,0 +1,323 @@
+//! Serving-layer benchmark with a machine-readable snapshot.
+//!
+//! Measures the claims the `OracleService` layer makes, on a mixed
+//! powerlaw + banded corpus:
+//!
+//! * **cold**: first-touch `tune_and_spmv` on a fresh service — feature
+//!   extraction, prediction, conversion and planning all paid in-request —
+//!   plus the one-off cost of `register` per matrix.
+//! * **warm per-call**: `tune_and_spmv` once the caches are hot. Every
+//!   request still pays the structure hash and the cache probes.
+//! * **warm registered**: `service.spmv(&handle, ...)` — the zero-lock,
+//!   zero-allocation steady state the amortisation argument (§VII-E) is
+//!   about.
+//!
+//! The warm modes run with 1, 2 and 4 client threads hammering one shared
+//! service, reporting requests/sec and p50/p99 request latency per mode and
+//! client count. Results go to stdout as a table and to `BENCH_serve.json`
+//! (override with `--out PATH`). `--smoke` shrinks sizes and iteration
+//! counts for CI. The service's worker count defaults to the host
+//! parallelism; override with `MORPHEUS_BENCH_THREADS` (recorded in the
+//! snapshot).
+
+use morpheus::{CooMatrix, DynamicMatrix};
+use morpheus_bench::report::{json_escape, percentile};
+use morpheus_corpus::gen::banded::{multi_diagonal, tridiagonal};
+use morpheus_corpus::gen::powerlaw::{hub_rows, zipf_rows};
+use morpheus_machine::{systems, Backend, VirtualEngine};
+use morpheus_oracle::{MatrixHandle, Oracle, OracleService, RunFirstTuner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    family: &'static str,
+    matrix: CooMatrix<f64>,
+}
+
+fn corpus(smoke: bool) -> Vec<Case> {
+    let mut rng = StdRng::seed_from_u64(23);
+    let scale = |full: usize, small: usize| if smoke { small } else { full };
+    vec![
+        Case {
+            name: "zipf-mid",
+            family: "powerlaw",
+            matrix: zipf_rows(scale(24_000, 1_500), scale(120_000, 8_000), 1.0, &mut rng),
+        },
+        Case {
+            name: "hub",
+            family: "powerlaw",
+            matrix: hub_rows(scale(16_000, 1_200), 2, scale(6_000, 500), scale(80_000, 6_000), &mut rng),
+        },
+        Case { name: "tridiagonal", family: "banded", matrix: tridiagonal(scale(80_000, 3_000)) },
+        Case {
+            name: "multi-diagonal",
+            family: "banded",
+            matrix: multi_diagonal(scale(40_000, 2_000), 7, &mut rng),
+        },
+    ]
+}
+
+fn build_service(workers: usize) -> OracleService<RunFirstTuner> {
+    Oracle::builder()
+        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(1))
+        .workers(workers)
+        .build_service()
+        .expect("engine and tuner set")
+}
+
+/// One measured mode: per-request latencies from every client, merged.
+struct ModeResult {
+    mode: &'static str,
+    clients: usize,
+    requests: u64,
+    wall_s: f64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn summarize(mode: &'static str, clients: usize, wall_s: f64, latencies_us: Vec<f64>) -> ModeResult {
+    let requests = latencies_us.len() as u64;
+    ModeResult {
+        mode,
+        clients,
+        requests,
+        wall_s,
+        rps: requests as f64 / wall_s,
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+    }
+}
+
+/// Drives `clients` threads, each performing `iters` round-robin requests
+/// over the corpus through `request(matrix_index, client) -> latency_us`.
+fn drive_clients(
+    clients: usize,
+    iters: usize,
+    n_matrices: usize,
+    request: impl Fn(usize, usize) -> f64 + Sync,
+) -> (f64, Vec<f64>) {
+    let t0 = Instant::now();
+    let per_client: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let request = &request;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(iters);
+                    for i in 0..iters {
+                        lat.push(request((i + c) % n_matrices, c));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    (t0.elapsed().as_secs_f64(), per_client.into_iter().flatten().collect())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let iters_override = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    let warm_iters = iters_override.unwrap_or(if smoke { 60 } else { 400 });
+    let workers = std::env::var("MORPHEUS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let client_counts = [1usize, 2, 4];
+
+    let cases = corpus(smoke);
+    let matrices: Vec<DynamicMatrix<f64>> =
+        cases.iter().map(|c| DynamicMatrix::from(c.matrix.clone())).collect();
+    let inputs: Vec<Vec<f64>> =
+        matrices.iter().map(|m| (0..m.ncols()).map(|i| 1.0 + (i % 13) as f64 * 0.25).collect()).collect();
+
+    // ---- cold: fresh service, every request is a first touch ----
+    let mut results: Vec<ModeResult> = Vec::new();
+    {
+        let service = build_service(workers);
+        let mut lat = Vec::new();
+        let t0 = Instant::now();
+        for (m, x) in matrices.iter().zip(&inputs) {
+            let mut fresh = m.clone();
+            let mut y = vec![0.0f64; fresh.nrows()];
+            let t = Instant::now();
+            service.tune_and_spmv(&mut fresh, x, &mut y).expect("tune");
+            lat.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        results.push(summarize("cold_percall", 1, t0.elapsed().as_secs_f64(), lat));
+    }
+    let register_cost_us: Vec<(String, f64)> = {
+        let service = build_service(workers);
+        matrices
+            .iter()
+            .zip(&cases)
+            .map(|(m, case)| {
+                let t = Instant::now();
+                let _h = service.register(m.clone()).expect("register");
+                (case.name.to_string(), t.elapsed().as_secs_f64() * 1e6)
+            })
+            .collect()
+    };
+
+    // ---- warm modes: one shared service per client count ----
+    for &clients in &client_counts {
+        let service = Arc::new(build_service(workers));
+        // Handles registered once; per-call mode pre-converts its private
+        // matrices so the steady state never pays conversions.
+        let handles: Vec<MatrixHandle<f64>> =
+            matrices.iter().map(|m| service.register(m.clone()).expect("register")).collect();
+        let realized: Vec<DynamicMatrix<f64>> = handles.iter().map(|h| h.matrix().clone()).collect();
+
+        // Warm per-call tune_and_spmv: each client owns matrix clones (the
+        // service mutates them in place on conversion; here they are
+        // already realized, so calls are pure cache hits).
+        let (wall, lat) = {
+            let per_client_matrices: Vec<Vec<DynamicMatrix<f64>>> =
+                (0..clients).map(|_| realized.clone()).collect();
+            let per_client_cells: Vec<_> = per_client_matrices
+                .into_iter()
+                .map(|ms| {
+                    std::sync::Mutex::new(
+                        ms.into_iter()
+                            .map(|m| {
+                                let y = vec![0.0f64; m.nrows()];
+                                (m, y)
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let service = Arc::clone(&service);
+            drive_clients(clients, warm_iters, matrices.len(), |mi, c| {
+                let mut guard = per_client_cells[c].lock().expect("client-private cell");
+                let (m, y) = &mut guard[mi];
+                let x = &inputs[mi];
+                let t = Instant::now();
+                service.tune_and_spmv(m, x, y).expect("warm tune");
+                t.elapsed().as_secs_f64() * 1e6
+            })
+        };
+        results.push(summarize("warm_percall", clients, wall, lat));
+
+        // Warm registered: zero-lock handle executions into per-client
+        // output buffers.
+        let (wall, lat) = {
+            let per_client_outs: Vec<std::sync::Mutex<Vec<Vec<f64>>>> = (0..clients)
+                .map(|_| {
+                    std::sync::Mutex::new(
+                        matrices.iter().map(|m| vec![0.0f64; m.nrows()]).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let service = Arc::clone(&service);
+            let handles = &handles;
+            drive_clients(clients, warm_iters, matrices.len(), |mi, c| {
+                let mut guard = per_client_outs[c].lock().expect("client-private cell");
+                let y = &mut guard[mi];
+                let x = &inputs[mi];
+                let t = Instant::now();
+                service.spmv(&handles[mi], x, y).expect("handle spmv");
+                t.elapsed().as_secs_f64() * 1e6
+            })
+        };
+        results.push(summarize("warm_registered", clients, wall, lat));
+    }
+
+    // ---- report ----
+    println!(
+        "serving benchmark: {workers} worker(s), {} matrices, {warm_iters} warm iters/client",
+        cases.len()
+    );
+    println!();
+    println!("register cost (paid once per matrix):");
+    for (name, us) in &register_cost_us {
+        println!("  {name:<16} {us:>10.1} us");
+    }
+    println!();
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "mode", "clients", "requests", "wall_s", "req/s", "p50_us", "p99_us"
+    );
+    for r in &results {
+        println!(
+            "{:<16} {:>8} {:>10} {:>10.4} {:>12.0} {:>10.1} {:>10.1}",
+            r.mode, r.clients, r.requests, r.wall_s, r.rps, r.p50_us, r.p99_us
+        );
+    }
+    println!();
+    let speedup_at = |clients: usize| -> Option<f64> {
+        let percall = results.iter().find(|r| r.mode == "warm_percall" && r.clients == clients)?;
+        let reg = results.iter().find(|r| r.mode == "warm_registered" && r.clients == clients)?;
+        Some(reg.rps / percall.rps)
+    };
+    for &c in &client_counts {
+        if let Some(s) = speedup_at(c) {
+            println!("warm registered vs per-call throughput at {c} client(s): {s:.2}x");
+        }
+    }
+
+    // ---- snapshot ----
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"bench_serve/v1\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!("  \"warm_iters_per_client\": {warm_iters},\n"));
+    json.push_str(&format!(
+        "  \"corpus\": [{}],\n",
+        cases
+            .iter()
+            .map(|c| format!("{{\"name\": \"{}\", \"family\": \"{}\"}}", json_escape(c.name), c.family))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"register_cost_us\": {\n");
+    for (i, (name, us)) in register_cost_us.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {:.1}{}\n",
+            json_escape(name),
+            us,
+            if i + 1 < register_cost_us.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    for &c in &client_counts {
+        if let Some(s) = speedup_at(c) {
+            json.push_str(&format!("  \"warm_registered_vs_percall_rps_{c}c\": {s:.4},\n"));
+        }
+    }
+    json.push_str("  \"modes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"requests\": {}, \"wall_s\": {:.6}, \
+             \"rps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{}\n",
+            r.mode,
+            r.clients,
+            r.requests,
+            r.wall_s,
+            r.rps,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write snapshot");
+    println!("snapshot written to {out_path}");
+}

@@ -120,13 +120,30 @@ impl LoadedModel {
     }
 }
 
-struct Parser<R: BufRead> {
+/// Line tokenizer shared by the workspace's versioned text formats (the
+/// model files here, the decision-cache exports in `morpheus-oracle`):
+/// skips blank lines and `#` comments, splits on whitespace and tracks
+/// 1-based line numbers for error reporting. Error representation is the
+/// caller's business — this type only surfaces raw I/O failures.
+pub struct LineParser<R: BufRead> {
     reader: R,
     lineno: usize,
 }
 
-impl<R: BufRead> Parser<R> {
-    fn next_line(&mut self) -> Result<Option<Vec<String>>> {
+impl<R: BufRead> LineParser<R> {
+    /// Wraps a reader; no lines consumed yet.
+    pub fn new(reader: R) -> Self {
+        LineParser { reader, lineno: 0 }
+    }
+
+    /// 1-based number of the most recently tokenized line.
+    pub fn lineno(&self) -> usize {
+        self.lineno
+    }
+
+    /// Next non-blank, non-comment line, whitespace-tokenized; `None` at
+    /// EOF.
+    pub fn next_line(&mut self) -> std::io::Result<Option<Vec<String>>> {
         let mut buf = String::new();
         loop {
             buf.clear();
@@ -142,9 +159,19 @@ impl<R: BufRead> Parser<R> {
             return Ok(Some(t.split_whitespace().map(String::from).collect()));
         }
     }
+}
+
+struct Parser<R: BufRead> {
+    lines: LineParser<R>,
+}
+
+impl<R: BufRead> Parser<R> {
+    fn next_line(&mut self) -> Result<Option<Vec<String>>> {
+        Ok(self.lines.next_line()?)
+    }
 
     fn err(&self, msg: impl Into<String>) -> MlError {
-        MlError::Parse { line: self.lineno, msg: msg.into() }
+        MlError::Parse { line: self.lines.lineno(), msg: msg.into() }
     }
 
     fn expect_kv(&mut self, key: &str) -> Result<String> {
@@ -170,7 +197,7 @@ impl<R: BufRead> Parser<R> {
 
 /// Loads a model file (either kind), validating structure.
 pub fn load_model<R: BufRead>(reader: R) -> Result<LoadedModel> {
-    let mut p = Parser { reader, lineno: 0 };
+    let mut p = Parser { lines: LineParser::new(reader) };
 
     let header = p.next_line()?.ok_or_else(|| p.err("empty model file"))?;
     if header.len() != 2 || header[0] != MAGIC {

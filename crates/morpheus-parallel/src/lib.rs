@@ -10,6 +10,15 @@
 //! partitioning policy, which the hardware model in `morpheus-machine`
 //! mirrors analytically.
 //!
+//! The pool is safe to drive from any number of client threads at once
+//! (the Oracle serving layer does exactly that): batches from different
+//! clients interleave through one FIFO job queue without interference,
+//! nested parallel regions serialise inline instead of deadlocking, and
+//! [`ThreadPool::is_busy`] exposes an advisory saturation signal so
+//! latency-sensitive callers can fall back to serial kernels rather than
+//! queue behind another client's batch — see the reentrancy notes on
+//! [`ThreadPool`]'s module.
+//!
 //! # Example
 //! ```
 //! use morpheus_parallel::{ThreadPool, Schedule};

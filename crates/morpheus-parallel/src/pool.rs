@@ -4,6 +4,26 @@
 //! to the loop body plus a completion latch; `run_on_all` does not return
 //! until every worker finished, which is what makes the lifetime erasure
 //! sound (the borrowed closure strictly outlives all uses).
+//!
+//! # Reentrancy and concurrent clients
+//!
+//! The pool is safe to drive from any number of client threads at once:
+//! each `run_on_all` call submits its own independent batch of jobs with
+//! its own completion latch, workers drain the shared queue in FIFO order,
+//! and a job carries its worker index explicitly, so interleaved batches
+//! from different clients never confuse each other's partitioning. Two
+//! hazards remain and are handled explicitly:
+//!
+//! * **Nested parallelism** (a job body itself calling into the pool) would
+//!   deadlock a queue-based pool; detected via a thread-local flag, the
+//!   nested region is run inline on the calling worker instead — OpenMP's
+//!   default of serialising nested regions.
+//! * **Saturation**: while one client's batch occupies the workers, another
+//!   client's `run_on_all` queues behind it. Latency-sensitive callers
+//!   (the Oracle serving layer) can consult [`ThreadPool::is_busy`] and
+//!   fall back to an equivalent serial kernel instead of blocking; the
+//!   check is advisory (a race may still queue two batches), which is safe
+//!   — just slower than the fallback.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -42,6 +62,9 @@ pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     n_threads: usize,
+    /// Number of `run_on_all` batches currently submitted and not yet
+    /// completed — the advisory busy signal behind [`ThreadPool::is_busy`].
+    inflight: AtomicUsize,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -76,12 +99,27 @@ impl ThreadPool {
                 .expect("failed to spawn morpheus worker thread");
             handles.push(handle);
         }
-        ThreadPool { sender: Some(sender), handles, n_threads }
+        ThreadPool { sender: Some(sender), handles, n_threads, inflight: AtomicUsize::new(0) }
     }
 
     /// Number of worker threads in the pool.
     pub fn num_threads(&self) -> usize {
         self.n_threads
+    }
+
+    /// Number of `run_on_all` batches submitted by client threads and not
+    /// yet completed (nested regions run inline and are not counted).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// `true` while at least one client's batch is executing or queued — an
+    /// *advisory* saturation signal. Callers holding serial fallbacks (the
+    /// serving layer's registered-matrix path) check it to avoid queueing
+    /// behind another client's work; a concurrent submission between the
+    /// check and the call is possible and merely queues, never misbehaves.
+    pub fn is_busy(&self) -> bool {
+        self.inflight() > 0
     }
 
     /// Runs `f(worker_index)` once on every worker and waits for completion.
@@ -100,6 +138,7 @@ impl ThreadPool {
         // SAFETY: we block on the wait group before returning, so the
         // borrowed closure outlives every use inside the workers.
         let f_static: JobFn<'static> = unsafe { std::mem::transmute::<JobFn<'_>, JobFn<'static>>(f) };
+        self.inflight.fetch_add(1, Ordering::Relaxed);
         let wg = WaitGroup::new();
         let panicked = Arc::new(AtomicBool::new(false));
         let sender = self.sender.as_ref().expect("pool already shut down");
@@ -114,6 +153,7 @@ impl ThreadPool {
                 .expect("worker channel closed");
         }
         wg.wait();
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
         if panicked.load(Ordering::SeqCst) {
             panic!("a morpheus-parallel worker panicked");
         }
@@ -520,6 +560,71 @@ mod tests {
         });
         assert_eq!(sum.load(Ordering::Relaxed), (0..33).sum::<usize>() as u64);
         pool.parallel_for_plan(&[], |_, _| panic!("empty plan must not run"));
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_pool_without_interference() {
+        // N external client threads drive the same pool at once; every
+        // client's parallel-for must visit exactly its own indices exactly
+        // once, whatever interleaving the shared job queue produces.
+        let pool = ThreadPool::new(3);
+        let clients = 6usize;
+        let n = 400usize;
+        let counts: Vec<Vec<AtomicUsize>> =
+            (0..clients).map(|_| (0..n).map(|_| AtomicUsize::new(0)).collect()).collect();
+        std::thread::scope(|s| {
+            for (c, mine) in counts.iter().enumerate() {
+                let pool = &pool;
+                s.spawn(move || {
+                    for sched in [Schedule::Static { chunk: None }, Schedule::Dynamic { chunk: 7 }] {
+                        pool.parallel_for(0..n, sched, |i| {
+                            mine[i].fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    // Reductions from concurrent clients stay correct too.
+                    let sum = pool.parallel_reduce(
+                        0..n,
+                        Schedule::default(),
+                        0usize,
+                        |r| r.sum::<usize>(),
+                        |a, b| a + b,
+                    );
+                    assert_eq!(sum, n * (n - 1) / 2, "client {c}");
+                });
+            }
+        });
+        for (c, mine) in counts.iter().enumerate() {
+            for (i, v) in mine.iter().enumerate() {
+                assert_eq!(v.load(Ordering::Relaxed), 2, "client {c} index {i}");
+            }
+        }
+        assert_eq!(pool.inflight(), 0, "all batches must be retired");
+    }
+
+    #[test]
+    fn busy_signal_tracks_inflight_batches() {
+        let pool = ThreadPool::new(2);
+        assert!(!pool.is_busy());
+        let observed_busy = AtomicBool::new(false);
+        let gate = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            let (pool, gate, observed) = (&pool, &gate, &observed_busy);
+            s.spawn(move || {
+                pool.run_on_all(&|w| {
+                    if w == 0 {
+                        gate.wait(); // hold the batch open until observed
+                    }
+                });
+            });
+            // Wait until the batch is visibly in flight, then release it.
+            while !pool.is_busy() {
+                std::thread::yield_now();
+            }
+            observed.store(true, Ordering::SeqCst);
+            gate.wait();
+        });
+        assert!(observed_busy.load(Ordering::SeqCst));
+        assert!(!pool.is_busy(), "signal must clear once the batch completes");
     }
 
     #[test]

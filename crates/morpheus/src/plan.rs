@@ -29,11 +29,17 @@
 //!
 //! The plan also owns a reusable scratch buffer so iterative loops can run
 //! `y = A x` without allocating an output per iteration
-//! ([`ExecPlan::spmv_workspace`] / [`ExecPlan::spmm_workspace`]).
+//! ([`ExecPlan::spmv_workspace`] / [`ExecPlan::spmm_workspace`]). For
+//! *shared* plans — an `Arc<ExecPlan>` handed to many client threads by the
+//! serving layer — the same machinery is available through a standalone
+//! [`Workspace`]: every execution entry point takes `&self`, so any number
+//! of threads can replay one plan concurrently, each bringing its own
+//! per-thread `Workspace` ([`ExecPlan::spmv_into`] / [`ExecPlan::spmm_into`]).
 //!
 //! `core::Oracle` caches an `ExecPlan` alongside each `TuneDecision` under
 //! the same structure-hash key, so `tune_and_spmv` / `tune_and_spmm` in an
-//! iterative loop pay planning exactly once.
+//! iterative loop pay planning exactly once; `core::OracleService`
+//! additionally shares each plan across client threads via `Arc`.
 
 use crate::analysis::Analysis;
 use crate::coo::CooMatrix;
@@ -64,7 +70,50 @@ pub struct ExecPlan<V: Scalar> {
     nnz: usize,
     threads: usize,
     parts: Parts,
-    workspace: Vec<V>,
+    workspace: Workspace<V>,
+}
+
+/// A reusable output buffer for repeated plan executions.
+///
+/// A `Workspace` is deliberately separate from the plan so that one
+/// *shared* plan (`Arc<ExecPlan>`, as handed out by the serving layer's
+/// registered-matrix path) can be executed from many threads at once, each
+/// thread owning its own workspace: the plan stays immutable, the buffer is
+/// the only per-client state. The buffer grows to the largest output it has
+/// produced and is never shrunk, so a steady-state request loop allocates
+/// exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace<V: Scalar> {
+    buf: Vec<V>,
+}
+
+impl<V: Scalar> Workspace<V> {
+    /// An empty workspace; the first execution sizes it.
+    pub fn new() -> Self {
+        Workspace { buf: Vec::new() }
+    }
+
+    /// The result of the most recent execution into this workspace.
+    pub fn as_slice(&self) -> &[V] {
+        &self.buf
+    }
+
+    /// Current buffer capacity in elements (allocation telemetry for
+    /// zero-allocation tests).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Sizes the buffer to `len` (zeroing fresh elements) and runs `f` on
+    /// it, returning the filled slice. The primitive under
+    /// [`ExecPlan::spmv_into`] / [`ExecPlan::spmm_into`], public so callers
+    /// with their own kernels (e.g. a serial execution path) get the same
+    /// allocation reuse.
+    pub fn run(&mut self, len: usize, f: impl FnOnce(&mut [V]) -> Result<()>) -> Result<&[V]> {
+        self.buf.resize(len, V::ZERO);
+        f(&mut self.buf)?;
+        Ok(&self.buf)
+    }
 }
 
 /// Per-format precomputed ranges.
@@ -115,7 +164,7 @@ impl<V: Scalar> ExecPlan<V> {
             nnz: m.nnz(),
             threads,
             parts,
-            workspace: Vec::new(),
+            workspace: Workspace::new(),
         }
     }
 
@@ -257,14 +306,46 @@ impl<V: Scalar> ExecPlan<V> {
         Ok(())
     }
 
-    /// [`ExecPlan::spmv`] into the plan's reusable workspace: no output
-    /// allocation per iteration. The returned slice stays valid until the
-    /// next workspace execution.
-    pub fn spmv_workspace(&mut self, m: &DynamicMatrix<V>, x: &[V], pool: &ThreadPool) -> Result<&[V]> {
-        self.run_in_workspace(self.nrows, |plan, y| plan.spmv(m, x, y, pool))
+    /// [`ExecPlan::spmv`] into a caller-owned [`Workspace`]: the shared-plan
+    /// entry point. `&self` only, so an `Arc<ExecPlan>` serves any number of
+    /// client threads, each with its own workspace; no output allocation
+    /// once the workspace has reached size.
+    pub fn spmv_into<'w>(
+        &self,
+        m: &DynamicMatrix<V>,
+        x: &[V],
+        ws: &'w mut Workspace<V>,
+        pool: &ThreadPool,
+    ) -> Result<&'w [V]> {
+        ws.run(self.nrows, |y| self.spmv(m, x, y, pool))
     }
 
-    /// [`ExecPlan::spmm`] into the plan's reusable workspace.
+    /// [`ExecPlan::spmm`] into a caller-owned [`Workspace`] (see
+    /// [`ExecPlan::spmv_into`]).
+    pub fn spmm_into<'w>(
+        &self,
+        m: &DynamicMatrix<V>,
+        x: &[V],
+        k: usize,
+        ws: &'w mut Workspace<V>,
+        pool: &ThreadPool,
+    ) -> Result<&'w [V]> {
+        ws.run(self.nrows * k, |y| self.spmm(m, x, y, k, pool))
+    }
+
+    /// [`ExecPlan::spmv`] into the plan's own reusable workspace: no output
+    /// allocation per iteration. The returned slice stays valid until the
+    /// next workspace execution. Requires exclusive access to the plan; a
+    /// shared plan uses [`ExecPlan::spmv_into`] with per-thread workspaces
+    /// instead.
+    pub fn spmv_workspace(&mut self, m: &DynamicMatrix<V>, x: &[V], pool: &ThreadPool) -> Result<&[V]> {
+        let mut ws = std::mem::take(&mut self.workspace);
+        let result = self.spmv_into(m, x, &mut ws, pool).map(|_| ());
+        self.workspace = ws;
+        result.map(|()| self.workspace.as_slice())
+    }
+
+    /// [`ExecPlan::spmm`] into the plan's own reusable workspace.
     pub fn spmm_workspace(
         &mut self,
         m: &DynamicMatrix<V>,
@@ -272,17 +353,8 @@ impl<V: Scalar> ExecPlan<V> {
         k: usize,
         pool: &ThreadPool,
     ) -> Result<&[V]> {
-        self.run_in_workspace(self.nrows * k, |plan, y| plan.spmm(m, x, y, k, pool))
-    }
-
-    fn run_in_workspace(
-        &mut self,
-        len: usize,
-        run: impl FnOnce(&ExecPlan<V>, &mut [V]) -> Result<()>,
-    ) -> Result<&[V]> {
         let mut ws = std::mem::take(&mut self.workspace);
-        ws.resize(len, V::ZERO);
-        let result = run(self, &mut ws);
+        let result = self.spmm_into(m, x, k, &mut ws, pool).map(|_| ());
         self.workspace = ws;
         result.map(|()| self.workspace.as_slice())
     }
@@ -557,6 +629,38 @@ mod tests {
             plan.spmv(&m, &x, &mut y, &pool).unwrap();
             assert_eq!(y, vec![3.0, 1.0]);
         }
+    }
+
+    #[test]
+    fn shared_plan_executes_from_many_threads_with_private_workspaces() {
+        // The serving-layer shape: one Arc'd plan + matrix, N client
+        // threads, each with its own Workspace. Every client must see the
+        // serial result bitwise, and a client's second request must not
+        // reallocate its workspace.
+        let pool = ThreadPool::new(2);
+        let m = std::sync::Arc::new(DynamicMatrix::from(random_coo::<f64>(90, 80, 900, 21)));
+        let plan = std::sync::Arc::new(ExecPlan::build(&m, pool.num_threads(), None));
+        let x: Vec<f64> = (0..80).map(|i| (i as f64 * 0.31).cos()).collect();
+        let mut y_ref = vec![0.0; 90];
+        spmv_serial(&*m, &x, &mut y_ref).unwrap();
+
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (m, plan, x, y_ref) = (m.clone(), plan.clone(), x.clone(), y_ref.clone());
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut ws = Workspace::new();
+                    for round in 0..3 {
+                        let before = ws.capacity();
+                        let y = plan.spmv_into(&m, &x, &mut ws, pool).unwrap();
+                        assert!(bitwise_eq(y, &y_ref), "round {round}");
+                        if round > 0 {
+                            assert_eq!(ws.capacity(), before, "steady state must not reallocate");
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Multi-threaded mock request loop against the `OracleService` serving
+//! layer: register once, execute from several client threads, report
+//! throughput and cache hit rates.
+//!
+//! This is the production shape the ROADMAP's north star describes — many
+//! clients, one shared tuned state. Each matrix is tuned, converted and
+//! planned exactly once at registration; after that, every request from
+//! every thread replays the shared `ExecPlan` with zero locks and zero
+//! allocation (outputs go to per-thread workspaces). A slice of requests
+//! also goes down the per-call `tune_and_spmv` path to show the decision
+//! cache absorbing repeat structures.
+//!
+//! ```text
+//! cargo run --release --example serve_workload [clients] [requests-per-client]
+//! ```
+
+use morpheus_repro::corpus::gen::banded::tridiagonal;
+use morpheus_repro::corpus::gen::powerlaw::zipf_rows;
+use morpheus_repro::corpus::gen::stencil::poisson2d;
+use morpheus_repro::machine::{systems, Backend, VirtualEngine};
+use morpheus_repro::morpheus::{DynamicMatrix, Workspace};
+use morpheus_repro::oracle::{Oracle, RunFirstTuner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let clients: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let requests_per_client: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2000);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let matrices = vec![
+        ("tridiagonal", DynamicMatrix::from(tridiagonal(20_000))),
+        ("zipf", DynamicMatrix::from(zipf_rows(8_000, 60_000, 1.1, &mut rng))),
+        ("poisson2d", DynamicMatrix::from(poisson2d(90, 90))),
+    ];
+
+    let service = Arc::new(
+        Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(1))
+            .build_service()
+            .expect("engine and tuner set"),
+    );
+
+    // Register once: the whole tuning + conversion + planning cost, paid
+    // here, amortises over every request below.
+    let t0 = Instant::now();
+    let handles: Vec<_> = matrices
+        .iter()
+        .map(|(name, m)| {
+            let h = service.register(m.clone()).expect("register");
+            println!(
+                "registered {name:<12} {}x{} ({} nnz) -> {} [{}]",
+                h.nrows(),
+                h.ncols(),
+                h.nnz(),
+                h.format_id(),
+                if h.report().cache_hit { "cached decision" } else { "fresh decision" },
+            );
+            h
+        })
+        .collect();
+    println!("registration took {:.2} ms total\n", t0.elapsed().as_secs_f64() * 1e3);
+
+    let inputs: Vec<Vec<f64>> =
+        matrices.iter().map(|(_, m)| (0..m.ncols()).map(|i| 1.0 + (i % 11) as f64 * 0.5).collect()).collect();
+    let served = AtomicU64::new(0);
+    let tuned = AtomicU64::new(0);
+
+    // The mock request loop: every client hammers the shared service.
+    // Most requests ride a registered handle; every 16th is a per-call
+    // tune of a fresh structurally-identical matrix, exercising the
+    // decision cache instead.
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let service = Arc::clone(&service);
+            let (handles, inputs, matrices) = (&handles, &inputs, &matrices);
+            let (served, tuned) = (&served, &tuned);
+            s.spawn(move || {
+                let mut ws = Workspace::new();
+                for r in 0..requests_per_client {
+                    let mi = (r + c) % handles.len();
+                    if r % 16 == 15 {
+                        let mut m = matrices[mi].1.clone();
+                        let mut y = vec![0.0f64; m.nrows()];
+                        let report =
+                            service.tune_and_spmv(&mut m, &inputs[mi], &mut y).expect("tune request");
+                        assert!(report.cache_hit, "repeat structures must be cache hits");
+                        tuned.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let y =
+                            service.spmv_into(&handles[mi], &inputs[mi], &mut ws).expect("handle request");
+                        std::hint::black_box(y);
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let total = served.load(Ordering::Relaxed) + tuned.load(Ordering::Relaxed);
+    let stats = service.serve_stats();
+    let decisions = service.cache_stats();
+    let plans = service.plan_cache_stats();
+    println!("{clients} client(s) x {requests_per_client} requests: {total} served in {wall:.3} s");
+    println!("  throughput:        {:>10.0} req/s", total as f64 / wall);
+    println!("  handle requests:   {:>10}", stats.handle_requests);
+    println!("  per-call tunes:    {:>10}", tuned.load(Ordering::Relaxed));
+    println!("  busy fallbacks:    {:>10}", stats.pool_busy_fallbacks);
+    println!(
+        "  decision cache:    {:>10.1}% hit rate ({} hits / {} lookups)",
+        decisions.hit_rate() * 100.0,
+        decisions.hits,
+        decisions.hits + decisions.misses
+    );
+    println!("  plan cache:        {:>10.1}% hit rate ({} entries)", plans.hit_rate() * 100.0, plans.len);
+}

@@ -9,6 +9,35 @@ use morpheus_repro::morpheus::spmm::spmm_serial;
 use morpheus_repro::morpheus::{ConvertOptions, CooMatrix, DynamicMatrix};
 use morpheus_repro::oracle::{FormatTuner, Oracle, RunFirstTuner, TuneDecision, TuningCost};
 
+#[test]
+fn facade_and_service_agree_on_every_corpus_decision() {
+    // The Oracle facade is a single-owner wrapper over OracleService; both
+    // paths must produce identical decisions, costs and realized formats
+    // for every structure in the corpus.
+    let spec = CorpusSpec::small(10);
+    let mut facade = Oracle::builder()
+        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(2))
+        .build()
+        .unwrap();
+    let service = Oracle::builder()
+        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(2))
+        .build_service()
+        .unwrap();
+    for entry in spec.iter() {
+        let mut via_facade = DynamicMatrix::from(entry.matrix.clone());
+        let mut via_service = DynamicMatrix::from(entry.matrix);
+        let rf = facade.tune(&mut via_facade).unwrap();
+        let rs = service.tune(&mut via_service).unwrap();
+        assert_eq!(rf.chosen, rs.chosen, "{}", entry.name);
+        assert_eq!(rf.predicted, rs.predicted, "{}", entry.name);
+        assert_eq!(rf.cache_hit, rs.cache_hit, "{}", entry.name);
+        assert_eq!(via_facade.format_id(), via_service.format_id(), "{}", entry.name);
+    }
+    assert_eq!(facade.cache_stats(), service.cache_stats(), "identical streams, identical accounting");
+}
+
 /// Rebuilds a corpus matrix with its values narrowed to `f32` (structure
 /// identical by construction).
 fn to_f32(m: &DynamicMatrix<f64>) -> DynamicMatrix<f32> {

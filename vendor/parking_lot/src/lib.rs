@@ -1,11 +1,12 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Only [`Mutex`] is provided (the single type this workspace uses). It
-//! wraps `std::sync::Mutex` and mirrors parking_lot's API shape: `lock()`
-//! returns the guard directly and poisoning is ignored — a panic while the
-//! lock is held does not poison it for later users.
+//! [`Mutex`] and [`RwLock`] are provided (the two types this workspace
+//! uses). They wrap their `std::sync` counterparts and mirror parking_lot's
+//! API shape: `lock()`/`read()`/`write()` return the guard directly and
+//! poisoning is ignored — a panic while the lock is held does not poison it
+//! for later users.
 
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Poison-free mutex with parking_lot's `lock() -> guard` signature.
 #[derive(Debug, Default)]
@@ -30,9 +31,38 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Poison-free reader-writer lock with parking_lot's `read()`/`write()`
+/// guard signatures.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Acquires a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires the exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
@@ -50,5 +80,32 @@ mod tests {
             panic!("poison attempt");
         }));
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn rwlock_read_write_and_into_inner() {
+        let l = RwLock::new(3);
+        assert_eq!(*l.read(), 3);
+        *l.write() += 4;
+        assert_eq!(*l.read(), 7);
+        assert_eq!(l.into_inner(), 7);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let l = RwLock::new(1);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 2);
+    }
+
+    #[test]
+    fn rwlock_not_poisoned_by_panics() {
+        let l = RwLock::new(0);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = l.write();
+            panic!("poison attempt");
+        }));
+        assert_eq!(*l.read(), 0);
     }
 }
