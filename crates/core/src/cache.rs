@@ -196,6 +196,11 @@ pub(crate) struct ShardedLru<K, V> {
     hits: AtomicU64,
     misses: AtomicU64,
     capacity: usize,
+    /// Bumped by every [`ShardedLru::clear`]; lets
+    /// [`ShardedLru::insert_if_generation`] reject inserts computed from
+    /// state that a clear has since invalidated (e.g. a tuning decision
+    /// made by a model that was hot-swapped out mid-flight).
+    generation: AtomicU64,
 }
 
 impl<K: std::fmt::Debug, V> std::fmt::Debug for ShardedLru<K, V> {
@@ -235,6 +240,7 @@ impl<K: Copy + Eq + Hash, V: Clone> ShardedLru<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             capacity,
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -279,8 +285,37 @@ impl<K: Copy + Eq + Hash, V: Clone> ShardedLru<K, V> {
         self.shard_of(&key).lock().insert(key, value);
     }
 
-    /// Drops every entry in every stripe, keeping the counters.
+    /// The current clear-generation; read it *before* computing a value
+    /// whose validity a concurrent [`ShardedLru::clear`] would revoke, and
+    /// pass it to [`ShardedLru::insert_if_generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// [`ShardedLru::insert`], but only if no [`ShardedLru::clear`] has
+    /// happened since `observed` was read — checked *under the stripe
+    /// lock*, so an insert racing a clear either lands before it (and is
+    /// cleared with everything else) or is rejected. Returns whether the
+    /// value was stored.
+    pub fn insert_if_generation(&self, key: K, value: V, observed: u64) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut shard = self.shard_of(&key).lock();
+        if self.generation.load(Ordering::Acquire) != observed {
+            return false;
+        }
+        shard.insert(key, value);
+        true
+    }
+
+    /// Drops every entry in every stripe, keeping the counters. The
+    /// generation is bumped *before* the stripes are swept, so any
+    /// concurrent [`ShardedLru::insert_if_generation`] that read the old
+    /// generation either inserted before its stripe was swept (entry
+    /// removed here) or will observe the bump and drop its value.
     pub fn clear(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
         for shard in self.shards.iter() {
             shard.lock().clear();
         }
@@ -506,6 +541,31 @@ mod tests {
             }
             assert_eq!(c.stats().len, capacity, "capacity {capacity} must be fully usable");
         }
+    }
+
+    #[test]
+    fn generation_gated_insert_is_revoked_by_clear() {
+        let c: ShardedLru<u64, u32> = ShardedLru::new(8, 2);
+        // Normal flow: no clear between read and insert -> stored.
+        let gen = c.generation();
+        assert!(c.insert_if_generation(1, 10, gen));
+        assert_eq!(c.get_if(&1, |_| true), Some(10));
+
+        // A clear between reading the generation and inserting must reject
+        // the stale value (this is the model-hot-swap race: the decision
+        // was computed by a model that no longer serves).
+        let stale_gen = c.generation();
+        c.clear();
+        assert!(!c.insert_if_generation(2, 20, stale_gen));
+        assert_eq!(c.get_if(&2, |_| true), None);
+
+        // The post-clear generation works again.
+        assert!(c.insert_if_generation(2, 21, c.generation()));
+        assert_eq!(c.get_if(&2, |_| true), Some(21));
+
+        // Disabled caches reject everything.
+        let off: ShardedLru<u64, u32> = ShardedLru::new(0, 2);
+        assert!(!off.insert_if_generation(1, 1, off.generation()));
     }
 
     #[test]

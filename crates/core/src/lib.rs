@@ -86,6 +86,7 @@
 
 mod cache;
 
+pub mod adapt;
 pub mod features;
 pub mod model_db;
 pub mod oracle;
@@ -93,13 +94,19 @@ pub mod serve;
 pub mod tune;
 pub mod tuner;
 
+pub use adapt::{
+    AdaptiveConfig, AdaptiveEngine, AdaptiveTuner, CollectorConfig, RetrainOutcome, RetrainReport,
+    SampleCollector,
+};
 pub use cache::CacheStats;
 pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
-pub use model_db::ModelDatabase;
+pub use model_db::{ModelDatabase, ModelKind};
 pub use oracle::{Oracle, OracleBuilder, DEFAULT_CACHE_CAPACITY};
-pub use serve::{HandleInfo, MatrixHandle, OracleService, ServeStats};
+pub use serve::{HandleInfo, MatrixHandle, OracleService, ServeStats, ServiceSnapshot};
 pub use tune::{PlanStatus, TuneReport};
-pub use tuner::{DecisionTreeTuner, FormatTuner, RandomForestTuner, RunFirstTuner, TuneDecision, TuningCost};
+pub use tuner::{
+    DecisionTreeTuner, FormatTuner, GbtTuner, RandomForestTuner, RunFirstTuner, TuneDecision, TuningCost,
+};
 
 /// Re-exported so downstream code can name operations without depending on
 /// `morpheus-machine` directly.

@@ -5,10 +5,10 @@
 //! names follow `<system>_<backend>.<kind>.model` (lower-case), e.g.
 //! `p3_cuda.forest.model`.
 
-use crate::tuner::{DecisionTreeTuner, RandomForestTuner};
+use crate::tuner::{DecisionTreeTuner, GbtTuner, RandomForestTuner};
 use crate::{OracleError, Result};
 use morpheus_machine::Backend;
-use morpheus_ml::{DecisionTree, RandomForest};
+use morpheus_ml::{DecisionTree, GradientBoostedTrees, RandomForest};
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 
@@ -19,6 +19,8 @@ pub enum ModelKind {
     Tree,
     /// Random forest.
     Forest,
+    /// Gradient-boosted tree ensemble.
+    Gbt,
 }
 
 impl ModelKind {
@@ -26,6 +28,7 @@ impl ModelKind {
         match self {
             ModelKind::Tree => "tree",
             ModelKind::Forest => "forest",
+            ModelKind::Gbt => "gbt",
         }
     }
 }
@@ -80,6 +83,15 @@ impl ModelDatabase {
         Ok(path)
     }
 
+    /// Saves a gradient-boosted ensemble for the pair.
+    pub fn save_gbt(&self, system: &str, backend: Backend, model: &GradientBoostedTrees) -> Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir).map_err(morpheus_ml::MlError::Io)?;
+        let path = self.path_for(system, backend, ModelKind::Gbt);
+        let file = std::fs::File::create(&path).map_err(morpheus_ml::MlError::Io)?;
+        morpheus_ml::serialize::save_gbt(&mut BufWriter::new(file), model)?;
+        Ok(path)
+    }
+
     /// Loads the forest tuner for a pair.
     pub fn load_forest_tuner(&self, system: &str, backend: Backend) -> Result<RandomForestTuner> {
         let path = self.path_for(system, backend, ModelKind::Forest);
@@ -102,6 +114,18 @@ impl ModelDatabase {
             )))
         })?;
         DecisionTreeTuner::from_reader(BufReader::new(file))
+    }
+
+    /// Loads the gradient-boosted tuner for a pair.
+    pub fn load_gbt_tuner(&self, system: &str, backend: Backend) -> Result<GbtTuner> {
+        let path = self.path_for(system, backend, ModelKind::Gbt);
+        let file = std::fs::File::open(&path).map_err(|e| {
+            OracleError::Ml(morpheus_ml::MlError::Io(std::io::Error::new(
+                e.kind(),
+                format!("{}: {e}", path.display()),
+            )))
+        })?;
+        GbtTuner::from_reader(BufReader::new(file))
     }
 
     /// Lists the (file-name) entries present in the database.
@@ -147,6 +171,31 @@ mod tests {
             ModelDatabase::file_name("ARCHER2", Backend::OpenMp, ModelKind::Tree),
             "archer2_openmp.tree.model"
         );
+        assert_eq!(ModelDatabase::file_name("XCI", Backend::Serial, ModelKind::Gbt), "xci_serial.gbt.model");
+    }
+
+    #[test]
+    fn gbt_save_load_roundtrip() {
+        let dir = tempdir("gbt-roundtrip");
+        let db = ModelDatabase::new(&dir);
+        let ds = toy_dataset();
+        let model = morpheus_ml::GradientBoostedTrees::fit(&ds, &morpheus_ml::GbtParams::default()).unwrap();
+        let path = db.save_gbt("Cirrus", Backend::OpenMp, &model).unwrap();
+        assert!(path.ends_with("cirrus_openmp.gbt.model"));
+
+        let loaded = db.load_gbt_tuner("Cirrus", Backend::OpenMp).unwrap();
+        for i in 0..ds.len() {
+            assert_eq!(loaded.model().predict(ds.row(i)), model.predict(ds.row(i)), "sample {i}");
+        }
+        assert!(db.list().contains(&"cirrus_openmp.gbt.model".to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_gbt_model_reports_path() {
+        let db = ModelDatabase::new(tempdir("missing-gbt"));
+        let err = db.load_gbt_tuner("P3", Backend::Cuda).unwrap_err();
+        assert!(err.to_string().contains("p3_cuda.gbt.model"), "{err}");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! assert_eq!(m.format_id(), report.chosen);
 //! ```
 
+use crate::adapt::SampleCollector;
 use crate::cache::{CacheStats, DEFAULT_SHARDS};
 use crate::serve::OracleService;
 use crate::tune::TuneReport;
@@ -74,6 +75,7 @@ impl Oracle<()> {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             shards: DEFAULT_SHARDS,
             workers: None,
+            collector: None,
         }
     }
 }
@@ -212,6 +214,7 @@ pub struct OracleBuilder<T> {
     cache_capacity: usize,
     shards: usize,
     workers: Option<usize>,
+    collector: Option<std::sync::Arc<SampleCollector>>,
 }
 
 impl<T> OracleBuilder<T> {
@@ -231,7 +234,19 @@ impl<T> OracleBuilder<T> {
             cache_capacity: self.cache_capacity,
             shards: self.shards,
             workers: self.workers,
+            collector: self.collector,
         }
+    }
+
+    /// Attaches a measured-kernel [`SampleCollector`]: executions through
+    /// the built session/service are timestamped and attributed to the
+    /// collector's lock-free telemetry ring, and decision-cache misses
+    /// note their feature vectors — the raw material of the
+    /// [`crate::adapt`] subsystem. Share the same `Arc` with an
+    /// [`crate::adapt::AdaptiveEngine`] to close the retraining loop.
+    pub fn collector(mut self, collector: std::sync::Arc<SampleCollector>) -> Self {
+        self.collector = Some(collector);
+        self
     }
 
     /// Overrides the conversion policy (default:
@@ -290,7 +305,15 @@ impl<T> OracleBuilder<T> {
             .ok_or_else(|| OracleError::InvalidConfig("Oracle::builder(): no engine set".into()))?;
         let tuner =
             self.tuner.ok_or_else(|| OracleError::InvalidConfig("Oracle::builder(): no tuner set".into()))?;
-        Ok(OracleService::new(engine, tuner, self.opts, self.cache_capacity, self.shards, self.workers))
+        Ok(OracleService::new(
+            engine,
+            tuner,
+            self.opts,
+            self.cache_capacity,
+            self.shards,
+            self.workers,
+            self.collector,
+        ))
     }
 }
 

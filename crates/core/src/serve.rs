@@ -63,7 +63,9 @@
 //! assert_eq!(service.serve_stats().handle_requests, 8);
 //! ```
 
+use crate::adapt::{CollectorStats, SampleCollector, SampleKey};
 use crate::cache::{CacheKey, CacheStats, ShardedLru};
+use crate::features::FeatureVector;
 use crate::tune::{PlanStatus, TuneReport};
 use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
 use crate::{OracleError, Result};
@@ -77,6 +79,7 @@ use std::any::Any;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Key identifying one cached execution plan. Plans depend on the matrix
 /// structure *in its realized format*, the scalar width and the worker
@@ -126,6 +129,24 @@ pub struct HandleInfo {
     pub scalar_bytes: usize,
 }
 
+/// One coherent operator view of a service: execution counters, both
+/// cache stats and (when adaptive sampling is on) the collector's
+/// counters, gathered by a single [`OracleService::snapshot`] call instead
+/// of racing four separate accessors whose values would come from
+/// different instants.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceSnapshot {
+    /// Execution counters ([`OracleService::serve_stats`]).
+    pub serve: ServeStats,
+    /// Decision-cache counters ([`OracleService::cache_stats`]).
+    pub decisions: CacheStats,
+    /// Execution-plan-cache counters
+    /// ([`OracleService::plan_cache_stats`]).
+    pub plans: CacheStats,
+    /// Adaptive-sampling counters, when a collector is attached.
+    pub adaptation: Option<CollectorStats>,
+}
+
 /// Execution counters of a service (monotonic; never reset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
@@ -158,6 +179,9 @@ impl<V: Scalar> Clone for MatrixHandle<V> {
 struct Registered<V: Scalar> {
     id: u64,
     matrix: DynamicMatrix<V>,
+    /// Structure hash of `matrix` in its realized format, precomputed so
+    /// telemetry attribution never re-hashes on the execution hot path.
+    structure: u64,
     plan: Arc<ExecPlan<V>>,
     report: TuneReport,
 }
@@ -226,6 +250,9 @@ pub struct OracleService<T> {
     next_handle_id: AtomicU64,
     handle_requests: AtomicU64,
     pool_busy_fallbacks: AtomicU64,
+    /// Measured-kernel telemetry sink (see [`crate::adapt`]). `None` keeps
+    /// execution paths entirely timestamp-free.
+    collector: Option<Arc<SampleCollector>>,
 }
 
 impl OracleService<()> {
@@ -245,6 +272,7 @@ impl<T> OracleService<T> {
         cache_capacity: usize,
         shards: usize,
         workers: Option<usize>,
+        collector: Option<Arc<SampleCollector>>,
     ) -> Self {
         let engine_fingerprint = fingerprint_engine(&engine);
         OracleService {
@@ -262,6 +290,7 @@ impl<T> OracleService<T> {
             next_handle_id: AtomicU64::new(0),
             handle_requests: AtomicU64::new(0),
             pool_busy_fallbacks: AtomicU64::new(0),
+            collector,
         }
     }
 
@@ -323,19 +352,24 @@ impl<T> OracleService<T> {
             op,
         };
 
-        let (decision, cache_hit, analysis) = match self.decisions.get_if(&key, |_| true) {
+        let (decision, cache_hit, analysis, generation) = match self.decisions.get_if(&key, |_| true) {
             Some(mut cached) => {
                 // Same structure, scalar, engine and op: the tuner would
                 // reproduce this decision, so charge nothing for it.
                 cached.cost = TuningCost::cached();
-                (cached, true, None)
+                (cached, true, None, 0)
             }
             None => {
+                // Read the cache generation *before* consulting the tuner:
+                // if a model hot-swap clears the cache while this decision
+                // is in flight, the generation-gated inserts below drop it
+                // instead of resurrecting the superseded model's choice.
+                let generation = self.decisions.generation();
                 let analysis = Analysis::of_auto_with_hash(m, self.opts.true_diag_alpha, hash);
                 let machine_view = analyze_from(m, &analysis);
                 let decision = self.tuner.select(m, &machine_view, &self.engine, op);
-                self.decisions.insert(key, decision);
-                (decision, false, Some(analysis))
+                self.decisions.insert_if_generation(key, decision, generation);
+                (decision, false, Some(analysis), generation)
             }
         };
 
@@ -355,7 +389,7 @@ impl<T> OracleService<T> {
             // conversion attempt before falling back.
             let realized = TuneDecision { format: chosen, ..decision };
             if chosen != predicted {
-                self.decisions.insert(key, realized);
+                self.decisions.insert_if_generation(key, realized, generation);
             }
             if chosen != previous {
                 // Alias the decision under the matrix's *post-conversion*
@@ -364,7 +398,22 @@ impl<T> OracleService<T> {
                 // hit.
                 let post_hash = m.structure_hash();
                 realized_hash = Some(post_hash);
-                self.decisions.insert(CacheKey { structure: post_hash, ..key }, realized);
+                self.decisions.insert_if_generation(
+                    CacheKey { structure: post_hash, ..key },
+                    realized,
+                    generation,
+                );
+            }
+        }
+        if let (Some(col), Some(a)) = (&self.collector, analysis.as_ref()) {
+            // Adaptive sampling, off the execution hot path: note the
+            // Table-I features under the hash the tuner saw (features are
+            // format-invariant) and alias the realized structure to it, so
+            // measured executions of the converted layout join the same
+            // population the features were noted for.
+            col.note_features(hash, &FeatureVector::from_analysis(a));
+            if let Some(realized) = realized_hash.filter(|&r| r != hash) {
+                col.alias(realized, hash);
             }
         }
         let report = TuneReport {
@@ -430,6 +479,26 @@ impl<T> OracleService<T> {
         (plan, if hit { PlanStatus::Reused } else { PlanStatus::Built })
     }
 
+    /// Attributes one measured execution to its telemetry population —
+    /// a no-op (no timestamps taken by callers either) when the service
+    /// has no collector.
+    #[inline]
+    fn record_execution<V: Scalar>(
+        &self,
+        structure: u64,
+        format: FormatId,
+        op: Op,
+        workers: usize,
+        elapsed: std::time::Duration,
+    ) {
+        if let Some(col) = &self.collector {
+            col.record(
+                SampleKey { structure, format, op, scalar_bytes: std::mem::size_of::<V>(), workers },
+                elapsed,
+            );
+        }
+    }
+
     /// `true` when the pool is busy with another client's batch: the
     /// caller should run the bitwise-identical serial kernel immediately
     /// instead of queueing behind it (counted in
@@ -481,6 +550,7 @@ impl<T> OracleService<T> {
         T: FormatTuner<V>,
     {
         let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmv)?;
+        let t0 = self.collector.as_ref().map(|_| Instant::now());
         match self.exec_pool() {
             None => morpheus::spmv::spmv_serial(m, x, y)?,
             Some(pool) => {
@@ -489,6 +559,9 @@ impl<T> OracleService<T> {
                     None => morpheus::spmv::spmv_serial(m, x, y),
                 })?;
             }
+        }
+        if let Some(t0) = t0 {
+            self.note_tuned_execution(t0, m, Op::Spmv, &report, &artifacts);
         }
         Ok(report)
     }
@@ -508,6 +581,7 @@ impl<T> OracleService<T> {
         T: FormatTuner<V>,
     {
         let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmm { k })?;
+        let t0 = self.collector.as_ref().map(|_| Instant::now());
         match self.exec_pool() {
             None => morpheus::spmm::spmm_serial(m, x, y, k)?,
             Some(pool) => {
@@ -517,7 +591,36 @@ impl<T> OracleService<T> {
                 })?;
             }
         }
+        if let Some(t0) = t0 {
+            self.note_tuned_execution(t0, m, Op::Spmm { k }, &report, &artifacts);
+        }
         Ok(report)
+    }
+
+    /// Telemetry attribution for a `tune_and_*` execution. Skips calls
+    /// that built a fresh plan inside the timed window (their elapsed time
+    /// includes plan construction and would poison the kernel mean); the
+    /// steady state — cached plans and serial executions — is what the
+    /// adaptive subsystem learns from.
+    fn note_tuned_execution<V: Scalar>(
+        &self,
+        t0: Instant,
+        m: &DynamicMatrix<V>,
+        op: Op,
+        report: &TuneReport,
+        artifacts: &TuneArtifacts,
+    ) {
+        let elapsed = t0.elapsed();
+        if report.plan == PlanStatus::Built {
+            return;
+        }
+        let workers = if report.serial_fallback || self.exec_pool().is_none() {
+            1
+        } else {
+            self.exec_pool().map_or(1, |p| p.num_threads())
+        };
+        let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
+        self.record_execution::<V>(structure, m.format_id(), op, workers, elapsed);
     }
 
     /// Registers `m` for serving: tunes it for SpMV, converts it to the
@@ -552,6 +655,7 @@ impl<T> OracleService<T> {
         let threads = self.exec_pool().map_or(1, |p| p.num_threads());
         let (plan, status) = self.acquire_plan(&m, &artifacts, threads);
         report.plan = status;
+        let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
         let id = self.next_handle_id.fetch_add(1, Ordering::Relaxed);
         self.registry.write().push(HandleInfo {
             id,
@@ -561,19 +665,36 @@ impl<T> OracleService<T> {
             nnz: m.nnz(),
             scalar_bytes: std::mem::size_of::<V>(),
         });
-        Ok(MatrixHandle { inner: Arc::new(Registered { id, matrix: m, plan, report }) })
+        Ok(MatrixHandle { inner: Arc::new(Registered { id, matrix: m, structure, plan, report }) })
     }
 
     /// `y = A x` through a registered handle: the zero-lock steady state.
     /// Serial engines run the serial kernel; threaded engines replay the
     /// handle's plan, or fall back to the bitwise-identical serial kernel
     /// when the pool is busy with another client's batch.
+    /// With a [`SampleCollector`] attached, each execution is additionally
+    /// timestamped and its measured wall time attributed to the handle's
+    /// `(structure, format, op, scalar, workers)` telemetry population —
+    /// two clock reads and a few lock-free atomics on top of the kernel.
     pub fn spmv<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V]) -> Result<()> {
         let r = &*handle.inner;
-        match self.exec_pool() {
-            None => morpheus::spmv::spmv_serial(&r.matrix, x, y)?,
-            Some(pool) if self.take_serial_fallback(pool) => morpheus::spmv::spmv_serial(&r.matrix, x, y)?,
-            Some(pool) => r.plan.spmv(&r.matrix, x, y, pool)?,
+        let t0 = self.collector.as_ref().map(|_| Instant::now());
+        let workers = match self.exec_pool() {
+            None => {
+                morpheus::spmv::spmv_serial(&r.matrix, x, y)?;
+                1
+            }
+            Some(pool) if self.take_serial_fallback(pool) => {
+                morpheus::spmv::spmv_serial(&r.matrix, x, y)?;
+                1
+            }
+            Some(pool) => {
+                r.plan.spmv(&r.matrix, x, y, pool)?;
+                pool.num_threads()
+            }
+        };
+        if let Some(t0) = t0 {
+            self.record_execution::<V>(r.structure, r.matrix.format_id(), Op::Spmv, workers, t0.elapsed());
         }
         self.handle_requests.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -582,10 +703,29 @@ impl<T> OracleService<T> {
     /// `Y = A X` (`k` right-hand sides) through a registered handle.
     pub fn spmm<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V], k: usize) -> Result<()> {
         let r = &*handle.inner;
-        match self.exec_pool() {
-            None => morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?,
-            Some(pool) if self.take_serial_fallback(pool) => morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?,
-            Some(pool) => r.plan.spmm(&r.matrix, x, y, k, pool)?,
+        let t0 = self.collector.as_ref().map(|_| Instant::now());
+        let workers = match self.exec_pool() {
+            None => {
+                morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?;
+                1
+            }
+            Some(pool) if self.take_serial_fallback(pool) => {
+                morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?;
+                1
+            }
+            Some(pool) => {
+                r.plan.spmm(&r.matrix, x, y, k, pool)?;
+                pool.num_threads()
+            }
+        };
+        if let Some(t0) = t0 {
+            self.record_execution::<V>(
+                r.structure,
+                r.matrix.format_id(),
+                Op::Spmm { k },
+                workers,
+                t0.elapsed(),
+            );
         }
         self.handle_requests.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -641,6 +781,25 @@ impl<T> OracleService<T> {
             pool_busy_fallbacks: self.pool_busy_fallbacks.load(Ordering::Relaxed),
             registered: self.registry.read().len() as u64,
         }
+    }
+
+    /// Everything an operator (or the adaptive subsystem) wants to read in
+    /// one call: serve counters, decision- and plan-cache stats and the
+    /// collector's counters, gathered back to back. Cheap — atomic loads
+    /// plus the stripe-length sums the individual accessors already pay.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            serve: self.serve_stats(),
+            decisions: self.cache_stats(),
+            plans: self.plan_cache_stats(),
+            adaptation: self.collector.as_ref().map(|c| c.stats()),
+        }
+    }
+
+    /// The attached measured-kernel collector, when adaptive sampling was
+    /// enabled at build time ([`crate::OracleBuilder::collector`]).
+    pub fn collector(&self) -> Option<&Arc<SampleCollector>> {
+        self.collector.as_ref()
     }
 
     /// The engine decisions are made for.

@@ -7,7 +7,7 @@ use morpheus::format::{FormatId, ALL_FORMATS};
 use morpheus::{DynamicMatrix, Scalar};
 use morpheus_machine::{MatrixAnalysis, Op, VirtualEngine};
 use morpheus_ml::serialize::LoadedModel;
-use morpheus_ml::{DecisionTree, RandomForest};
+use morpheus_ml::{DecisionTree, GradientBoostedTrees, RandomForest};
 
 /// Virtual-clock cost of one tuning decision, split the way Table IV and
 /// Equation 2 need it.
@@ -19,6 +19,13 @@ pub struct TuningCost {
     pub prediction: f64,
     /// Run-first only: conversions plus trial runs, seconds.
     pub profiling: f64,
+    /// Wall-clock seconds of *measured* kernel trial runs charged to the
+    /// adaptive sweep (see `crate::adapt`). Unlike `profiling` — which is
+    /// virtual-clock time the engine *predicts* trials would take — this is
+    /// host time actually spent executing kernels to label training
+    /// samples, so Table-IV-style cost accounting stays honest when online
+    /// adaptation is collecting data.
+    pub measured: f64,
     /// `true` when the decision was served from the Oracle's cache — all
     /// cost components are then zero (nothing was re-extracted or
     /// re-evaluated). Set by the session on hits; tuners constructing
@@ -28,9 +35,10 @@ pub struct TuningCost {
 }
 
 impl TuningCost {
-    /// Total tuning-stage time.
+    /// Total tuning-stage time (virtual-clock components plus measured
+    /// adaptive-sweep seconds).
     pub fn total(&self) -> f64 {
-        self.feature_extraction + self.prediction + self.profiling
+        self.feature_extraction + self.prediction + self.profiling + self.measured
     }
 
     /// A zero-cost record flagged as served from cache.
@@ -181,7 +189,7 @@ fn check_model_shape(n_features: usize, n_classes: usize, kind: &str) -> Result<
     Ok(())
 }
 
-fn ml_decision<V: Scalar>(
+pub(crate) fn ml_decision<V: Scalar>(
     predicted: usize,
     nodes_visited: usize,
     m: &DynamicMatrix<V>,
@@ -196,8 +204,7 @@ fn ml_decision<V: Scalar>(
         cost: TuningCost {
             feature_extraction: engine.feature_extraction_time(m.format_id(), a),
             prediction: engine.prediction_time(nodes_visited),
-            profiling: 0.0,
-            cache_hit: false,
+            ..Default::default()
         },
     }
 }
@@ -286,6 +293,53 @@ impl RandomForestTuner {
 impl<V: Scalar> FormatTuner<V> for RandomForestTuner {
     fn name(&self) -> &'static str {
         "random-forest"
+    }
+
+    fn select(
+        &self,
+        m: &DynamicMatrix<V>,
+        a: &MatrixAnalysis,
+        engine: &VirtualEngine,
+        op: Op,
+    ) -> TuneDecision {
+        let fv = FeatureVector::from_stats(&a.stats);
+        let predicted = self.model.predict(fv.as_slice());
+        let visited = self.model.decision_path_len(fv.as_slice());
+        ml_decision(predicted, visited, m, a, engine, op)
+    }
+}
+
+/// Gradient-boosted tuner: the paper's "further work" model (§IX), served
+/// the same way as trees and forests. Predictions argmax the ensemble's
+/// softmax scores; the prediction cost charges every regression-tree node
+/// visited across all rounds and classes.
+#[derive(Debug, Clone)]
+pub struct GbtTuner {
+    model: GradientBoostedTrees,
+}
+
+impl GbtTuner {
+    /// Wraps a fitted ensemble, validating its shape against the feature
+    /// schema.
+    pub fn new(model: GradientBoostedTrees) -> Result<Self> {
+        check_model_shape(model.n_features(), model.n_classes(), "gradient-boosted ensemble")?;
+        Ok(GbtTuner { model })
+    }
+
+    /// Loads the ensemble from a `kind gbt` model file.
+    pub fn from_reader<R: std::io::BufRead>(reader: R) -> Result<Self> {
+        GbtTuner::new(morpheus_ml::serialize::load_gbt(reader)?)
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &GradientBoostedTrees {
+        &self.model
+    }
+}
+
+impl<V: Scalar> FormatTuner<V> for GbtTuner {
+    fn name(&self) -> &'static str {
+        "gradient-boosted"
     }
 
     fn select(
@@ -424,6 +478,29 @@ mod tests {
         assert_eq!(d.format, FormatId::Csr);
         // Forest prediction visits more nodes than a single tree would.
         assert!(d.cost.prediction > engine.prediction_time(1));
+    }
+
+    #[test]
+    fn gbt_tuner_applies_learned_rule_and_charges_prediction() {
+        let ds = toy_dataset();
+        let model = morpheus_ml::GradientBoostedTrees::fit(&ds, &morpheus_ml::GbtParams::default()).unwrap();
+        let tuner = GbtTuner::new(model).unwrap();
+        let engine = VirtualEngine::new(systems::cirrus(), Backend::Serial);
+        let m = tridiag(900);
+        let a = analyze(&m);
+        let d = tuner.select(&m, &a, &engine, Op::Spmv);
+        // Tridiagonal rows are narrow: the toy rule maps them to CSR.
+        assert_eq!(d.format, FormatId::Csr);
+        assert!(d.cost.feature_extraction > 0.0);
+        assert!(d.cost.prediction > 0.0);
+        assert_eq!(d.cost.measured, 0.0);
+        assert_eq!(FormatTuner::<f64>::name(&tuner), "gradient-boosted");
+    }
+
+    #[test]
+    fn measured_seconds_count_toward_total() {
+        let cost = TuningCost { measured: 0.25, profiling: 0.5, ..Default::default() };
+        assert_eq!(cost.total(), 0.75);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! gather penalty is paid once per non-zero and amortises across the block.
 
 /// A tunable sparse operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+///
+/// The `Ord` derive (SpMV before SpMM, SpMM by `k`) exists so telemetry
+/// keys containing an `Op` sort deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum Op {
     /// Sparse matrix × dense vector (`y = A x`).
     #[default]

@@ -64,6 +64,19 @@ where
     total / folds.len() as f64
 }
 
+/// Single stratified holdout evaluation: splits `ds` once (seeded,
+/// deterministic), hands `fit_score` the `(train, holdout)` pair and
+/// returns its score. The one-shot counterpart of [`cross_val_score`] for
+/// callers that need the *same* holdout to compare several models (e.g.
+/// a retrained candidate against the incumbent).
+pub fn holdout_score<F>(ds: &Dataset, test_fraction: f64, seed: u64, mut fit_score: F) -> f64
+where
+    F: FnMut(&Dataset, &Dataset) -> f64,
+{
+    let (train, holdout) = ds.stratified_split(test_fraction, seed);
+    fit_score(&train, &holdout)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +151,20 @@ mod tests {
     #[should_panic(expected = "k >= 2")]
     fn k_too_small_panics() {
         stratified_kfold(&toy(10), 1, 0);
+    }
+
+    #[test]
+    fn holdout_score_is_deterministic_and_stratified() {
+        let ds = toy(40);
+        let mut sizes = (0, 0);
+        let s1 = holdout_score(&ds, 0.25, 5, |train, val| {
+            sizes = (train.len(), val.len());
+            assert!(train.class_counts().iter().all(|&c| c > 0));
+            assert!(val.class_counts().iter().all(|&c| c > 0));
+            val.len() as f64
+        });
+        assert_eq!(sizes.0 + sizes.1, 40);
+        let s2 = holdout_score(&ds, 0.25, 5, |_, val| val.len() as f64);
+        assert_eq!(s1, s2);
     }
 }

@@ -149,6 +149,28 @@ impl Dataset {
         }
     }
 
+    /// Appends every sample of `other` to this dataset. Both datasets must
+    /// agree on feature and class counts (feature names are kept from
+    /// `self`) — this is how online-collected samples are folded into an
+    /// offline training corpus.
+    pub fn merge(&mut self, other: &Dataset) -> Result<()> {
+        if other.n_features != self.n_features {
+            return Err(MlError::InvalidData(format!(
+                "cannot merge {} features into {}",
+                other.n_features, self.n_features
+            )));
+        }
+        if other.n_classes != self.n_classes {
+            return Err(MlError::InvalidData(format!(
+                "cannot merge {} classes into {}",
+                other.n_classes, self.n_classes
+            )));
+        }
+        self.features.extend_from_slice(&other.features);
+        self.targets.extend_from_slice(&other.targets);
+        Ok(())
+    }
+
     /// Deterministic stratified train/test split: within each class, a
     /// seeded shuffle sends `test_fraction` of samples to the test set
     /// (at least one per class when the class has ≥ 2 samples).
@@ -212,6 +234,23 @@ mod tests {
         assert!(ds.push(&[1.0], 0).is_err());
         assert!(ds.push(&[1.0, 2.0], 9).is_err());
         assert!(ds.push(&[f64::INFINITY, 0.0], 0).is_err());
+    }
+
+    #[test]
+    fn merge_appends_and_validates_schema() {
+        let mut a = toy();
+        let b = toy();
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.row(10), b.row(0));
+        assert_eq!(a.target(19), 1);
+        assert_eq!(a.feature_names(), ["a", "b"]);
+
+        let wrong_features = Dataset::empty(3, 2, vec![]).unwrap();
+        assert!(a.merge(&wrong_features).is_err());
+        let wrong_classes = Dataset::empty(2, 5, vec![]).unwrap();
+        assert!(a.merge(&wrong_classes).is_err());
+        assert_eq!(a.len(), 20, "failed merges must not mutate");
     }
 
     #[test]

@@ -29,9 +29,11 @@ impl Default for GbtParams {
     }
 }
 
-/// Node of a regression tree (flattened).
+/// Node of a regression tree (flattened). `pub(crate)` so the
+/// [`crate::serialize`] module can round-trip fitted ensembles through the
+/// model-file format.
 #[derive(Debug, Clone)]
-enum RNode {
+pub(crate) enum RNode {
     Split { feature: usize, threshold: f64, left: usize, right: usize },
     Leaf { value: f64 },
 }
@@ -39,8 +41,8 @@ enum RNode {
 /// A shallow regression tree fitted to residuals (squared-error splits,
 /// Newton leaf values supplied by the caller).
 #[derive(Debug, Clone)]
-struct RegressionTree {
-    nodes: Vec<RNode>,
+pub(crate) struct RegressionTree {
+    pub(crate) nodes: Vec<RNode>,
 }
 
 struct RegBuilder<'a> {
@@ -139,18 +141,34 @@ impl RegressionTree {
             }
         }
     }
+
+    /// Nodes visited for one prediction, counting the leaf (the same
+    /// convention as [`crate::DecisionTree::decision_path_len`]).
+    fn path_len(&self, x: &[f64]) -> usize {
+        let mut node = 0usize;
+        let mut visited = 1usize;
+        loop {
+            match &self.nodes[node] {
+                RNode::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    visited += 1;
+                }
+                RNode::Leaf { .. } => return visited,
+            }
+        }
+    }
 }
 
 /// A fitted multi-class gradient-boosted tree ensemble.
 #[derive(Debug, Clone)]
 pub struct GradientBoostedTrees {
     /// `rounds x n_classes` regression trees.
-    trees: Vec<Vec<RegressionTree>>,
+    pub(crate) trees: Vec<Vec<RegressionTree>>,
     /// Per-class prior (log of class frequency).
-    priors: Vec<f64>,
-    n_features: usize,
-    n_classes: usize,
-    params: GbtParams,
+    pub(crate) priors: Vec<f64>,
+    pub(crate) n_features: usize,
+    pub(crate) n_classes: usize,
+    pub(crate) params: GbtParams,
 }
 
 impl GradientBoostedTrees {
@@ -260,9 +278,40 @@ impl GradientBoostedTrees {
         self.n_classes
     }
 
+    /// Number of features the ensemble expects.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Boosting rounds held (each contributes `n_classes` regression
+    /// trees to a prediction).
+    pub fn n_rounds(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total regression-tree nodes visited for one prediction — the
+    /// ensemble analogue of [`crate::DecisionTree::decision_path_len`],
+    /// used by prediction-cost models.
+    pub fn decision_path_len(&self, x: &[f64]) -> usize {
+        self.trees.iter().flatten().map(|t| t.path_len(x)).sum()
+    }
+
     /// The hyperparameters used to fit this ensemble.
     pub fn params(&self) -> &GbtParams {
         &self.params
+    }
+
+    /// Reassembles an ensemble from deserialized parts (the inverse of
+    /// [`crate::serialize::save_gbt`]). Only the learning rate of `params`
+    /// affects predictions; the remaining hyperparameters are metadata.
+    pub(crate) fn from_parts(
+        trees: Vec<Vec<RegressionTree>>,
+        priors: Vec<f64>,
+        n_features: usize,
+        n_classes: usize,
+        params: GbtParams,
+    ) -> Self {
+        GradientBoostedTrees { trees, priors, n_features, n_classes, params }
     }
 }
 
