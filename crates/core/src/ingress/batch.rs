@@ -1,0 +1,201 @@
+//! The coalescer: turns a drained batch of queued SpMV requests into the
+//! cheapest equivalent set of planned executions.
+//!
+//! A drained batch is grouped by `(scalar type, handle id)` — only
+//! requests against the *same* registered matrix with the *same* scalar
+//! can share a kernel launch. Each group (chunked to
+//! [`IngressConfig::max_batch`](super::IngressConfig::max_batch)) is then
+//! either:
+//!
+//! * **coalesced** — the k input vectors are gathered into the row-major
+//!   `ncols x k` block of [`morpheus::BatchWorkspace`], executed as *one*
+//!   planned SpMM through the handle's shared
+//!   [`ExecPlan`](morpheus::ExecPlan), and scattered back to the k
+//!   tickets. Per-row accumulation order of the SpMM kernels matches the
+//!   SpMV kernels column by column, so every ticket receives a result
+//!   **bitwise identical** to a direct SpMV; or
+//! * **executed directly**, one planned SpMV per request, when the group
+//!   is a singleton, coalescing is disabled, or the cost-model gate
+//!   declines.
+//!
+//! The gate consults the engine the service tunes with: coalescing k
+//! requests is taken only when `spmm_time(k) < k * spmv_time` for the
+//! handle's realized format — the same [`VirtualEngine`] arithmetic the
+//! tuner trusts for format selection ([`MatrixAnalysis`] is computed once
+//! per handle and cached for the pump's lifetime). Expired requests are
+//! shed *before* grouping and never execute.
+//!
+//! [`VirtualEngine`]: morpheus_machine::VirtualEngine
+//! [`MatrixAnalysis`]: morpheus_machine::MatrixAnalysis
+
+use super::queue::{Job, QueuedRequest};
+use super::slo::{expired, Backpressure};
+use super::{CoalescePolicy, IngressConfig, IngressError, StatsCells};
+use crate::serve::OracleService;
+use crate::OracleError;
+use morpheus::{BatchWorkspace, Scalar};
+use morpheus_machine::{analyze, MatrixAnalysis};
+use std::any::TypeId;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pump-lifetime scratch: the per-scalar gather/scatter blocks and the
+/// per-handle [`MatrixAnalysis`] cache feeding the cost gate.
+pub(crate) struct PumpState {
+    analyses: HashMap<u64, MatrixAnalysis>,
+    bw_f32: BatchWorkspace<f32>,
+    bw_f64: BatchWorkspace<f64>,
+}
+
+impl PumpState {
+    pub(crate) fn new() -> Self {
+        PumpState { analyses: HashMap::new(), bw_f32: BatchWorkspace::new(), bw_f64: BatchWorkspace::new() }
+    }
+}
+
+/// Sheds expired requests, groups the rest and executes every group —
+/// one pump cycle over a drained batch.
+pub(crate) fn process_batch<T: Send + Sync>(
+    service: &OracleService<T>,
+    cfg: &IngressConfig,
+    stats: &StatsCells,
+    state: &mut PumpState,
+    batch: Vec<QueuedRequest<T>>,
+) {
+    let now = Instant::now();
+    let mut groups: Vec<Vec<QueuedRequest<T>>> = Vec::new();
+    let mut index: HashMap<(TypeId, u64), usize> = HashMap::new();
+    for mut req in batch {
+        if expired(req.meta.deadline, now) {
+            stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            req.job.shed(Backpressure::DeadlineExpired);
+            continue;
+        }
+        let key = (req.job.scalar(), req.job.handle_id());
+        let gi = *index.entry(key).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[gi].push(req);
+    }
+    for mut group in groups {
+        let scalar = group[0].job.scalar();
+        if scalar == TypeId::of::<f32>() {
+            execute_group::<T, f32>(service, cfg, stats, &mut state.analyses, &mut state.bw_f32, &mut group);
+        } else if scalar == TypeId::of::<f64>() {
+            execute_group::<T, f64>(service, cfg, stats, &mut state.analyses, &mut state.bw_f64, &mut group);
+        } else {
+            // A scalar this pump has no gather block for: still served,
+            // one planned SpMV per request — never dropped.
+            for req in group.iter_mut() {
+                finish_direct(service, stats, req);
+            }
+        }
+    }
+}
+
+/// Runs one request through the queued (no-silent-fallback) SpMV path and
+/// settles its ticket and counters.
+fn finish_direct<T: Send + Sync>(service: &OracleService<T>, stats: &StatsCells, req: &mut QueuedRequest<T>) {
+    stats.direct_requests.fetch_add(1, Ordering::Relaxed);
+    req.job.run_direct(service, stats, req.meta.deadline);
+}
+
+/// Executes one same-scalar, same-handle group: chunks it to the batch
+/// cap, runs the cost gate per chunk, and coalesces or falls back to
+/// direct execution accordingly.
+fn execute_group<T: Send + Sync, V: Scalar>(
+    service: &OracleService<T>,
+    cfg: &IngressConfig,
+    stats: &StatsCells,
+    analyses: &mut HashMap<u64, MatrixAnalysis>,
+    bw: &mut BatchWorkspace<V>,
+    group: &mut [QueuedRequest<T>],
+) {
+    let cap = cfg.max_batch.max(1);
+    for chunk in group.chunks_mut(cap) {
+        let k = chunk.len();
+        let coalesce = k >= 2
+            && match cfg.coalesce {
+                CoalescePolicy::Never => false,
+                CoalescePolicy::Always => true,
+                CoalescePolicy::CostModel => {
+                    let passes = cost_gate_passes::<T, V>(service, analyses, chunk);
+                    if !passes {
+                        stats.cost_gate_declined.fetch_add(1, Ordering::Relaxed);
+                    }
+                    passes
+                }
+            };
+        if coalesce {
+            coalesce_chunk::<T, V>(service, stats, bw, chunk);
+        } else {
+            for req in chunk.iter_mut() {
+                finish_direct(service, stats, req);
+            }
+        }
+    }
+}
+
+/// The cost-model gate: coalescing `k` requests must beat `k` independent
+/// SpMVs under the service's engine for the handle's realized format.
+fn cost_gate_passes<T: Send + Sync, V: Scalar>(
+    service: &OracleService<T>,
+    analyses: &mut HashMap<u64, MatrixAnalysis>,
+    chunk: &mut [QueuedRequest<T>],
+) -> bool {
+    let k = chunk.len();
+    let job = chunk[0].job.as_any().downcast_mut::<Job<V>>().expect("chunk grouped by scalar");
+    let fmt = job.handle.format_id();
+    let a = analyses.entry(job.handle.id()).or_insert_with(|| analyze(job.handle.matrix()));
+    let engine = service.engine();
+    engine.spmm_time(fmt, a, k) < k as f64 * engine.spmv_time(fmt, a)
+}
+
+/// Gathers a chunk's input vectors, executes one planned SpMM, scatters
+/// result columns back to the tickets — bitwise identical to k direct
+/// SpMVs. On execution failure every ticket receives the (shared) error;
+/// no ticket is left dangling and none sees partial results.
+fn coalesce_chunk<T: Send + Sync, V: Scalar>(
+    service: &OracleService<T>,
+    stats: &StatsCells,
+    bw: &mut BatchWorkspace<V>,
+    chunk: &mut [QueuedRequest<T>],
+) {
+    let k = chunk.len();
+    let deadlines: Vec<Option<Instant>> = chunk.iter().map(|r| r.meta.deadline).collect();
+    let jobs: Vec<&Job<V>> = chunk
+        .iter_mut()
+        .map(|r| &*r.job.as_any().downcast_mut::<Job<V>>().expect("chunk grouped by scalar"))
+        .collect();
+    let handle = jobs[0].handle.clone();
+    let columns: Vec<&[V]> = jobs.iter().map(|j| j.x.as_slice()).collect();
+    match bw.run(handle.nrows(), &columns, |x, y| service.execute_queued_spmm(&handle, x, y, k)) {
+        Ok(()) => {
+            // Counters strictly before the ticket sends, so a client
+            // returning from `wait()` never reads stale stats.
+            let now = Instant::now();
+            stats.coalesced_requests.fetch_add(k as u64, Ordering::Relaxed);
+            stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+            stats.completed.fetch_add(k as u64, Ordering::Relaxed);
+            let misses = deadlines.iter().filter(|d| expired(**d, now)).count();
+            if misses > 0 {
+                stats.deadline_misses.fetch_add(misses as u64, Ordering::Relaxed);
+            }
+            for (j, job) in jobs.iter().enumerate() {
+                let mut out = Vec::new();
+                bw.scatter_into(j, &mut out);
+                job.send(Ok(out));
+            }
+        }
+        Err(e) => {
+            stats.failed.fetch_add(k as u64, Ordering::Relaxed);
+            let shared = Arc::new(OracleError::Morpheus(e));
+            for job in &jobs {
+                job.send(Err(IngressError::Exec(Arc::clone(&shared))));
+            }
+        }
+    }
+}

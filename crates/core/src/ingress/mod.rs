@@ -1,0 +1,461 @@
+//! Async batched ingress: the admission-controlled, coalescing front door
+//! over [`OracleService`].
+//!
+//! The direct handle path ([`OracleService::spmv`]) is synchronous and
+//! one-request-per-call: under N contending clients, requests serialize on
+//! the pool and silently degrade to serial kernels. This module replaces
+//! that degradation with an explicit request lifecycle:
+//!
+//! ```text
+//!   submit ──► admit ──────► queue ──► coalesce-or-direct ──► execute ──► scatter
+//!              │  │            │            │                 (planned       │
+//!   tenant quota  queue cap    │       cost-model gate         SpMM/SpMV)    ▼
+//!   Backpressure::TenantQuota  │       spmm_time(k) <                     Ticket
+//!   Backpressure::QueueFull    │         k·spmv_time?                    resolves
+//!                              ▼
+//!               deadline expired while queued?
+//!               shed: Backpressure::DeadlineExpired
+//! ```
+//!
+//! * **Admission** — every request names a tenant; a tenant may hold at
+//!   most its quota of in-flight requests
+//!   ([`IngressConfig::tenant_quota`]), so a greedy client saturates its
+//!   own quota, not the queue. The queue itself is bounded; both refusals
+//!   are immediate typed [`Backpressure`] errors, never blocking waits.
+//! * **Coalescing** — a single pump thread drains everything queued at
+//!   once. Runs of requests against the same [`MatrixHandle`] (same
+//!   scalar) become *one* planned SpMM over the handle's shared
+//!   [`ExecPlan`](morpheus::ExecPlan) when the engine's cost model prices
+//!   `spmm_time(k)` under `k × spmv_time` — the paper's op-aware cost
+//!   model collecting the batching payoff. Results are scattered back
+//!   per-request, **bitwise identical** to individual SpMVs (the SpMM
+//!   kernels accumulate each output column in exactly the SpMV order).
+//! * **SLO enforcement** — requests carry deadlines (explicit, or
+//!   [`IngressConfig::default_slo`]). Work that expires while queued is
+//!   shed with [`Backpressure::DeadlineExpired`] *before* any kernel runs;
+//!   work that finishes late still delivers and is counted as a deadline
+//!   miss. See [`slo`] for the exact semantics.
+//!
+//! Because the pump is the only thread driving ingress work into the
+//! pool, ingress traffic never contends with itself — the silent
+//! pool-busy serial fallback of the direct path cannot trigger from
+//! inside this layer; overload surfaces as typed backpressure instead.
+//! Executions are timestamped into the adaptive-sampling
+//! [`Telemetry`](crate::adapt::Telemetry) under `Op::Spmm{k}` /
+//! `Op::Spmv` keys exactly like direct handle calls, so retraining learns
+//! from batched traffic too.
+//!
+//! # Example
+//! ```
+//! use morpheus::{CooMatrix, DynamicMatrix};
+//! use morpheus_machine::{systems, Backend, VirtualEngine};
+//! use morpheus_oracle::{Ingress, IngressConfig, Oracle, RunFirstTuner};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(
+//!     Oracle::builder()
+//!         .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+//!         .tuner(RunFirstTuner::new(2))
+//!         .workers(2)
+//!         .build_service()
+//!         .unwrap(),
+//! );
+//! let m = DynamicMatrix::from(
+//!     CooMatrix::<f64>::from_triplets(3, 3, &[0, 1, 2], &[0, 1, 2], &[1.0, 2.0, 3.0]).unwrap(),
+//! );
+//! let handle = service.register(m).unwrap();
+//!
+//! let ingress = Ingress::start(Arc::clone(&service), IngressConfig::default());
+//! let ticket = ingress.submit("tenant-a", &handle, vec![1.0, 1.0, 1.0]).unwrap();
+//! assert_eq!(ticket.wait().unwrap(), vec![1.0, 2.0, 3.0]);
+//! ```
+
+mod batch;
+mod queue;
+pub mod slo;
+
+pub use slo::Backpressure;
+
+use crate::serve::{MatrixHandle, OracleService, ServiceSnapshot};
+use crate::OracleError;
+use morpheus::Scalar;
+use queue::{Job, JobMeta, PushRefused, QueuedRequest, SubmissionQueue, TenantTable};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// When the pump may merge queued same-handle SpMV requests into one
+/// planned SpMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoalescePolicy {
+    /// Coalesce only when the engine prices `spmm_time(k)` below
+    /// `k × spmv_time` for the handle's realized format — the default.
+    #[default]
+    CostModel,
+    /// Always coalesce same-handle runs (benchmarking / testing).
+    Always,
+    /// Never coalesce; every request executes as an individual SpMV.
+    Never,
+}
+
+/// Configuration of an [`Ingress`] front door.
+#[derive(Debug, Clone)]
+pub struct IngressConfig {
+    /// Maximum queued (admitted, not yet drained) requests; submissions
+    /// beyond it fail with [`Backpressure::QueueFull`].
+    pub queue_capacity: usize,
+    /// Default per-tenant in-flight quota; submissions beyond it fail
+    /// with [`Backpressure::TenantQuota`].
+    pub tenant_quota: usize,
+    /// Per-tenant quota overrides (tenant name → in-flight limit).
+    pub tenant_overrides: HashMap<String, usize>,
+    /// Deadline budget applied to requests submitted without an explicit
+    /// deadline; `None` means such requests never expire.
+    pub default_slo: Option<Duration>,
+    /// Coalescing policy (see [`CoalescePolicy`]).
+    pub coalesce: CoalescePolicy,
+    /// Largest number of requests merged into one SpMM; bigger runs are
+    /// split into chunks of this size.
+    pub max_batch: usize,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            queue_capacity: 1024,
+            tenant_quota: 64,
+            tenant_overrides: HashMap::new(),
+            default_slo: None,
+            coalesce: CoalescePolicy::CostModel,
+            max_batch: 32,
+        }
+    }
+}
+
+impl IngressConfig {
+    /// Sets a per-tenant in-flight quota override.
+    pub fn with_tenant_quota(mut self, tenant: &str, limit: usize) -> Self {
+        self.tenant_overrides.insert(tenant.to_string(), limit);
+        self
+    }
+
+    fn quota_for(&self, tenant: &str) -> usize {
+        self.tenant_overrides.get(tenant).copied().unwrap_or(self.tenant_quota)
+    }
+}
+
+/// Errors surfaced by the ingress layer — including the **typed
+/// backpressure** that replaces silent degradation on the serving path.
+#[derive(Debug, Clone)]
+pub enum IngressError {
+    /// The request was refused or shed under load; see [`Backpressure`]
+    /// for the exact cause. Nothing executed.
+    Backpressure(Backpressure),
+    /// The request was malformed (e.g. input length does not match the
+    /// handle's column count). Caught at submission; nothing was queued.
+    Rejected(String),
+    /// Execution itself failed; the underlying error is shared across
+    /// every request of a failed coalesced batch.
+    Exec(Arc<OracleError>),
+    /// The pump disappeared without resolving the ticket (it panicked);
+    /// a bug, not an overload signal.
+    Disconnected,
+}
+
+impl fmt::Display for IngressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngressError::Backpressure(b) => write!(f, "backpressure: {b}"),
+            IngressError::Rejected(why) => write!(f, "request rejected: {why}"),
+            IngressError::Exec(e) => write!(f, "execution failed: {e}"),
+            IngressError::Disconnected => write!(f, "ingress pump disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for IngressError {}
+
+/// Ingress counters, exposed via [`Ingress::stats`] and folded into
+/// [`ServiceSnapshot::ingress`] by [`Ingress::snapshot`]. All counters
+/// are monotonic except the [`queue_depth`](Self::queue_depth) gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngressStats {
+    /// Submission attempts (admitted or not).
+    pub submitted: u64,
+    /// Submissions refused with [`Backpressure::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Submissions refused with [`Backpressure::TenantQuota`].
+    pub rejected_quota: u64,
+    /// Queued requests shed with [`Backpressure::DeadlineExpired`].
+    pub shed_deadline: u64,
+    /// Queued requests shed with [`Backpressure::ShuttingDown`].
+    pub shed_shutdown: u64,
+    /// Requests whose results were delivered.
+    pub completed: u64,
+    /// Requests whose execution failed ([`IngressError::Exec`]).
+    pub failed: u64,
+    /// Requests served as individual planned SpMVs.
+    pub direct_requests: u64,
+    /// Requests served through a coalesced SpMM.
+    pub coalesced_requests: u64,
+    /// Coalesced SpMM executions (each serving ≥ 2 requests).
+    pub coalesced_batches: u64,
+    /// Chunks the cost-model gate declined to coalesce.
+    pub cost_gate_declined: u64,
+    /// Delivered results that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Requests currently queued (gauge, not monotonic).
+    pub queue_depth: u64,
+}
+
+impl IngressStats {
+    /// Fraction of delivered results that were served through a coalesced
+    /// SpMM (0 when nothing has completed).
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.coalesced_requests as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Atomic counter cells behind [`IngressStats`].
+#[derive(Default)]
+pub(crate) struct StatsCells {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected_queue_full: AtomicU64,
+    pub(crate) rejected_quota: AtomicU64,
+    pub(crate) shed_deadline: AtomicU64,
+    pub(crate) shed_shutdown: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) direct_requests: AtomicU64,
+    pub(crate) coalesced_requests: AtomicU64,
+    pub(crate) coalesced_batches: AtomicU64,
+    pub(crate) cost_gate_declined: AtomicU64,
+    pub(crate) deadline_misses: AtomicU64,
+}
+
+/// A pending request's receipt: resolves to the SpMV result or a typed
+/// [`IngressError`]. One-shot; waiting consumes it.
+#[derive(Debug)]
+pub struct Ticket<V: Scalar> {
+    rx: Receiver<Result<Vec<V>, IngressError>>,
+}
+
+impl<V: Scalar> Ticket<V> {
+    /// Blocks until the request resolves: `y = A x` on success, typed
+    /// backpressure or the execution error otherwise.
+    pub fn wait(self) -> Result<Vec<V>, IngressError> {
+        self.rx.recv().unwrap_or(Err(IngressError::Disconnected))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Vec<V>, IngressError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(IngressError::Disconnected)),
+        }
+    }
+}
+
+struct Shared<T> {
+    service: Arc<OracleService<T>>,
+    queue: SubmissionQueue<T>,
+    tenants: TenantTable,
+    stats: StatsCells,
+    cfg: IngressConfig,
+}
+
+/// The async batched front door over an [`OracleService`]: submissions
+/// from any number of threads, one pump thread draining, coalescing and
+/// executing. See the [module docs](self) for the request lifecycle.
+///
+/// Dropping the `Ingress` closes admission, sheds everything still queued
+/// with [`Backpressure::ShuttingDown`] and joins the pump; tickets are
+/// always resolved.
+pub struct Ingress<T: Send + Sync + 'static> {
+    shared: Arc<Shared<T>>,
+    pump: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + Sync + 'static> fmt::Debug for Ingress<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ingress").field("stats", &self.stats()).finish()
+    }
+}
+
+impl<T: Send + Sync + 'static> Ingress<T> {
+    /// Starts the front door over `service`, spawning its pump thread.
+    pub fn start(service: Arc<OracleService<T>>, cfg: IngressConfig) -> Self {
+        let shared = Arc::new(Shared {
+            service,
+            queue: SubmissionQueue::new(cfg.queue_capacity),
+            tenants: TenantTable::default(),
+            stats: StatsCells::default(),
+            cfg,
+        });
+        let pump_shared = Arc::clone(&shared);
+        let pump = std::thread::Builder::new()
+            .name("morpheus-ingress-pump".into())
+            .spawn(move || pump_loop(&pump_shared))
+            .expect("failed to spawn ingress pump thread");
+        Ingress { shared, pump: Some(pump) }
+    }
+
+    /// Submits `y = A x` for `handle` under `tenant`, applying the
+    /// configured default SLO (if any). Fails fast with
+    /// [`IngressError::Backpressure`] when the tenant quota or queue
+    /// capacity is exhausted, and with [`IngressError::Rejected`] when
+    /// `x` does not match the handle's column count.
+    pub fn submit<V: Scalar>(
+        &self,
+        tenant: &str,
+        handle: &MatrixHandle<V>,
+        x: Vec<V>,
+    ) -> Result<Ticket<V>, IngressError> {
+        self.submit_inner(tenant, handle, x, None)
+    }
+
+    /// [`Ingress::submit`] with an explicit absolute deadline overriding
+    /// the default SLO. A request still queued at its deadline is shed
+    /// with [`Backpressure::DeadlineExpired`] and never executes.
+    pub fn submit_with_deadline<V: Scalar>(
+        &self,
+        tenant: &str,
+        handle: &MatrixHandle<V>,
+        x: Vec<V>,
+        deadline: Instant,
+    ) -> Result<Ticket<V>, IngressError> {
+        self.submit_inner(tenant, handle, x, Some(deadline))
+    }
+
+    fn submit_inner<V: Scalar>(
+        &self,
+        tenant: &str,
+        handle: &MatrixHandle<V>,
+        x: Vec<V>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<V>, IngressError> {
+        let shared = &*self.shared;
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        if x.len() != handle.ncols() {
+            return Err(IngressError::Rejected(format!(
+                "input vector has {} elements, handle {} expects {}",
+                x.len(),
+                handle.id(),
+                handle.ncols()
+            )));
+        }
+        let tenant_slot = shared.tenants.acquire(tenant, shared.cfg.quota_for(tenant)).map_err(|b| {
+            shared.stats.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            IngressError::Backpressure(b)
+        })?;
+        let submitted = Instant::now();
+        let deadline = slo::resolve_deadline(submitted, deadline, shared.cfg.default_slo);
+        let (tx, rx) = sync_channel(1);
+        let req = QueuedRequest {
+            meta: JobMeta { _tenant: tenant_slot, deadline },
+            job: Box::new(Job { handle: handle.clone(), x, tx }),
+        };
+        match shared.queue.push(req) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(PushRefused::Full(req)) => {
+                // Dropping the refused request releases the tenant slot.
+                drop(req);
+                shared.stats.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                Err(IngressError::Backpressure(Backpressure::QueueFull {
+                    capacity: shared.cfg.queue_capacity,
+                }))
+            }
+            Err(PushRefused::Closed(req)) => {
+                drop(req);
+                Err(IngressError::Backpressure(Backpressure::ShuttingDown))
+            }
+        }
+    }
+
+    /// Current counters (see [`IngressStats`]).
+    pub fn stats(&self) -> IngressStats {
+        let s = &self.shared.stats;
+        IngressStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            rejected_queue_full: s.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_quota: s.rejected_quota.load(Ordering::Relaxed),
+            shed_deadline: s.shed_deadline.load(Ordering::Relaxed),
+            shed_shutdown: s.shed_shutdown.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            direct_requests: s.direct_requests.load(Ordering::Relaxed),
+            coalesced_requests: s.coalesced_requests.load(Ordering::Relaxed),
+            coalesced_batches: s.coalesced_batches.load(Ordering::Relaxed),
+            cost_gate_declined: s.cost_gate_declined.load(Ordering::Relaxed),
+            deadline_misses: s.deadline_misses.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.depth(),
+        }
+    }
+
+    /// The service snapshot with [`ServiceSnapshot::ingress`] populated —
+    /// one coherent operator view of the serving stack including this
+    /// front door.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let mut snap = self.shared.service.snapshot();
+        snap.ingress = Some(self.stats());
+        snap
+    }
+
+    /// The service this front door executes on.
+    pub fn service(&self) -> &Arc<OracleService<T>> {
+        &self.shared.service
+    }
+
+    /// A tenant's current in-flight request count.
+    pub fn tenant_inflight(&self, tenant: &str) -> usize {
+        self.shared.tenants.inflight(tenant)
+    }
+
+    /// Holds queued work back from the pump. Submissions still admit (up
+    /// to queue capacity and quotas); nothing executes until
+    /// [`Ingress::resume`]. Deterministic-batch construction for tests
+    /// and benchmarks — paused queues do not shed on a timer, the pump
+    /// re-checks deadlines when resumed.
+    pub fn pause(&self) {
+        self.shared.queue.pause();
+    }
+
+    /// Releases [`Ingress::pause`]; everything queued drains as one
+    /// coalescing window.
+    pub fn resume(&self) {
+        self.shared.queue.resume();
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for Ingress<T> {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+    }
+}
+
+/// The pump: drain → (shed on shutdown | coalesce-and-execute), until the
+/// queue closes and empties.
+fn pump_loop<T: Send + Sync>(shared: &Shared<T>) {
+    let mut state = batch::PumpState::new();
+    while let Some(drained) = shared.queue.drain() {
+        if shared.queue.is_closed() {
+            for mut req in drained {
+                shared.stats.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+                req.job.shed(Backpressure::ShuttingDown);
+            }
+            continue;
+        }
+        batch::process_batch(&shared.service, &shared.cfg, &shared.stats, &mut state, drained);
+    }
+}

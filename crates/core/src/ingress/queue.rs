@@ -1,0 +1,291 @@
+//! The ingress submission queue, per-tenant admission and the type-erased
+//! request representation the pump drains.
+//!
+//! The queue is a bounded `VecDeque` under a `std::sync::Mutex` with a
+//! `Condvar` pump wake-up — deliberately the plainest possible MPSC: the
+//! vendored channel exposes neither depth nor timed receives, and the pump
+//! needs both a drain-everything primitive (for coalescing) and a depth
+//! gauge (for the stats surface). Submitters never block: a full queue is
+//! an immediate [`Backpressure::QueueFull`], the explicit replacement for
+//! queueing behind other clients.
+//!
+//! Requests are stored type-erased ([`ErasedJob`]) so one queue carries
+//! `f32` and `f64` traffic at once; the coalescer downcasts same-scalar,
+//! same-handle runs back to concrete [`Job<V>`]s (see
+//! [`super::batch`]).
+
+use super::slo::Backpressure;
+use super::{IngressError, StatsCells};
+use crate::serve::{MatrixHandle, OracleService};
+use crate::OracleError;
+use morpheus::Scalar;
+use parking_lot::Mutex as PlMutex;
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One tenant's admission ticket: holds the tenant's in-flight count
+/// incremented until dropped, so every exit path — scatter, shed, error —
+/// releases the quota slot exactly once.
+#[derive(Debug)]
+pub(crate) struct TenantSlot {
+    inflight: Arc<AtomicUsize>,
+}
+
+impl Drop for TenantSlot {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-tenant in-flight accounting. Tenants are created on first sight;
+/// the table is consulted once per submission (one short mutex hold to
+/// fetch the counter, then lock-free CAS admission against the quota).
+#[derive(Debug, Default)]
+pub(crate) struct TenantTable {
+    counters: PlMutex<HashMap<String, Arc<AtomicUsize>>>,
+}
+
+impl TenantTable {
+    /// Admits one request for `tenant` under `quota`, or refuses with the
+    /// quota that was hit. The returned slot releases on drop.
+    pub(crate) fn acquire(&self, tenant: &str, quota: usize) -> Result<TenantSlot, Backpressure> {
+        let counter = {
+            let mut map = self.counters.lock();
+            match map.get(tenant) {
+                Some(c) => Arc::clone(c),
+                None => {
+                    let c = Arc::new(AtomicUsize::new(0));
+                    map.insert(tenant.to_string(), Arc::clone(&c));
+                    c
+                }
+            }
+        };
+        let mut current = counter.load(Ordering::Relaxed);
+        loop {
+            if current >= quota {
+                return Err(Backpressure::TenantQuota { limit: quota });
+            }
+            match counter.compare_exchange_weak(current, current + 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return Ok(TenantSlot { inflight: counter }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current in-flight count for `tenant` (0 if never seen).
+    pub(crate) fn inflight(&self, tenant: &str) -> usize {
+        self.counters.lock().get(tenant).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Scheduling metadata shared by every request regardless of scalar type.
+pub(crate) struct JobMeta {
+    /// Quota slot, released when the request leaves the system.
+    pub(crate) _tenant: TenantSlot,
+    /// Absolute deadline, resolved at submission.
+    pub(crate) deadline: Option<Instant>,
+}
+
+/// A concrete queued SpMV request for scalar `V`.
+pub(crate) struct Job<V: Scalar> {
+    pub(crate) handle: MatrixHandle<V>,
+    pub(crate) x: Vec<V>,
+    pub(crate) tx: SyncSender<Result<Vec<V>, IngressError>>,
+}
+
+impl<V: Scalar> Job<V> {
+    /// Resolves the ticket; a receiver that gave up (dropped) is fine.
+    pub(crate) fn send(&self, result: Result<Vec<V>, IngressError>) {
+        let _ = self.tx.send(result);
+    }
+}
+
+/// Scalar-erased view of a [`Job<V>`], so one queue and one pump loop
+/// carry every scalar type. Grouping happens on `(scalar, handle_id)`;
+/// the coalescer downcasts groups of the two `Scalar` impls back to
+/// concrete jobs, and anything else still executes through
+/// [`ErasedJob::run_direct`].
+pub(crate) trait ErasedJob<T>: Send {
+    /// Registration id of the target handle (coalescing group key).
+    fn handle_id(&self) -> u64;
+    /// Scalar type of the request (coalescing group key).
+    fn scalar(&self) -> TypeId;
+    /// Downcast access for the coalescer.
+    fn as_any(&mut self) -> &mut dyn Any;
+    /// Executes this single request through the service's queued-execution
+    /// path, accounts the outcome (completed/failed/deadline-miss) in
+    /// `stats` and resolves its ticket — counters strictly *before* the
+    /// ticket, so a caller returning from `wait()` never reads stale stats.
+    fn run_direct(&mut self, service: &OracleService<T>, stats: &StatsCells, deadline: Option<Instant>);
+    /// Resolves the ticket with typed backpressure; nothing executes.
+    fn shed(&mut self, reason: Backpressure);
+}
+
+impl<T: Send + Sync, V: Scalar> ErasedJob<T> for Job<V> {
+    fn handle_id(&self) -> u64 {
+        self.handle.id()
+    }
+
+    fn scalar(&self) -> TypeId {
+        TypeId::of::<V>()
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn run_direct(&mut self, service: &OracleService<T>, stats: &StatsCells, deadline: Option<Instant>) {
+        let mut y = vec![V::ZERO; self.handle.nrows()];
+        match service.execute_queued_spmv(&self.handle, &self.x, &mut y) {
+            Ok(()) => {
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+                if super::slo::expired(deadline, Instant::now()) {
+                    stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                self.send(Ok(y));
+            }
+            Err(e) => {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                self.send(Err(IngressError::Exec(Arc::new(OracleError::Morpheus(e)))));
+            }
+        }
+    }
+
+    fn shed(&mut self, reason: Backpressure) {
+        self.send(Err(IngressError::Backpressure(reason)));
+    }
+}
+
+/// One queued request: scheduling metadata plus the scalar-erased job.
+pub(crate) struct QueuedRequest<T> {
+    pub(crate) meta: JobMeta,
+    pub(crate) job: Box<dyn ErasedJob<T>>,
+}
+
+/// Outcome of a push attempt; the request is handed back on refusal so
+/// the submitter can resolve its ticket (and release the tenant slot).
+pub(crate) enum PushRefused<T> {
+    Full(QueuedRequest<T>),
+    Closed(QueuedRequest<T>),
+}
+
+struct QueueState<T> {
+    items: VecDeque<QueuedRequest<T>>,
+    closed: bool,
+    paused: bool,
+}
+
+/// The bounded MPSC between submitters and the pump. See the
+/// [module docs](self) for why this is a mutex + condvar rather than a
+/// channel.
+pub(crate) struct SubmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    wakeup: Condvar,
+    capacity: usize,
+    /// Lock-free mirror of the current queue length for the stats gauge.
+    depth: AtomicU64,
+}
+
+impl<T> SubmissionQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SubmissionQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false, paused: false }),
+            wakeup: Condvar::new(),
+            capacity: capacity.max(1),
+            depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues without blocking; refuses when full or closed.
+    pub(crate) fn push(&self, req: QueuedRequest<T>) -> Result<(), PushRefused<T>> {
+        let mut st = self.state.lock().expect("ingress queue poisoned");
+        if st.closed {
+            return Err(PushRefused::Closed(req));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushRefused::Full(req));
+        }
+        st.items.push_back(req);
+        self.depth.store(st.items.len() as u64, Ordering::Relaxed);
+        self.wakeup.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available (and the queue is not paused), then
+    /// drains **everything** queued at that instant — the coalescing
+    /// window is "whatever accumulated while the pump was busy". Returns
+    /// `None` once the queue is closed and empty; after close, remaining
+    /// items are still handed out (paused or not) so the pump can shed
+    /// them.
+    pub(crate) fn drain(&self) -> Option<Vec<QueuedRequest<T>>> {
+        let mut st = self.state.lock().expect("ingress queue poisoned");
+        loop {
+            let ready = st.closed || (!st.items.is_empty() && !st.paused);
+            if ready {
+                if st.items.is_empty() {
+                    return None; // only reachable when closed
+                }
+                let batch: Vec<_> = st.items.drain(..).collect();
+                self.depth.store(0, Ordering::Relaxed);
+                return Some(batch);
+            }
+            st = self.wakeup.wait(st).expect("ingress queue poisoned");
+        }
+    }
+
+    /// Current queue length (lock-free; the stats gauge).
+    pub(crate) fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// `true` once [`SubmissionQueue::close`] ran: drained batches must be
+    /// shed, not executed.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.state.lock().expect("ingress queue poisoned").closed
+    }
+
+    /// Stops admission and wakes the pump for final shedding.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("ingress queue poisoned").closed = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Holds queued work back from the pump (used to build deterministic
+    /// coalescing batches; see [`Ingress::pause`](super::Ingress::pause)).
+    pub(crate) fn pause(&self) {
+        self.state.lock().expect("ingress queue poisoned").paused = true;
+    }
+
+    /// Releases a [`SubmissionQueue::pause`].
+    pub(crate) fn resume(&self) {
+        self.state.lock().expect("ingress queue poisoned").paused = false;
+        self.wakeup.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_quota_admits_up_to_limit_and_releases_on_drop() {
+        let table = TenantTable::default();
+        let a = table.acquire("a", 2).unwrap();
+        let b = table.acquire("a", 2).unwrap();
+        assert_eq!(table.inflight("a"), 2);
+        assert!(matches!(table.acquire("a", 2), Err(Backpressure::TenantQuota { limit: 2 })));
+        // A different tenant is unaffected.
+        let other = table.acquire("b", 2).unwrap();
+        assert_eq!(table.inflight("b"), 1);
+        drop(a);
+        assert_eq!(table.inflight("a"), 1);
+        let _c = table.acquire("a", 2).unwrap();
+        drop(b);
+        drop(other);
+        assert_eq!(table.inflight("b"), 0);
+    }
+}

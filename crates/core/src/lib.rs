@@ -88,6 +88,7 @@ mod cache;
 
 pub mod adapt;
 pub mod features;
+pub mod ingress;
 pub mod model_db;
 pub mod oracle;
 pub mod serve;
@@ -100,6 +101,7 @@ pub use adapt::{
 };
 pub use cache::CacheStats;
 pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
+pub use ingress::{Backpressure, CoalescePolicy, Ingress, IngressConfig, IngressError, IngressStats, Ticket};
 pub use model_db::{ModelDatabase, ModelKind};
 pub use oracle::{Oracle, OracleBuilder, DEFAULT_CACHE_CAPACITY};
 pub use serve::{HandleInfo, MatrixHandle, OracleService, ServeStats, ServiceSnapshot};

@@ -145,9 +145,15 @@ pub struct ServiceSnapshot {
     pub plans: CacheStats,
     /// Adaptive-sampling counters, when a collector is attached.
     pub adaptation: Option<CollectorStats>,
+    /// Ingress front-door counters, when the snapshot was taken through an
+    /// [`Ingress`](crate::ingress::Ingress) ([`OracleService::snapshot`]
+    /// itself reports `None` — the service does not know which front doors
+    /// sit above it).
+    pub ingress: Option<crate::ingress::IngressStats>,
 }
 
-/// Execution counters of a service (monotonic; never reset).
+/// Execution counters of a service (monotonic and never reset, except the
+/// [`pool_queued_jobs`](ServeStats::pool_queued_jobs) point-in-time gauge).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
     /// Executions through registered handles (`spmv`/`spmm` and their
@@ -158,6 +164,12 @@ pub struct ServeStats {
     pub pool_busy_fallbacks: u64,
     /// Matrices registered over the service's lifetime.
     pub registered: u64,
+    /// Jobs sitting in the execution pool's channel, not yet picked up by a
+    /// worker, at the instant of the snapshot (a *gauge*, not a counter;
+    /// 0 for serial services). Nonzero values mean threaded executions are
+    /// queueing behind each other — the saturation signal behind
+    /// `pool_busy_fallbacks` growth.
+    pub pool_queued_jobs: u64,
 }
 
 /// The tuned, converted and planned state [`OracleService::register`]
@@ -731,6 +743,74 @@ impl<T> OracleService<T> {
         Ok(())
     }
 
+    /// [`OracleService::spmv`] for the ingress pump: identical execution
+    /// and telemetry, except a busy pool is **waited on** instead of dodged
+    /// with the silent serial fallback — admitted ingress work was promised
+    /// full-width execution; overload is refused earlier, at admission, as
+    /// typed backpressure.
+    pub(crate) fn execute_queued_spmv<V: Scalar>(
+        &self,
+        handle: &MatrixHandle<V>,
+        x: &[V],
+        y: &mut [V],
+    ) -> morpheus::Result<()> {
+        let r = &*handle.inner;
+        let t0 = self.collector.as_ref().map(|_| Instant::now());
+        let workers = match self.exec_pool() {
+            None => {
+                morpheus::spmv::spmv_serial(&r.matrix, x, y)?;
+                1
+            }
+            Some(pool) => {
+                r.plan.spmv(&r.matrix, x, y, pool)?;
+                pool.num_threads()
+            }
+        };
+        if let Some(t0) = t0 {
+            self.record_execution::<V>(r.structure, r.matrix.format_id(), Op::Spmv, workers, t0.elapsed());
+        }
+        self.handle_requests.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// [`OracleService::spmm`] for the ingress pump's coalesced batches:
+    /// waits on a busy pool (see
+    /// [`execute_queued_spmv`](Self::execute_queued_spmv)) and attributes
+    /// the measured wall time to the handle's `Op::Spmm { k }` telemetry
+    /// population, so retraining sees batched traffic exactly like direct
+    /// handle calls.
+    pub(crate) fn execute_queued_spmm<V: Scalar>(
+        &self,
+        handle: &MatrixHandle<V>,
+        x: &[V],
+        y: &mut [V],
+        k: usize,
+    ) -> morpheus::Result<()> {
+        let r = &*handle.inner;
+        let t0 = self.collector.as_ref().map(|_| Instant::now());
+        let workers = match self.exec_pool() {
+            None => {
+                morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?;
+                1
+            }
+            Some(pool) => {
+                r.plan.spmm(&r.matrix, x, y, k, pool)?;
+                pool.num_threads()
+            }
+        };
+        if let Some(t0) = t0 {
+            self.record_execution::<V>(
+                r.structure,
+                r.matrix.format_id(),
+                Op::Spmm { k },
+                workers,
+                t0.elapsed(),
+            );
+        }
+        self.handle_requests.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// [`OracleService::spmv`] into a caller-owned (per-thread)
     /// [`Workspace`]: zero allocation once the workspace reached size.
     pub fn spmv_into<'w, V: Scalar>(
@@ -780,6 +860,7 @@ impl<T> OracleService<T> {
             handle_requests: self.handle_requests.load(Ordering::Relaxed),
             pool_busy_fallbacks: self.pool_busy_fallbacks.load(Ordering::Relaxed),
             registered: self.registry.read().len() as u64,
+            pool_queued_jobs: self.exec_pool().map_or(0, |p| p.queued_jobs() as u64),
         }
     }
 
@@ -793,6 +874,7 @@ impl<T> OracleService<T> {
             decisions: self.cache_stats(),
             plans: self.plan_cache_stats(),
             adaptation: self.collector.as_ref().map(|c| c.stats()),
+            ingress: None,
         }
     }
 

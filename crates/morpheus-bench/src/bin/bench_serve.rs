@@ -11,25 +11,37 @@
 //! * **warm registered**: `service.spmv(&handle, ...)` — the zero-lock,
 //!   zero-allocation steady state the amortisation argument (§VII-E) is
 //!   about.
+//! * **warm ingress** / **ingress coalesce** (with `--ingress`): the same
+//!   traffic through the async batched `Ingress` front door under a
+//!   latency SLO — `warm_ingress` replays the registered-handle offset
+//!   workload one request at a time, `ingress_coalesce` fires same-handle
+//!   bursts, the coalescer's best case. These modes report SLO columns:
+//!   the fraction of requests under the SLO, whether the p99 itself is,
+//!   the coalescing ratio and how many requests were shed or refused.
 //!
 //! The warm modes run with 1, 2 and 4 client threads hammering one shared
 //! service, reporting requests/sec and p50/p99 request latency per mode and
-//! client count. Results go to stdout as a table and to `BENCH_serve.json`
-//! (override with `--out PATH`). `--smoke` shrinks sizes and iteration
-//! counts for CI. The service's worker count defaults to the host
-//! parallelism; override with `MORPHEUS_BENCH_THREADS` (recorded in the
-//! snapshot).
+//! client count. Every client times its own requests on its own monotonic
+//! clock; besides the pooled percentiles the snapshot reports
+//! `max_client_p99_us` — the worst per-client p99, which pooling across
+//! clients systematically understates under contention. Results go to
+//! stdout as a table and to `BENCH_serve.json` (override with `--out
+//! PATH`). `--smoke` shrinks sizes and iteration counts for CI. The
+//! service's worker count defaults to the host parallelism; override with
+//! `MORPHEUS_BENCH_THREADS` (recorded in the snapshot).
 
 use morpheus::{CooMatrix, DynamicMatrix};
 use morpheus_bench::report::{json_escape, percentile};
 use morpheus_corpus::gen::banded::{multi_diagonal, tridiagonal};
 use morpheus_corpus::gen::powerlaw::{hub_rows, zipf_rows};
 use morpheus_machine::{systems, Backend, VirtualEngine};
-use morpheus_oracle::{MatrixHandle, Oracle, OracleService, RunFirstTuner};
+use morpheus_oracle::{
+    Ingress, IngressConfig, IngressError, MatrixHandle, Oracle, OracleService, RunFirstTuner, Ticket,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Case {
     name: &'static str,
@@ -69,7 +81,16 @@ fn build_service(workers: usize) -> OracleService<RunFirstTuner> {
         .expect("engine and tuner set")
 }
 
-/// One measured mode: per-request latencies from every client, merged.
+/// SLO-specific columns reported by the ingress modes.
+struct SloColumns {
+    slo_us: f64,
+    under_slo_ratio: f64,
+    p99_under_slo: bool,
+    coalescing_ratio: f64,
+    shed: u64,
+}
+
+/// One measured mode: per-request latencies from every client.
 struct ModeResult {
     mode: &'static str,
     clients: usize,
@@ -78,29 +99,43 @@ struct ModeResult {
     rps: f64,
     p50_us: f64,
     p99_us: f64,
+    /// Worst per-client p99: each client's latencies percentiled on their
+    /// own, then the maximum taken — the tail a real client actually sees,
+    /// which the pooled p99 understates under contention.
+    max_client_p99_us: f64,
+    slo: Option<SloColumns>,
 }
 
-fn summarize(mode: &'static str, clients: usize, wall_s: f64, latencies_us: Vec<f64>) -> ModeResult {
-    let requests = latencies_us.len() as u64;
+fn summarize(mode: &'static str, clients: usize, wall_s: f64, per_client: &[Vec<f64>]) -> ModeResult {
+    let pooled: Vec<f64> = per_client.iter().flatten().copied().collect();
+    let max_client_p99_us = per_client
+        .iter()
+        .filter(|lat| !lat.is_empty())
+        .map(|lat| percentile(lat, 0.99))
+        .fold(0.0f64, f64::max);
+    let requests = pooled.len() as u64;
     ModeResult {
         mode,
         clients,
         requests,
         wall_s,
         rps: requests as f64 / wall_s,
-        p50_us: percentile(&latencies_us, 0.50),
-        p99_us: percentile(&latencies_us, 0.99),
+        p50_us: percentile(&pooled, 0.50),
+        p99_us: percentile(&pooled, 0.99),
+        max_client_p99_us,
+        slo: None,
     }
 }
 
 /// Drives `clients` threads, each performing `iters` round-robin requests
 /// over the corpus through `request(matrix_index, client) -> latency_us`.
+/// Latencies stay per-client so tails can be percentiled per clock.
 fn drive_clients(
     clients: usize,
     iters: usize,
     n_matrices: usize,
     request: impl Fn(usize, usize) -> f64 + Sync,
-) -> (f64, Vec<f64>) {
+) -> (f64, Vec<Vec<f64>>) {
     let t0 = Instant::now();
     let per_client: Vec<Vec<f64>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
@@ -117,12 +152,108 @@ fn drive_clients(
             .collect();
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
     });
-    (t0.elapsed().as_secs_f64(), per_client.into_iter().flatten().collect())
+    (t0.elapsed().as_secs_f64(), per_client)
+}
+
+struct IngressOutcome {
+    wall_s: f64,
+    per_client: Vec<Vec<f64>>,
+    shed: u64,
+    coalescing_ratio: f64,
+}
+
+/// Client-fleet shape for one ingress mode.
+struct IngressDrive {
+    clients: usize,
+    iters: usize,
+    burst: usize,
+    slo: Duration,
+}
+
+/// Drives the same client fleet through an [`Ingress`] front door: each
+/// client submits bursts of `burst` requests (matrix index from
+/// `pick(request_index, client)`), then waits the burst out, timing every
+/// request from submission to ticket resolution on its own clock.
+/// Backpressured requests produce no latency sample; they are counted in
+/// the `shed` column instead.
+fn drive_ingress(
+    service: &Arc<OracleService<RunFirstTuner>>,
+    handles: &[MatrixHandle<f64>],
+    inputs: &[Vec<f64>],
+    drive: &IngressDrive,
+    pick: impl Fn(usize, usize) -> usize + Sync,
+) -> IngressOutcome {
+    let &IngressDrive { clients, iters, burst, slo } = drive;
+    let cfg =
+        IngressConfig { default_slo: Some(slo), tenant_quota: burst.max(1) * 4, ..IngressConfig::default() };
+    let ingress = Ingress::start(Arc::clone(service), cfg);
+    let t0 = Instant::now();
+    let per_client: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..clients)
+            .map(|c| {
+                let (ingress, pick) = (&ingress, &pick);
+                s.spawn(move || {
+                    let tenant = format!("client-{c}");
+                    let mut lat = Vec::with_capacity(iters);
+                    let mut i = 0usize;
+                    while i < iters {
+                        let b = burst.max(1).min(iters - i);
+                        let mut pending: Vec<(Instant, Ticket<f64>)> = Vec::with_capacity(b);
+                        for j in 0..b {
+                            let mi = pick(i + j, c);
+                            let t = Instant::now();
+                            match ingress.submit(&tenant, &handles[mi], inputs[mi].clone()) {
+                                Ok(ticket) => pending.push((t, ticket)),
+                                Err(IngressError::Backpressure(_)) => {} // counted via stats
+                                Err(e) => panic!("ingress submit: {e}"),
+                            }
+                        }
+                        for (t, ticket) in pending {
+                            match ticket.wait() {
+                                Ok(y) => {
+                                    std::hint::black_box(&y);
+                                    lat.push(t.elapsed().as_secs_f64() * 1e6);
+                                }
+                                Err(IngressError::Backpressure(_)) => {} // counted via stats
+                                Err(e) => panic!("ingress wait: {e}"),
+                            }
+                        }
+                        i += b;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        joins.into_iter().map(|h| h.join().expect("ingress client")).collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = ingress.stats();
+    IngressOutcome {
+        wall_s,
+        per_client,
+        shed: stats.shed_deadline + stats.shed_shutdown + stats.rejected_queue_full + stats.rejected_quota,
+        coalescing_ratio: stats.coalescing_ratio(),
+    }
+}
+
+fn with_slo(mut r: ModeResult, slo: Duration, outcome: &IngressOutcome) -> ModeResult {
+    let slo_us = slo.as_secs_f64() * 1e6;
+    let total: usize = outcome.per_client.iter().map(Vec::len).sum();
+    let under: usize = outcome.per_client.iter().flatten().filter(|&&lat_us| lat_us <= slo_us).count();
+    r.slo = Some(SloColumns {
+        slo_us,
+        under_slo_ratio: if total == 0 { 0.0 } else { under as f64 / total as f64 },
+        p99_under_slo: r.p99_us <= slo_us,
+        coalescing_ratio: outcome.coalescing_ratio,
+        shed: outcome.shed,
+    });
+    r
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let ingress_modes = args.iter().any(|a| a == "--ingress");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -140,6 +271,8 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
     let client_counts = [1usize, 2, 4];
+    let slo = Duration::from_millis(25);
+    let coalesce_burst = 4usize;
 
     let cases = corpus(smoke);
     let matrices: Vec<DynamicMatrix<f64>> =
@@ -160,7 +293,7 @@ fn main() {
             service.tune_and_spmv(&mut fresh, x, &mut y).expect("tune");
             lat.push(t.elapsed().as_secs_f64() * 1e6);
         }
-        results.push(summarize("cold_percall", 1, t0.elapsed().as_secs_f64(), lat));
+        results.push(summarize("cold_percall", 1, t0.elapsed().as_secs_f64(), &[lat]));
     }
     let register_cost_us: Vec<(String, f64)> = {
         let service = build_service(workers);
@@ -213,7 +346,7 @@ fn main() {
                 t.elapsed().as_secs_f64() * 1e6
             })
         };
-        results.push(summarize("warm_percall", clients, wall, lat));
+        results.push(summarize("warm_percall", clients, wall, &lat));
 
         // Warm registered: zero-lock handle executions into per-client
         // output buffers.
@@ -236,7 +369,33 @@ fn main() {
                 t.elapsed().as_secs_f64() * 1e6
             })
         };
-        results.push(summarize("warm_registered", clients, wall, lat));
+        results.push(summarize("warm_registered", clients, wall, &lat));
+
+        if ingress_modes {
+            // Warm ingress: the registered offset workload, one request at
+            // a time per client, through the front door — the apples-to-
+            // apples p99 comparison against warm_registered. Coalescing
+            // here only happens when clients collide on a handle.
+            let n = matrices.len();
+            let drive = IngressDrive { clients, iters: warm_iters, burst: 1, slo };
+            let outcome = drive_ingress(&service, &handles, &inputs, &drive, |i, c| (i + c) % n);
+            results.push(with_slo(
+                summarize("warm_ingress", clients, outcome.wall_s, &outcome.per_client),
+                slo,
+                &outcome,
+            ));
+
+            // Ingress coalesce: every request targets the same handle and
+            // clients submit in bursts — the traffic shape the coalescer
+            // converts into single planned SpMM executions.
+            let drive = IngressDrive { clients, iters: warm_iters, burst: coalesce_burst, slo };
+            let outcome = drive_ingress(&service, &handles, &inputs, &drive, |_, _| 0);
+            results.push(with_slo(
+                summarize("ingress_coalesce", clients, outcome.wall_s, &outcome.per_client),
+                slo,
+                &outcome,
+            ));
+        }
     }
 
     // ---- report ----
@@ -251,14 +410,35 @@ fn main() {
     }
     println!();
     println!(
-        "{:<16} {:>8} {:>10} {:>10} {:>12} {:>10} {:>10}",
-        "mode", "clients", "requests", "wall_s", "req/s", "p50_us", "p99_us"
+        "{:<16} {:>8} {:>10} {:>10} {:>12} {:>10} {:>10} {:>12}",
+        "mode", "clients", "requests", "wall_s", "req/s", "p50_us", "p99_us", "maxcl_p99"
     );
     for r in &results {
         println!(
-            "{:<16} {:>8} {:>10} {:>10.4} {:>12.0} {:>10.1} {:>10.1}",
-            r.mode, r.clients, r.requests, r.wall_s, r.rps, r.p50_us, r.p99_us
+            "{:<16} {:>8} {:>10} {:>10.4} {:>12.0} {:>10.1} {:>10.1} {:>12.1}",
+            r.mode, r.clients, r.requests, r.wall_s, r.rps, r.p50_us, r.p99_us, r.max_client_p99_us
         );
+    }
+    if results.iter().any(|r| r.slo.is_some()) {
+        println!();
+        println!(
+            "{:<16} {:>8} {:>10} {:>12} {:>12} {:>12} {:>8}",
+            "ingress mode", "clients", "slo_ms", "under_slo", "p99<slo", "coal_ratio", "shed"
+        );
+        for r in &results {
+            if let Some(slo) = &r.slo {
+                println!(
+                    "{:<16} {:>8} {:>10.1} {:>11.1}% {:>12} {:>11.1}% {:>8}",
+                    r.mode,
+                    r.clients,
+                    slo.slo_us / 1e3,
+                    slo.under_slo_ratio * 100.0,
+                    if slo.p99_under_slo { "yes" } else { "NO" },
+                    slo.coalescing_ratio * 100.0,
+                    slo.shed
+                );
+            }
+        }
     }
     println!();
     let speedup_at = |clients: usize| -> Option<f64> {
@@ -271,14 +451,30 @@ fn main() {
             println!("warm registered vs per-call throughput at {c} client(s): {s:.2}x");
         }
     }
+    if ingress_modes {
+        // Same offset workload on both sides: the only difference is the
+        // front door.
+        for &c in &client_counts {
+            let reg = results.iter().find(|r| r.mode == "warm_registered" && r.clients == c);
+            let ing = results.iter().find(|r| r.mode == "warm_ingress" && r.clients == c);
+            if let (Some(reg), Some(ing)) = (reg, ing) {
+                println!(
+                    "warm_ingress vs warm_registered p99 at {c} client(s): {:.1} vs {:.1} us",
+                    ing.p99_us, reg.p99_us
+                );
+            }
+        }
+    }
 
     // ---- snapshot ----
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_serve/v1\",\n");
+    json.push_str("  \"schema\": \"bench_serve/v2\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"ingress\": {ingress_modes},\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
     json.push_str(&format!("  \"warm_iters_per_client\": {warm_iters},\n"));
+    json.push_str(&format!("  \"slo_us\": {:.1},\n", slo.as_secs_f64() * 1e6));
     json.push_str(&format!(
         "  \"corpus\": [{}],\n",
         cases
@@ -304,18 +500,20 @@ fn main() {
     }
     json.push_str("  \"modes\": [\n");
     for (i, r) in results.iter().enumerate() {
-        json.push_str(&format!(
+        let mut entry = format!(
             "    {{\"mode\": \"{}\", \"clients\": {}, \"requests\": {}, \"wall_s\": {:.6}, \
-             \"rps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{}\n",
-            r.mode,
-            r.clients,
-            r.requests,
-            r.wall_s,
-            r.rps,
-            r.p50_us,
-            r.p99_us,
-            if i + 1 < results.len() { "," } else { "" }
-        ));
+             \"rps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"max_client_p99_us\": {:.2}",
+            r.mode, r.clients, r.requests, r.wall_s, r.rps, r.p50_us, r.p99_us, r.max_client_p99_us
+        );
+        if let Some(slo) = &r.slo {
+            entry.push_str(&format!(
+                ", \"slo_us\": {:.1}, \"under_slo_ratio\": {:.4}, \"p99_under_slo\": {}, \
+                 \"coalescing_ratio\": {:.4}, \"shed\": {}",
+                slo.slo_us, slo.under_slo_ratio, slo.p99_under_slo, slo.coalescing_ratio, slo.shed
+            ));
+        }
+        entry.push_str(&format!("}}{}\n", if i + 1 < results.len() { "," } else { "" }));
+        json.push_str(&entry);
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, json).expect("write snapshot");

@@ -65,6 +65,11 @@ pub struct ThreadPool {
     /// Number of `run_on_all` batches currently submitted and not yet
     /// completed — the advisory busy signal behind [`ThreadPool::is_busy`].
     inflight: AtomicUsize,
+    /// Jobs sent to the worker channel and not yet picked up — the advisory
+    /// backlog gauge behind [`ThreadPool::queued_jobs`]. Shared with the
+    /// workers, which decrement it on dequeue (the vendored channel exposes
+    /// no length).
+    queued: Arc<AtomicUsize>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -78,13 +83,16 @@ impl ThreadPool {
     pub fn new(n_threads: usize) -> Self {
         let n_threads = n_threads.max(1);
         let (sender, receiver) = unbounded::<Job>();
+        let queued = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(n_threads);
         for w in 0..n_threads {
             let rx = receiver.clone();
+            let backlog = Arc::clone(&queued);
             let handle = std::thread::Builder::new()
                 .name(format!("morpheus-worker-{w}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        backlog.fetch_sub(1, Ordering::Relaxed);
                         IN_WORKER.with(|f| f.set(true));
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             (job.func)(job.worker_index);
@@ -99,7 +107,7 @@ impl ThreadPool {
                 .expect("failed to spawn morpheus worker thread");
             handles.push(handle);
         }
-        ThreadPool { sender: Some(sender), handles, n_threads, inflight: AtomicUsize::new(0) }
+        ThreadPool { sender: Some(sender), handles, n_threads, inflight: AtomicUsize::new(0), queued }
     }
 
     /// Number of worker threads in the pool.
@@ -111,6 +119,17 @@ impl ThreadPool {
     /// yet completed (nested regions run inline and are not counted).
     pub fn inflight(&self) -> usize {
         self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Jobs submitted to the worker channel and not yet dequeued by a
+    /// worker — an *advisory* backlog depth to pair with
+    /// [`ThreadPool::inflight`]. `inflight` says how many client batches
+    /// are outstanding; `queued_jobs` says how much of that work is still
+    /// waiting for a worker (saturated pool) rather than executing. Like
+    /// `is_busy`, the value is racy by nature and suitable only for
+    /// admission/backpressure heuristics and telemetry, never correctness.
+    pub fn queued_jobs(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
     }
 
     /// `true` while at least one client's batch is executing or queued — an
@@ -143,6 +162,9 @@ impl ThreadPool {
         let panicked = Arc::new(AtomicBool::new(false));
         let sender = self.sender.as_ref().expect("pool already shut down");
         for w in 0..self.n_threads {
+            // Count before the send so a worker's decrement cannot land
+            // first and underflow the gauge.
+            self.queued.fetch_add(1, Ordering::Relaxed);
             sender
                 .send(Job {
                     func: f_static,
@@ -625,6 +647,39 @@ mod tests {
         });
         assert!(observed_busy.load(Ordering::SeqCst));
         assert!(!pool.is_busy(), "signal must clear once the batch completes");
+    }
+
+    #[test]
+    fn queued_jobs_gauge_tracks_channel_backlog() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.queued_jobs(), 0);
+        // Occupy both workers, then submit a second batch from another
+        // thread: its two jobs must sit in the channel (visible via the
+        // gauge) until the first batch releases the workers.
+        let gate = std::sync::Barrier::new(3);
+        std::thread::scope(|s| {
+            let (pool, gate) = (&pool, &gate);
+            s.spawn(move || {
+                pool.run_on_all(&|_| {
+                    gate.wait();
+                });
+            });
+            // Wait until both workers are parked inside the first batch
+            // (the gauge drains to 0 as they dequeue their jobs).
+            while pool.inflight() == 0 || pool.queued_jobs() > 0 {
+                std::thread::yield_now();
+            }
+            s.spawn(move || {
+                pool.run_on_all(&|_| {});
+            });
+            while pool.queued_jobs() < 2 {
+                std::thread::yield_now();
+            }
+            assert_eq!(pool.queued_jobs(), 2, "second batch must be backlogged");
+            gate.wait(); // release the first batch; everything drains
+        });
+        assert_eq!(pool.queued_jobs(), 0, "gauge must drain with the backlog");
+        assert!(!pool.is_busy());
     }
 
     #[test]

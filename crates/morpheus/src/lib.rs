@@ -74,7 +74,7 @@ pub use error::MorpheusError;
 pub use format::FormatId;
 pub use hdc::HdcMatrix;
 pub use hyb::{HybMatrix, HybSplit};
-pub use plan::{ExecPlan, Workspace};
+pub use plan::{BatchWorkspace, ExecPlan, Workspace};
 pub use rowmajor::for_each_entry_row_major;
 pub use scalar::Scalar;
 pub use stats::MatrixStats;

@@ -116,6 +116,94 @@ impl<V: Scalar> Workspace<V> {
     }
 }
 
+/// Gather/scatter scratch for coalescing `k` same-matrix SpMV requests
+/// into one SpMM execution.
+///
+/// The batched serving path collects `k` queued right-hand sides for one
+/// matrix, packs them into the row-major `ncols x k` block that
+/// [`ExecPlan::spmm`] expects (`X[i*k + j] = column_j[i]`), executes once,
+/// and unpacks row-major `nrows x k` results back into per-request output
+/// vectors. Both blocks live here and grow to the largest batch they have
+/// carried, so a steady-state coalescing loop allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct BatchWorkspace<V: Scalar> {
+    x: Vec<V>,
+    y: Vec<V>,
+    nrows: usize,
+    k: usize,
+}
+
+impl<V: Scalar> BatchWorkspace<V> {
+    /// An empty batch workspace; the first batch sizes it.
+    pub fn new() -> Self {
+        BatchWorkspace::default()
+    }
+
+    /// Combined capacity of the gather and scatter blocks in elements
+    /// (allocation telemetry for zero-allocation tests).
+    pub fn capacity(&self) -> usize {
+        self.x.capacity() + self.y.capacity()
+    }
+
+    /// Gathers `columns` (one equal-length input vector per coalesced
+    /// request) into the row-major `ncols x k` block, sizes the output
+    /// block to `nrows x k`, and runs `exec(x_block, y_block)` — typically
+    /// a closure over [`ExecPlan::spmm`]. The results stay in the
+    /// workspace for [`BatchWorkspace::scatter_into`] /
+    /// [`BatchWorkspace::column`].
+    ///
+    /// Fails with [`MorpheusError::ShapeMismatch`] if the columns disagree
+    /// in length or the batch is empty; `exec` errors propagate unchanged.
+    pub fn run(
+        &mut self,
+        nrows: usize,
+        columns: &[&[V]],
+        exec: impl FnOnce(&[V], &mut [V]) -> Result<()>,
+    ) -> Result<()> {
+        let k = columns.len();
+        let ncols = columns.first().map(|c| c.len()).ok_or_else(|| MorpheusError::ShapeMismatch {
+            expected: "at least one right-hand side".into(),
+            got: "an empty batch".into(),
+        })?;
+        if let Some(bad) = columns.iter().find(|c| c.len() != ncols) {
+            return Err(MorpheusError::ShapeMismatch {
+                expected: format!("every column of length {ncols}"),
+                got: format!("a column of length {}", bad.len()),
+            });
+        }
+        self.x.resize(ncols * k, V::ZERO);
+        for (j, col) in columns.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                self.x[i * k + j] = v;
+            }
+        }
+        self.y.resize(nrows * k, V::ZERO);
+        self.nrows = nrows;
+        self.k = k;
+        exec(&self.x[..ncols * k], &mut self.y[..nrows * k])
+    }
+
+    /// Copies result column `j` (request `j`'s `y = A x_j`) of the most
+    /// recent [`BatchWorkspace::run`] into `out`, replacing its contents.
+    ///
+    /// # Panics
+    /// If `j` is not a column of the last batch.
+    pub fn scatter_into(&self, j: usize, out: &mut Vec<V>) {
+        out.clear();
+        out.extend(self.column(j));
+    }
+
+    /// Iterates result column `j` of the most recent batch (strided view
+    /// of the row-major `nrows x k` output block).
+    ///
+    /// # Panics
+    /// If `j` is not a column of the last batch.
+    pub fn column(&self, j: usize) -> impl Iterator<Item = V> + '_ {
+        assert!(j < self.k, "column {j} out of range for a batch of {}", self.k);
+        (0..self.nrows).map(move |i| self.y[i * self.k + j])
+    }
+}
+
 /// Per-format precomputed ranges.
 #[derive(Debug, Clone)]
 enum Parts {
@@ -661,6 +749,39 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn batch_workspace_coalesced_spmm_matches_per_request_spmv_bitwise() {
+        let pool = ThreadPool::new(3);
+        let m = DynamicMatrix::from(random_coo::<f64>(70, 60, 700, 13));
+        let plan = ExecPlan::build(&m, pool.num_threads(), None);
+        let k = 4usize;
+        let columns: Vec<Vec<f64>> =
+            (0..k).map(|j| (0..60).map(|i| 0.25 + ((i * (j + 2) + 1) % 9) as f64 - 4.0).collect()).collect();
+        let refs: Vec<&[f64]> = columns.iter().map(|c| c.as_slice()).collect();
+
+        let mut bw = BatchWorkspace::new();
+        bw.run(70, &refs, |x, y| plan.spmm(&m, x, y, k, &pool)).unwrap();
+
+        let mut out = Vec::new();
+        for (j, col) in columns.iter().enumerate() {
+            let mut y_ref = vec![f64::NAN; 70];
+            plan.spmv(&m, col, &mut y_ref, &pool).unwrap();
+            bw.scatter_into(j, &mut out);
+            assert!(bitwise_eq(&out, &y_ref), "column {j}");
+        }
+
+        // Steady state: a same-shape batch must not grow the blocks.
+        let cap = bw.capacity();
+        bw.run(70, &refs, |x, y| plan.spmm(&m, x, y, k, &pool)).unwrap();
+        assert_eq!(bw.capacity(), cap, "same-shape batch must reuse the blocks");
+
+        // Ragged and empty batches are shape errors, not silent truncation.
+        let short = vec![1.0f64; 59];
+        let ragged: Vec<&[f64]> = vec![&columns[0], &short];
+        assert!(matches!(bw.run(70, &ragged, |_, _| Ok(())), Err(MorpheusError::ShapeMismatch { .. })));
+        assert!(matches!(bw.run(70, &[], |_, _| Ok(())), Err(MorpheusError::ShapeMismatch { .. })));
     }
 
     #[test]

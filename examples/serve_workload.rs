@@ -73,9 +73,24 @@ fn main() {
     // The mock request loop: every client hammers the shared service.
     // Most requests ride a registered handle; every 16th is a per-call
     // tune of a fresh structurally-identical matrix, exercising the
-    // decision cache instead.
+    // decision cache instead. A sampler thread watches the pool's
+    // queue-depth gauge while the clients run: nonzero peaks mean threaded
+    // executions were backlogged behind each other (the pressure that also
+    // drives `pool_busy_fallbacks`).
+    let peak_queued = AtomicU64::new(0);
     let t0 = Instant::now();
     std::thread::scope(|s| {
+        {
+            let service = Arc::clone(&service);
+            let (served, tuned, peak_queued) = (&served, &tuned, &peak_queued);
+            let expected = (clients * requests_per_client) as u64;
+            s.spawn(move || {
+                while served.load(Ordering::Relaxed) + tuned.load(Ordering::Relaxed) < expected {
+                    peak_queued.fetch_max(service.serve_stats().pool_queued_jobs, Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+            });
+        }
         for c in 0..clients {
             let service = Arc::clone(&service);
             let (handles, inputs, matrices) = (&handles, &inputs, &matrices);
@@ -104,14 +119,19 @@ fn main() {
     let wall = t0.elapsed().as_secs_f64();
 
     let total = served.load(Ordering::Relaxed) + tuned.load(Ordering::Relaxed);
-    let stats = service.serve_stats();
-    let decisions = service.cache_stats();
-    let plans = service.plan_cache_stats();
+    // One coherent snapshot instead of racing four accessors.
+    let snap = service.snapshot();
+    let (stats, decisions, plans) = (snap.serve, snap.decisions, snap.plans);
     println!("{clients} client(s) x {requests_per_client} requests: {total} served in {wall:.3} s");
     println!("  throughput:        {:>10.0} req/s", total as f64 / wall);
     println!("  handle requests:   {:>10}", stats.handle_requests);
     println!("  per-call tunes:    {:>10}", tuned.load(Ordering::Relaxed));
     println!("  busy fallbacks:    {:>10}", stats.pool_busy_fallbacks);
+    println!(
+        "  pool queue depth:  {:>10} jobs now / {} peak observed",
+        stats.pool_queued_jobs,
+        peak_queued.load(Ordering::Relaxed)
+    );
     println!(
         "  decision cache:    {:>10.1}% hit rate ({} hits / {} lookups)",
         decisions.hit_rate() * 100.0,

@@ -1,0 +1,349 @@
+//! Integration tests for the async batched ingress layer: coalesced SpMM
+//! executions must be bitwise identical to individual planned SpMVs across
+//! every storage format and scalar width, deadline-shed requests must
+//! surface typed backpressure and never partial results, and per-tenant
+//! admission must keep a greedy tenant from starving the rest.
+//!
+//! Determinism: every test pauses the ingress before submitting, so the
+//! pump drains one exactly-known batch when resumed — coalescing windows
+//! are constructed, not raced for.
+
+use morpheus_repro::machine::{systems, Backend, MatrixAnalysis, Op, VirtualEngine};
+use morpheus_repro::morpheus::format::FormatId;
+use morpheus_repro::morpheus::{CooMatrix, DynamicMatrix, Scalar};
+use morpheus_repro::oracle::adapt::{CollectorConfig, SampleCollector};
+use morpheus_repro::oracle::{
+    Backpressure, CoalescePolicy, FormatTuner, Ingress, IngressConfig, IngressError, Oracle, OracleService,
+    RunFirstTuner, TuneDecision, TuningCost,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn workers() -> usize {
+    std::env::var("MORPHEUS_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+}
+
+/// Always selects one fixed format, so the property test can pin each of
+/// the six storage formats in turn.
+#[derive(Clone, Copy)]
+struct Fixed(FormatId);
+
+impl<V: Scalar> FormatTuner<V> for Fixed {
+    fn name(&self) -> &'static str {
+        "fixed-format"
+    }
+    fn select(&self, _: &DynamicMatrix<V>, _: &MatrixAnalysis, _: &VirtualEngine, op: Op) -> TuneDecision {
+        TuneDecision { format: self.0, op, cost: TuningCost::default() }
+    }
+}
+
+fn fixed_service(fmt: FormatId) -> Arc<OracleService<Fixed>> {
+    Arc::new(
+        Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(Fixed(fmt))
+            .workers(workers())
+            .build_service()
+            .unwrap(),
+    )
+}
+
+/// A small banded matrix with every stored value nonzero and distinct, so
+/// bitwise comparisons are meaningful and convertible to all six formats.
+fn banded_triplets(n: usize) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        for d in [-2isize, 0, 1] {
+            let j = i as isize + d;
+            if j >= 0 && (j as usize) < n {
+                rows.push(i);
+                cols.push(j as usize);
+                vals.push(0.5 + ((i * 7 + j as usize * 3) % 19) as f64 * 0.125);
+            }
+        }
+    }
+    (rows, cols, vals)
+}
+
+fn matrix_f64(n: usize) -> DynamicMatrix<f64> {
+    let (rows, cols, vals) = banded_triplets(n);
+    DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap())
+}
+
+fn matrix_f32(n: usize) -> DynamicMatrix<f32> {
+    let (rows, cols, vals) = banded_triplets(n);
+    let vals32: Vec<f32> = vals.iter().map(|&v| v as f32).collect();
+    DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals32).unwrap())
+}
+
+/// The j-th client's input vector: nonzero everywhere, distinct per client.
+fn input(n: usize, client: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.25 + ((i * 13 + client * 31) % 29) as f64 * 0.5).collect()
+}
+
+fn assert_bitwise_f64(got: &[f64], expect: &[f64], ctx: &str) {
+    assert_eq!(got.len(), expect.len(), "{ctx}: length");
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(g.to_bits(), e.to_bits(), "{ctx}: row {i}: got {g}, expected {e}");
+    }
+}
+
+fn assert_bitwise_f32(got: &[f32], expect: &[f32], ctx: &str) {
+    assert_eq!(got.len(), expect.len(), "{ctx}: length");
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(g.to_bits(), e.to_bits(), "{ctx}: row {i}: got {g}, expected {e}");
+    }
+}
+
+/// Spin until `cond` holds (the pump drops request state slightly after it
+/// resolves tickets; quota release is on that drop).
+fn eventually(cond: impl Fn() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn coalesced_spmm_is_bitwise_identical_to_planned_spmv_across_formats_and_scalars() {
+    const FORMATS: [FormatId; 6] =
+        [FormatId::Coo, FormatId::Csr, FormatId::Dia, FormatId::Ell, FormatId::Hyb, FormatId::Hdc];
+    let n = 120usize;
+    for fmt in FORMATS {
+        let service = fixed_service(fmt);
+        let h64 = service.register(matrix_f64(n)).unwrap();
+        let h32 = service.register(matrix_f32(n)).unwrap();
+        assert_eq!(h64.format_id(), fmt, "f64 handle must realize the pinned format");
+        assert_eq!(h32.format_id(), fmt, "f32 handle must realize the pinned format");
+
+        // References through the direct (uncontended, planned) handle path.
+        let xs64: Vec<Vec<f64>> = (0..4).map(|c| input(n, c)).collect();
+        let xs32: Vec<Vec<f32>> = (4..7).map(|c| input(n, c).iter().map(|&v| v as f32).collect()).collect();
+        let refs64: Vec<Vec<f64>> = xs64
+            .iter()
+            .map(|x| {
+                let mut y = vec![0.0f64; n];
+                service.spmv(&h64, x, &mut y).unwrap();
+                y
+            })
+            .collect();
+        let refs32: Vec<Vec<f32>> = xs32
+            .iter()
+            .map(|x| {
+                let mut y = vec![0.0f32; n];
+                service.spmv(&h32, x, &mut y).unwrap();
+                y
+            })
+            .collect();
+
+        let cfg = IngressConfig { coalesce: CoalescePolicy::Always, ..IngressConfig::default() };
+        let ingress = Ingress::start(Arc::clone(&service), cfg);
+        ingress.pause();
+        let t64: Vec<_> =
+            xs64.iter().map(|x| ingress.submit("sixty-four", &h64, x.clone()).unwrap()).collect();
+        let t32: Vec<_> =
+            xs32.iter().map(|x| ingress.submit("thirty-two", &h32, x.clone()).unwrap()).collect();
+        ingress.resume();
+
+        for (c, t) in t64.into_iter().enumerate() {
+            let y = t.wait().unwrap_or_else(|e| panic!("{fmt:?} f64 client {c}: {e}"));
+            assert_bitwise_f64(&y, &refs64[c], &format!("{fmt:?} f64 client {c}"));
+        }
+        for (c, t) in t32.into_iter().enumerate() {
+            let y = t.wait().unwrap_or_else(|e| panic!("{fmt:?} f32 client {c}: {e}"));
+            assert_bitwise_f32(&y, &refs32[c], &format!("{fmt:?} f32 client {c}"));
+        }
+
+        let stats = ingress.stats();
+        assert_eq!(stats.completed, 7, "{fmt:?}: all seven requests must complete");
+        assert_eq!(stats.coalesced_requests, 7, "{fmt:?}: every request must ride a coalesced SpMM");
+        assert_eq!(stats.coalesced_batches, 2, "{fmt:?}: one f64 batch and one f32 batch");
+        assert_eq!(stats.direct_requests, 0, "{fmt:?}");
+        assert_eq!(stats.failed, 0, "{fmt:?}");
+        assert!((stats.coalescing_ratio() - 1.0).abs() < f64::EPSILON, "{fmt:?}");
+    }
+}
+
+#[test]
+fn coalesce_never_policy_serves_every_request_as_direct_spmv() {
+    let service = fixed_service(FormatId::Csr);
+    let n = 80usize;
+    let h = service.register(matrix_f64(n)).unwrap();
+    let xs: Vec<Vec<f64>> = (0..3).map(|c| input(n, c)).collect();
+    let refs: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| {
+            let mut y = vec![0.0f64; n];
+            service.spmv(&h, x, &mut y).unwrap();
+            y
+        })
+        .collect();
+
+    let cfg = IngressConfig { coalesce: CoalescePolicy::Never, ..IngressConfig::default() };
+    let ingress = Ingress::start(Arc::clone(&service), cfg);
+    ingress.pause();
+    let tickets: Vec<_> = xs.iter().map(|x| ingress.submit("t", &h, x.clone()).unwrap()).collect();
+    ingress.resume();
+    for (c, t) in tickets.into_iter().enumerate() {
+        assert_bitwise_f64(&t.wait().unwrap(), &refs[c], &format!("direct client {c}"));
+    }
+    let stats = ingress.stats();
+    assert_eq!(stats.direct_requests, 3);
+    assert_eq!(stats.coalesced_batches, 0);
+    assert_eq!(stats.coalescing_ratio(), 0.0);
+}
+
+#[test]
+fn expired_deadlines_shed_with_typed_backpressure_and_no_partial_results() {
+    let service = fixed_service(FormatId::Csr);
+    let n = 60usize;
+    let h = service.register(matrix_f64(n)).unwrap();
+    let executed_before = service.serve_stats().handle_requests;
+
+    let ingress = Ingress::start(Arc::clone(&service), IngressConfig::default());
+    ingress.pause();
+    // Already expired when the pump will look at it (expiry is inclusive).
+    let doomed = ingress.submit_with_deadline("t", &h, input(n, 0), Instant::now()).unwrap();
+    // No deadline: must execute normally in the same drained batch.
+    let healthy = ingress.submit("t", &h, input(n, 1)).unwrap();
+    ingress.resume();
+
+    match doomed.wait() {
+        Err(IngressError::Backpressure(Backpressure::DeadlineExpired)) => {}
+        other => panic!("shed request must surface DeadlineExpired, got {other:?}"),
+    }
+    let y = healthy.wait().expect("undeadlined request must execute");
+    let mut y_ref = vec![0.0f64; n];
+    service.spmv(&h, &input(n, 1), &mut y_ref).unwrap();
+    assert_bitwise_f64(&y, &y_ref, "healthy request");
+
+    let stats = ingress.stats();
+    assert_eq!(stats.shed_deadline, 1);
+    assert_eq!(stats.completed, 1);
+    // The shed request never reached a kernel: only the healthy request
+    // (plus the reference above) count as handle executions.
+    assert_eq!(service.serve_stats().handle_requests, executed_before + 2);
+}
+
+#[test]
+fn greedy_tenant_hits_its_quota_without_blocking_other_tenants() {
+    let service = fixed_service(FormatId::Csr);
+    let n = 50usize;
+    let h = service.register(matrix_f64(n)).unwrap();
+
+    let cfg = IngressConfig { tenant_quota: 16, ..IngressConfig::default() }.with_tenant_quota("greedy", 3);
+    let ingress = Ingress::start(Arc::clone(&service), cfg);
+    ingress.pause();
+
+    let greedy: Vec<_> = (0..3).map(|c| ingress.submit("greedy", &h, input(n, c)).unwrap()).collect();
+    assert_eq!(ingress.tenant_inflight("greedy"), 3);
+    match ingress.submit("greedy", &h, input(n, 9)) {
+        Err(IngressError::Backpressure(Backpressure::TenantQuota { limit: 3 })) => {}
+        other => panic!("over-quota submission must be refused, got {other:?}"),
+    }
+    // The refusal of the greedy tenant must not consume anyone's capacity.
+    let modest = ingress.submit("modest", &h, input(n, 4)).unwrap();
+    assert_eq!(ingress.tenant_inflight("modest"), 1);
+
+    ingress.resume();
+    for t in greedy {
+        t.wait().expect("admitted greedy requests still execute");
+    }
+    modest.wait().expect("modest tenant must not be starved");
+
+    // Quota slots release once the pump retires the requests.
+    eventually(|| ingress.tenant_inflight("greedy") == 0, "greedy quota release");
+    ingress.submit("greedy", &h, input(n, 5)).unwrap().wait().unwrap();
+
+    let stats = ingress.stats();
+    assert_eq!(stats.rejected_quota, 1);
+    assert_eq!(stats.completed, 5);
+}
+
+#[test]
+fn full_queue_refuses_with_queue_full_and_admits_again_after_draining() {
+    let service = fixed_service(FormatId::Csr);
+    let n = 40usize;
+    let h = service.register(matrix_f64(n)).unwrap();
+
+    let cfg = IngressConfig { queue_capacity: 2, ..IngressConfig::default() };
+    let ingress = Ingress::start(Arc::clone(&service), cfg);
+    ingress.pause();
+    let a = ingress.submit("t", &h, input(n, 0)).unwrap();
+    let b = ingress.submit("t", &h, input(n, 1)).unwrap();
+    assert_eq!(ingress.stats().queue_depth, 2);
+    match ingress.submit("t", &h, input(n, 2)) {
+        Err(IngressError::Backpressure(Backpressure::QueueFull { capacity: 2 })) => {}
+        other => panic!("overflow must be refused, got {other:?}"),
+    }
+    ingress.resume();
+    a.wait().unwrap();
+    b.wait().unwrap();
+    // Capacity is available again once drained.
+    ingress.submit("t", &h, input(n, 3)).unwrap().wait().unwrap();
+    assert_eq!(ingress.stats().rejected_queue_full, 1);
+}
+
+#[test]
+fn mismatched_input_length_is_rejected_at_submission() {
+    let service = fixed_service(FormatId::Csr);
+    let h = service.register(matrix_f64(30)).unwrap();
+    let ingress = Ingress::start(Arc::clone(&service), IngressConfig::default());
+    match ingress.submit("t", &h, vec![1.0f64; 7]) {
+        Err(IngressError::Rejected(msg)) => assert!(msg.contains("30"), "{msg}"),
+        other => panic!("length mismatch must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn coalesced_executions_are_timestamped_into_spmm_telemetry() {
+    let collector = Arc::new(SampleCollector::new(CollectorConfig::default()));
+    let service = Arc::new(
+        Oracle::builder()
+            .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+            .tuner(RunFirstTuner::new(1))
+            .collector(Arc::clone(&collector))
+            .workers(workers())
+            .build_service()
+            .unwrap(),
+    );
+    let n = 90usize;
+    let h = service.register(matrix_f64(n)).unwrap();
+
+    let cfg = IngressConfig { coalesce: CoalescePolicy::Always, ..IngressConfig::default() };
+    let ingress = Ingress::start(Arc::clone(&service), cfg);
+    ingress.pause();
+    let tickets: Vec<_> = (0..3).map(|c| ingress.submit("t", &h, input(n, c)).unwrap()).collect();
+    ingress.resume();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+
+    let kernels = collector.telemetry().snapshot();
+    let spmm = kernels
+        .iter()
+        .find(|mk| mk.key.op == (Op::Spmm { k: 3 }))
+        .expect("coalesced execution must be attributed to an Op::Spmm population");
+    assert!(spmm.count >= 1);
+    assert_eq!(spmm.key.scalar_bytes, 8);
+}
+
+#[test]
+fn snapshot_through_ingress_carries_both_service_and_ingress_counters() {
+    let service = fixed_service(FormatId::Csr);
+    let n = 40usize;
+    let h = service.register(matrix_f64(n)).unwrap();
+    let ingress = Ingress::start(Arc::clone(&service), IngressConfig::default());
+    ingress.submit("t", &h, input(n, 0)).unwrap().wait().unwrap();
+
+    let snap = ingress.snapshot();
+    let istats = snap.ingress.expect("ingress snapshot must carry ingress counters");
+    assert_eq!(istats.submitted, 1);
+    assert_eq!(istats.completed, 1);
+    assert!(snap.serve.handle_requests >= 1);
+    // The plain service snapshot does not know about front doors.
+    assert!(service.snapshot().ingress.is_none());
+}
