@@ -24,6 +24,7 @@
 //! in-flight observation that the next snapshot will see.
 
 use morpheus::format::FormatId;
+use morpheus::KernelVariant;
 use morpheus_machine::Op;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -46,12 +47,18 @@ pub struct SampleKey {
     /// Worker threads the execution used (1 for serial kernels and
     /// busy-pool fallbacks).
     pub workers: usize,
+    /// The dominant [`KernelVariant`] of the plan that executed. Two runs
+    /// of the same (matrix, format, op, workers) under different variants
+    /// are different kernels — conflating them would teach retraining the
+    /// average of the scalar and the specialised body.
+    pub variant: KernelVariant,
 }
 
 // Packing layout of the non-structure key fields (bit 63 is a tag so a
 // packed key is never 0, the "free slot" sentinel):
 // [0..3)  format index, [3..27) op (0 = SpMV, k+1 = SpMM{k}, saturating),
-// [27..35) scalar bytes (saturating), [35..51) workers (saturating).
+// [27..35) scalar bytes (saturating), [35..51) workers (saturating),
+// [51..55) kernel variant index.
 const PACK_TAG: u64 = 1 << 63;
 const OP_MASK: u64 = (1 << 24) - 1;
 
@@ -65,6 +72,7 @@ fn pack_meta(key: &SampleKey) -> u64 {
         | (op << 3)
         | ((key.scalar_bytes as u64).min(0xff) << 27)
         | ((key.workers as u64).min(0xffff) << 35)
+        | ((key.variant.index() as u64) << 51)
 }
 
 fn unpack_meta(structure: u64, packed: u64) -> SampleKey {
@@ -75,6 +83,7 @@ fn unpack_meta(structure: u64, packed: u64) -> SampleKey {
         op: if op == 0 { Op::Spmv } else { Op::Spmm { k: (op - 1) as usize } },
         scalar_bytes: ((packed >> 27) & 0xff) as usize,
         workers: ((packed >> 35) & 0xffff) as usize,
+        variant: KernelVariant::from_index(((packed >> 51) & 0xf) as usize).unwrap_or(KernelVariant::Scalar),
     }
 }
 
@@ -279,21 +288,48 @@ mod tests {
     use super::*;
 
     fn key(structure: u64, format: FormatId) -> SampleKey {
-        SampleKey { structure, format, op: Op::Spmv, scalar_bytes: 8, workers: 1 }
+        SampleKey {
+            structure,
+            format,
+            op: Op::Spmv,
+            scalar_bytes: 8,
+            workers: 1,
+            variant: KernelVariant::Scalar,
+        }
     }
 
     #[test]
     fn pack_roundtrips_every_field() {
-        for (fmt, op, scalar, workers) in [
-            (FormatId::Csr, Op::Spmv, 8usize, 1usize),
-            (FormatId::Hdc, Op::Spmm { k: 32 }, 4, 12),
-            (FormatId::Dia, Op::Spmm { k: 1 }, 8, 65535),
+        for (fmt, op, scalar, workers, variant) in [
+            (FormatId::Csr, Op::Spmv, 8usize, 1usize, KernelVariant::Scalar),
+            (FormatId::Hdc, Op::Spmm { k: 32 }, 4, 12, KernelVariant::Unrolled),
+            (FormatId::Dia, Op::Spmm { k: 1 }, 8, 65535, KernelVariant::Blocked),
+            (FormatId::Csr, Op::Spmv, 8, 7, KernelVariant::Prefetch),
         ] {
-            let k = SampleKey { structure: 0xdead_beef, format: fmt, op, scalar_bytes: scalar, workers };
+            let k =
+                SampleKey { structure: 0xdead_beef, format: fmt, op, scalar_bytes: scalar, workers, variant };
             let packed = pack_meta(&k);
             assert_ne!(packed, 0);
             assert_eq!(unpack_meta(k.structure, packed), k);
         }
+    }
+
+    #[test]
+    fn variants_are_distinct_telemetry_populations() {
+        // The same kernel under two variants must aggregate separately —
+        // retraining learns which variant wins per structure class from
+        // exactly this split.
+        let t = Telemetry::new(64);
+        let unrolled = SampleKey { variant: KernelVariant::Unrolled, ..key(42, FormatId::Csr) };
+        t.record(key(42, FormatId::Csr), Duration::from_micros(30));
+        t.record(unrolled, Duration::from_micros(10));
+        t.record(unrolled, Duration::from_micros(12));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        let s = snap.iter().find(|m| m.key.variant == KernelVariant::Scalar).unwrap();
+        let u = snap.iter().find(|m| m.key.variant == KernelVariant::Unrolled).unwrap();
+        assert_eq!((s.count, u.count), (1, 2));
+        assert!(u.min_seconds < s.min_seconds);
     }
 
     #[test]
@@ -357,6 +393,7 @@ mod tests {
                             op: Op::Spmv,
                             scalar_bytes: 8,
                             workers: 1,
+                            variant: KernelVariant::Scalar,
                         };
                         t.record(k, Duration::from_nanos(10));
                     }

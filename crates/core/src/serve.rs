@@ -18,9 +18,11 @@
 //! locks and no caches** and perform **zero per-call allocation** (clients
 //! bring per-thread [`Workspace`]s for the allocating variants), from any
 //! number of client threads. When another client's batch has the thread
-//! pool busy, execution falls back to the bitwise-identical serial kernels
-//! instead of queueing — latency over throughput, per Elafrou et al.'s
-//! observation that runtime overhead decides whether online selection wins.
+//! pool busy, execution falls back to replaying the plan's kernel bodies
+//! inline on the calling thread — bitwise identical to the pooled
+//! execution — instead of queueing: latency over throughput, per Elafrou
+//! et al.'s observation that runtime overhead decides whether online
+//! selection wins.
 //!
 //! ```
 //! use morpheus::{CooMatrix, DynamicMatrix, Workspace};
@@ -70,7 +72,9 @@ use crate::tune::{PlanStatus, TuneReport};
 use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
 use crate::{OracleError, Result};
 use morpheus::format::FormatId;
-use morpheus::{Analysis, ConvertOptions, DynamicMatrix, ExecPlan, Scalar, Workspace};
+use morpheus::{
+    Analysis, ConvertOptions, CpuFeatures, DynamicMatrix, ExecPlan, KernelVariant, Scalar, Workspace,
+};
 use morpheus_machine::{analyze_from, Op, VirtualEngine};
 use morpheus_ml::serialize::LineParser;
 use morpheus_parallel::ThreadPool;
@@ -82,14 +86,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Key identifying one cached execution plan. Plans depend on the matrix
-/// structure *in its realized format*, the scalar width and the worker
-/// count — but not on the operation: SpMV and SpMM replay the same row
-/// partition.
+/// structure *in its realized format*, the scalar width, the worker
+/// count and the detected CPU feature fingerprint (plans bake in
+/// per-range [`KernelVariant`] choices whose SIMD bodies were selected
+/// for the features present at build time — a plan must never replay
+/// under a different feature set) — but not on the operation: SpMV and
+/// SpMM replay the same row partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct PlanKey {
     structure: u64,
     scalar_bytes: usize,
     threads: usize,
+    cpu: u64,
 }
 
 /// What one tuning call learned beyond the report: the structure hash of
@@ -99,6 +107,20 @@ struct PlanKey {
 struct TuneArtifacts {
     realized_hash: Option<u64>,
     analysis: Option<Analysis>,
+}
+
+/// How one `tune_and_*` execution runs (decided by
+/// `OracleService::run_threaded`).
+enum Execution<'a, V: Scalar> {
+    /// Replay the plan across the pool.
+    Pooled(&'a ExecPlan<V>),
+    /// Pool busy with another client's batch: replay the plan's kernel
+    /// bodies inline on the calling thread — bitwise identical to the
+    /// pooled execution, without queueing behind it.
+    Inline(&'a ExecPlan<V>),
+    /// No plan was built (plan caching disabled under a busy pool): run
+    /// the scalar serial kernel.
+    Serial,
 }
 
 /// Which pool threaded executions run on.
@@ -160,7 +182,8 @@ pub struct ServeStats {
     /// workspace variants).
     pub handle_requests: u64,
     /// Executions that found the pool busy with another client's batch and
-    /// took the bitwise-identical serial kernel instead of queueing.
+    /// ran inline on the calling thread (the plan's kernel bodies when a
+    /// plan exists, the serial kernel otherwise) instead of queueing.
     pub pool_busy_fallbacks: u64,
     /// Matrices registered over the service's lifetime.
     pub registered: u64,
@@ -438,6 +461,7 @@ impl<T> OracleService<T> {
             cache_hit,
             plan: PlanStatus::Unplanned,
             serial_fallback: false,
+            variant: KernelVariant::Scalar,
             convert,
         };
         Ok((report, TuneArtifacts { realized_hash, analysis }))
@@ -446,8 +470,13 @@ impl<T> OracleService<T> {
     /// Fetches (or builds and caches) the shared execution plan for `m`,
     /// returning whether it was a cache hit. Under concurrent misses on
     /// one structure, each thread builds its own plan and the last insert
-    /// wins — plans for one (structure, format, threads) key are
-    /// interchangeable, so nothing is lost but a little build work.
+    /// wins — plans for one (structure, format, threads, cpu) key are
+    /// interchangeable, so nothing is lost but a little build work. That
+    /// interchangeability is why a build without a carried-over analysis
+    /// computes one here ([`Self::plan_analysis`]): variant selection is a
+    /// function of the analyzed bottleneck, and a plan built blind would
+    /// pick different (non-bitwise-equal) kernel bodies than one built on
+    /// the decision-cache miss path.
     fn plan_for<V: Scalar>(
         &self,
         key: PlanKey,
@@ -462,11 +491,28 @@ impl<T> OracleService<T> {
         match cached {
             Some(plan) => (plan, true),
             None => {
-                let plan = Arc::new(ExecPlan::build(m, threads, analysis));
+                let computed;
+                let analysis = match analysis {
+                    Some(a) => a,
+                    None => {
+                        computed = self.plan_analysis(m, key.structure);
+                        &computed
+                    }
+                };
+                let plan = Arc::new(ExecPlan::build(m, threads, Some(analysis)));
                 self.plans.insert(key, plan.clone() as Arc<dyn Any + Send + Sync>);
                 (plan, false)
             }
         }
+    }
+
+    /// Analysis for a plan build that has none carried over from tuning
+    /// (decision-cache hits skip the analysis). Plan construction is paid
+    /// once per structure, so re-analyzing here keeps plans deterministic
+    /// — identical whether built on the hit or the miss path — without
+    /// touching the steady-state replay cost.
+    fn plan_analysis<V: Scalar>(&self, m: &DynamicMatrix<V>, structure: u64) -> Analysis {
+        Analysis::of_auto_with_hash(m, self.opts.true_diag_alpha, structure)
     }
 
     /// Acquires the execution plan for `m` in its realized format, building
@@ -482,11 +528,24 @@ impl<T> OracleService<T> {
         threads: usize,
     ) -> (Arc<ExecPlan<V>>, PlanStatus) {
         let analysis = artifacts.analysis.as_ref();
-        if self.plans.capacity() == 0 {
-            return (Arc::new(ExecPlan::build(m, threads, analysis)), PlanStatus::Built);
-        }
         let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
-        let key = PlanKey { structure, scalar_bytes: std::mem::size_of::<V>(), threads };
+        if self.plans.capacity() == 0 {
+            let computed;
+            let analysis = match analysis {
+                Some(a) => a,
+                None => {
+                    computed = self.plan_analysis(m, structure);
+                    &computed
+                }
+            };
+            return (Arc::new(ExecPlan::build(m, threads, Some(analysis))), PlanStatus::Built);
+        }
+        let key = PlanKey {
+            structure,
+            scalar_bytes: std::mem::size_of::<V>(),
+            threads,
+            cpu: CpuFeatures::detect().fingerprint(),
+        };
         let (plan, hit) = self.plan_for(key, m, analysis, threads);
         (plan, if hit { PlanStatus::Reused } else { PlanStatus::Built })
     }
@@ -501,20 +560,22 @@ impl<T> OracleService<T> {
         format: FormatId,
         op: Op,
         workers: usize,
+        variant: KernelVariant,
         elapsed: std::time::Duration,
     ) {
         if let Some(col) = &self.collector {
             col.record(
-                SampleKey { structure, format, op, scalar_bytes: std::mem::size_of::<V>(), workers },
+                SampleKey { structure, format, op, scalar_bytes: std::mem::size_of::<V>(), workers, variant },
                 elapsed,
             );
         }
     }
 
     /// `true` when the pool is busy with another client's batch: the
-    /// caller should run the bitwise-identical serial kernel immediately
-    /// instead of queueing behind it (counted in
-    /// [`ServeStats::pool_busy_fallbacks`]).
+    /// caller should execute inline on its own thread immediately (the
+    /// plan's bodies via [`ExecPlan::spmv_unpooled`], or the serial
+    /// kernel when no plan exists) instead of queueing behind it (counted
+    /// in [`ServeStats::pool_busy_fallbacks`]).
     fn take_serial_fallback(&self, pool: &ThreadPool) -> bool {
         if pool.is_busy() {
             self.pool_busy_fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -526,25 +587,31 @@ impl<T> OracleService<T> {
 
     /// The one busy-fallback policy for `tune_and_*` threaded execution:
     /// decide the fallback, acquire the plan (skipped only when there is
-    /// no cache to warm), record both in `report`, then hand `run` either
-    /// the plan (execute threaded) or `None` (execute the bitwise-identical
-    /// serial kernel).
+    /// no cache to warm), record both in `report`, then hand `run` the
+    /// [`Execution`] mode to perform. `variant_bodies` says whether the
+    /// operation replays the plan's per-range [`KernelVariant`] bodies
+    /// (SpMV) or the scalar bodies (SpMM) — it decides what
+    /// [`TuneReport::variant`] truthfully reports.
     fn run_threaded<V: Scalar>(
         &self,
         m: &DynamicMatrix<V>,
         artifacts: &TuneArtifacts,
         pool: &ThreadPool,
         report: &mut TuneReport,
-        run: impl FnOnce(Option<&ExecPlan<V>>) -> morpheus::Result<()>,
+        variant_bodies: bool,
+        run: impl FnOnce(Execution<'_, V>) -> morpheus::Result<()>,
     ) -> Result<()> {
         report.serial_fallback = self.take_serial_fallback(pool);
         if report.serial_fallback && self.plans.capacity() == 0 {
             // No cache to warm: skip the wasted plan construction.
-            run(None)?;
+            run(Execution::Serial)?;
         } else {
             let (plan, status) = self.acquire_plan(m, artifacts, pool.num_threads());
             report.plan = status;
-            run(if report.serial_fallback { None } else { Some(&plan) })?;
+            if variant_bodies {
+                report.variant = plan.dominant_variant();
+            }
+            run(if report.serial_fallback { Execution::Inline(&plan) } else { Execution::Pooled(&plan) })?;
         }
         Ok(())
     }
@@ -552,10 +619,10 @@ impl<T> OracleService<T> {
     /// Tunes `m` for SpMV, then executes `y = A x` in the selected format —
     /// [`crate::Oracle::tune_and_spmv`], callable from any thread. Threaded
     /// execution replays the shared plan cache; if the pool is busy with
-    /// another client, the bitwise-identical serial kernel runs instead of
-    /// queueing ([`TuneReport::serial_fallback`] reports it; with plan
-    /// caching enabled the plan is still acquired, so the cache stays warm
-    /// for the next uncontended call).
+    /// another client, the plan's kernel bodies run inline on the calling
+    /// thread — bitwise identical to the pooled execution — instead of
+    /// queueing ([`TuneReport::serial_fallback`] reports it; the acquired
+    /// plan also keeps the cache warm for the next uncontended call).
     pub fn tune_and_spmv<V>(&self, m: &mut DynamicMatrix<V>, x: &[V], y: &mut [V]) -> Result<TuneReport>
     where
         V: Scalar,
@@ -566,9 +633,10 @@ impl<T> OracleService<T> {
         match self.exec_pool() {
             None => morpheus::spmv::spmv_serial(m, x, y)?,
             Some(pool) => {
-                self.run_threaded(m, &artifacts, pool, &mut report, |plan| match plan {
-                    Some(plan) => plan.spmv(m, x, y, pool),
-                    None => morpheus::spmv::spmv_serial(m, x, y),
+                self.run_threaded(m, &artifacts, pool, &mut report, true, |exec| match exec {
+                    Execution::Pooled(plan) => plan.spmv(m, x, y, pool),
+                    Execution::Inline(plan) => plan.spmv_unpooled(m, x, y),
+                    Execution::Serial => morpheus::spmv::spmv_serial(m, x, y),
                 })?;
             }
         }
@@ -597,9 +665,11 @@ impl<T> OracleService<T> {
         match self.exec_pool() {
             None => morpheus::spmm::spmm_serial(m, x, y, k)?,
             Some(pool) => {
-                self.run_threaded(m, &artifacts, pool, &mut report, |plan| match plan {
-                    Some(plan) => plan.spmm(m, x, y, k, pool),
-                    None => morpheus::spmm::spmm_serial(m, x, y, k),
+                self.run_threaded(m, &artifacts, pool, &mut report, false, |exec| match exec {
+                    Execution::Pooled(plan) => plan.spmm(m, x, y, k, pool),
+                    // Planned SpMM runs the scalar bodies, so the serial
+                    // kernel is already bitwise identical to it.
+                    Execution::Inline(_) | Execution::Serial => morpheus::spmm::spmm_serial(m, x, y, k),
                 })?;
             }
         }
@@ -632,7 +702,7 @@ impl<T> OracleService<T> {
             self.exec_pool().map_or(1, |p| p.num_threads())
         };
         let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
-        self.record_execution::<V>(structure, m.format_id(), op, workers, elapsed);
+        self.record_execution::<V>(structure, m.format_id(), op, workers, report.variant, elapsed);
     }
 
     /// Registers `m` for serving: tunes it for SpMV, converts it to the
@@ -667,6 +737,7 @@ impl<T> OracleService<T> {
         let threads = self.exec_pool().map_or(1, |p| p.num_threads());
         let (plan, status) = self.acquire_plan(&m, &artifacts, threads);
         report.plan = status;
+        report.variant = plan.dominant_variant();
         let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
         let id = self.next_handle_id.fetch_add(1, Ordering::Relaxed);
         self.registry.write().push(HandleInfo {
@@ -682,31 +753,41 @@ impl<T> OracleService<T> {
 
     /// `y = A x` through a registered handle: the zero-lock steady state.
     /// Serial engines run the serial kernel; threaded engines replay the
-    /// handle's plan, or fall back to the bitwise-identical serial kernel
-    /// when the pool is busy with another client's batch.
+    /// handle's plan, or — when the pool is busy with another client's
+    /// batch — replay the same plan's kernel bodies inline on the calling
+    /// thread, bitwise identical to the pooled execution.
     /// With a [`SampleCollector`] attached, each execution is additionally
     /// timestamped and its measured wall time attributed to the handle's
-    /// `(structure, format, op, scalar, workers)` telemetry population —
+    /// `(structure, format, op, scalar, workers, variant)` telemetry population —
     /// two clock reads and a few lock-free atomics on top of the kernel.
     pub fn spmv<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V]) -> Result<()> {
         let r = &*handle.inner;
         let t0 = self.collector.as_ref().map(|_| Instant::now());
-        let workers = match self.exec_pool() {
+        let (workers, variant) = match self.exec_pool() {
             None => {
                 morpheus::spmv::spmv_serial(&r.matrix, x, y)?;
-                1
+                (1, KernelVariant::Scalar)
             }
             Some(pool) if self.take_serial_fallback(pool) => {
-                morpheus::spmv::spmv_serial(&r.matrix, x, y)?;
-                1
+                // Replay the plan's variant bodies inline on this thread:
+                // bitwise identical to the pooled execution, no queueing.
+                r.plan.spmv_unpooled(&r.matrix, x, y)?;
+                (1, r.plan.dominant_variant())
             }
             Some(pool) => {
                 r.plan.spmv(&r.matrix, x, y, pool)?;
-                pool.num_threads()
+                (pool.num_threads(), r.plan.dominant_variant())
             }
         };
         if let Some(t0) = t0 {
-            self.record_execution::<V>(r.structure, r.matrix.format_id(), Op::Spmv, workers, t0.elapsed());
+            self.record_execution::<V>(
+                r.structure,
+                r.matrix.format_id(),
+                Op::Spmv,
+                workers,
+                variant,
+                t0.elapsed(),
+            );
         }
         self.handle_requests.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -731,11 +812,14 @@ impl<T> OracleService<T> {
             }
         };
         if let Some(t0) = t0 {
+            // SpMM replays the plan's row partition with the scalar bodies
+            // (variants are SpMV-only), so the population is Scalar.
             self.record_execution::<V>(
                 r.structure,
                 r.matrix.format_id(),
                 Op::Spmm { k },
                 workers,
+                KernelVariant::Scalar,
                 t0.elapsed(),
             );
         }
@@ -756,18 +840,25 @@ impl<T> OracleService<T> {
     ) -> morpheus::Result<()> {
         let r = &*handle.inner;
         let t0 = self.collector.as_ref().map(|_| Instant::now());
-        let workers = match self.exec_pool() {
+        let (workers, variant) = match self.exec_pool() {
             None => {
                 morpheus::spmv::spmv_serial(&r.matrix, x, y)?;
-                1
+                (1, KernelVariant::Scalar)
             }
             Some(pool) => {
                 r.plan.spmv(&r.matrix, x, y, pool)?;
-                pool.num_threads()
+                (pool.num_threads(), r.plan.dominant_variant())
             }
         };
         if let Some(t0) = t0 {
-            self.record_execution::<V>(r.structure, r.matrix.format_id(), Op::Spmv, workers, t0.elapsed());
+            self.record_execution::<V>(
+                r.structure,
+                r.matrix.format_id(),
+                Op::Spmv,
+                workers,
+                variant,
+                t0.elapsed(),
+            );
         }
         self.handle_requests.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -804,6 +895,7 @@ impl<T> OracleService<T> {
                 r.matrix.format_id(),
                 Op::Spmm { k },
                 workers,
+                KernelVariant::Scalar,
                 t0.elapsed(),
             );
         }

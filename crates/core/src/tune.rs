@@ -10,6 +10,7 @@
 
 use crate::tuner::TuningCost;
 use morpheus::format::FormatId;
+use morpheus::KernelVariant;
 use morpheus_machine::Op;
 
 /// How the execution stage following a tune was scheduled.
@@ -62,11 +63,19 @@ pub struct TuneReport {
     /// plan warmed the cache but the execution itself ran serial.
     pub plan: PlanStatus,
     /// `true` when a threaded execution found the pool busy with another
-    /// client's batch and ran the bitwise-identical serial kernel instead
-    /// of queueing behind it (see
+    /// client's batch and ran inline on the calling thread — the plan's
+    /// kernel bodies (bitwise identical to the pooled execution) when a
+    /// plan was acquired, the serial kernel otherwise — instead of
+    /// queueing behind it (see
     /// [`crate::ServeStats::pool_busy_fallbacks`]). Always `false` for
     /// tune-only calls and serial engines.
     pub serial_fallback: bool,
+    /// The dominant [`KernelVariant`] of the plan that executed this call
+    /// (the variant covering the most thread ranges; ranges may mix — a
+    /// hub row can run a different body than the tail). `Scalar` for
+    /// tune-only calls, serial engines, SpMM (its planned bodies are
+    /// scalar) and unplanned fallbacks.
+    pub variant: KernelVariant,
     /// Which conversion path realised the switch (direct kernel, COO hub,
     /// or identity) and its measured wall-clock cost. Unlike
     /// [`TuneReport::cost`], this is host time, not the engine's virtual

@@ -22,10 +22,14 @@
 
 use morpheus::format::FormatId;
 use morpheus::spmv::threaded;
-use morpheus::{spmm, Analysis, ConvertOptions, CooMatrix, DynamicMatrix, ExecPlan};
+use morpheus::{
+    spmm, Analysis, Bottleneck, ConvertOptions, CooMatrix, CpuFeatures, DynamicMatrix, ExecPlan,
+    KernelVariant, ALL_VARIANTS,
+};
 use morpheus_bench::report::json_escape;
 use morpheus_corpus::gen::banded::tridiagonal;
 use morpheus_corpus::gen::powerlaw::{hub_rows, zipf_rows};
+use morpheus_corpus::gen::random::variable_degree;
 use morpheus_corpus::gen::stencil::poisson2d;
 use morpheus_machine::{systems, Backend, VirtualEngine};
 use morpheus_oracle::{Oracle, RunFirstTuner};
@@ -68,6 +72,14 @@ fn corpus(smoke: bool) -> Vec<Case> {
         },
         Case { name: "poisson2d", family: "regular", matrix: poisson2d(scale(180, 40), scale(180, 40)) },
         Case { name: "tridiagonal", family: "regular", matrix: tridiagonal(scale(120_000, 4_000)) },
+        // Long scattered rows (~160 nnz/row full-size, ~52 in smoke): the
+        // shape the unrolled SIMD body is for — enough entries per row to
+        // fill its accumulators, columns too scattered for DIA/ELL wins.
+        Case {
+            name: "dense-rows",
+            family: "regular",
+            matrix: variable_degree(scale(16_000, 1_200), scale(96, 32), scale(224, 72), &mut rng),
+        },
     ]
 }
 
@@ -99,6 +111,18 @@ fn spmv_percall(m: &DynamicMatrix<f64>, x: &[f64], y: &mut [f64], pool: &ThreadP
     }
 }
 
+/// One forced-variant measurement for a (matrix, format) pair.
+struct VariantCell {
+    forced: KernelVariant,
+    /// What [`ExecPlan::build_with_variant`] actually realized — forcing a
+    /// variant a format has no body for degrades to `Scalar` per portion.
+    realized: KernelVariant,
+    /// Loop seconds; `None` when the forced variant degraded to a body
+    /// already measured under its own name (a clean fallback — timing it
+    /// again would duplicate that row).
+    loop_s: Option<f64>,
+}
+
 struct SpmvRow {
     matrix: String,
     family: &'static str,
@@ -109,6 +133,13 @@ struct SpmvRow {
     tuned: bool,
     nrows: usize,
     nnz: usize,
+    /// Bottleneck label the analysis assigns this realization — the input
+    /// to the auto plan's variant selection.
+    bottleneck: Bottleneck,
+    /// Dominant [`KernelVariant`] of the auto-built plan.
+    variant: KernelVariant,
+    /// Per-variant forced timings (loop only, no build), scalar first.
+    variants: Vec<VariantCell>,
     unplanned_s: f64,
     planned_s: f64,
     plan_build_s: f64,
@@ -182,7 +213,13 @@ fn main() {
             let mut probe = base.clone();
             selector.tune(&mut probe).map(|r| r.chosen).unwrap_or(FormatId::Csr)
         };
-        for target in formats {
+        // Always bench the Oracle-selected format — the steady state the
+        // headline geomean reads — even when it is not in the fixed set.
+        let mut case_formats: Vec<FormatId> = formats.to_vec();
+        if !case_formats.contains(&tuned_fmt) {
+            case_formats.push(tuned_fmt);
+        }
+        for target in case_formats {
             let Ok(m) = base.to_format(target, &opts) else { continue };
             let analysis = Analysis::of_auto(&m, opts.true_diag_alpha);
 
@@ -198,12 +235,42 @@ fn main() {
                 time_loop(spmv_iters, || plan.spmv(&m, &x, &mut y_planned, &pool).expect("plan matches"));
             let planned_s = planned_loop_s + plan_build_s;
 
-            assert!(
-                y_unplanned.iter().zip(&y_planned).all(|(a, b)| a.to_bits() == b.to_bits()),
-                "{}/{}: planned result diverged",
-                case.name,
-                target
-            );
+            // The per-call kernels accumulate in reference order; the plan
+            // is bitwise identical to them only when its variants do too.
+            // Unrolled plans reassociate, so those compare under a
+            // relative bound instead.
+            if plan.preserves_order() {
+                assert!(
+                    y_unplanned.iter().zip(&y_planned).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{}/{}: planned result diverged",
+                    case.name,
+                    target
+                );
+            } else {
+                assert!(
+                    y_unplanned.iter().zip(&y_planned).all(|(a, b)| (a - b).abs() <= 1e-9 * a.abs().max(1.0)),
+                    "{}/{}: planned result diverged beyond reassociation tolerance",
+                    case.name,
+                    target
+                );
+            }
+
+            // Forced-variant sweep: loop time per kernel body, scalar
+            // first so every other cell can quote a speedup against it.
+            let mut variants = Vec::new();
+            let mut measured: Vec<KernelVariant> = Vec::new();
+            for forced in ALL_VARIANTS {
+                let fplan = ExecPlan::build_with_variant(&m, pool.num_threads(), Some(&analysis), forced);
+                let realized = fplan.dominant_variant();
+                let loop_s = if realized == forced || !measured.contains(&realized) {
+                    let mut y = vec![0.0f64; m.nrows()];
+                    measured.push(realized);
+                    Some(time_loop(spmv_iters, || fplan.spmv(&m, &x, &mut y, &pool).expect("plan matches")))
+                } else {
+                    None
+                };
+                variants.push(VariantCell { forced, realized, loop_s });
+            }
 
             spmv_rows.push(SpmvRow {
                 matrix: case.name.to_string(),
@@ -212,6 +279,9 @@ fn main() {
                 tuned: target == tuned_fmt,
                 nrows: m.nrows(),
                 nnz: m.nnz(),
+                bottleneck: analysis.bottleneck(),
+                variant: plan.dominant_variant(),
+                variants,
                 unplanned_s,
                 planned_s,
                 plan_build_s,
@@ -252,24 +322,61 @@ fn main() {
     }
 
     // --- report ---
+    let cpu = CpuFeatures::detect();
+    println!("cpu features: avx2={} fma={}", cpu.avx2, cpu.fma);
     println!(
-        "{:<12} {:<9} {:>5} {:>9} {:>9} | {:>11} {:>11} {:>9} {:>8}",
-        "matrix", "family", "fmt", "nrows", "nnz", "unplanned_s", "planned_s", "build_s", "speedup"
+        "{:<12} {:<9} {:>5} {:>9} {:>9} {:>9} {:>9} | {:>11} {:>11} {:>9} {:>8}",
+        "matrix",
+        "family",
+        "fmt",
+        "nrows",
+        "nnz",
+        "bneck",
+        "variant",
+        "unplanned_s",
+        "planned_s",
+        "build_s",
+        "speedup"
     );
     for r in &spmv_rows {
         println!(
-            "{:<12} {:<9} {:>5}{} {:>8} {:>9} | {:>11.6} {:>11.6} {:>9.6} {:>7.2}x",
+            "{:<12} {:<9} {:>5}{} {:>8} {:>9} {:>9} {:>9} | {:>11.6} {:>11.6} {:>9.6} {:>7.2}x",
             r.matrix,
             r.family,
             r.format.to_string(),
             if r.tuned { "*" } else { " " },
             r.nrows,
             r.nnz,
+            r.bottleneck.to_string(),
+            r.variant.to_string(),
             r.unplanned_s,
             r.planned_s,
             r.plan_build_s,
             r.speedup
         );
+        let scalar_s = r.variants.iter().find(|c| c.forced == KernelVariant::Scalar).and_then(|c| c.loop_s);
+        for c in &r.variants {
+            match (c.loop_s, scalar_s) {
+                (Some(s), Some(base)) => println!(
+                    "    forced {:<9} -> {:<9} {:>11.6}s  {:>6.2}x vs scalar",
+                    c.forced.to_string(),
+                    c.realized.to_string(),
+                    s,
+                    base / s
+                ),
+                (Some(s), None) => println!(
+                    "    forced {:<9} -> {:<9} {:>11.6}s",
+                    c.forced.to_string(),
+                    c.realized.to_string(),
+                    s
+                ),
+                (None, _) => println!(
+                    "    forced {:<9} -> {:<9}   (clean fallback, body already measured)",
+                    c.forced.to_string(),
+                    c.realized.to_string()
+                ),
+            }
+        }
     }
     println!("(* = the format the Oracle selects for this matrix)");
     println!();
@@ -297,20 +404,31 @@ fn main() {
         geomean(spmv_rows.iter().filter(|r| r.family == "powerlaw").map(|r| r.speedup));
     let spmv_all = geomean(spmv_rows.iter().map(|r| r.speedup));
     let spmm_all = geomean(spmm_rows.iter().map(|r| r.speedup));
+    let by_bottleneck: Vec<(Bottleneck, f64)> =
+        [Bottleneck::Bandwidth, Bottleneck::Latency, Bottleneck::Imbalance]
+            .into_iter()
+            .map(|b| {
+                (b, geomean(spmv_rows.iter().filter(|r| r.tuned && r.bottleneck == b).map(|r| r.speedup)))
+            })
+            .collect();
     println!();
     println!("planned SpMV geomean speedup, powerlaw corpus (tuned formats): {spmv_powerlaw:.3}x");
     println!(
         "planned SpMV geomean speedup, powerlaw corpus (all formats):   {spmv_all_formats_powerlaw:.3}x"
     );
     println!("planned SpMV geomean speedup (every row):                      {spmv_all:.3}x");
+    for (b, g) in &by_bottleneck {
+        println!("planned SpMV geomean speedup, {b:<9} tuned rows:              {g:.3}x");
+    }
     println!("threaded SpMM geomean speedup over serial:                     {spmm_all:.3}x  ({threads} worker(s))");
 
     // --- snapshot ---
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_spmv/v1\",\n");
+    json.push_str("  \"schema\": \"bench_spmv/v2\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"cpu\": {{\"avx2\": {}, \"fma\": {}}},\n", cpu.avx2, cpu.fma));
     json.push_str(&format!("  \"spmv_iters\": {spmv_iters},\n"));
     json.push_str(&format!("  \"spmm_iters\": {spmm_iters},\n"));
     json.push_str(&format!("  \"spmv_powerlaw_geomean_speedup\": {spmv_powerlaw:.4},\n"));
@@ -319,14 +437,42 @@ fn main() {
     ));
     json.push_str(&format!("  \"spmv_geomean_speedup\": {spmv_all:.4},\n"));
     json.push_str(&format!("  \"spmm_geomean_speedup\": {spmm_all:.4},\n"));
+    json.push_str("  \"spmv_bottleneck_geomean_speedup\": {");
+    for (i, (b, g)) in by_bottleneck.iter().enumerate() {
+        json.push_str(&format!("\"{b}\": {g:.4}{}", if i + 1 < by_bottleneck.len() { ", " } else { "" }));
+    }
+    json.push_str("},\n");
     json.push_str("  \"spmv\": [\n");
     for (i, r) in spmv_rows.iter().enumerate() {
+        let scalar_s = r.variants.iter().find(|c| c.forced == KernelVariant::Scalar).and_then(|c| c.loop_s);
+        let cells: Vec<String> = r
+            .variants
+            .iter()
+            .map(|c| match (c.loop_s, scalar_s) {
+                (Some(s), Some(base)) => format!(
+                    "{{\"forced\": \"{}\", \"realized\": \"{}\", \"loop_s\": {:.6e}, \
+                     \"speedup_vs_scalar\": {:.4}}}",
+                    c.forced,
+                    c.realized,
+                    s,
+                    base / s
+                ),
+                (Some(s), None) => format!(
+                    "{{\"forced\": \"{}\", \"realized\": \"{}\", \"loop_s\": {:.6e}}}",
+                    c.forced, c.realized, s
+                ),
+                (None, _) => {
+                    format!("{{\"forced\": \"{}\", \"realized\": \"{}\"}}", c.forced, c.realized)
+                }
+            })
+            .collect();
         json.push_str(&format!(
             "    {{\"matrix\": \"{}\", \"family\": \"{}\", \"format\": \"{}\", \"tuned\": {}, \"nrows\": {}, \
-             \"nnz\": {}, \"unplanned_s\": {:.6e}, \"planned_s\": {:.6e}, \"plan_build_s\": {:.6e}, \
-             \"speedup\": {:.4}}}{}\n",
+             \"nnz\": {}, \"bottleneck\": \"{}\", \"variant\": \"{}\", \"unplanned_s\": {:.6e}, \
+             \"planned_s\": {:.6e}, \"plan_build_s\": {:.6e}, \"speedup\": {:.4}, \"variants\": [{}]}}{}\n",
             json_escape(&r.matrix), r.family, r.format, r.tuned, r.nrows, r.nnz,
-            r.unplanned_s, r.planned_s, r.plan_build_s, r.speedup,
+            r.bottleneck, r.variant, r.unplanned_s, r.planned_s, r.plan_build_s, r.speedup,
+            cells.join(", "),
             if i + 1 < spmv_rows.len() { "," } else { "" }
         ));
     }

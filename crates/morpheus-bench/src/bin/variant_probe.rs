@@ -1,0 +1,58 @@
+//! Row-length sweep of the CSR kernel variants against the scalar body —
+//! the measurement behind `UNROLL_MIN_AVG_NNZ` / `PREFETCH_MAX_AVG_NNZ`.
+//! Re-run on new hardware before retuning those constants.
+
+use morpheus::{Analysis, CooMatrix, DynamicMatrix, ExecPlan, KernelVariant};
+use morpheus_parallel::ThreadPool;
+use std::time::Instant;
+
+fn dense_rows(nrows: usize, ncols: usize, per_row: usize) -> CooMatrix<f64> {
+    let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+    let mut s: u64 = 12345;
+    for r in 0..nrows {
+        for j in 0..per_row {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rows.push(r);
+            cols.push(((s >> 33) as usize + j * 7919) % ncols);
+            vals.push(1.0 + (j % 9) as f64 * 0.125);
+        }
+    }
+    CooMatrix::from_triplets(nrows, ncols, &rows, &cols, &vals).unwrap()
+}
+
+fn time_loop(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let pool = ThreadPool::new(1);
+    for &per_row in &[4usize, 8, 16, 32, 64, 128, 256] {
+        let nrows = (2_000_000 / per_row).max(64);
+        let m = DynamicMatrix::from(dense_rows(nrows, 65_536, per_row));
+        let m = m.to_format(morpheus::format::FormatId::Csr, &Default::default()).unwrap();
+        let a = Analysis::of(&m, 0.2);
+        let x: Vec<f64> = (0..m.ncols()).map(|i| 1.0 + (i % 13) as f64 * 0.25).collect();
+        let iters = 40;
+        print!("per_row={per_row:>4} nrows={nrows:>7}");
+        let mut base = 0.0;
+        for v in [KernelVariant::Scalar, KernelVariant::Unrolled, KernelVariant::Prefetch] {
+            let plan = ExecPlan::build_with_variant(&m, 1, Some(&a), v);
+            let mut y = vec![0.0; m.nrows()];
+            let t = time_loop(iters, || plan.spmv(&m, &x, &mut y, &pool).unwrap());
+            if v == KernelVariant::Scalar {
+                base = t;
+            }
+            print!("  {}={:.4}s ({:.2}x)", v, t, base / t);
+        }
+        println!();
+    }
+}

@@ -77,6 +77,7 @@ pub use hyb::{HybMatrix, HybSplit};
 pub use plan::{BatchWorkspace, ExecPlan, Workspace};
 pub use rowmajor::for_each_entry_row_major;
 pub use scalar::Scalar;
+pub use spmv::variant::{Bottleneck, CpuFeatures, KernelVariant, ALL_VARIANTS};
 pub use stats::MatrixStats;
 
 /// Crate-wide `Result` alias.

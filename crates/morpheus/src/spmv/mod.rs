@@ -8,6 +8,7 @@
 
 pub mod serial;
 pub mod threaded;
+pub mod variant;
 
 use crate::dynamic::DynamicMatrix;
 use crate::error::MorpheusError;

@@ -3,7 +3,12 @@
 //! Every kernel partitions the *rows* of the matrix across workers so each
 //! element of `y` has exactly one writer — no atomics are needed, and
 //! results are bitwise identical to the serial kernels (same per-row
-//! accumulation order).
+//! accumulation order). The per-range bodies additionally come in
+//! bottleneck-specialised [`KernelVariant`]s (see [`crate::spmv::variant`]):
+//! the schedule-driven and per-call kernels here only ever select
+//! order-preserving variants, keeping the bitwise contract; planned
+//! execution ([`crate::plan::ExecPlan`]) may additionally choose the
+//! unrolled/SIMD CSR body, whose results are ULP-bounded instead.
 //!
 //! The per-range loop bodies are shared by three entry styles:
 //!
@@ -24,7 +29,11 @@ use crate::ell::{EllMatrix, ELL_PAD};
 use crate::hdc::HdcMatrix;
 use crate::hyb::HybMatrix;
 use crate::scalar::Scalar;
-use morpheus_parallel::{row_aligned_partition, weighted_partition, Schedule, SharedSlice, ThreadPool};
+use crate::spmv::variant::{self, KernelVariant};
+use morpheus_parallel::{
+    row_aligned_partition, static_partition, weighted_partition, weighted_partition_with, Schedule,
+    SharedSlice, ThreadPool,
+};
 use std::ops::Range;
 
 /// Shared mutable output vector. Soundness contract: concurrent callers must
@@ -129,6 +138,162 @@ unsafe fn ell_rows<V: Scalar>(a: &EllMatrix<V>, x: &[V], out: &SharedOut<V>, row
 }
 
 // ---------------------------------------------------------------------------
+// Variant bodies (bottleneck-specialised; see `crate::spmv::variant`)
+// ---------------------------------------------------------------------------
+
+/// CSR rows with the unrolled/SIMD row reduction
+/// ([`variant::dot_row_unrolled`]). Accumulation order differs from the
+/// scalar body — results are ULP-bounded, not bitwise.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn csr_rows_unrolled<V: Scalar, const ACC: bool>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    rows: Range<usize>,
+) {
+    let offs = a.row_offsets();
+    let cols = a.col_indices();
+    let vals = a.values();
+    for r in rows {
+        let (lo, hi) = (offs[r], offs[r + 1]);
+        let acc = variant::dot_row_unrolled(&vals[lo..hi], &cols[lo..hi], x);
+        if ACC {
+            out.add(r, acc);
+        } else {
+            out.set(r, acc);
+        }
+    }
+}
+
+/// CSR rows with software prefetch of the `x` gathers
+/// [`variant::PREFETCH_DIST`] entries ahead. Accumulation order is the
+/// scalar body's — results stay bitwise identical.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn csr_rows_prefetch<V: Scalar, const ACC: bool>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    rows: Range<usize>,
+) {
+    let offs = a.row_offsets();
+    let cols = a.col_indices();
+    let vals = a.values();
+    let xp = x.as_ptr();
+    for r in rows {
+        let mut acc = V::ZERO;
+        for i in offs[r]..offs[r + 1] {
+            let pf = i + variant::PREFETCH_DIST;
+            if pf < cols.len() {
+                // Column indices are in-bounds for x by matrix invariant;
+                // prefetching across the row boundary warms the next rows'
+                // gathers too.
+                variant::prefetch_read(xp.add(cols[pf]));
+            }
+            acc += vals[i] * x[cols[i]];
+        }
+        if ACC {
+            out.add(r, acc);
+        } else {
+            out.set(r, acc);
+        }
+    }
+}
+
+/// DIA rows in blocks of [`variant::BLOCK_ROWS`]: the full diagonal sweep
+/// runs per block, keeping the output block and its `x` window
+/// cache-resident. Per-row accumulation order (diagonals ascending) is
+/// unchanged — bitwise identical to the scalar body.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn dia_rows_blocked<V: Scalar>(a: &DiaMatrix<V>, x: &[V], out: &SharedOut<V>, rows: Range<usize>) {
+    let mut b = rows.start;
+    while b < rows.end {
+        let e = (b + variant::BLOCK_ROWS).min(rows.end);
+        dia_rows(a, x, out, b..e);
+        b = e;
+    }
+}
+
+/// ELL rows in blocks of [`variant::BLOCK_ROWS`] (see [`dia_rows_blocked`];
+/// per-row slab order `k` ascending is unchanged — bitwise identical).
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping row range.
+#[inline]
+unsafe fn ell_rows_blocked<V: Scalar>(a: &EllMatrix<V>, x: &[V], out: &SharedOut<V>, rows: Range<usize>) {
+    let mut b = rows.start;
+    while b < rows.end {
+        let e = (b + variant::BLOCK_ROWS).min(rows.end);
+        ell_rows(a, x, out, b..e);
+        b = e;
+    }
+}
+
+/// Variant-dispatching CSR body. Non-CSR variants fall back to the scalar
+/// reference.
+///
+/// # Safety
+/// Same contract as [`csr_rows`].
+#[inline]
+pub(crate) unsafe fn csr_rows_variant<V: Scalar, const ACC: bool>(
+    a: &CsrMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    rows: Range<usize>,
+    v: KernelVariant,
+) {
+    match v {
+        KernelVariant::Unrolled => csr_rows_unrolled::<V, ACC>(a, x, out, rows),
+        KernelVariant::Prefetch => csr_rows_prefetch::<V, ACC>(a, x, out, rows),
+        _ => csr_rows::<V, ACC>(a, x, out, rows),
+    }
+}
+
+/// Variant-dispatching DIA body (only `Blocked` specialises).
+///
+/// # Safety
+/// Same contract as [`dia_rows`].
+#[inline]
+pub(crate) unsafe fn dia_rows_variant<V: Scalar>(
+    a: &DiaMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    rows: Range<usize>,
+    v: KernelVariant,
+) {
+    match v {
+        KernelVariant::Blocked => dia_rows_blocked(a, x, out, rows),
+        _ => dia_rows(a, x, out, rows),
+    }
+}
+
+/// Variant-dispatching ELL body (only `Blocked` specialises).
+///
+/// # Safety
+/// Same contract as [`ell_rows`].
+#[inline]
+pub(crate) unsafe fn ell_rows_variant<V: Scalar>(
+    a: &EllMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    rows: Range<usize>,
+    v: KernelVariant,
+) {
+    match v {
+        KernelVariant::Blocked => ell_rows_blocked(a, x, out, rows),
+        _ => ell_rows(a, x, out, rows),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Schedule-driven kernels (per-call OpenMP-style partitioning)
 // ---------------------------------------------------------------------------
 
@@ -216,34 +381,75 @@ pub fn spmv_ell<V: Scalar>(a: &EllMatrix<V>, x: &[V], y: &mut [V], pool: &Thread
     });
 }
 
-/// HYB kernel: threaded ELL pass defines `y`, threaded COO pass accumulates.
-pub fn spmv_hyb<V: Scalar>(a: &HybMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
-    spmv_ell(a.ell(), x, y, pool, schedule);
-    spmv_coo_acc(a.coo(), x, y, pool);
+/// HYB kernel: ELL pass defines `y`, COO pass accumulates. Both portions'
+/// splits are derived **once** per call (static rows for the slab,
+/// row-aligned entries for the surplus) and executed through the same
+/// per-range variant bodies an [`crate::plan::ExecPlan`] replays, so kernel
+/// variants apply uniformly to composite formats. The `schedule` parameter
+/// is kept for API compatibility; composite portions always use their
+/// plan-shaped partitions (results are bitwise identical either way).
+pub fn spmv_hyb<V: Scalar>(a: &HybMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, _schedule: Schedule) {
+    let threads = pool.num_threads();
+    let rows = static_partition(a.nrows(), threads);
+    let row_variants: Vec<KernelVariant> =
+        rows.iter().map(|r| variant::select_ell(a.ell().width(), r.len())).collect();
+    spmv_ell_ranges(a.ell(), x, y, Some(pool), &rows, &row_variants);
+    let entries = row_aligned_partition(a.coo().row_indices(), threads);
+    spmv_coo_acc_ranges(a.coo(), x, y, Some(pool), &entries);
 }
 
-/// HDC kernel: threaded DIA pass defines `y`, threaded CSR pass accumulates.
-pub fn spmv_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, schedule: Schedule) {
-    spmv_dia(a.dia(), x, y, pool, schedule);
-    spmv_csr_acc(a.csr(), x, y, pool, schedule);
+/// HDC kernel: DIA pass defines `y`, CSR pass accumulates. As with
+/// [`spmv_hyb`], both portions' splits are derived once per call (static
+/// DIA rows, nnz-weighted CSR rows) and run through the shared per-range
+/// variant bodies; `schedule` is kept for API compatibility. Per-call
+/// kernels keep this module's bitwise-identical-to-serial contract, so
+/// only order-preserving variants are selected here (the CSR remainder
+/// stays on the scalar body; bottleneck-driven `Unrolled`/`Prefetch`
+/// selection lives in [`crate::plan::ExecPlan`]).
+pub fn spmv_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool, _schedule: Schedule) {
+    let threads = pool.num_threads();
+    let dia = a.dia();
+    let rows = static_partition(dia.nrows(), threads);
+    let dia_variants: Vec<KernelVariant> =
+        rows.iter().map(|r| variant::select_dia(dia.offsets().len(), r.len())).collect();
+    spmv_dia_ranges(dia, x, y, Some(pool), &rows, &dia_variants);
+    let csr = a.csr();
+    let offs = csr.row_offsets();
+    let csr_rows = weighted_partition_with(csr.nrows(), threads, |r| offs[r + 1] - offs[r]);
+    let csr_variants = vec![KernelVariant::Scalar; csr_rows.len()];
+    spmv_csr_acc_ranges(csr, x, y, Some(pool), &csr_rows, &csr_variants);
 }
 
 // ---------------------------------------------------------------------------
 // Planned kernels: thin loops over precomputed `ExecPlan` ranges
 // ---------------------------------------------------------------------------
 
-/// CSR over precomputed row ranges (write).
+/// CSR over precomputed row ranges (write), each range running its
+/// planned [`KernelVariant`] body. Without a pool (`None`) or on a
+/// one-worker pool the ranges run inline in order on the calling thread —
+/// same bodies, bitwise-identical results, no dispatch overhead — so the
+/// variant layer engages even on single-core hosts and on the serving
+/// layer's busy-pool fallback.
 pub(crate) fn spmv_csr_ranges<V: Scalar>(
     a: &CsrMatrix<V>,
     x: &[V],
     y: &mut [V],
-    pool: &ThreadPool,
+    pool: Option<&ThreadPool>,
     rows: &[Range<usize>],
+    variants: &[KernelVariant],
 ) {
+    debug_assert_eq!(rows.len(), variants.len());
     let out = SharedOut::new(y);
-    pool.parallel_for_plan(rows, |_p, r| {
+    let Some(pool) = pool.filter(|p| p.num_threads() > 1) else {
+        for (p, r) in rows.iter().enumerate() {
+            // SAFETY: one caller, ranges executed sequentially.
+            unsafe { csr_rows_variant::<V, false>(a, x, &out, r.clone(), variants[p]) };
+        }
+        return;
+    };
+    pool.parallel_for_plan(rows, |p, r| {
         // SAFETY: plan row ranges tile the rows disjointly.
-        unsafe { csr_rows::<V, false>(a, x, &out, r) };
+        unsafe { csr_rows_variant::<V, false>(a, x, &out, r, variants[p]) };
     });
 }
 
@@ -252,25 +458,38 @@ pub(crate) fn spmv_csr_acc_ranges<V: Scalar>(
     a: &CsrMatrix<V>,
     x: &[V],
     y: &mut [V],
-    pool: &ThreadPool,
+    pool: Option<&ThreadPool>,
     rows: &[Range<usize>],
+    variants: &[KernelVariant],
 ) {
+    debug_assert_eq!(rows.len(), variants.len());
     let out = SharedOut::new(y);
-    pool.parallel_for_plan(rows, |_p, r| {
+    let Some(pool) = pool.filter(|p| p.num_threads() > 1) else {
+        for (p, r) in rows.iter().enumerate() {
+            // SAFETY: one caller, ranges executed sequentially.
+            unsafe { csr_rows_variant::<V, true>(a, x, &out, r.clone(), variants[p]) };
+        }
+        return;
+    };
+    pool.parallel_for_plan(rows, |p, r| {
         // SAFETY: plan row ranges tile the rows disjointly.
-        unsafe { csr_rows::<V, true>(a, x, &out, r) };
+        unsafe { csr_rows_variant::<V, true>(a, x, &out, r, variants[p]) };
     });
 }
 
 /// COO over precomputed row-aligned entry ranges: zero `y`, accumulate.
+/// (COO's scatter loop has no specialised variants.)
 pub(crate) fn spmv_coo_ranges<V: Scalar>(
     a: &CooMatrix<V>,
     x: &[V],
     y: &mut [V],
-    pool: &ThreadPool,
+    pool: Option<&ThreadPool>,
     entries: &[Range<usize>],
 ) {
-    parallel_fill_zero(y, pool);
+    match pool {
+        Some(pool) => parallel_fill_zero(y, pool),
+        None => y.fill(V::ZERO),
+    }
     spmv_coo_acc_ranges(a, x, y, pool, entries);
 }
 
@@ -280,47 +499,76 @@ pub(crate) fn spmv_coo_acc_ranges<V: Scalar>(
     a: &CooMatrix<V>,
     x: &[V],
     y: &mut [V],
-    pool: &ThreadPool,
+    pool: Option<&ThreadPool>,
     entries: &[Range<usize>],
 ) {
     let out = SharedOut::new(y);
+    let Some(pool) = pool.filter(|p| p.num_threads() > 1) else {
+        for r in entries {
+            // SAFETY: one caller, ranges executed sequentially.
+            unsafe { coo_entries(a, x, &out, r.clone()) };
+        }
+        return;
+    };
     pool.parallel_for_plan(entries, |_p, r| {
         // SAFETY: plan entry ranges are row-aligned and disjoint.
         unsafe { coo_entries(a, x, &out, r) };
     });
 }
 
-/// DIA over precomputed row ranges.
+/// DIA over precomputed row ranges, each running its planned variant.
 pub(crate) fn spmv_dia_ranges<V: Scalar>(
     a: &DiaMatrix<V>,
     x: &[V],
     y: &mut [V],
-    pool: &ThreadPool,
+    pool: Option<&ThreadPool>,
     rows: &[Range<usize>],
+    variants: &[KernelVariant],
 ) {
+    debug_assert_eq!(rows.len(), variants.len());
     let out = SharedOut::new(y);
-    pool.parallel_for_plan(rows, |_p, r| {
+    let Some(pool) = pool.filter(|p| p.num_threads() > 1) else {
+        for (p, r) in rows.iter().enumerate() {
+            // SAFETY: one caller, ranges executed sequentially.
+            unsafe { dia_rows_variant(a, x, &out, r.clone(), variants[p]) };
+        }
+        return;
+    };
+    pool.parallel_for_plan(rows, |p, r| {
         // SAFETY: plan row ranges tile the rows disjointly.
-        unsafe { dia_rows(a, x, &out, r) };
+        unsafe { dia_rows_variant(a, x, &out, r, variants[p]) };
     });
 }
 
-/// ELL over precomputed row ranges.
+/// ELL over precomputed row ranges, each running its planned variant.
 pub(crate) fn spmv_ell_ranges<V: Scalar>(
     a: &EllMatrix<V>,
     x: &[V],
     y: &mut [V],
-    pool: &ThreadPool,
+    pool: Option<&ThreadPool>,
     rows: &[Range<usize>],
+    variants: &[KernelVariant],
 ) {
+    debug_assert_eq!(rows.len(), variants.len());
     let out = SharedOut::new(y);
-    pool.parallel_for_plan(rows, |_p, r| {
+    let Some(pool) = pool.filter(|p| p.num_threads() > 1) else {
+        for (p, r) in rows.iter().enumerate() {
+            // SAFETY: one caller, ranges executed sequentially.
+            unsafe { ell_rows_variant(a, x, &out, r.clone(), variants[p]) };
+        }
+        return;
+    };
+    pool.parallel_for_plan(rows, |p, r| {
         // SAFETY: plan row ranges tile the rows disjointly.
-        unsafe { ell_rows(a, x, &out, r) };
+        unsafe { ell_rows_variant(a, x, &out, r, variants[p]) };
     });
 }
 
 pub(crate) fn parallel_fill_zero<V: Scalar>(y: &mut [V], pool: &ThreadPool) {
+    if pool.num_threads() == 1 {
+        y.fill(V::ZERO);
+        return;
+    }
     let out = SharedOut::new(y);
     pool.parallel_for_ranges(0..out.len(), Schedule::default(), |r| {
         // SAFETY: static ranges are disjoint.
@@ -425,15 +673,70 @@ mod tests {
 
         let weights = csr.row_nnz_counts();
         let rows = weighted_partition(&weights, pool.num_threads());
+        let scalars = vec![KernelVariant::Scalar; rows.len()];
         let mut y = vec![f64::NAN; 150];
-        spmv_csr_ranges(&csr, &x, &mut y, &pool, &rows);
+        spmv_csr_ranges(&csr, &x, &mut y, Some(&pool), &rows, &scalars);
         assert_eq!(y, y_ref);
 
         let mut y_ref = vec![0.0; 150];
         serial::spmv_coo(&coo, &x, &mut y_ref);
         let entries = row_aligned_partition(coo.row_indices(), pool.num_threads());
         let mut y = vec![f64::NAN; 150];
-        spmv_coo_ranges(&coo, &x, &mut y, &pool, &entries);
+        spmv_coo_ranges(&coo, &x, &mut y, Some(&pool), &entries);
         assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    fn order_preserving_variant_bodies_are_bitwise_equal_to_scalar() {
+        // Prefetch (CSR) and Blocked (DIA/ELL) keep the reference per-row
+        // accumulation order; run them over both one- and multi-worker
+        // pools (the planned path inlines ranges on one worker).
+        let coo = random_coo::<f64>(700, 650, 9000, 19);
+        let csr = coo_to_csr(&coo);
+        let x: Vec<f64> = (0..650).map(|i| (i as f64 * 0.13).sin() + 0.5).collect();
+        let mut y_ref = vec![0.0; 700];
+        serial::spmv_csr(&csr, &x, &mut y_ref);
+        for workers in [1, 3] {
+            let pool = ThreadPool::new(workers);
+            let rows = weighted_partition(&csr.row_nnz_counts(), workers);
+            let prefetch = vec![KernelVariant::Prefetch; rows.len()];
+            let mut y = vec![f64::NAN; 700];
+            spmv_csr_ranges(&csr, &x, &mut y, Some(&pool), &rows, &prefetch);
+            assert_eq!(y, y_ref, "prefetch CSR, {workers} worker(s)");
+        }
+
+        let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+        let ell = crate::convert::coo_to_ell(&coo, &opts).unwrap();
+        let mut y_ref = vec![0.0; 700];
+        serial::spmv_ell(&ell, &x, &mut y_ref);
+        for workers in [1, 2] {
+            let pool = ThreadPool::new(workers);
+            let rows = static_partition(700, workers);
+            let blocked = vec![KernelVariant::Blocked; rows.len()];
+            let mut y = vec![f64::NAN; 700];
+            spmv_ell_ranges(&ell, &x, &mut y, Some(&pool), &rows, &blocked);
+            assert_eq!(y, y_ref, "blocked ELL, {workers} worker(s)");
+        }
+    }
+
+    #[test]
+    fn unrolled_csr_body_is_ulp_close_to_scalar() {
+        let coo = random_coo::<f64>(300, 280, 6000, 23);
+        let csr = coo_to_csr(&coo);
+        let x: Vec<f64> = (0..280).map(|i| (i as f64 * 0.37).cos() * 2.0 - 0.3).collect();
+        let mut y_ref = vec![0.0; 300];
+        serial::spmv_csr(&csr, &x, &mut y_ref);
+        let pool = ThreadPool::new(2);
+        let rows = weighted_partition(&csr.row_nnz_counts(), 2);
+        let unrolled = vec![KernelVariant::Unrolled; rows.len()];
+        let mut y = vec![f64::NAN; 300];
+        spmv_csr_ranges(&csr, &x, &mut y, Some(&pool), &rows, &unrolled);
+        let offs = csr.row_offsets();
+        for r in 0..300 {
+            let row_abs: f64 =
+                (offs[r]..offs[r + 1]).map(|i| (csr.values()[i] * x[csr.col_indices()[i]]).abs()).sum();
+            let bound = ((offs[r + 1] - offs[r]) as f64 + 8.0) * f64::EPSILON * row_abs.max(1e-300);
+            assert!((y[r] - y_ref[r]).abs() <= bound, "row {r}: |{} - {}| > {bound}", y[r], y_ref[r]);
+        }
     }
 }

@@ -1,0 +1,242 @@
+//! Property suite for the per-range SpMV kernel-variant layer.
+//!
+//! Contract under test: for every storage format, scalar width, worker
+//! count and forced [`KernelVariant`], planned execution agrees with the
+//! scalar serial reference —
+//!
+//! * **bitwise**, whenever the plan's ranges all preserve the reference
+//!   accumulation order ([`ExecPlan::preserves_order`]; always true for
+//!   `Scalar`/`Prefetch`/`Blocked` plans), and
+//! * within a tight per-row ULP bound otherwise (`Unrolled` splits each
+//!   row's sum across multiple accumulators, reassociating it; the AVX2
+//!   bodies additionally contract multiply-add with FMA).
+//!
+//! The suite also pins the busy-pool fallback property the serving layer
+//! relies on: [`ExecPlan::spmv_unpooled`] is bitwise identical to the
+//! pooled execution of the same plan, variants included.
+
+use morpheus::spmm::spmm_serial;
+use morpheus::spmv::spmv_serial;
+use morpheus::{Analysis, ConvertOptions, CooMatrix, DynamicMatrix, ExecPlan, Scalar, ALL_VARIANTS};
+use morpheus_parallel::ThreadPool;
+
+/// SplitMix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Random COO with `nnz_target` draws (duplicates collapse, so the
+/// realized nnz may be slightly lower). Values are signed, non-trivial.
+fn random_coo(nrows: usize, ncols: usize, nnz_target: usize, seed: u64) -> CooMatrix<f64> {
+    let mut rng = Rng(seed);
+    let mut entries = std::collections::BTreeMap::new();
+    for _ in 0..nnz_target {
+        let r = (rng.next() % nrows as u64) as usize;
+        let c = (rng.next() % ncols as u64) as usize;
+        let v = ((rng.next() % 2000) as f64 - 1000.0) / 250.0;
+        entries.insert((r, c), if v == 0.0 { 1.0 } else { v });
+    }
+    let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+    for ((r, c), v) in entries {
+        rows.push(r);
+        cols.push(c);
+        vals.push(v);
+    }
+    CooMatrix::from_triplets(nrows, ncols, &rows, &cols, &vals).unwrap()
+}
+
+/// Banded matrix: diagonals at the given offsets — DIA/ELL territory, and
+/// tall enough (rows > 256) to engage the blocked bodies.
+fn banded(n: usize, offsets: &[isize], seed: u64) -> CooMatrix<f64> {
+    let mut rng = Rng(seed);
+    let (mut rows, mut cols, mut vals) = (Vec::new(), Vec::new(), Vec::new());
+    for i in 0..n {
+        for &d in offsets {
+            let j = i as isize + d;
+            if j >= 0 && (j as usize) < n {
+                rows.push(i);
+                cols.push(j as usize);
+                vals.push(1.0 + ((rng.next() % 97) as f64) * 0.03);
+            }
+        }
+    }
+    CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap()
+}
+
+/// The shape gallery: general scatter, banded, a hub row next to sparse
+/// tails, and the degenerate edges (empty, single row, single column,
+/// mostly-empty rows).
+fn gallery() -> Vec<(&'static str, CooMatrix<f64>)> {
+    let mut hub_rows = vec![0usize; 260];
+    let mut hub_cols: Vec<usize> = (0..260).collect();
+    let mut hub_vals: Vec<f64> = (0..260).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+    for r in 1..300 {
+        hub_rows.push(r);
+        hub_cols.push((r * 13) % 260);
+        hub_vals.push(1.0 + (r % 5) as f64);
+    }
+    vec![
+        ("random", random_coo(220, 180, 2600, 11)),
+        ("banded-penta", banded(500, &[-2, -1, 0, 1, 2], 5)),
+        ("hub-and-tails", CooMatrix::from_triplets(300, 260, &hub_rows, &hub_cols, &hub_vals).unwrap()),
+        ("empty", CooMatrix::from_triplets(50, 40, &[], &[], &[]).unwrap()),
+        ("single-row", random_coo(1, 90, 60, 3)),
+        ("single-col", random_coo(90, 1, 40, 4)),
+        ("mostly-empty-rows", {
+            let dense = random_coo(40, 120, 600, 9);
+            // Spread the 40 occupied rows across 280: rows 7k are live.
+            let rows: Vec<usize> = dense.row_indices().iter().map(|&r| r * 7).collect();
+            CooMatrix::from_triplets(280, 120, &rows, dense.col_indices(), dense.values()).unwrap()
+        }),
+    ]
+}
+
+fn cast<V: Scalar>(m: &CooMatrix<f64>) -> DynamicMatrix<V> {
+    let vals: Vec<V> = m.values().iter().map(|&v| V::from_f64(v)).collect();
+    DynamicMatrix::from(
+        CooMatrix::from_triplets(m.nrows(), m.ncols(), m.row_indices(), m.col_indices(), &vals).unwrap(),
+    )
+}
+
+fn input<V: Scalar>(ncols: usize) -> Vec<V> {
+    (0..ncols).map(|i| V::from_f64(((i as f64) * 0.37).sin() * 1.5 - 0.2)).collect()
+}
+
+/// Per-row magnitude scales `Σ |a_ij x_j|` from the COO triplets — the
+/// correct yardstick for reassociation error (cancellation can make the
+/// result itself tiny while the intermediate terms are not).
+fn row_scales<V: Scalar>(m: &CooMatrix<f64>, x: &[V]) -> (Vec<f64>, Vec<usize>) {
+    let mut scale = vec![0.0f64; m.nrows()];
+    let mut counts = vec![0usize; m.nrows()];
+    for ((&r, &c), &v) in m.row_indices().iter().zip(m.col_indices()).zip(m.values()) {
+        scale[r] += (v * x[c].to_f64()).abs();
+        counts[r] += 1;
+    }
+    (scale, counts)
+}
+
+fn check_against_reference<V: Scalar>(
+    y: &[V],
+    y_ref: &[V],
+    bitwise: bool,
+    eps: f64,
+    scales: &(Vec<f64>, Vec<usize>),
+    context: &str,
+) {
+    for (r, (a, b)) in y.iter().zip(y_ref).enumerate() {
+        if bitwise {
+            assert!(
+                a.to_f64().to_bits() == b.to_f64().to_bits(),
+                "{context}: row {r}: {a} != {b} (order-preserving plan must be bitwise)"
+            );
+        } else {
+            // Reassociation across up to 8 accumulators plus FMA
+            // contraction: error per row is O(row_nnz) rounding steps on
+            // terms of magnitude `scale`.
+            let bound = (scales.1[r] as f64 + 8.0) * eps * scales.0[r].max(1e-30);
+            let diff = (a.to_f64() - b.to_f64()).abs();
+            assert!(diff <= bound, "{context}: row {r}: |{a} - {b}| = {diff} > {bound}");
+        }
+    }
+}
+
+fn run_suite<V: Scalar>(eps: f64) {
+    let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+    for (name, coo) in gallery() {
+        let base: DynamicMatrix<V> = cast(&coo);
+        let x = input::<V>(base.ncols());
+        let scales = row_scales(&coo, &x);
+        let mut y_ref = vec![V::ZERO; base.nrows()];
+        spmv_serial(&base, &x, &mut y_ref).unwrap();
+
+        for fmt in morpheus::format::ALL_FORMATS {
+            let Ok(m) = base.to_format(fmt, &opts) else {
+                continue; // non-viable realization (e.g. DIA of a scatter)
+            };
+            // The reference is the serial kernel of the *realized* format
+            // (conversion itself may legally reorder within-row terms for
+            // some formats, which is not what this suite is probing).
+            let mut y_fmt = vec![V::ZERO; m.nrows()];
+            spmv_serial(&m, &x, &mut y_fmt).unwrap();
+            let analysis = Analysis::of(&m, 0.2);
+
+            for workers in 1..=5usize {
+                let pool = ThreadPool::new(workers);
+                for variant in ALL_VARIANTS {
+                    let plan = ExecPlan::build_with_variant(&m, workers, Some(&analysis), variant);
+                    let context = format!("{name}/{fmt}/{variant}/{workers}w");
+                    let mut y = vec![V::from_f64(f64::NAN); m.nrows()];
+                    plan.spmv(&m, &x, &mut y, &pool).unwrap();
+                    check_against_reference(&y, &y_fmt, plan.preserves_order(), eps, &scales, &context);
+
+                    if workers == 3 {
+                        // The serving layer's busy-pool fallback: inline
+                        // replay must be bitwise identical to the pooled
+                        // execution, whatever the variant.
+                        let mut y_inline = vec![V::from_f64(f64::NAN); m.nrows()];
+                        plan.spmv_unpooled(&m, &x, &mut y_inline).unwrap();
+                        for (r, (a, b)) in y_inline.iter().zip(&y).enumerate() {
+                            assert!(
+                                a.to_f64().to_bits() == b.to_f64().to_bits(),
+                                "{context}: row {r}: unpooled {a} != pooled {b}"
+                            );
+                        }
+                    }
+                }
+
+                // Auto-selected plans obey the same contract.
+                let plan = ExecPlan::build(&m, workers, Some(&analysis));
+                let context = format!("{name}/{fmt}/auto/{workers}w");
+                let mut y = vec![V::from_f64(f64::NAN); m.nrows()];
+                plan.spmv(&m, &x, &mut y, &pool).unwrap();
+                check_against_reference(&y, &y_fmt, plan.preserves_order(), eps, &scales, &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_variants_match_the_scalar_reference_f64() {
+    run_suite::<f64>(f64::EPSILON);
+}
+
+#[test]
+fn forced_variants_match_the_scalar_reference_f32() {
+    run_suite::<f32>(f32::EPSILON as f64);
+}
+
+#[test]
+fn planned_spmm_stays_bitwise_identical_to_serial() {
+    // SpMM replays the plan's partitions with the scalar bodies: variants
+    // must not leak into it, whatever the plan selected for SpMV.
+    let opts = ConvertOptions { min_padded_allowance: 1 << 22, ..Default::default() };
+    let k = 3usize;
+    for (name, coo) in gallery() {
+        let base: DynamicMatrix<f64> = cast(&coo);
+        let x: Vec<f64> = (0..base.ncols() * k).map(|i| 1.0 + (i % 11) as f64 * 0.125).collect();
+        for fmt in morpheus::format::ALL_FORMATS {
+            let Ok(m) = base.to_format(fmt, &opts) else { continue };
+            let mut y_ref = vec![0.0f64; m.nrows() * k];
+            spmm_serial(&m, &x, &mut y_ref, k).unwrap();
+            let analysis = Analysis::of(&m, 0.2);
+            let pool = ThreadPool::new(4);
+            for variant in ALL_VARIANTS {
+                let plan = ExecPlan::build_with_variant(&m, 4, Some(&analysis), variant);
+                let mut y = vec![f64::NAN; m.nrows() * k];
+                plan.spmm(&m, &x, &mut y, k, &pool).unwrap();
+                assert!(
+                    y.iter().zip(&y_ref).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{name}/{fmt}/{variant}: planned SpMM diverged from serial"
+                );
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@
 use morpheus_repro::machine::{systems, Backend, Op, VirtualEngine};
 use morpheus_repro::ml::Dataset;
 use morpheus_repro::morpheus::format::FormatId;
-use morpheus_repro::morpheus::{CooMatrix, DynamicMatrix};
+use morpheus_repro::morpheus::{CooMatrix, DynamicMatrix, KernelVariant};
 use morpheus_repro::oracle::adapt::{
     AdaptiveConfig, AdaptiveEngine, AdaptiveTuner, CollectorConfig, LearnedModel, ModelEpoch, RetrainOutcome,
     SampleCollector, SampleKey,
@@ -70,7 +70,14 @@ fn feed_observations(collector: &SampleCollector, structures: u64) {
         for (fmt, us) in [(FormatId::Csr, 40 + s % 2 * 60), (FormatId::Dia, 70 - s % 2 * 60)] {
             for _ in 0..3 {
                 collector.record(
-                    SampleKey { structure: s, format: fmt, op: Op::Spmv, scalar_bytes: 8, workers: 1 },
+                    SampleKey {
+                        structure: s,
+                        format: fmt,
+                        op: Op::Spmv,
+                        scalar_bytes: 8,
+                        workers: 1,
+                        variant: KernelVariant::Scalar,
+                    },
                     Duration::from_micros(us),
                 );
             }
