@@ -149,7 +149,13 @@ fn cost_gate_passes<T: Send + Sync, V: Scalar>(
     let k = chunk.len();
     let job = chunk[0].job.as_any().downcast_mut::<Job<V>>().expect("chunk grouped by scalar");
     let fmt = job.handle.format_id();
-    let a = analyses.entry(job.handle.id()).or_insert_with(|| analyze(job.handle.matrix()));
+    let Some(m) = job.handle.try_matrix() else {
+        // Partitioned handles coalesce unconditionally: shard SpMM shares
+        // the matrix-array streaming amortisation of the single-matrix
+        // case on every shard, so batching k right-hand sides never loses.
+        return true;
+    };
+    let a = analyses.entry(job.handle.id()).or_insert_with(|| analyze(m));
     let engine = service.engine();
     engine.spmm_time(fmt, a, k) < k as f64 * engine.spmv_time(fmt, a)
 }

@@ -104,7 +104,7 @@ pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
 pub use ingress::{Backpressure, CoalescePolicy, Ingress, IngressConfig, IngressError, IngressStats, Ticket};
 pub use model_db::{ModelDatabase, ModelKind};
 pub use oracle::{Oracle, OracleBuilder, DEFAULT_CACHE_CAPACITY};
-pub use serve::{HandleInfo, MatrixHandle, OracleService, ServeStats, ServiceSnapshot};
+pub use serve::{HandleInfo, MatrixHandle, OracleService, PartitionPolicy, ServeStats, ServiceSnapshot};
 pub use tune::{PlanStatus, TuneReport};
 pub use tuner::{
     DecisionTreeTuner, FormatTuner, GbtTuner, RandomForestTuner, RunFirstTuner, TuneDecision, TuningCost,

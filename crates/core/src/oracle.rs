@@ -35,7 +35,7 @@
 
 use crate::adapt::SampleCollector;
 use crate::cache::{CacheStats, DEFAULT_SHARDS};
-use crate::serve::OracleService;
+use crate::serve::{OracleService, PartitionPolicy};
 use crate::tune::TuneReport;
 use crate::tuner::FormatTuner;
 use crate::{OracleError, Result};
@@ -76,6 +76,7 @@ impl Oracle<()> {
             shards: DEFAULT_SHARDS,
             workers: None,
             collector: None,
+            partition: PartitionPolicy::default(),
         }
     }
 }
@@ -215,6 +216,7 @@ pub struct OracleBuilder<T> {
     shards: usize,
     workers: Option<usize>,
     collector: Option<std::sync::Arc<SampleCollector>>,
+    partition: PartitionPolicy,
 }
 
 impl<T> OracleBuilder<T> {
@@ -235,7 +237,16 @@ impl<T> OracleBuilder<T> {
             shards: self.shards,
             workers: self.workers,
             collector: self.collector,
+            partition: self.partition,
         }
+    }
+
+    /// Sets when and how registrations shard into partitioned handles
+    /// (default: [`PartitionPolicy::default`] — no automatic sharding;
+    /// `register_partitioned` / `register_stream` still work).
+    pub fn partition_policy(mut self, policy: PartitionPolicy) -> Self {
+        self.partition = policy;
+        self
     }
 
     /// Attaches a measured-kernel [`SampleCollector`]: executions through
@@ -313,6 +324,7 @@ impl<T> OracleBuilder<T> {
             self.shards,
             self.workers,
             self.collector,
+            self.partition,
         ))
     }
 }

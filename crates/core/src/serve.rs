@@ -72,8 +72,10 @@ use crate::tune::{PlanStatus, TuneReport};
 use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
 use crate::{OracleError, Result};
 use morpheus::format::FormatId;
+use morpheus::partition::{split_rows, Partition, StreamingPartitioner};
 use morpheus::{
-    Analysis, ConvertOptions, CpuFeatures, DynamicMatrix, ExecPlan, KernelVariant, Scalar, Workspace,
+    Analysis, ConvertOptions, CpuFeatures, DynamicMatrix, ExecPlan, KernelVariant, PartitionConfig,
+    PartitionedMatrix, Scalar, Workspace,
 };
 use morpheus_machine::{analyze_from, Op, VirtualEngine};
 use morpheus_ml::serialize::LineParser;
@@ -149,6 +151,63 @@ pub struct HandleInfo {
     pub nnz: usize,
     /// `size_of` of the matrix scalar.
     pub scalar_bytes: usize,
+    /// Shards the handle executes as (1 = whole-matrix). For partitioned
+    /// handles [`HandleInfo::format`] is the nnz-dominant shard format.
+    pub shards: usize,
+}
+
+/// When [`OracleService::register`] shards a matrix instead of serving it
+/// whole (ROADMAP item 4: per-shard format selection is strictly stronger
+/// than whole-matrix selection on internally heterogeneous matrices).
+///
+/// Sharding is always subject to the engine's cost gate — the partitioned
+/// critical-path model ([`VirtualEngine::partitioned_spmv_time`]) must
+/// beat the best whole-matrix single-format time at the service's worker
+/// count — so the policy only controls *when the question is asked* and
+/// how shard boundaries are sized.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionPolicy {
+    /// `Some(n)`: [`OracleService::register`] considers sharding any
+    /// matrix with at least `n` stored non-zeros. `None` (default):
+    /// sharding happens only through
+    /// [`OracleService::register_partitioned`] and
+    /// [`OracleService::register_stream`].
+    pub auto_nnz_threshold: Option<usize>,
+    /// Upper bound on shards per matrix. `None`: `max(4, 2 * workers)` of
+    /// the serving pool.
+    pub max_shards: Option<usize>,
+    /// Desired nnz per shard. `None`: the
+    /// [`morpheus::PartitionConfig`] default.
+    pub target_shard_nnz: Option<usize>,
+    /// When `false`, skip the engine cost gate and shard whenever the
+    /// partition yields more than one shard — for tests and benches that
+    /// need the partitioned path deterministically; production configs
+    /// leave it `true` and let the model decide.
+    pub cost_gate: bool,
+}
+
+impl Default for PartitionPolicy {
+    fn default() -> Self {
+        PartitionPolicy {
+            auto_nnz_threshold: None,
+            max_shards: None,
+            target_shard_nnz: None,
+            cost_gate: true,
+        }
+    }
+}
+
+impl PartitionPolicy {
+    /// The boundary-selection config this policy induces for a pool of
+    /// `workers` threads.
+    pub fn config(&self, workers: usize) -> PartitionConfig {
+        let defaults = PartitionConfig::default();
+        PartitionConfig {
+            max_shards: self.max_shards.unwrap_or_else(|| 4usize.max(2 * workers.max(1))),
+            target_shard_nnz: self.target_shard_nnz.unwrap_or(defaults.target_shard_nnz),
+            ..defaults
+        }
+    }
 }
 
 /// One coherent operator view of a service: execution counters, both
@@ -213,12 +272,23 @@ impl<V: Scalar> Clone for MatrixHandle<V> {
 #[derive(Debug)]
 struct Registered<V: Scalar> {
     id: u64,
-    matrix: DynamicMatrix<V>,
-    /// Structure hash of `matrix` in its realized format, precomputed so
-    /// telemetry attribution never re-hashes on the execution hot path.
-    structure: u64,
-    plan: Arc<ExecPlan<V>>,
+    stored: Stored<V>,
     report: TuneReport,
+}
+
+/// What a handle executes: one whole matrix with one plan, or a set of
+/// independently formatted and planned row-range shards.
+#[derive(Debug)]
+enum Stored<V: Scalar> {
+    Single {
+        matrix: DynamicMatrix<V>,
+        /// Structure hash of `matrix` in its realized format, precomputed
+        /// so telemetry attribution never re-hashes on the execution hot
+        /// path.
+        structure: u64,
+        plan: Arc<ExecPlan<V>>,
+    },
+    Partitioned(PartitionedMatrix<V>),
 }
 
 impl<V: Scalar> MatrixHandle<V> {
@@ -227,40 +297,103 @@ impl<V: Scalar> MatrixHandle<V> {
         self.inner.id
     }
 
-    /// The realized (post-tuning) storage format.
+    /// The realized (post-tuning) storage format. Partitioned handles
+    /// report the format covering the most stored non-zeros; see
+    /// [`MatrixHandle::partition`] for the per-shard detail.
     pub fn format_id(&self) -> FormatId {
-        self.inner.matrix.format_id()
+        match &self.inner.stored {
+            Stored::Single { matrix, .. } => matrix.format_id(),
+            Stored::Partitioned(p) => p.dominant_format(),
+        }
     }
 
     /// Rows of the registered matrix.
     pub fn nrows(&self) -> usize {
-        self.inner.matrix.nrows()
+        match &self.inner.stored {
+            Stored::Single { matrix, .. } => matrix.nrows(),
+            Stored::Partitioned(p) => p.nrows(),
+        }
     }
 
     /// Columns of the registered matrix.
     pub fn ncols(&self) -> usize {
-        self.inner.matrix.ncols()
+        match &self.inner.stored {
+            Stored::Single { matrix, .. } => matrix.ncols(),
+            Stored::Partitioned(p) => p.ncols(),
+        }
     }
 
     /// Stored non-zeros of the registered matrix.
     pub fn nnz(&self) -> usize {
-        self.inner.matrix.nnz()
+        match &self.inner.stored {
+            Stored::Single { matrix, .. } => matrix.nnz(),
+            Stored::Partitioned(p) => p.nnz(),
+        }
     }
 
     /// The tuning report from registration ([`TuneReport::plan`] says
-    /// whether the plan was built fresh or reused from the plan cache).
+    /// whether the plan was built fresh or reused from the plan cache;
+    /// [`TuneReport::shards`] says whether the handle is partitioned).
     pub fn report(&self) -> &TuneReport {
         &self.inner.report
     }
 
+    /// `true` when the handle executes as row-range shards.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self.inner.stored, Stored::Partitioned(_))
+    }
+
+    /// Shards of the handle (1 for whole-matrix handles).
+    pub fn num_shards(&self) -> usize {
+        match &self.inner.stored {
+            Stored::Single { .. } => 1,
+            Stored::Partitioned(p) => p.num_shards(),
+        }
+    }
+
+    /// The partitioned storage, when the handle is sharded.
+    pub fn partition(&self) -> Option<&PartitionedMatrix<V>> {
+        match &self.inner.stored {
+            Stored::Partitioned(p) => Some(p),
+            Stored::Single { .. } => None,
+        }
+    }
+
+    /// The registered matrix in its realized format, when the handle holds
+    /// a single whole matrix (`None` for partitioned handles, whose shards
+    /// are reached through [`MatrixHandle::partition`]).
+    pub fn try_matrix(&self) -> Option<&DynamicMatrix<V>> {
+        match &self.inner.stored {
+            Stored::Single { matrix, .. } => Some(matrix),
+            Stored::Partitioned(_) => None,
+        }
+    }
+
+    /// The shared execution plan, when the handle holds a single whole
+    /// matrix (`None` for partitioned handles — each shard has its own).
+    pub fn try_plan(&self) -> Option<&ExecPlan<V>> {
+        match &self.inner.stored {
+            Stored::Single { plan, .. } => Some(plan),
+            Stored::Partitioned(_) => None,
+        }
+    }
+
     /// The registered matrix in its realized format.
+    ///
+    /// # Panics
+    /// On a partitioned handle — use [`MatrixHandle::try_matrix`] or
+    /// [`MatrixHandle::partition`] when handles may be sharded.
     pub fn matrix(&self) -> &DynamicMatrix<V> {
-        &self.inner.matrix
+        self.try_matrix().expect("partitioned handle has no single matrix; use partition()")
     }
 
     /// The shared execution plan.
+    ///
+    /// # Panics
+    /// On a partitioned handle — use [`MatrixHandle::try_plan`] or
+    /// [`MatrixHandle::partition`] when handles may be sharded.
     pub fn plan(&self) -> &ExecPlan<V> {
-        &self.inner.plan
+        self.try_plan().expect("partitioned handle has no single plan; use partition()")
     }
 }
 
@@ -288,6 +421,8 @@ pub struct OracleService<T> {
     /// Measured-kernel telemetry sink (see [`crate::adapt`]). `None` keeps
     /// execution paths entirely timestamp-free.
     collector: Option<Arc<SampleCollector>>,
+    /// When and how registrations shard (see [`PartitionPolicy`]).
+    partition: PartitionPolicy,
 }
 
 impl OracleService<()> {
@@ -300,6 +435,8 @@ impl OracleService<()> {
 }
 
 impl<T> OracleService<T> {
+    // Single call-site constructor mirroring the builder's fields 1:1.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         engine: VirtualEngine,
         tuner: T,
@@ -308,6 +445,7 @@ impl<T> OracleService<T> {
         shards: usize,
         workers: Option<usize>,
         collector: Option<Arc<SampleCollector>>,
+        partition: PartitionPolicy,
     ) -> Self {
         let engine_fingerprint = fingerprint_engine(&engine);
         OracleService {
@@ -326,6 +464,7 @@ impl<T> OracleService<T> {
             handle_requests: AtomicU64::new(0),
             pool_busy_fallbacks: AtomicU64::new(0),
             collector,
+            partition,
         }
     }
 
@@ -463,6 +602,7 @@ impl<T> OracleService<T> {
             serial_fallback: false,
             variant: KernelVariant::Scalar,
             convert,
+            shards: 1,
         };
         Ok((report, TuneArtifacts { realized_hash, analysis }))
     }
@@ -728,7 +868,20 @@ impl<T> OracleService<T> {
     /// handles own their matrix and plan via `Arc` and free them on drop,
     /// while the registry stays a complete, monotonic audit of what was
     /// served.
-    pub fn register_for<V>(&self, mut m: DynamicMatrix<V>, op: Op) -> Result<MatrixHandle<V>>
+    pub fn register_for<V>(&self, m: DynamicMatrix<V>, op: Op) -> Result<MatrixHandle<V>>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        match self.partition.auto_nnz_threshold {
+            Some(threshold) if m.nnz() >= threshold => self.register_partitioned_for(m, op),
+            _ => self.register_single_for(m, op),
+        }
+    }
+
+    /// The whole-matrix registration path: one tune, one conversion, one
+    /// plan.
+    fn register_single_for<V>(&self, mut m: DynamicMatrix<V>, op: Op) -> Result<MatrixHandle<V>>
     where
         V: Scalar,
         T: FormatTuner<V>,
@@ -747,8 +900,163 @@ impl<T> OracleService<T> {
             ncols: m.ncols(),
             nnz: m.nnz(),
             scalar_bytes: std::mem::size_of::<V>(),
+            shards: 1,
         });
-        Ok(MatrixHandle { inner: Arc::new(Registered { id, matrix: m, structure, plan, report }) })
+        let stored = Stored::Single { matrix: m, structure, plan };
+        Ok(MatrixHandle { inner: Arc::new(Registered { id, stored, report }) })
+    }
+
+    /// [`OracleService::register`], considering a *partitioned* handle: the
+    /// matrix is split into row-range shards along its row-nnz histogram
+    /// (balanced nnz, boundaries snapped to regime shifts), each shard is
+    /// tuned, converted and planned independently, and the engine decides
+    /// whether the sharded critical path beats the best whole-matrix
+    /// single-format plan at the service's worker count. If it does not
+    /// (or the matrix yields a single shard), this falls back to the
+    /// whole-matrix path — `register_partitioned` is always safe to call.
+    pub fn register_partitioned<V>(&self, m: DynamicMatrix<V>) -> Result<MatrixHandle<V>>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        self.register_partitioned_for(m, Op::Spmv)
+    }
+
+    /// [`OracleService::register_partitioned`] tuned for an arbitrary
+    /// operation.
+    pub fn register_partitioned_for<V>(&self, m: DynamicMatrix<V>, op: Op) -> Result<MatrixHandle<V>>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let threads = self.exec_pool().map_or(1, |p| p.num_threads());
+        let previous = m.format_id();
+        let hash = m.structure_hash();
+        let analysis = Analysis::of_auto_with_hash(&m, self.opts.true_diag_alpha, hash);
+        let partition = Partition::from_analysis(&analysis, &self.partition.config(threads));
+        if partition.num_shards() <= 1 {
+            return self.register_single_for(m, op);
+        }
+        let subs = split_rows(&m, &partition, Some(&analysis))?;
+        let mut shards = Vec::with_capacity(subs.len());
+        let mut shard_times = Vec::with_capacity(subs.len());
+        for (rows, csr) in partition.ranges().zip(subs) {
+            let (shard, t) = self.tune_shard(DynamicMatrix::from(csr), rows, op)?;
+            shard_times.push(t);
+            shards.push(shard);
+        }
+        if self.partition.cost_gate {
+            let whole_view = analyze_from(&m, &analysis);
+            let (_, best_whole) = self.engine.best_spmv_time_at(&whole_view, threads);
+            let parted = self.engine.partitioned_spmv_time(&shard_times, threads);
+            if parted >= best_whole {
+                // The model says sharding does not pay here: serve whole.
+                return self.register_single_for(m, op);
+            }
+        }
+        let pm = PartitionedMatrix::from_shards(m.nrows(), m.ncols(), shards, threads)?;
+        self.finish_partitioned(pm, previous, op)
+    }
+
+    /// Registers a matrix ingested shard-by-shard from a row-major entry
+    /// stream — the huge-matrix front door: the whole matrix never
+    /// materializes in one resident copy. Rows must arrive in
+    /// non-decreasing order; duplicate entries within a row are summed.
+    /// Shards seal along the policy's nnz target as the stream flows, and
+    /// each sealed shard is tuned, converted and planned independently.
+    /// Yields a single-shard (still CSR-planned) handle when the stream
+    /// fits one shard; there is no whole-matrix fallback — that copy is
+    /// exactly what streaming avoids.
+    pub fn register_stream<V, I>(&self, nrows: usize, ncols: usize, entries: I) -> Result<MatrixHandle<V>>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+        I: IntoIterator<Item = (usize, usize, V)>,
+    {
+        let threads = self.exec_pool().map_or(1, |p| p.num_threads());
+        let mut sp = StreamingPartitioner::new(nrows, ncols, &self.partition.config(threads));
+        for (r, c, v) in entries {
+            sp.push(r, c, v)?;
+        }
+        let (_, parts) = sp.finish()?;
+        if parts.len() == 1 {
+            let (_, csr) = parts.into_iter().next().expect("finish yields >= 1 shard");
+            return self.register_single_for(DynamicMatrix::from(csr), Op::Spmv);
+        }
+        let mut shards = Vec::with_capacity(parts.len());
+        for (rows, csr) in parts {
+            let (shard, _) = self.tune_shard(DynamicMatrix::from(csr), rows, Op::Spmv)?;
+            shards.push(shard);
+        }
+        let pm = PartitionedMatrix::from_shards(nrows, ncols, shards, threads)?;
+        self.finish_partitioned(pm, FormatId::Csr, Op::Spmv)
+    }
+
+    /// Tunes, converts and plans one shard: the decision cache is
+    /// consulted under the shard's own structure hash (so adaptive
+    /// learning and repeat registrations see shard-level populations), the
+    /// plan is built for single-threaded execution (parallelism comes from
+    /// running shards concurrently), and the modelled 1-worker time of the
+    /// shard's best (format, variant) feeds the partitioned cost gate.
+    fn tune_shard<V>(
+        &self,
+        mut sm: DynamicMatrix<V>,
+        rows: std::ops::Range<usize>,
+        op: Op,
+    ) -> Result<(morpheus::partition::Shard<V>, f64)>
+    where
+        V: Scalar,
+        T: FormatTuner<V>,
+    {
+        let (_, artifacts) = self.tune_with_artifacts(&mut sm, op)?;
+        let (plan, _) = self.acquire_plan(&sm, &artifacts, 1);
+        let structure = artifacts.realized_hash.unwrap_or_else(|| sm.structure_hash());
+        let view = match &artifacts.analysis {
+            Some(a) => analyze_from(&sm, a),
+            None => {
+                let a = self.plan_analysis(&sm, structure);
+                analyze_from(&sm, &a)
+            }
+        };
+        let (_, t) = self.engine.best_shard_spmv_variant(sm.format_id(), &view);
+        Ok((morpheus::partition::Shard::new(rows, sm, plan, structure), t))
+    }
+
+    /// Registry bookkeeping and report synthesis shared by the partitioned
+    /// registration paths.
+    fn finish_partitioned<V: Scalar>(
+        &self,
+        pm: PartitionedMatrix<V>,
+        previous: FormatId,
+        op: Op,
+    ) -> Result<MatrixHandle<V>> {
+        let chosen = pm.dominant_format();
+        let report = TuneReport {
+            chosen,
+            previous,
+            predicted: chosen,
+            cost: TuningCost::cached(),
+            converted: pm.shards().iter().any(|s| s.format_id() != FormatId::Csr),
+            op,
+            cache_hit: false,
+            plan: PlanStatus::Built,
+            serial_fallback: false,
+            variant: pm.dominant_variant(),
+            convert: morpheus::ConvertOutcome::identity(),
+            shards: pm.num_shards(),
+        };
+        let id = self.next_handle_id.fetch_add(1, Ordering::Relaxed);
+        self.registry.write().push(HandleInfo {
+            id,
+            format: chosen,
+            nrows: pm.nrows(),
+            ncols: pm.ncols(),
+            nnz: pm.nnz(),
+            scalar_bytes: std::mem::size_of::<V>(),
+            shards: pm.num_shards(),
+        });
+        let stored = Stored::Partitioned(pm);
+        Ok(MatrixHandle { inner: Arc::new(Registered { id, stored, report }) })
     }
 
     /// `y = A x` through a registered handle: the zero-lock steady state.
@@ -761,33 +1069,41 @@ impl<T> OracleService<T> {
     /// `(structure, format, op, scalar, workers, variant)` telemetry population —
     /// two clock reads and a few lock-free atomics on top of the kernel.
     pub fn spmv<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V]) -> Result<()> {
-        let r = &*handle.inner;
-        let t0 = self.collector.as_ref().map(|_| Instant::now());
-        let (workers, variant) = match self.exec_pool() {
-            None => {
-                morpheus::spmv::spmv_serial(&r.matrix, x, y)?;
-                (1, KernelVariant::Scalar)
+        match &handle.inner.stored {
+            Stored::Single { matrix, structure, plan } => {
+                let t0 = self.collector.as_ref().map(|_| Instant::now());
+                let (workers, variant) = match self.exec_pool() {
+                    None => {
+                        morpheus::spmv::spmv_serial(matrix, x, y)?;
+                        (1, KernelVariant::Scalar)
+                    }
+                    Some(pool) if self.take_serial_fallback(pool) => {
+                        // Replay the plan's variant bodies inline on this
+                        // thread: bitwise identical to the pooled
+                        // execution, no queueing.
+                        plan.spmv_unpooled(matrix, x, y)?;
+                        (1, plan.dominant_variant())
+                    }
+                    Some(pool) => {
+                        plan.spmv(matrix, x, y, pool)?;
+                        (pool.num_threads(), plan.dominant_variant())
+                    }
+                };
+                if let Some(t0) = t0 {
+                    self.record_execution::<V>(
+                        *structure,
+                        matrix.format_id(),
+                        Op::Spmv,
+                        workers,
+                        variant,
+                        t0.elapsed(),
+                    );
+                }
             }
-            Some(pool) if self.take_serial_fallback(pool) => {
-                // Replay the plan's variant bodies inline on this thread:
-                // bitwise identical to the pooled execution, no queueing.
-                r.plan.spmv_unpooled(&r.matrix, x, y)?;
-                (1, r.plan.dominant_variant())
+            Stored::Partitioned(p) => {
+                let pool = self.exec_pool().filter(|pool| !self.take_serial_fallback(pool));
+                self.run_partitioned(p, Op::Spmv, |obs| p.spmv_observed(x, y, pool, obs))?;
             }
-            Some(pool) => {
-                r.plan.spmv(&r.matrix, x, y, pool)?;
-                (pool.num_threads(), r.plan.dominant_variant())
-            }
-        };
-        if let Some(t0) = t0 {
-            self.record_execution::<V>(
-                r.structure,
-                r.matrix.format_id(),
-                Op::Spmv,
-                workers,
-                variant,
-                t0.elapsed(),
-            );
         }
         self.handle_requests.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -795,36 +1111,83 @@ impl<T> OracleService<T> {
 
     /// `Y = A X` (`k` right-hand sides) through a registered handle.
     pub fn spmm<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V], k: usize) -> Result<()> {
-        let r = &*handle.inner;
-        let t0 = self.collector.as_ref().map(|_| Instant::now());
-        let workers = match self.exec_pool() {
-            None => {
-                morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?;
-                1
+        match &handle.inner.stored {
+            Stored::Single { matrix, structure, plan } => {
+                let t0 = self.collector.as_ref().map(|_| Instant::now());
+                let workers = match self.exec_pool() {
+                    None => {
+                        morpheus::spmm::spmm_serial(matrix, x, y, k)?;
+                        1
+                    }
+                    Some(pool) if self.take_serial_fallback(pool) => {
+                        morpheus::spmm::spmm_serial(matrix, x, y, k)?;
+                        1
+                    }
+                    Some(pool) => {
+                        plan.spmm(matrix, x, y, k, pool)?;
+                        pool.num_threads()
+                    }
+                };
+                if let Some(t0) = t0 {
+                    // SpMM replays the plan's row partition with the scalar
+                    // bodies (variants are SpMV-only), so the population is
+                    // Scalar.
+                    self.record_execution::<V>(
+                        *structure,
+                        matrix.format_id(),
+                        Op::Spmm { k },
+                        workers,
+                        KernelVariant::Scalar,
+                        t0.elapsed(),
+                    );
+                }
             }
-            Some(pool) if self.take_serial_fallback(pool) => {
-                morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?;
-                1
+            Stored::Partitioned(p) => {
+                let pool = self.exec_pool().filter(|pool| !self.take_serial_fallback(pool));
+                self.run_partitioned(p, Op::Spmm { k }, |obs| p.spmm_observed(x, y, k, pool, obs))?;
             }
-            Some(pool) => {
-                r.plan.spmm(&r.matrix, x, y, k, pool)?;
-                pool.num_threads()
-            }
-        };
-        if let Some(t0) = t0 {
-            // SpMM replays the plan's row partition with the scalar bodies
-            // (variants are SpMV-only), so the population is Scalar.
-            self.record_execution::<V>(
-                r.structure,
-                r.matrix.format_id(),
-                Op::Spmm { k },
-                workers,
-                KernelVariant::Scalar,
-                t0.elapsed(),
-            );
         }
         self.handle_requests.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Executes one partitioned operation with per-shard telemetry: each
+    /// shard kernel is individually timed and attributed to the *shard's*
+    /// `(structure, format, op, scalar, 1 worker, variant)` population —
+    /// shard kernels are single-threaded, parallelism comes from running
+    /// shards concurrently — so adaptive learning sees shard-level
+    /// measurements, exactly the granularity per-shard retuning needs.
+    /// SpMM shards run the serial scalar bodies, so their variant is
+    /// Scalar like the whole-matrix path.
+    fn run_partitioned<V: Scalar>(
+        &self,
+        p: &PartitionedMatrix<V>,
+        op: Op,
+        run: impl FnOnce(Option<&(dyn Fn(usize, std::time::Duration) + Sync)>) -> morpheus::Result<()>,
+    ) -> morpheus::Result<()> {
+        match &self.collector {
+            None => run(None),
+            Some(col) => {
+                let variant_bodies = matches!(op, Op::Spmv);
+                let observe = move |si: usize, elapsed: std::time::Duration| {
+                    let s = p.shard(si);
+                    let variant =
+                        if variant_bodies { s.plan().dominant_variant() } else { KernelVariant::Scalar };
+                    col.record(
+                        SampleKey {
+                            structure: s.structure(),
+                            format: s.format_id(),
+                            op,
+                            scalar_bytes: std::mem::size_of::<V>(),
+                            workers: 1,
+                            variant,
+                        },
+                        elapsed,
+                    );
+                };
+                run(Some(&observe))
+            }
+        }
     }
 
     /// [`OracleService::spmv`] for the ingress pump: identical execution
@@ -838,27 +1201,35 @@ impl<T> OracleService<T> {
         x: &[V],
         y: &mut [V],
     ) -> morpheus::Result<()> {
-        let r = &*handle.inner;
-        let t0 = self.collector.as_ref().map(|_| Instant::now());
-        let (workers, variant) = match self.exec_pool() {
-            None => {
-                morpheus::spmv::spmv_serial(&r.matrix, x, y)?;
-                (1, KernelVariant::Scalar)
+        match &handle.inner.stored {
+            Stored::Single { matrix, structure, plan } => {
+                let t0 = self.collector.as_ref().map(|_| Instant::now());
+                let (workers, variant) = match self.exec_pool() {
+                    None => {
+                        morpheus::spmv::spmv_serial(matrix, x, y)?;
+                        (1, KernelVariant::Scalar)
+                    }
+                    Some(pool) => {
+                        plan.spmv(matrix, x, y, pool)?;
+                        (pool.num_threads(), plan.dominant_variant())
+                    }
+                };
+                if let Some(t0) = t0 {
+                    self.record_execution::<V>(
+                        *structure,
+                        matrix.format_id(),
+                        Op::Spmv,
+                        workers,
+                        variant,
+                        t0.elapsed(),
+                    );
+                }
             }
-            Some(pool) => {
-                r.plan.spmv(&r.matrix, x, y, pool)?;
-                (pool.num_threads(), r.plan.dominant_variant())
+            Stored::Partitioned(p) => {
+                // Admitted ingress work waits on a busy pool rather than
+                // dodging it — same contract as the single-matrix path.
+                self.run_partitioned(p, Op::Spmv, |obs| p.spmv_observed(x, y, self.exec_pool(), obs))?;
             }
-        };
-        if let Some(t0) = t0 {
-            self.record_execution::<V>(
-                r.structure,
-                r.matrix.format_id(),
-                Op::Spmv,
-                workers,
-                variant,
-                t0.elapsed(),
-            );
         }
         self.handle_requests.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -877,27 +1248,35 @@ impl<T> OracleService<T> {
         y: &mut [V],
         k: usize,
     ) -> morpheus::Result<()> {
-        let r = &*handle.inner;
-        let t0 = self.collector.as_ref().map(|_| Instant::now());
-        let workers = match self.exec_pool() {
-            None => {
-                morpheus::spmm::spmm_serial(&r.matrix, x, y, k)?;
-                1
+        match &handle.inner.stored {
+            Stored::Single { matrix, structure, plan } => {
+                let t0 = self.collector.as_ref().map(|_| Instant::now());
+                let workers = match self.exec_pool() {
+                    None => {
+                        morpheus::spmm::spmm_serial(matrix, x, y, k)?;
+                        1
+                    }
+                    Some(pool) => {
+                        plan.spmm(matrix, x, y, k, pool)?;
+                        pool.num_threads()
+                    }
+                };
+                if let Some(t0) = t0 {
+                    self.record_execution::<V>(
+                        *structure,
+                        matrix.format_id(),
+                        Op::Spmm { k },
+                        workers,
+                        KernelVariant::Scalar,
+                        t0.elapsed(),
+                    );
+                }
             }
-            Some(pool) => {
-                r.plan.spmm(&r.matrix, x, y, k, pool)?;
-                pool.num_threads()
+            Stored::Partitioned(p) => {
+                self.run_partitioned(p, Op::Spmm { k }, |obs| {
+                    p.spmm_observed(x, y, k, self.exec_pool(), obs)
+                })?;
             }
-        };
-        if let Some(t0) = t0 {
-            self.record_execution::<V>(
-                r.structure,
-                r.matrix.format_id(),
-                Op::Spmm { k },
-                workers,
-                KernelVariant::Scalar,
-                t0.elapsed(),
-            );
         }
         self.handle_requests.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -1260,7 +1639,7 @@ mod tests {
             "same structure must reuse the cached plan"
         );
         // The Arc behind both handles is literally the same plan object.
-        assert!(std::ptr::eq(h1.inner.plan.as_ref(), h2.inner.plan.as_ref()));
+        assert!(std::ptr::eq(h1.plan(), h2.plan()));
     }
 
     #[test]

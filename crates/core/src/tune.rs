@@ -81,4 +81,11 @@ pub struct TuneReport {
     /// [`TuneReport::cost`], this is host time, not the engine's virtual
     /// clock — it is the real price §VII's amortisation argument is about.
     pub convert: morpheus::ConvertOutcome,
+    /// Shards of the registered matrix: 1 for a whole-matrix registration
+    /// (and for all tune-only calls), ≥ 2 when the service decided a
+    /// partitioned handle wins (see
+    /// `OracleService::register_partitioned`). For partitioned handles
+    /// [`TuneReport::chosen`] and [`TuneReport::variant`] report the
+    /// nnz-dominant shard; per-shard detail lives on the handle.
+    pub shards: usize,
 }

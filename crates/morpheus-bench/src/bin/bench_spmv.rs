@@ -24,10 +24,11 @@ use morpheus::format::FormatId;
 use morpheus::spmv::threaded;
 use morpheus::{
     spmm, Analysis, Bottleneck, ConvertOptions, CooMatrix, CpuFeatures, DynamicMatrix, ExecPlan,
-    KernelVariant, ALL_VARIANTS,
+    KernelVariant, Partition, PartitionConfig, PartitionedMatrix, ALL_VARIANTS,
 };
 use morpheus_bench::report::json_escape;
 use morpheus_corpus::gen::banded::tridiagonal;
+use morpheus_corpus::gen::hetero::{hub_plus_banded, shifted_bands};
 use morpheus_corpus::gen::powerlaw::{hub_rows, zipf_rows};
 use morpheus_corpus::gen::random::variable_degree;
 use morpheus_corpus::gen::stencil::poisson2d;
@@ -79,6 +80,14 @@ fn corpus(smoke: bool) -> Vec<Case> {
             name: "dense-rows",
             family: "regular",
             matrix: variable_degree(scale(16_000, 1_200), scale(96, 32), scale(224, 72), &mut rng),
+        },
+        // Hypersparse scattered columns (~3 nnz/row, uniform targets): high
+        // diagonal scatter, x reused under 16 times per column — the
+        // latency-bound class, so its bottleneck geomean is non-vacuous.
+        Case {
+            name: "scattered",
+            family: "scattered",
+            matrix: variable_degree(scale(40_000, 4_000), 2, 4, &mut rng),
         },
     ]
 }
@@ -157,16 +166,54 @@ struct SpmmRow {
     speedup: f64,
 }
 
-fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+/// One shard of a partitioned case in the snapshot.
+struct ShardCol {
+    rows: std::ops::Range<usize>,
+    nnz: usize,
+    format: FormatId,
+    variant: KernelVariant,
+}
+
+/// Partitioned execution vs. the best whole-matrix single-format plan.
+struct PartRow {
+    matrix: &'static str,
+    nrows: usize,
+    nnz: usize,
+    shards: Vec<ShardCol>,
+    best_single_format: FormatId,
+    best_single_s: f64,
+    partitioned_s: f64,
+    speedup: f64,
+}
+
+/// `None` when the class has no rows: a vacuous geomean must read as
+/// "no data" downstream (JSON `null`), never as a fabricated `1.0`.
+fn geomean(values: impl Iterator<Item = f64>) -> Option<f64> {
     let (mut log_sum, mut n) = (0.0, 0usize);
     for v in values {
         log_sum += v.ln();
         n += 1;
     }
     if n == 0 {
-        1.0
+        None
     } else {
-        (log_sum / n as f64).exp()
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+/// Renders an optional geomean for the stdout report.
+fn show_geo(g: Option<f64>) -> String {
+    match g {
+        Some(v) => format!("{v:.3}x"),
+        None => "n/a (no rows)".to_string(),
+    }
+}
+
+/// Renders an optional geomean as a JSON value (`null` when vacuous).
+fn json_geo(g: Option<f64>) -> String {
+    match g {
+        Some(v) => format!("{v:.4}"),
+        None => "null".to_string(),
     }
 }
 
@@ -199,9 +246,11 @@ fn main() {
     let mut spmm_rows: Vec<SpmmRow> = Vec::new();
 
     // Session used only to name the steady-state format per matrix (the
-    // one the headline geomean reads).
+    // one the headline geomean reads). The engine doubles as the
+    // per-shard format chooser in the partitioned section.
+    let engine = VirtualEngine::new(systems::cirrus(), Backend::OpenMp);
     let mut selector = Oracle::builder()
-        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .engine(engine.clone())
         .tuner(RunFirstTuner::new(1))
         .build()
         .expect("engine and tuner set");
@@ -321,6 +370,157 @@ fn main() {
         }
     }
 
+    // --- partitioned handles: per-shard formats vs the best single plan ---
+    //
+    // Internally heterogeneous matrices where every whole-matrix format is
+    // wrong for one regime. The contest is fair: the single-format side
+    // gets every viable format converted, planned at the same worker count
+    // and timed, and its *best* loop time is the baseline.
+    let mut part_rows: Vec<PartRow> = Vec::new();
+    {
+        let mut rng = StdRng::seed_from_u64(23);
+        let scale = |full: usize, small: usize| if smoke { small } else { full };
+        let hetero_cases: Vec<(&'static str, CooMatrix<f64>)> = vec![
+            ("hetero", hub_plus_banded(scale(48_000, 3_000), scale(800, 120), scale(160, 64), 4, &mut rng)),
+            (
+                "hetero-tail",
+                hub_plus_banded(scale(48_000, 3_000), scale(96, 24), scale(512, 96), 4, &mut rng),
+            ),
+            (
+                // Domain-decomposition shape: two band blocks at different
+                // diagonal offsets and widths. Whole-matrix DIA/HDC store
+                // the union of both blocks' diagonals at half fill, ELL
+                // pads to the wide block, CSR runs scalar short rows —
+                // per-shard DIA is the only format that fits both blocks.
+                // Offsets point inward (positive for low rows, negative
+                // for high rows) so no edge row loses entries.
+                "hetero-bands",
+                shifted_bands(
+                    scale(48_000, 3_000),
+                    scale(400, 60),
+                    scale(160, 64),
+                    &[(scale(4_000, 250) as isize, 2), (-(scale(2_000, 125) as isize), 6)],
+                    &mut rng,
+                ),
+            ),
+        ];
+        for (name, coo) in hetero_cases {
+            let base = DynamicMatrix::from(coo);
+            let x: Vec<f64> = (0..base.ncols()).map(|i| 1.0 + (i % 13) as f64 * 0.25).collect();
+            let analysis = Analysis::of_auto(&base, opts.true_diag_alpha);
+            // Shard targets sized to the regime count (hub / mid / tail),
+            // not the worker count: per-shard specialization wins by
+            // matching formats to regimes, and over-sharding only buys
+            // dispatch overhead. The explicit target also keeps smoke
+            // inputs splitting — the module default (64k nnz) would leave
+            // them as one shard and bench nothing.
+            let cfg = PartitionConfig {
+                max_shards: 4,
+                target_shard_nnz: (base.nnz() / 3).max(4_096),
+                ..Default::default()
+            };
+            let partition = Partition::from_analysis(&analysis, &cfg);
+            // Per-shard formats are *measured*, the RunFirstTuner idea at
+            // shard granularity: convert each candidate, replay its
+            // single-threaded plan a few times, keep the fastest.
+            let pm = PartitionedMatrix::build(
+                &base,
+                &partition,
+                &opts,
+                pool.num_threads(),
+                Some(&analysis),
+                |_, sm, _| {
+                    let mut best = (FormatId::Csr, f64::INFINITY);
+                    for fmt in [FormatId::Csr, FormatId::Ell, FormatId::Dia, FormatId::Hyb, FormatId::Hdc] {
+                        let Ok(mf) = sm.to_format(fmt, &opts) else { continue };
+                        let fa = Analysis::of_auto(&mf, opts.true_diag_alpha);
+                        let plan = ExecPlan::build(&mf, 1, Some(&fa));
+                        let mut y = vec![0.0f64; mf.nrows()];
+                        let s = time_loop(16, || plan.spmv_unpooled(&mf, &x, &mut y).expect("plan matches"));
+                        if s < best.1 {
+                            best = (fmt, s);
+                        }
+                    }
+                    best.0
+                },
+            )
+            .expect("partitioned build");
+            assert!(pm.num_shards() >= 2, "{name}: hetero case must shard (got 1)");
+            let mut distinct = pm.formats();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(
+                distinct.len() >= 2,
+                "{name}: per-shard tuning must realize >=2 formats, got {distinct:?}"
+            );
+
+            let mut y_part = vec![0.0f64; base.nrows()];
+            pm.spmv(&x, &mut y_part, &pool).expect("shapes agree");
+            let mut y_ref = vec![0.0f64; base.nrows()];
+            morpheus::spmv::spmv_serial(&base, &x, &mut y_ref).expect("shapes agree");
+            assert!(
+                y_part.iter().zip(&y_ref).all(|(a, b)| (a - b).abs() <= 1e-9 * b.abs().max(1.0)),
+                "{name}: partitioned result diverged from serial reference"
+            );
+
+            // Interleaved min-of-reps scoring: this box is one core and
+            // bursty, so a single best-of-3 loop wears whatever the
+            // neighbors were doing when it ran. Alternating the
+            // partitioned loop with every single-format loop across
+            // several reps and keeping each side's minimum scores both
+            // at their uncontended speed.
+            let singles: Vec<(FormatId, DynamicMatrix<f64>, ExecPlan<f64>)> =
+                [FormatId::Csr, FormatId::Ell, FormatId::Dia, FormatId::Hyb, FormatId::Coo, FormatId::Hdc]
+                    .into_iter()
+                    .filter_map(|fmt| {
+                        let mf = base.to_format(fmt, &opts).ok()?;
+                        let fa = Analysis::of_auto(&mf, opts.true_diag_alpha);
+                        let plan = ExecPlan::build(&mf, pool.num_threads(), Some(&fa));
+                        Some((fmt, mf, plan))
+                    })
+                    .collect();
+            let reps = if smoke { 2 } else { 5 };
+            let mut partitioned_s = f64::INFINITY;
+            let mut single_s = vec![f64::INFINITY; singles.len()];
+            let mut y = vec![0.0f64; base.nrows()];
+            for _ in 0..reps {
+                partitioned_s = partitioned_s
+                    .min(time_loop(spmv_iters, || pm.spmv(&x, &mut y_part, &pool).expect("shapes agree")));
+                for ((_, mf, plan), slot) in singles.iter().zip(single_s.iter_mut()) {
+                    let s = time_loop(spmv_iters, || plan.spmv(mf, &x, &mut y, &pool).expect("plan matches"));
+                    *slot = slot.min(s);
+                }
+            }
+            let (best_single_format, best_single_s) = singles
+                .iter()
+                .zip(&single_s)
+                .map(|((fmt, _, _), s)| (*fmt, *s))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("CSR is always viable");
+
+            part_rows.push(PartRow {
+                matrix: name,
+                nrows: base.nrows(),
+                nnz: base.nnz(),
+                shards: pm
+                    .shards()
+                    .iter()
+                    .map(|s| ShardCol {
+                        rows: s.rows(),
+                        nnz: s.nnz(),
+                        format: s.format_id(),
+                        variant: s.plan().dominant_variant(),
+                    })
+                    .collect(),
+                best_single_format,
+                best_single_s,
+                partitioned_s,
+                speedup: best_single_s / partitioned_s,
+            });
+        }
+    }
+    let partitioned_geo = geomean(part_rows.iter().map(|r| r.speedup));
+
     // --- report ---
     let cpu = CpuFeatures::detect();
     println!("cpu features: avx2={} fma={}", cpu.avx2, cpu.fma);
@@ -398,13 +598,42 @@ fn main() {
         );
     }
 
+    println!();
+    println!(
+        "{:<12} {:>9} {:>9} {:>7} {:>11} | {:>13} {:>13} {:>8}",
+        "matrix", "nrows", "nnz", "shards", "best-single", "best_single_s", "partitioned_s", "speedup"
+    );
+    for r in &part_rows {
+        println!(
+            "{:<12} {:>9} {:>9} {:>7} {:>11} | {:>13.6} {:>13.6} {:>7.2}x",
+            r.matrix,
+            r.nrows,
+            r.nnz,
+            r.shards.len(),
+            r.best_single_format.to_string(),
+            r.best_single_s,
+            r.partitioned_s,
+            r.speedup
+        );
+        for (i, s) in r.shards.iter().enumerate() {
+            println!(
+                "    shard {i:<2} rows {:>7}..{:<7} nnz {:>8}  {:<5} {}",
+                s.rows.start,
+                s.rows.end,
+                s.nnz,
+                s.format.to_string(),
+                s.variant
+            );
+        }
+    }
+
     let spmv_powerlaw =
         geomean(spmv_rows.iter().filter(|r| r.family == "powerlaw" && r.tuned).map(|r| r.speedup));
     let spmv_all_formats_powerlaw =
         geomean(spmv_rows.iter().filter(|r| r.family == "powerlaw").map(|r| r.speedup));
     let spmv_all = geomean(spmv_rows.iter().map(|r| r.speedup));
     let spmm_all = geomean(spmm_rows.iter().map(|r| r.speedup));
-    let by_bottleneck: Vec<(Bottleneck, f64)> =
+    let by_bottleneck: Vec<(Bottleneck, Option<f64>)> =
         [Bottleneck::Bandwidth, Bottleneck::Latency, Bottleneck::Imbalance]
             .into_iter()
             .map(|b| {
@@ -412,36 +641,76 @@ fn main() {
             })
             .collect();
     println!();
-    println!("planned SpMV geomean speedup, powerlaw corpus (tuned formats): {spmv_powerlaw:.3}x");
+    println!("planned SpMV geomean speedup, powerlaw corpus (tuned formats): {}", show_geo(spmv_powerlaw));
     println!(
-        "planned SpMV geomean speedup, powerlaw corpus (all formats):   {spmv_all_formats_powerlaw:.3}x"
+        "planned SpMV geomean speedup, powerlaw corpus (all formats):   {}",
+        show_geo(spmv_all_formats_powerlaw)
     );
-    println!("planned SpMV geomean speedup (every row):                      {spmv_all:.3}x");
+    println!("planned SpMV geomean speedup (every row):                      {}", show_geo(spmv_all));
     for (b, g) in &by_bottleneck {
-        println!("planned SpMV geomean speedup, {b:<9} tuned rows:              {g:.3}x");
+        println!("planned SpMV geomean speedup, {b:<9} tuned rows:              {}", show_geo(*g));
     }
-    println!("threaded SpMM geomean speedup over serial:                     {spmm_all:.3}x  ({threads} worker(s))");
+    println!(
+        "threaded SpMM geomean speedup over serial:                     {}  ({threads} worker(s))",
+        show_geo(spmm_all)
+    );
+    println!("partitioned SpMV geomean speedup over best single-format plan: {}", show_geo(partitioned_geo));
 
     // --- snapshot ---
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_spmv/v2\",\n");
+    json.push_str("  \"schema\": \"bench_spmv/v3\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"cpu\": {{\"avx2\": {}, \"fma\": {}}},\n", cpu.avx2, cpu.fma));
     json.push_str(&format!("  \"spmv_iters\": {spmv_iters},\n"));
     json.push_str(&format!("  \"spmm_iters\": {spmm_iters},\n"));
-    json.push_str(&format!("  \"spmv_powerlaw_geomean_speedup\": {spmv_powerlaw:.4},\n"));
+    json.push_str(&format!("  \"spmv_powerlaw_geomean_speedup\": {},\n", json_geo(spmv_powerlaw)));
     json.push_str(&format!(
-        "  \"spmv_powerlaw_all_formats_geomean_speedup\": {spmv_all_formats_powerlaw:.4},\n"
+        "  \"spmv_powerlaw_all_formats_geomean_speedup\": {},\n",
+        json_geo(spmv_all_formats_powerlaw)
     ));
-    json.push_str(&format!("  \"spmv_geomean_speedup\": {spmv_all:.4},\n"));
-    json.push_str(&format!("  \"spmm_geomean_speedup\": {spmm_all:.4},\n"));
+    json.push_str(&format!("  \"spmv_geomean_speedup\": {},\n", json_geo(spmv_all)));
+    json.push_str(&format!("  \"spmm_geomean_speedup\": {},\n", json_geo(spmm_all)));
     json.push_str("  \"spmv_bottleneck_geomean_speedup\": {");
     for (i, (b, g)) in by_bottleneck.iter().enumerate() {
-        json.push_str(&format!("\"{b}\": {g:.4}{}", if i + 1 < by_bottleneck.len() { ", " } else { "" }));
+        json.push_str(&format!(
+            "\"{b}\": {}{}",
+            json_geo(*g),
+            if i + 1 < by_bottleneck.len() { ", " } else { "" }
+        ));
     }
     json.push_str("},\n");
+    json.push_str(&format!("  \"partitioned_geomean_speedup\": {},\n", json_geo(partitioned_geo)));
+    json.push_str("  \"partitioned\": [\n");
+    for (i, r) in part_rows.iter().enumerate() {
+        let shards: Vec<String> = r
+            .shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"rows\": [{}, {}], \"nnz\": {}, \"format\": \"{}\", \"variant\": \"{}\"}}",
+                    s.rows.start, s.rows.end, s.nnz, s.format, s.variant
+                )
+            })
+            .collect();
+        json.push_str(&format!(
+            "    {{\"matrix\": \"{}\", \"nrows\": {}, \"nnz\": {}, \"num_shards\": {}, \
+             \"best_single_format\": \"{}\", \"best_single_s\": {:.6e}, \"partitioned_s\": {:.6e}, \
+             \"speedup\": {:.4}, \"shards\": [{}]}}{}\n",
+            json_escape(r.matrix),
+            r.nrows,
+            r.nnz,
+            r.shards.len(),
+            r.best_single_format,
+            r.best_single_s,
+            r.partitioned_s,
+            r.speedup,
+            shards.join(", "),
+            if i + 1 < part_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"spmv\": [\n");
     for (i, r) in spmv_rows.iter().enumerate() {
         let scalar_s = r.variants.iter().find(|c| c.forced == KernelVariant::Scalar).and_then(|c| c.loop_s);

@@ -2,6 +2,7 @@
 
 pub mod banded;
 pub mod blocks;
+pub mod hetero;
 pub mod powerlaw;
 pub mod random;
 pub mod stencil;

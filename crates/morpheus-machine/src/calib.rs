@@ -50,6 +50,11 @@ pub struct Calibration {
     /// across diagonals / slab columns, once the matrix is tall and wide
     /// enough for blocking to engage.
     pub cpu_block_gain: f64,
+    /// Per-shard dispatch cost of a partitioned execution, seconds: the
+    /// scheduling, plan lookup and cache warm-up a worker pays each time it
+    /// switches to the next owned shard. Charged once per shard executed on
+    /// the critical-path worker when costing whether to shard at all.
+    pub cpu_shard_dispatch: f64,
 
     // -- GPU -------------------------------------------------------------
     /// Kernel launch latency, seconds.
@@ -99,6 +104,7 @@ impl Default for Calibration {
             cpu_unroll_gain: 1.5,
             cpu_prefetch_hide: 0.35,
             cpu_block_gain: 1.15,
+            cpu_shard_dispatch: 1.5e-7,
             gpu_launch_overhead: 5.0e-6,
             gpu_cycles_per_iter: 4.0,
             gpu_gather_miss_bytes: 32.0,
@@ -162,5 +168,6 @@ mod tests {
         assert!(c.cpu_unroll_gain > 1.0 && c.cpu_unroll_gain < 3.0);
         assert!(c.cpu_prefetch_hide > 0.0 && c.cpu_prefetch_hide < 1.0);
         assert!(c.cpu_block_gain > 1.0 && c.cpu_block_gain < 2.0);
+        assert!(c.cpu_shard_dispatch > 0.0 && c.cpu_shard_dispatch < c.omp_base_overhead);
     }
 }

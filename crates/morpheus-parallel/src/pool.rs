@@ -181,6 +181,33 @@ impl ThreadPool {
         }
     }
 
+    /// Runs `body(worker, item)` with stable item→worker ownership: worker
+    /// `w` executes the items of `owners[w]` in order, every call with the
+    /// same `owners` routing each item to the same worker. This is the
+    /// affinity primitive partitioned (sharded) executions use so a
+    /// shard's arrays stay hot in one core's cache across repeated calls
+    /// (NUMA-friendly ownership). Ranges beyond the pool's worker count
+    /// are drained by worker 0 after its own range; with one thread (or
+    /// from inside a nested region) everything runs inline, preserving
+    /// item order.
+    pub fn run_owned(&self, owners: &[Range<usize>], body: &(dyn Fn(usize, usize) + Sync)) {
+        let n = self.n_threads;
+        self.run_on_all(&|w| {
+            if let Some(r) = owners.get(w) {
+                for i in r.clone() {
+                    body(w, i);
+                }
+            }
+            if w == 0 {
+                for r in owners.iter().skip(n) {
+                    for i in r.clone() {
+                        body(0, i);
+                    }
+                }
+            }
+        });
+    }
+
     /// OpenMP-style `parallel for` over `range`, calling `body(i)` exactly
     /// once per index.
     pub fn parallel_for(&self, range: Range<usize>, schedule: Schedule, body: impl Fn(usize) + Sync) {
@@ -428,6 +455,29 @@ mod tests {
             Schedule::Dynamic { chunk: 13 },
             Schedule::Guided { min_chunk: 5 },
         ]
+    }
+
+    #[test]
+    fn run_owned_visits_each_item_once_with_stable_owner() {
+        let pool = ThreadPool::new(3);
+        let owners = vec![0..2, 2..5, 5..9, 9..11];
+        let seen: Vec<AtomicUsize> = (0..11).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        for _ in 0..4 {
+            let run: Vec<AtomicUsize> = (0..11).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_owned(&owners, &|w, i| {
+                run[i].fetch_add(1, Ordering::Relaxed);
+                // Ownership must be stable across calls; ranges past the
+                // worker count fall to worker 0.
+                let prev = seen[i].swap(w, Ordering::Relaxed);
+                assert!(prev == usize::MAX || prev == w, "item {i} moved workers");
+            });
+            for (i, v) in run.iter().enumerate() {
+                assert_eq!(v.load(Ordering::Relaxed), 1, "item {i}");
+            }
+        }
+        for (i, s) in seen.iter().enumerate().take(11).skip(9) {
+            assert_eq!(s.load(Ordering::Relaxed), 0, "overflow range item {i} runs on worker 0");
+        }
     }
 
     #[test]

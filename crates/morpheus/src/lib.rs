@@ -53,6 +53,7 @@ pub mod format;
 pub mod hdc;
 pub mod hyb;
 pub mod io;
+pub mod partition;
 pub mod plan;
 pub mod rowmajor;
 pub mod scalar;
@@ -74,6 +75,7 @@ pub use error::MorpheusError;
 pub use format::FormatId;
 pub use hdc::HdcMatrix;
 pub use hyb::{HybMatrix, HybSplit};
+pub use partition::{Partition, PartitionConfig, PartitionedMatrix, Shard, StreamingPartitioner};
 pub use plan::{BatchWorkspace, ExecPlan, Workspace};
 pub use rowmajor::for_each_entry_row_major;
 pub use scalar::Scalar;

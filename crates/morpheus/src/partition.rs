@@ -1,0 +1,977 @@
+//! Row-range partitioning for internally heterogeneous matrices.
+//!
+//! The paper selects **one** format for the whole matrix, but web-scale
+//! matrices are internally heterogeneous: a powerlaw matrix's hub rows want
+//! CSR/COO while its banded tail wants DIA/ELL. Per-shard selection is
+//! strictly stronger than whole-matrix selection — the whole-matrix optimum
+//! is the special case of one shard.
+//!
+//! Three artifacts live here:
+//!
+//! * [`Partition`] — row-range shard boundaries picked from an
+//!   [`Analysis`] row-nnz histogram: balanced nnz per shard, with each
+//!   boundary nudged to the largest nearby *regime shift* in mean row
+//!   length so a hub block and a regular tail land in different shards.
+//! * [`PartitionedMatrix`] — the shards, each independently converted
+//!   (direct conversion kernels, CSR fallback) and independently planned
+//!   (each shard gets its own single-part [`ExecPlan`] with variant
+//!   selection). Execution runs shard plans across a
+//!   [`ThreadPool`] with stable shard→worker ownership — a worker always
+//!   executes the same contiguous run of shards, so each shard's arrays
+//!   stay hot in one core's cache — writing disjoint output slices through
+//!   [`SharedSlice`]. The pooled and unpooled paths run the same
+//!   single-threaded kernel bodies per shard and are bitwise identical.
+//! * [`StreamingPartitioner`] — ingests a row-major entry stream and seals
+//!   CSR shards at row boundaries as the nnz target fills, so a matrix
+//!   larger than one resident copy never materializes whole.
+
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use morpheus_parallel::{weighted_partition_with, SharedSlice, ThreadPool};
+
+use crate::analysis::{passes, Analysis};
+use crate::convert::ConvertOptions;
+use crate::csr::CsrMatrix;
+use crate::dynamic::DynamicMatrix;
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::plan::ExecPlan;
+use crate::rowmajor::for_each_entry_row_major;
+use crate::scalar::Scalar;
+use crate::spmv::variant::KernelVariant;
+use crate::Result;
+
+/// Controls shard boundary selection in [`Partition::from_analysis`].
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    /// Upper bound on shard count. The actual count is
+    /// `clamp(nnz / target_shard_nnz, 1, max_shards)`, further capped by
+    /// the row count.
+    pub max_shards: usize,
+    /// Desired structural non-zeros per shard.
+    pub target_shard_nnz: usize,
+    /// Window length (in rows) over which mean row length is compared on
+    /// each side of a candidate boundary. A balance boundary may travel
+    /// anywhere between its neighbouring boundaries to reach the best
+    /// shift; the window only sets the scale at which a shift is scored.
+    pub regime_window: usize,
+    /// Minimum ratio between the two window means for a nudge to be taken
+    /// (the regime score is `|ln(mean_l / mean_r)|` with +1 smoothing; a
+    /// boundary moves only if the best nearby score reaches
+    /// `ln(regime_ratio)`).
+    pub regime_ratio: f64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig { max_shards: 8, target_shard_nnz: 1 << 16, regime_window: 1024, regime_ratio: 2.0 }
+    }
+}
+
+/// Row-range shard boundaries for one matrix structure.
+///
+/// Boundaries are a strictly increasing sequence `b_0 = 0 < b_1 < ... <
+/// b_s = nrows`; shard `i` owns rows `b_i..b_{i+1}`. Construction is a
+/// pure function of the [`Analysis`] histogram and the
+/// [`PartitionConfig`] — identical inputs always produce identical
+/// boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    nrows: usize,
+    boundaries: Vec<usize>,
+    shard_nnz: Vec<usize>,
+}
+
+impl Partition {
+    /// Picks shard boundaries from the row-nnz histogram of `a`.
+    ///
+    /// Stage 1 balances nnz: `weighted_partition_with` over the histogram
+    /// yields contiguous, non-empty row ranges with near-equal nnz. Stage 2
+    /// refines each interior boundary: anywhere strictly between its
+    /// neighbouring boundaries, the position maximizing the log-ratio of
+    /// mean row length between the `regime_window`-row windows on its two
+    /// sides is found (coarse stride scan + fine pass around the best
+    /// coarse hit, so a hub edge far from the balance point is still
+    /// reached); the boundary snaps there if the shift is at least
+    /// `regime_ratio`. Scoring windows clamp at the neighbouring
+    /// boundaries, so a shift already claimed by the previous boundary
+    /// cannot recapture the next one.
+    pub fn from_analysis(a: &Analysis, cfg: &PartitionConfig) -> Partition {
+        let nrows = a.nrows;
+        let total: usize = a.row_hist.iter().map(|&c| c as usize).sum();
+        if nrows == 0 {
+            return Partition { nrows: 0, boundaries: vec![0, 0], shard_nnz: vec![0] };
+        }
+        let target = cfg.target_shard_nnz.max(1);
+        let want = (total / target).clamp(1, cfg.max_shards.max(1)).min(nrows);
+        let ranges = weighted_partition_with(nrows, want, |r| a.row_hist[r] as usize);
+        let mut boundaries: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        boundaries.push(nrows);
+
+        // Prefix sums of row nnz for O(1) window means.
+        let mut pre = Vec::with_capacity(nrows + 1);
+        pre.push(0u64);
+        for &c in &a.row_hist {
+            pre.push(pre.last().unwrap() + u64::from(c));
+        }
+        let window = cfg.regime_window.max(1);
+        let threshold = cfg.regime_ratio.max(1.0).ln();
+        let win_mean = |lo: usize, hi: usize| -> f64 {
+            debug_assert!(lo < hi);
+            (pre[hi] - pre[lo]) as f64 / (hi - lo) as f64
+        };
+        for i in 1..boundaries.len() - 1 {
+            let (prev, next) = (boundaries[i - 1], boundaries[i + 1]);
+            let b = boundaries[i];
+            let (lo, hi) = (prev + 1, next - 1);
+            if lo > hi {
+                continue;
+            }
+            let score_at = |pos: usize| -> f64 {
+                let lstart = pos.saturating_sub(window).max(prev);
+                let rend = (pos + window).min(next);
+                ((win_mean(lstart, pos) + 1.0) / (win_mean(pos, rend) + 1.0)).ln().abs()
+            };
+            // Coarse stride over the whole span, then exact scan around the
+            // best coarse hit. The stride never exceeds the scoring window,
+            // so a step edge (whose score plateaus over ~window rows)
+            // cannot fall between probes.
+            let stride = ((hi - lo) / 2048).clamp(1, window);
+            let mut best = (0.0f64, b);
+            let mut pos = lo;
+            while pos <= hi {
+                let score = score_at(pos);
+                if score > best.0 {
+                    best = (score, pos);
+                }
+                pos += stride;
+            }
+            let fine_lo = best.1.saturating_sub(stride).max(lo);
+            let fine_hi = (best.1 + stride).min(hi);
+            for pos in fine_lo..=fine_hi {
+                let score = score_at(pos);
+                if score > best.0 {
+                    best = (score, pos);
+                }
+            }
+            if best.0 >= threshold {
+                boundaries[i] = best.1;
+            }
+        }
+        let shard_nnz = boundaries.windows(2).map(|w| (pre[w[1]] - pre[w[0]]) as usize).collect();
+        Partition { nrows, boundaries, shard_nnz }
+    }
+
+    /// Builds a partition from explicit boundaries (e.g. sealed by a
+    /// [`StreamingPartitioner`]). `boundaries` must start at 0, end at
+    /// `nrows`, be strictly increasing, and `shard_nnz` must have one
+    /// entry per shard.
+    pub fn from_boundaries(nrows: usize, boundaries: Vec<usize>, shard_nnz: Vec<usize>) -> Result<Partition> {
+        let ok = boundaries.len() >= 2
+            && boundaries[0] == 0
+            && *boundaries.last().unwrap() == nrows
+            && boundaries.windows(2).all(|w| w[0] < w[1] || (nrows == 0 && w[0] == w[1]))
+            && shard_nnz.len() == boundaries.len() - 1;
+        if !ok {
+            return Err(MorpheusError::InvalidStructure(format!(
+                "invalid partition boundaries {boundaries:?} for {nrows} rows"
+            )));
+        }
+        Ok(Partition { nrows, boundaries, shard_nnz })
+    }
+
+    /// Rows of the partitioned matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The boundary sequence `0 = b_0 < ... < b_s = nrows`.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Structural nnz per shard (from the histogram the partition was
+    /// built from).
+    pub fn shard_nnz(&self) -> &[usize] {
+        &self.shard_nnz
+    }
+
+    /// Row range of shard `i`.
+    pub fn shard_rows(&self, i: usize) -> Range<usize> {
+        self.boundaries[i]..self.boundaries[i + 1]
+    }
+
+    /// Iterator over all shard row ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        self.boundaries.windows(2).map(|w| w[0]..w[1])
+    }
+}
+
+/// Splits `m` into per-shard CSR sub-matrices in one row-major traversal.
+///
+/// Each shard keeps the full column space (`ncols` unchanged), so shard
+/// SpMV reads the same `x` and writes a disjoint `y` slice. Pass the
+/// matrix's [`Analysis`] if one is at hand — its row histogram supplies
+/// exact per-row counts; otherwise a counting pass runs first.
+pub fn split_rows<V: Scalar>(
+    m: &DynamicMatrix<V>,
+    p: &Partition,
+    analysis: Option<&Analysis>,
+) -> Result<Vec<CsrMatrix<V>>> {
+    if p.nrows != m.nrows() {
+        return Err(MorpheusError::ShapeMismatch {
+            expected: format!("partition over {} rows", p.nrows),
+            got: format!("matrix with {} rows", m.nrows()),
+        });
+    }
+    let counts: Vec<u32> = match analysis.filter(|a| a.matches(m)) {
+        Some(a) => a.row_hist.clone(),
+        None => {
+            let mut c = vec![0u32; m.nrows()];
+            for_each_entry_row_major(m, |r, _, _| c[r] += 1);
+            passes::record_traversal();
+            c
+        }
+    };
+    struct Fill<V> {
+        rows: Range<usize>,
+        offsets: Vec<usize>,
+        cols: Vec<usize>,
+        vals: Vec<V>,
+    }
+    let mut fills: Vec<Fill<V>> = p
+        .ranges()
+        .map(|rows| {
+            let mut offsets = Vec::with_capacity(rows.len() + 1);
+            offsets.push(0usize);
+            for r in rows.clone() {
+                offsets.push(offsets.last().unwrap() + counts[r] as usize);
+            }
+            let nnz = *offsets.last().unwrap();
+            Fill { rows, offsets, cols: Vec::with_capacity(nnz), vals: Vec::with_capacity(nnz) }
+        })
+        .collect();
+    // Entries arrive row-major with ascending columns, i.e. exactly in each
+    // shard's CSR order — appending is enough.
+    let mut si = 0usize;
+    for_each_entry_row_major(m, |r, c, v| {
+        while r >= fills[si].rows.end {
+            si += 1;
+        }
+        fills[si].cols.push(c);
+        fills[si].vals.push(v);
+    });
+    passes::record_traversal();
+    fills
+        .into_iter()
+        .map(|f| CsrMatrix::from_parts(f.rows.len(), m.ncols(), f.offsets, f.cols, f.vals))
+        .collect()
+}
+
+/// One shard of a [`PartitionedMatrix`]: its row range, its independently
+/// converted matrix, and its own single-part execution plan.
+#[derive(Debug)]
+pub struct Shard<V: Scalar> {
+    rows: Range<usize>,
+    matrix: DynamicMatrix<V>,
+    plan: Arc<ExecPlan<V>>,
+    structure: u64,
+}
+
+impl<V: Scalar> Shard<V> {
+    /// A shard from externally tuned parts. `structure` must be the
+    /// [`DynamicMatrix::structure_hash`] of `matrix`; plan/matrix
+    /// agreement is validated when the shard enters
+    /// [`PartitionedMatrix::from_shards`].
+    pub fn new(
+        rows: Range<usize>,
+        matrix: DynamicMatrix<V>,
+        plan: Arc<ExecPlan<V>>,
+        structure: u64,
+    ) -> Shard<V> {
+        Shard { rows, matrix, plan, structure }
+    }
+
+    /// Rows of the parent matrix this shard owns.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// The shard's matrix, in its realized format.
+    pub fn matrix(&self) -> &DynamicMatrix<V> {
+        &self.matrix
+    }
+
+    /// The shard's execution plan (built for 1 thread — parallelism comes
+    /// from running shards concurrently, not from splitting a shard).
+    pub fn plan(&self) -> &Arc<ExecPlan<V>> {
+        &self.plan
+    }
+
+    /// [`DynamicMatrix::structure_hash`] of the shard as executed.
+    pub fn structure(&self) -> u64 {
+        self.structure
+    }
+
+    /// Realized storage format of the shard.
+    pub fn format_id(&self) -> FormatId {
+        self.matrix.format_id()
+    }
+
+    /// Structural non-zeros of the shard.
+    pub fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+}
+
+/// Per-shard kernel body run by the shard executor against a disjoint
+/// output slice.
+type ShardKernel<'a, V> = &'a (dyn Fn(&Shard<V>, &mut [V]) -> Result<()> + Sync);
+
+/// A matrix stored as independently formatted, independently planned
+/// row-range shards.
+///
+/// SpMV/SpMM execute every shard's own plan against the shared `x` and a
+/// disjoint slice of `y`. With a pool, shards are distributed by stable
+/// contiguous ownership (nnz-weighted): worker `w` always runs the same
+/// shards, keeping their arrays hot in one core's cache. The pooled and
+/// unpooled paths run identical kernel bodies per shard, so their results
+/// are bitwise equal.
+#[derive(Debug)]
+pub struct PartitionedMatrix<V: Scalar> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    shards: Vec<Shard<V>>,
+    threads: usize,
+    owners: Vec<Range<usize>>,
+}
+
+impl<V: Scalar> PartitionedMatrix<V> {
+    /// Splits `m` by `partition`, converts each shard to the format chosen
+    /// by `choose(shard_index, &shard, &shard_analysis)` (falling back to
+    /// CSR when the chosen conversion is not viable, e.g. excessive DIA
+    /// padding), and plans each shard for single-threaded execution.
+    ///
+    /// `threads` is the worker count shard ownership is balanced for.
+    pub fn build(
+        m: &DynamicMatrix<V>,
+        partition: &Partition,
+        opts: &ConvertOptions,
+        threads: usize,
+        analysis: Option<&Analysis>,
+        mut choose: impl FnMut(usize, &DynamicMatrix<V>, &Analysis) -> FormatId,
+    ) -> Result<PartitionedMatrix<V>> {
+        let subs = split_rows(m, partition, analysis)?;
+        let parts: Vec<(Range<usize>, CsrMatrix<V>)> = partition.ranges().zip(subs).collect();
+        Self::assemble(m.ncols(), parts, threads, |i, sm, sa| {
+            let fmt = choose(i, sm, sa);
+            if fmt != sm.format_id() && sm.convert_to_with(fmt, opts, Some(sa)).is_err() {
+                // Chosen format not viable for this shard; CSR always is.
+                let _ = sm.convert_to_with(FormatId::Csr, opts, Some(sa));
+            }
+            Ok(())
+        })
+    }
+
+    /// Assembles a partitioned matrix from per-shard CSR pieces (e.g. from
+    /// [`StreamingPartitioner::finish`]), applying `tune` to each shard
+    /// (convert in place; the shard is re-analysed and planned afterwards).
+    pub fn assemble(
+        ncols: usize,
+        parts: Vec<(Range<usize>, CsrMatrix<V>)>,
+        threads: usize,
+        mut tune: impl FnMut(usize, &mut DynamicMatrix<V>, &Analysis) -> Result<()>,
+    ) -> Result<PartitionedMatrix<V>> {
+        if parts.is_empty() {
+            return Err(MorpheusError::InvalidStructure(
+                "partitioned matrix needs at least one shard".into(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(parts.len());
+        let mut expect = 0usize;
+        let alpha = ConvertOptions::default().true_diag_alpha;
+        for (i, (rows, csr)) in parts.into_iter().enumerate() {
+            if rows.start != expect || csr.nrows() != rows.len() || csr.ncols() != ncols {
+                return Err(MorpheusError::InvalidStructure(format!(
+                    "shard {i} rows {rows:?} do not tile the matrix contiguously"
+                )));
+            }
+            expect = rows.end;
+            let mut sm = DynamicMatrix::from(csr);
+            let hash = sm.structure_hash();
+            let sa = Analysis::of_auto_with_hash(&sm, alpha, hash);
+            tune(i, &mut sm, &sa)?;
+            let (structure, plan) = if sm.format_id() == FormatId::Csr {
+                (hash, Arc::new(ExecPlan::build(&sm, 1, Some(&sa))))
+            } else {
+                // Re-analyse in the realized format: DIA/ELL padding can
+                // change the stored-entry histogram the plan keys on.
+                let h = sm.structure_hash();
+                let ra = Analysis::of_auto_with_hash(&sm, alpha, h);
+                (h, Arc::new(ExecPlan::build(&sm, 1, Some(&ra))))
+            };
+            shards.push(Shard { rows, matrix: sm, plan, structure });
+        }
+        Self::from_shards(expect, ncols, shards, threads)
+    }
+
+    /// Wraps already converted-and-planned shards. Shard row ranges must
+    /// tile `0..nrows` contiguously; every plan must match its shard.
+    pub fn from_shards(
+        nrows: usize,
+        ncols: usize,
+        shards: Vec<Shard<V>>,
+        threads: usize,
+    ) -> Result<PartitionedMatrix<V>> {
+        if shards.is_empty() {
+            return Err(MorpheusError::InvalidStructure(
+                "partitioned matrix needs at least one shard".into(),
+            ));
+        }
+        let mut expect = 0usize;
+        for (i, s) in shards.iter().enumerate() {
+            if s.rows.start != expect || s.matrix.nrows() != s.rows.len() || s.matrix.ncols() != ncols {
+                return Err(MorpheusError::InvalidStructure(format!(
+                    "shard {i} rows {:?} do not tile the matrix contiguously",
+                    s.rows
+                )));
+            }
+            if !s.plan.matches(&s.matrix) {
+                return Err(MorpheusError::PlanMismatch {
+                    expected: format!("plan for shard {i}"),
+                    got: format!("{:?} {}x{}", s.matrix.format_id(), s.matrix.nrows(), ncols),
+                });
+            }
+            expect = s.rows.end;
+        }
+        if expect != nrows {
+            return Err(MorpheusError::InvalidStructure(format!("shards cover {expect} of {nrows} rows")));
+        }
+        let nnz = shards.iter().map(|s| s.matrix.nnz()).sum();
+        let threads = threads.max(1);
+        let owners = owner_ranges(&shards, threads);
+        Ok(PartitionedMatrix { nrows, ncols, nnz, shards, threads, owners })
+    }
+
+    /// Rows of the whole matrix.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the whole matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Total stored non-zeros across shards.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in row order.
+    pub fn shards(&self) -> &[Shard<V>] {
+        &self.shards
+    }
+
+    /// Shard `i`.
+    pub fn shard(&self, i: usize) -> &Shard<V> {
+        &self.shards[i]
+    }
+
+    /// Worker count the stored shard ownership was balanced for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Stable shard→worker ownership: `owners()[w]` is the contiguous
+    /// shard-index range worker `w` executes.
+    pub fn owners(&self) -> &[Range<usize>] {
+        &self.owners
+    }
+
+    /// The format covering the most stored non-zeros (ties: first shard).
+    pub fn dominant_format(&self) -> FormatId {
+        let mut by_fmt = [0usize; crate::format::FORMAT_COUNT];
+        for s in &self.shards {
+            by_fmt[s.matrix.format_id().index()] += s.matrix.nnz();
+        }
+        crate::format::ALL_FORMATS.into_iter().max_by_key(|f| by_fmt[f.index()]).unwrap_or(FormatId::Csr)
+    }
+
+    /// The dominant kernel variant of the shard covering the most nnz.
+    pub fn dominant_variant(&self) -> KernelVariant {
+        self.shards
+            .iter()
+            .max_by_key(|s| s.matrix.nnz())
+            .map(|s| s.plan.dominant_variant())
+            .unwrap_or(KernelVariant::Scalar)
+    }
+
+    /// Distinct realized formats across shards, in format-id order.
+    pub fn formats(&self) -> Vec<FormatId> {
+        let mut present = [false; crate::format::FORMAT_COUNT];
+        for s in &self.shards {
+            present[s.matrix.format_id().index()] = true;
+        }
+        crate::format::ALL_FORMATS.into_iter().filter(|f| present[f.index()]).collect()
+    }
+
+    /// `true` when every shard's plan preserves serial accumulation order
+    /// (partitioned results are then bitwise equal to the serial
+    /// reference on the same realized formats).
+    pub fn preserves_order(&self) -> bool {
+        self.shards.iter().all(|s| s.plan.preserves_order())
+    }
+
+    fn check_spmv_shapes(&self, x: &[V], y: &[V]) -> Result<()> {
+        if x.len() != self.ncols || y.len() != self.nrows {
+            return Err(MorpheusError::ShapeMismatch {
+                expected: format!("x: {}, y: {}", self.ncols, self.nrows),
+                got: format!("x: {}, y: {}", x.len(), y.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// `y = A x` across the pool with stable shard ownership.
+    pub fn spmv(&self, x: &[V], y: &mut [V], pool: &ThreadPool) -> Result<()> {
+        self.spmv_observed(x, y, Some(pool), None)
+    }
+
+    /// `y = A x` on the calling thread, shard by shard. Bitwise identical
+    /// to [`PartitionedMatrix::spmv`].
+    pub fn spmv_unpooled(&self, x: &[V], y: &mut [V]) -> Result<()> {
+        self.spmv_observed(x, y, None, None)
+    }
+
+    /// `y = A x`, optionally pooled, invoking `observe(shard_index,
+    /// elapsed)` after each shard kernel — the hook the serving layer uses
+    /// to record per-shard telemetry samples.
+    pub fn spmv_observed(
+        &self,
+        x: &[V],
+        y: &mut [V],
+        pool: Option<&ThreadPool>,
+        observe: Option<&(dyn Fn(usize, Duration) + Sync)>,
+    ) -> Result<()> {
+        self.check_spmv_shapes(x, y)?;
+        self.run_shards(y, pool, observe, &|s, ys| s.plan.spmv_unpooled(&s.matrix, x, ys))
+    }
+
+    /// `Y = A X` (row-major, `k` right-hand sides) across the pool.
+    pub fn spmm(&self, x: &[V], y: &mut [V], k: usize, pool: &ThreadPool) -> Result<()> {
+        self.spmm_observed(x, y, k, Some(pool), None)
+    }
+
+    /// `Y = A X`, optionally pooled, with the same per-shard observation
+    /// hook as [`PartitionedMatrix::spmv_observed`]. Shard kernels are the
+    /// serial SpMM bodies (planned SpMM runs scalar bodies too), so pooled
+    /// and unpooled results are bitwise equal.
+    pub fn spmm_observed(
+        &self,
+        x: &[V],
+        y: &mut [V],
+        k: usize,
+        pool: Option<&ThreadPool>,
+        observe: Option<&(dyn Fn(usize, Duration) + Sync)>,
+    ) -> Result<()> {
+        if k == 0 || x.len() != self.ncols * k || y.len() != self.nrows * k {
+            return Err(MorpheusError::ShapeMismatch {
+                expected: format!("x: {}*k, y: {}*k, k >= 1", self.ncols, self.nrows),
+                got: format!("x: {}, y: {}, k = {}", x.len(), y.len(), k),
+            });
+        }
+        self.run_shards_scaled(y, k, pool, observe, &|s, ys| crate::spmm::spmm_serial(&s.matrix, x, ys, k))
+    }
+
+    fn run_shards(
+        &self,
+        y: &mut [V],
+        pool: Option<&ThreadPool>,
+        observe: Option<&(dyn Fn(usize, Duration) + Sync)>,
+        kernel: ShardKernel<'_, V>,
+    ) -> Result<()> {
+        self.run_shards_scaled(y, 1, pool, observe, kernel)
+    }
+
+    /// Shared executor: shard `i` writes `y[rows.start*k .. rows.end*k]`.
+    fn run_shards_scaled(
+        &self,
+        y: &mut [V],
+        k: usize,
+        pool: Option<&ThreadPool>,
+        observe: Option<&(dyn Fn(usize, Duration) + Sync)>,
+        kernel: ShardKernel<'_, V>,
+    ) -> Result<()> {
+        let run_one = |si: usize, ys: &mut [V]| -> Result<()> {
+            let s = &self.shards[si];
+            let t0 = observe.map(|_| Instant::now());
+            kernel(s, ys)?;
+            if let (Some(f), Some(t0)) = (observe, t0) {
+                f(si, t0.elapsed());
+            }
+            Ok(())
+        };
+        match pool {
+            None => {
+                for si in 0..self.shards.len() {
+                    let r = self.shards[si].rows.clone();
+                    run_one(si, &mut y[r.start * k..r.end * k])?;
+                }
+                Ok(())
+            }
+            Some(pool) if pool.num_threads() <= 1 => {
+                for si in 0..self.shards.len() {
+                    let r = self.shards[si].rows.clone();
+                    run_one(si, &mut y[r.start * k..r.end * k])?;
+                }
+                Ok(())
+            }
+            Some(pool) => {
+                let owned;
+                let owners: &[Range<usize>] = if pool.num_threads() == self.threads {
+                    &self.owners
+                } else {
+                    owned = owner_ranges(&self.shards, pool.num_threads());
+                    &owned
+                };
+                let shared = SharedSlice::new(y);
+                let failed: Mutex<Option<MorpheusError>> = Mutex::new(None);
+                pool.run_owned(owners, &|_, si| {
+                    let r = self.shards[si].rows.clone();
+                    // SAFETY: shard row ranges tile 0..nrows disjointly
+                    // (validated in from_shards), and run_owned executes
+                    // each shard index exactly once, so these mutable
+                    // slices never overlap.
+                    let ys = unsafe { shared.slice_mut(r.start * k, r.len() * k) };
+                    if let Err(e) = run_one(si, ys) {
+                        let mut g = failed.lock().unwrap();
+                        if g.is_none() {
+                            *g = Some(e);
+                        }
+                    }
+                });
+                match failed.into_inner().unwrap() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+/// Contiguous nnz-weighted shard→worker ownership. Every worker index up
+/// to `threads` gets a (possibly empty-by-omission) contiguous run; the
+/// returned vector has at most `threads` non-empty ranges covering all
+/// shards in order.
+fn owner_ranges<V: Scalar>(shards: &[Shard<V>], threads: usize) -> Vec<Range<usize>> {
+    // +1 so zero-nnz shards still carry weight and land in some range.
+    weighted_partition_with(shards.len(), threads.max(1), |i| shards[i].matrix.nnz() + 1)
+}
+
+/// What a [`StreamingPartitioner`] yields: the partition plus the
+/// per-shard CSR pieces, each tagged with its row range.
+pub type StreamedParts<V> = (Partition, Vec<(Range<usize>, CsrMatrix<V>)>);
+
+/// Builds a [`Partition`] and per-shard CSR pieces from a row-major entry
+/// stream without ever materializing the whole matrix.
+///
+/// Rows must arrive in non-decreasing order; entries within a row may be
+/// in any column order (each row is buffered, sorted, and duplicate
+/// columns are summed when the row closes). A shard is sealed at a row
+/// boundary once it holds at least `target_shard_nnz` entries, until
+/// `max_shards - 1` shards are sealed; the remainder becomes the last
+/// shard.
+pub struct StreamingPartitioner<V: Scalar> {
+    nrows: usize,
+    ncols: usize,
+    target_nnz: usize,
+    max_shards: usize,
+    cur_row: usize,
+    row_buf: Vec<(usize, V)>,
+    start_row: usize,
+    offsets: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<V>,
+    sealed: Vec<(Range<usize>, CsrMatrix<V>)>,
+}
+
+impl<V: Scalar> StreamingPartitioner<V> {
+    /// A partitioner for an `nrows x ncols` stream under `cfg`'s shard
+    /// sizing.
+    pub fn new(nrows: usize, ncols: usize, cfg: &PartitionConfig) -> Self {
+        StreamingPartitioner {
+            nrows,
+            ncols,
+            target_nnz: cfg.target_shard_nnz.max(1),
+            max_shards: cfg.max_shards.max(1),
+            cur_row: 0,
+            row_buf: Vec::new(),
+            start_row: 0,
+            offsets: vec![0],
+            cols: Vec::new(),
+            vals: Vec::new(),
+            sealed: Vec::new(),
+        }
+    }
+
+    /// Entries ingested so far (after duplicate merging in closed rows,
+    /// before it in the open row).
+    pub fn nnz(&self) -> usize {
+        self.sealed.iter().map(|(_, c)| c.nnz()).sum::<usize>() + self.cols.len() + self.row_buf.len()
+    }
+
+    /// Shards sealed so far (the open shard is not counted).
+    pub fn sealed_shards(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Feeds one entry. Rows must be non-decreasing across calls.
+    pub fn push(&mut self, row: usize, col: usize, val: V) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(MorpheusError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        if row < self.cur_row {
+            return Err(MorpheusError::InvalidStructure(format!(
+                "streaming ingestion requires non-decreasing rows (row {row} after {})",
+                self.cur_row
+            )));
+        }
+        if row > self.cur_row {
+            self.close_rows_through(row);
+        }
+        self.row_buf.push((col, val));
+        Ok(())
+    }
+
+    /// Closes rows `cur_row..next` (flushing the open row buffer and
+    /// emitting empty rows), sealing the open shard at any row boundary
+    /// where it has reached the nnz target.
+    fn close_rows_through(&mut self, next: usize) {
+        while self.cur_row < next {
+            if !self.row_buf.is_empty() {
+                self.row_buf.sort_unstable_by_key(|&(c, _)| c);
+                let mut merged: Vec<(usize, V)> = Vec::with_capacity(self.row_buf.len());
+                for &(c, v) in &self.row_buf {
+                    match merged.last_mut() {
+                        Some(last) if last.0 == c => last.1 += v,
+                        _ => merged.push((c, v)),
+                    }
+                }
+                for (c, v) in merged {
+                    self.cols.push(c);
+                    self.vals.push(v);
+                }
+                self.row_buf.clear();
+            }
+            self.offsets.push(self.cols.len());
+            self.cur_row += 1;
+            if self.cols.len() >= self.target_nnz && self.sealed.len() + 1 < self.max_shards {
+                self.seal();
+            }
+        }
+    }
+
+    /// Seals the open shard (rows `start_row..cur_row`) into a CSR piece.
+    fn seal(&mut self) {
+        let rows = self.start_row..self.cur_row;
+        let offsets = std::mem::replace(&mut self.offsets, vec![0]);
+        let cols = std::mem::take(&mut self.cols);
+        let vals = std::mem::take(&mut self.vals);
+        let csr = CsrMatrix::from_parts(rows.len(), self.ncols, offsets, cols, vals)
+            .expect("streamed shard rows are sorted and merged");
+        self.sealed.push((rows, csr));
+        self.start_row = self.cur_row;
+    }
+
+    /// Closes remaining rows and returns the partition plus the per-shard
+    /// CSR pieces, ready for [`PartitionedMatrix::assemble`].
+    pub fn finish(mut self) -> Result<StreamedParts<V>> {
+        self.close_rows_through(self.nrows);
+        if self.start_row < self.nrows || self.sealed.is_empty() {
+            self.seal();
+        }
+        let mut boundaries = Vec::with_capacity(self.sealed.len() + 1);
+        boundaries.push(0);
+        let mut shard_nnz = Vec::with_capacity(self.sealed.len());
+        for (rows, csr) in &self.sealed {
+            boundaries.push(rows.end);
+            shard_nnz.push(csr.nnz());
+        }
+        let partition = Partition::from_boundaries(self.nrows, boundaries, shard_nnz)?;
+        Ok((partition, self.sealed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::spmv::spmv_serial;
+
+    fn hetero_coo(nrows: usize, hub_rows: usize, hub_deg: usize) -> CooMatrix<f64> {
+        let mut b = crate::builder::CooBuilder::new(nrows, nrows);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for r in 0..hub_rows {
+            for j in 0..hub_deg {
+                let c = (rng() as usize) % nrows;
+                b.push(r, c, (j + 1) as f64 * 0.25).unwrap();
+            }
+        }
+        for r in hub_rows..nrows {
+            for d in -1i64..=1 {
+                let c = r as i64 + d;
+                if c >= 0 && (c as usize) < nrows {
+                    b.push(r, c as usize, 1.0 + d as f64 * 0.5).unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn analysis_of(m: &DynamicMatrix<f64>) -> Analysis {
+        let alpha = ConvertOptions::default().true_diag_alpha;
+        Analysis::of_auto_with_hash(m, alpha, m.structure_hash())
+    }
+
+    #[test]
+    fn partition_invariants_and_determinism() {
+        let m = DynamicMatrix::from(hetero_coo(600, 40, 30));
+        let a = analysis_of(&m);
+        let cfg = PartitionConfig { target_shard_nnz: 300, regime_window: 32, ..Default::default() };
+        let p1 = Partition::from_analysis(&a, &cfg);
+        let p2 = Partition::from_analysis(&a, &cfg);
+        assert_eq!(p1, p2, "partitioning must be deterministic");
+        assert!(p1.num_shards() >= 2);
+        assert_eq!(p1.boundaries()[0], 0);
+        assert_eq!(*p1.boundaries().last().unwrap(), 600);
+        assert!(p1.boundaries().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(p1.shard_nnz().iter().sum::<usize>(), m.nnz());
+    }
+
+    #[test]
+    fn regime_refinement_snaps_to_hub_edge() {
+        // 40 hub rows of ~30 nnz then a tridiagonal tail: the first interior
+        // boundary should land exactly on the regime shift at row 40.
+        let m = DynamicMatrix::from(hetero_coo(600, 40, 30));
+        let a = analysis_of(&m);
+        let cfg = PartitionConfig { target_shard_nnz: m.nnz() / 2, regime_window: 128, ..Default::default() };
+        let p = Partition::from_analysis(&a, &cfg);
+        assert!(
+            p.boundaries().contains(&40),
+            "expected a boundary at the hub/tail regime shift, got {:?}",
+            p.boundaries()
+        );
+    }
+
+    #[test]
+    fn split_and_execute_matches_serial() {
+        let m = DynamicMatrix::from(hetero_coo(500, 30, 25));
+        let a = analysis_of(&m);
+        let cfg = PartitionConfig { target_shard_nnz: 250, ..Default::default() };
+        let p = Partition::from_analysis(&a, &cfg);
+        let pm = PartitionedMatrix::build(&m, &p, &ConvertOptions::default(), 3, Some(&a), |_, _, sa| {
+            // Alternate shard formats to exercise heterogeneous execution.
+            if sa.stats.nnz % 2 == 0 {
+                FormatId::Csr
+            } else {
+                FormatId::Ell
+            }
+        })
+        .unwrap();
+        assert_eq!(pm.nnz(), m.nnz());
+        let x: Vec<f64> = (0..500).map(|i| (i as f64).sin()).collect();
+        let mut want = vec![0.0; 500];
+        spmv_serial(&m, &x, &mut want).unwrap();
+        let mut got = vec![0.0; 500];
+        pm.spmv_unpooled(&x, &mut got).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-12 * w.abs().max(1.0), "{g} vs {w}");
+        }
+        let pool = ThreadPool::new(3);
+        let mut pooled = vec![1.0; 500];
+        pm.spmv(&x, &mut pooled, &pool).unwrap();
+        assert_eq!(pooled, got, "pooled and unpooled shard paths must be bitwise equal");
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let coo = hetero_coo(400, 20, 20);
+        let m = DynamicMatrix::from(coo);
+        let cfg = PartitionConfig { target_shard_nnz: 200, ..Default::default() };
+        let mut sp = StreamingPartitioner::new(400, 400, &cfg);
+        for_each_entry_row_major(&m, |r, c, v| sp.push(r, c, v).unwrap());
+        let (partition, parts) = sp.finish().unwrap();
+        assert!(partition.num_shards() >= 2);
+        assert_eq!(partition.shard_nnz().iter().sum::<usize>(), m.nnz());
+        let pm = PartitionedMatrix::assemble(400, parts, 2, |_, _, _| Ok(())).unwrap();
+        let x = vec![0.5; 400];
+        let mut want = vec![0.0; 400];
+        spmv_serial(&m, &x, &mut want).unwrap();
+        let mut got = vec![0.0; 400];
+        pm.spmv_unpooled(&x, &mut got).unwrap();
+        assert_eq!(got, want, "all-CSR streamed shards are bitwise equal to serial CSR-per-shard");
+    }
+
+    #[test]
+    fn streaming_rejects_decreasing_rows_and_merges_duplicates() {
+        let cfg = PartitionConfig::default();
+        let mut sp = StreamingPartitioner::<f64>::new(4, 4, &cfg);
+        sp.push(1, 2, 1.0).unwrap();
+        assert!(sp.push(0, 0, 1.0).is_err());
+        let mut sp = StreamingPartitioner::<f64>::new(2, 4, &cfg);
+        sp.push(0, 3, 1.0).unwrap();
+        sp.push(0, 1, 2.0).unwrap();
+        sp.push(0, 3, 0.5).unwrap();
+        let (_, parts) = sp.finish().unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].1.nnz(), 2, "duplicate columns merge");
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // Empty matrix.
+        let m = DynamicMatrix::from(CooMatrix::<f64>::from_triplets(0, 0, &[], &[], &[]).unwrap());
+        let a = analysis_of(&m);
+        let p = Partition::from_analysis(&a, &PartitionConfig::default());
+        assert_eq!(p.num_shards(), 1);
+        // Shard count request far above row count.
+        let m = DynamicMatrix::from(hetero_coo(3, 1, 2));
+        let a = analysis_of(&m);
+        let cfg = PartitionConfig { max_shards: 16, target_shard_nnz: 1, ..Default::default() };
+        let p = Partition::from_analysis(&a, &cfg);
+        assert!(p.num_shards() <= 3);
+        let pm = PartitionedMatrix::build(&m, &p, &ConvertOptions::default(), 8, Some(&a), |_, _, _| {
+            FormatId::Csr
+        })
+        .unwrap();
+        let x = vec![1.0; 3];
+        let mut y = vec![9.0; 3];
+        pm.spmv_unpooled(&x, &mut y).unwrap();
+        let mut want = vec![0.0; 3];
+        spmv_serial(&m, &x, &mut want).unwrap();
+        assert_eq!(y, want);
+    }
+}

@@ -1,0 +1,327 @@
+//! Partitioned-handle integration tests: shard boundary properties,
+//! partitioned execution vs. the serial reference (bitwise when
+//! order-preserving, ULP-bounded otherwise), streaming ingestion, and the
+//! service-level partitioned registration path.
+
+use morpheus_repro::corpus::gen::hetero::{hub_plus_banded, three_regime};
+use morpheus_repro::machine::{systems, Backend, VirtualEngine};
+use morpheus_repro::morpheus::format::FormatId;
+use morpheus_repro::morpheus::partition::split_rows;
+use morpheus_repro::morpheus::spmm::spmm_serial;
+use morpheus_repro::morpheus::spmv::spmv_serial;
+use morpheus_repro::morpheus::{
+    for_each_entry_row_major, Analysis, ConvertOptions, CooBuilder, CooMatrix, DynamicMatrix, Partition,
+    PartitionConfig, PartitionedMatrix, Scalar, StreamingPartitioner,
+};
+use morpheus_repro::oracle::adapt::{CollectorConfig, SampleCollector};
+use morpheus_repro::oracle::{Oracle, PartitionPolicy, RunFirstTuner};
+use morpheus_repro::parallel::ThreadPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn analysis_of<V: Scalar>(m: &DynamicMatrix<V>) -> Analysis {
+    Analysis::of_auto_with_hash(m, ConvertOptions::default().true_diag_alpha, m.structure_hash())
+}
+
+fn hetero(n: usize, hub_rows: usize, hub_deg: usize, seed: u64) -> DynamicMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DynamicMatrix::from(hub_plus_banded(n, hub_rows, hub_deg, 2, &mut rng))
+}
+
+/// Relative-error check scaled to re-associated accumulation headroom.
+fn assert_close<V: Scalar>(got: &[V], want: &[V], eps: f64) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let (g, w) = (g.to_f64(), w.to_f64());
+        assert!((g - w).abs() <= eps * w.abs().max(1.0), "row {i}: {g} vs {w}");
+    }
+}
+
+fn bitwise_eq<V: Scalar>(a: &[V], b: &[V]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.to_f64().to_bits() == y.to_f64().to_bits())
+}
+
+#[test]
+fn partition_is_deterministic_across_runs() {
+    // Two independently generated (same seed) matrices must partition
+    // identically: boundary selection is a pure function of the analysis.
+    let cfg = PartitionConfig { target_shard_nnz: 2_000, ..Default::default() };
+    let p1 = Partition::from_analysis(&analysis_of(&hetero(2_000, 100, 40, 11)), &cfg);
+    let p2 = Partition::from_analysis(&analysis_of(&hetero(2_000, 100, 40, 11)), &cfg);
+    assert_eq!(p1, p2);
+    assert!(p1.num_shards() >= 2);
+}
+
+#[test]
+fn degenerate_all_nnz_in_first_shard_and_empty_rows() {
+    // One dense row, everything else empty: all nnz land in the first
+    // shard and trailing all-empty row ranges still zero their y slice.
+    let n = 64;
+    let cols: Vec<usize> = (0..n).collect();
+    let rows = vec![0usize; n];
+    let vals = vec![1.5f64; n];
+    let m = DynamicMatrix::from(CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap());
+    let a = analysis_of(&m);
+    let cfg = PartitionConfig { max_shards: 4, target_shard_nnz: 8, ..Default::default() };
+    let p = Partition::from_analysis(&a, &cfg);
+    assert_eq!(p.shard_nnz()[0], n, "all nnz in the first shard");
+    assert_eq!(p.shard_nnz()[1..].iter().sum::<usize>(), 0);
+    let pm =
+        PartitionedMatrix::build(&m, &p, &ConvertOptions::default(), 4, Some(&a), |_, _, _| FormatId::Csr)
+            .unwrap();
+    let x = vec![2.0; n];
+    let mut y = vec![f64::NAN; n];
+    pm.spmv_unpooled(&x, &mut y).unwrap();
+    assert_eq!(y[0], 2.0 * 1.5 * n as f64);
+    assert!(y[1..].iter().all(|&v| v == 0.0), "empty shards must still zero y");
+}
+
+#[test]
+fn shard_count_capped_by_rows() {
+    // Asking for far more shards than rows must cap at one row per shard.
+    let m = hetero(5, 2, 3, 3);
+    let a = analysis_of(&m);
+    let cfg = PartitionConfig { max_shards: 64, target_shard_nnz: 1, ..Default::default() };
+    let p = Partition::from_analysis(&a, &cfg);
+    assert!(p.num_shards() <= 5);
+    let subs = split_rows(&m, &p, Some(&a)).unwrap();
+    assert_eq!(subs.iter().map(|s| s.nnz()).sum::<usize>(), m.nnz());
+}
+
+/// Partitioned SpMV with per-shard formats matches the serial reference on
+/// the same converted shards: bitwise when every shard plan preserves
+/// order, ULP-bounded otherwise. Exercised for f64 and f32.
+fn partitioned_matches_reference<V: Scalar>(eps: f64) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let coo = three_regime(1_200, 60, 50, 400, 8, 2, &mut rng);
+    let mut b = CooBuilder::with_capacity(1_200, 1_200, coo.nnz());
+    for (r, c, v) in coo.iter() {
+        b.push(r, c, V::from_f64(v)).unwrap();
+    }
+    let m = DynamicMatrix::from(b.build());
+    let a = analysis_of(&m);
+    let cfg = PartitionConfig { target_shard_nnz: m.nnz() / 5, ..Default::default() };
+    let p = Partition::from_analysis(&a, &cfg);
+    assert!(p.num_shards() >= 3);
+
+    let x: Vec<V> = (0..1_200).map(|i| V::from_f64(((i % 23) as f64 - 11.0) * 0.25)).collect();
+    for fmts in [
+        vec![FormatId::Csr],
+        vec![FormatId::Csr, FormatId::Ell, FormatId::Dia, FormatId::Hyb, FormatId::Coo, FormatId::Hdc],
+    ] {
+        let pm = PartitionedMatrix::build(&m, &p, &ConvertOptions::default(), 3, Some(&a), |i, _, _| {
+            fmts[i % fmts.len()]
+        })
+        .unwrap();
+        // Reference: serial SpMV over the *converted* shards, row range by
+        // row range — the unsharded accumulation order per row.
+        let mut want = vec![V::ZERO; 1_200];
+        for s in pm.shards() {
+            let rows = s.rows();
+            let mut ys = vec![V::ZERO; rows.len()];
+            spmv_serial(s.matrix(), &x, &mut ys).unwrap();
+            want[rows].copy_from_slice(&ys);
+        }
+        let mut got = vec![V::ZERO; 1_200];
+        pm.spmv_unpooled(&x, &mut got).unwrap();
+        if pm.preserves_order() {
+            assert!(bitwise_eq(&got, &want), "order-preserving plans must match bitwise");
+        } else {
+            assert_close(&got, &want, eps);
+        }
+        // Pooled path is bitwise identical to unpooled, at any pool width.
+        for threads in [1, 3, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut pooled = vec![V::from_f64(9.0); 1_200];
+            pm.spmv(&x, &mut pooled, &pool).unwrap();
+            assert!(bitwise_eq(&pooled, &got), "pooled != unpooled at {threads} threads");
+        }
+        // SpMM across the same path: shard kernels are the serial scalar
+        // bodies, so the per-shard serial SpMM reference matches bitwise.
+        let k = 3;
+        let xk: Vec<V> = (0..1_200 * k).map(|i| V::from_f64(((i % 7) as f64) * 0.5)).collect();
+        let mut yk = vec![V::ZERO; 1_200 * k];
+        let pool = ThreadPool::new(3);
+        pm.spmm(&xk, &mut yk, k, &pool).unwrap();
+        let mut yk_ref = vec![V::ZERO; 1_200 * k];
+        for s in pm.shards() {
+            let rows = s.rows();
+            let mut ys = vec![V::ZERO; rows.len() * k];
+            spmm_serial(s.matrix(), &xk, &mut ys, k).unwrap();
+            yk_ref[rows.start * k..rows.end * k].copy_from_slice(&ys);
+        }
+        assert!(bitwise_eq(&yk, &yk_ref), "partitioned SpMM must match per-shard serial");
+    }
+}
+
+#[test]
+fn partitioned_matches_reference_f64() {
+    partitioned_matches_reference::<f64>(1e-12);
+}
+
+#[test]
+fn partitioned_matches_reference_f32() {
+    partitioned_matches_reference::<f32>(1e-4);
+}
+
+#[test]
+fn streaming_ingestion_equals_batch_build() {
+    let m = hetero(1_500, 80, 40, 5);
+    let cfg = PartitionConfig { target_shard_nnz: m.nnz() / 4, ..Default::default() };
+    let mut sp = StreamingPartitioner::new(1_500, 1_500, &cfg);
+    for_each_entry_row_major(&m, |r, c, v| sp.push(r, c, v).unwrap());
+    let (partition, parts) = sp.finish().unwrap();
+    assert!(partition.num_shards() >= 2);
+    assert_eq!(partition.shard_nnz().iter().sum::<usize>(), m.nnz());
+    let pm = PartitionedMatrix::assemble(1_500, parts, 2, |_, _, _| Ok(())).unwrap();
+    let x: Vec<f64> = (0..1_500).map(|i| (i as f64 * 0.01).cos()).collect();
+    let mut want = vec![0.0; 1_500];
+    spmv_serial(&m, &x, &mut want).unwrap();
+    let mut got = vec![0.0; 1_500];
+    pm.spmv_unpooled(&x, &mut got).unwrap();
+    assert_close(&got, &want, 1e-12);
+}
+
+#[test]
+fn service_registers_partitioned_handle_with_shard_telemetry() {
+    let collector = Arc::new(SampleCollector::new(CollectorConfig::default()));
+    let service = Oracle::builder()
+        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(1))
+        .workers(4)
+        .collector(Arc::clone(&collector))
+        .partition_policy(PartitionPolicy {
+            target_shard_nnz: Some(4_000),
+            cost_gate: false, // force the partitioned path deterministically
+            ..Default::default()
+        })
+        .build_service()
+        .unwrap();
+    let m = hetero(4_000, 150, 60, 9);
+    let x: Vec<f64> = (0..4_000).map(|i| ((i * 7) % 13) as f64).collect();
+    let mut want = vec![0.0; 4_000];
+    spmv_serial(&m, &x, &mut want).unwrap();
+
+    let before = collector.stats().telemetry.recorded;
+    let h = service.register_partitioned(m).unwrap();
+    assert!(h.is_partitioned());
+    assert!(h.num_shards() >= 2);
+    assert_eq!(h.report().shards, h.num_shards());
+    let info = service.registered_matrices();
+    assert_eq!(info.last().unwrap().shards, h.num_shards());
+
+    let mut y = vec![0.0; 4_000];
+    for _ in 0..3 {
+        service.spmv(&h, &x, &mut y).unwrap();
+        assert_close(&y, &want, 1e-12);
+    }
+    // Per-shard telemetry: every execution lands one sample per shard.
+    let recorded = collector.stats().telemetry.recorded - before;
+    assert!(
+        recorded >= 3 * h.num_shards() as u64,
+        "expected shard-level samples, got {recorded} for {} shards",
+        h.num_shards()
+    );
+
+    // SpMM through the same handle.
+    let k = 2;
+    let xk: Vec<f64> = x.iter().flat_map(|&v| [v, -v]).collect();
+    let mut yk = vec![0.0; 4_000 * k];
+    service.spmm(&h, &xk, &mut yk, k).unwrap();
+    let wide: Vec<f64> = want.iter().flat_map(|&v| [v, -v]).collect();
+    assert_close(&yk, &wide, 1e-12);
+}
+
+#[test]
+fn service_auto_shards_above_threshold_and_streams() {
+    let service = Oracle::builder()
+        .engine(VirtualEngine::new(systems::cirrus(), Backend::OpenMp))
+        .tuner(RunFirstTuner::new(1))
+        .workers(2)
+        .partition_policy(PartitionPolicy {
+            auto_nnz_threshold: Some(10_000),
+            target_shard_nnz: Some(5_000),
+            cost_gate: false,
+            ..Default::default()
+        })
+        .build_service()
+        .unwrap();
+    // Below threshold: register() stays whole-matrix.
+    let small = hetero(300, 20, 20, 2);
+    let hs = service.register(small).unwrap();
+    assert!(!hs.is_partitioned());
+    assert_eq!(hs.report().shards, 1);
+    // Above threshold: register() shards automatically.
+    let big = hetero(5_000, 200, 50, 2);
+    let x = vec![1.0; 5_000];
+    let mut want = vec![0.0; 5_000];
+    spmv_serial(&big, &x, &mut want).unwrap();
+    let hb = service.register(big).unwrap();
+    assert!(hb.is_partitioned(), "auto threshold must shard large matrices");
+    let mut y = vec![0.0; 5_000];
+    service.spmv(&hb, &x, &mut y).unwrap();
+    assert_close(&y, &want, 1e-12);
+
+    // Streaming front door: same matrix fed row-major, never held whole.
+    let big2 = hetero(5_000, 200, 50, 2);
+    let mut entries = Vec::new();
+    for_each_entry_row_major(&big2, |r, c, v| entries.push((r, c, v)));
+    let hstream = service.register_stream(5_000, 5_000, entries).unwrap();
+    assert!(hstream.is_partitioned());
+    let mut ys = vec![0.0; 5_000];
+    service.spmv(&hstream, &x, &mut ys).unwrap();
+    assert_close(&ys, &want, 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Partition invariants on random row histograms: boundaries strictly
+    /// increasing, tiling 0..nrows, shard nnz summing to the total, shard
+    /// count within bounds, determinism, and split+execute ≡ serial.
+    #[test]
+    fn partition_invariants(
+        hist in proptest::collection::vec(0u32..120, 1..300),
+        max_shards in 1usize..12,
+        target in 1usize..5_000,
+        window in 1usize..64,
+    ) {
+        let n = hist.len();
+        let mut b = CooBuilder::new(n, n);
+        b.push(0, 0, 1.0f64).unwrap(); // never fully empty
+        for (r, &k) in hist.iter().enumerate() {
+            for j in 0..k as usize {
+                b.push(r, j % n, 1.0 + j as f64).unwrap();
+            }
+        }
+        let m = DynamicMatrix::from(b.build());
+        let a = analysis_of(&m);
+        let cfg = PartitionConfig {
+            max_shards,
+            target_shard_nnz: target,
+            regime_window: window,
+            ..Default::default()
+        };
+        let p = Partition::from_analysis(&a, &cfg);
+        prop_assert!(p.num_shards() >= 1 && p.num_shards() <= max_shards.min(n));
+        prop_assert_eq!(p.boundaries()[0], 0);
+        prop_assert_eq!(*p.boundaries().last().unwrap(), n);
+        prop_assert!(p.boundaries().windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(p.shard_nnz().iter().sum::<usize>(), m.nnz());
+        prop_assert_eq!(&p, &Partition::from_analysis(&a, &cfg));
+        let pm = PartitionedMatrix::build(
+            &m, &p, &ConvertOptions::default(), 3, Some(&a), |_, _, _| FormatId::Csr,
+        ).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut want = vec![0.0; n];
+        spmv_serial(&m, &x, &mut want).unwrap();
+        let mut got = vec![0.0; n];
+        pm.spmv_unpooled(&x, &mut got).unwrap();
+        // ULP-bounded: planned kernel bodies may fuse multiply-adds.
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!((g - w).abs() <= 1e-12 * w.abs().max(1.0), "row {}: {} vs {}", i, g, w);
+        }
+    }
+}
