@@ -32,7 +32,7 @@ use super::telemetry::{MeasuredKernel, SampleKey, Telemetry, TelemetryStats};
 use crate::features::FeatureVector;
 use crate::tuner::TuningCost;
 use crate::{Result, NUM_FEATURES};
-use morpheus::format::{FormatId, ALL_FORMATS, FORMAT_COUNT};
+use morpheus::format::{FormatId, FORMAT_COUNT};
 use morpheus::{Analysis, ConvertOptions, DynamicMatrix, KernelVariant, Scalar};
 use morpheus_machine::{analyze_from, Op, VirtualEngine};
 use morpheus_ml::Dataset;
@@ -230,7 +230,7 @@ impl SampleCollector {
         // freshly converted data) and biases micro-matrix labels.
         let mut formats_skipped = 0usize;
         let mut trials: Vec<(SampleKey, DynamicMatrix<V>)> = Vec::new();
-        for fmt in ALL_FORMATS {
+        for fmt in morpheus::FormatEntry::all().iter().map(|e| e.id) {
             if !engine.is_viable(fmt, &machine_view) {
                 continue;
             }
@@ -255,6 +255,7 @@ impl SampleCollector {
                 // Trials run the serial scalar reference kernels, so their
                 // measurements belong to the Scalar variant population.
                 variant: KernelVariant::Scalar,
+                param_code: opts.params.code(),
             };
             trials.push((key, trial));
         }
@@ -370,7 +371,7 @@ mod tests {
     use morpheus_machine::{systems, Backend};
 
     fn fv(seed: f64) -> FeatureVector {
-        FeatureVector([seed, 1.0, 2.0, 3.0, 0.5, 4.0, 1.0, 0.1, 2.0, 1.0])
+        FeatureVector([seed, 1.0, 2.0, 3.0, 0.5, 4.0, 1.0, 0.1, 2.0, 1.0, 0.3, 1.2])
     }
 
     fn key(structure: u64, format: FormatId) -> SampleKey {
@@ -381,6 +382,7 @@ mod tests {
             scalar_bytes: 8,
             workers: 1,
             variant: KernelVariant::Scalar,
+            param_code: 0,
         }
     }
 

@@ -510,11 +510,11 @@ mod tests {
 
     fn dataset(rule_flipped: bool, n: usize) -> Dataset {
         // Wide rows -> ELL, narrow -> CSR (or flipped, to simulate drift).
-        let mut ds = Dataset::empty(crate::NUM_FEATURES, 6, vec![]).unwrap();
+        let mut ds = Dataset::empty(crate::NUM_FEATURES, morpheus::format::FORMAT_COUNT, vec![]).unwrap();
         for i in 0..n {
             let wide = i % 2 == 0;
             let max_nnz = if wide { 60.0 } else { 3.0 };
-            let row = [800.0, 800.0, 4000.0, 5.0, 0.006, max_nnz, 1.0, 2.0, 25.0, 0.0];
+            let row = [800.0, 800.0, 4000.0, 5.0, 0.006, max_nnz, 1.0, 2.0, 25.0, 0.0, 0.2, 1.1];
             let label = if wide != rule_flipped { FormatId::Ell } else { FormatId::Csr };
             ds.push(&row, label.index()).unwrap();
         }

@@ -52,13 +52,25 @@ pub struct SampleKey {
     /// are different kernels — conflating them would teach retraining the
     /// average of the scalar and the specialised body.
     pub variant: KernelVariant,
+    /// [`morpheus::FormatParams::code`] of the parameters the matrix was
+    /// converted with (0 = defaults). Two parameterizations of the same
+    /// format (a 2x2 vs an 8x8 BSR, different BELL ladders) are different
+    /// kernels and must never alias in the ring.
+    pub param_code: u8,
 }
 
-// Packing layout of the non-structure key fields (bit 63 is a tag so a
+/// Version of the bit layout `pack_meta` writes. Bump whenever the field
+/// widths or positions change so persisted consumers can reject mixed-layout
+/// data. v1: 3-bit format, no parameter code. v2: 4-bit format (sized for a
+/// growing registry), 7-bit [`morpheus::FormatParams::code`] in bits 56..63.
+pub const PACK_LAYOUT_VERSION: u32 = 2;
+
+// Packing layout v2 of the non-structure key fields (bit 63 is a tag so a
 // packed key is never 0, the "free slot" sentinel):
-// [0..3)  format index, [3..27) op (0 = SpMV, k+1 = SpMM{k}, saturating),
-// [27..35) scalar bytes (saturating), [35..51) workers (saturating),
-// [51..55) kernel variant index.
+// [0..4)  format index (sized for 16 registered formats),
+// [4..28) op (0 = SpMV, k+1 = SpMM{k}, saturating),
+// [28..36) scalar bytes (saturating), [36..52) workers (saturating),
+// [52..56) kernel variant index, [56..63) format parameter code.
 const PACK_TAG: u64 = 1 << 63;
 const OP_MASK: u64 = (1 << 24) - 1;
 
@@ -69,21 +81,23 @@ fn pack_meta(key: &SampleKey) -> u64 {
     };
     PACK_TAG
         | key.format.index() as u64
-        | (op << 3)
-        | ((key.scalar_bytes as u64).min(0xff) << 27)
-        | ((key.workers as u64).min(0xffff) << 35)
-        | ((key.variant.index() as u64) << 51)
+        | (op << 4)
+        | ((key.scalar_bytes as u64).min(0xff) << 28)
+        | ((key.workers as u64).min(0xffff) << 36)
+        | ((key.variant.index() as u64) << 52)
+        | (((key.param_code & 0x7f) as u64) << 56)
 }
 
 fn unpack_meta(structure: u64, packed: u64) -> SampleKey {
-    let op = (packed >> 3) & OP_MASK;
+    let op = (packed >> 4) & OP_MASK;
     SampleKey {
         structure,
-        format: FormatId::from_index((packed & 0b111) as usize).unwrap_or(FormatId::Csr),
+        format: FormatId::from_index((packed & 0xf) as usize).unwrap_or(FormatId::Csr),
         op: if op == 0 { Op::Spmv } else { Op::Spmm { k: (op - 1) as usize } },
-        scalar_bytes: ((packed >> 27) & 0xff) as usize,
-        workers: ((packed >> 35) & 0xffff) as usize,
-        variant: KernelVariant::from_index(((packed >> 51) & 0xf) as usize).unwrap_or(KernelVariant::Scalar),
+        scalar_bytes: ((packed >> 28) & 0xff) as usize,
+        workers: ((packed >> 36) & 0xffff) as usize,
+        variant: KernelVariant::from_index(((packed >> 52) & 0xf) as usize).unwrap_or(KernelVariant::Scalar),
+        param_code: ((packed >> 56) & 0x7f) as u8,
     }
 }
 
@@ -295,23 +309,74 @@ mod tests {
             scalar_bytes: 8,
             workers: 1,
             variant: KernelVariant::Scalar,
+            param_code: 0,
         }
     }
 
     #[test]
     fn pack_roundtrips_every_field() {
-        for (fmt, op, scalar, workers, variant) in [
-            (FormatId::Csr, Op::Spmv, 8usize, 1usize, KernelVariant::Scalar),
-            (FormatId::Hdc, Op::Spmm { k: 32 }, 4, 12, KernelVariant::Unrolled),
-            (FormatId::Dia, Op::Spmm { k: 1 }, 8, 65535, KernelVariant::Blocked),
-            (FormatId::Csr, Op::Spmv, 8, 7, KernelVariant::Prefetch),
+        for (fmt, op, scalar, workers, variant, param_code) in [
+            (FormatId::Csr, Op::Spmv, 8usize, 1usize, KernelVariant::Scalar, 0u8),
+            (FormatId::Hdc, Op::Spmm { k: 32 }, 4, 12, KernelVariant::Unrolled, 5),
+            (FormatId::Dia, Op::Spmm { k: 1 }, 8, 65535, KernelVariant::Blocked, 1),
+            (FormatId::Csr, Op::Spmv, 8, 7, KernelVariant::Prefetch, 0),
+            // Every field at its layout maximum: the two highest registered
+            // format ids, the full 7-bit parameter code, saturated widths.
+            (FormatId::Bsr, Op::Spmm { k: 1 << 23 }, 255, 65535, KernelVariant::Blocked, 0x7f),
+            (
+                FormatId::Bell,
+                Op::Spmm { k: (OP_MASK as usize) - 1 },
+                255,
+                65535,
+                KernelVariant::Prefetch,
+                0x7f,
+            ),
         ] {
-            let k =
-                SampleKey { structure: 0xdead_beef, format: fmt, op, scalar_bytes: scalar, workers, variant };
+            let k = SampleKey {
+                structure: 0xdead_beef,
+                format: fmt,
+                op,
+                scalar_bytes: scalar,
+                workers,
+                variant,
+                param_code,
+            };
             let packed = pack_meta(&k);
             assert_ne!(packed, 0);
             assert_eq!(unpack_meta(k.structure, packed), k);
         }
+    }
+
+    #[test]
+    fn layout_v2_fits_every_registered_format() {
+        // The 4-bit format field must round-trip every current id with
+        // headroom — aliasing two formats into one slot would blend their
+        // populations.
+        assert_eq!(PACK_LAYOUT_VERSION, 2);
+        for fmt in morpheus::format::ALL_FORMATS {
+            assert!(fmt.index() < 16, "{fmt} overflows the 4-bit format field");
+            let k = SampleKey { format: fmt, ..key(7, fmt) };
+            assert_eq!(unpack_meta(7, pack_meta(&k)).format, fmt);
+        }
+    }
+
+    #[test]
+    fn parameterizations_are_distinct_telemetry_populations() {
+        // A 2x2-blocked and an 8x8-blocked BSR of the same matrix are
+        // different kernels: their samples must never alias into one slot.
+        let t = Telemetry::new(64);
+        let small = SampleKey { param_code: 1, ..key(42, FormatId::Bsr) };
+        let large = SampleKey { param_code: 3, ..key(42, FormatId::Bsr) };
+        assert_ne!(pack_meta(&small), pack_meta(&large));
+        t.record(small, Duration::from_micros(30));
+        t.record(large, Duration::from_micros(10));
+        t.record(large, Duration::from_micros(12));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        let s = snap.iter().find(|m| m.key.param_code == 1).unwrap();
+        let l = snap.iter().find(|m| m.key.param_code == 3).unwrap();
+        assert_eq!((s.count, l.count), (1, 2));
+        assert!(l.min_seconds < s.min_seconds);
     }
 
     #[test]
@@ -394,6 +459,7 @@ mod tests {
                             scalar_bytes: 8,
                             workers: 1,
                             variant: KernelVariant::Scalar,
+                            param_code: 0,
                         };
                         t.record(k, Duration::from_nanos(10));
                     }

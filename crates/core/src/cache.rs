@@ -357,7 +357,12 @@ mod tests {
     }
 
     fn decision(fmt: FormatId) -> TuneDecision {
-        TuneDecision { format: fmt, op: Op::Spmv, cost: TuningCost::default() }
+        TuneDecision {
+            format: fmt,
+            params: morpheus::FormatParams::default(),
+            op: Op::Spmv,
+            cost: TuningCost::default(),
+        }
     }
 
     // ---------------- LruMap (one stripe) ----------------

@@ -12,21 +12,25 @@ use morpheus::hdc::DEFAULT_TRUE_DIAG_ALPHA;
 use morpheus::stats::{stats_of, MatrixStats};
 use morpheus::{DynamicMatrix, Scalar};
 
-/// Number of features in the vector.
-pub const NUM_FEATURES: usize = 10;
+/// Number of features in the vector: the ten Table-I columns plus the two
+/// parameterized-format signals (block compactness for BSR, bucket padding
+/// skew for BELL).
+pub const NUM_FEATURES: usize = 12;
 
-/// Feature names, in vector order (matches Table I).
+/// Feature names, in vector order (Table I, then the block-format signals).
 pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
-    "M",           // number of rows
-    "N",           // number of columns
-    "NNZ",         // number of non-zeros
-    "avg_nnz",     // mean non-zeros per row
-    "density",     // NNZ / (M * N)
-    "max_nnz",     // max non-zeros per row
-    "min_nnz",     // min non-zeros per row
-    "std_nnz",     // std of non-zeros per row
-    "ndiags",      // non-empty diagonals
-    "ntrue_diags", // true diagonals
+    "M",             // number of rows
+    "N",             // number of columns
+    "NNZ",           // number of non-zeros
+    "avg_nnz",       // mean non-zeros per row
+    "density",       // NNZ / (M * N)
+    "max_nnz",       // max non-zeros per row
+    "min_nnz",       // min non-zeros per row
+    "std_nnz",       // std of non-zeros per row
+    "ndiags",        // non-empty diagonals
+    "ntrue_diags",   // true diagonals
+    "block_density", // entry fraction on adjacent-diagonal runs (BSR signal)
+    "bucket_skew",   // default-ladder BELL padding over nnz (BELL signal)
 ];
 
 /// A Table-I feature vector for one matrix.
@@ -47,6 +51,8 @@ impl FeatureVector {
             s.row_nnz_std,
             s.ndiags as f64,
             s.ntrue_diags as f64,
+            s.block_density,
+            s.bucket_skew,
         ])
     }
 

@@ -91,6 +91,7 @@ pub mod features;
 pub mod ingress;
 pub mod model_db;
 pub mod oracle;
+pub mod params;
 pub mod serve;
 pub mod tune;
 pub mod tuner;
@@ -104,6 +105,7 @@ pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
 pub use ingress::{Backpressure, CoalescePolicy, Ingress, IngressConfig, IngressError, IngressStats, Ticket};
 pub use model_db::{ModelDatabase, ModelKind};
 pub use oracle::{Oracle, OracleBuilder, DEFAULT_CACHE_CAPACITY};
+pub use params::{heuristic_params, propose_params, ParamRegressor, ParamStrategy};
 pub use serve::{HandleInfo, MatrixHandle, OracleService, PartitionPolicy, ServeStats, ServiceSnapshot};
 pub use tune::{PlanStatus, TuneReport};
 pub use tuner::{

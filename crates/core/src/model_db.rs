@@ -146,13 +146,27 @@ impl ModelDatabase {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use morpheus::format::FORMAT_COUNT;
     use morpheus_ml::{Dataset, ForestParams, TreeParams};
 
     fn toy_dataset() -> Dataset {
-        let mut ds = Dataset::empty(crate::NUM_FEATURES, 6, vec![]).unwrap();
+        let mut ds = Dataset::empty(crate::NUM_FEATURES, FORMAT_COUNT, vec![]).unwrap();
         for i in 0..60 {
             let wide = i % 2 == 0;
-            let row = [500.0, 500.0, 2000.0, 4.0, 0.008, if wide { 40.0 } else { 4.0 }, 1.0, 1.5, 20.0, 1.0];
+            let row = [
+                500.0,
+                500.0,
+                2000.0,
+                4.0,
+                0.008,
+                if wide { 40.0 } else { 4.0 },
+                1.0,
+                1.5,
+                20.0,
+                1.0,
+                0.2,
+                1.1,
+            ];
             ds.push(&row, if wide { 3 } else { 1 }).unwrap();
         }
         ds

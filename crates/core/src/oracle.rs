@@ -426,7 +426,12 @@ mod tests {
                 _: &VirtualEngine,
                 op: Op,
             ) -> TuneDecision {
-                TuneDecision { format: FormatId::Ell, op, cost: TuningCost::default() }
+                TuneDecision {
+                    format: FormatId::Ell,
+                    params: morpheus::FormatParams::default(),
+                    op,
+                    cost: TuningCost::default(),
+                }
             }
         }
 

@@ -705,7 +705,15 @@ impl<T> OracleService<T> {
     ) {
         if let Some(col) = &self.collector {
             col.record(
-                SampleKey { structure, format, op, scalar_bytes: std::mem::size_of::<V>(), workers, variant },
+                SampleKey {
+                    structure,
+                    format,
+                    op,
+                    scalar_bytes: std::mem::size_of::<V>(),
+                    workers,
+                    variant,
+                    param_code: self.opts.params.code(),
+                },
                 elapsed,
             );
         }
@@ -1169,6 +1177,7 @@ impl<T> OracleService<T> {
             None => run(None),
             Some(col) => {
                 let variant_bodies = matches!(op, Op::Spmv);
+                let param_code = self.opts.params.code();
                 let observe = move |si: usize, elapsed: std::time::Duration| {
                     let s = p.shard(si);
                     let variant =
@@ -1181,6 +1190,7 @@ impl<T> OracleService<T> {
                             scalar_bytes: std::mem::size_of::<V>(),
                             workers: 1,
                             variant,
+                            param_code,
                         },
                         elapsed,
                     );
@@ -1405,12 +1415,16 @@ impl<T> OracleService<T> {
     /// seen:
     ///
     /// ```text
-    /// morpheus-oracle-decisions v1
+    /// morpheus-oracle-decisions v2
     /// engine <fingerprint hex>
     /// entries <n>
-    /// decision <structure hex> <scalar_bytes> <spmv|spmm:k> <FORMAT>
+    /// decision <structure hex> <scalar_bytes> <spmv|spmm:k> <FORMAT> <params>
     /// end
     /// ```
+    ///
+    /// The trailing `<params>` token is [`morpheus::FormatParams::to_token`]
+    /// (`-` for the defaults). v1 files (no params token) still import,
+    /// warm-starting with default parameters.
     pub fn export_decisions<W: Write>(&self, w: &mut W) -> Result<()> {
         let mut entries: Vec<(CacheKey, TuneDecision)> = Vec::new();
         self.decisions.for_each(|k, d| entries.push((*k, *d)));
@@ -1426,10 +1440,11 @@ impl<T> OracleService<T> {
             };
             writeln!(
                 w,
-                "decision {:016x} {} {op} {}",
+                "decision {:016x} {} {op} {} {}",
                 key.structure,
                 key.scalar_bytes,
-                decision.format.name()
+                decision.format.name(),
+                decision.params.to_token()
             )?;
         }
         writeln!(w, "end")?;
@@ -1448,8 +1463,11 @@ impl<T> OracleService<T> {
         if header.len() != 2 || header[0] != DECISIONS_MAGIC {
             return Err(lines.err(format!("bad header: expected '{DECISIONS_MAGIC} {DECISIONS_VERSION}'")));
         }
-        if header[1] != DECISIONS_VERSION {
-            return Err(lines.err(format!("unsupported decisions version '{}'", header[1])));
+        // v1 predates per-decision format parameters: accepted, entries
+        // warm-start with the defaults. Anything else is from the future.
+        let version = header[1].clone();
+        if version != DECISIONS_VERSION && version != "v1" {
+            return Err(lines.err(format!("unsupported decisions version '{version}'")));
         }
         let engine = lines.expect_kv("engine")?;
         let engine = u64::from_str_radix(&engine, 16)
@@ -1464,12 +1482,14 @@ impl<T> OracleService<T> {
             let v = lines.expect_kv("entries")?;
             v.parse().map_err(|_| lines.err(format!("bad entry count '{v}'")))?
         };
+        let expect_toks = if version == "v1" { 5 } else { 6 };
         let mut parsed = Vec::with_capacity(n);
         for _ in 0..n {
             let toks = lines.next_line()?.ok_or_else(|| lines.err("expected 'decision ...', got EOF"))?;
-            if toks.len() != 5 || toks[0] != "decision" {
+            if toks.len() != expect_toks || toks[0] != "decision" {
                 return Err(lines.err(format!(
-                    "expected 'decision <structure> <scalar_bytes> <op> <format>', got '{}'",
+                    "expected 'decision <structure> <scalar_bytes> <op> <format>{}', got '{}'",
+                    if expect_toks == 6 { " <params>" } else { "" },
                     toks.join(" ")
                 )));
             }
@@ -1486,9 +1506,15 @@ impl<T> OracleService<T> {
             };
             let format = FormatId::from_name(&toks[4])
                 .ok_or_else(|| lines.err(format!("unknown format '{}'", toks[4])))?;
+            let params = if version == "v1" {
+                morpheus::FormatParams::default()
+            } else {
+                morpheus::FormatParams::parse_token(&toks[5])
+                    .ok_or_else(|| lines.err(format!("bad format parameters '{}'", toks[5])))?
+            };
             parsed.push((
                 CacheKey { structure, scalar_bytes, engine, op },
-                TuneDecision { format, op, cost: TuningCost::default() },
+                TuneDecision { format, params, op, cost: TuningCost::default() },
             ));
         }
         let toks = lines.next_line()?.ok_or_else(|| lines.err("expected 'end', got EOF"))?;
@@ -1504,7 +1530,7 @@ impl<T> OracleService<T> {
 }
 
 const DECISIONS_MAGIC: &str = "morpheus-oracle-decisions";
-const DECISIONS_VERSION: &str = "v1";
+const DECISIONS_VERSION: &str = "v2";
 
 /// Decisions-format wrapper over the shared [`LineParser`] tokenizer (the
 /// same one the model files use), mapping its line numbers into
@@ -1740,8 +1766,11 @@ mod tests {
         let mut buf = Vec::new();
         service.export_decisions(&mut buf).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();
-        assert!(text.starts_with("morpheus-oracle-decisions v1\n"), "{text}");
+        assert!(text.starts_with("morpheus-oracle-decisions v2\n"), "{text}");
         assert!(text.trim_end().ends_with("end"));
+        for line in text.lines().filter(|l| l.starts_with("decision ")) {
+            assert_eq!(line.split_whitespace().count(), 6, "v2 lines carry a params token: {line}");
+        }
 
         // A restarted service imports and then serves the same structures
         // from cache — no cold-path tuning.
@@ -1785,8 +1814,56 @@ mod tests {
             "morpheus-oracle-decisions v1\nengine 0\nentries 1\ndecision 1 8 spmv XYZ\nend\n",
             "morpheus-oracle-decisions v1\nengine 0\nentries 1\ndecision 1 8 spmq CSR\nend\n",
             "morpheus-oracle-decisions v1\nengine 0\nentries 1\ndecision 1 8 spmv CSR\n",
+            // v2 lines must carry a params token, and it must parse.
+            "morpheus-oracle-decisions v2\nengine 0\nentries 1\ndecision 1 8 spmv CSR\nend\n",
+            "morpheus-oracle-decisions v2\nengine 0\nentries 1\ndecision 1 8 spmv CSR bogus\nend\n",
         ] {
             assert!(service.import_decisions(std::io::Cursor::new(bad)).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn v1_decisions_files_warm_start_with_default_params() {
+        // Files written before the params token existed (format v1) must
+        // still import, with every entry falling back to default params.
+        let service = make_service(2);
+        let mut a = tridiag(800);
+        service.tune(&mut a).unwrap();
+        let mut buf = Vec::new();
+        service.export_decisions(&mut buf).unwrap();
+
+        // Downgrade the export to the v1 wire format: old header, no
+        // trailing params token on decision lines.
+        let v1: String = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|l| {
+                if l.starts_with("morpheus-oracle-decisions") {
+                    "morpheus-oracle-decisions v1".to_string()
+                } else if l.starts_with("decision ") {
+                    l.rsplit_once(' ').unwrap().0.to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+
+        let restarted = make_service(2);
+        let imported = restarted.import_decisions(std::io::Cursor::new(v1.as_bytes())).unwrap();
+        assert!(imported >= 1, "v1 file must warm-start, got {imported}");
+        let mut a2 = tridiag(800);
+        let r = restarted.tune(&mut a2).unwrap();
+        assert!(r.cache_hit, "pre-params decisions must still serve from cache");
+        assert_eq!(r.chosen, a.format_id());
+        // Re-exporting upgrades to v2 with the default params token.
+        let mut buf2 = Vec::new();
+        restarted.export_decisions(&mut buf2).unwrap();
+        let text2 = String::from_utf8(buf2).unwrap();
+        assert!(text2.starts_with("morpheus-oracle-decisions v2\n"));
+        for line in text2.lines().filter(|l| l.starts_with("decision ")) {
+            assert!(line.ends_with(" -"), "v1 entries must carry default params: {line}");
         }
     }
 

@@ -3,7 +3,7 @@
 
 use crate::features::FeatureVector;
 use crate::{OracleError, Result};
-use morpheus::format::{FormatId, ALL_FORMATS};
+use morpheus::format::FormatId;
 use morpheus::{DynamicMatrix, Scalar};
 use morpheus_machine::{MatrixAnalysis, Op, VirtualEngine};
 use morpheus_ml::serialize::LoadedModel;
@@ -52,6 +52,9 @@ impl TuningCost {
 pub struct TuneDecision {
     /// The selected format.
     pub format: FormatId,
+    /// The format parameters the conversion should use (defaults unless a
+    /// parameter regressor proposed better ones for this matrix).
+    pub params: morpheus::FormatParams,
     /// The operation the selection targets.
     pub op: Op,
     /// What the decision cost.
@@ -153,7 +156,7 @@ impl<V: Scalar> FormatTuner<V> for RunFirstTuner {
         let mut best = FormatId::Csr;
         let mut best_time = f64::INFINITY;
         let mut profiling = 0.0;
-        for fmt in ALL_FORMATS {
+        for fmt in morpheus::FormatEntry::all().iter().map(|e| e.id) {
             if !engine.is_viable(fmt, a) {
                 continue;
             }
@@ -165,7 +168,12 @@ impl<V: Scalar> FormatTuner<V> for RunFirstTuner {
                 best = fmt;
             }
         }
-        TuneDecision { format: best, op, cost: TuningCost { profiling, ..Default::default() } }
+        TuneDecision {
+            format: best,
+            params: morpheus::FormatParams::default(),
+            op,
+            cost: TuningCost { profiling, ..Default::default() },
+        }
     }
 }
 
@@ -200,6 +208,7 @@ pub(crate) fn ml_decision<V: Scalar>(
     let format = FormatId::from_index(predicted).unwrap_or(FormatId::Csr);
     TuneDecision {
         format,
+        params: crate::params::propose_params(format, a),
         op,
         cost: TuningCost {
             feature_extraction: engine.feature_extraction_time(m.format_id(), a),
@@ -359,6 +368,7 @@ impl<V: Scalar> FormatTuner<V> for GbtTuner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use morpheus::format::FORMAT_COUNT;
     use morpheus::CooMatrix;
     use morpheus_machine::{analyze, systems, Backend};
     use morpheus_ml::{Dataset, ForestParams, TreeParams};
@@ -382,11 +392,11 @@ mod tests {
     /// A dataset whose rule is trivially learnable: wide rows -> ELL (3),
     /// otherwise CSR (1). Ten features, six classes.
     fn toy_dataset() -> Dataset {
-        let mut ds = Dataset::empty(crate::NUM_FEATURES, 6, vec![]).unwrap();
+        let mut ds = Dataset::empty(crate::NUM_FEATURES, FORMAT_COUNT, vec![]).unwrap();
         for i in 0..120 {
             let wide = i % 2 == 0;
             let max_nnz = if wide { 50.0 } else { 3.0 };
-            let row = [1000.0, 1000.0, 5000.0, 5.0, 0.005, max_nnz, 1.0, 2.0, 30.0, 0.0];
+            let row = [1000.0, 1000.0, 5000.0, 5.0, 0.005, max_nnz, 1.0, 2.0, 30.0, 0.0, 0.2, 1.1];
             ds.push(&row, if wide { 3 } else { 1 }).unwrap();
         }
         ds

@@ -5,7 +5,7 @@
 //! snapshot-producing harness (`BENCH_convert.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morpheus::format::ALL_FORMATS;
+use morpheus::FormatEntry;
 use morpheus::{convert_via_hub, Analysis, ConvertOptions, DynamicMatrix, FormatId};
 use morpheus_corpus::gen::random::near_diagonal;
 use rand::SeedableRng;
@@ -21,7 +21,7 @@ fn bench_convert(c: &mut Criterion) {
     for source in [&coo, &csr] {
         let src_name = source.format_id().name();
         let analysis = Analysis::of_auto(source, opts.true_diag_alpha);
-        for fmt in ALL_FORMATS {
+        for fmt in FormatEntry::all().iter().map(|e| e.id) {
             if fmt == source.format_id() {
                 continue;
             }

@@ -2,7 +2,7 @@
 //! (§VI-C) — the `T_FE` component of Table IV, measured on the host.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morpheus::format::ALL_FORMATS;
+use morpheus::FormatEntry;
 use morpheus::{ConvertOptions, DynamicMatrix};
 use morpheus_corpus::gen::stencil::poisson2d;
 use morpheus_oracle::FeatureVector;
@@ -13,7 +13,7 @@ fn bench_features(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("feature-extraction-poisson2d-160");
     group.sample_size(20);
-    for fmt in ALL_FORMATS {
+    for fmt in FormatEntry::all().iter().map(|e| e.id) {
         let m = base.to_format(fmt, &opts).expect("stencil fits all formats");
         group.bench_with_input(BenchmarkId::new("active-format", fmt.name()), &m, |b, m| {
             b.iter(|| FeatureVector::extract(m));

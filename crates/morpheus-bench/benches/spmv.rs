@@ -3,9 +3,9 @@
 //! timings on the build machine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use morpheus::format::ALL_FORMATS;
 use morpheus::spmv::threaded::spmv_csr_balanced;
 use morpheus::spmv::{spmv_serial, spmv_threaded};
+use morpheus::FormatEntry;
 use morpheus::{ConvertOptions, DynamicMatrix, FormatId};
 use morpheus_corpus::gen::powerlaw::zipf_rows;
 use morpheus_corpus::gen::stencil::poisson2d;
@@ -23,7 +23,7 @@ fn bench_spmv(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("spmv-poisson2d-192");
     group.sample_size(20);
-    for fmt in ALL_FORMATS {
+    for fmt in FormatEntry::all().iter().map(|e| e.id) {
         let m = base.to_format(fmt, &opts).expect("stencil fits all formats");
         group.bench_with_input(BenchmarkId::new("serial", fmt.name()), &m, |b, m| {
             b.iter(|| spmv_serial(m, &x, &mut y).unwrap());

@@ -28,12 +28,13 @@ use morpheus::{
 };
 use morpheus_bench::report::json_escape;
 use morpheus_corpus::gen::banded::tridiagonal;
+use morpheus_corpus::gen::blocks::{aligned_blocks, fem_blocks};
 use morpheus_corpus::gen::hetero::{hub_plus_banded, shifted_bands};
 use morpheus_corpus::gen::powerlaw::{hub_rows, zipf_rows};
-use morpheus_corpus::gen::random::variable_degree;
+use morpheus_corpus::gen::random::{bimodal_rows, variable_degree};
 use morpheus_corpus::gen::stencil::poisson2d;
-use morpheus_machine::{systems, Backend, VirtualEngine};
-use morpheus_oracle::{Oracle, RunFirstTuner};
+use morpheus_machine::{analyze, systems, Backend, VirtualEngine};
+use morpheus_oracle::{propose_params, Oracle, RunFirstTuner};
 use morpheus_parallel::ThreadPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -172,6 +173,54 @@ struct ShardCol {
     nnz: usize,
     format: FormatId,
     variant: KernelVariant,
+}
+
+/// One parameterized-format candidate (BSR or BELL) on a blocked case.
+struct BlockedCand {
+    format: FormatId,
+    /// `FormatParams::to_token` of the proposed parameters (`-` = default).
+    params: String,
+    default_params: bool,
+    loop_s: f64,
+}
+
+/// Parameterized block formats vs. the best pre-existing-format plan.
+struct BlockedRow {
+    matrix: &'static str,
+    nrows: usize,
+    nnz: usize,
+    /// What the Oracle's run-first sweep (full registry) selects.
+    oracle_choice: FormatId,
+    best_legacy: FormatId,
+    best_legacy_s: f64,
+    cands: Vec<BlockedCand>,
+    winner: FormatId,
+    winner_params: String,
+    winner_default_params: bool,
+    winner_s: f64,
+    speedup: f64,
+}
+
+/// Units-in-the-last-place distance between two doubles (same sign; large
+/// sentinel across zero).
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_sign_positive() != b.is_sign_positive() {
+        return u64::MAX;
+    }
+    (a.to_bits() as i64).abs_diff(b.to_bits() as i64)
+}
+
+/// ULP-bounded equality against the serial reference: tight bit-distance
+/// for well-conditioned sums, with an absolute escape hatch for rows that
+/// cancel toward zero (reassociation noise dwarfs the ULP there).
+fn ulp_check(got: &[f64], reference: &[f64], label: &str) {
+    for (i, (a, b)) in got.iter().zip(reference).enumerate() {
+        let ok = ulp_distance(*a, *b) <= 512 || (a - b).abs() <= 1e-11 * b.abs().max(1.0);
+        assert!(ok, "{label}: row {i} diverged from serial reference: {a} vs {b}");
+    }
 }
 
 /// Partitioned execution vs. the best whole-matrix single-format plan.
@@ -521,6 +570,153 @@ fn main() {
     }
     let partitioned_geo = geomean(part_rows.iter().map(|r| r.speedup));
 
+    // --- parameterized block formats: BSR/BELL vs the best legacy plan ---
+    //
+    // The PR-9 contest: on block-structured and heavy-tail inputs, the
+    // parameterized formats (BSR with regressed block dims, BELL with a
+    // regressed bucket ladder) against the *best* of every pre-existing
+    // format, each converted, planned at the same worker count and timed.
+    // Every candidate's result is ULP-checked against the serial CSR
+    // reference before it may score.
+    let mut blocked_rows: Vec<BlockedRow> = Vec::new();
+    {
+        let mut rng = StdRng::seed_from_u64(41);
+        let scale = |full: usize, small: usize| if smoke { small } else { full };
+        let blocked_cases: Vec<(&'static str, CooMatrix<f64>)> = vec![
+            // Fully dense grid-aligned blocks: the register-blocking ideal.
+            ("aligned-4x4", aligned_blocks(scale(5_000, 400), 4, 3, &mut rng)),
+            ("aligned-8x8", aligned_blocks(scale(2_400, 200), 8, 2, &mut rng)),
+            // FEM-style coupled blocks: aligned dense blocks, irregular
+            // block columns.
+            ("fem-blocks", fem_blocks(scale(5_000, 400), 4, 2, &mut rng)),
+            // Two-population row widths: the bucketed-ELL shape. Plain ELL
+            // pads every narrow row to the wide width, HYB spills the wide
+            // population to COO.
+            ("bimodal", bimodal_rows(scale(40_000, 3_000), 3, 64, 40, &mut rng)),
+            ("bimodal-steep", bimodal_rows(scale(30_000, 2_400), 2, 96, 60, &mut rng)),
+        ];
+        let legacy =
+            [FormatId::Csr, FormatId::Ell, FormatId::Hyb, FormatId::Dia, FormatId::Hdc, FormatId::Coo];
+        for (name, coo) in blocked_cases {
+            let base = DynamicMatrix::from(coo);
+            let x: Vec<f64> = (0..base.ncols()).map(|i| 1.0 + (i % 13) as f64 * 0.25).collect();
+            let mut y_ref = vec![0.0f64; base.nrows()];
+            morpheus::spmv::spmv_serial(&base, &x, &mut y_ref).expect("shapes agree");
+
+            let oracle_choice = {
+                let mut probe = base.clone();
+                selector.tune(&mut probe).map(|r| r.chosen).unwrap_or(FormatId::Csr)
+            };
+
+            // Legacy side: every viable pre-PR-9 format, planned and timed.
+            let legacy_plans: Vec<(FormatId, DynamicMatrix<f64>, ExecPlan<f64>)> = legacy
+                .into_iter()
+                .filter_map(|fmt| {
+                    let mf = base.to_format(fmt, &opts).ok()?;
+                    let fa = Analysis::of_auto(&mf, opts.true_diag_alpha);
+                    let plan = ExecPlan::build(&mf, pool.num_threads(), Some(&fa));
+                    Some((fmt, mf, plan))
+                })
+                .collect();
+
+            // Parameterized side: BSR and BELL with per-matrix proposed
+            // parameters (the heuristic strategy argmin over the analysis).
+            let machine_analysis = analyze(&base);
+            type BlockPlan = (FormatId, String, bool, DynamicMatrix<f64>, ExecPlan<f64>);
+            let block_plans: Vec<BlockPlan> = [FormatId::Bsr, FormatId::Bell]
+                .into_iter()
+                .filter_map(|fmt| {
+                    let params = propose_params(fmt, &machine_analysis);
+                    let popts = ConvertOptions { params, ..opts };
+                    let mf = base.to_format(fmt, &popts).ok()?;
+                    let fa = Analysis::of_auto(&mf, popts.true_diag_alpha);
+                    let plan = ExecPlan::build(&mf, pool.num_threads(), Some(&fa));
+                    Some((fmt, params.to_token(), params.is_default(), mf, plan))
+                })
+                .collect();
+            assert!(!block_plans.is_empty(), "{name}: no parameterized candidate converted");
+
+            // Correctness first: every plan must reproduce the serial
+            // reference within the ULP bound.
+            let mut y = vec![0.0f64; base.nrows()];
+            for (fmt, mf, plan) in &legacy_plans {
+                plan.spmv(mf, &x, &mut y, &pool).expect("plan matches");
+                ulp_check(&y, &y_ref, &format!("{name}/{fmt}"));
+            }
+            for (fmt, tok, _, mf, plan) in &block_plans {
+                plan.spmv(mf, &x, &mut y, &pool).expect("plan matches");
+                ulp_check(&y, &y_ref, &format!("{name}/{fmt}[{tok}]"));
+            }
+
+            // Interleaved min-of-reps scoring (same rationale as the
+            // partitioned section: bursty shared host).
+            let reps = if smoke { 2 } else { 5 };
+            let mut legacy_s = vec![f64::INFINITY; legacy_plans.len()];
+            let mut cand_s = vec![f64::INFINITY; block_plans.len()];
+            for _ in 0..reps {
+                for ((_, mf, plan), slot) in legacy_plans.iter().zip(legacy_s.iter_mut()) {
+                    let s = time_loop(spmv_iters, || plan.spmv(mf, &x, &mut y, &pool).expect("plan matches"));
+                    *slot = slot.min(s);
+                }
+                for ((_, _, _, mf, plan), slot) in block_plans.iter().zip(cand_s.iter_mut()) {
+                    let s = time_loop(spmv_iters, || plan.spmv(mf, &x, &mut y, &pool).expect("plan matches"));
+                    *slot = slot.min(s);
+                }
+            }
+            let (best_legacy, best_legacy_s) = legacy_plans
+                .iter()
+                .zip(&legacy_s)
+                .map(|((fmt, _, _), s)| (*fmt, *s))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("CSR is always viable");
+            let cands: Vec<BlockedCand> = block_plans
+                .iter()
+                .zip(&cand_s)
+                .map(|((fmt, tok, dflt, _, _), s)| BlockedCand {
+                    format: *fmt,
+                    params: tok.clone(),
+                    default_params: *dflt,
+                    loop_s: *s,
+                })
+                .collect();
+            let win = cands.iter().min_by(|a, b| a.loop_s.total_cmp(&b.loop_s)).expect("non-empty");
+
+            blocked_rows.push(BlockedRow {
+                matrix: name,
+                nrows: base.nrows(),
+                nnz: base.nnz(),
+                oracle_choice,
+                best_legacy,
+                best_legacy_s,
+                winner: win.format,
+                winner_params: win.params.clone(),
+                winner_default_params: win.default_params,
+                winner_s: win.loop_s,
+                speedup: best_legacy_s / win.loop_s,
+                cands,
+            });
+        }
+    }
+    let blocked_geo = geomean(blocked_rows.iter().map(|r| r.speedup));
+
+    // CI gate (--smoke): the tuned sweep must cover the parameterized
+    // formats, and at least one blocked case must select one with
+    // non-default (regressed) parameters.
+    if smoke {
+        let swept: Vec<FormatId> =
+            blocked_rows.iter().flat_map(|r| r.cands.iter().map(|c| c.format)).collect();
+        assert!(
+            swept.contains(&FormatId::Bsr) && swept.contains(&FormatId::Bell),
+            "smoke sweep must include BSR and BELL, got {swept:?}"
+        );
+        assert!(
+            blocked_rows
+                .iter()
+                .any(|r| matches!(r.winner, FormatId::Bsr | FormatId::Bell) && !r.winner_default_params),
+            "no blocked case selected a parameterized format with non-default params"
+        );
+    }
+
     // --- report ---
     let cpu = CpuFeatures::detect();
     println!("cpu features: avx2={} fma={}", cpu.avx2, cpu.fma);
@@ -627,6 +823,45 @@ fn main() {
         }
     }
 
+    println!();
+    println!(
+        "{:<14} {:>9} {:>9} {:>7} {:>11} | {:>13} {:>7} {:>14} {:>13} {:>8}",
+        "matrix",
+        "nrows",
+        "nnz",
+        "oracle",
+        "best-legacy",
+        "best_legacy_s",
+        "winner",
+        "params",
+        "winner_s",
+        "speedup"
+    );
+    for r in &blocked_rows {
+        println!(
+            "{:<14} {:>9} {:>9} {:>7} {:>11} | {:>13.6} {:>7} {:>14} {:>13.6} {:>7.2}x",
+            r.matrix,
+            r.nrows,
+            r.nnz,
+            r.oracle_choice.to_string(),
+            r.best_legacy.to_string(),
+            r.best_legacy_s,
+            r.winner.to_string(),
+            r.winner_params,
+            r.winner_s,
+            r.speedup
+        );
+        for c in &r.cands {
+            println!(
+                "    candidate {:<5} params {:<14} {:>11.6}s  {:>6.2}x vs best legacy",
+                c.format.to_string(),
+                c.params,
+                c.loop_s,
+                r.best_legacy_s / c.loop_s
+            );
+        }
+    }
+
     let spmv_powerlaw =
         geomean(spmv_rows.iter().filter(|r| r.family == "powerlaw" && r.tuned).map(|r| r.speedup));
     let spmv_all_formats_powerlaw =
@@ -655,11 +890,12 @@ fn main() {
         show_geo(spmm_all)
     );
     println!("partitioned SpMV geomean speedup over best single-format plan: {}", show_geo(partitioned_geo));
+    println!("blocked-corpus BSR/BELL geomean speedup over best legacy plan: {}", show_geo(blocked_geo));
 
     // --- snapshot ---
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_spmv/v3\",\n");
+    json.push_str("  \"schema\": \"bench_spmv/v4\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"cpu\": {{\"avx2\": {}, \"fma\": {}}},\n", cpu.avx2, cpu.fma));
@@ -682,6 +918,43 @@ fn main() {
     }
     json.push_str("},\n");
     json.push_str(&format!("  \"partitioned_geomean_speedup\": {},\n", json_geo(partitioned_geo)));
+    json.push_str(&format!("  \"blocked_geomean_speedup\": {},\n", json_geo(blocked_geo)));
+    json.push_str("  \"blocked\": [\n");
+    for (i, r) in blocked_rows.iter().enumerate() {
+        let cands: Vec<String> = r
+            .cands
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"format\": \"{}\", \"params\": \"{}\", \"default_params\": {}, \"loop_s\": {:.6e}}}",
+                    c.format,
+                    json_escape(&c.params),
+                    c.default_params,
+                    c.loop_s
+                )
+            })
+            .collect();
+        json.push_str(&format!(
+            "    {{\"matrix\": \"{}\", \"nrows\": {}, \"nnz\": {}, \"oracle_choice\": \"{}\", \
+             \"best_legacy_format\": \"{}\", \"best_legacy_s\": {:.6e}, \"winner\": \"{}\", \
+             \"winner_params\": \"{}\", \"winner_default_params\": {}, \"winner_s\": {:.6e}, \
+             \"speedup\": {:.4}, \"candidates\": [{}]}}{}\n",
+            json_escape(r.matrix),
+            r.nrows,
+            r.nnz,
+            r.oracle_choice,
+            r.best_legacy,
+            r.best_legacy_s,
+            r.winner,
+            json_escape(&r.winner_params),
+            r.winner_default_params,
+            r.winner_s,
+            r.speedup,
+            cands.join(", "),
+            if i + 1 < blocked_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"partitioned\": [\n");
     for (i, r) in part_rows.iter().enumerate() {
         let shards: Vec<String> = r

@@ -2,7 +2,7 @@
 //! dataset assembly and model training — with a disk cache so every
 //! experiment binary shares one profiling pass.
 
-use morpheus::format::{FormatId, ALL_FORMATS, FORMAT_COUNT};
+use morpheus::format::{FormatId, FORMAT_COUNT};
 use morpheus::{ConvertOptions, DynamicMatrix};
 use morpheus_corpus::CorpusSpec;
 use morpheus_machine::{analyze, systems, ProfileResult, SystemBackend, VirtualEngine};
@@ -265,8 +265,13 @@ pub fn tuned_forest_cached(
         if let Ok(morpheus_ml::serialize::LoadedModel::Forest(model)) =
             morpheus_ml::serialize::load_model(std::io::BufReader::new(file))
         {
-            if let Some(tm) = parse_meta(&meta, model) {
-                return tm;
+            // A model trained under an older feature/format schema (e.g.
+            // before a new format or feature landed) is stale, not corrupt:
+            // retrain instead of letting the tuner reject it downstream.
+            if model.n_features() == NUM_FEATURES && model.n_classes() == FORMAT_COUNT {
+                if let Some(tm) = parse_meta(&meta, model) {
+                    return tm;
+                }
             }
         }
         eprintln!("note: ignoring stale model cache {}", path.display());
@@ -389,9 +394,10 @@ pub fn optimal_speedups(pc: &ProfiledCorpus, pair_idx: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Convenience: all format names in ID order.
+/// Convenience: all format names in ID order (registry-driven, so new
+/// formats show up as bench columns without edits here).
 pub fn format_names() -> Vec<&'static str> {
-    ALL_FORMATS.iter().map(|f| f.name()).collect()
+    morpheus::FormatEntry::all().iter().map(|e| e.id.name()).collect()
 }
 
 #[cfg(test)]

@@ -37,6 +37,32 @@ pub fn fem_blocks<R: Rng>(nblocks: usize, bs: usize, couplings: usize, rng: &mut
     assemble(n, n, &pairs, rng)
 }
 
+/// Register-blocking's ideal input: fully dense `b x b` blocks *aligned to
+/// the `b`-grid* — the diagonal block plus `extra` random aligned
+/// off-diagonal blocks per block-row. Every stored block is 100% full, so
+/// BSR at block dim `b` carries zero fill and 1/(b*b) of CSR's index
+/// traffic.
+pub fn aligned_blocks<R: Rng>(nblocks: usize, b: usize, extra: usize, rng: &mut R) -> CooMatrix<f64> {
+    let n = nblocks * b;
+    let mut pairs = Vec::with_capacity(nblocks * (1 + extra) * b * b);
+    for br in 0..nblocks {
+        let mut bcols = vec![br];
+        for _ in 0..extra {
+            bcols.push(rng.gen_range(0..nblocks));
+        }
+        bcols.sort_unstable();
+        bcols.dedup();
+        for bc in bcols {
+            for i in 0..b {
+                for j in 0..b {
+                    pairs.push((br * b + i, bc * b + j));
+                }
+            }
+        }
+    }
+    assemble(n, n, &pairs, rng)
+}
+
 /// Pure block-diagonal matrix with variable block sizes in `lo..=hi`.
 pub fn block_diagonal<R: Rng>(n_target: usize, lo: usize, hi: usize, rng: &mut R) -> CooMatrix<f64> {
     let mut sizes = Vec::new();
@@ -83,6 +109,21 @@ mod tests {
         for &(r, c) in entries.iter().take(500) {
             assert!(entries.contains(&(c, r)));
         }
+    }
+
+    #[test]
+    fn aligned_blocks_land_on_the_grid() {
+        let b = 4;
+        let m = aligned_blocks(60, b, 2, &mut rng(7));
+        check_valid(&m);
+        assert_eq!(m.nrows(), 240);
+        // Every entry's block is fully populated: nnz is a multiple of b*b,
+        // and each row's entries arrive in groups of b aligned columns.
+        assert_eq!(m.nnz() % (b * b), 0, "partial blocks would mean BSR fill");
+        let s = stats_coo(&m, 0.2);
+        assert!(s.row_nnz_min >= b, "diagonal block populates every row");
+        assert_eq!(s.row_nnz_min % b, 0);
+        assert_eq!(s.row_nnz_max % b, 0);
     }
 
     #[test]

@@ -46,6 +46,28 @@ pub fn hypersparse<R: Rng>(n: usize, nnz: usize, rng: &mut R) -> CooMatrix<f64> 
     erdos_renyi(n, nnz, rng)
 }
 
+/// Two sharply separated row populations: most rows carry `narrow` entries,
+/// every `wide_every`-th row carries `wide`. The bucketed-ELL sweet spot —
+/// one dense slab per population — where plain ELL pads every narrow row to
+/// `wide` and HYB spills the entire wide population to COO.
+pub fn bimodal_rows<R: Rng>(
+    n: usize,
+    narrow: usize,
+    wide: usize,
+    wide_every: usize,
+    rng: &mut R,
+) -> CooMatrix<f64> {
+    assert!(narrow <= wide && wide_every >= 1, "narrow <= wide, wide_every >= 1");
+    let mut pairs = Vec::new();
+    for r in 0..n {
+        let k = if r % wide_every == 0 { wide } else { narrow };
+        for _ in 0..k {
+            pairs.push((r, rng.gen_range(0..n)));
+        }
+    }
+    assemble(n, n, &pairs, rng)
+}
+
 /// Entries clustered near the diagonal with geometric column offsets —
 /// locality-rich but not strictly banded (FEM-on-good-mesh flavour).
 pub fn near_diagonal<R: Rng>(n: usize, per_row: usize, spread: f64, rng: &mut R) -> CooMatrix<f64> {
@@ -116,6 +138,17 @@ mod tests {
     #[should_panic(expected = "too dense")]
     fn hypersparse_guards_density() {
         hypersparse(10, 1000, &mut rng(5));
+    }
+
+    #[test]
+    fn bimodal_rows_have_two_populations() {
+        let m = bimodal_rows(600, 3, 48, 50, &mut rng(8));
+        check_valid(&m);
+        let s = stats_coo(&m, 0.2);
+        // Duplicate-column collisions can shave an entry or two off a row.
+        assert!(s.row_nnz_max >= 44, "wide rows present: max {}", s.row_nnz_max);
+        assert!(s.row_nnz_min <= 3, "narrow rows present: min {}", s.row_nnz_min);
+        assert!(s.row_nnz_mean < 6.0, "narrow population dominates: {}", s.row_nnz_mean);
     }
 
     #[test]

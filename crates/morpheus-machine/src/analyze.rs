@@ -63,6 +63,17 @@ pub struct MatrixAnalysis {
     /// Prefix sums of `row_hist` (`row_prefix[i]` = entries in rows `< i`),
     /// for O(threads) static-partition imbalance queries.
     pub row_prefix: Vec<u64>,
+    /// Occupied `b x b` blocks for each square block dim in
+    /// [`morpheus::BSR_BLOCK_DIMS`] (2, 4, 8) — exact counts from the same
+    /// row-major walk, so BSR padding (`blocks * b * b`) and block fill are
+    /// known without converting.
+    pub bsr_blocks: [usize; 3],
+    /// BELL padded slots under the default power-of-two bucket ladder
+    /// (each non-empty row rounded up to its bucket width).
+    pub bell_padded: usize,
+    /// Non-empty BELL buckets under the default ladder (kernel launches /
+    /// slab sweeps the bucketed execution pays).
+    pub bell_nbuckets: usize,
 }
 
 impl MatrixAnalysis {
@@ -154,6 +165,38 @@ impl MatrixAnalysis {
     pub fn mean_row(&self) -> f64 {
         self.stats.row_nnz_mean
     }
+
+    /// BSR padded slots (`blocks * b * b`) for square block dim `b`.
+    ///
+    /// # Panics
+    /// If `b` is not one of [`morpheus::BSR_BLOCK_DIMS`].
+    pub fn bsr_padded(&self, b: usize) -> usize {
+        self.bsr_blocks[bsr_dim_index(b)] * b * b
+    }
+
+    /// Occupied blocks for square block dim `b`.
+    pub fn bsr_nblocks(&self, b: usize) -> usize {
+        self.bsr_blocks[bsr_dim_index(b)]
+    }
+
+    /// Block fill ratio `nnz / padded` for square dim `b` (1 when empty) —
+    /// the quantity that decides whether register blocking pays.
+    pub fn bsr_fill(&self, b: usize) -> f64 {
+        let padded = self.bsr_padded(b);
+        if padded == 0 {
+            1.0
+        } else {
+            self.nnz() as f64 / padded as f64
+        }
+    }
+}
+
+/// Index of square block dim `b` in [`morpheus::BSR_BLOCK_DIMS`].
+fn bsr_dim_index(b: usize) -> usize {
+    morpheus::BSR_BLOCK_DIMS
+        .iter()
+        .position(|&d| d == b)
+        .unwrap_or_else(|| panic!("unsupported BSR block dim {b}"))
 }
 
 /// Load imbalance of the nnz-weighted greedy row partition
@@ -213,14 +256,36 @@ pub fn analyze_from<V: Scalar>(m: &DynamicMatrix<V>, shared: &Analysis) -> Matri
     let hyb_width = optimal_hyb_width_u32(&row_hist, std::mem::size_of::<V>());
     let hyb_coo_nnz: usize = row_hist.iter().map(|&l| (l as usize).saturating_sub(hyb_width)).sum();
 
+    // BELL bucketing derives from the row histogram alone: mirror
+    // `BellMatrix::from_rowmajor` with the default power-of-two ladder —
+    // each non-empty row lands in the first bucket wide enough for it.
+    let ladder = morpheus::bell::default_bucket_widths(shared.stats.row_nnz_max);
+    let mut bucket_rows = vec![0usize; ladder.len()];
+    let mut bell_padded = 0usize;
+    for &l in &row_hist {
+        if l == 0 {
+            continue;
+        }
+        let b = ladder.partition_point(|&w| w < l as usize);
+        bucket_rows[b] += 1;
+        bell_padded += ladder[b];
+    }
+    let bell_nbuckets = bucket_rows.iter().filter(|&&n| n > 0).count();
+
     // One row-major walk for the entry-order quantities: the probability an
     // x-gather hits an already-fetched cache line (consecutive entries of a
-    // row within 8 doubles) and the per-row occupancy of the HDC CSR
-    // remainder (entries off every true diagonal).
+    // row within 8 doubles), the per-row occupancy of the HDC CSR
+    // remainder (entries off every true diagonal), and the occupied-block
+    // counts for each BSR dim. Rows arrive ascending, so a block row is
+    // never revisited: remembering the last block row that touched each
+    // block column gives exact distinct-block counts in O(1) per entry.
     passes::record_traversal();
     let mut local_hits = 0usize;
     let mut hdc_csr_hist = row_hist.clone();
     let mut prev: Option<(usize, usize)> = None;
+    let mut bsr_blocks = [0usize; 3];
+    let mut block_seen: [Vec<usize>; 3] =
+        std::array::from_fn(|i| vec![usize::MAX; ncols.div_ceil(morpheus::BSR_BLOCK_DIMS[i])]);
     for_each_entry_row_major(m, |r, c, _| {
         if let Some((pr, pc)) = prev {
             if pr == r && c - pc <= 8 {
@@ -230,6 +295,13 @@ pub fn analyze_from<V: Scalar>(m: &DynamicMatrix<V>, shared: &Analysis) -> Matri
         prev = Some((r, c));
         if ntrue > 0 && shared.diag_pop[c + nrows - 1 - r] >= threshold {
             hdc_csr_hist[r] -= 1;
+        }
+        for (i, &b) in morpheus::BSR_BLOCK_DIMS.iter().enumerate() {
+            let (br, bc) = (r / b, c / b);
+            if block_seen[i][bc] != br {
+                block_seen[i][bc] = br;
+                bsr_blocks[i] += 1;
+            }
         }
     });
     let locality = if nnz == 0 { 1.0 } else { local_hits as f64 / nnz as f64 };
@@ -261,6 +333,9 @@ pub fn analyze_from<V: Scalar>(m: &DynamicMatrix<V>, shared: &Analysis) -> Matri
         hdc_csr_max_row,
         hdc_csr_hist,
         row_prefix,
+        bsr_blocks,
+        bell_padded,
+        bell_nbuckets,
     }
 }
 

@@ -133,6 +133,58 @@ fn ell_part(padded: f64, nnz: f64, a: &MatrixAnalysis, spec: &CpuSpec, calib: &C
     }
 }
 
+fn bsr_part(
+    padded: f64,
+    nblocks: f64,
+    block_dim: f64,
+    a: &MatrixAnalysis,
+    spec: &CpuSpec,
+    threads: usize,
+    calib: &Calibration,
+) -> PartCost {
+    let nbrows = (a.nrows() as f64 / block_dim).ceil();
+    // Dense value slabs plus one column index and occupancy mask per block;
+    // each gathered x line serves the whole block column, so misses are
+    // amortised over the block width.
+    let nnz = a.nnz() as f64;
+    let block_local = 1.0 - (1.0 - a.locality) / block_dim;
+    let bytes = padded * VAL
+        + nblocks * (IDX + 8.0)
+        + (nbrows + 1.0) * IDX
+        + gather_x_bytes(nnz, a.ncols() as f64, block_local, spec.cache_bytes(), calib)
+        + a.nrows() as f64 * 2.0 * VAL;
+    PartCost {
+        bytes,
+        // Padding is multiplied through branch-free.
+        flops: 2.0 * padded,
+        overhead_cycles: nbrows * calib.cpu_row_cycles,
+        // Block rows partition by block weight — same greedy, coarser rows.
+        imbalance: row_partition_imbalance(nnz, block_dim * a.stats.row_nnz_max as f64, threads),
+        parallel_items: nbrows,
+    }
+}
+
+fn bell_part(
+    padded: f64,
+    nbuckets: f64,
+    a: &MatrixAnalysis,
+    spec: &CpuSpec,
+    calib: &Calibration,
+) -> PartCost {
+    let nnz = a.nnz() as f64;
+    let bytes = padded * (VAL + IDX)
+        + gather_x_bytes(nnz, a.ncols() as f64, a.locality, spec.cache_bytes(), calib)
+        + a.nrows() as f64 * 2.0 * VAL;
+    PartCost {
+        bytes,
+        flops: 2.0 * padded,
+        overhead_cycles: a.nrows() as f64 + nbuckets * calib.cpu_row_cycles,
+        // Segments are cell-balanced across workers.
+        imbalance: 1.0,
+        parallel_items: a.nrows() as f64,
+    }
+}
+
 fn part_time(part: &PartCost, eff: f64, spec: &CpuSpec, threads: usize, calib: &Calibration) -> f64 {
     if part.bytes <= 0.0 && part.flops <= 0.0 {
         return 0.0;
@@ -192,6 +244,17 @@ pub fn spmv_time(
             let coo = coo_part(surplus, rows_touched, coo_max, a, spec, threads, calib);
             part_time(&ell, calib.simd_eff_ell(), spec, threads, calib)
                 + part_time(&coo, calib.simd_eff_coo(), spec, threads, calib)
+        }
+        FormatId::Bsr => {
+            let (b, _) = morpheus::FormatParams::default().normalized_block();
+            let p =
+                bsr_part(a.bsr_padded(b) as f64, a.bsr_nblocks(b) as f64, b as f64, a, spec, threads, calib);
+            // Dense register blocks vectorise like diagonal slabs.
+            part_time(&p, calib.simd_eff_dia(), spec, threads, calib)
+        }
+        FormatId::Bell => {
+            let p = bell_part(a.bell_padded as f64, a.bell_nbuckets as f64, a, spec, calib);
+            part_time(&p, calib.simd_eff_ell(), spec, threads, calib)
         }
         FormatId::Hdc => {
             let dia = dia_part(a.hdc_padded() as f64, a.hdc_ntrue as f64, a, spec, calib);
@@ -277,6 +340,12 @@ pub fn variant_gain(calib: &Calibration, fmt: FormatId, variant: KernelVariant, 
                 FormatId::Hdc => {
                     let padded = a.hdc_padded() as f64;
                     (padded / (padded + a.hdc_csr_nnz as f64).max(1.0), a.hdc_ntrue >= BLOCK_MIN_DIAGS)
+                }
+                FormatId::Bsr => {
+                    // Mirrors `variant::select_bsr`: enough cells per block
+                    // row and enough block rows to chunk.
+                    let (b, c) = morpheus::FormatParams::default().normalized_block();
+                    (1.0, b * c >= BLOCK_MIN_WIDTH && a.nrows().div_ceil(b) > BLOCK_ROWS)
                 }
                 _ => (0.0, false),
             };

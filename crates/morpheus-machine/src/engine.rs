@@ -5,7 +5,7 @@ use crate::calib::Calibration;
 use crate::op::Op;
 use crate::spec::{Backend, SystemBackend, SystemProfile};
 use crate::{cpu, gpu};
-use morpheus::format::{FormatId, ALL_FORMATS, FORMAT_COUNT};
+use morpheus::format::{FormatId, FORMAT_COUNT};
 use morpheus::{KernelVariant, ALL_VARIANTS};
 
 /// Padding-viability rule shared with `morpheus::ConvertOptions`: DIA/ELL
@@ -200,8 +200,9 @@ impl VirtualEngine {
     /// The cheapest viable whole-matrix `(format, seconds)` at `threads`
     /// workers — the single-format baseline a partitioned plan must beat.
     pub fn best_spmv_time_at(&self, a: &MatrixAnalysis, threads: usize) -> (FormatId, f64) {
-        ALL_FORMATS
-            .into_iter()
+        morpheus::FormatEntry::all()
+            .iter()
+            .map(|e| e.id)
             .filter(|&f| self.is_viable(f, a))
             .map(|f| (f, self.spmv_time_at(f, a, threads)))
             .min_by(|x, y| x.1.total_cmp(&y.1))
@@ -268,7 +269,15 @@ impl VirtualEngine {
             FormatId::Ell => a.ell_padded() as f64,
             FormatId::Hyb => (a.hyb_padded() + a.hyb_coo_nnz) as f64,
             FormatId::Hdc => (a.hdc_padded() + a.hdc_csr_nnz) as f64,
+            FormatId::Bsr => a.bsr_padded(Self::bsr_dim()) as f64,
+            FormatId::Bell => a.bell_padded as f64,
         }
+    }
+
+    /// Square block dim the model prices BSR at (the default parameters,
+    /// matching what an unparameterized conversion builds).
+    fn bsr_dim() -> usize {
+        morpheus::FormatParams::default().normalized_block().0
     }
 
     /// Modelled seconds for one SpMM (`Y = A X`) with `k` right-hand sides
@@ -309,6 +318,8 @@ impl VirtualEngine {
             FormatId::Ell => padding_viable(a.ell_padded(), nnz),
             FormatId::Hyb => padding_viable(a.hyb_padded(), nnz),
             FormatId::Hdc => padding_viable(a.hdc_padded(), nnz),
+            FormatId::Bsr => padding_viable(a.bsr_padded(Self::bsr_dim()), nnz),
+            FormatId::Bell => padding_viable(a.bell_padded, nnz),
             _ => true,
         }
     }
@@ -325,7 +336,7 @@ impl VirtualEngine {
         let mut times = [None; FORMAT_COUNT];
         let mut best = FormatId::Csr;
         let mut best_t = f64::INFINITY;
-        for fmt in ALL_FORMATS {
+        for fmt in morpheus::FormatEntry::all().iter().map(|e| e.id) {
             if !self.is_viable(fmt, a) {
                 continue;
             }
@@ -355,6 +366,11 @@ impl VirtualEngine {
             FormatId::Ell => a.ell_padded() as f64 * 16.0,
             FormatId::Hyb => a.hyb_padded() as f64 * 16.0 + a.hyb_coo_nnz as f64 * 24.0,
             FormatId::Hdc => a.hdc_padded() as f64 * 8.0 + a.hdc_csr_nnz as f64 * 16.0,
+            FormatId::Bsr => {
+                let b = Self::bsr_dim();
+                a.bsr_padded(b) as f64 * 8.0 + a.bsr_nblocks(b) as f64 * 16.0
+            }
+            FormatId::Bell => a.bell_padded as f64 * 16.0,
         };
         match self.backend {
             Backend::Serial => {
@@ -401,6 +417,11 @@ impl VirtualEngine {
                 FormatId::Ell => a.ell_padded() as f64 * 16.0,
                 FormatId::Hyb => a.hyb_padded() as f64 * 16.0 + a.hyb_coo_nnz as f64 * 24.0,
                 FormatId::Hdc => a.hdc_padded() as f64 * 8.0 + a.hdc_csr_nnz as f64 * 16.0,
+                FormatId::Bsr => {
+                    let b = Self::bsr_dim();
+                    a.bsr_padded(b) as f64 * 8.0 + a.bsr_nblocks(b) as f64 * 16.0
+                }
+                FormatId::Bell => a.bell_padded as f64 * 16.0,
             }
         };
         let bytes = (footprint(from) + footprint(to)) * self.calib.convert_byte_factor;
@@ -505,7 +526,7 @@ mod tests {
         let a = sample(5000, 7);
         for pair in systems::all_system_backends() {
             let e = VirtualEngine::for_pair(&pair);
-            for fmt in ALL_FORMATS {
+            for fmt in morpheus::format::ALL_FORMATS {
                 let scalar = e.spmv_time_variant(fmt, KernelVariant::Scalar, &a);
                 assert_eq!(scalar, e.spmv_time(fmt, &a), "{} {fmt}", e.label());
                 let (best, t) = e.best_spmv_variant(fmt, &a);
@@ -556,7 +577,7 @@ mod tests {
         let a = sample(3000, 5);
         for pair in systems::all_system_backends() {
             let e = VirtualEngine::for_pair(&pair);
-            for fmt in ALL_FORMATS {
+            for fmt in morpheus::format::ALL_FORMATS {
                 assert_eq!(e.spmm_time(fmt, &a, 1), e.spmv_time(fmt, &a), "{} {fmt}", e.label());
                 assert_eq!(e.op_time(Op::Spmv, fmt, &a), e.spmv_time(fmt, &a));
                 assert_eq!(e.op_time(Op::Spmm { k: 4 }, fmt, &a), e.spmm_time(fmt, &a, 4));

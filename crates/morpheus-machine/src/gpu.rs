@@ -176,6 +176,24 @@ pub fn spmv_time(spec: &GpuSpec, calib: &Calibration, fmt: FormatId, a: &MatrixA
             // The second kernel's launch partially overlaps the first.
             part_time(spec, calib, &ell) + part_time(spec, calib, &coo) + 1.5 * launch
         }
+        FormatId::Bsr => {
+            // One thread per block row sweeping dense value slabs: coalesced
+            // like ELL, with the effective width set by the padded slots per
+            // row and the trip count by blocks per block row.
+            let b = morpheus::FormatParams::default().normalized_block().0;
+            let padded = a.bsr_padded(b) as f64;
+            let width = if nrows > 0.0 { padded / nrows } else { 0.0 };
+            let p = ell_part(spec, calib, a, padded, width, nnz);
+            part_time(spec, calib, &p) + launch
+        }
+        FormatId::Bell => {
+            // Each bucket is an ELL slab; one kernel per bucket, uniform trip
+            // count inside a bucket so divergence stays bounded by bucketing.
+            let padded = a.bell_padded as f64;
+            let width = if nrows > 0.0 { padded / nrows } else { 0.0 };
+            let p = ell_part(spec, calib, a, padded, width, nnz);
+            part_time(spec, calib, &p) + launch * (a.bell_nbuckets.max(1) as f64) * 0.5 + launch
+        }
         FormatId::Hdc => {
             let dia = dia_part(spec, a, a.hdc_padded() as f64, a.hdc_ntrue as f64);
             let csr = csr_scalar_part(

@@ -1,0 +1,204 @@
+//! Conversions for the parameterized block formats (BSR, BELL).
+//!
+//! Both formats build from *any* source through the [`RowMajor`] trait —
+//! the same per-row sorted walk the direct PR-2 kernels use — so every
+//! format reaches BSR/BELL without a COO hop, and both export back to
+//! COO/CSR generically. Padding guards mirror the DIA/ELL contract:
+//! conversions whose padded slabs exceed the [`ConvertOptions`] allowance
+//! fail with [`MorpheusError::ExcessivePadding`] (the tuner's non-viability
+//! signal), although block padding is structurally bounded (at worst
+//! `block_r * block_c` per entry for BSR, the ladder gap for BELL) where
+//! ELL/DIA padding is unbounded.
+
+use crate::bell::BellMatrix;
+use crate::bsr::BsrMatrix;
+use crate::convert::ConvertOptions;
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::MorpheusError;
+use crate::format::FormatId;
+use crate::rowmajor::RowMajor;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// Exports any row-major-walkable source to COO (sorted by construction).
+pub(crate) fn rowmajor_to_coo<V: Scalar>(src: &dyn RowMajor<V>, ncols: usize) -> CooMatrix<V> {
+    let nrows = src.nrows();
+    let nnz: usize = (0..nrows).map(|r| src.row_count(r)).sum();
+    let mut rows = Vec::with_capacity(nnz);
+    let mut cols = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for r in 0..nrows {
+        src.emit_row(r, &mut |c, v| {
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        });
+    }
+    CooMatrix::from_sorted_parts_unchecked(nrows, ncols, rows, cols, vals)
+}
+
+/// Exports any row-major-walkable source to CSR.
+pub(crate) fn rowmajor_to_csr<V: Scalar>(src: &dyn RowMajor<V>, ncols: usize) -> CsrMatrix<V> {
+    let nrows = src.nrows();
+    let mut offsets = Vec::with_capacity(nrows + 1);
+    offsets.push(0usize);
+    let mut acc = 0usize;
+    for r in 0..nrows {
+        acc += src.row_count(r);
+        offsets.push(acc);
+    }
+    let mut cols = Vec::with_capacity(acc);
+    let mut vals = Vec::with_capacity(acc);
+    for r in 0..nrows {
+        src.emit_row(r, &mut |c, v| {
+            cols.push(c);
+            vals.push(v);
+        });
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, offsets, cols, vals)
+}
+
+fn guard_padding(format: FormatId, padded: usize, nnz: usize, opts: &ConvertOptions) -> Result<()> {
+    let limit = opts.padded_allowance(nnz);
+    if padded > nnz && padded - nnz > limit {
+        return Err(MorpheusError::ExcessivePadding { format, padded, nnz, limit });
+    }
+    Ok(())
+}
+
+/// Builds a BSR matrix from any row-major source with the options' block
+/// dimensions, enforcing the padding allowance.
+pub(crate) fn rowmajor_to_bsr<V: Scalar>(
+    src: &dyn RowMajor<V>,
+    ncols: usize,
+    opts: &ConvertOptions,
+) -> Result<BsrMatrix<V>> {
+    let (r, c) = opts.params.normalized_block();
+    let m = BsrMatrix::from_rowmajor(src, ncols, r, c);
+    guard_padding(FormatId::Bsr, m.padded_len(), m.nnz(), opts)?;
+    Ok(m)
+}
+
+/// Builds a BELL matrix from any row-major source with the options' bucket
+/// ladder, enforcing the padding allowance.
+pub(crate) fn rowmajor_to_bell<V: Scalar>(
+    src: &dyn RowMajor<V>,
+    ncols: usize,
+    opts: &ConvertOptions,
+) -> Result<BellMatrix<V>> {
+    let m = BellMatrix::from_rowmajor(src, ncols, opts.params.bell_ladder());
+    guard_padding(FormatId::Bell, m.padded_len(), m.nnz(), opts)?;
+    Ok(m)
+}
+
+/// COO → BSR with the options' block dimensions.
+pub fn coo_to_bsr<V: Scalar>(a: &CooMatrix<V>, opts: &ConvertOptions) -> Result<BsrMatrix<V>> {
+    rowmajor_to_bsr(a, a.ncols(), opts)
+}
+
+/// CSR → BSR with the options' block dimensions.
+pub fn csr_to_bsr<V: Scalar>(a: &CsrMatrix<V>, opts: &ConvertOptions) -> Result<BsrMatrix<V>> {
+    rowmajor_to_bsr(a, a.ncols(), opts)
+}
+
+/// BSR → COO (row-major export; exact structural roundtrip).
+pub fn bsr_to_coo<V: Scalar>(a: &BsrMatrix<V>) -> CooMatrix<V> {
+    rowmajor_to_coo(a, a.ncols())
+}
+
+/// BSR → CSR (row-major export).
+pub fn bsr_to_csr<V: Scalar>(a: &BsrMatrix<V>) -> CsrMatrix<V> {
+    rowmajor_to_csr(a, a.ncols())
+}
+
+/// COO → BELL with the options' bucket ladder.
+pub fn coo_to_bell<V: Scalar>(a: &CooMatrix<V>, opts: &ConvertOptions) -> Result<BellMatrix<V>> {
+    rowmajor_to_bell(a, a.ncols(), opts)
+}
+
+/// CSR → BELL with the options' bucket ladder.
+pub fn csr_to_bell<V: Scalar>(a: &CsrMatrix<V>, opts: &ConvertOptions) -> Result<BellMatrix<V>> {
+    rowmajor_to_bell(a, a.ncols(), opts)
+}
+
+/// BELL → COO (row-major export; exact structural roundtrip).
+pub fn bell_to_coo<V: Scalar>(a: &BellMatrix<V>) -> CooMatrix<V> {
+    rowmajor_to_coo(a, a.ncols())
+}
+
+/// BELL → CSR (row-major export).
+pub fn bell_to_csr<V: Scalar>(a: &BellMatrix<V>) -> CsrMatrix<V> {
+    rowmajor_to_csr(a, a.ncols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FormatParams;
+    use crate::test_util::random_coo;
+
+    #[test]
+    fn bsr_roundtrips_exactly() {
+        for seed in 0..4u64 {
+            let coo = random_coo::<f64>(50, 41, 360, seed);
+            for dims in [(2, 2), (4, 4), (8, 8)] {
+                let opts = ConvertOptions {
+                    params: FormatParams { bsr_block: dims, ..Default::default() },
+                    ..Default::default()
+                };
+                let bsr = coo_to_bsr(&coo, &opts).unwrap();
+                assert_eq!(bsr_to_coo(&bsr), coo, "seed {seed} dims {dims:?}");
+                let csr = crate::convert::coo_to_csr(&coo);
+                assert_eq!(csr_to_bsr(&csr, &opts).unwrap(), bsr);
+                assert_eq!(bsr_to_csr(&bsr), csr);
+            }
+        }
+    }
+
+    #[test]
+    fn bell_roundtrips_exactly() {
+        for seed in 0..4u64 {
+            let coo = random_coo::<f64>(60, 44, 420, seed + 50);
+            for ladder in [vec![], vec![2, 6], vec![1, 2, 4, 8, 16, 32]] {
+                let opts = ConvertOptions {
+                    params: FormatParams::default().with_bell_ladder(&ladder),
+                    ..Default::default()
+                };
+                let bell = coo_to_bell(&coo, &opts).unwrap();
+                assert_eq!(bell_to_coo(&bell), coo, "seed {seed} ladder {ladder:?}");
+                let csr = crate::convert::coo_to_csr(&coo);
+                assert_eq!(csr_to_bell(&csr, &opts).unwrap(), bell);
+                assert_eq!(bell_to_csr(&bell), csr);
+            }
+        }
+    }
+
+    #[test]
+    fn bsr_padding_guard_fires_on_hypersparse_scatter() {
+        // One entry per 8x8 block: 64 padded slots per non-zero.
+        let n = 4000usize;
+        let rows: Vec<usize> = (0..n / 8).map(|i| i * 8).collect();
+        let cols: Vec<usize> = (0..n / 8).map(|i| (i * 8 + 3) % n).collect();
+        let vals = vec![1.0f64; rows.len()];
+        let coo = CooMatrix::from_triplets(n, n, &rows, &cols, &vals).unwrap();
+        let opts = ConvertOptions {
+            max_fill: 2.0,
+            min_padded_allowance: 8,
+            params: FormatParams { bsr_block: (8, 8), ..Default::default() },
+            ..Default::default()
+        };
+        let err = coo_to_bsr(&coo, &opts).unwrap_err();
+        assert!(matches!(err, MorpheusError::ExcessivePadding { format: FormatId::Bsr, .. }));
+    }
+
+    #[test]
+    fn empty_matrices_convert() {
+        let coo = CooMatrix::<f64>::new(6, 6);
+        let opts = ConvertOptions::default();
+        assert_eq!(coo_to_bsr(&coo, &opts).unwrap().nnz(), 0);
+        assert_eq!(coo_to_bell(&coo, &opts).unwrap().nnz(), 0);
+        assert_eq!(bsr_to_coo(&coo_to_bsr(&coo, &opts).unwrap()), coo);
+        assert_eq!(bell_to_coo(&coo_to_bell(&coo, &opts).unwrap()), coo);
+    }
+}

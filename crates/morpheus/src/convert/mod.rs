@@ -58,7 +58,13 @@
 //! non-viable for a matrix. Guards are applied identically on direct and
 //! hub paths.
 
+pub mod blocked;
 pub mod kernels;
+
+pub use blocked::{
+    bell_to_coo, bell_to_csr, bsr_to_coo, bsr_to_csr, coo_to_bell, coo_to_bsr, csr_to_bell, csr_to_bsr,
+};
+pub(crate) use blocked::{rowmajor_to_bell, rowmajor_to_bsr, rowmajor_to_coo};
 
 pub use kernels::{
     coo_to_csr, coo_to_dia, coo_to_ell, coo_to_hdc, coo_to_hyb, csr_to_coo, csr_to_dia, csr_to_ell,
@@ -73,6 +79,8 @@ use crate::error::MorpheusError;
 use crate::format::FormatId;
 use crate::hdc::DEFAULT_TRUE_DIAG_ALPHA;
 use crate::hyb::HybSplit;
+use crate::params::FormatParams;
+use crate::rowmajor::RowMajor;
 use crate::scalar::Scalar;
 use crate::Result;
 
@@ -90,6 +98,9 @@ pub struct ConvertOptions {
     pub hyb_split: HybSplit,
     /// True-diagonal fraction for HDC splitting and the `NTD` statistic.
     pub true_diag_alpha: f64,
+    /// Tunable format parameters (BSR block dims, BELL ladder, HYB/DIA
+    /// overrides) — defaults reproduce the fixed heuristics.
+    pub params: FormatParams,
 }
 
 impl Default for ConvertOptions {
@@ -99,6 +110,7 @@ impl Default for ConvertOptions {
             min_padded_allowance: 4096,
             hyb_split: HybSplit::Auto,
             true_diag_alpha: DEFAULT_TRUE_DIAG_ALPHA,
+            params: FormatParams::default(),
         }
     }
 }
@@ -106,6 +118,24 @@ impl Default for ConvertOptions {
 impl ConvertOptions {
     pub(crate) fn padded_allowance(&self, nnz: usize) -> usize {
         ((self.max_fill * nnz as f64) as usize).max(self.min_padded_allowance)
+    }
+
+    /// Applies the [`FormatParams`] overrides that map onto pre-existing
+    /// knobs (HYB split width, DIA fill threshold) for a conversion into
+    /// `target`. BSR/BELL parameters are read by their kernels directly.
+    pub(crate) fn effective(&self, target: FormatId) -> ConvertOptions {
+        let mut o = *self;
+        if target == FormatId::Hyb {
+            if let Some(w) = self.params.hyb_width {
+                o.hyb_split = HybSplit::Width(w);
+            }
+        }
+        if matches!(target, FormatId::Dia | FormatId::Hdc) {
+            if let Some(f) = self.params.dia_fill {
+                o.max_fill = f;
+            }
+        }
+        o
     }
 }
 
@@ -162,8 +192,24 @@ pub(crate) fn convert_timed<V: Scalar>(
     }
     // Trust the plan only if it plausibly describes this matrix.
     let plan = analysis.filter(|a| a.matches(m));
-    let (converted, path) = dispatch(m, target, opts, plan)?;
+    let opts = opts.effective(target);
+    let (converted, path) = dispatch(m, target, &opts, plan)?;
     Ok((converted, ConvertOutcome { path, seconds: start.elapsed().as_secs_f64() }))
+}
+
+/// The active representation as a row-major walker (all formats implement
+/// [`RowMajor`]).
+pub(crate) fn as_rowmajor<V: Scalar>(m: &DynamicMatrix<V>) -> &dyn RowMajor<V> {
+    match m {
+        DynamicMatrix::Coo(a) => a,
+        DynamicMatrix::Csr(a) => a,
+        DynamicMatrix::Dia(a) => a,
+        DynamicMatrix::Ell(a) => a,
+        DynamicMatrix::Hyb(a) => a,
+        DynamicMatrix::Hdc(a) => a,
+        DynamicMatrix::Bsr(a) => a,
+        DynamicMatrix::Bell(a) => a,
+    }
 }
 
 fn dispatch<V: Scalar>(
@@ -183,6 +229,12 @@ fn dispatch<V: Scalar>(
         (D::Ell(a), FormatId::Csr) => direct(D::Csr(ell_to_csr(a))),
         (D::Hyb(a), FormatId::Csr) => direct(D::Csr(hyb_to_csr(a))),
         (D::Hdc(a), FormatId::Csr) => direct(D::Csr(hdc_to_csr(a))),
+        (D::Bsr(a), FormatId::Csr) => direct(D::Csr(bsr_to_csr(a))),
+        (D::Bell(a), FormatId::Csr) => direct(D::Csr(bell_to_csr(a))),
+        // The block formats build from any source via the row-major walk:
+        // direct from everywhere, no COO hop.
+        (_, FormatId::Bsr) => direct(D::Bsr(rowmajor_to_bsr(as_rowmajor(m), m.ncols(), opts)?)),
+        (_, FormatId::Bell) => direct(D::Bell(rowmajor_to_bell(as_rowmajor(m), m.ncols(), opts)?)),
         // COO and CSR sources convert into the padded formats directly.
         (D::Coo(a), FormatId::Dia) => direct(D::Dia(kernels::coo_to_dia_planned(a, opts, plan)?)),
         (D::Coo(a), FormatId::Ell) => direct(D::Ell(kernels::coo_to_ell_planned(a, opts, plan)?)),
@@ -201,7 +253,9 @@ fn dispatch<V: Scalar>(
                 FormatId::Ell => D::Ell(kernels::coo_to_ell_planned(&coo, opts, plan)?),
                 FormatId::Hyb => D::Hyb(kernels::coo_to_hyb_planned(&coo, opts, plan)?),
                 FormatId::Hdc => D::Hdc(kernels::coo_to_hdc_planned(&coo, opts, plan)?),
-                FormatId::Coo | FormatId::Csr => unreachable!("handled by the direct arms"),
+                FormatId::Coo | FormatId::Csr | FormatId::Bsr | FormatId::Bell => {
+                    unreachable!("handled by the direct arms")
+                }
             };
             (rebuilt, ConvertPath::Hub)
         }
@@ -221,6 +275,7 @@ pub fn convert_via_hub<V: Scalar>(
     opts: &ConvertOptions,
 ) -> Result<DynamicMatrix<V>> {
     let coo = m.to_coo();
+    let opts = &opts.effective(target);
     Ok(match target {
         FormatId::Coo => DynamicMatrix::Coo(coo),
         FormatId::Csr => DynamicMatrix::Csr(coo_to_csr(&coo)),
@@ -228,6 +283,8 @@ pub fn convert_via_hub<V: Scalar>(
         FormatId::Ell => DynamicMatrix::Ell(coo_to_ell(&coo, opts)?),
         FormatId::Hyb => DynamicMatrix::Hyb(coo_to_hyb(&coo, opts)?),
         FormatId::Hdc => DynamicMatrix::Hdc(coo_to_hdc(&coo, opts)?),
+        FormatId::Bsr => DynamicMatrix::Bsr(coo_to_bsr(&coo, opts)?),
+        FormatId::Bell => DynamicMatrix::Bell(coo_to_bell(&coo, opts)?),
     })
 }
 

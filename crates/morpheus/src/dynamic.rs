@@ -1,6 +1,8 @@
 //! The runtime-switchable `DynamicMatrix` (§II-C).
 
 use crate::analysis::Analysis;
+use crate::bell::BellMatrix;
+use crate::bsr::BsrMatrix;
 use crate::convert::{
     self, csr_to_coo, dia_to_coo, ell_to_coo, hdc_to_coo, hyb_to_coo, ConvertOptions, ConvertOutcome,
 };
@@ -37,6 +39,10 @@ pub enum DynamicMatrix<V> {
     Hyb(HybMatrix<V>),
     /// Hybrid DIA/CSR storage.
     Hdc(HdcMatrix<V>),
+    /// Register-blocked CSR storage.
+    Bsr(BsrMatrix<V>),
+    /// Bucketed ELLPACK storage.
+    Bell(BellMatrix<V>),
 }
 
 impl<V: Scalar> DynamicMatrix<V> {
@@ -49,6 +55,8 @@ impl<V: Scalar> DynamicMatrix<V> {
             DynamicMatrix::Ell(_) => FormatId::Ell,
             DynamicMatrix::Hyb(_) => FormatId::Hyb,
             DynamicMatrix::Hdc(_) => FormatId::Hdc,
+            DynamicMatrix::Bsr(_) => FormatId::Bsr,
+            DynamicMatrix::Bell(_) => FormatId::Bell,
         }
     }
 
@@ -61,6 +69,8 @@ impl<V: Scalar> DynamicMatrix<V> {
             DynamicMatrix::Ell(m) => m.nrows(),
             DynamicMatrix::Hyb(m) => m.nrows(),
             DynamicMatrix::Hdc(m) => m.nrows(),
+            DynamicMatrix::Bsr(m) => m.nrows(),
+            DynamicMatrix::Bell(m) => m.nrows(),
         }
     }
 
@@ -73,6 +83,8 @@ impl<V: Scalar> DynamicMatrix<V> {
             DynamicMatrix::Ell(m) => m.ncols(),
             DynamicMatrix::Hyb(m) => m.ncols(),
             DynamicMatrix::Hdc(m) => m.ncols(),
+            DynamicMatrix::Bsr(m) => m.ncols(),
+            DynamicMatrix::Bell(m) => m.ncols(),
         }
     }
 
@@ -85,6 +97,8 @@ impl<V: Scalar> DynamicMatrix<V> {
             DynamicMatrix::Ell(m) => m.nnz(),
             DynamicMatrix::Hyb(m) => m.nnz(),
             DynamicMatrix::Hdc(m) => m.nnz(),
+            DynamicMatrix::Bsr(m) => m.nnz(),
+            DynamicMatrix::Bell(m) => m.nnz(),
         }
     }
 
@@ -97,6 +111,8 @@ impl<V: Scalar> DynamicMatrix<V> {
             DynamicMatrix::Ell(m) => m.storage_bytes(),
             DynamicMatrix::Hyb(m) => m.storage_bytes(),
             DynamicMatrix::Hdc(m) => m.storage_bytes(),
+            DynamicMatrix::Bsr(m) => m.storage_bytes(),
+            DynamicMatrix::Bell(m) => m.storage_bytes(),
         }
     }
 
@@ -110,6 +126,8 @@ impl<V: Scalar> DynamicMatrix<V> {
             DynamicMatrix::Ell(m) => ell_to_coo(m),
             DynamicMatrix::Hyb(m) => hyb_to_coo(m),
             DynamicMatrix::Hdc(m) => hdc_to_coo(m),
+            DynamicMatrix::Bsr(m) => convert::rowmajor_to_coo(m, m.ncols()),
+            DynamicMatrix::Bell(m) => convert::rowmajor_to_coo(m, m.ncols()),
         }
     }
 
@@ -249,6 +267,24 @@ impl<V: Scalar> DynamicMatrix<V> {
                 h.words(m.csr().row_offsets());
                 h.words(m.csr().col_indices());
             }
+            DynamicMatrix::Bsr(m) => {
+                h.word(m.block_r() as u64);
+                h.word(m.block_c() as u64);
+                h.words(m.block_row_offsets());
+                h.words(m.block_cols());
+                for &mask in m.masks() {
+                    h.word(mask);
+                }
+            }
+            DynamicMatrix::Bell(m) => {
+                h.word(m.buckets().len() as u64);
+                for bucket in m.buckets() {
+                    h.word(bucket.width() as u64);
+                    h.words(bucket.rows());
+                    // ELL_PAD sentinels cover the padding pattern.
+                    h.words(bucket.cols());
+                }
+            }
         }
         h.finish()
     }
@@ -346,6 +382,18 @@ impl<V: Scalar> From<HybMatrix<V>> for DynamicMatrix<V> {
 impl<V: Scalar> From<HdcMatrix<V>> for DynamicMatrix<V> {
     fn from(m: HdcMatrix<V>) -> Self {
         DynamicMatrix::Hdc(m)
+    }
+}
+
+impl<V: Scalar> From<BsrMatrix<V>> for DynamicMatrix<V> {
+    fn from(m: BsrMatrix<V>) -> Self {
+        DynamicMatrix::Bsr(m)
+    }
+}
+
+impl<V: Scalar> From<BellMatrix<V>> for DynamicMatrix<V> {
+    fn from(m: BellMatrix<V>) -> Self {
+        DynamicMatrix::Bell(m)
     }
 }
 

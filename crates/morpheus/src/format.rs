@@ -21,14 +21,26 @@ pub enum FormatId {
     Hyb = 4,
     /// Hybrid DIA + CSR.
     Hdc = 5,
+    /// Register-blocked CSR (r x c dense blocks).
+    Bsr = 6,
+    /// Bucketed ELLPACK (per-bucket width slabs).
+    Bell = 7,
 }
 
 /// Number of formats in the pool the tuners select from.
-pub const FORMAT_COUNT: usize = 6;
+pub const FORMAT_COUNT: usize = 8;
 
 /// All formats, in format-ID order.
-pub const ALL_FORMATS: [FormatId; FORMAT_COUNT] =
-    [FormatId::Coo, FormatId::Csr, FormatId::Dia, FormatId::Ell, FormatId::Hyb, FormatId::Hdc];
+pub const ALL_FORMATS: [FormatId; FORMAT_COUNT] = [
+    FormatId::Coo,
+    FormatId::Csr,
+    FormatId::Dia,
+    FormatId::Ell,
+    FormatId::Hyb,
+    FormatId::Hdc,
+    FormatId::Bsr,
+    FormatId::Bell,
+];
 
 impl FormatId {
     /// Stable numeric ID (the classifier's target value).
@@ -51,6 +63,8 @@ impl FormatId {
             FormatId::Ell => "ELL",
             FormatId::Hyb => "HYB",
             FormatId::Hdc => "HDC",
+            FormatId::Bsr => "BSR",
+            FormatId::Bell => "BELL",
         }
     }
 
@@ -63,6 +77,8 @@ impl FormatId {
             "ELL" => Some(FormatId::Ell),
             "HYB" => Some(FormatId::Hyb),
             "HDC" => Some(FormatId::Hdc),
+            "BSR" => Some(FormatId::Bsr),
+            "BELL" => Some(FormatId::Bell),
             _ => None,
         }
     }
@@ -86,6 +102,8 @@ mod tests {
         assert_eq!(FormatId::Ell.index(), 3);
         assert_eq!(FormatId::Hyb.index(), 4);
         assert_eq!(FormatId::Hdc.index(), 5);
+        assert_eq!(FormatId::Bsr.index(), 6);
+        assert_eq!(FormatId::Bell.index(), 7);
     }
 
     #[test]
@@ -94,14 +112,14 @@ mod tests {
             assert_eq!(FormatId::from_index(f.index()), Some(f));
             assert_eq!(FormatId::from_name(f.name()), Some(f));
         }
-        assert_eq!(FormatId::from_index(6), None);
+        assert_eq!(FormatId::from_index(FORMAT_COUNT), None);
         assert_eq!(FormatId::from_name("XYZ"), None);
     }
 
     #[test]
     fn names_match_paper() {
         let names: Vec<&str> = ALL_FORMATS.iter().map(|f| f.name()).collect();
-        assert_eq!(names, ["COO", "CSR", "DIA", "ELL", "HYB", "HDC"]);
+        assert_eq!(names, ["COO", "CSR", "DIA", "ELL", "HYB", "HDC", "BSR", "BELL"]);
     }
 
     #[test]

@@ -40,6 +40,8 @@
 //! ```
 
 pub mod analysis;
+pub mod bell;
+pub mod bsr;
 pub mod builder;
 pub mod convert;
 pub mod coo;
@@ -53,8 +55,10 @@ pub mod format;
 pub mod hdc;
 pub mod hyb;
 pub mod io;
+pub mod params;
 pub mod partition;
 pub mod plan;
+pub mod registry;
 pub mod rowmajor;
 pub mod scalar;
 pub mod spmm;
@@ -63,6 +67,8 @@ pub mod stats;
 pub mod vecops;
 
 pub use analysis::Analysis;
+pub use bell::{BellBucket, BellMatrix};
+pub use bsr::{BsrMatrix, BSR_BLOCK_DIMS};
 pub use builder::CooBuilder;
 pub use convert::{convert_via_hub, ConvertOptions, ConvertOutcome, ConvertPath};
 pub use coo::CooMatrix;
@@ -75,8 +81,10 @@ pub use error::MorpheusError;
 pub use format::FormatId;
 pub use hdc::HdcMatrix;
 pub use hyb::{HybMatrix, HybSplit};
+pub use params::{FormatParams, MAX_BELL_WIDTHS};
 pub use partition::{Partition, PartitionConfig, PartitionedMatrix, Shard, StreamingPartitioner};
 pub use plan::{BatchWorkspace, ExecPlan, Workspace};
+pub use registry::{FormatEntry, FormatTraits, StructuralSummary};
 pub use rowmajor::for_each_entry_row_major;
 pub use scalar::Scalar;
 pub use spmv::variant::{Bottleneck, CpuFeatures, KernelVariant, ALL_VARIANTS};

@@ -508,7 +508,11 @@ impl<V: Scalar> PartitionedMatrix<V> {
         for s in &self.shards {
             by_fmt[s.matrix.format_id().index()] += s.matrix.nnz();
         }
-        crate::format::ALL_FORMATS.into_iter().max_by_key(|f| by_fmt[f.index()]).unwrap_or(FormatId::Csr)
+        crate::registry::FormatEntry::all()
+            .iter()
+            .map(|e| e.id)
+            .max_by_key(|f| by_fmt[f.index()])
+            .unwrap_or(FormatId::Csr)
     }
 
     /// The dominant kernel variant of the shard covering the most nnz.
@@ -526,7 +530,7 @@ impl<V: Scalar> PartitionedMatrix<V> {
         for s in &self.shards {
             present[s.matrix.format_id().index()] = true;
         }
-        crate::format::ALL_FORMATS.into_iter().filter(|f| present[f.index()]).collect()
+        crate::registry::FormatEntry::all().iter().map(|e| e.id).filter(|f| present[f.index()]).collect()
     }
 
     /// `true` when every shard's plan preserves serial accumulation order

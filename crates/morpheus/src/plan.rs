@@ -16,7 +16,11 @@
 //! * **HYB** — static row ranges for the ELL portion plus row-aligned
 //!   entry ranges for the COO surplus;
 //! * **HDC** — static row ranges for the DIA portion plus nnz-weighted row
-//!   ranges for the CSR remainder.
+//!   ranges for the CSR remainder;
+//! * **BSR** — entry-weighted block-row ranges (a block row is the atomic
+//!   unit: it owns `block_r` output rows);
+//! * **BELL** — cell-balanced bucket segments (spans of one bucket's
+//!   column-major slab).
 //!
 //! Construction reads the PR-2 [`Analysis`] artifact when one is supplied
 //! (row-nnz histogram → weighted ranges and COO entry boundaries via prefix
@@ -54,6 +58,7 @@
 //! additionally shares each plan across client threads via `Arc`.
 
 use crate::analysis::Analysis;
+use crate::bell::BellSegment;
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::dynamic::DynamicMatrix;
@@ -243,6 +248,10 @@ enum Parts {
         csr_rows: Vec<Range<usize>>,
         csr_variants: Vec<KernelVariant>,
     },
+    /// Entry-weighted BSR block-row ranges.
+    Bsr { brows: Vec<Range<usize>>, variants: Vec<KernelVariant> },
+    /// Cell-balanced BELL bucket segments (scalar-only bodies).
+    Bell { segs: Vec<BellSegment> },
 }
 
 impl<V: Scalar> ExecPlan<V> {
@@ -349,6 +358,17 @@ impl<V: Scalar> ExecPlan<V> {
                 let csr_variants = csr_variants(a.csr().row_offsets(), &csr_rows);
                 Parts::Hdc { rows, dia_variants, csr_rows, csr_variants }
             }
+            DynamicMatrix::Bsr(a) => {
+                let offs = a.block_row_offsets();
+                let brows = weighted_partition_with(a.nblockrows(), threads, |br| offs[br + 1] - offs[br]);
+                let cells = a.block_r() * a.block_c();
+                let variants = brows
+                    .iter()
+                    .map(|r| force_rows.unwrap_or_else(|| variant::select_bsr(cells, r.len())))
+                    .collect();
+                Parts::Bsr { brows, variants }
+            }
+            DynamicMatrix::Bell(a) => Parts::Bell { segs: a.segments(threads) },
         };
         ExecPlan {
             format: m.format_id(),
@@ -378,6 +398,8 @@ impl<V: Scalar> ExecPlan<V> {
             Parts::Csr { rows, .. } | Parts::Rows { rows, .. } => rows.len(),
             Parts::Coo { entries } => entries.len(),
             Parts::Hyb { rows, .. } | Parts::Hdc { rows, .. } => rows.len(),
+            Parts::Bsr { brows, .. } => brows.len(),
+            Parts::Bell { segs } => segs.len(),
         }
     }
 
@@ -387,20 +409,22 @@ impl<V: Scalar> ExecPlan<V> {
     /// [`ExecPlan::dominant_variant`] but not exposed here.
     pub fn variants(&self) -> &[KernelVariant] {
         match &self.parts {
-            Parts::Csr { variants, .. } | Parts::Rows { variants, .. } | Parts::Hyb { variants, .. } => {
-                variants
-            }
-            Parts::Coo { .. } => &[],
+            Parts::Csr { variants, .. }
+            | Parts::Rows { variants, .. }
+            | Parts::Hyb { variants, .. }
+            | Parts::Bsr { variants, .. } => variants,
+            Parts::Coo { .. } | Parts::Bell { .. } => &[],
             Parts::Hdc { dia_variants, .. } => dia_variants,
         }
     }
 
     fn variant_slices(&self) -> (&[KernelVariant], &[KernelVariant]) {
         match &self.parts {
-            Parts::Csr { variants, .. } | Parts::Rows { variants, .. } | Parts::Hyb { variants, .. } => {
-                (variants, &[])
-            }
-            Parts::Coo { .. } => (&[], &[]),
+            Parts::Csr { variants, .. }
+            | Parts::Rows { variants, .. }
+            | Parts::Hyb { variants, .. }
+            | Parts::Bsr { variants, .. } => (variants, &[]),
+            Parts::Coo { .. } | Parts::Bell { .. } => (&[], &[]),
             Parts::Hdc { dia_variants, csr_variants, .. } => (dia_variants, csr_variants),
         }
     }
@@ -482,6 +506,25 @@ impl<V: Scalar> ExecPlan<V> {
                 coo_entries.last().map_or(0, |r| r.end) == a.coo().nnz()
                     && boundaries_are_row_aligned(coo_entries, a.coo().row_indices())
             }
+            // Block dims are a per-matrix parameter `matches` cannot see:
+            // the same shape/nnz stored as 2x2 and 8x8 BSR have different
+            // block-row counts, so verify the ranges tile *this* matrix's
+            // block rows before the unsafe bodies index by them.
+            (DynamicMatrix::Bsr(a), Parts::Bsr { brows, .. }) => {
+                let mut end = 0usize;
+                brows.iter().all(|r| {
+                    let ok = r.start == end && r.end >= r.start;
+                    end = r.end;
+                    ok
+                }) && end == a.nblockrows()
+            }
+            // Same for the bucket ladder: validate every segment against
+            // this matrix's buckets and require full slab coverage.
+            (DynamicMatrix::Bell(a), Parts::Bell { segs }) => {
+                let covered: usize = segs.iter().map(|s| s.span.len()).sum();
+                segs.iter().all(|s| a.buckets().get(s.bucket).is_some_and(|b| s.span.end <= b.rows().len()))
+                    && covered == a.buckets().iter().map(|b| b.rows().len()).sum::<usize>()
+            }
             _ => true,
         };
         if aligned {
@@ -549,6 +592,10 @@ impl<V: Scalar> ExecPlan<V> {
                 threaded::spmv_dia_ranges(a.dia(), x, y, pool, rows, dia_variants);
                 threaded::spmv_csr_acc_ranges(a.csr(), x, y, pool, csr_rows, csr_variants);
             }
+            (DynamicMatrix::Bsr(a), Parts::Bsr { brows, variants }) => {
+                threaded::spmv_bsr_ranges(a, x, y, pool, brows, variants)
+            }
+            (DynamicMatrix::Bell(a), Parts::Bell { segs }) => threaded::spmv_bell_ranges(a, x, y, pool, segs),
             _ => unreachable!("plan/matrix format agreement checked above"),
         }
         Ok(())
@@ -591,6 +638,10 @@ impl<V: Scalar> ExecPlan<V> {
                 spmm::spmm_dia_ranges(a.dia(), x, y, k, pool, rows);
                 spmm::spmm_csr_ranges::<V, true>(a.csr(), x, y, k, pool, csr_rows);
             }
+            (DynamicMatrix::Bsr(a), Parts::Bsr { brows, .. }) => {
+                spmm::spmm_bsr_ranges(a, x, y, k, pool, brows)
+            }
+            (DynamicMatrix::Bell(a), Parts::Bell { segs }) => spmm::spmm_bell_ranges(a, x, y, k, pool, segs),
             _ => unreachable!("plan/matrix format agreement checked above"),
         }
         Ok(())

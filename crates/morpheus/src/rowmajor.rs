@@ -246,6 +246,8 @@ pub fn for_each_entry_row_major<V: Scalar>(m: &DynamicMatrix<V>, mut f: impl FnM
         DynamicMatrix::Ell(a) => visit_rows(a, &mut f),
         DynamicMatrix::Hyb(a) => visit_rows(a, &mut f),
         DynamicMatrix::Hdc(a) => visit_rows(a, &mut f),
+        DynamicMatrix::Bsr(a) => visit_rows(a, &mut f),
+        DynamicMatrix::Bell(a) => visit_rows(a, &mut f),
     }
 }
 
@@ -299,6 +301,8 @@ mod tests {
                 DynamicMatrix::Ell(a) => check(a),
                 DynamicMatrix::Hyb(a) => check(a),
                 DynamicMatrix::Hdc(a) => check(a),
+                DynamicMatrix::Bsr(a) => check(a),
+                DynamicMatrix::Bell(a) => check(a),
             }
         }
     }

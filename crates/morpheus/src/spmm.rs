@@ -18,6 +18,8 @@
 //! [`crate::plan::ExecPlan::spmm`] directly (or go through the Oracle,
 //! which caches plans per matrix structure).
 
+use crate::bell::{BellMatrix, BellSegment};
+use crate::bsr::BsrMatrix;
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::dia::DiaMatrix;
@@ -78,6 +80,8 @@ pub fn spmm_serial<V: Scalar>(m: &DynamicMatrix<V>, x: &[V], y: &mut [V], k: usi
         DynamicMatrix::Ell(a) => spmm_ell(a, x, y, k),
         DynamicMatrix::Hyb(a) => spmm_hyb(a, x, y, k),
         DynamicMatrix::Hdc(a) => spmm_hdc(a, x, y, k),
+        DynamicMatrix::Bsr(a) => spmm_bsr(a, x, y, k),
+        DynamicMatrix::Bell(a) => spmm_bell(a, x, y, k),
     }
     Ok(())
 }
@@ -180,6 +184,59 @@ fn spmm_ell<V: Scalar>(a: &EllMatrix<V>, x: &[V], y: &mut [V], k: usize) {
             let yr = &mut y[i * k..(i + 1) * k];
             for (yo, &xo) in yr.iter_mut().zip(xr) {
                 *yo += v * xo;
+            }
+        }
+    }
+}
+
+fn spmm_bsr<V: Scalar>(a: &BsrMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    let (r, c) = (a.block_r(), a.block_c());
+    let offs = a.block_row_offsets();
+    let bcols = a.block_cols();
+    let vals = a.values();
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    y.fill(V::ZERO);
+    for br in 0..a.nblockrows() {
+        let r0 = br * r;
+        let rcount = r.min(nrows - r0);
+        for b in offs[br]..offs[br + 1] {
+            let c0 = bcols[b] * c;
+            let ccount = c.min(ncols - c0);
+            let bv = &vals[b * r * c..(b + 1) * r * c];
+            for rr in 0..rcount {
+                let yr = &mut y[(r0 + rr) * k..(r0 + rr + 1) * k];
+                for cc in 0..ccount {
+                    let v = bv[rr * c + cc];
+                    let xr = &x[(c0 + cc) * k..(c0 + cc + 1) * k];
+                    for (yo, &xo) in yr.iter_mut().zip(xr) {
+                        *yo += v * xo;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn spmm_bell<V: Scalar>(a: &BellMatrix<V>, x: &[V], y: &mut [V], k: usize) {
+    y.fill(V::ZERO);
+    for bucket in a.buckets() {
+        let rows = bucket.rows();
+        let cols = bucket.cols();
+        let vals = bucket.vals();
+        let len = rows.len();
+        for kk in 0..bucket.width() {
+            let base = kk * len;
+            for j in 0..len {
+                let c = cols[base + j];
+                if c == ELL_PAD {
+                    continue;
+                }
+                let v = vals[base + j];
+                let xr = &x[c * k..(c + 1) * k];
+                let yr = &mut y[rows[j] * k..(rows[j] + 1) * k];
+                for (yo, &xo) in yr.iter_mut().zip(xr) {
+                    *yo += v * xo;
+                }
             }
         }
     }
@@ -387,6 +444,121 @@ pub(crate) fn spmm_dia_ranges<V: Scalar>(
     pool.parallel_for_plan(rows, |_p, r| {
         // SAFETY: plan row ranges tile the rows disjointly.
         unsafe { dia_rows_mm(a, x, &out, k, r) };
+    });
+}
+
+/// BSR block rows: zero the covered rows' `k`-blocks, then accumulate the
+/// dense blocks — same per-row order as [`spmm_bsr`], bitwise identical.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping block-row range.
+#[inline]
+unsafe fn bsr_block_rows_mm<V: Scalar>(
+    a: &BsrMatrix<V>,
+    x: &[V],
+    out: &SharedSlice<V>,
+    k: usize,
+    brows: Range<usize>,
+) {
+    let (r, c) = (a.block_r(), a.block_c());
+    let offs = a.block_row_offsets();
+    let bcols = a.block_cols();
+    let vals = a.values();
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    if brows.is_empty() {
+        return;
+    }
+    let row_lo = brows.start * r;
+    let row_hi = (brows.end * r).min(nrows);
+    let ys = out.slice_mut(row_lo * k, (row_hi - row_lo) * k);
+    ys.fill(V::ZERO);
+    for br in brows {
+        let r0 = br * r;
+        let rcount = r.min(nrows - r0);
+        for b in offs[br]..offs[br + 1] {
+            let c0 = bcols[b] * c;
+            let ccount = c.min(ncols - c0);
+            let bv = &vals[b * r * c..(b + 1) * r * c];
+            for rr in 0..rcount {
+                let ybase = (r0 + rr - row_lo) * k;
+                let yr = &mut ys[ybase..ybase + k];
+                for cc in 0..ccount {
+                    let v = bv[rr * c + cc];
+                    let xr = &x[(c0 + cc) * k..(c0 + cc + 1) * k];
+                    for (yo, &xo) in yr.iter_mut().zip(xr) {
+                        *yo += v * xo;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One BELL segment: accumulate the bucket slab's `k`-blocks over the span
+/// (output pre-zeroed by the caller) — same per-row `kk`-ascending order as
+/// [`spmm_bell`], bitwise identical.
+///
+/// # Safety
+/// Concurrent callers' segments must be disjoint.
+#[inline]
+unsafe fn bell_segment_mm<V: Scalar>(
+    a: &BellMatrix<V>,
+    x: &[V],
+    out: &SharedSlice<V>,
+    k: usize,
+    seg: &BellSegment,
+) {
+    let bucket = &a.buckets()[seg.bucket];
+    let rows = bucket.rows();
+    let cols = bucket.cols();
+    let vals = bucket.vals();
+    let len = rows.len();
+    for kk in 0..bucket.width() {
+        let base = kk * len;
+        for j in seg.span.clone() {
+            let c = cols[base + j];
+            if c == ELL_PAD {
+                continue;
+            }
+            let v = vals[base + j];
+            let xr = &x[c * k..(c + 1) * k];
+            let yr = out.slice_mut(rows[j] * k, k);
+            for (yo, &xo) in yr.iter_mut().zip(xr) {
+                *yo += v * xo;
+            }
+        }
+    }
+}
+
+pub(crate) fn spmm_bsr_ranges<V: Scalar>(
+    a: &BsrMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    pool: &ThreadPool,
+    brows: &[Range<usize>],
+) {
+    let out = SharedSlice::new(y);
+    pool.parallel_for_plan(brows, |_p, r| {
+        // SAFETY: plan block-row ranges tile the block rows disjointly.
+        unsafe { bsr_block_rows_mm(a, x, &out, k, r) };
+    });
+}
+
+pub(crate) fn spmm_bell_ranges<V: Scalar>(
+    a: &BellMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    k: usize,
+    pool: &ThreadPool,
+    segs: &[BellSegment],
+) {
+    crate::spmv::threaded::parallel_fill_zero(y, pool);
+    let out = SharedSlice::new(y);
+    let units: Vec<Range<usize>> = (0..segs.len()).map(|i| i..i + 1).collect();
+    pool.parallel_for_plan(&units, |p, _r| {
+        // SAFETY: segments are disjoint (see `BellMatrix::segments`).
+        unsafe { bell_segment_mm(a, x, &out, k, &segs[p]) };
     });
 }
 

@@ -73,6 +73,8 @@ pub fn spmv_serial<V: Scalar>(m: &DynamicMatrix<V>, x: &[V], y: &mut [V]) -> Res
         DynamicMatrix::Ell(a) => serial::spmv_ell(a, x, y),
         DynamicMatrix::Hyb(a) => serial::spmv_hyb(a, x, y),
         DynamicMatrix::Hdc(a) => serial::spmv_hdc(a, x, y),
+        DynamicMatrix::Bsr(a) => serial::spmv_bsr(a, x, y),
+        DynamicMatrix::Bell(a) => serial::spmv_bell(a, x, y),
     }
     Ok(())
 }
@@ -93,6 +95,8 @@ pub fn spmv_threaded<V: Scalar>(
         DynamicMatrix::Ell(a) => threaded::spmv_ell(a, x, y, pool, schedule),
         DynamicMatrix::Hyb(a) => threaded::spmv_hyb(a, x, y, pool, schedule),
         DynamicMatrix::Hdc(a) => threaded::spmv_hdc(a, x, y, pool, schedule),
+        DynamicMatrix::Bsr(a) => threaded::spmv_bsr(a, x, y, pool),
+        DynamicMatrix::Bell(a) => threaded::spmv_bell(a, x, y, pool),
     }
     Ok(())
 }

@@ -4,6 +4,8 @@
 //! checked by the dispatching functions in [`crate::spmv`]; the kernels
 //! assume `x.len() == ncols` and `y.len() == nrows`.
 
+use crate::bell::BellMatrix;
+use crate::bsr::BsrMatrix;
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::dia::DiaMatrix;
@@ -99,6 +101,196 @@ pub fn spmv_ell_acc<V: Scalar>(a: &EllMatrix<V>, x: &[V], y: &mut [V]) {
                 y[i] += vals[base + i] * x[c];
             }
         }
+    }
+}
+
+/// BSR kernel: per block row, accumulate the dense blocks with
+/// fixed-trip-count inner loops (monomorphised for the supported square
+/// block dims so the right-hand side stays in registers). Padding slots
+/// hold zero and multiply through — branch-free inner loops.
+pub fn spmv_bsr<V: Scalar>(a: &BsrMatrix<V>, x: &[V], y: &mut [V]) {
+    match (a.block_r(), a.block_c()) {
+        (2, 2) => bsr_body::<V, 2, 2>(a, x, y),
+        (4, 4) => bsr_body::<V, 4, 4>(a, x, y),
+        (8, 8) => bsr_body::<V, 8, 8>(a, x, y),
+        _ => bsr_body_dyn(a, x, y),
+    }
+}
+
+fn bsr_body<V: Scalar, const R: usize, const C: usize>(a: &BsrMatrix<V>, x: &[V], y: &mut [V]) {
+    let offs = a.block_row_offsets();
+    let bcols = a.block_cols();
+    let vals = a.values();
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    for br in 0..a.nblockrows() {
+        let r0 = br * R;
+        let rcount = R.min(nrows - r0);
+        let mut acc = [V::ZERO; R];
+        for b in offs[br]..offs[br + 1] {
+            let c0 = bcols[b] * C;
+            let bv = &vals[b * R * C..(b + 1) * R * C];
+            if c0 + C <= ncols {
+                let xs: &[V] = &x[c0..c0 + C];
+                for rr in 0..R {
+                    let mut s = acc[rr];
+                    for cc in 0..C {
+                        s += bv[rr * C + cc] * xs[cc];
+                    }
+                    acc[rr] = s;
+                }
+            } else {
+                for rr in 0..R {
+                    for cc in 0..ncols - c0 {
+                        acc[rr] += bv[rr * C + cc] * x[c0 + cc];
+                    }
+                }
+            }
+        }
+        y[r0..r0 + rcount].copy_from_slice(&acc[..rcount]);
+    }
+}
+
+fn bsr_body_dyn<V: Scalar>(a: &BsrMatrix<V>, x: &[V], y: &mut [V]) {
+    let (r, c) = (a.block_r(), a.block_c());
+    let offs = a.block_row_offsets();
+    let bcols = a.block_cols();
+    let vals = a.values();
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    let mut acc = vec![V::ZERO; r];
+    for br in 0..a.nblockrows() {
+        let r0 = br * r;
+        let rcount = r.min(nrows - r0);
+        acc.fill(V::ZERO);
+        for b in offs[br]..offs[br + 1] {
+            let c0 = bcols[b] * c;
+            let ccount = c.min(ncols - c0);
+            let bv = &vals[b * r * c..(b + 1) * r * c];
+            for (rr, slot) in acc.iter_mut().enumerate() {
+                for cc in 0..ccount {
+                    *slot += bv[rr * c + cc] * x[c0 + cc];
+                }
+            }
+        }
+        y[r0..r0 + rcount].copy_from_slice(&acc[..rcount]);
+    }
+}
+
+/// BELL kernel: zero `y`, then stream each bucket's column-major slab —
+/// ELL's coalesced access pattern, without the pad-to-global-max waste.
+pub fn spmv_bell<V: Scalar>(a: &BellMatrix<V>, x: &[V], y: &mut [V]) {
+    y.fill(V::ZERO);
+    spmv_bell_acc(a, x, y);
+}
+
+/// BELL accumulate kernel: `y += A x`.
+///
+/// Rows are walked row-major *through* the column-major slab: per row the
+/// accumulator stays in a register and the trailing padding (the layout
+/// contract — pads only after real entries) breaks the stride walk early,
+/// so `y` is touched once per row instead of once per slab column.
+/// Successive rows revisit the same cache lines per slab column, so the
+/// strided loads still stream.
+pub fn spmv_bell_acc<V: Scalar>(a: &BellMatrix<V>, x: &[V], y: &mut [V]) {
+    for bucket in a.buckets() {
+        let rows = bucket.rows();
+        let cols = bucket.cols();
+        let vals = bucket.vals();
+        // Narrow buckets dominate heavy-tail inputs, so a compile-time
+        // width lets the stride walk fully unroll for the common ladder
+        // rungs; everything else takes the dynamic-width body.
+        match bucket.width() {
+            1 => bell_bucket::<V, 1>(rows, cols, vals, x, y),
+            2 => bell_bucket::<V, 2>(rows, cols, vals, x, y),
+            3 => bell_bucket::<V, 3>(rows, cols, vals, x, y),
+            4 => bell_bucket::<V, 4>(rows, cols, vals, x, y),
+            6 => bell_bucket::<V, 6>(rows, cols, vals, x, y),
+            8 => bell_bucket::<V, 8>(rows, cols, vals, x, y),
+            w => bell_bucket_dyn(rows, cols, vals, w, x, y),
+        }
+    }
+}
+
+/// One BELL bucket with the width a compile-time constant: the inner
+/// stride walk unrolls completely. Same traversal as
+/// [`bell_bucket_dyn`] — four rows per step, k-ascending per row.
+#[inline(always)]
+fn bell_bucket<V: Scalar, const W: usize>(rows: &[usize], cols: &[usize], vals: &[V], x: &[V], y: &mut [V]) {
+    let len = rows.len();
+    let mut j = 0usize;
+    while j + 4 <= len {
+        let mut acc = [V::ZERO; 4];
+        let mut idx = j;
+        for _ in 0..W {
+            for l in 0..4 {
+                let c = cols[idx + l];
+                let c = if c == ELL_PAD { 0 } else { c };
+                acc[l] += vals[idx + l] * x[c];
+            }
+            idx += len;
+        }
+        for l in 0..4 {
+            y[rows[j + l]] += acc[l];
+        }
+        j += 4;
+    }
+    for j in j..len {
+        let mut acc = V::ZERO;
+        let mut idx = j;
+        for _ in 0..W {
+            let c = cols[idx];
+            if c == ELL_PAD {
+                break;
+            }
+            acc += vals[idx] * x[c];
+            idx += len;
+        }
+        y[rows[j]] += acc;
+    }
+}
+
+/// One BELL bucket, dynamic width. Four rows per step: the slab is
+/// column-major, so each k-level reads four *contiguous* cols/vals
+/// elements, and four independent accumulators hide the FP-add latency.
+/// Padding is branchless: pad slots store `V::ZERO` (layout contract),
+/// so redirecting their column to 0 contributes exactly zero.
+fn bell_bucket_dyn<V: Scalar>(
+    rows: &[usize],
+    cols: &[usize],
+    vals: &[V],
+    width: usize,
+    x: &[V],
+    y: &mut [V],
+) {
+    let len = rows.len();
+    let mut j = 0usize;
+    while j + 4 <= len {
+        let mut acc = [V::ZERO; 4];
+        let mut idx = j;
+        for _ in 0..width {
+            for l in 0..4 {
+                let c = cols[idx + l];
+                let c = if c == ELL_PAD { 0 } else { c };
+                acc[l] += vals[idx + l] * x[c];
+            }
+            idx += len;
+        }
+        for l in 0..4 {
+            y[rows[j + l]] += acc[l];
+        }
+        j += 4;
+    }
+    for j in j..len {
+        let mut acc = V::ZERO;
+        let mut idx = j;
+        for _ in 0..width {
+            let c = cols[idx];
+            if c == ELL_PAD {
+                break;
+            }
+            acc += vals[idx] * x[c];
+            idx += len;
+        }
+        y[rows[j]] += acc;
     }
 }
 

@@ -22,6 +22,8 @@
 //!   [`ThreadPool::parallel_for_plan`] with no per-call scheduling work at
 //!   all — the steady-state path for iterative solvers.
 
+use crate::bell::{BellMatrix, BellSegment};
+use crate::bsr::BsrMatrix;
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::dia::DiaMatrix;
@@ -134,6 +136,207 @@ unsafe fn ell_rows<V: Scalar>(a: &EllMatrix<V>, x: &[V], out: &SharedOut<V>, row
                 out.add(i, vals[base + i] * x[c]);
             }
         }
+    }
+}
+
+/// BSR block rows `brows`: accumulate each block row's dense blocks into a
+/// local register tile, then write the covered output rows. Per-row
+/// accumulation order (blocks ascending, block columns ascending) matches
+/// the serial kernel — bitwise identical.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping block-row range (block
+/// rows own disjoint output rows by construction).
+#[inline]
+unsafe fn bsr_block_rows<V: Scalar>(a: &BsrMatrix<V>, x: &[V], out: &SharedOut<V>, brows: Range<usize>) {
+    // Monomorphise the supported square dims, as the serial kernel does:
+    // fixed-trip-count inner loops keep the accumulator tile in registers.
+    match (a.block_r(), a.block_c()) {
+        (2, 2) => bsr_block_rows_body::<V, 2, 2>(a, x, out, brows),
+        (4, 4) => bsr_block_rows_body::<V, 4, 4>(a, x, out, brows),
+        (8, 8) => bsr_block_rows_body::<V, 8, 8>(a, x, out, brows),
+        _ => bsr_block_rows_dyn(a, x, out, brows),
+    }
+}
+
+/// [`bsr_block_rows`] with compile-time block dims. Same accumulation
+/// order as the dynamic body and the serial kernel.
+///
+/// # Safety
+/// See [`bsr_block_rows`].
+#[inline(always)]
+unsafe fn bsr_block_rows_body<V: Scalar, const R: usize, const C: usize>(
+    a: &BsrMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    brows: Range<usize>,
+) {
+    let offs = a.block_row_offsets();
+    let bcols = a.block_cols();
+    let vals = a.values();
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    for br in brows {
+        let r0 = br * R;
+        let rcount = R.min(nrows - r0);
+        let mut acc = [V::ZERO; R];
+        for b in offs[br]..offs[br + 1] {
+            let c0 = bcols[b] * C;
+            let bv = &vals[b * R * C..(b + 1) * R * C];
+            if c0 + C <= ncols {
+                let xs: &[V] = &x[c0..c0 + C];
+                for rr in 0..R {
+                    let mut s = acc[rr];
+                    for cc in 0..C {
+                        s += bv[rr * C + cc] * xs[cc];
+                    }
+                    acc[rr] = s;
+                }
+            } else {
+                for rr in 0..R {
+                    for cc in 0..ncols - c0 {
+                        acc[rr] += bv[rr * C + cc] * x[c0 + cc];
+                    }
+                }
+            }
+        }
+        for (rr, &v) in acc.iter().enumerate().take(rcount) {
+            out.set(r0 + rr, v);
+        }
+    }
+}
+
+/// [`bsr_block_rows`] for arbitrary block dims.
+///
+/// # Safety
+/// See [`bsr_block_rows`].
+unsafe fn bsr_block_rows_dyn<V: Scalar>(a: &BsrMatrix<V>, x: &[V], out: &SharedOut<V>, brows: Range<usize>) {
+    let (r, c) = (a.block_r(), a.block_c());
+    let offs = a.block_row_offsets();
+    let bcols = a.block_cols();
+    let vals = a.values();
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    let mut acc = vec![V::ZERO; r];
+    for br in brows {
+        let r0 = br * r;
+        let rcount = r.min(nrows - r0);
+        acc.fill(V::ZERO);
+        for b in offs[br]..offs[br + 1] {
+            let c0 = bcols[b] * c;
+            let ccount = c.min(ncols - c0);
+            let bv = &vals[b * r * c..(b + 1) * r * c];
+            for (rr, slot) in acc.iter_mut().enumerate() {
+                for cc in 0..ccount {
+                    *slot += bv[rr * c + cc] * x[c0 + cc];
+                }
+            }
+        }
+        for (rr, &v) in acc.iter().enumerate().take(rcount) {
+            out.set(r0 + rr, v);
+        }
+    }
+}
+
+/// One BELL segment: stream the bucket slab column-major over the span,
+/// accumulating into pre-zeroed output rows. Per-row order is `k`
+/// ascending, as in the serial kernel — bitwise identical.
+///
+/// # Safety
+/// Concurrent callers' segments must be disjoint (spans within a bucket
+/// never overlap and buckets hold disjoint rows).
+#[inline]
+unsafe fn bell_segment<V: Scalar>(a: &BellMatrix<V>, x: &[V], out: &SharedOut<V>, seg: &BellSegment) {
+    let bucket = &a.buckets()[seg.bucket];
+    // Monomorphise the common narrow widths (see `serial::spmv_bell_acc`)
+    // so the stride walk fully unrolls.
+    match bucket.width() {
+        1 => bell_segment_body::<V, 1>(bucket, x, out, seg.span.clone()),
+        2 => bell_segment_body::<V, 2>(bucket, x, out, seg.span.clone()),
+        3 => bell_segment_body::<V, 3>(bucket, x, out, seg.span.clone()),
+        4 => bell_segment_body::<V, 4>(bucket, x, out, seg.span.clone()),
+        6 => bell_segment_body::<V, 6>(bucket, x, out, seg.span.clone()),
+        8 => bell_segment_body::<V, 8>(bucket, x, out, seg.span.clone()),
+        w => bell_segment_dyn(bucket, x, out, seg.span.clone(), w),
+    }
+}
+
+/// [`bell_segment`] with a compile-time bucket width.
+///
+/// # Safety
+/// See [`bell_segment`].
+#[inline(always)]
+unsafe fn bell_segment_body<V: Scalar, const W: usize>(
+    bucket: &crate::bell::BellBucket<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    span: Range<usize>,
+) {
+    bell_segment_walk(bucket, x, out, span, W)
+}
+
+/// [`bell_segment`] for any other width.
+///
+/// # Safety
+/// See [`bell_segment`].
+unsafe fn bell_segment_dyn<V: Scalar>(
+    bucket: &crate::bell::BellBucket<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    span: Range<usize>,
+    width: usize,
+) {
+    bell_segment_walk(bucket, x, out, span, width)
+}
+
+/// Four rows per step through the column-major slab (see
+/// `serial::spmv_bell_acc`): each k-level reads four contiguous cols/vals
+/// elements into four independent accumulators; padding is branchless
+/// because pad slots store `V::ZERO`. Same k-ascending order per row as
+/// the serial kernel, so the planned result stays bitwise identical.
+///
+/// # Safety
+/// See [`bell_segment`].
+#[inline(always)]
+unsafe fn bell_segment_walk<V: Scalar>(
+    bucket: &crate::bell::BellBucket<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    span: Range<usize>,
+    width: usize,
+) {
+    let rows = bucket.rows();
+    let cols = bucket.cols();
+    let vals = bucket.vals();
+    let len = rows.len();
+    let mut j = span.start;
+    while j + 4 <= span.end {
+        let mut acc = [V::ZERO; 4];
+        let mut idx = j;
+        for _ in 0..width {
+            for l in 0..4 {
+                let c = cols[idx + l];
+                let c = if c == ELL_PAD { 0 } else { c };
+                acc[l] += vals[idx + l] * x[c];
+            }
+            idx += len;
+        }
+        for l in 0..4 {
+            out.add(rows[j + l], acc[l]);
+        }
+        j += 4;
+    }
+    while j < span.end {
+        let mut acc = V::ZERO;
+        let mut idx = j;
+        for _ in 0..width {
+            let c = cols[idx];
+            if c == ELL_PAD {
+                break;
+            }
+            acc += vals[idx] * x[c];
+            idx += len;
+        }
+        out.add(rows[j], acc);
+        j += 1;
     }
 }
 
@@ -293,6 +496,46 @@ pub(crate) unsafe fn ell_rows_variant<V: Scalar>(
     }
 }
 
+/// BSR block rows in chunks of [`variant::BLOCK_ROWS`] block rows, keeping
+/// the output tile and `x` window cache-resident. Per-row accumulation
+/// order is unchanged — bitwise identical to the plain body.
+///
+/// # Safety
+/// No concurrent caller may receive an overlapping block-row range.
+#[inline]
+unsafe fn bsr_block_rows_blocked<V: Scalar>(
+    a: &BsrMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    brows: Range<usize>,
+) {
+    let mut b = brows.start;
+    while b < brows.end {
+        let e = (b + variant::BLOCK_ROWS).min(brows.end);
+        bsr_block_rows(a, x, out, b..e);
+        b = e;
+    }
+}
+
+/// Variant-dispatching BSR body (only `Blocked` specialises; the block
+/// inner loops are already register-tiled).
+///
+/// # Safety
+/// Same contract as [`bsr_block_rows`].
+#[inline]
+pub(crate) unsafe fn bsr_block_rows_variant<V: Scalar>(
+    a: &BsrMatrix<V>,
+    x: &[V],
+    out: &SharedOut<V>,
+    brows: Range<usize>,
+    v: KernelVariant,
+) {
+    match v {
+        KernelVariant::Blocked => bsr_block_rows_blocked(a, x, out, brows),
+        _ => bsr_block_rows(a, x, out, brows),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Schedule-driven kernels (per-call OpenMP-style partitioning)
 // ---------------------------------------------------------------------------
@@ -418,6 +661,27 @@ pub fn spmv_hdc<V: Scalar>(a: &HdcMatrix<V>, x: &[V], y: &mut [V], pool: &Thread
     let csr_rows = weighted_partition_with(csr.nrows(), threads, |r| offs[r + 1] - offs[r]);
     let csr_variants = vec![KernelVariant::Scalar; csr_rows.len()];
     spmv_csr_acc_ranges(csr, x, y, Some(pool), &csr_rows, &csr_variants);
+}
+
+/// BSR kernel: block rows are partitioned weighted by their entry counts
+/// (a block row is the atomic work unit — it owns `block_r` output rows).
+pub fn spmv_bsr<V: Scalar>(a: &BsrMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) {
+    let offs = a.block_row_offsets();
+    let brows = weighted_partition_with(a.nblockrows(), pool.num_threads(), |br| offs[br + 1] - offs[br]);
+    let out = SharedOut::new(y);
+    pool.parallel_over_parts(&brows, |_p, r| {
+        // SAFETY: weighted block-row partitions are disjoint.
+        unsafe { bsr_block_rows(a, x, &out, r) };
+    });
+}
+
+/// BELL kernel: zero `y` in parallel, then accumulate cell-balanced bucket
+/// segments. Segments are recomputed per call; an [`crate::plan::ExecPlan`]
+/// holds them precomputed.
+pub fn spmv_bell<V: Scalar>(a: &BellMatrix<V>, x: &[V], y: &mut [V], pool: &ThreadPool) {
+    parallel_fill_zero(y, pool);
+    let segs = a.segments(pool.num_threads());
+    spmv_bell_acc_segments(a, x, y, Some(pool), &segs);
 }
 
 // ---------------------------------------------------------------------------
@@ -561,6 +825,69 @@ pub(crate) fn spmv_ell_ranges<V: Scalar>(
     pool.parallel_for_plan(rows, |p, r| {
         // SAFETY: plan row ranges tile the rows disjointly.
         unsafe { ell_rows_variant(a, x, &out, r, variants[p]) };
+    });
+}
+
+/// BSR over precomputed block-row ranges, each running its planned variant.
+pub(crate) fn spmv_bsr_ranges<V: Scalar>(
+    a: &BsrMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: Option<&ThreadPool>,
+    brows: &[Range<usize>],
+    variants: &[KernelVariant],
+) {
+    debug_assert_eq!(brows.len(), variants.len());
+    let out = SharedOut::new(y);
+    let Some(pool) = pool.filter(|p| p.num_threads() > 1) else {
+        for (p, r) in brows.iter().enumerate() {
+            // SAFETY: one caller, ranges executed sequentially.
+            unsafe { bsr_block_rows_variant(a, x, &out, r.clone(), variants[p]) };
+        }
+        return;
+    };
+    pool.parallel_for_plan(brows, |p, r| {
+        // SAFETY: plan block-row ranges tile the block rows disjointly.
+        unsafe { bsr_block_rows_variant(a, x, &out, r, variants[p]) };
+    });
+}
+
+/// BELL over precomputed bucket segments: zero `y`, accumulate.
+pub(crate) fn spmv_bell_ranges<V: Scalar>(
+    a: &BellMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: Option<&ThreadPool>,
+    segs: &[BellSegment],
+) {
+    match pool.filter(|p| p.num_threads() > 1) {
+        Some(pool) => parallel_fill_zero(y, pool),
+        None => y.fill(V::ZERO),
+    }
+    spmv_bell_acc_segments(a, x, y, pool, segs);
+}
+
+/// BELL accumulate over precomputed bucket segments. Segments are indexed
+/// through unit ranges so the pool's plan executor can replay them.
+pub(crate) fn spmv_bell_acc_segments<V: Scalar>(
+    a: &BellMatrix<V>,
+    x: &[V],
+    y: &mut [V],
+    pool: Option<&ThreadPool>,
+    segs: &[BellSegment],
+) {
+    let out = SharedOut::new(y);
+    let Some(pool) = pool.filter(|p| p.num_threads() > 1) else {
+        for seg in segs {
+            // SAFETY: one caller, segments executed sequentially.
+            unsafe { bell_segment(a, x, &out, seg) };
+        }
+        return;
+    };
+    let units: Vec<Range<usize>> = (0..segs.len()).map(|i| i..i + 1).collect();
+    pool.parallel_for_plan(&units, |p, _r| {
+        // SAFETY: segments are disjoint (see `BellMatrix::segments`).
+        unsafe { bell_segment(a, x, &out, &segs[p]) };
     });
 }
 

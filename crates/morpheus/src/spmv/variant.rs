@@ -115,7 +115,10 @@ impl KernelVariant {
                 matches!(format, FormatId::Csr | FormatId::Hdc)
             }
             KernelVariant::Blocked => {
-                matches!(format, FormatId::Dia | FormatId::Ell | FormatId::Hyb | FormatId::Hdc)
+                matches!(
+                    format,
+                    FormatId::Dia | FormatId::Ell | FormatId::Hyb | FormatId::Hdc | FormatId::Bsr
+                )
             }
         }
     }
@@ -270,6 +273,17 @@ pub(crate) fn select_dia(ndiags: usize, rows: usize) -> KernelVariant {
 /// Variant for one ELL row range of a slab of `width` columns.
 pub(crate) fn select_ell(width: usize, rows: usize) -> KernelVariant {
     if width >= BLOCK_MIN_WIDTH && rows > BLOCK_ROWS {
+        KernelVariant::Blocked
+    } else {
+        KernelVariant::Scalar
+    }
+}
+
+/// Variant for one BSR block-row range of `block_cells`-cell blocks.
+/// (BELL segments carry no variants: each segment is already a bounded
+/// slab walk.)
+pub(crate) fn select_bsr(block_cells: usize, block_rows: usize) -> KernelVariant {
+    if block_cells >= BLOCK_MIN_WIDTH && block_rows > BLOCK_ROWS {
         KernelVariant::Blocked
     } else {
         KernelVariant::Scalar
@@ -533,6 +547,9 @@ mod tests {
         assert!(KernelVariant::Blocked.applies_to(Ell));
         assert!(KernelVariant::Blocked.applies_to(Hyb));
         assert!(!KernelVariant::Blocked.applies_to(Csr));
+        assert!(KernelVariant::Blocked.applies_to(Bsr));
+        assert!(!KernelVariant::Unrolled.applies_to(Bsr));
+        assert_eq!(KernelVariant::applicable(Bell), vec![KernelVariant::Scalar]);
         assert_eq!(KernelVariant::applicable(Coo), vec![KernelVariant::Scalar]);
     }
 

@@ -41,6 +41,17 @@ pub struct MatrixStats {
     pub ntrue_diags: usize,
     /// The threshold fraction used for `ntrue_diags`.
     pub true_diag_alpha: f64,
+    /// Fraction of entries lying on a populated diagonal whose immediate
+    /// left-neighbour diagonal is also populated. Dense `r x c` blocks
+    /// place their entries on runs of adjacent diagonals, so this is the
+    /// block-compactness (BSR-suitability) signal; scattered patterns score
+    /// near zero.
+    pub block_density: f64,
+    /// Padded slots of the default power-of-two BELL bucket ladder divided
+    /// by `nnz` (1.0 = no padding, and for empty matrices). Large values
+    /// mean the row-length distribution fights bucketing — the
+    /// heavy-tail / bucket-skew signal.
+    pub bucket_skew: f64,
 }
 
 impl MatrixStats {
@@ -122,6 +133,26 @@ pub(crate) fn reduce_stats(
             }
         }
     }
+    // Population-weighted diagonal adjacency: entries of dense blocks land
+    // on runs of adjacent diagonals.
+    let mut adjacent_pop = 0u64;
+    for d in 1..diag_pop.len() {
+        if diag_pop[d] > 0 && diag_pop[d - 1] > 0 {
+            adjacent_pop += diag_pop[d] as u64;
+        }
+    }
+    let block_density = if nnz == 0 { 0.0 } else { adjacent_pop as f64 / nnz as f64 };
+    // Exact BELL padding under the default ladder, straight from the row
+    // histogram: each non-empty row rounds up to its bucket width.
+    let ladder = crate::bell::default_bucket_widths(max as usize);
+    let mut bell_padded = 0u64;
+    for &c in row_counts {
+        if c > 0 {
+            let b = ladder.partition_point(|&w| w < c as usize);
+            bell_padded += ladder[b] as u64;
+        }
+    }
+    let bucket_skew = if nnz == 0 { 1.0 } else { bell_padded as f64 / nnz as f64 };
     MatrixStats {
         nrows,
         ncols,
@@ -133,6 +164,8 @@ pub(crate) fn reduce_stats(
         ndiags,
         ntrue_diags: ntrue,
         true_diag_alpha: alpha,
+        block_density,
+        bucket_skew,
     }
 }
 
@@ -177,6 +210,17 @@ pub(crate) fn accumulate_hists<V: Scalar>(m: &DynamicMatrix<V>, row: &mut [u32],
                 }
             }
         }
+        DynamicMatrix::Bsr(a) => accumulate_rowmajor(a, &mut record),
+        DynamicMatrix::Bell(a) => accumulate_rowmajor(a, &mut record),
+    }
+}
+
+fn accumulate_rowmajor<V: Scalar>(
+    a: &dyn crate::rowmajor::RowMajor<V>,
+    record: &mut impl FnMut(usize, usize),
+) {
+    for r in 0..a.nrows() {
+        a.emit_row(r, &mut |c, _v| record(r, c));
     }
 }
 
@@ -314,7 +358,23 @@ pub fn stats_of<V: Scalar>(m: &DynamicMatrix<V>, alpha: f64) -> MatrixStats {
         DynamicMatrix::Ell(a) => stats_ell(a, alpha),
         DynamicMatrix::Hyb(a) => stats_hyb(a, alpha),
         DynamicMatrix::Hdc(a) => stats_hdc(a, alpha),
+        DynamicMatrix::Bsr(a) => stats_rowmajor(a, a.ncols(), alpha),
+        DynamicMatrix::Bell(a) => stats_rowmajor(a, a.ncols(), alpha),
     }
+}
+
+/// Statistics from any row-major-walkable storage (BSR and BELL reuse
+/// their kernel-facing walk; padding slots are never emitted).
+pub(crate) fn stats_rowmajor<V: Scalar>(
+    a: &dyn crate::rowmajor::RowMajor<V>,
+    ncols: usize,
+    alpha: f64,
+) -> MatrixStats {
+    let mut acc = StatsAccum::new(a.nrows(), ncols);
+    for r in 0..a.nrows() {
+        a.emit_row(r, &mut |c, _v| acc.record(r, c));
+    }
+    acc.finish(alpha)
 }
 
 /// Per-row non-zero counts of a [`DynamicMatrix`] (used by the machine

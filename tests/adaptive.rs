@@ -5,7 +5,7 @@
 
 use morpheus_repro::machine::{systems, Backend, Op, VirtualEngine};
 use morpheus_repro::ml::Dataset;
-use morpheus_repro::morpheus::format::FormatId;
+use morpheus_repro::morpheus::format::{FormatId, FORMAT_COUNT};
 use morpheus_repro::morpheus::{CooMatrix, DynamicMatrix, KernelVariant};
 use morpheus_repro::oracle::adapt::{
     AdaptiveConfig, AdaptiveEngine, AdaptiveTuner, CollectorConfig, LearnedModel, ModelEpoch, RetrainOutcome,
@@ -77,6 +77,7 @@ fn feed_observations(collector: &SampleCollector, structures: u64) {
                         scalar_bytes: 8,
                         workers: 1,
                         variant: KernelVariant::Scalar,
+                        param_code: 0,
                     },
                     Duration::from_micros(us),
                 );
@@ -116,9 +117,9 @@ fn hot_swap_under_concurrent_clients_is_never_torn() {
     // observed by a client while models are being swapped would mean a
     // torn or partially installed model.
     let constant_model = |fmt: FormatId| {
-        let mut ds = Dataset::empty(NUM_FEATURES, 6, vec![]).unwrap();
+        let mut ds = Dataset::empty(NUM_FEATURES, FORMAT_COUNT, vec![]).unwrap();
         for i in 0..12 {
-            let row = [50.0 + i as f64, 50.0, 150.0, 3.0, 0.06, 3.0, 1.0, 0.5, 3.0, 3.0];
+            let row = [50.0 + i as f64, 50.0, 150.0, 3.0, 0.06, 3.0, 1.0, 0.5, 3.0, 3.0, 0.4, 1.1];
             ds.push(&row, fmt.index()).unwrap();
         }
         LearnedModel::Forest(
@@ -258,9 +259,9 @@ fn adaptation_round_swaps_and_forced_drift_falls_back_without_restart() {
 
     // Forced drift: identical features now measure fastest in rotating
     // formats — nothing learnable, and the incumbent's rule is wrong too.
-    let mut drifted = Dataset::empty(NUM_FEATURES, 6, vec![]).unwrap();
+    let mut drifted = Dataset::empty(NUM_FEATURES, FORMAT_COUNT, vec![]).unwrap();
     for i in 0..30 {
-        let row = [800.0, 800.0, 4000.0, 5.0, 0.006, 30.0, 1.0, 2.0, 25.0, 0.0];
+        let row = [800.0, 800.0, 4000.0, 5.0, 0.006, 30.0, 1.0, 2.0, 25.0, 0.0, 0.1, 1.4];
         let label = [FormatId::Coo, FormatId::Csr, FormatId::Dia][i % 3];
         drifted.push(&row, label.index()).unwrap();
     }
@@ -304,7 +305,7 @@ fn retained_incumbent_survives_weaker_candidates() {
     // A noisy-but-not-drifted batch: the incumbent still clears the floor
     // on it, the fresh candidate cannot beat it -> retained, no epoch bump.
     let incumbent = service.tuner().current().unwrap();
-    let mut noisy = Dataset::empty(NUM_FEATURES, 6, vec![]).unwrap();
+    let mut noisy = Dataset::empty(NUM_FEATURES, FORMAT_COUNT, vec![]).unwrap();
     for s in 0..12u64 {
         let mut fv = [0.0f64; NUM_FEATURES];
         fv[0] = 100.0 + s as f64;
@@ -349,10 +350,11 @@ fn base_dataset_warm_start_composes_with_collected_samples() {
     let collector = Arc::new(SampleCollector::new(CollectorConfig::default()));
     let service = adaptive_service(&collector, 64);
     // Offline corpus alone is enough to retrain even before any traffic.
-    let mut base = Dataset::empty(NUM_FEATURES, 6, vec![]).unwrap();
+    let mut base = Dataset::empty(NUM_FEATURES, FORMAT_COUNT, vec![]).unwrap();
     for i in 0..20 {
         let wide = i % 2 == 0;
-        let row = [500.0, 500.0, 2500.0, 5.0, 0.01, if wide { 50.0 } else { 5.0 }, 1.0, 1.0, 20.0, 1.0];
+        let row =
+            [500.0, 500.0, 2500.0, 5.0, 0.01, if wide { 50.0 } else { 5.0 }, 1.0, 1.0, 20.0, 1.0, 0.2, 1.3];
         base.push(&row, if wide { FormatId::Ell.index() } else { FormatId::Csr.index() }).unwrap();
     }
     let config = AdaptiveConfig { base_dataset: Some(base), ..Default::default() };

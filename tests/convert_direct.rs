@@ -50,10 +50,12 @@ fn assert_all_pairs_match_hub(base: &DynamicMatrix<f64>, opts: &ConvertOptions) 
             let (got, outcome) = m.to_format_with(target, opts, None).unwrap();
             assert_eq!(got, expect, "{src} -> {target}");
             // The dispatcher must use a direct kernel whenever one side of
-            // the pair is an interchange format.
+            // the pair is an interchange format, and the block formats
+            // (BSR/BELL) build directly from any row-major source.
             let direct_exists = src == target
                 || matches!(src, FormatId::Coo | FormatId::Csr)
-                || matches!(target, FormatId::Coo | FormatId::Csr);
+                || matches!(target, FormatId::Coo | FormatId::Csr)
+                || matches!(target, FormatId::Bsr | FormatId::Bell);
             let expected_path = if src == target {
                 ConvertPath::Identity
             } else if direct_exists {

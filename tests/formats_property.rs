@@ -34,7 +34,7 @@ proptest! {
 
     /// Any format -> any format -> COO preserves the entry set exactly.
     #[test]
-    fn conversion_chain_is_lossless(m in arb_matrix(), path in proptest::collection::vec(0usize..6, 1..5)) {
+    fn conversion_chain_is_lossless(m in arb_matrix(), path in proptest::collection::vec(0usize..8, 1..5)) {
         let reference = m.to_coo();
         let opts = tolerant_opts();
         let mut current = m;

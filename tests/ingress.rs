@@ -33,7 +33,7 @@ impl<V: Scalar> FormatTuner<V> for Fixed {
         "fixed-format"
     }
     fn select(&self, _: &DynamicMatrix<V>, _: &MatrixAnalysis, _: &VirtualEngine, op: Op) -> TuneDecision {
-        TuneDecision { format: self.0, op, cost: TuningCost::default() }
+        TuneDecision { format: self.0, params: Default::default(), op, cost: TuningCost::default() }
     }
 }
 

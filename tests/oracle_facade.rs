@@ -218,7 +218,12 @@ fn csr_fallback_on_nonviable_prediction_through_the_facade() {
             _: &VirtualEngine,
             op: Op,
         ) -> TuneDecision {
-            TuneDecision { format: FormatId::Ell, op, cost: TuningCost::default() }
+            TuneDecision {
+                format: FormatId::Ell,
+                params: Default::default(),
+                op,
+                cost: TuningCost::default(),
+            }
         }
     }
 
