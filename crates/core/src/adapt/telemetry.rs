@@ -22,6 +22,14 @@
 //! [`SampleCollector`](crate::adapt::SampleCollector) to label training
 //! samples from; racing writers can at worst make a snapshot miss an
 //! in-flight observation that the next snapshot will see.
+//!
+//! Relation to [`obs`](crate::obs): the tracer's `exec` spans and the
+//! telemetry recorded under a [`SampleKey`] come from the *same* measured
+//! execution — one `Instant` pair, observed once, fanned out to both
+//! sinks — so span durations and telemetry seconds never disagree about
+//! a kernel. The two share timestamps, **not** storage: telemetry
+//! aggregates per-population `(count, seconds)` for training labels,
+//! while the span ring keeps bounded per-request records for tracing.
 
 use morpheus::format::FormatId;
 use morpheus::KernelVariant;

@@ -31,15 +31,20 @@
 use super::queue::{Job, QueuedRequest};
 use super::slo::{expired, Backpressure};
 use super::{CoalescePolicy, IngressConfig, IngressError, StatsCells};
+use crate::obs::{Stage, TraceId};
 use crate::serve::OracleService;
 use crate::OracleError;
 use morpheus::{BatchWorkspace, Scalar};
 use morpheus_machine::{analyze, MatrixAnalysis};
 use std::any::TypeId;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+#[inline]
+fn ns(d: std::time::Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// Pump-lifetime scratch: the per-scalar gather/scatter blocks and the
 /// per-handle [`MatrixAnalysis`] cache feeding the cost gate.
@@ -69,9 +74,16 @@ pub(crate) fn process_batch<T: Send + Sync>(
     let mut index: HashMap<(TypeId, u64), usize> = HashMap::new();
     for mut req in batch {
         if expired(req.meta.deadline, now) {
-            stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            stats.shed_deadline.inc();
+            stats.resolve_request(&mut req.meta, 2);
             req.job.shed(Backpressure::DeadlineExpired);
             continue;
+        }
+        if req.meta.trace.is_some() {
+            let wait_ns = ns(now.saturating_duration_since(req.meta.submitted));
+            stats.queue_wait_hist.record_ns(wait_ns);
+            let start_ns = stats.obs.instant_ns(req.meta.submitted);
+            stats.stage_span(&mut req.meta, Stage::QueueWait, start_ns, wait_ns, 0);
         }
         let key = (req.job.scalar(), req.job.handle_id());
         let gi = *index.entry(key).or_insert_with(|| {
@@ -97,10 +109,10 @@ pub(crate) fn process_batch<T: Send + Sync>(
 }
 
 /// Runs one request through the queued (no-silent-fallback) SpMV path and
-/// settles its ticket and counters.
+/// settles its ticket, spans and counters.
 fn finish_direct<T: Send + Sync>(service: &OracleService<T>, stats: &StatsCells, req: &mut QueuedRequest<T>) {
-    stats.direct_requests.fetch_add(1, Ordering::Relaxed);
-    req.job.run_direct(service, stats, req.meta.deadline);
+    stats.direct_requests.inc();
+    req.job.run_direct(service, stats, &mut req.meta);
 }
 
 /// Executes one same-scalar, same-handle group: chunks it to the batch
@@ -117,6 +129,7 @@ fn execute_group<T: Send + Sync, V: Scalar>(
     let cap = cfg.max_batch.max(1);
     for chunk in group.chunks_mut(cap) {
         let k = chunk.len();
+        let t_gate = stats.obs.enabled().then(Instant::now);
         let coalesce = k >= 2
             && match cfg.coalesce {
                 CoalescePolicy::Never => false,
@@ -124,11 +137,23 @@ fn execute_group<T: Send + Sync, V: Scalar>(
                 CoalescePolicy::CostModel => {
                     let passes = cost_gate_passes::<T, V>(service, analyses, chunk);
                     if !passes {
-                        stats.cost_gate_declined.fetch_add(1, Ordering::Relaxed);
+                        stats.cost_gate_declined.inc();
                     }
                     passes
                 }
             };
+        if let Some(t_gate) = t_gate {
+            // One CoalesceDecision per request: detail = the batch width
+            // the request executed under (k when coalesced, 0 when it
+            // went direct); dur = the chunk's gate-evaluation time.
+            let gate_ns = ns(t_gate.elapsed());
+            stats.coalesce_hist.record_ns(gate_ns);
+            let start_ns = stats.obs.instant_ns(t_gate);
+            let detail = if coalesce { k as u64 } else { 0 };
+            for req in chunk.iter_mut() {
+                stats.stage_span(&mut req.meta, Stage::CoalesceDecision, start_ns, gate_ns, detail);
+            }
+        }
         if coalesce {
             coalesce_chunk::<T, V>(service, stats, bw, chunk);
         } else {
@@ -171,35 +196,71 @@ fn coalesce_chunk<T: Send + Sync, V: Scalar>(
     chunk: &mut [QueuedRequest<T>],
 ) {
     let k = chunk.len();
-    let deadlines: Vec<Option<Instant>> = chunk.iter().map(|r| r.meta.deadline).collect();
-    let jobs: Vec<&Job<V>> = chunk
-        .iter_mut()
-        .map(|r| &*r.job.as_any().downcast_mut::<Job<V>>().expect("chunk grouped by scalar"))
-        .collect();
-    let handle = jobs[0].handle.clone();
-    let columns: Vec<&[V]> = jobs.iter().map(|j| j.x.as_slice()).collect();
-    match bw.run(handle.nrows(), &columns, |x, y| service.execute_queued_spmm(&handle, x, y, k)) {
+    let obs_on = stats.obs.enabled();
+    // (start_ns, dur_ns) of the shared kernel execution — every request
+    // of the chunk gets the same Exec span, and the exec histogram takes
+    // one sample per execution, not per request.
+    let mut exec_span: Option<(u64, u64)> = None;
+    let run = {
+        let jobs: Vec<&Job<V>> = chunk
+            .iter_mut()
+            .map(|r| &*r.job.as_any().downcast_mut::<Job<V>>().expect("chunk grouped by scalar"))
+            .collect();
+        let handle = jobs[0].handle.clone();
+        let columns: Vec<&[V]> = jobs.iter().map(|j| j.x.as_slice()).collect();
+        let exec_span = &mut exec_span;
+        bw.run(handle.nrows(), &columns, move |x, y| {
+            // A coalesced execution serves k requests at once; no single
+            // request owns it, so the service-side fine spans get NONE and
+            // the per-request Exec spans are emitted below from this one
+            // measurement.
+            let t0 = obs_on.then(Instant::now);
+            let r = service.execute_queued_spmm(&handle, x, y, k, TraceId::NONE);
+            if let Some(t0) = t0 {
+                let dur = ns(t0.elapsed());
+                stats.exec_hist.record_ns(dur);
+                *exec_span = Some((stats.obs.instant_ns(t0), dur));
+            }
+            r
+        })
+    };
+    match run {
         Ok(()) => {
             // Counters strictly before the ticket sends, so a client
             // returning from `wait()` never reads stale stats.
             let now = Instant::now();
-            stats.coalesced_requests.fetch_add(k as u64, Ordering::Relaxed);
-            stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
-            stats.completed.fetch_add(k as u64, Ordering::Relaxed);
-            let misses = deadlines.iter().filter(|d| expired(**d, now)).count();
+            stats.coalesced_requests.add(k as u64);
+            stats.coalesced_batches.inc();
+            stats.completed.add(k as u64);
+            let misses = chunk.iter().filter(|r| expired(r.meta.deadline, now)).count();
             if misses > 0 {
-                stats.deadline_misses.fetch_add(misses as u64, Ordering::Relaxed);
+                stats.deadline_misses.add(misses as u64);
             }
-            for (j, job) in jobs.iter().enumerate() {
+            for (j, req) in chunk.iter_mut().enumerate() {
+                let missed = expired(req.meta.deadline, now);
+                let t_sc = req.meta.trace.is_some().then(Instant::now);
                 let mut out = Vec::new();
                 bw.scatter_into(j, &mut out);
+                if let Some(t_sc) = t_sc {
+                    if let Some((start_ns, dur_ns)) = exec_span {
+                        stats.stage_span(&mut req.meta, Stage::Exec, start_ns, dur_ns, 0);
+                    }
+                    let sc_ns = ns(t_sc.elapsed());
+                    stats.scatter_hist.record_ns(sc_ns);
+                    let start_ns = stats.obs.instant_ns(t_sc);
+                    stats.stage_span(&mut req.meta, Stage::Scatter, start_ns, sc_ns, 0);
+                }
+                stats.resolve_request(&mut req.meta, u64::from(missed));
+                let job = req.job.as_any().downcast_mut::<Job<V>>().expect("chunk grouped by scalar");
                 job.send(Ok(out));
             }
         }
         Err(e) => {
-            stats.failed.fetch_add(k as u64, Ordering::Relaxed);
+            stats.failed.add(k as u64);
             let shared = Arc::new(OracleError::Morpheus(e));
-            for job in &jobs {
+            for req in chunk.iter_mut() {
+                stats.resolve_request(&mut req.meta, 3);
+                let job = req.job.as_any().downcast_mut::<Job<V>>().expect("chunk grouped by scalar");
                 job.send(Err(IngressError::Exec(Arc::clone(&shared))));
             }
         }

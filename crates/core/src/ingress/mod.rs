@@ -76,13 +76,13 @@ pub mod slo;
 
 pub use slo::Backpressure;
 
+use crate::obs::{Counter, Gauge, Histogram, Obs, SlowRequest, SpanRecord, Stage, TraceId};
 use crate::serve::{MatrixHandle, OracleService, ServiceSnapshot};
 use crate::OracleError;
 use morpheus::Scalar;
 use queue::{Job, JobMeta, PushRefused, QueuedRequest, SubmissionQueue, TenantTable};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -181,33 +181,54 @@ impl std::error::Error for IngressError {}
 /// Ingress counters, exposed via [`Ingress::stats`] and folded into
 /// [`ServiceSnapshot::ingress`] by [`Ingress::snapshot`]. All counters
 /// are monotonic except the [`queue_depth`](Self::queue_depth) gauge.
+///
+/// These values live in the service's unified
+/// [`MetricsRegistry`](crate::obs::MetricsRegistry) under canonical
+/// `ingress.*` names (noted per field below); this struct is a
+/// point-in-time copy whose field names are **deprecated aliases kept
+/// for one release** — scrape the registry
+/// ([`OracleService::obs_snapshot`](crate::serve::OracleService::obs_snapshot))
+/// for the canonical surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IngressStats {
-    /// Submission attempts (admitted or not).
+    /// Submission attempts (admitted or not). Deprecated alias of the
+    /// registry counter `ingress.requests_submitted`.
     pub submitted: u64,
-    /// Submissions refused with [`Backpressure::QueueFull`].
+    /// Submissions refused with [`Backpressure::QueueFull`]. Deprecated
+    /// alias of `ingress.queue_rejected`.
     pub rejected_queue_full: u64,
-    /// Submissions refused with [`Backpressure::TenantQuota`].
+    /// Submissions refused with [`Backpressure::TenantQuota`]. Deprecated
+    /// alias of `ingress.quota_rejected`.
     pub rejected_quota: u64,
     /// Queued requests shed with [`Backpressure::DeadlineExpired`].
+    /// Deprecated alias of `ingress.deadline_shed`.
     pub shed_deadline: u64,
     /// Queued requests shed with [`Backpressure::ShuttingDown`].
+    /// Deprecated alias of `ingress.shutdown_shed`.
     pub shed_shutdown: u64,
-    /// Requests whose results were delivered.
+    /// Requests whose results were delivered. Deprecated alias of
+    /// `ingress.requests_completed`.
     pub completed: u64,
     /// Requests whose execution failed ([`IngressError::Exec`]).
+    /// Deprecated alias of `ingress.requests_failed`.
     pub failed: u64,
-    /// Requests served as individual planned SpMVs.
+    /// Requests served as individual planned SpMVs. Deprecated alias of
+    /// `ingress.direct_served`.
     pub direct_requests: u64,
-    /// Requests served through a coalesced SpMM.
+    /// Requests served through a coalesced SpMM. Deprecated alias of
+    /// `ingress.coalesced_served`.
     pub coalesced_requests: u64,
-    /// Coalesced SpMM executions (each serving ≥ 2 requests).
+    /// Coalesced SpMM executions (each serving ≥ 2 requests). Deprecated
+    /// alias of `ingress.batches_coalesced`.
     pub coalesced_batches: u64,
-    /// Chunks the cost-model gate declined to coalesce.
+    /// Chunks the cost-model gate declined to coalesce. Deprecated alias
+    /// of `ingress.coalesce_declined`.
     pub cost_gate_declined: u64,
-    /// Delivered results that finished after their deadline.
+    /// Delivered results that finished after their deadline. Deprecated
+    /// alias of `ingress.deadlines_missed`.
     pub deadline_misses: u64,
-    /// Requests currently queued (gauge, not monotonic).
+    /// Requests currently queued (gauge, not monotonic). Deprecated
+    /// alias of `ingress.queue_depth`.
     pub queue_depth: u64,
 }
 
@@ -223,21 +244,126 @@ impl IngressStats {
     }
 }
 
-/// Atomic counter cells behind [`IngressStats`].
-#[derive(Default)]
+/// Registry-backed cells behind [`IngressStats`]: every counter, the
+/// queue-depth gauge and the stage-latency histograms are handles into
+/// the service's [`MetricsRegistry`](crate::obs::MetricsRegistry), so
+/// ingress traffic lands in the same scrape surface as the serve-layer
+/// metrics. Also carries the observability hub for span emission and
+/// flight capture.
 pub(crate) struct StatsCells {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) rejected_queue_full: AtomicU64,
-    pub(crate) rejected_quota: AtomicU64,
-    pub(crate) shed_deadline: AtomicU64,
-    pub(crate) shed_shutdown: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) failed: AtomicU64,
-    pub(crate) direct_requests: AtomicU64,
-    pub(crate) coalesced_requests: AtomicU64,
-    pub(crate) coalesced_batches: AtomicU64,
-    pub(crate) cost_gate_declined: AtomicU64,
-    pub(crate) deadline_misses: AtomicU64,
+    pub(crate) obs: Arc<Obs>,
+    /// `ingress.requests_submitted`
+    pub(crate) submitted: Counter,
+    /// `ingress.queue_rejected`
+    pub(crate) rejected_queue_full: Counter,
+    /// `ingress.quota_rejected`
+    pub(crate) rejected_quota: Counter,
+    /// `ingress.deadline_shed`
+    pub(crate) shed_deadline: Counter,
+    /// `ingress.shutdown_shed`
+    pub(crate) shed_shutdown: Counter,
+    /// `ingress.requests_completed`
+    pub(crate) completed: Counter,
+    /// `ingress.requests_failed`
+    pub(crate) failed: Counter,
+    /// `ingress.direct_served`
+    pub(crate) direct_requests: Counter,
+    /// `ingress.coalesced_served`
+    pub(crate) coalesced_requests: Counter,
+    /// `ingress.batches_coalesced`
+    pub(crate) coalesced_batches: Counter,
+    /// `ingress.coalesce_declined`
+    pub(crate) cost_gate_declined: Counter,
+    /// `ingress.deadlines_missed`
+    pub(crate) deadline_misses: Counter,
+    /// `ingress.queue_depth`
+    pub(crate) queue_depth: Gauge,
+    /// `ingress.queue_wait_ns` — submission to pump pickup.
+    pub(crate) queue_wait_hist: Arc<Histogram>,
+    /// `ingress.coalesce_ns` — cost-gate evaluation per chunk.
+    pub(crate) coalesce_hist: Arc<Histogram>,
+    /// `ingress.exec_ns` — one sample per kernel execution (a coalesced
+    /// batch records once for its k requests).
+    pub(crate) exec_hist: Arc<Histogram>,
+    /// `ingress.scatter_ns` — per-request result scatter + delivery.
+    pub(crate) scatter_hist: Arc<Histogram>,
+}
+
+impl StatsCells {
+    pub(crate) fn new(obs: Arc<Obs>) -> Self {
+        let r = obs.registry();
+        StatsCells {
+            submitted: r.counter("ingress.requests_submitted"),
+            rejected_queue_full: r.counter("ingress.queue_rejected"),
+            rejected_quota: r.counter("ingress.quota_rejected"),
+            shed_deadline: r.counter("ingress.deadline_shed"),
+            shed_shutdown: r.counter("ingress.shutdown_shed"),
+            completed: r.counter("ingress.requests_completed"),
+            failed: r.counter("ingress.requests_failed"),
+            direct_requests: r.counter("ingress.direct_served"),
+            coalesced_requests: r.counter("ingress.coalesced_served"),
+            coalesced_batches: r.counter("ingress.batches_coalesced"),
+            cost_gate_declined: r.counter("ingress.coalesce_declined"),
+            deadline_misses: r.counter("ingress.deadlines_missed"),
+            queue_depth: r.gauge("ingress.queue_depth"),
+            queue_wait_hist: r.histogram("ingress.queue_wait_ns"),
+            coalesce_hist: r.histogram("ingress.coalesce_ns"),
+            exec_hist: r.histogram("ingress.exec_ns"),
+            scatter_hist: r.histogram("ingress.scatter_ns"),
+            obs,
+        }
+    }
+
+    /// Records a stage span both to the global ring and into the
+    /// request's locally-assembled tree (the flight recorder captures
+    /// the local copy, so a breached request's tree survives ring
+    /// overwrites). No-op for untraced requests.
+    pub(crate) fn stage_span(
+        &self,
+        meta: &mut JobMeta,
+        stage: Stage,
+        start_ns: u64,
+        dur_ns: u64,
+        detail: u64,
+    ) {
+        if meta.trace.is_some() {
+            let rec = SpanRecord { trace: meta.trace, stage, start_ns, dur_ns, detail };
+            self.obs.span(meta.trace, stage, start_ns, dur_ns, detail);
+            meta.spans.push(rec);
+        }
+    }
+
+    /// Request-terminal observation: the [`Stage::Resolve`] span
+    /// (detail 0 delivered / 1 delivered late / 2 shed / 3 failed)
+    /// spanning submission → now, plus flight capture when the request
+    /// breached — shed or delivered late against its deadline, or
+    /// slower than [`ObsConfig::slow_threshold`](crate::obs::ObsConfig).
+    /// Callers invoke this *before* resolving the ticket, preserving the
+    /// counters-before-send invariant for the whole observation surface.
+    pub(crate) fn resolve_request(&self, meta: &mut JobMeta, outcome: u64) {
+        if meta.trace.is_none() {
+            return;
+        }
+        let total_ns = meta.submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let start_ns = self.obs.instant_ns(meta.submitted);
+        self.stage_span(meta, Stage::Resolve, start_ns, total_ns, outcome);
+        let slow = self.obs.slow_threshold_ns();
+        let breached = outcome != 0 || slow.is_some_and(|t| total_ns > t);
+        if breached {
+            let threshold_ns = meta
+                .deadline
+                .filter(|_| outcome == 1 || outcome == 2)
+                .map(|d| d.saturating_duration_since(meta.submitted).as_nanos().min(u64::MAX as u128) as u64)
+                .or(slow)
+                .unwrap_or(0);
+            self.obs.flight().capture(SlowRequest {
+                trace: meta.trace,
+                total_ns,
+                threshold_ns,
+                spans: std::mem::take(&mut meta.spans),
+            });
+        }
+    }
 }
 
 /// A pending request's receipt: resolves to the SpMV result or a typed
@@ -245,9 +371,18 @@ pub(crate) struct StatsCells {
 #[derive(Debug)]
 pub struct Ticket<V: Scalar> {
     rx: Receiver<Result<Vec<V>, IngressError>>,
+    trace: TraceId,
 }
 
 impl<V: Scalar> Ticket<V> {
+    /// The request's trace id ([`TraceId::NONE`] when tracing is off) —
+    /// correlates this ticket with its span tree in
+    /// [`Obs::trace_spans`](crate::obs::Obs::trace_spans) and in flight
+    /// recorder dumps.
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
     /// Blocks until the request resolves: `y = A x` on success, typed
     /// backpressure or the execution error otherwise.
     pub fn wait(self) -> Result<Vec<V>, IngressError> {
@@ -292,12 +427,19 @@ impl<T: Send + Sync + 'static> fmt::Debug for Ingress<T> {
 
 impl<T: Send + Sync + 'static> Ingress<T> {
     /// Starts the front door over `service`, spawning its pump thread.
+    ///
+    /// Ingress metrics register into the *service's* unified registry
+    /// under `ingress.*` names; two `Ingress` instances over the same
+    /// service therefore share counters (their traffic aggregates into
+    /// one scrape surface). Run each front door over its own service if
+    /// per-ingress metrics are needed.
     pub fn start(service: Arc<OracleService<T>>, cfg: IngressConfig) -> Self {
+        let stats = StatsCells::new(Arc::clone(service.obs()));
         let shared = Arc::new(Shared {
             service,
             queue: SubmissionQueue::new(cfg.queue_capacity),
             tenants: TenantTable::default(),
-            stats: StatsCells::default(),
+            stats,
             cfg,
         });
         let pump_shared = Arc::clone(&shared);
@@ -343,7 +485,7 @@ impl<T: Send + Sync + 'static> Ingress<T> {
         deadline: Option<Instant>,
     ) -> Result<Ticket<V>, IngressError> {
         let shared = &*self.shared;
-        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.submitted.inc();
         if x.len() != handle.ncols() {
             return Err(IngressError::Rejected(format!(
                 "input vector has {} elements, handle {} expects {}",
@@ -353,22 +495,42 @@ impl<T: Send + Sync + 'static> Ingress<T> {
             )));
         }
         let tenant_slot = shared.tenants.acquire(tenant, shared.cfg.quota_for(tenant)).map_err(|b| {
-            shared.stats.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            shared.stats.rejected_quota.inc();
             IngressError::Backpressure(b)
         })?;
         let submitted = Instant::now();
         let deadline = slo::resolve_deadline(submitted, deadline, shared.cfg.default_slo);
         let (tx, rx) = sync_channel(1);
-        let req = QueuedRequest {
-            meta: JobMeta { _tenant: tenant_slot, deadline },
-            job: Box::new(Job { handle: handle.clone(), x, tx }),
-        };
+        let trace = shared.stats.obs.mint_trace();
+        let mut meta = JobMeta { _tenant: tenant_slot, deadline, trace, submitted, spans: Vec::new() };
+        // The Admit span (dur 0, detail = queue depth observed at
+        // admission) is staged locally now but hits the global ring only
+        // after the push succeeds, so refused submissions leave no
+        // orphaned trace behind.
+        let admit = trace.is_some().then(|| {
+            let rec = SpanRecord {
+                trace,
+                stage: Stage::Admit,
+                start_ns: shared.stats.obs.instant_ns(submitted),
+                dur_ns: 0,
+                detail: shared.queue.depth(),
+            };
+            meta.spans.push(rec);
+            rec
+        });
+        let req = QueuedRequest { meta, job: Box::new(Job { handle: handle.clone(), x, tx }) };
         match shared.queue.push(req) {
-            Ok(()) => Ok(Ticket { rx }),
+            Ok(()) => {
+                if let Some(rec) = admit {
+                    shared.stats.obs.span(rec.trace, rec.stage, rec.start_ns, 0, rec.detail);
+                }
+                shared.stats.queue_depth.set(shared.queue.depth());
+                Ok(Ticket { rx, trace })
+            }
             Err(PushRefused::Full(req)) => {
                 // Dropping the refused request releases the tenant slot.
                 drop(req);
-                shared.stats.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                shared.stats.rejected_queue_full.inc();
                 Err(IngressError::Backpressure(Backpressure::QueueFull {
                     capacity: shared.cfg.queue_capacity,
                 }))
@@ -380,23 +542,26 @@ impl<T: Send + Sync + 'static> Ingress<T> {
         }
     }
 
-    /// Current counters (see [`IngressStats`]).
+    /// Current counters (see [`IngressStats`]) — a point-in-time copy of
+    /// the registry cells, with the queue-depth gauge refreshed.
     pub fn stats(&self) -> IngressStats {
         let s = &self.shared.stats;
+        let depth = self.shared.queue.depth();
+        s.queue_depth.set(depth);
         IngressStats {
-            submitted: s.submitted.load(Ordering::Relaxed),
-            rejected_queue_full: s.rejected_queue_full.load(Ordering::Relaxed),
-            rejected_quota: s.rejected_quota.load(Ordering::Relaxed),
-            shed_deadline: s.shed_deadline.load(Ordering::Relaxed),
-            shed_shutdown: s.shed_shutdown.load(Ordering::Relaxed),
-            completed: s.completed.load(Ordering::Relaxed),
-            failed: s.failed.load(Ordering::Relaxed),
-            direct_requests: s.direct_requests.load(Ordering::Relaxed),
-            coalesced_requests: s.coalesced_requests.load(Ordering::Relaxed),
-            coalesced_batches: s.coalesced_batches.load(Ordering::Relaxed),
-            cost_gate_declined: s.cost_gate_declined.load(Ordering::Relaxed),
-            deadline_misses: s.deadline_misses.load(Ordering::Relaxed),
-            queue_depth: self.shared.queue.depth(),
+            submitted: s.submitted.get(),
+            rejected_queue_full: s.rejected_queue_full.get(),
+            rejected_quota: s.rejected_quota.get(),
+            shed_deadline: s.shed_deadline.get(),
+            shed_shutdown: s.shed_shutdown.get(),
+            completed: s.completed.get(),
+            failed: s.failed.get(),
+            direct_requests: s.direct_requests.get(),
+            coalesced_requests: s.coalesced_requests.get(),
+            coalesced_batches: s.coalesced_batches.get(),
+            cost_gate_declined: s.cost_gate_declined.get(),
+            deadline_misses: s.deadline_misses.get(),
+            queue_depth: depth,
         }
     }
 
@@ -449,9 +614,11 @@ impl<T: Send + Sync + 'static> Drop for Ingress<T> {
 fn pump_loop<T: Send + Sync>(shared: &Shared<T>) {
     let mut state = batch::PumpState::new();
     while let Some(drained) = shared.queue.drain() {
+        shared.stats.queue_depth.set(shared.queue.depth());
         if shared.queue.is_closed() {
             for mut req in drained {
-                shared.stats.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+                shared.stats.shed_shutdown.inc();
+                shared.stats.resolve_request(&mut req.meta, 2);
                 req.job.shed(Backpressure::ShuttingDown);
             }
             continue;

@@ -16,6 +16,7 @@
 
 use super::slo::Backpressure;
 use super::{IngressError, StatsCells};
+use crate::obs::{SpanRecord, Stage, TraceId};
 use crate::serve::{MatrixHandle, OracleService};
 use crate::OracleError;
 use morpheus::Scalar;
@@ -88,6 +89,15 @@ pub(crate) struct JobMeta {
     pub(crate) _tenant: TenantSlot,
     /// Absolute deadline, resolved at submission.
     pub(crate) deadline: Option<Instant>,
+    /// Trace id minted at admission ([`TraceId::NONE`] when tracing is
+    /// off — every observation site gates on it).
+    pub(crate) trace: TraceId,
+    /// Submission timestamp: queue-wait and total-latency baseline.
+    pub(crate) submitted: Instant,
+    /// Locally-assembled span tree, mirrored from the global ring so the
+    /// flight recorder can capture a breached request's full tree even
+    /// after the ring wrapped. Empty for untraced requests.
+    pub(crate) spans: Vec<SpanRecord>,
 }
 
 /// A concrete queued SpMV request for scalar `V`.
@@ -118,9 +128,10 @@ pub(crate) trait ErasedJob<T>: Send {
     fn as_any(&mut self) -> &mut dyn Any;
     /// Executes this single request through the service's queued-execution
     /// path, accounts the outcome (completed/failed/deadline-miss) in
-    /// `stats` and resolves its ticket — counters strictly *before* the
+    /// `stats`, records its Exec/Resolve spans and exec-latency sample,
+    /// and resolves its ticket — counters and spans strictly *before* the
     /// ticket, so a caller returning from `wait()` never reads stale stats.
-    fn run_direct(&mut self, service: &OracleService<T>, stats: &StatsCells, deadline: Option<Instant>);
+    fn run_direct(&mut self, service: &OracleService<T>, stats: &StatsCells, meta: &mut JobMeta);
     /// Resolves the ticket with typed backpressure; nothing executes.
     fn shed(&mut self, reason: Backpressure);
 }
@@ -138,18 +149,27 @@ impl<T: Send + Sync, V: Scalar> ErasedJob<T> for Job<V> {
         self
     }
 
-    fn run_direct(&mut self, service: &OracleService<T>, stats: &StatsCells, deadline: Option<Instant>) {
+    fn run_direct(&mut self, service: &OracleService<T>, stats: &StatsCells, meta: &mut JobMeta) {
         let mut y = vec![V::ZERO; self.handle.nrows()];
-        match service.execute_queued_spmv(&self.handle, &self.x, &mut y) {
+        let t0 = meta.trace.is_some().then(Instant::now);
+        match service.execute_queued_spmv(&self.handle, &self.x, &mut y, meta.trace) {
             Ok(()) => {
-                stats.completed.fetch_add(1, Ordering::Relaxed);
-                if super::slo::expired(deadline, Instant::now()) {
-                    stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                let missed = super::slo::expired(meta.deadline, Instant::now());
+                stats.completed.inc();
+                if missed {
+                    stats.deadline_misses.inc();
                 }
+                if let Some(t0) = t0 {
+                    let dur = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    stats.exec_hist.record_ns(dur);
+                    stats.stage_span(meta, Stage::Exec, stats.obs.instant_ns(t0), dur, 0);
+                }
+                stats.resolve_request(meta, u64::from(missed));
                 self.send(Ok(y));
             }
             Err(e) => {
-                stats.failed.fetch_add(1, Ordering::Relaxed);
+                stats.failed.inc();
+                stats.resolve_request(meta, 3);
                 self.send(Err(IngressError::Exec(Arc::new(OracleError::Morpheus(e)))));
             }
         }

@@ -90,6 +90,7 @@ pub mod adapt;
 pub mod features;
 pub mod ingress;
 pub mod model_db;
+pub mod obs;
 pub mod oracle;
 pub mod params;
 pub mod serve;
@@ -104,6 +105,10 @@ pub use cache::CacheStats;
 pub use features::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
 pub use ingress::{Backpressure, CoalescePolicy, Ingress, IngressConfig, IngressError, IngressStats, Ticket};
 pub use model_db::{ModelDatabase, ModelKind};
+pub use obs::{
+    Counter, Gauge, HistSummary, Histogram, MetricsRegistry, MetricsSnapshot, Obs, ObsConfig, ObsSnapshot,
+    SlowRequest, SpanRecord, Stage, TraceId, TraceLevel,
+};
 pub use oracle::{Oracle, OracleBuilder, DEFAULT_CACHE_CAPACITY};
 pub use params::{heuristic_params, propose_params, ParamRegressor, ParamStrategy};
 pub use serve::{HandleInfo, MatrixHandle, OracleService, PartitionPolicy, ServeStats, ServiceSnapshot};

@@ -1,0 +1,381 @@
+//! Metric exposition: a stable line-oriented text format and a JSON dump.
+//!
+//! The text format follows the workspace's model/decision-file
+//! conventions (magic header, whitespace-tokenized lines, `#` comments,
+//! `end` terminator) and is parsed with the same `morpheus-ml`
+//! [`LineParser`], so one tokenizer rules every on-disk schema:
+//!
+//! ```text
+//! morpheus-metrics v1
+//! # any comment
+//! counter ingress.requests_submitted 128
+//! gauge pool.jobs_queued 0
+//! hist ingress.exec_ns 128 91244032 1310720 524288 917504 1245184
+//! end
+//! ```
+//!
+//! Histogram lines carry `count sum max p50 p90 p99`, all integer
+//! nanoseconds, so `render(parse(render(x))) == render(x)` exactly — the
+//! round-trip property the exposition test asserts.
+
+use std::fmt;
+use std::io::BufRead;
+
+use morpheus_ml::serialize::LineParser;
+
+use super::hist::HistSummary;
+use super::registry::MetricsSnapshot;
+use super::span::SlowRequest;
+use super::ObsSnapshot;
+
+/// Magic first line of the text exposition.
+pub const METRICS_MAGIC: &str = "morpheus-metrics v1";
+
+/// One line of the text exposition, in render order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricLine {
+    /// `counter <name> <value>`
+    Counter {
+        /// Metric name (`layer.noun_verb`).
+        name: String,
+        /// Counter value.
+        value: u64,
+    },
+    /// `gauge <name> <value>`
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Gauge value.
+        value: u64,
+    },
+    /// `hist <name> <count> <sum> <max> <p50> <p90> <p99>` (ns)
+    Hist {
+        /// Metric name.
+        name: String,
+        /// Sample count.
+        count: u64,
+        /// Sum of samples, ns.
+        sum_ns: u64,
+        /// Max sample, ns.
+        max_ns: u64,
+        /// Median estimate, ns.
+        p50_ns: u64,
+        /// 90th percentile estimate, ns.
+        p90_ns: u64,
+        /// 99th percentile estimate, ns.
+        p99_ns: u64,
+    },
+}
+
+/// A malformed exposition document.
+#[derive(Debug)]
+pub struct ExpositionError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+/// Flattens a metrics snapshot into exposition lines (counters, then
+/// gauges, then histograms — each already name-sorted by the snapshot).
+pub fn metric_lines(snap: &MetricsSnapshot) -> Vec<MetricLine> {
+    let mut out = Vec::with_capacity(snap.counters.len() + snap.gauges.len() + snap.hists.len());
+    for (name, value) in &snap.counters {
+        out.push(MetricLine::Counter { name: name.clone(), value: *value });
+    }
+    for (name, value) in &snap.gauges {
+        out.push(MetricLine::Gauge { name: name.clone(), value: *value });
+    }
+    for (name, h) in &snap.hists {
+        out.push(hist_line(name, h));
+    }
+    out
+}
+
+fn hist_line(name: &str, h: &HistSummary) -> MetricLine {
+    MetricLine::Hist {
+        name: name.to_string(),
+        count: h.count,
+        sum_ns: h.sum_ns,
+        max_ns: h.max_ns,
+        p50_ns: h.p50_ns(),
+        p90_ns: h.p90_ns(),
+        p99_ns: h.p99_ns(),
+    }
+}
+
+/// Renders exposition lines to the text format (always `\n`-terminated,
+/// ending with `end`).
+pub fn render_text(lines: &[MetricLine]) -> String {
+    let mut out = String::new();
+    out.push_str(METRICS_MAGIC);
+    out.push('\n');
+    for line in lines {
+        match line {
+            MetricLine::Counter { name, value } => {
+                out.push_str(&format!("counter {name} {value}\n"));
+            }
+            MetricLine::Gauge { name, value } => {
+                out.push_str(&format!("gauge {name} {value}\n"));
+            }
+            MetricLine::Hist { name, count, sum_ns, max_ns, p50_ns, p90_ns, p99_ns } => {
+                out.push_str(&format!("hist {name} {count} {sum_ns} {max_ns} {p50_ns} {p90_ns} {p99_ns}\n"));
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn parse_u64(parser: &LineParser<impl BufRead>, tok: &str, what: &str) -> Result<u64, ExpositionError> {
+    tok.parse::<u64>()
+        .map_err(|_| ExpositionError { line: parser.lineno(), msg: format!("invalid {what}: {tok:?}") })
+}
+
+/// Parses a text exposition document back into lines. Tolerates blank
+/// lines and `#` comments anywhere (the `LineParser` skips them);
+/// requires the magic header and the `end` terminator.
+pub fn parse_text(reader: impl BufRead) -> Result<Vec<MetricLine>, ExpositionError> {
+    let mut parser = LineParser::new(reader);
+    let io_err = |p: &LineParser<_>, e: std::io::Error| ExpositionError {
+        line: p.lineno(),
+        msg: format!("read failed: {e}"),
+    };
+    let header = parser
+        .next_line()
+        .map_err(|e| io_err(&parser, e))?
+        .ok_or(ExpositionError { line: 1, msg: "empty document".into() })?;
+    if header.join(" ") != METRICS_MAGIC {
+        return Err(ExpositionError {
+            line: parser.lineno(),
+            msg: format!("bad magic, expected {METRICS_MAGIC:?}"),
+        });
+    }
+    let mut out = Vec::new();
+    loop {
+        let Some(toks) = parser.next_line().map_err(|e| io_err(&parser, e))? else {
+            return Err(ExpositionError { line: parser.lineno(), msg: "missing `end` terminator".into() });
+        };
+        let bad_arity = |p: &LineParser<_>| ExpositionError {
+            line: p.lineno(),
+            msg: format!("wrong field count for {:?}", toks[0]),
+        };
+        match toks[0].as_str() {
+            "end" => return Ok(out),
+            "counter" => {
+                if toks.len() != 3 {
+                    return Err(bad_arity(&parser));
+                }
+                let value = parse_u64(&parser, &toks[2], "counter value")?;
+                out.push(MetricLine::Counter { name: toks[1].clone(), value });
+            }
+            "gauge" => {
+                if toks.len() != 3 {
+                    return Err(bad_arity(&parser));
+                }
+                let value = parse_u64(&parser, &toks[2], "gauge value")?;
+                out.push(MetricLine::Gauge { name: toks[1].clone(), value });
+            }
+            "hist" => {
+                if toks.len() != 8 {
+                    return Err(bad_arity(&parser));
+                }
+                out.push(MetricLine::Hist {
+                    name: toks[1].clone(),
+                    count: parse_u64(&parser, &toks[2], "hist count")?,
+                    sum_ns: parse_u64(&parser, &toks[3], "hist sum")?,
+                    max_ns: parse_u64(&parser, &toks[4], "hist max")?,
+                    p50_ns: parse_u64(&parser, &toks[5], "hist p50")?,
+                    p90_ns: parse_u64(&parser, &toks[6], "hist p90")?,
+                    p99_ns: parse_u64(&parser, &toks[7], "hist p99")?,
+                });
+            }
+            other => {
+                return Err(ExpositionError {
+                    line: parser.lineno(),
+                    msg: format!("unknown record kind {other:?}"),
+                });
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a full hub snapshot as a JSON object (`morpheus-obs/v1`).
+pub fn render_json(snap: &ObsSnapshot) -> String {
+    let mut out = String::from("{\n  \"schema\": \"morpheus-obs/v1\",\n");
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snap.metrics.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", json_escape(name), value));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, value)) in snap.metrics.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", json_escape(name), value));
+    }
+    out.push_str("\n  },\n  \"hists\": {");
+    for (i, (name, h)) in snap.metrics.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
+            json_escape(name),
+            h.count,
+            h.sum_ns,
+            h.max_ns,
+            h.p50_ns(),
+            h.p90_ns(),
+            h.p99_ns()
+        ));
+    }
+    out.push_str("\n  },\n");
+    out.push_str(&format!("  \"spans_recorded\": {},\n", snap.spans_recorded));
+    out.push_str(&format!("  \"spans_overwritten\": {},\n", snap.spans_overwritten));
+    out.push_str(&format!("  \"slow_captured\": {},\n", snap.slow_captured));
+    out.push_str(&format!("  \"slow_retained\": {}\n}}\n", snap.slow_retained));
+    out
+}
+
+/// Renders retained slow requests (their full span trees) as a JSON
+/// array, for postmortem export.
+pub fn render_flight_json(slow: &[SlowRequest]) -> String {
+    let mut out = String::from("[");
+    for (i, req) in slow.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"trace\": {}, \"total_ns\": {}, \"threshold_ns\": {}, \"spans\": [",
+            req.trace.0, req.total_ns, req.threshold_ns
+        ));
+        for (j, s) in req.spans.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"stage\": \"{}\", \"start_ns\": {}, \"dur_ns\": {}, \"detail\": {}}}",
+                s.stage.name(),
+                s.start_ns,
+                s.dur_ns,
+                s.detail
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::registry::MetricsRegistry;
+    use super::super::span::{SpanRecord, Stage, TraceId};
+    use super::*;
+
+    fn sample_lines() -> Vec<MetricLine> {
+        let r = MetricsRegistry::new();
+        r.counter("ingress.requests_submitted").add(128);
+        r.counter("serve.requests_served").add(64);
+        r.gauge("pool.jobs_queued").set(3);
+        let h = r.histogram("ingress.exec_ns");
+        for ns in [10_000u64, 20_000, 500_000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        metric_lines(&r.snapshot())
+    }
+
+    #[test]
+    fn text_round_trips_exactly() {
+        let lines = sample_lines();
+        let text = render_text(&lines);
+        assert!(text.starts_with(METRICS_MAGIC));
+        assert!(text.ends_with("end\n"));
+        let parsed = parse_text(text.as_bytes()).expect("parses");
+        assert_eq!(parsed, lines);
+        assert_eq!(render_text(&parsed), text);
+    }
+
+    #[test]
+    fn parser_tolerates_comments_and_rejects_garbage() {
+        let doc = format!("{METRICS_MAGIC}\n# scraped at t0\n\ncounter a.b 1\nend\n");
+        let parsed = parse_text(doc.as_bytes()).expect("comments ok");
+        assert_eq!(parsed.len(), 1);
+
+        assert!(parse_text("not-metrics v1\nend\n".as_bytes()).is_err());
+        let err =
+            parse_text(format!("{METRICS_MAGIC}\ncounter a.b NaN\nend\n").as_bytes()).expect_err("bad value");
+        assert_eq!(err.line, 2);
+        assert!(parse_text(format!("{METRICS_MAGIC}\ncounter a.b 1\n").as_bytes()).is_err());
+        assert!(parse_text(format!("{METRICS_MAGIC}\nbogus x 1\nend\n").as_bytes()).is_err());
+    }
+
+    #[test]
+    fn json_renders_all_families() {
+        let r = MetricsRegistry::new();
+        r.counter("serve.requests_served").add(9);
+        r.histogram("serve.request_ns").record_ns(77);
+        let snap = ObsSnapshot {
+            metrics: r.snapshot(),
+            spans_recorded: 5,
+            spans_overwritten: 0,
+            slow_captured: 1,
+            slow_retained: 1,
+        };
+        let json = render_json(&snap);
+        assert!(json.contains("\"morpheus-obs/v1\""));
+        assert!(json.contains("\"serve.requests_served\": 9"));
+        assert!(json.contains("\"serve.request_ns\""));
+        assert!(json.contains("\"slow_captured\": 1"));
+    }
+
+    #[test]
+    fn flight_json_lists_span_trees() {
+        let json = render_flight_json(&[SlowRequest {
+            trace: TraceId(4),
+            total_ns: 9_000_000,
+            threshold_ns: 5_000_000,
+            spans: vec![
+                SpanRecord { trace: TraceId(4), stage: Stage::Admit, start_ns: 0, dur_ns: 0, detail: 2 },
+                SpanRecord {
+                    trace: TraceId(4),
+                    stage: Stage::Resolve,
+                    start_ns: 0,
+                    dur_ns: 9_000_000,
+                    detail: 1,
+                },
+            ],
+        }]);
+        assert!(json.contains("\"trace\": 4"));
+        assert!(json.contains("\"stage\": \"admit\""));
+        assert!(json.contains("\"stage\": \"resolve\""));
+    }
+}

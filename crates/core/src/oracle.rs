@@ -35,6 +35,7 @@
 
 use crate::adapt::SampleCollector;
 use crate::cache::{CacheStats, DEFAULT_SHARDS};
+use crate::obs::ObsConfig;
 use crate::serve::{OracleService, PartitionPolicy};
 use crate::tune::TuneReport;
 use crate::tuner::FormatTuner;
@@ -77,6 +78,7 @@ impl Oracle<()> {
             workers: None,
             collector: None,
             partition: PartitionPolicy::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -217,6 +219,7 @@ pub struct OracleBuilder<T> {
     workers: Option<usize>,
     collector: Option<std::sync::Arc<SampleCollector>>,
     partition: PartitionPolicy,
+    obs: ObsConfig,
 }
 
 impl<T> OracleBuilder<T> {
@@ -238,7 +241,17 @@ impl<T> OracleBuilder<T> {
             workers: self.workers,
             collector: self.collector,
             partition: self.partition,
+            obs: self.obs,
         }
+    }
+
+    /// Configures the observability subsystem ([`crate::obs`]): trace
+    /// level, span ring capacity, flight-recorder capacity and the
+    /// slow-request threshold. The default is [`ObsConfig::default`] —
+    /// coarse request spans on, per-shard spans off.
+    pub fn observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Sets when and how registrations shard into partitioned handles
@@ -325,6 +338,7 @@ impl<T> OracleBuilder<T> {
             self.workers,
             self.collector,
             self.partition,
+            self.obs,
         ))
     }
 }

@@ -68,6 +68,7 @@
 use crate::adapt::{CollectorStats, SampleCollector, SampleKey};
 use crate::cache::{CacheKey, CacheStats, ShardedLru};
 use crate::features::FeatureVector;
+use crate::obs::{Counter, Gauge, Histogram, Obs, ObsConfig, ObsSnapshot, Stage, TraceId};
 use crate::tune::{PlanStatus, TuneReport};
 use crate::tuner::{FormatTuner, TuneDecision, TuningCost};
 use crate::{OracleError, Result};
@@ -235,22 +236,36 @@ pub struct ServiceSnapshot {
 
 /// Execution counters of a service (monotonic and never reset, except the
 /// [`pool_queued_jobs`](ServeStats::pool_queued_jobs) point-in-time gauge).
+///
+/// These values live in the service's unified metrics registry
+/// ([`OracleService::obs`]) under canonical `layer.noun_verb` names; the
+/// struct fields are **deprecated aliases kept for one release** — new
+/// code should read the registry names noted on each field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
     /// Executions through registered handles (`spmv`/`spmm` and their
     /// workspace variants).
+    ///
+    /// Deprecated alias of the registry counter `serve.requests_served`.
     pub handle_requests: u64,
     /// Executions that found the pool busy with another client's batch and
     /// ran inline on the calling thread (the plan's kernel bodies when a
     /// plan exists, the serial kernel otherwise) instead of queueing.
+    ///
+    /// Deprecated alias of the registry counter `serve.fallbacks_taken`.
     pub pool_busy_fallbacks: u64,
     /// Matrices registered over the service's lifetime.
+    ///
+    /// Deprecated alias of the registry counter
+    /// `serve.matrices_registered`.
     pub registered: u64,
     /// Jobs sitting in the execution pool's channel, not yet picked up by a
     /// worker, at the instant of the snapshot (a *gauge*, not a counter;
     /// 0 for serial services). Nonzero values mean threaded executions are
     /// queueing behind each other — the saturation signal behind
     /// `pool_busy_fallbacks` growth.
+    ///
+    /// Deprecated alias of the registry gauge `pool.jobs_queued`.
     pub pool_queued_jobs: u64,
 }
 
@@ -416,13 +431,28 @@ pub struct OracleService<T> {
     pool: ServicePool,
     registry: RwLock<Vec<HandleInfo>>,
     next_handle_id: AtomicU64,
-    handle_requests: AtomicU64,
-    pool_busy_fallbacks: AtomicU64,
     /// Measured-kernel telemetry sink (see [`crate::adapt`]). `None` keeps
     /// execution paths entirely timestamp-free.
     collector: Option<Arc<SampleCollector>>,
     /// When and how registrations shard (see [`PartitionPolicy`]).
     partition: PartitionPolicy,
+    /// Observability hub (metrics registry + span tracer + flight
+    /// recorder), shared with every [`crate::ingress::Ingress`] started on
+    /// this service.
+    obs: Arc<Obs>,
+    /// `serve.requests_served` — executions through registered handles.
+    requests_served: Counter,
+    /// `serve.fallbacks_taken` — busy-pool inline fallbacks.
+    fallbacks_taken: Counter,
+    /// `serve.matrices_registered` — registrations over the lifetime.
+    matrices_registered: Counter,
+    /// `serve.request_ns` — registered/tuned execution latency (recorded
+    /// when tracing is on).
+    request_hist: Arc<Histogram>,
+    /// `serve.plan_ns` — plan acquisition latency (hit or build).
+    plan_hist: Arc<Histogram>,
+    /// `pool.jobs_queued` — pool backlog gauge, refreshed on stats reads.
+    pool_queued_gauge: Gauge,
 }
 
 impl OracleService<()> {
@@ -446,8 +476,30 @@ impl<T> OracleService<T> {
         workers: Option<usize>,
         collector: Option<Arc<SampleCollector>>,
         partition: PartitionPolicy,
+        obs: ObsConfig,
     ) -> Self {
         let engine_fingerprint = fingerprint_engine(&engine);
+        let obs = Arc::new(Obs::new(obs));
+        let pool = match workers {
+            Some(n) => ServicePool::Owned(ThreadPool::new(n)),
+            None => ServicePool::Global,
+        };
+        if obs.enabled() {
+            if let ServicePool::Owned(p) = &pool {
+                // Channel-wait telemetry is installed only on an *owned*
+                // pool: the global pool is shared process-wide and must not
+                // be claimed by one service's histogram.
+                let hist = obs.registry().histogram("pool.queue_wait_ns");
+                p.set_queue_wait_observer(Some(Arc::new(move |waited| hist.record(waited))));
+            }
+        }
+        let reg = obs.registry();
+        let requests_served = reg.counter("serve.requests_served");
+        let fallbacks_taken = reg.counter("serve.fallbacks_taken");
+        let matrices_registered = reg.counter("serve.matrices_registered");
+        let request_hist = reg.histogram("serve.request_ns");
+        let plan_hist = reg.histogram("serve.plan_ns");
+        let pool_queued_gauge = reg.gauge("pool.jobs_queued");
         OracleService {
             engine,
             tuner,
@@ -455,16 +507,18 @@ impl<T> OracleService<T> {
             decisions: ShardedLru::new(cache_capacity, shards),
             plans: ShardedLru::new(cache_capacity, shards),
             engine_fingerprint,
-            pool: match workers {
-                Some(n) => ServicePool::Owned(ThreadPool::new(n)),
-                None => ServicePool::Global,
-            },
+            pool,
             registry: RwLock::new(Vec::new()),
             next_handle_id: AtomicU64::new(0),
-            handle_requests: AtomicU64::new(0),
-            pool_busy_fallbacks: AtomicU64::new(0),
             collector,
             partition,
+            obs,
+            requests_served,
+            fallbacks_taken,
+            matrices_registered,
+            request_hist,
+            plan_hist,
+            pool_queued_gauge,
         }
     }
 
@@ -690,6 +744,28 @@ impl<T> OracleService<T> {
         (plan, if hit { PlanStatus::Reused } else { PlanStatus::Built })
     }
 
+    /// [`Self::acquire_plan`] wrapped in the `serve.plan_ns` histogram and
+    /// a [`Stage::Plan`] span (`detail` = 1 on a cache hit, 0 when built)
+    /// when tracing is on. Pass [`TraceId::NONE`] outside a request (e.g.
+    /// registration) to get the histogram sample without a span.
+    fn acquire_plan_observed<V: Scalar>(
+        &self,
+        m: &DynamicMatrix<V>,
+        artifacts: &TuneArtifacts,
+        threads: usize,
+        trace: TraceId,
+    ) -> (Arc<ExecPlan<V>>, PlanStatus) {
+        let t0 = self.obs.enabled().then(Instant::now);
+        let acquired = self.acquire_plan(m, artifacts, threads);
+        if let Some(t0) = t0 {
+            let dur = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.plan_hist.record_ns(dur);
+            let hit = u64::from(acquired.1 == PlanStatus::Reused);
+            self.obs.span(trace, Stage::Plan, self.obs.instant_ns(t0), dur, hit);
+        }
+        acquired
+    }
+
     /// Attributes one measured execution to its telemetry population —
     /// a no-op (no timestamps taken by callers either) when the service
     /// has no collector.
@@ -726,10 +802,23 @@ impl<T> OracleService<T> {
     /// in [`ServeStats::pool_busy_fallbacks`]).
     fn take_serial_fallback(&self, pool: &ThreadPool) -> bool {
         if pool.is_busy() {
-            self.pool_busy_fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.fallbacks_taken.inc();
             true
         } else {
             false
+        }
+    }
+
+    /// Request-level observation shared by every execution path: the
+    /// `serve.request_ns` histogram plus one coarse [`Stage::Exec`] span.
+    /// Free (not even reached — callers gate the `Instant` reads) when
+    /// tracing is off.
+    #[inline]
+    fn observe_request(&self, trace: TraceId, t0: Instant, elapsed: std::time::Duration) {
+        if self.obs.enabled() {
+            let dur = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+            self.request_hist.record_ns(dur);
+            self.obs.span(trace, Stage::Exec, self.obs.instant_ns(t0), dur, 0);
         }
     }
 
@@ -740,6 +829,7 @@ impl<T> OracleService<T> {
     /// operation replays the plan's per-range [`KernelVariant`] bodies
     /// (SpMV) or the scalar bodies (SpMM) — it decides what
     /// [`TuneReport::variant`] truthfully reports.
+    #[allow(clippy::too_many_arguments)]
     fn run_threaded<V: Scalar>(
         &self,
         m: &DynamicMatrix<V>,
@@ -747,6 +837,7 @@ impl<T> OracleService<T> {
         pool: &ThreadPool,
         report: &mut TuneReport,
         variant_bodies: bool,
+        trace: TraceId,
         run: impl FnOnce(Execution<'_, V>) -> morpheus::Result<()>,
     ) -> Result<()> {
         report.serial_fallback = self.take_serial_fallback(pool);
@@ -754,7 +845,7 @@ impl<T> OracleService<T> {
             // No cache to warm: skip the wasted plan construction.
             run(Execution::Serial)?;
         } else {
-            let (plan, status) = self.acquire_plan(m, artifacts, pool.num_threads());
+            let (plan, status) = self.acquire_plan_observed(m, artifacts, pool.num_threads(), trace);
             report.plan = status;
             if variant_bodies {
                 report.variant = plan.dominant_variant();
@@ -777,11 +868,12 @@ impl<T> OracleService<T> {
         T: FormatTuner<V>,
     {
         let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmv)?;
-        let t0 = self.collector.as_ref().map(|_| Instant::now());
+        let trace = self.obs.mint_trace();
+        let t0 = (self.collector.is_some() || self.obs.enabled()).then(Instant::now);
         match self.exec_pool() {
             None => morpheus::spmv::spmv_serial(m, x, y)?,
             Some(pool) => {
-                self.run_threaded(m, &artifacts, pool, &mut report, true, |exec| match exec {
+                self.run_threaded(m, &artifacts, pool, &mut report, true, trace, |exec| match exec {
                     Execution::Pooled(plan) => plan.spmv(m, x, y, pool),
                     Execution::Inline(plan) => plan.spmv_unpooled(m, x, y),
                     Execution::Serial => morpheus::spmv::spmv_serial(m, x, y),
@@ -789,7 +881,10 @@ impl<T> OracleService<T> {
             }
         }
         if let Some(t0) = t0 {
-            self.note_tuned_execution(t0, m, Op::Spmv, &report, &artifacts);
+            if self.collector.is_some() {
+                self.note_tuned_execution(t0, m, Op::Spmv, &report, &artifacts);
+            }
+            self.observe_request(trace, t0, t0.elapsed());
         }
         Ok(report)
     }
@@ -809,11 +904,12 @@ impl<T> OracleService<T> {
         T: FormatTuner<V>,
     {
         let (mut report, artifacts) = self.tune_with_artifacts(m, Op::Spmm { k })?;
-        let t0 = self.collector.as_ref().map(|_| Instant::now());
+        let trace = self.obs.mint_trace();
+        let t0 = (self.collector.is_some() || self.obs.enabled()).then(Instant::now);
         match self.exec_pool() {
             None => morpheus::spmm::spmm_serial(m, x, y, k)?,
             Some(pool) => {
-                self.run_threaded(m, &artifacts, pool, &mut report, false, |exec| match exec {
+                self.run_threaded(m, &artifacts, pool, &mut report, false, trace, |exec| match exec {
                     Execution::Pooled(plan) => plan.spmm(m, x, y, k, pool),
                     // Planned SpMM runs the scalar bodies, so the serial
                     // kernel is already bitwise identical to it.
@@ -822,7 +918,10 @@ impl<T> OracleService<T> {
             }
         }
         if let Some(t0) = t0 {
-            self.note_tuned_execution(t0, m, Op::Spmm { k }, &report, &artifacts);
+            if self.collector.is_some() {
+                self.note_tuned_execution(t0, m, Op::Spmm { k }, &report, &artifacts);
+            }
+            self.observe_request(trace, t0, t0.elapsed());
         }
         Ok(report)
     }
@@ -896,11 +995,12 @@ impl<T> OracleService<T> {
     {
         let (mut report, artifacts) = self.tune_with_artifacts(&mut m, op)?;
         let threads = self.exec_pool().map_or(1, |p| p.num_threads());
-        let (plan, status) = self.acquire_plan(&m, &artifacts, threads);
+        let (plan, status) = self.acquire_plan_observed(&m, &artifacts, threads, TraceId::NONE);
         report.plan = status;
         report.variant = plan.dominant_variant();
         let structure = artifacts.realized_hash.unwrap_or_else(|| m.structure_hash());
         let id = self.next_handle_id.fetch_add(1, Ordering::Relaxed);
+        self.matrices_registered.inc();
         self.registry.write().push(HandleInfo {
             id,
             format: m.format_id(),
@@ -1054,6 +1154,7 @@ impl<T> OracleService<T> {
             shards: pm.num_shards(),
         };
         let id = self.next_handle_id.fetch_add(1, Ordering::Relaxed);
+        self.matrices_registered.inc();
         self.registry.write().push(HandleInfo {
             id,
             format: chosen,
@@ -1079,7 +1180,8 @@ impl<T> OracleService<T> {
     pub fn spmv<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V]) -> Result<()> {
         match &handle.inner.stored {
             Stored::Single { matrix, structure, plan } => {
-                let t0 = self.collector.as_ref().map(|_| Instant::now());
+                let trace = self.obs.mint_trace();
+                let t0 = (self.collector.is_some() || self.obs.enabled()).then(Instant::now);
                 let (workers, variant) = match self.exec_pool() {
                     None => {
                         morpheus::spmv::spmv_serial(matrix, x, y)?;
@@ -1098,22 +1200,29 @@ impl<T> OracleService<T> {
                     }
                 };
                 if let Some(t0) = t0 {
+                    let elapsed = t0.elapsed();
                     self.record_execution::<V>(
                         *structure,
                         matrix.format_id(),
                         Op::Spmv,
                         workers,
                         variant,
-                        t0.elapsed(),
+                        elapsed,
                     );
+                    self.observe_request(trace, t0, elapsed);
                 }
             }
             Stored::Partitioned(p) => {
+                let trace = self.obs.mint_trace();
+                let t0 = (self.collector.is_some() || self.obs.enabled()).then(Instant::now);
                 let pool = self.exec_pool().filter(|pool| !self.take_serial_fallback(pool));
-                self.run_partitioned(p, Op::Spmv, |obs| p.spmv_observed(x, y, pool, obs))?;
+                self.run_partitioned(p, Op::Spmv, trace, |obs| p.spmv_observed(x, y, pool, obs))?;
+                if let Some(t0) = t0 {
+                    self.observe_request(trace, t0, t0.elapsed());
+                }
             }
         }
-        self.handle_requests.fetch_add(1, Ordering::Relaxed);
+        self.requests_served.inc();
         Ok(())
     }
 
@@ -1121,7 +1230,8 @@ impl<T> OracleService<T> {
     pub fn spmm<V: Scalar>(&self, handle: &MatrixHandle<V>, x: &[V], y: &mut [V], k: usize) -> Result<()> {
         match &handle.inner.stored {
             Stored::Single { matrix, structure, plan } => {
-                let t0 = self.collector.as_ref().map(|_| Instant::now());
+                let trace = self.obs.mint_trace();
+                let t0 = (self.collector.is_some() || self.obs.enabled()).then(Instant::now);
                 let workers = match self.exec_pool() {
                     None => {
                         morpheus::spmm::spmm_serial(matrix, x, y, k)?;
@@ -1140,22 +1250,29 @@ impl<T> OracleService<T> {
                     // SpMM replays the plan's row partition with the scalar
                     // bodies (variants are SpMV-only), so the population is
                     // Scalar.
+                    let elapsed = t0.elapsed();
                     self.record_execution::<V>(
                         *structure,
                         matrix.format_id(),
                         Op::Spmm { k },
                         workers,
                         KernelVariant::Scalar,
-                        t0.elapsed(),
+                        elapsed,
                     );
+                    self.observe_request(trace, t0, elapsed);
                 }
             }
             Stored::Partitioned(p) => {
+                let trace = self.obs.mint_trace();
+                let t0 = (self.collector.is_some() || self.obs.enabled()).then(Instant::now);
                 let pool = self.exec_pool().filter(|pool| !self.take_serial_fallback(pool));
-                self.run_partitioned(p, Op::Spmm { k }, |obs| p.spmm_observed(x, y, k, pool, obs))?;
+                self.run_partitioned(p, Op::Spmm { k }, trace, |obs| p.spmm_observed(x, y, k, pool, obs))?;
+                if let Some(t0) = t0 {
+                    self.observe_request(trace, t0, t0.elapsed());
+                }
             }
         }
-        self.handle_requests.fetch_add(1, Ordering::Relaxed);
+        self.requests_served.inc();
         Ok(())
     }
 
@@ -1171,33 +1288,50 @@ impl<T> OracleService<T> {
         &self,
         p: &PartitionedMatrix<V>,
         op: Op,
+        trace: TraceId,
         run: impl FnOnce(Option<&(dyn Fn(usize, std::time::Duration) + Sync)>) -> morpheus::Result<()>,
     ) -> morpheus::Result<()> {
-        match &self.collector {
-            None => run(None),
-            Some(col) => {
-                let variant_bodies = matches!(op, Op::Spmv);
-                let param_code = self.opts.params.code();
-                let observe = move |si: usize, elapsed: std::time::Duration| {
-                    let s = p.shard(si);
-                    let variant =
-                        if variant_bodies { s.plan().dominant_variant() } else { KernelVariant::Scalar };
-                    col.record(
-                        SampleKey {
-                            structure: s.structure(),
-                            format: s.format_id(),
-                            op,
-                            scalar_bytes: std::mem::size_of::<V>(),
-                            workers: 1,
-                            variant,
-                            param_code,
-                        },
-                        elapsed,
-                    );
-                };
-                run(Some(&observe))
-            }
+        // Per-shard spans are the *fine* trace level: one span per shard
+        // per request is too hot for the always-on default.
+        let fine = self.obs.fine() && trace.is_some();
+        if self.collector.is_none() && !fine {
+            return run(None);
         }
+        let variant_bodies = matches!(op, Op::Spmv);
+        let param_code = self.opts.params.code();
+        // Capture the collector and the obs hub, not `self`: the closure
+        // is handed across shard worker threads and must stay `Sync`
+        // independently of `T`.
+        let collector = self.collector.as_deref();
+        let obs = &*self.obs;
+        let observe = move |si: usize, elapsed: std::time::Duration| {
+            if let Some(col) = collector {
+                let s = p.shard(si);
+                let variant =
+                    if variant_bodies { s.plan().dominant_variant() } else { KernelVariant::Scalar };
+                col.record(
+                    SampleKey {
+                        structure: s.structure(),
+                        format: s.format_id(),
+                        op,
+                        scalar_bytes: std::mem::size_of::<V>(),
+                        workers: 1,
+                        variant,
+                        param_code,
+                    },
+                    elapsed,
+                );
+            }
+            if fine {
+                // `detail` carries the shard index; the span start is
+                // reconstructed from the shard kernel's own elapsed time
+                // (same clock as the request span — the Obs epoch).
+                let dur = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+                let now = obs.now_ns();
+                obs.span(trace, Stage::Exec, now.saturating_sub(dur), dur, si as u64);
+            }
+        };
+        run(Some(&observe))
     }
 
     /// [`OracleService::spmv`] for the ingress pump: identical execution
@@ -1205,11 +1339,15 @@ impl<T> OracleService<T> {
     /// with the silent serial fallback — admitted ingress work was promised
     /// full-width execution; overload is refused earlier, at admission, as
     /// typed backpressure.
+    /// `trace` feeds the fine-level per-shard spans of partitioned handles
+    /// (request-level ingress spans are the pump's job); pass
+    /// [`TraceId::NONE`] when no single request owns the execution.
     pub(crate) fn execute_queued_spmv<V: Scalar>(
         &self,
         handle: &MatrixHandle<V>,
         x: &[V],
         y: &mut [V],
+        trace: TraceId,
     ) -> morpheus::Result<()> {
         match &handle.inner.stored {
             Stored::Single { matrix, structure, plan } => {
@@ -1238,10 +1376,10 @@ impl<T> OracleService<T> {
             Stored::Partitioned(p) => {
                 // Admitted ingress work waits on a busy pool rather than
                 // dodging it — same contract as the single-matrix path.
-                self.run_partitioned(p, Op::Spmv, |obs| p.spmv_observed(x, y, self.exec_pool(), obs))?;
+                self.run_partitioned(p, Op::Spmv, trace, |obs| p.spmv_observed(x, y, self.exec_pool(), obs))?;
             }
         }
-        self.handle_requests.fetch_add(1, Ordering::Relaxed);
+        self.requests_served.inc();
         Ok(())
     }
 
@@ -1257,6 +1395,7 @@ impl<T> OracleService<T> {
         x: &[V],
         y: &mut [V],
         k: usize,
+        trace: TraceId,
     ) -> morpheus::Result<()> {
         match &handle.inner.stored {
             Stored::Single { matrix, structure, plan } => {
@@ -1283,12 +1422,12 @@ impl<T> OracleService<T> {
                 }
             }
             Stored::Partitioned(p) => {
-                self.run_partitioned(p, Op::Spmm { k }, |obs| {
+                self.run_partitioned(p, Op::Spmm { k }, trace, |obs| {
                     p.spmm_observed(x, y, k, self.exec_pool(), obs)
                 })?;
             }
         }
-        self.handle_requests.fetch_add(1, Ordering::Relaxed);
+        self.requests_served.inc();
         Ok(())
     }
 
@@ -1335,14 +1474,36 @@ impl<T> OracleService<T> {
         self.registry.read().clone()
     }
 
-    /// Execution counters (atomic snapshots; see [`ServeStats`]).
+    /// Execution counters (atomic snapshots; see [`ServeStats`]). Reading
+    /// also refreshes the `pool.jobs_queued` registry gauge, so metric
+    /// scrapes and struct reads agree.
     pub fn serve_stats(&self) -> ServeStats {
+        let queued = self.exec_pool().map_or(0, |p| p.queued_jobs() as u64);
+        self.pool_queued_gauge.set(queued);
         ServeStats {
-            handle_requests: self.handle_requests.load(Ordering::Relaxed),
-            pool_busy_fallbacks: self.pool_busy_fallbacks.load(Ordering::Relaxed),
-            registered: self.registry.read().len() as u64,
-            pool_queued_jobs: self.exec_pool().map_or(0, |p| p.queued_jobs() as u64),
+            handle_requests: self.requests_served.get(),
+            pool_busy_fallbacks: self.fallbacks_taken.get(),
+            registered: self.matrices_registered.get(),
+            pool_queued_jobs: queued,
         }
+    }
+
+    /// The service's observability hub: the unified metrics registry, the
+    /// span tracer and the slow-request flight recorder. Shared (same
+    /// `Arc`) with every [`crate::ingress::Ingress`] started on this
+    /// service, so one scrape sees all layers.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// One point-in-time view of every registered metric plus tracer
+    /// bookkeeping, with point-in-time gauges (`pool.jobs_queued`)
+    /// refreshed first. This is the scrape entry point —
+    /// feed it to [`crate::obs::expose::metric_lines`] /
+    /// [`crate::obs::expose::render_json`] for exposition.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.pool_queued_gauge.set(self.exec_pool().map_or(0, |p| p.queued_jobs() as u64));
+        self.obs.snapshot()
     }
 
     /// Everything an operator (or the adaptive subsystem) wants to read in

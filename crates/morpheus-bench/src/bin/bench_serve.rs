@@ -36,7 +36,8 @@ use morpheus_corpus::gen::banded::{multi_diagonal, tridiagonal};
 use morpheus_corpus::gen::powerlaw::{hub_rows, zipf_rows};
 use morpheus_machine::{systems, Backend, VirtualEngine};
 use morpheus_oracle::{
-    Ingress, IngressConfig, IngressError, MatrixHandle, Oracle, OracleService, RunFirstTuner, Ticket,
+    HistSummary, Ingress, IngressConfig, IngressError, MatrixHandle, MetricsSnapshot, Oracle, OracleService,
+    RunFirstTuner, Ticket,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,6 +91,45 @@ struct SloColumns {
     shed: u64,
 }
 
+/// Per-stage latency breakdown of an ingress mode, computed from the
+/// service registry's `ingress.*` histograms as a before/after delta
+/// around the mode's run (the service is shared across modes, so
+/// absolute summaries would mix traffic).
+struct StageBreakdown {
+    queue_wait_p50_us: f64,
+    queue_wait_p99_us: f64,
+    coalesce_p99_us: f64,
+    exec_p50_us: f64,
+    exec_p99_us: f64,
+    scatter_p99_us: f64,
+    coalesce_declines: u64,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+impl StageBreakdown {
+    fn delta(before: &MetricsSnapshot, after: &MetricsSnapshot) -> StageBreakdown {
+        let h = |name: &str| -> HistSummary { after.hist(name).delta_since(&before.hist(name)) };
+        let queue_wait = h("ingress.queue_wait_ns");
+        let coalesce = h("ingress.coalesce_ns");
+        let exec = h("ingress.exec_ns");
+        let scatter = h("ingress.scatter_ns");
+        StageBreakdown {
+            queue_wait_p50_us: us(queue_wait.p50_ns()),
+            queue_wait_p99_us: us(queue_wait.p99_ns()),
+            coalesce_p99_us: us(coalesce.p99_ns()),
+            exec_p50_us: us(exec.p50_ns()),
+            exec_p99_us: us(exec.p99_ns()),
+            scatter_p99_us: us(scatter.p99_ns()),
+            coalesce_declines: after
+                .counter("ingress.coalesce_declined")
+                .saturating_sub(before.counter("ingress.coalesce_declined")),
+        }
+    }
+}
+
 /// One measured mode: per-request latencies from every client.
 struct ModeResult {
     mode: &'static str,
@@ -104,6 +144,7 @@ struct ModeResult {
     /// which the pooled p99 understates under contention.
     max_client_p99_us: f64,
     slo: Option<SloColumns>,
+    stage: Option<StageBreakdown>,
 }
 
 fn summarize(mode: &'static str, clients: usize, wall_s: f64, per_client: &[Vec<f64>]) -> ModeResult {
@@ -124,6 +165,7 @@ fn summarize(mode: &'static str, clients: usize, wall_s: f64, per_client: &[Vec<
         p99_us: percentile(&pooled, 0.99),
         max_client_p99_us,
         slo: None,
+        stage: None,
     }
 }
 
@@ -160,6 +202,7 @@ struct IngressOutcome {
     per_client: Vec<Vec<f64>>,
     shed: u64,
     coalescing_ratio: f64,
+    stage: StageBreakdown,
 }
 
 /// Client-fleet shape for one ingress mode.
@@ -187,6 +230,7 @@ fn drive_ingress(
     let cfg =
         IngressConfig { default_slo: Some(slo), tenant_quota: burst.max(1) * 4, ..IngressConfig::default() };
     let ingress = Ingress::start(Arc::clone(service), cfg);
+    let metrics_before = service.obs_snapshot().metrics;
     let t0 = Instant::now();
     let per_client: Vec<Vec<f64>> = std::thread::scope(|s| {
         let joins: Vec<_> = (0..clients)
@@ -228,15 +272,17 @@ fn drive_ingress(
     });
     let wall_s = t0.elapsed().as_secs_f64();
     let stats = ingress.stats();
+    let metrics_after = service.obs_snapshot().metrics;
     IngressOutcome {
         wall_s,
         per_client,
         shed: stats.shed_deadline + stats.shed_shutdown + stats.rejected_queue_full + stats.rejected_quota,
         coalescing_ratio: stats.coalescing_ratio(),
+        stage: StageBreakdown::delta(&metrics_before, &metrics_after),
     }
 }
 
-fn with_slo(mut r: ModeResult, slo: Duration, outcome: &IngressOutcome) -> ModeResult {
+fn with_slo(mut r: ModeResult, slo: Duration, outcome: IngressOutcome) -> ModeResult {
     let slo_us = slo.as_secs_f64() * 1e6;
     let total: usize = outcome.per_client.iter().map(Vec::len).sum();
     let under: usize = outcome.per_client.iter().flatten().filter(|&&lat_us| lat_us <= slo_us).count();
@@ -247,6 +293,7 @@ fn with_slo(mut r: ModeResult, slo: Duration, outcome: &IngressOutcome) -> ModeR
         coalescing_ratio: outcome.coalescing_ratio,
         shed: outcome.shed,
     });
+    r.stage = Some(outcome.stage);
     r
 }
 
@@ -382,7 +429,7 @@ fn main() {
             results.push(with_slo(
                 summarize("warm_ingress", clients, outcome.wall_s, &outcome.per_client),
                 slo,
-                &outcome,
+                outcome,
             ));
 
             // Ingress coalesce: every request targets the same handle and
@@ -393,7 +440,7 @@ fn main() {
             results.push(with_slo(
                 summarize("ingress_coalesce", clients, outcome.wall_s, &outcome.per_client),
                 slo,
-                &outcome,
+                outcome,
             ));
         }
     }
@@ -439,6 +486,35 @@ fn main() {
                 );
             }
         }
+        println!();
+        println!(
+            "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "stage breakdown",
+            "clients",
+            "qwait_p50",
+            "qwait_p99",
+            "coal_p99",
+            "exec_p50",
+            "exec_p99",
+            "scat_p99",
+            "declines"
+        );
+        for r in &results {
+            if let Some(st) = &r.stage {
+                println!(
+                    "{:<16} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+                    r.mode,
+                    r.clients,
+                    st.queue_wait_p50_us,
+                    st.queue_wait_p99_us,
+                    st.coalesce_p99_us,
+                    st.exec_p50_us,
+                    st.exec_p99_us,
+                    st.scatter_p99_us,
+                    st.coalesce_declines
+                );
+            }
+        }
     }
     println!();
     let speedup_at = |clients: usize| -> Option<f64> {
@@ -469,7 +545,7 @@ fn main() {
     // ---- snapshot ----
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"bench_serve/v2\",\n");
+    json.push_str("  \"schema\": \"bench_serve/v3\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"ingress\": {ingress_modes},\n"));
     json.push_str(&format!("  \"workers\": {workers},\n"));
@@ -510,6 +586,20 @@ fn main() {
                 ", \"slo_us\": {:.1}, \"under_slo_ratio\": {:.4}, \"p99_under_slo\": {}, \
                  \"coalescing_ratio\": {:.4}, \"shed\": {}",
                 slo.slo_us, slo.under_slo_ratio, slo.p99_under_slo, slo.coalescing_ratio, slo.shed
+            ));
+        }
+        if let Some(st) = &r.stage {
+            entry.push_str(&format!(
+                ", \"stage\": {{\"queue_wait_p50_us\": {:.2}, \"queue_wait_p99_us\": {:.2}, \
+                 \"coalesce_p99_us\": {:.2}, \"exec_p50_us\": {:.2}, \"exec_p99_us\": {:.2}, \
+                 \"scatter_p99_us\": {:.2}, \"coalesce_declines\": {}}}",
+                st.queue_wait_p50_us,
+                st.queue_wait_p99_us,
+                st.coalesce_p99_us,
+                st.exec_p50_us,
+                st.exec_p99_us,
+                st.scatter_p99_us,
+                st.coalesce_declines
             ));
         }
         entry.push_str(&format!("}}{}\n", if i + 1 < results.len() { "," } else { "" }));

@@ -8,23 +8,14 @@ pub fn json_escape(s: &str) -> String {
 
 /// Linear-interpolation percentile of an *unsorted* sample (numpy's
 /// default method): `p` in `[0, 1]`. Used by the serving benchmark for
-/// p50/p99 request latencies.
+/// p50/p99 request latencies. Delegates to the runtime's shared
+/// [`morpheus_oracle::obs::percentile_exact`] so bench and serving
+/// quantile conventions cannot drift apart.
 ///
 /// # Panics
 /// On an empty sample.
 pub fn percentile(values: &[f64], p: f64) -> f64 {
-    assert!(!values.is_empty(), "empty sample");
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    let n = sorted.len();
-    if n == 1 {
-        return sorted[0];
-    }
-    let pos = p.clamp(0.0, 1.0) * (n - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    morpheus_oracle::obs::percentile_exact(values, p)
 }
 
 /// Summary statistics of a sample (the row shape of Table IV).
@@ -58,16 +49,7 @@ pub fn sample_stats(values: &[f64]) -> SampleStats {
     let n = sorted.len();
     let mean = sorted.iter().sum::<f64>() / n as f64;
     let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
-    let quantile = |q: f64| -> f64 {
-        if n == 1 {
-            return sorted[0];
-        }
-        let pos = q * (n - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        let frac = pos - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    };
+    let quantile = |q: f64| -> f64 { morpheus_oracle::obs::percentile_exact(&sorted, q) };
     SampleStats {
         mean,
         std: var.sqrt(),

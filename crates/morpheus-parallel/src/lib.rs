@@ -36,7 +36,7 @@ mod pool;
 mod schedule;
 mod shared;
 
-pub use pool::{global_pool, ThreadPool};
+pub use pool::{global_pool, QueueWaitObserver, ThreadPool};
 pub use schedule::Schedule;
 pub use shared::SharedSlice;
 

@@ -30,10 +30,11 @@ use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
 use crossbeam::sync::WaitGroup;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::schedule::Schedule;
 use crate::static_partition;
@@ -52,6 +53,36 @@ struct Job {
     wg: WaitGroup,
     panicked: Arc<AtomicBool>,
     worker_index: usize,
+    /// Submission timestamp, stamped only while a queue-wait observer is
+    /// installed (an uninstrumented pool takes no clock reads).
+    sent_at: Option<Instant>,
+}
+
+/// Observer of per-job channel wait (send → dequeue). The telemetry hook
+/// behind [`ThreadPool::set_queue_wait_observer`].
+pub type QueueWaitObserver = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// Shared cell holding the installed observer. The `enabled` flag mirrors
+/// the slot so the send path can skip the `Instant::now` call — and the
+/// worker the read lock — with one relaxed load when no observer is set.
+#[derive(Default)]
+struct HookCell {
+    enabled: AtomicBool,
+    observer: RwLock<Option<QueueWaitObserver>>,
+}
+
+impl HookCell {
+    fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn observe(&self, waited: Duration) {
+        if self.enabled() {
+            if let Some(f) = self.observer.read().as_ref() {
+                f(waited);
+            }
+        }
+    }
 }
 
 /// A fixed-size pool of persistent worker threads.
@@ -70,6 +101,8 @@ pub struct ThreadPool {
     /// workers, which decrement it on dequeue (the vendored channel exposes
     /// no length).
     queued: Arc<AtomicUsize>,
+    /// Queue-wait observer cell, shared with the workers.
+    queue_wait: Arc<HookCell>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -84,15 +117,20 @@ impl ThreadPool {
         let n_threads = n_threads.max(1);
         let (sender, receiver) = unbounded::<Job>();
         let queued = Arc::new(AtomicUsize::new(0));
+        let queue_wait = Arc::new(HookCell::default());
         let mut handles = Vec::with_capacity(n_threads);
         for w in 0..n_threads {
             let rx = receiver.clone();
             let backlog = Arc::clone(&queued);
+            let hook = Arc::clone(&queue_wait);
             let handle = std::thread::Builder::new()
                 .name(format!("morpheus-worker-{w}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
                         backlog.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(sent) = job.sent_at {
+                            hook.observe(sent.elapsed());
+                        }
                         IN_WORKER.with(|f| f.set(true));
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             (job.func)(job.worker_index);
@@ -107,7 +145,26 @@ impl ThreadPool {
                 .expect("failed to spawn morpheus worker thread");
             handles.push(handle);
         }
-        ThreadPool { sender: Some(sender), handles, n_threads, inflight: AtomicUsize::new(0), queued }
+        ThreadPool {
+            sender: Some(sender),
+            handles,
+            n_threads,
+            inflight: AtomicUsize::new(0),
+            queued,
+            queue_wait,
+        }
+    }
+
+    /// Installs (or with `None`, removes) the queue-wait observer: it is
+    /// called by a worker with the channel-wait duration of every job
+    /// dequeued while installed. With no observer the submit path takes no
+    /// clock reads at all — this is how the serving layer's
+    /// `pool.queue_wait_ns` histogram stays free when observability is off.
+    pub fn set_queue_wait_observer(&self, observer: Option<QueueWaitObserver>) {
+        let enabled = observer.is_some();
+        *self.queue_wait.observer.write() = observer;
+        // Published after the slot write so an enabled reader finds it set.
+        self.queue_wait.enabled.store(enabled, Ordering::SeqCst);
     }
 
     /// Number of worker threads in the pool.
@@ -161,6 +218,7 @@ impl ThreadPool {
         let wg = WaitGroup::new();
         let panicked = Arc::new(AtomicBool::new(false));
         let sender = self.sender.as_ref().expect("pool already shut down");
+        let sent_at = self.queue_wait.enabled().then(Instant::now);
         for w in 0..self.n_threads {
             // Count before the send so a worker's decrement cannot land
             // first and underflow the gauge.
@@ -171,6 +229,7 @@ impl ThreadPool {
                     wg: wg.clone(),
                     panicked: Arc::clone(&panicked),
                     worker_index: w,
+                    sent_at,
                 })
                 .expect("worker channel closed");
         }
@@ -730,6 +789,36 @@ mod tests {
         });
         assert_eq!(pool.queued_jobs(), 0, "gauge must drain with the backlog");
         assert!(!pool.is_busy());
+    }
+
+    #[test]
+    fn queue_wait_observer_sees_every_dispatched_job() {
+        let pool = ThreadPool::new(3);
+        let observed = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&observed);
+        pool.set_queue_wait_observer(Some(Arc::new(move |_d| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })));
+        pool.run_on_all(&|_| {});
+        pool.run_on_all(&|_| {});
+        assert_eq!(observed.load(Ordering::Relaxed), 6, "one observation per job");
+        // Uninstall: further batches are invisible and take no clock reads.
+        pool.set_queue_wait_observer(None);
+        pool.run_on_all(&|_| {});
+        assert_eq!(observed.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn queue_wait_observer_skips_inline_paths() {
+        let pool = ThreadPool::new(1);
+        let observed = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&observed);
+        pool.set_queue_wait_observer(Some(Arc::new(move |_d| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })));
+        // Single-thread pools run inline — nothing crosses the channel.
+        pool.run_on_all(&|_| {});
+        assert_eq!(observed.load(Ordering::Relaxed), 0);
     }
 
     #[test]

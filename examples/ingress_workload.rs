@@ -117,4 +117,25 @@ fn main() {
     println!("  deadline misses:    {:>10}", istats.deadline_misses);
     println!("  queue depth now:    {:>10}", istats.queue_depth);
     println!("  silent fallbacks:   {:>10} (ingress path never takes them)", snap.serve.pool_busy_fallbacks);
+
+    // The per-stage breakdown, straight from the unified registry: where
+    // a request's lifetime actually went — queue wait, the coalesce gate,
+    // kernel execution, result scatter.
+    let obs = service.obs_snapshot();
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!("\nstage latencies (registry histograms):");
+    for name in ["ingress.queue_wait_ns", "ingress.coalesce_ns", "ingress.exec_ns", "ingress.scatter_ns"] {
+        let h = obs.metrics.hist(name);
+        println!(
+            "  {name:<22} {:>8} samples  p50 {:>9.1} us  p99 {:>9.1} us  max {:>9.1} us",
+            h.count,
+            us(h.p50_ns()),
+            us(h.p99_ns()),
+            us(h.max_ns)
+        );
+    }
+    println!(
+        "\ntracer: {} spans recorded ({} overwritten), {} slow/SLO-breaching requests captured",
+        obs.spans_recorded, obs.spans_overwritten, obs.slow_captured
+    );
 }

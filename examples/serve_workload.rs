@@ -10,6 +10,11 @@
 //! also goes down the per-call `tune_and_spmv` path to show the decision
 //! cache absorbing repeat structures.
 //!
+//! The per-stage report at the end comes from the service's unified
+//! metrics registry (`serve.request_ns`, `serve.plan_ns`,
+//! `pool.queue_wait_ns`) — no hand-rolled sampler threads; the runtime
+//! itself is the instrument.
+//!
 //! ```text
 //! cargo run --release --example serve_workload [clients] [requests-per-client]
 //! ```
@@ -73,24 +78,13 @@ fn main() {
     // The mock request loop: every client hammers the shared service.
     // Most requests ride a registered handle; every 16th is a per-call
     // tune of a fresh structurally-identical matrix, exercising the
-    // decision cache instead. A sampler thread watches the pool's
-    // queue-depth gauge while the clients run: nonzero peaks mean threaded
-    // executions were backlogged behind each other (the pressure that also
-    // drives `pool_busy_fallbacks`).
-    let peak_queued = AtomicU64::new(0);
+    // decision cache instead. Pool pressure is read afterwards from the
+    // registry's `pool.queue_wait_ns` histogram — every job dispatched to
+    // the worker pool gets its queue wait recorded by the runtime, which
+    // replaces the sampler thread earlier revisions ran alongside the
+    // clients.
     let t0 = Instant::now();
     std::thread::scope(|s| {
-        {
-            let service = Arc::clone(&service);
-            let (served, tuned, peak_queued) = (&served, &tuned, &peak_queued);
-            let expected = (clients * requests_per_client) as u64;
-            s.spawn(move || {
-                while served.load(Ordering::Relaxed) + tuned.load(Ordering::Relaxed) < expected {
-                    peak_queued.fetch_max(service.serve_stats().pool_queued_jobs, Ordering::Relaxed);
-                    std::thread::yield_now();
-                }
-            });
-        }
         for c in 0..clients {
             let service = Arc::clone(&service);
             let (handles, inputs, matrices) = (&handles, &inputs, &matrices);
@@ -128,15 +122,26 @@ fn main() {
     println!("  per-call tunes:    {:>10}", tuned.load(Ordering::Relaxed));
     println!("  busy fallbacks:    {:>10}", stats.pool_busy_fallbacks);
     println!(
-        "  pool queue depth:  {:>10} jobs now / {} peak observed",
-        stats.pool_queued_jobs,
-        peak_queued.load(Ordering::Relaxed)
-    );
-    println!(
         "  decision cache:    {:>10.1}% hit rate ({} hits / {} lookups)",
         decisions.hit_rate() * 100.0,
         decisions.hits,
         decisions.hits + decisions.misses
     );
     println!("  plan cache:        {:>10.1}% hit rate ({} entries)", plans.hit_rate() * 100.0, plans.len);
+
+    // The per-stage breakdown, straight from the unified registry.
+    let metrics = service.obs_snapshot().metrics;
+    let us = |ns: u64| ns as f64 / 1e3;
+    println!("\nstage latencies (registry histograms):");
+    for name in ["serve.request_ns", "serve.plan_ns", "pool.queue_wait_ns"] {
+        let h = metrics.hist(name);
+        println!(
+            "  {name:<20} {:>8} samples  p50 {:>9.1} us  p99 {:>9.1} us  max {:>9.1} us",
+            h.count,
+            us(h.p50_ns()),
+            us(h.p99_ns()),
+            us(h.max_ns)
+        );
+    }
+    println!("  pool.jobs_queued     {:>8} now", metrics.gauge("pool.jobs_queued"));
 }
